@@ -1,0 +1,53 @@
+// Ablation A2 (§5.3): does weighting "active" clusters higher in negative
+// sampling help? Compare the paper's 0.7/0.3 weighting against uniform
+// 0.5/0.5 sampling on merge-model accuracy/recall.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/confusion.h"
+#include "ml/logistic_regression.h"
+#include "util/rng.h"
+
+using namespace dynamicc;
+
+namespace {
+
+void Evaluate(const char* label, double active_weight,
+              double inactive_weight, TableWriter* table) {
+  ExperimentConfig config =
+      bench::StandardConfig(WorkloadKind::kCora, TaskKind::kDbIndex);
+  config.trainer.sampling.active_weight = active_weight;
+  config.trainer.sampling.inactive_weight = inactive_weight;
+  ExperimentHarness harness(config);
+  auto harvest = harness.HarvestSamples(5);
+  if (harvest.merge.size() < 40) return;
+
+  Rng rng(11);
+  SampleSet train, test;
+  for (const Sample& sample : harvest.merge) {
+    (rng.Chance(0.8) ? train : test).push_back(sample);
+  }
+  LogisticRegression model;
+  model.Fit(train);
+  ConfusionMatrix matrix = EvaluateModel(model, test, 0.5);
+  table->AddRow({label, std::to_string(harvest.merge.size()),
+                 TableWriter::Num(matrix.Accuracy()),
+                 TableWriter::Num(matrix.Recall())});
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation A2",
+                "active-cluster weighting in negative sampling (Cora)");
+  TableWriter table({"weighting", "samples", "accuracy", "recall"});
+  Evaluate("paper 0.7/0.3", 0.7, 0.3, &table);
+  Evaluate("uniform 0.5/0.5", 0.5, 0.5, &table);
+  Evaluate("inverted 0.3/0.7", 0.3, 0.7, &table);
+  table.Print(std::cout);
+  bench::Note("shape to check: weighting toward active clusters gives "
+              "negatives that resemble the hard cases the model actually "
+              "sees, typically matching or beating uniform sampling.");
+  return 0;
+}

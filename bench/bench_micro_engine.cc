@@ -1,0 +1,100 @@
+// Micro-benchmarks of the clustering engine's mutation throughput: the
+// O(degree) incremental stats maintenance that every algorithm sits on.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cluster/engine.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+struct Scenario {
+  Scenario()
+      : measure(2.0),
+        graph(&dataset, &measure, std::make_unique<GridBlocker>(8.0), 0.05) {
+    Rng rng(9);
+    for (int blob = 0; blob < 30; ++blob) {
+      double cx = rng.Uniform(0.0, 400.0);
+      double cy = rng.Uniform(0.0, 400.0);
+      for (int i = 0; i < 12; ++i) {
+        Record record;
+        record.numeric = {cx + rng.Gaussian(0.0, 1.5),
+                          cy + rng.Gaussian(0.0, 1.5)};
+        graph.AddObject(dataset.Add(record));
+      }
+    }
+  }
+
+  Dataset dataset;
+  EuclideanSimilarity measure;
+  SimilarityGraph graph;
+};
+
+Scenario& SharedScenario() {
+  static Scenario* scenario = new Scenario();
+  return *scenario;
+}
+
+void BM_InitSingletons(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  ClusteringEngine engine(&s.graph);
+  for (auto _ : state) {
+    engine.InitSingletons();
+  }
+}
+BENCHMARK(BM_InitSingletons);
+
+void BM_MergeSplitRoundTrip(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  ClusteringEngine engine(&s.graph);
+  engine.InitSingletons();
+  auto objects = s.graph.Objects();
+  ObjectId a = objects[0];
+  ObjectId b = objects[1];
+  for (auto _ : state) {
+    ClusterId merged = engine.Merge(engine.clustering().ClusterOf(a),
+                                    engine.clustering().ClusterOf(b));
+    engine.SplitOut(merged, {b});
+  }
+}
+BENCHMARK(BM_MergeSplitRoundTrip);
+
+void BM_GraphAddRemove(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  Rng rng(11);
+  for (auto _ : state) {
+    Record record;
+    record.numeric = {rng.Uniform(0.0, 400.0), rng.Uniform(0.0, 400.0)};
+    ObjectId id = s.dataset.Add(record);
+    s.graph.AddObject(id);
+    s.graph.RemoveObject(id);
+    s.dataset.Remove(id);
+  }
+}
+BENCHMARK(BM_GraphAddRemove);
+
+void BM_SumToCluster(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  ClusteringEngine engine(&s.graph);
+  engine.InitSingletons();
+  // Build one 12-object cluster.
+  auto objects = s.graph.Objects();
+  ClusterId cluster = engine.clustering().ClusterOf(objects[0]);
+  for (int i = 1; i < 12; ++i) {
+    cluster = engine.Merge(cluster, engine.clustering().ClusterOf(objects[i]));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.stats().SumToCluster(objects[0], cluster));
+  }
+}
+BENCHMARK(BM_SumToCluster);
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,112 @@
+// Micro-benchmarks of objective evaluation: full Evaluate vs the exact
+// deltas used by the algorithms — the reason incremental methods win.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cluster/engine.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "objective/correlation.h"
+#include "objective/db_index.h"
+#include "objective/kmeans.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+/// Shared scenario: 300 points in 20 loose blobs, pre-clustered per blob.
+struct Scenario {
+  Scenario()
+      : measure(2.0),
+        graph(&dataset, &measure, std::make_unique<GridBlocker>(8.0), 0.05),
+        engine(&graph) {
+    Rng rng(7);
+    std::vector<std::vector<ObjectId>> blobs(20);
+    for (int blob = 0; blob < 20; ++blob) {
+      double cx = rng.Uniform(0.0, 300.0);
+      double cy = rng.Uniform(0.0, 300.0);
+      for (int i = 0; i < 15; ++i) {
+        Record record;
+        record.numeric = {cx + rng.Gaussian(0.0, 1.5),
+                          cy + rng.Gaussian(0.0, 1.5)};
+        ObjectId id = dataset.Add(record);
+        graph.AddObject(id);
+        blobs[blob].push_back(id);
+      }
+    }
+    engine.InitSingletons();
+    for (const auto& blob : blobs) {
+      ClusterId cluster = engine.clustering().ClusterOf(blob[0]);
+      for (size_t i = 1; i < blob.size(); ++i) {
+        cluster = engine.Merge(cluster,
+                               engine.clustering().ClusterOf(blob[i]));
+      }
+    }
+  }
+
+  Dataset dataset;
+  EuclideanSimilarity measure;
+  SimilarityGraph graph;
+  ClusteringEngine engine;
+};
+
+Scenario& SharedScenario() {
+  static Scenario* scenario = new Scenario();
+  return *scenario;
+}
+
+void BM_CorrelationEvaluate(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  CorrelationObjective objective;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.Evaluate(s.engine));
+  }
+}
+BENCHMARK(BM_CorrelationEvaluate);
+
+void BM_CorrelationMergeDelta(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  CorrelationObjective objective;
+  auto ids = s.engine.clustering().ClusterIds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        objective.MergeDelta(s.engine, ids[0], ids[1]));
+  }
+}
+BENCHMARK(BM_CorrelationMergeDelta);
+
+void BM_DbIndexEvaluate(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  DbIndexObjective objective;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.Evaluate(s.engine));
+  }
+}
+BENCHMARK(BM_DbIndexEvaluate);
+
+void BM_DbIndexMergeDelta(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  DbIndexObjective objective;
+  auto ids = s.engine.clustering().ClusterIds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.MergeDelta(s.engine, ids[0], ids[1]));
+  }
+}
+BENCHMARK(BM_DbIndexMergeDelta);
+
+void BM_KMeansMergeDelta(benchmark::State& state) {
+  Scenario& s = SharedScenario();
+  KMeansObjective objective(&s.dataset, 20);
+  auto ids = s.engine.clustering().ClusterIds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.MergeDelta(s.engine, ids[0], ids[1]));
+  }
+}
+BENCHMARK(BM_KMeansMergeDelta);
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,80 @@
+// Micro-benchmarks of the similarity kernels (google-benchmark): the
+// pairwise scoring cost that blocking amortizes.
+
+#include <benchmark/benchmark.h>
+
+#include "data/record.h"
+#include "data/similarity_measures.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+Record MakeTextRecord(Rng* rng, size_t words) {
+  Record record;
+  for (size_t w = 0; w < words; ++w) {
+    std::string token;
+    for (size_t c = 0; c < 4 + rng->Index(6); ++c) {
+      token += static_cast<char>('a' + rng->Index(26));
+    }
+    record.tokens.push_back(token);
+    if (w > 0) record.text += " ";
+    record.text += token;
+  }
+  return record;
+}
+
+Record MakePointRecord(Rng* rng, size_t dims) {
+  Record record;
+  for (size_t d = 0; d < dims; ++d) {
+    record.numeric.push_back(rng->Uniform(0.0, 100.0));
+  }
+  return record;
+}
+
+void BM_Jaccard(benchmark::State& state) {
+  Rng rng(1);
+  Record a = MakeTextRecord(&rng, 8);
+  Record b = MakeTextRecord(&rng, 8);
+  JaccardSimilarity measure;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_Jaccard);
+
+void BM_TrigramCosine(benchmark::State& state) {
+  Rng rng(2);
+  Record a = MakeTextRecord(&rng, 6);
+  Record b = MakeTextRecord(&rng, 6);
+  TrigramCosineSimilarity measure;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_TrigramCosine);
+
+void BM_Levenshtein(benchmark::State& state) {
+  Rng rng(3);
+  Record a = MakeTextRecord(&rng, 6);
+  Record b = MakeTextRecord(&rng, 6);
+  LevenshteinSimilarity measure;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_Euclidean(benchmark::State& state) {
+  Rng rng(4);
+  Record a = MakePointRecord(&rng, state.range(0));
+  Record b = MakePointRecord(&rng, state.range(0));
+  EuclideanSimilarity measure(5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_Euclidean)->Arg(3)->Arg(16);
+
+}  // namespace
+}  // namespace dynamicc

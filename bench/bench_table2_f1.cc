@@ -1,0 +1,47 @@
+// Table 2: pair-counting F1 (vs the batch result) per snapshot for Naive,
+// Greedy and DynamicC under DB-index clustering on Cora, Music and
+// Synthetic. The paper prints the first 5 snapshots; we do the same.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dynamicc;
+
+namespace {
+
+void RunDataset(WorkloadKind workload) {
+  std::printf("\n[%s]\n", WorkloadName(workload));
+  ExperimentConfig config =
+      bench::StandardConfig(workload, TaskKind::kDbIndex);
+  ExperimentHarness harness(config);
+  harness.RunBatch();  // builds references
+  Series naive = harness.RunNaive();
+  Series greedy = harness.RunGreedy();
+  Series dynamicc = harness.RunDynamicC(false);
+
+  TableWriter table({"snapshot", "Naive", "Greedy", "DynamicC"});
+  for (size_t i = 0; i < 5 && i < naive.points.size(); ++i) {
+    table.AddRow({std::to_string(i + 1),
+                  TableWriter::Num(naive.points[i].quality.f1),
+                  TableWriter::Num(greedy.points[i].quality.f1),
+                  TableWriter::Num(dynamicc.points[i].quality.f1)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Table 2", "F1 measure for DB-index clustering "
+                           "(first 5 snapshots, F1 vs batch result)");
+  RunDataset(WorkloadKind::kCora);
+  RunDataset(WorkloadKind::kMusic);
+  RunDataset(WorkloadKind::kSynthetic);
+  bench::Note("shape to check: Naive decays with every snapshot "
+              "(paper: 0.94->0.84 on Cora); Greedy and DynamicC stay near "
+              "1, DynamicC a touch above Greedy in most cells. Note the "
+              "first 2 snapshots are DynamicC training rounds (batch-served,"
+              " F1 = 1 by construction).");
+  return 0;
+}

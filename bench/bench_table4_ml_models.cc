@@ -1,0 +1,68 @@
+// Table 4: accuracy and recall of Logistic Regression, SVM and Decision
+// Tree merge models on the Cora workload as the number of training samples
+// grows (the paper: 97 -> 1077 samples as 200 -> 1000 new objects arrive).
+// We harvest one large sample pool and train on growing prefixes,
+// evaluating on a held-out suffix.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/confusion.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+
+using namespace dynamicc;
+
+int main() {
+  bench::Banner("Table 4",
+                "ML models vs training-set size (Cora-like merge model)");
+
+  ExperimentConfig config =
+      bench::StandardConfig(WorkloadKind::kCora, TaskKind::kDbIndex);
+  config.scale = 250;
+  ExperimentHarness harness(config);
+  auto harvest = harness.HarvestSamples(/*observed_rounds=*/6);
+  std::printf("harvested %zu merge samples\n\n", harvest.merge.size());
+
+  // Hold out the last 25% for evaluation.
+  size_t test_start = harvest.merge.size() * 3 / 4;
+  SampleSet test(harvest.merge.begin() + test_start, harvest.merge.end());
+  SampleSet pool(harvest.merge.begin(), harvest.merge.begin() + test_start);
+  if (pool.size() < 40 || test.empty()) {
+    std::printf("not enough samples harvested\n");
+    return 1;
+  }
+
+  std::vector<size_t> sizes;
+  for (double fraction : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    sizes.push_back(std::max<size_t>(10, pool.size() * fraction));
+  }
+
+  std::vector<std::unique_ptr<BinaryClassifier>> models;
+  models.push_back(std::make_unique<LogisticRegression>());
+  models.push_back(std::make_unique<LinearSvm>());
+  models.push_back(std::make_unique<DecisionTree>());
+
+  TableWriter table({"model", "samples", "accuracy", "recall"});
+  for (auto& model : models) {
+    for (size_t size : sizes) {
+      SampleSet train(pool.begin(), pool.begin() + size);
+      auto fresh = model->Clone();
+      fresh->Fit(train);
+      ConfusionMatrix matrix = EvaluateModel(*fresh, test, 0.5);
+      table.AddRow({fresh->Name(), std::to_string(size),
+                    TableWriter::Num(matrix.Accuracy(), 2),
+                    TableWriter::Num(matrix.Recall(), 2)});
+    }
+  }
+  table.Print(std::cout);
+  bench::Note("shape to check: all three models converge to high accuracy "
+              "and recall ~1.0 once enough samples arrive (paper: LR "
+              "0.77->0.93 accuracy, 0.25->1.0 recall); training time is "
+              "negligible (<1 s for 20K samples).");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 5: Logistic Regression accuracy and recall as a function of the
+// fraction of training samples used (5% - 80%) on the Cora, Music and
+// Synthetic workloads; evaluation on the withheld 20%.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/confusion.h"
+#include "ml/logistic_regression.h"
+
+using namespace dynamicc;
+
+namespace {
+
+void RunDataset(WorkloadKind workload, TableWriter* table) {
+  ExperimentConfig config =
+      bench::StandardConfig(workload, TaskKind::kDbIndex);
+  ExperimentHarness harness(config);
+  auto harvest = harness.HarvestSamples(5);
+  if (harvest.merge.size() < 50) {
+    std::printf("[%s] not enough samples (%zu)\n", WorkloadName(workload),
+                harvest.merge.size());
+    return;
+  }
+  size_t test_start = harvest.merge.size() * 4 / 5;
+  SampleSet test(harvest.merge.begin() + test_start, harvest.merge.end());
+  SampleSet pool(harvest.merge.begin(), harvest.merge.begin() + test_start);
+
+  for (double percent : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    size_t size = std::max<size_t>(
+        4, static_cast<size_t>(pool.size() * percent / 80.0));
+    size = std::min(size, pool.size());
+    SampleSet train(pool.begin(), pool.begin() + size);
+    LogisticRegression model;
+    model.Fit(train);
+    ConfusionMatrix matrix = EvaluateModel(model, test, 0.5);
+    table->AddRow({WorkloadName(workload),
+                   TableWriter::Num(percent, 0) + "%",
+                   TableWriter::Num(matrix.Accuracy(), 2),
+                   TableWriter::Num(matrix.Recall(), 2)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Table 5",
+                "Logistic Regression vs fraction of training samples");
+  TableWriter table({"dataset", "fraction", "accuracy", "recall"});
+  RunDataset(WorkloadKind::kCora, &table);
+  RunDataset(WorkloadKind::kMusic, &table);
+  RunDataset(WorkloadKind::kSynthetic, &table);
+  table.Print(std::cout);
+  bench::Note("shape to check: tiny fractions give a degenerate model "
+              "(paper's fails low-recall at 0.15; ours fails low-accuracy "
+              "by predicting all-positive — same insufficiency, opposite "
+              "bias); both metrics saturate by 40-80% (paper: recall 1.0, "
+              "accuracy 0.9+).");
+  return 0;
+}

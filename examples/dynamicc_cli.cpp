@@ -1,0 +1,194 @@
+// Command-line experiment driver: run any method on any workload/task
+// combination and print per-snapshot latency + quality, or emit CSV for
+// plotting. A thin veneer over the harness in src/harness.
+//
+//   dynamicc_cli --workload cora --task db-index --method dynamicc
+//   dynamicc_cli --workload road --task kmeans --method all --scale 1500
+//   dynamicc_cli --workload music --task db-index --method greedy --csv
+//
+// Flags:
+//   --workload  cora | music | synthetic | access | road   (default cora)
+//   --task      db-index | kmeans | correlation | dbscan   (default db-index)
+//   --method    batch | naive | greedy | dynamicc | greedyset | all
+//   --scale     initial object count override (0 = generator default)
+//   --seed      stream seed override (0 = generator default)
+//   --kmeans-k  cluster count for the kmeans task
+//   --csv       emit CSV instead of aligned tables
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "util/csv.h"
+
+using namespace dynamicc;
+
+namespace {
+
+struct CliArgs {
+  std::string workload = "cora";
+  std::string task = "db-index";
+  std::string method = "dynamicc";
+  size_t scale = 0;
+  uint64_t seed = 0;
+  int kmeans_k = 24;
+  bool csv = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--workload") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->workload = v;
+    } else if (flag == "--task") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->task = v;
+    } else if (flag == "--method") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->method = v;
+    } else if (flag == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->scale = static_cast<size_t>(std::stoul(v));
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::stoull(v));
+    } else if (flag == "--kmeans-k") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->kmeans_k = std::stoi(v);
+    } else if (flag == "--csv") {
+      args->csv = true;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dynamicc_cli [--workload cora|music|synthetic|access|road]\n"
+      "                    [--task db-index|kmeans|correlation|dbscan]\n"
+      "                    [--method batch|naive|greedy|dynamicc|greedyset|"
+      "all]\n"
+      "                    [--scale N] [--seed N] [--kmeans-k N] [--csv]\n");
+}
+
+bool ToWorkload(const std::string& name, WorkloadKind* out) {
+  if (name == "cora") *out = WorkloadKind::kCora;
+  else if (name == "music") *out = WorkloadKind::kMusic;
+  else if (name == "synthetic") *out = WorkloadKind::kSynthetic;
+  else if (name == "access") *out = WorkloadKind::kAccess;
+  else if (name == "road") *out = WorkloadKind::kRoad;
+  else return false;
+  return true;
+}
+
+bool ToTask(const std::string& name, TaskKind* out) {
+  if (name == "db-index") *out = TaskKind::kDbIndex;
+  else if (name == "kmeans") *out = TaskKind::kKMeans;
+  else if (name == "correlation") *out = TaskKind::kCorrelation;
+  else if (name == "dbscan") *out = TaskKind::kDbscan;
+  else return false;
+  return true;
+}
+
+void PrintSeries(const std::vector<Series>& series_list, bool csv) {
+  std::vector<std::string> headers{"snapshot", "objects"};
+  for (const auto& series : series_list) {
+    headers.push_back(series.method + "_ms");
+    headers.push_back(series.method + "_F1");
+    headers.push_back(series.method + "_score");
+  }
+  TableWriter table(headers);
+  size_t rows = series_list.front().points.size();
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row{
+        std::to_string(series_list.front().points[i].snapshot),
+        std::to_string(series_list.front().points[i].num_objects)};
+    for (const auto& series : series_list) {
+      row.push_back(TableWriter::Num(series.points[i].latency_ms, 1));
+      row.push_back(TableWriter::Num(series.points[i].quality.f1));
+      row.push_back(TableWriter::Num(series.points[i].objective, 2));
+    }
+    table.AddRow(row);
+  }
+  if (csv) {
+    std::cout << table.ToCsv();
+  } else {
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  ExperimentConfig config;
+  if (!ToWorkload(args.workload, &config.workload) ||
+      !ToTask(args.task, &config.task)) {
+    Usage();
+    return 2;
+  }
+  config.scale = args.scale;
+  config.seed = args.seed;
+  config.kmeans_k = args.kmeans_k;
+  if (config.task == TaskKind::kDbscan) {
+    config.dbscan.min_pts = 4;
+    config.dbscan.eps_similarity = 0.5;
+  }
+
+  std::fprintf(stderr, "workload=%s task=%s method=%s\n",
+               WorkloadName(config.workload), TaskName(config.task),
+               args.method.c_str());
+
+  ExperimentHarness harness(config);
+  std::vector<Series> results;
+  // The batch reference is needed whenever quality is reported.
+  Series batch = harness.RunBatch();
+  if (args.method == "batch" || args.method == "all") {
+    results.push_back(batch);
+  }
+  if (args.method == "naive" || args.method == "all") {
+    results.push_back(harness.RunNaive());
+  }
+  if (args.method == "greedy" || args.method == "greedyset" ||
+      args.method == "all") {
+    Series greedy = harness.RunGreedy();
+    if (args.method != "greedyset") results.push_back(greedy);
+  }
+  if (args.method == "dynamicc" || args.method == "all") {
+    results.push_back(harness.RunDynamicC(/*greedy_set=*/false));
+  }
+  if (args.method == "greedyset" || args.method == "all") {
+    // RunGreedy already cached the per-snapshot states above.
+    results.push_back(harness.RunDynamicC(/*greedy_set=*/true));
+  }
+  if (results.empty()) {
+    Usage();
+    return 2;
+  }
+  PrintSeries(results, args.csv);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Database sharding advisor — the paper cites workload-driven database
+// partitioning (Schism [17]) as a clustering application. Rows that are
+// frequently co-accessed by the same transactions should live on the same
+// shard; we model rows as records whose tokens are the transaction ids
+// that touch them, so Jaccard similarity == co-access affinity, and a
+// correlation clustering of the rows is a shard assignment. As the
+// workload shifts (new rows, retired rows, access-pattern changes),
+// DynamicC keeps the shard advice current.
+//
+// Build & run:  ./build/examples/sharding_advisor
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/agglomerative.h"
+#include "core/session.h"
+#include "data/blocking.h"
+#include "data/similarity_measures.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "util/rng.h"
+
+using namespace dynamicc;
+
+namespace {
+
+/// A row touched by a few transaction families. Rows of the same "tenant"
+/// share transaction tokens and should co-locate.
+Record MakeRow(uint32_t tenant, Rng* rng) {
+  Record row;
+  row.entity = tenant + 1;
+  // Each tenant owns a family of transaction ids; a row participates in a
+  // random subset plus the occasional cross-tenant transaction.
+  for (int t = 0; t < 4; ++t) {
+    row.tokens.push_back("txn" + std::to_string(tenant) + "_" +
+                         std::to_string(rng->Index(6)));
+  }
+  if (rng->Chance(0.1)) {
+    row.tokens.push_back("global_" + std::to_string(rng->Index(3)));
+  }
+  return row;
+}
+
+OperationBatch NewRows(Rng* rng, int count, int tenants) {
+  OperationBatch ops;
+  for (int i = 0; i < count; ++i) {
+    DataOperation op;
+    op.kind = DataOperation::Kind::kAdd;
+    op.record = MakeRow(static_cast<uint32_t>(rng->Index(tenants)), rng);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+void PrintShardAdvice(const ClusteringEngine& engine, size_t max_shards) {
+  std::vector<size_t> sizes;
+  for (ClusterId cluster : engine.clustering().ClusterIds()) {
+    sizes.push_back(engine.clustering().ClusterSize(cluster));
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::printf("  shard advice: %zu shards, sizes:", sizes.size());
+  for (size_t i = 0; i < std::min(max_shards, sizes.size()); ++i) {
+    std::printf(" %zu", sizes[i]);
+  }
+  if (sizes.size() > max_shards) std::printf(" ...");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTenants = 8;
+
+  Dataset dataset;
+  JaccardSimilarity measure;
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<TokenBlocker>(/*prefix_len=*/0),
+                        0.15);
+
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  GreedyAgglomerative batch(&objective);
+
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<LogisticRegression>(),
+                          DynamicCSession::Options{});
+
+  Rng rng(17);
+
+  std::printf("== observing workload, building co-access shards ==\n");
+  for (int round = 0; round < 2; ++round) {
+    auto changed = session.ApplyOperations(NewRows(&rng, 60, kTenants));
+    session.ObserveBatchRound(changed);
+    std::printf("round %d: %zu rows\n", round, dataset.alive_count());
+    PrintShardAdvice(session.engine(), 10);
+  }
+
+  std::printf("\n== workload shifts; DynamicC re-shards incrementally ==\n");
+  for (int round = 0; round < 5; ++round) {
+    // New rows arrive and some existing rows change their access pattern.
+    OperationBatch ops = NewRows(&rng, 25, kTenants);
+    auto alive = dataset.AliveIds();
+    for (int u = 0; u < 5 && !alive.empty(); ++u) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kUpdate;
+      op.target = alive[rng.Index(alive.size())];
+      op.record = MakeRow(static_cast<uint32_t>(rng.Index(kTenants)), &rng);
+      // Keep the original identity: the row merely changed access pattern.
+      op.record.entity = dataset.Get(op.target).entity;
+      ops.push_back(op);
+    }
+    session.ApplyOperations(ops);
+    auto report = session.DynamicRound();
+    std::printf("round %d: %zu rows, %4.1f ms, %zu merges / %zu splits\n",
+                round, dataset.alive_count(), report.recluster_ms,
+                report.detail.merges_applied, report.detail.splits_applied);
+    PrintShardAdvice(session.engine(), 10);
+  }
+  return 0;
+}

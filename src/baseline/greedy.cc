@@ -1,0 +1,153 @@
+#include "baseline/greedy.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+enum class OpKind { kNone, kMerge, kSplit, kMove };
+
+struct BestOp {
+  OpKind kind = OpKind::kNone;
+  double delta = 0.0;
+  ClusterId other = kInvalidCluster;  // merge partner / move target
+  ObjectId object = kInvalidObject;   // split/move subject
+};
+
+}  // namespace
+
+GreedyIncremental::GreedyIncremental(const ObjectiveFunction* objective)
+    : GreedyIncremental(objective, Options{}) {}
+
+GreedyIncremental::GreedyIncremental(const ObjectiveFunction* objective,
+                                     Options options)
+    : objective_(objective), options_(options) {
+  DYNAMICC_CHECK(objective != nullptr);
+}
+
+GreedyIncremental::Report GreedyIncremental::Process(
+    ClusteringEngine* engine, const std::vector<ObjectId>& changed) const {
+  Report report;
+
+  // Worklist of dirty clusters, seeded by the changed objects' clusters and
+  // their inter neighbors.
+  std::deque<ClusterId> worklist;
+  std::unordered_set<ClusterId> queued;
+  auto enqueue = [&worklist, &queued](ClusterId cluster) {
+    if (cluster == kInvalidCluster) return;
+    if (queued.insert(cluster).second) worklist.push_back(cluster);
+  };
+  for (ObjectId object : changed) {
+    ClusterId cluster = engine->clustering().ClusterOf(object);
+    if (cluster == kInvalidCluster) continue;
+    enqueue(cluster);
+    for (ClusterId neighbor : engine->stats().InterNeighbors(cluster)) {
+      enqueue(neighbor);
+    }
+  }
+
+  size_t operations = 0;
+  while (!worklist.empty() && operations < options_.max_operations) {
+    ClusterId cluster = worklist.front();
+    worklist.pop_front();
+    queued.erase(cluster);
+    if (!engine->clustering().HasCluster(cluster)) continue;
+
+    BestOp best;
+    // --- merge candidates: every inter neighbor.
+    for (ClusterId neighbor : engine->stats().InterNeighbors(cluster)) {
+      double delta = objective_->MergeDelta(*engine, cluster, neighbor);
+      ++report.delta_evaluations;
+      if (delta < best.delta) {
+        best = {OpKind::kMerge, delta, neighbor, kInvalidObject};
+      }
+    }
+
+    size_t cluster_size = engine->clustering().ClusterSize(cluster);
+    if (cluster_size >= 2) {
+      // --- split candidate: the worst-fitting member.
+      ObjectId worst = kInvalidObject;
+      double worst_weight = std::numeric_limits<double>::infinity();
+      for (ObjectId member : engine->clustering().Members(cluster)) {
+        double weight = engine->stats().SumToCluster(member, cluster);
+        if (weight < worst_weight) {
+          worst_weight = weight;
+          worst = member;
+        }
+      }
+      if (worst != kInvalidObject) {
+        double delta = objective_->SplitDelta(*engine, cluster, {worst});
+        ++report.delta_evaluations;
+        if (delta < best.delta) {
+          best = {OpKind::kSplit, delta, kInvalidCluster, worst};
+        }
+      }
+    }
+
+    // --- move candidates: boundary members to their best external cluster.
+    size_t checks = 0;
+    for (ObjectId member : engine->clustering().Members(cluster)) {
+      if (checks >= options_.max_move_checks) break;
+      ClusterId target = kInvalidCluster;
+      double target_sim = 0.0;
+      for (const auto& [other, sim] : engine->graph().Neighbors(member)) {
+        ClusterId other_cluster = engine->clustering().ClusterOf(other);
+        if (other_cluster == kInvalidCluster || other_cluster == cluster) {
+          continue;
+        }
+        if (sim > target_sim) {
+          target_sim = sim;
+          target = other_cluster;
+        }
+      }
+      if (target == kInvalidCluster) continue;
+      ++checks;
+      if (cluster_size == 1) continue;  // a singleton move == merge, handled
+      double delta = objective_->MoveDelta(*engine, member, target);
+      ++report.delta_evaluations;
+      if (delta < best.delta) {
+        best = {OpKind::kMove, delta, target, member};
+      }
+    }
+
+    if (best.kind == OpKind::kNone || best.delta >= -options_.tolerance) {
+      continue;  // cluster is locally stable
+    }
+
+    switch (best.kind) {
+      case OpKind::kMerge: {
+        ClusterId merged = engine->Merge(cluster, best.other);
+        enqueue(merged);
+        for (ClusterId n : engine->stats().InterNeighbors(merged)) enqueue(n);
+        ++report.merges;
+        break;
+      }
+      case OpKind::kSplit: {
+        ClusterId fresh = engine->SplitOut(cluster, {best.object});
+        enqueue(cluster);
+        enqueue(fresh);
+        ++report.splits;
+        break;
+      }
+      case OpKind::kMove: {
+        engine->Move(best.object, best.other);
+        if (engine->clustering().HasCluster(cluster)) enqueue(cluster);
+        enqueue(best.other);
+        ++report.moves;
+        break;
+      }
+      case OpKind::kNone:
+        break;
+    }
+    ++operations;
+  }
+  return report;
+}
+
+}  // namespace dynamicc

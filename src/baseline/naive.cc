@@ -1,0 +1,122 @@
+#include "baseline/naive.h"
+
+#include <cmath>
+#include <iterator>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+/// Per-cluster centroids of the current clustering (O(n·d)).
+std::unordered_map<ClusterId, std::vector<double>> Centroids(
+    const ClusteringEngine& engine) {
+  std::unordered_map<ClusterId, std::vector<double>> centroids;
+  const Dataset& dataset = engine.graph().dataset();
+  for (ClusterId cluster : engine.clustering().ClusterIds()) {
+    const auto& members = engine.clustering().Members(cluster);
+    std::vector<double> sum;
+    for (ObjectId member : members) {
+      const auto& point = dataset.Get(member).numeric;
+      if (sum.empty()) sum.assign(point.size(), 0.0);
+      for (size_t d = 0; d < point.size(); ++d) sum[d] += point[d];
+    }
+    for (double& v : sum) v /= static_cast<double>(members.size());
+    centroids[cluster] = std::move(sum);
+  }
+  return centroids;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+NaiveIncremental::NaiveIncremental() : NaiveIncremental(Options{}) {}
+
+NaiveIncremental::NaiveIncremental(Options options) : options_(options) {}
+
+void NaiveIncremental::Process(ClusteringEngine* engine,
+                               const std::vector<ObjectId>& changed) const {
+  if (options_.nearest_centroid) {
+    // k-means style assignment: each changed singleton joins the
+    // *pre-existing* cluster with the nearest centroid. The fresh
+    // singletons themselves are not candidates — otherwise new points
+    // daisy-chain into brand-new clusters and k drifts.
+    std::unordered_set<ObjectId> changed_set(changed.begin(), changed.end());
+    auto centroids = Centroids(*engine);
+    for (auto it = centroids.begin(); it != centroids.end();) {
+      const auto& members = engine->clustering().Members(it->first);
+      bool fresh_singleton =
+          members.size() == 1 && changed_set.count(*members.begin()) > 0;
+      it = fresh_singleton ? centroids.erase(it) : std::next(it);
+    }
+    const Dataset& dataset = engine->graph().dataset();
+    for (ObjectId object : changed) {
+      ClusterId own = engine->clustering().ClusterOf(object);
+      if (own == kInvalidCluster) continue;
+      if (engine->clustering().ClusterSize(own) != 1) continue;
+      const auto& point = dataset.Get(object).numeric;
+      ClusterId best = kInvalidCluster;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (const auto& [cluster, centroid] : centroids) {
+        if (cluster == own) continue;
+        if (!engine->clustering().HasCluster(cluster)) continue;
+        double d = SquaredDistance(point, centroid);
+        if (d < best_distance) {
+          best_distance = d;
+          best = cluster;
+        }
+      }
+      if (best != kInvalidCluster) {
+        // The target keeps its id (and stale centroid — acceptable drift
+        // for a baseline within one batch).
+        engine->Merge(best, own);
+      }
+    }
+    return;
+  }
+  for (ObjectId object : changed) {
+    ClusterId own = engine->clustering().ClusterOf(object);
+    if (own == kInvalidCluster) continue;  // removed meanwhile
+    if (engine->clustering().ClusterSize(own) != 1) continue;  // already out
+
+    // Candidate clusters: those holding a graph neighbor of the object.
+    std::unordered_set<ClusterId> candidates;
+    for (const auto& [other, sim] : engine->graph().Neighbors(object)) {
+      (void)sim;
+      ClusterId cluster = engine->clustering().ClusterOf(other);
+      if (cluster != kInvalidCluster && cluster != own) {
+        candidates.insert(cluster);
+      }
+    }
+    ClusterId best = kInvalidCluster;
+    double best_avg = options_.always_join ? 0.0 : options_.join_threshold;
+    for (ClusterId cluster : candidates) {
+      double avg =
+          engine->stats().SumToCluster(object, cluster) /
+          static_cast<double>(engine->clustering().ClusterSize(cluster));
+      if (avg >= best_avg) {
+        best_avg = avg;
+        best = cluster;
+      }
+    }
+    if (best != kInvalidCluster) {
+      engine->Merge(best, own);
+    }
+  }
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,47 @@
+#ifndef DYNAMICC_BASELINE_NAIVE_H_
+#define DYNAMICC_BASELINE_NAIVE_H_
+
+#include <vector>
+
+#include "cluster/engine.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// The Naive incremental baseline (§7.1): each new/updated object is
+/// compared against existing clusters and joins the most similar one when
+/// the average similarity clears a threshold — otherwise it stays a
+/// singleton. Merge-only: the cluster structure is never revisited, no
+/// objective score is computed. Fast but quality decays as the structure
+/// drifts (Fig. 6, Table 2).
+class NaiveIncremental {
+ public:
+  struct Options {
+    /// Minimum average similarity to join an existing cluster.
+    double join_threshold = 0.3;
+    /// Always join the best cluster regardless of the threshold (used for
+    /// fixed-k tasks like k-means, where a new singleton would violate the
+    /// cluster-count constraint).
+    bool always_join = false;
+    /// Choose the target cluster by nearest centroid over the records'
+    /// numeric vectors instead of by average graph similarity — the
+    /// natural "closest cluster" notion for k-means geometry. Requires
+    /// numeric records.
+    bool nearest_centroid = false;
+  };
+
+  NaiveIncremental();
+  explicit NaiveIncremental(Options options);
+
+  /// Places each changed object (already a singleton after §6.1 initial
+  /// processing) into its closest cluster, if any qualifies.
+  void Process(ClusteringEngine* engine,
+               const std::vector<ObjectId>& changed) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_BASELINE_NAIVE_H_

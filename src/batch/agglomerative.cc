@@ -1,0 +1,83 @@
+#include "batch/agglomerative.h"
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+struct Candidate {
+  double delta;
+  ClusterId a;
+  ClusterId b;
+  uint64_t version_a;
+  uint64_t version_b;
+};
+
+struct WorstFirst {
+  bool operator()(const Candidate& x, const Candidate& y) const {
+    return x.delta > y.delta;  // min-heap on delta
+  }
+};
+
+}  // namespace
+
+GreedyAgglomerative::GreedyAgglomerative(const ObjectiveFunction* objective)
+    : GreedyAgglomerative(objective, Options{}) {}
+
+GreedyAgglomerative::GreedyAgglomerative(const ObjectiveFunction* objective,
+                                         Options options)
+    : objective_(objective), options_(options) {
+  DYNAMICC_CHECK(objective != nullptr);
+}
+
+void GreedyAgglomerative::Run(ClusteringEngine* engine,
+                              EvolutionObserver* observer) {
+  if (options_.from_scratch) engine->InitSingletons();
+
+  std::priority_queue<Candidate, std::vector<Candidate>, WorstFirst> heap;
+  auto push_candidate = [&](ClusterId a, ClusterId b) {
+    if (!engine->clustering().HasCluster(a) ||
+        !engine->clustering().HasCluster(b)) {
+      return;
+    }
+    double delta = objective_->MergeDelta(*engine, a, b);
+    if (delta < -options_.tolerance) {
+      heap.push({delta, a, b, engine->clustering().ClusterVersion(a),
+                 engine->clustering().ClusterVersion(b)});
+    }
+  };
+
+  engine->stats().ForEachInter([&](ClusterId a, ClusterId b, double sum) {
+    (void)sum;
+    push_candidate(a, b);
+  });
+
+  size_t merges = 0;
+  while (!heap.empty() && merges < options_.max_merges) {
+    Candidate top = heap.top();
+    heap.pop();
+    const auto& clustering = engine->clustering();
+    if (!clustering.HasCluster(top.a) || !clustering.HasCluster(top.b)) {
+      continue;
+    }
+    // Stale candidate: membership changed since the delta was computed.
+    if (clustering.ClusterVersion(top.a) != top.version_a ||
+        clustering.ClusterVersion(top.b) != top.version_b) {
+      push_candidate(top.a, top.b);
+      continue;
+    }
+    if (observer != nullptr) observer->OnMerge(*engine, top.a, top.b);
+    ClusterId merged = engine->Merge(top.a, top.b);
+    ++merges;
+    for (ClusterId neighbor : engine->stats().InterNeighbors(merged)) {
+      push_candidate(merged, neighbor);
+    }
+  }
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,42 @@
+#ifndef DYNAMICC_BATCH_AGGLOMERATIVE_H_
+#define DYNAMICC_BATCH_AGGLOMERATIVE_H_
+
+#include "batch/batch_algorithm.h"
+#include "objective/objective.h"
+
+namespace dynamicc {
+
+/// Greedy agglomerative clustering: starting from singletons, repeatedly
+/// applies the objective-improving merge with the best (most negative)
+/// delta until no merge improves. Implemented with a lazy priority queue
+/// validated against cluster versions, so each applied merge costs
+/// O(degree · log E) amortized. With the O(1)-delta correlation objective
+/// this is the fast from-scratch batch stage.
+class GreedyAgglomerative final : public BatchAlgorithm {
+ public:
+  struct Options {
+    /// Stop after this many merges (safety cap).
+    size_t max_merges = 10'000'000;
+    /// Only deltas below -tolerance are applied.
+    double tolerance = 1e-9;
+    /// When false, the engine's current partition is kept as the start
+    /// state instead of resetting to singletons.
+    bool from_scratch = true;
+  };
+
+  explicit GreedyAgglomerative(const ObjectiveFunction* objective);
+  GreedyAgglomerative(const ObjectiveFunction* objective, Options options);
+
+  const char* Name() const override { return "greedy-agglomerative"; }
+
+  using BatchAlgorithm::Run;
+  void Run(ClusteringEngine* engine, EvolutionObserver* observer) override;
+
+ private:
+  const ObjectiveFunction* objective_;
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_BATCH_AGGLOMERATIVE_H_

@@ -1,0 +1,55 @@
+#ifndef DYNAMICC_BATCH_BATCH_ALGORITHM_H_
+#define DYNAMICC_BATCH_BATCH_ALGORITHM_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "cluster/evolution.h"
+
+namespace dynamicc {
+
+/// A batch clustering algorithm: clusters *all* objects currently present in
+/// the engine's similarity graph from scratch (§3.1 B(·)). Implementations
+/// reset the engine to singletons first unless documented otherwise.
+///
+/// `observer` (optional, may be null) receives every merge/split decision
+/// before it is applied — the §4.2 monitoring hook.
+class BatchAlgorithm {
+ public:
+  virtual ~BatchAlgorithm() = default;
+
+  virtual const char* Name() const = 0;
+
+  virtual void Run(ClusteringEngine* engine, EvolutionObserver* observer) = 0;
+
+  /// Convenience overload without monitoring.
+  void Run(ClusteringEngine* engine) { Run(engine, nullptr); }
+};
+
+/// Runs a sequence of stages as one batch algorithm. The first stage runs
+/// from scratch; later stages refine the current partition (they must
+/// support refinement, e.g. HillClimbing with `from_current`). Used to
+/// implement the paper's Hill-climbing batch at tractable cost: a cheap
+/// agglomerative bootstrap followed by hill-climbing refinement.
+class CompositeBatch final : public BatchAlgorithm {
+ public:
+  explicit CompositeBatch(std::vector<BatchAlgorithm*> stages,
+                          const char* name = "composite")
+      : stages_(std::move(stages)), name_(name) {}
+
+  const char* Name() const override { return name_; }
+
+  using BatchAlgorithm::Run;
+  void Run(ClusteringEngine* engine, EvolutionObserver* observer) override {
+    for (BatchAlgorithm* stage : stages_) stage->Run(engine, observer);
+  }
+
+ private:
+  std::vector<BatchAlgorithm*> stages_;
+  const char* name_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_BATCH_BATCH_ALGORITHM_H_

@@ -1,0 +1,134 @@
+#include "batch/dbscan.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+Dbscan::Dbscan(Options options) : options_(options) {
+  DYNAMICC_CHECK_GT(options.min_pts, 0);
+  DYNAMICC_CHECK_GT(options.eps_similarity, 0.0);
+}
+
+bool Dbscan::IsCore(const SimilarityGraph& graph, ObjectId object) const {
+  int count = 0;
+  for (const auto& [other, sim] : graph.Neighbors(object)) {
+    (void)other;
+    if (sim >= options_.eps_similarity) {
+      if (++count >= options_.min_pts) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ObjectId> Dbscan::EpsNeighbors(const SimilarityGraph& graph,
+                                           ObjectId object) const {
+  std::vector<ObjectId> neighbors;
+  for (const auto& [other, sim] : graph.Neighbors(object)) {
+    if (sim >= options_.eps_similarity) neighbors.push_back(other);
+  }
+  return neighbors;
+}
+
+void Dbscan::Run(ClusteringEngine* engine, EvolutionObserver* observer) {
+  (void)observer;  // evolution is derived by diffing rounds (§4.3)
+  const SimilarityGraph& graph = engine->graph();
+
+  Clustering result;
+  std::unordered_set<ObjectId> visited;
+  for (ObjectId seed : graph.Objects()) {
+    if (visited.count(seed) > 0) continue;
+    if (!IsCore(graph, seed)) continue;
+    // Expand a new density-connected cluster from this core point.
+    ClusterId cluster = result.CreateCluster();
+    std::deque<ObjectId> frontier{seed};
+    visited.insert(seed);
+    result.Assign(seed, cluster);
+    while (!frontier.empty()) {
+      ObjectId current = frontier.front();
+      frontier.pop_front();
+      if (!IsCore(graph, current)) continue;  // border: absorbed, no growth
+      for (ObjectId neighbor : EpsNeighbors(graph, current)) {
+        if (visited.count(neighbor) > 0) continue;
+        visited.insert(neighbor);
+        result.Assign(neighbor, cluster);
+        frontier.push_back(neighbor);
+      }
+    }
+  }
+  // Noise and unreached objects become singletons.
+  for (ObjectId object : graph.Objects()) {
+    if (visited.count(object) == 0) result.CreateSingleton(object);
+  }
+  engine->SetClustering(result);
+}
+
+DbscanValidator::DbscanValidator(const Dbscan* dbscan,
+                                 const SimilarityGraph* graph)
+    : dbscan_(dbscan), graph_(graph) {
+  DYNAMICC_CHECK(dbscan != nullptr);
+  DYNAMICC_CHECK(graph != nullptr);
+}
+
+bool DbscanValidator::ReachableFromCore(
+    const ClusteringEngine& engine, ObjectId object, ClusterId cluster,
+    const std::vector<ObjectId>& excluded) const {
+  const auto& members = engine.clustering().Members(cluster);
+  for (const auto& [other, sim] : graph_->Neighbors(object)) {
+    if (sim < dbscan_->options().eps_similarity) continue;
+    if (members.count(other) == 0) continue;
+    if (std::find(excluded.begin(), excluded.end(), other) != excluded.end()) {
+      continue;
+    }
+    if (dbscan_->IsCore(*graph_, other)) return true;
+  }
+  return false;
+}
+
+bool DbscanValidator::MergeImproves(const ClusteringEngine& engine,
+                                    ClusterId a, ClusterId b) const {
+  // Direct density reachability across the boundary: some object of one
+  // side lies within ε of a core point of the other side.
+  const auto& members_a = engine.clustering().Members(a);
+  const auto& members_b = engine.clustering().Members(b);
+  const auto& smaller = members_a.size() <= members_b.size() ? members_a
+                                                             : members_b;
+  ClusterId other_cluster = members_a.size() <= members_b.size() ? b : a;
+  for (ObjectId object : smaller) {
+    if (ReachableFromCore(engine, object, other_cluster, {})) return true;
+    // Also accept the symmetric direction: `object` itself is core and has
+    // an ε-neighbor in the other cluster.
+    if (dbscan_->IsCore(*graph_, object)) {
+      const auto& other_members = engine.clustering().Members(other_cluster);
+      for (ObjectId neighbor : dbscan_->EpsNeighbors(*graph_, object)) {
+        if (other_members.count(neighbor) > 0) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool DbscanValidator::SplitImproves(const ClusteringEngine& engine,
+                                    ClusterId cluster,
+                                    const std::vector<ObjectId>& part) const {
+  // Valid when the part is detached: nothing in it remains within ε of a
+  // core point of the remainder.
+  for (ObjectId object : part) {
+    if (ReachableFromCore(engine, object, cluster, part)) return false;
+  }
+  return true;
+}
+
+bool DbscanValidator::MoveImproves(const ClusteringEngine& engine,
+                                   ObjectId object, ClusterId to) const {
+  ClusterId from = engine.clustering().ClusterOf(object);
+  DYNAMICC_CHECK_NE(from, kInvalidCluster);
+  return !ReachableFromCore(engine, object, from, {object}) &&
+         ReachableFromCore(engine, object, to, {});
+}
+
+}  // namespace dynamicc

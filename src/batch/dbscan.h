@@ -1,0 +1,80 @@
+#ifndef DYNAMICC_BATCH_DBSCAN_H_
+#define DYNAMICC_BATCH_DBSCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "batch/batch_algorithm.h"
+#include "objective/objective.h"
+
+namespace dynamicc {
+
+/// DBSCAN [20] over the similarity graph. The distance threshold ε maps to
+/// a similarity threshold: with any similarity that decreases monotonically
+/// in distance (e.g. the Gaussian Euclidean kernel), `dist ≤ ε` is
+/// equivalent to `sim ≥ eps_similarity`, so ε-neighborhood queries are
+/// similarity-graph neighbor scans. Noise points end up as singleton
+/// clusters (the partition must cover all objects for downstream metrics).
+class Dbscan final : public BatchAlgorithm {
+ public:
+  struct Options {
+    /// Minimum number of ε-neighbors (excluding self) for a core point.
+    int min_pts = 4;
+    /// Similarity threshold equivalent of ε.
+    double eps_similarity = 0.6;
+  };
+
+  explicit Dbscan(Options options);
+
+  const char* Name() const override { return "dbscan"; }
+
+  using BatchAlgorithm::Run;
+  void Run(ClusteringEngine* engine, EvolutionObserver* observer) override;
+
+  /// True if the object has at least min_pts neighbors with
+  /// sim ≥ eps_similarity in the graph.
+  bool IsCore(const SimilarityGraph& graph, ObjectId object) const;
+
+  /// The object's ε-neighbors (sim ≥ eps_similarity).
+  std::vector<ObjectId> EpsNeighbors(const SimilarityGraph& graph,
+                                     ObjectId object) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// Change validator for DynamicC-over-DBSCAN (§7.2.1): DBSCAN has no
+/// objective function, so predicted changes are validated against
+/// core-point stability instead:
+///  - a merge is valid if some core point of one cluster has an ε-neighbor
+///    in the other (direct density reachability across the boundary);
+///  - a split of `part` is valid if no object in `part` is an ε-neighbor of
+///    a core point in the remainder;
+///  - a move combines the two conditions.
+class DbscanValidator final : public ChangeValidator {
+ public:
+  DbscanValidator(const Dbscan* dbscan, const SimilarityGraph* graph);
+
+  bool MergeImproves(const ClusteringEngine& engine, ClusterId a,
+                     ClusterId b) const override;
+  bool SplitImproves(const ClusteringEngine& engine, ClusterId cluster,
+                     const std::vector<ObjectId>& part) const override;
+  bool MoveImproves(const ClusteringEngine& engine, ObjectId object,
+                    ClusterId to) const override;
+
+ private:
+  /// True if `object` is within ε of some core point in `cluster`,
+  /// optionally ignoring the objects in `excluded`.
+  bool ReachableFromCore(const ClusteringEngine& engine, ObjectId object,
+                         ClusterId cluster,
+                         const std::vector<ObjectId>& excluded) const;
+
+  const Dbscan* dbscan_;
+  const SimilarityGraph* graph_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_BATCH_DBSCAN_H_

@@ -1,0 +1,183 @@
+#include "batch/hill_climbing.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+enum class OpKind { kNone, kMerge, kSplit, kMove };
+
+struct BestOp {
+  OpKind kind = OpKind::kNone;
+  double delta = 0.0;
+  ClusterId a = kInvalidCluster;  // merge: first cluster; split: cluster
+  ClusterId b = kInvalidCluster;  // merge: second cluster; move: target
+  ObjectId object = kInvalidObject;  // split/move: the object
+};
+
+/// Ranked pre-candidate with a cheap score; only the top slice gets an
+/// exact delta evaluation.
+template <typename T>
+struct Scored {
+  double score;
+  T payload;
+};
+
+template <typename T>
+void KeepTop(std::vector<Scored<T>>* items, size_t top) {
+  if (top == 0 || items->size() <= top) return;
+  std::partial_sort(items->begin(), items->begin() + top, items->end(),
+                    [](const Scored<T>& x, const Scored<T>& y) {
+                      return x.score > y.score;
+                    });
+  items->resize(top);
+}
+
+/// The member of `cluster` with the lowest similarity sum to the rest — the
+/// split candidate per the paper's weight heuristic (§6.3).
+ObjectId WorstFittingMember(const ClusteringEngine& engine,
+                            ClusterId cluster) {
+  ObjectId worst = kInvalidObject;
+  double worst_weight = std::numeric_limits<double>::infinity();
+  for (ObjectId member : engine.clustering().Members(cluster)) {
+    double weight = engine.stats().SumToCluster(member, cluster);
+    if (weight < worst_weight) {
+      worst_weight = weight;
+      worst = member;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+HillClimbing::HillClimbing(const ObjectiveFunction* objective)
+    : HillClimbing(objective, Options{}) {}
+
+HillClimbing::HillClimbing(const ObjectiveFunction* objective, Options options)
+    : objective_(objective), options_(options) {
+  DYNAMICC_CHECK(objective != nullptr);
+}
+
+void HillClimbing::Run(ClusteringEngine* engine, EvolutionObserver* observer) {
+  if (!options_.from_current) engine->InitSingletons();
+  last_step_count_ = 0;
+
+  for (size_t step = 0; step < options_.max_steps; ++step) {
+    const auto& clustering = engine->clustering();
+    const auto& stats = engine->stats();
+    BestOp best;
+
+    if (options_.allow_merge) {
+      std::vector<Scored<std::pair<ClusterId, ClusterId>>> merge_candidates;
+      stats.ForEachInter([&](ClusterId a, ClusterId b, double sum) {
+        double avg = sum / (static_cast<double>(clustering.ClusterSize(a)) *
+                            static_cast<double>(clustering.ClusterSize(b)));
+        merge_candidates.push_back({avg, {a, b}});
+      });
+      KeepTop(&merge_candidates, options_.prune_top);
+      for (const auto& candidate : merge_candidates) {
+        auto [a, b] = candidate.payload;
+        double delta = objective_->MergeDelta(*engine, a, b);
+        if (delta < best.delta) {
+          best = {OpKind::kMerge, delta, a, b, kInvalidObject};
+        }
+      }
+    }
+
+    if (options_.allow_split) {
+      std::vector<Scored<ClusterId>> split_candidates;
+      for (ClusterId cluster : clustering.ClusterIds()) {
+        if (clustering.ClusterSize(cluster) < 2) continue;
+        // Less cohesive clusters first.
+        split_candidates.push_back(
+            {1.0 - stats.AverageIntraSimilarity(cluster), cluster});
+      }
+      KeepTop(&split_candidates, options_.prune_top);
+      for (const auto& candidate : split_candidates) {
+        ClusterId cluster = candidate.payload;
+        ObjectId object = WorstFittingMember(*engine, cluster);
+        if (object == kInvalidObject) continue;
+        double delta = objective_->SplitDelta(*engine, cluster, {object});
+        if (delta < best.delta) {
+          best = {OpKind::kSplit, delta, cluster, kInvalidCluster, object};
+        }
+      }
+    }
+
+    if (options_.allow_move) {
+      std::vector<Scored<std::pair<ObjectId, ClusterId>>> move_candidates;
+      for (ObjectId object : engine->graph().Objects()) {
+        ClusterId from = clustering.ClusterOf(object);
+        if (from == kInvalidCluster) continue;
+        // Strongest external edge decides the candidate target cluster.
+        ClusterId target = kInvalidCluster;
+        double target_sim = 0.0;
+        for (const auto& [other, sim] : engine->graph().Neighbors(object)) {
+          ClusterId other_cluster = clustering.ClusterOf(other);
+          if (other_cluster == kInvalidCluster || other_cluster == from) {
+            continue;
+          }
+          if (sim > target_sim) {
+            target_sim = sim;
+            target = other_cluster;
+          }
+        }
+        if (target == kInvalidCluster) continue;
+        move_candidates.push_back({target_sim, {object, target}});
+      }
+      KeepTop(&move_candidates, options_.prune_top);
+      for (const auto& candidate : move_candidates) {
+        auto [object, target] = candidate.payload;
+        double delta = objective_->MoveDelta(*engine, object, target);
+        if (delta < best.delta) {
+          best = {OpKind::kMove, delta, kInvalidCluster, target, object};
+        }
+      }
+    }
+
+    if (best.kind == OpKind::kNone || best.delta >= -options_.tolerance) {
+      break;  // local optimum
+    }
+
+    switch (best.kind) {
+      case OpKind::kMerge:
+        if (observer != nullptr) observer->OnMerge(*engine, best.a, best.b);
+        engine->Merge(best.a, best.b);
+        break;
+      case OpKind::kSplit:
+        if (observer != nullptr) {
+          observer->OnSplit(*engine, best.a, {best.object});
+        }
+        engine->SplitOut(best.a, {best.object});
+        break;
+      case OpKind::kMove: {
+        // A move is a split followed by a merge (§4.1); performing it that
+        // way keeps observer callbacks consistent with engine state.
+        ClusterId from = clustering.ClusterOf(best.object);
+        if (clustering.ClusterSize(from) == 1) {
+          if (observer != nullptr) observer->OnMerge(*engine, from, best.b);
+          engine->Merge(from, best.b);
+        } else {
+          if (observer != nullptr) {
+            observer->OnSplit(*engine, from, {best.object});
+          }
+          ClusterId fresh = engine->SplitOut(from, {best.object});
+          if (observer != nullptr) observer->OnMerge(*engine, fresh, best.b);
+          engine->Merge(fresh, best.b);
+        }
+        break;
+      }
+      case OpKind::kNone:
+        break;
+    }
+    ++last_step_count_;
+  }
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,62 @@
+#ifndef DYNAMICC_BATCH_HILL_CLIMBING_H_
+#define DYNAMICC_BATCH_HILL_CLIMBING_H_
+
+#include <cstddef>
+
+#include "batch/batch_algorithm.h"
+#include "objective/objective.h"
+
+namespace dynamicc {
+
+/// Steepest-descent local search over clusterings — the paper's general
+/// batch algorithm for objective-based clustering (§7.1): "examines all
+/// immediate neighbors (potential migrations) and selects the clustering
+/// update providing the highest improvement".
+///
+/// The neighborhood consists of merge (cluster pairs with nonzero inter
+/// similarity), split (worst-fitting single object per cluster), and move
+/// (object to its strongest external neighbor's cluster) operations.
+///
+/// For objectives with expensive deltas (DB-index is O(k+E) per delta) the
+/// full neighborhood is intractable from scratch, so `prune_top` limits the
+/// number of exact delta evaluations per operation family per iteration;
+/// candidates are pre-ranked with O(1) similarity heuristics. Setting
+/// prune_top = 0 evaluates everything (exact steepest descent; fine for
+/// tests and small data).
+class HillClimbing final : public BatchAlgorithm {
+ public:
+  struct Options {
+    /// Refine the engine's current partition instead of restarting from
+    /// singletons. Used as the second stage of CompositeBatch.
+    bool from_current = false;
+    /// Maximum number of applied operations.
+    size_t max_steps = 100000;
+    double tolerance = 1e-9;
+    /// Per-iteration cap on exact delta evaluations per op family
+    /// (0 = no pruning).
+    size_t prune_top = 0;
+    bool allow_merge = true;
+    bool allow_split = true;
+    bool allow_move = true;
+  };
+
+  explicit HillClimbing(const ObjectiveFunction* objective);
+  HillClimbing(const ObjectiveFunction* objective, Options options);
+
+  const char* Name() const override { return "hill-climbing"; }
+
+  using BatchAlgorithm::Run;
+  void Run(ClusteringEngine* engine, EvolutionObserver* observer) override;
+
+  /// Number of operations applied by the last Run (for reports).
+  size_t last_step_count() const { return last_step_count_; }
+
+ private:
+  const ObjectiveFunction* objective_;
+  Options options_;
+  size_t last_step_count_ = 0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_BATCH_HILL_CLIMBING_H_

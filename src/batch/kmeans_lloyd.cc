@@ -1,0 +1,172 @@
+#include "batch/kmeans_lloyd.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansLloyd::KMeansLloyd(Options options) : options_(options) {
+  DYNAMICC_CHECK_GT(options.k, 0);
+  DYNAMICC_CHECK_GT(options.max_iterations, 0);
+}
+
+namespace {
+
+/// One seeded k-means++ + Lloyd run; returns the assignment and its SSE.
+struct LloydResult {
+  std::vector<size_t> assignment;
+  double sse = 0.0;
+};
+
+LloydResult RunLloydOnce(const Dataset& dataset,
+                         const std::vector<ObjectId>& objects, size_t k,
+                         size_t dims, int max_iterations, uint64_t seed) {
+  Rng rng(seed);
+  // --- k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(dataset.Get(objects[rng.Index(objects.size())]).numeric);
+  std::vector<double> min_dist(objects.size(),
+                               std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      double d = SquaredDistance(dataset.Get(objects[i]).numeric,
+                                 centroids.back());
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.Uniform() * total;
+      double cumulative = 0.0;
+      for (size_t i = 0; i < objects.size(); ++i) {
+        cumulative += min_dist[i];
+        if (cumulative >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.Index(objects.size());
+    }
+    centroids.push_back(dataset.Get(objects[chosen]).numeric);
+  }
+
+  // --- Lloyd iterations.
+  std::vector<size_t> assignment(objects.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      const auto& point = dataset.Get(objects[i]).numeric;
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        double d = SquaredDistance(point, centroids[c]);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids; empty clusters re-seed from the farthest point.
+    std::vector<std::vector<double>> sums(centroids.size(),
+                                          std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(centroids.size(), 0);
+    for (size_t i = 0; i < objects.size(); ++i) {
+      const auto& point = dataset.Get(objects[i]).numeric;
+      for (size_t d = 0; d < dims; ++d) sums[assignment[i]][d] += point[d];
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] == 0) {
+        centroids[c] = dataset.Get(objects[rng.Index(objects.size())]).numeric;
+        continue;
+      }
+      for (size_t d = 0; d < dims; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // --- Final SSE of this run.
+  LloydResult run;
+  run.assignment = std::move(assignment);
+  std::vector<std::vector<double>> sums(centroids.size(),
+                                        std::vector<double>(dims, 0.0));
+  std::vector<size_t> counts(centroids.size(), 0);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const auto& point = dataset.Get(objects[i]).numeric;
+    for (size_t d = 0; d < dims; ++d) sums[run.assignment[i]][d] += point[d];
+    ++counts[run.assignment[i]];
+  }
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (size_t d = 0; d < dims; ++d) {
+      centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+  }
+  for (size_t i = 0; i < objects.size(); ++i) {
+    run.sse += SquaredDistance(dataset.Get(objects[i]).numeric,
+                               centroids[run.assignment[i]]);
+  }
+  return run;
+}
+
+}  // namespace
+
+void KMeansLloyd::Run(ClusteringEngine* engine, EvolutionObserver* observer) {
+  (void)observer;  // evolution is derived by diffing rounds (§4.3)
+  const Dataset& dataset = engine->graph().dataset();
+  std::vector<ObjectId> objects = engine->graph().Objects();
+  DYNAMICC_CHECK(!objects.empty());
+  size_t k = std::min<size_t>(static_cast<size_t>(options_.k),
+                              objects.size());
+  size_t dims = dataset.Get(objects.front()).numeric.size();
+  DYNAMICC_CHECK_GT(dims, 0u) << "k-means requires numeric records";
+
+  LloydResult best;
+  best.sse = std::numeric_limits<double>::infinity();
+  int restarts = std::max(options_.restarts, 1);
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    LloydResult run =
+        RunLloydOnce(dataset, objects, k, dims, options_.max_iterations,
+                     options_.seed + static_cast<uint64_t>(attempt) * 7919);
+    if (run.sse < best.sse) best = std::move(run);
+  }
+
+  // --- Materialize the best run into the engine.
+  Clustering result;
+  std::vector<ClusterId> ids(k, kInvalidCluster);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    size_t c = best.assignment[i];
+    if (ids[c] == kInvalidCluster) ids[c] = result.CreateCluster();
+    result.Assign(objects[i], ids[c]);
+  }
+  engine->SetClustering(result);
+}
+
+}  // namespace dynamicc

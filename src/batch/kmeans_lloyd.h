@@ -1,0 +1,40 @@
+#ifndef DYNAMICC_BATCH_KMEANS_LLOYD_H_
+#define DYNAMICC_BATCH_KMEANS_LLOYD_H_
+
+#include <cstdint>
+
+#include "batch/batch_algorithm.h"
+
+namespace dynamicc {
+
+/// Lloyd's algorithm with k-means++ seeding [33, 34] over the numeric
+/// records in the engine's graph. Used as the from-scratch stage of the
+/// k-means batch (optionally refined by HillClimbing on KMeansObjective,
+/// mirroring the paper's "more robust batch algorithm" remark).
+class KMeansLloyd final : public BatchAlgorithm {
+ public:
+  struct Options {
+    int k = 8;
+    int max_iterations = 50;
+    uint64_t seed = 1;
+    /// Independent k-means++ restarts; the lowest-SSE run wins. Lloyd's
+    /// local optima vary a lot on non-spherical data (road curves).
+    int restarts = 3;
+  };
+
+  explicit KMeansLloyd(Options options);
+
+  const char* Name() const override { return "kmeans-lloyd"; }
+
+  using BatchAlgorithm::Run;
+  void Run(ClusteringEngine* engine, EvolutionObserver* observer) override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_BATCH_KMEANS_LLOYD_H_

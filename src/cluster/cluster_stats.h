@@ -1,0 +1,109 @@
+#ifndef DYNAMICC_CLUSTER_CLUSTER_STATS_H_
+#define DYNAMICC_CLUSTER_CLUSTER_STATS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "data/similarity_graph.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Incrementally maintained similarity aggregates per cluster and per
+/// cluster pair:
+///   - intra_sum(C)     = Σ sim(r, r') over unordered pairs inside C,
+///   - inter_sum(C, C') = Σ sim(r, r') over pairs across C and C'.
+/// Only edges present in the SimilarityGraph contribute (non-edges have
+/// similarity 0). These aggregates power both the objective functions
+/// (§3.2) and DynamicC's features (§5.1) in O(1) lookups.
+///
+/// The tracker is informed of membership changes through OnAssign/OnUnassign
+/// (ClusteringEngine wires this up); each notification costs O(degree of the
+/// object in the similarity graph).
+class ClusterStatsTracker {
+ public:
+  /// Both referents must outlive the tracker.
+  ClusterStatsTracker(const Clustering* clustering,
+                      const SimilarityGraph* graph);
+
+  /// Must be called immediately after `object` was assigned to `cluster`.
+  void OnAssign(ObjectId object, ClusterId cluster);
+
+  /// Must be called immediately *before* `object` is unassigned from
+  /// `cluster` (the membership is still in place when this runs).
+  void OnBeforeUnassign(ObjectId object, ClusterId cluster);
+
+  /// Sum of intra-cluster pair similarities of `cluster`.
+  double IntraSum(ClusterId cluster) const;
+
+  /// Sum of cross-pair similarities between two distinct clusters.
+  double InterSum(ClusterId a, ClusterId b) const;
+
+  /// Average pairwise similarity inside the cluster; 1.0 for singletons
+  /// (a lone object is perfectly cohesive). Feature f1 of the paper.
+  double AverageIntraSimilarity(ClusterId cluster) const;
+
+  /// Average cross-pair similarity between two clusters
+  /// (inter_sum / (|a| * |b|)).
+  double AverageInterSimilarity(ClusterId a, ClusterId b) const;
+
+  /// The neighbor cluster with maximal average inter similarity, with that
+  /// value. Returns {kInvalidCluster, 0} when the cluster has no inter
+  /// edges. Features f2/f4 of the paper.
+  struct MaxInter {
+    ClusterId cluster = kInvalidCluster;
+    double average = 0.0;
+  };
+  MaxInter MaxAverageInter(ClusterId cluster) const;
+
+  /// Clusters with nonzero inter similarity to `cluster`.
+  std::vector<ClusterId> InterNeighbors(ClusterId cluster) const;
+
+  /// Invokes `fn(a, b, sum)` once per cluster pair with nonzero inter sum
+  /// (a < b). O(number of such pairs); used to export the full sparse
+  /// inter structure (e.g. for DB-index evaluation).
+  template <typename Fn>
+  void ForEachInter(Fn&& fn) const {
+    // Rows are stored symmetrically; emit each pair once.
+    for (const auto& [a, row] : inter_) {
+      for (const auto& [b, sum] : row) {
+        if (a < b && sum > 1e-9) fn(a, b, sum);
+      }
+    }
+  }
+
+  /// Total sums over the whole clustering (for objective functions):
+  /// Σ_C intra_sum(C) and Σ_{C<C'} inter_sum(C, C').
+  double TotalIntraSum() const { return total_intra_; }
+  double TotalInterSum() const { return total_inter_; }
+
+  /// Sum of similarities between `object` and members of `cluster`
+  /// (computed on the fly in O(min(degree, |cluster|))).
+  double SumToCluster(ObjectId object, ClusterId cluster) const;
+
+  /// Drops all aggregates and recomputes from the current clustering.
+  /// O(edges). Used by tests to validate incremental maintenance and by
+  /// engines after bulk rebuilds.
+  void Rebuild();
+
+  const Clustering& clustering() const { return *clustering_; }
+  const SimilarityGraph& graph() const { return *graph_; }
+
+ private:
+  void AddInter(ClusterId a, ClusterId b, double delta);
+
+  const Clustering* clustering_;
+  const SimilarityGraph* graph_;
+
+  std::unordered_map<ClusterId, double> intra_;
+  /// Inter sums stored symmetrically (inter_[a][b] == inter_[b][a]) so that
+  /// InterNeighbors is O(row size) instead of a scan over all rows.
+  std::unordered_map<ClusterId, std::unordered_map<ClusterId, double>> inter_;
+  double total_intra_ = 0.0;
+  double total_inter_ = 0.0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CLUSTER_CLUSTER_STATS_H_

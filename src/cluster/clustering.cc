@@ -1,0 +1,137 @@
+#include "cluster/clustering.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+uint64_t NextEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+}  // namespace
+
+Clustering::Clustering() : epoch_(NextEpoch()) {}
+
+Clustering::Clustering(const Clustering& other)
+    : next_cluster_id_(other.next_cluster_id_),
+      epoch_(NextEpoch()),
+      version_counter_(other.version_counter_),
+      clusters_(other.clusters_),
+      versions_(other.versions_),
+      assignment_(other.assignment_) {}
+
+Clustering& Clustering::operator=(const Clustering& other) {
+  if (this == &other) return *this;
+  next_cluster_id_ = other.next_cluster_id_;
+  epoch_ = NextEpoch();
+  version_counter_ = other.version_counter_;
+  clusters_ = other.clusters_;
+  versions_ = other.versions_;
+  assignment_ = other.assignment_;
+  return *this;
+}
+
+ClusterId Clustering::CreateCluster() {
+  ClusterId id = next_cluster_id_++;
+  clusters_[id];
+  return id;
+}
+
+ClusterId Clustering::CreateSingleton(ObjectId object) {
+  ClusterId id = CreateCluster();
+  Assign(object, id);
+  return id;
+}
+
+void Clustering::Assign(ObjectId object, ClusterId cluster) {
+  DYNAMICC_CHECK(assignment_.find(object) == assignment_.end())
+      << "object " << object << " already assigned";
+  auto it = clusters_.find(cluster);
+  DYNAMICC_CHECK(it != clusters_.end()) << "no cluster " << cluster;
+  it->second.insert(object);
+  assignment_[object] = cluster;
+  versions_[cluster] = ++version_counter_;
+}
+
+ClusterId Clustering::Unassign(ObjectId object) {
+  auto it = assignment_.find(object);
+  DYNAMICC_CHECK(it != assignment_.end())
+      << "object " << object << " not assigned";
+  ClusterId cluster = it->second;
+  assignment_.erase(it);
+  auto cluster_it = clusters_.find(cluster);
+  cluster_it->second.erase(object);
+  if (cluster_it->second.empty()) {
+    clusters_.erase(cluster_it);
+    versions_.erase(cluster);
+  } else {
+    versions_[cluster] = ++version_counter_;
+  }
+  return cluster;
+}
+
+uint64_t Clustering::ClusterVersion(ClusterId cluster) const {
+  auto it = versions_.find(cluster);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+ClusterId Clustering::ClusterOf(ObjectId object) const {
+  auto it = assignment_.find(object);
+  return it == assignment_.end() ? kInvalidCluster : it->second;
+}
+
+bool Clustering::HasCluster(ClusterId cluster) const {
+  return clusters_.count(cluster) > 0;
+}
+
+const std::unordered_set<ObjectId>& Clustering::Members(
+    ClusterId cluster) const {
+  auto it = clusters_.find(cluster);
+  DYNAMICC_CHECK(it != clusters_.end()) << "no cluster " << cluster;
+  return it->second;
+}
+
+size_t Clustering::ClusterSize(ClusterId cluster) const {
+  return Members(cluster).size();
+}
+
+std::vector<ClusterId> Clustering::ClusterIds() const {
+  std::vector<ClusterId> ids;
+  ids.reserve(clusters_.size());
+  for (const auto& [id, members] : clusters_) {
+    (void)members;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<ObjectId> Clustering::AssignedObjects() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(assignment_.size());
+  for (const auto& [id, cluster] : assignment_) {
+    (void)cluster;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::vector<ObjectId>> Clustering::CanonicalClusters() const {
+  std::vector<std::vector<ObjectId>> out;
+  out.reserve(clusters_.size());
+  for (const auto& [id, members] : clusters_) {
+    (void)id;
+    std::vector<ObjectId> sorted(members.begin(), members.end());
+    std::sort(sorted.begin(), sorted.end());
+    out.push_back(std::move(sorted));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dynamicc

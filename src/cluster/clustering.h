@@ -1,0 +1,83 @@
+#ifndef DYNAMICC_CLUSTER_CLUSTERING_H_
+#define DYNAMICC_CLUSTER_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Partition of a set of objects into clusters. Pure membership structure:
+/// no similarity knowledge lives here (see ClusterStatsTracker for that).
+/// Cluster ids are assigned monotonically and never reused within one
+/// instance. Copyable so callers can snapshot clusterings cheaply.
+class Clustering {
+ public:
+  Clustering();
+  Clustering(const Clustering& other);
+  Clustering& operator=(const Clustering& other);
+
+  /// Creates an empty cluster and returns its id.
+  ClusterId CreateCluster();
+
+  /// Creates a cluster holding exactly `object` (object must be unassigned).
+  ClusterId CreateSingleton(ObjectId object);
+
+  /// Assigns an unassigned object to an existing cluster.
+  void Assign(ObjectId object, ClusterId cluster);
+
+  /// Unassigns the object from its cluster; if the cluster becomes empty it
+  /// is deleted. Returns the cluster the object was in.
+  ClusterId Unassign(ObjectId object);
+
+  /// Cluster of `object`, or kInvalidCluster if unassigned.
+  ClusterId ClusterOf(ObjectId object) const;
+
+  bool HasCluster(ClusterId cluster) const;
+
+  /// Members of a cluster; the cluster must exist.
+  const std::unordered_set<ObjectId>& Members(ClusterId cluster) const;
+
+  size_t ClusterSize(ClusterId cluster) const;
+
+  /// All cluster ids, ascending.
+  std::vector<ClusterId> ClusterIds() const;
+
+  /// All assigned objects, ascending.
+  std::vector<ObjectId> AssignedObjects() const;
+
+  size_t num_clusters() const { return clusters_.size(); }
+  size_t num_objects() const { return assignment_.size(); }
+
+  /// Monotonic per-cluster membership version: bumped every time an object
+  /// enters or leaves the cluster. Lets callers cache derived per-cluster
+  /// values (e.g. centroids) and detect staleness cheaply.
+  uint64_t ClusterVersion(ClusterId cluster) const;
+
+  /// Process-unique instance tag, refreshed on copy construction and copy
+  /// assignment. Caches keyed by (epoch, cluster, version) can never read
+  /// stale values across distinct clusterings, whose ids and versions
+  /// would otherwise collide.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Clusters as sorted member lists, sorted by first member — a canonical
+  /// form independent of cluster ids, used by evaluation and evolution
+  /// diffing.
+  std::vector<std::vector<ObjectId>> CanonicalClusters() const;
+
+ private:
+  ClusterId next_cluster_id_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t version_counter_ = 0;
+  std::unordered_map<ClusterId, std::unordered_set<ObjectId>> clusters_;
+  std::unordered_map<ClusterId, uint64_t> versions_;
+  std::unordered_map<ObjectId, ClusterId> assignment_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CLUSTER_CLUSTERING_H_

@@ -1,0 +1,92 @@
+#include "cluster/engine.h"
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+ClusteringEngine::ClusteringEngine(const SimilarityGraph* graph)
+    : graph_(graph), stats_(&clustering_, graph) {
+  DYNAMICC_CHECK(graph != nullptr);
+}
+
+void ClusteringEngine::AssignTracked(ObjectId object, ClusterId cluster) {
+  clustering_.Assign(object, cluster);
+  stats_.OnAssign(object, cluster);
+}
+
+void ClusteringEngine::UnassignTracked(ObjectId object) {
+  ClusterId cluster = clustering_.ClusterOf(object);
+  DYNAMICC_CHECK_NE(cluster, kInvalidCluster);
+  stats_.OnBeforeUnassign(object, cluster);
+  clustering_.Unassign(object);
+}
+
+ClusterId ClusteringEngine::AddObjectAsSingleton(ObjectId object) {
+  DYNAMICC_CHECK(graph_->Contains(object))
+      << "object " << object << " must be in the similarity graph";
+  ClusterId cluster = clustering_.CreateCluster();
+  AssignTracked(object, cluster);
+  return cluster;
+}
+
+void ClusteringEngine::RemoveObject(ObjectId object) {
+  UnassignTracked(object);
+}
+
+ClusterId ClusteringEngine::Merge(ClusterId a, ClusterId b) {
+  DYNAMICC_CHECK_NE(a, b);
+  DYNAMICC_CHECK(clustering_.HasCluster(a));
+  DYNAMICC_CHECK(clustering_.HasCluster(b));
+  // Move the smaller side to bound the relinking cost.
+  ClusterId keep = a, absorb = b;
+  if (clustering_.ClusterSize(absorb) > clustering_.ClusterSize(keep)) {
+    std::swap(keep, absorb);
+  }
+  std::vector<ObjectId> moved(clustering_.Members(absorb).begin(),
+                              clustering_.Members(absorb).end());
+  for (ObjectId object : moved) {
+    UnassignTracked(object);
+    AssignTracked(object, keep);
+  }
+  return keep;
+}
+
+ClusterId ClusteringEngine::SplitOut(ClusterId cluster,
+                                     const std::vector<ObjectId>& part) {
+  DYNAMICC_CHECK(!part.empty());
+  DYNAMICC_CHECK_LT(part.size(), clustering_.ClusterSize(cluster))
+      << "split must leave the original cluster non-empty";
+  ClusterId fresh = clustering_.CreateCluster();
+  for (ObjectId object : part) {
+    DYNAMICC_CHECK_EQ(clustering_.ClusterOf(object), cluster);
+    UnassignTracked(object);
+    AssignTracked(object, fresh);
+  }
+  return fresh;
+}
+
+void ClusteringEngine::Move(ObjectId object, ClusterId to) {
+  DYNAMICC_CHECK(clustering_.HasCluster(to));
+  DYNAMICC_CHECK_NE(clustering_.ClusterOf(object), to);
+  UnassignTracked(object);
+  AssignTracked(object, to);
+}
+
+void ClusteringEngine::InitSingletons() {
+  Reset();
+  for (ObjectId object : graph_->Objects()) {
+    AddObjectAsSingleton(object);
+  }
+}
+
+void ClusteringEngine::SetClustering(const Clustering& clustering) {
+  clustering_ = clustering;
+  stats_.Rebuild();
+}
+
+void ClusteringEngine::Reset() {
+  clustering_ = Clustering();
+  stats_.Rebuild();
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,83 @@
+#ifndef DYNAMICC_CLUSTER_ENGINE_H_
+#define DYNAMICC_CLUSTER_ENGINE_H_
+
+#include <vector>
+
+#include "cluster/cluster_stats.h"
+#include "cluster/clustering.h"
+#include "data/similarity_graph.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Owns a Clustering plus its ClusterStatsTracker and keeps the two
+/// consistent across every mutation. All clustering algorithms (batch,
+/// baselines, DynamicC) mutate the partition exclusively through this
+/// engine, so similarity aggregates are always valid.
+class ClusteringEngine {
+ public:
+  /// The graph must outlive the engine.
+  explicit ClusteringEngine(const SimilarityGraph* graph);
+
+  ClusteringEngine(const ClusteringEngine&) = delete;
+  ClusteringEngine& operator=(const ClusteringEngine&) = delete;
+
+  // ------------------------------------------------------ object lifecycle
+
+  /// Places a (graph-registered) object into a fresh singleton cluster.
+  /// This is the initial processing for Add operations (§6.1).
+  ClusterId AddObjectAsSingleton(ObjectId object);
+
+  /// Removes the object from its cluster (Remove operation, §6.1). The
+  /// object must still be present in the similarity graph when this is
+  /// called so that aggregates can be decremented.
+  void RemoveObject(ObjectId object);
+
+  // ------------------------------------------------------- structural ops
+
+  /// Merges cluster `b` into cluster `a` (or the other way around when `b`
+  /// is larger; the smaller side is moved). Returns the surviving cluster.
+  ClusterId Merge(ClusterId a, ClusterId b);
+
+  /// Moves `part` (a strict, non-empty subset of `cluster`'s members) into
+  /// a new cluster; returns the new cluster's id.
+  ClusterId SplitOut(ClusterId cluster, const std::vector<ObjectId>& part);
+
+  /// Moves one object into an existing target cluster.
+  void Move(ObjectId object, ClusterId to);
+
+  // --------------------------------------------------------- bulk control
+
+  /// Clears the partition and puts every graph object in its own cluster
+  /// (the initial clustering for batch runs from scratch, §4.2).
+  void InitSingletons();
+
+  /// Replaces the partition with a copy of `clustering` and rebuilds the
+  /// aggregates. Used to adopt a previous round's result (GreedySet /
+  /// DynamicSet scenarios, §7.1).
+  void SetClustering(const Clustering& clustering);
+
+  /// Removes everything.
+  void Reset();
+
+  // -------------------------------------------------------------- access
+
+  const Clustering& clustering() const { return clustering_; }
+  const ClusterStatsTracker& stats() const { return stats_; }
+  const SimilarityGraph& graph() const { return *graph_; }
+
+  /// Copy of the current partition (cheap snapshot for scenario replays).
+  Clustering Snapshot() const { return clustering_; }
+
+ private:
+  void AssignTracked(ObjectId object, ClusterId cluster);
+  void UnassignTracked(ObjectId object);
+
+  const SimilarityGraph* graph_;
+  Clustering clustering_;
+  ClusterStatsTracker stats_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CLUSTER_ENGINE_H_

@@ -1,0 +1,62 @@
+#include "cluster/evolution.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/engine.h"
+
+namespace dynamicc {
+
+namespace {
+std::string MemberList(const std::vector<ObjectId>& members) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) os << ",";
+    os << members[i];
+  }
+  os << "}";
+  return os.str();
+}
+}  // namespace
+
+std::string EvolutionStep::ToString() const {
+  std::ostringstream os;
+  os << (kind == Kind::kMerge ? "merge " : "split ") << MemberList(left)
+     << " | " << MemberList(right);
+  return os.str();
+}
+
+void RecordingObserver::OnMerge(const ClusteringEngine& engine, ClusterId a,
+                                ClusterId b) {
+  EvolutionStep step;
+  step.kind = EvolutionStep::Kind::kMerge;
+  const auto& ma = engine.clustering().Members(a);
+  const auto& mb = engine.clustering().Members(b);
+  step.left.assign(ma.begin(), ma.end());
+  step.right.assign(mb.begin(), mb.end());
+  std::sort(step.left.begin(), step.left.end());
+  std::sort(step.right.begin(), step.right.end());
+  steps_.push_back(std::move(step));
+}
+
+void RecordingObserver::OnSplit(const ClusteringEngine& engine,
+                                ClusterId cluster,
+                                const std::vector<ObjectId>& part) {
+  EvolutionStep step;
+  step.kind = EvolutionStep::Kind::kSplit;
+  step.left = part;
+  std::sort(step.left.begin(), step.left.end());
+  std::vector<ObjectId> rest;
+  for (ObjectId member : engine.clustering().Members(cluster)) {
+    if (std::find(step.left.begin(), step.left.end(), member) ==
+        step.left.end()) {
+      rest.push_back(member);
+    }
+  }
+  std::sort(rest.begin(), rest.end());
+  step.right = std::move(rest);
+  steps_.push_back(std::move(step));
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,71 @@
+#ifndef DYNAMICC_CLUSTER_EVOLUTION_H_
+#define DYNAMICC_CLUSTER_EVOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace dynamicc {
+
+class ClusteringEngine;
+
+/// One cluster-evolution operation (§4.1). Merge and split involving exactly
+/// two clusters are sufficient to express every evolution: n-way merges are
+/// chains of 2-way merges, and moves decompose into a split plus a merge.
+struct EvolutionStep {
+  enum class Kind { kMerge, kSplit };
+
+  Kind kind = Kind::kMerge;
+
+  /// kMerge: `left` and `right` are the member lists of the two clusters
+  /// that merge (result = union).
+  /// kSplit: `left` and `right` are the member lists of the two parts the
+  /// source cluster (their union) splits into.
+  std::vector<ObjectId> left;
+  std::vector<ObjectId> right;
+
+  /// Human-readable description ("merge {1,2} + {3}" / "split ...").
+  std::string ToString() const;
+};
+
+/// An ordered list of evolution steps (one batch round's history, §4.2, or
+/// one cross-round transformation, §4.3).
+using EvolutionList = std::vector<EvolutionStep>;
+
+/// Observer through which a batch algorithm exposes its clustering
+/// decisions while running (§4.2 "monitoring"). Callbacks fire *before* the
+/// change is applied, so implementations can read pre-change cluster state
+/// (feature extraction needs exactly that).
+class EvolutionObserver {
+ public:
+  virtual ~EvolutionObserver() = default;
+
+  /// Clusters `a` and `b` are about to merge.
+  virtual void OnMerge(const ClusteringEngine& engine, ClusterId a,
+                       ClusterId b) = 0;
+
+  /// `part` is about to be split out of `cluster` into a new cluster.
+  virtual void OnSplit(const ClusteringEngine& engine, ClusterId cluster,
+                       const std::vector<ObjectId>& part) = 0;
+};
+
+/// Observer that records the raw steps (member lists) as they happen.
+/// Useful in tests and for §4.2 from-scratch histories.
+class RecordingObserver final : public EvolutionObserver {
+ public:
+  void OnMerge(const ClusteringEngine& engine, ClusterId a,
+               ClusterId b) override;
+  void OnSplit(const ClusteringEngine& engine, ClusterId cluster,
+               const std::vector<ObjectId>& part) override;
+
+  const EvolutionList& steps() const { return steps_; }
+  void Clear() { steps_.clear(); }
+
+ private:
+  EvolutionList steps_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CLUSTER_EVOLUTION_H_

@@ -1,0 +1,45 @@
+#include "cluster/serialization.h"
+
+#include <sstream>
+#include <string>
+
+namespace dynamicc {
+
+Status SaveClustering(const Clustering& clustering, std::ostream& os) {
+  for (const auto& members : clustering.CanonicalClusters()) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) os << " ";
+      os << members[i];
+    }
+    os << "\n";
+  }
+  if (!os.good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status LoadClustering(std::istream& is, Clustering* clustering) {
+  Clustering fresh;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    ClusterId cluster = fresh.CreateCluster();
+    ObjectId object = 0;
+    size_t members = 0;
+    while (fields >> object) {
+      if (fresh.ClusterOf(object) != kInvalidCluster) {
+        return Status::InvalidArgument("object " + std::to_string(object) +
+                                       " appears in two clusters");
+      }
+      fresh.Assign(object, cluster);
+      ++members;
+    }
+    if (members == 0) {
+      return Status::InvalidArgument("malformed cluster line: " + line);
+    }
+  }
+  *clustering = std::move(fresh);
+  return Status::Ok();
+}
+
+}  // namespace dynamicc

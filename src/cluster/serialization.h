@@ -1,0 +1,23 @@
+#ifndef DYNAMICC_CLUSTER_SERIALIZATION_H_
+#define DYNAMICC_CLUSTER_SERIALIZATION_H_
+
+#include <istream>
+#include <ostream>
+
+#include "cluster/clustering.h"
+#include "util/status.h"
+
+namespace dynamicc {
+
+/// Writes the partition in a line-oriented text format: one cluster per
+/// line, members as space-separated object ids. Canonical (sorted), so
+/// equal clusterings serialize identically.
+Status SaveClustering(const Clustering& clustering, std::ostream& os);
+
+/// Reads a partition saved by SaveClustering into `clustering` (which is
+/// replaced). Objects may not repeat across lines.
+Status LoadClustering(std::istream& is, Clustering* clustering);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CLUSTER_SERIALIZATION_H_

@@ -1,0 +1,52 @@
+#include "core/dynamicc.h"
+
+namespace dynamicc {
+
+DynamicC::DynamicC(const BinaryClassifier* merge_model,
+                   const BinaryClassifier* split_model,
+                   const ChangeValidator* validator)
+    : DynamicC(merge_model, split_model, validator, DynamicCOptions{}) {}
+
+DynamicC::DynamicC(const BinaryClassifier* merge_model,
+                   const BinaryClassifier* split_model,
+                   const ChangeValidator* validator, DynamicCOptions options)
+    : merge_(merge_model, validator, options.merge),
+      split_(split_model, validator, options.split),
+      max_iterations_(options.max_iterations) {}
+
+void DynamicC::SetThetas(double merge_theta, double split_theta) {
+  merge_theta_ = merge_theta;
+  split_theta_ = split_theta;
+}
+
+ReclusterReport DynamicC::Recluster(ClusteringEngine* engine,
+                                    SampleSet* merge_feedback,
+                                    SampleSet* split_feedback,
+                                    EvolutionObserver* observer) const {
+  ReclusterReport report;
+  // Rejected verifications are memoized across the merge/split iterations
+  // of this call: an unchanged cluster (same version) is not re-verified.
+  VerificationMemo memo;
+  bool change = true;  // line 3
+  while (change && report.iterations < max_iterations_) {
+    change = false;
+    // Line 5: merge first — new objects arrive as singletons and are far
+    // more likely to join clusters than to split anything (§6.2).
+    PassStats merge_stats =
+        merge_.Run(engine, merge_theta_, merge_feedback, observer, &memo);
+    PassStats split_stats =
+        split_.Run(engine, split_theta_, split_feedback, observer, &memo);
+    change = merge_stats.changed || split_stats.changed;
+    report.merges_applied += merge_stats.applied;
+    report.splits_applied += split_stats.applied;
+    report.merge_predicted += merge_stats.predicted;
+    report.split_predicted += split_stats.predicted;
+    report.rejected += merge_stats.rejected + split_stats.rejected;
+    report.probability_evaluations += merge_stats.probability_evaluations +
+                                      split_stats.probability_evaluations;
+    ++report.iterations;
+  }
+  return report;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,73 @@
+#ifndef DYNAMICC_CORE_DYNAMICC_H_
+#define DYNAMICC_CORE_DYNAMICC_H_
+
+#include <cstddef>
+
+#include "cluster/engine.h"
+#include "core/merge_algorithm.h"
+#include "core/split_algorithm.h"
+#include "ml/model.h"
+#include "objective/objective.h"
+
+namespace dynamicc {
+
+/// Configuration of the full DynamicC algorithm (Algorithm 3).
+struct DynamicCOptions {
+  MergeAlgorithm::Options merge;
+  SplitAlgorithm::Options split;
+  /// Safety cap on merge/split alternations (the algorithm provably
+  /// converges because every applied change improves the objective, §6.4,
+  /// but a cap guards against validator pathologies).
+  size_t max_iterations = 25;
+};
+
+/// Counters describing one Recluster call.
+struct ReclusterReport {
+  size_t iterations = 0;
+  size_t merges_applied = 0;
+  size_t splits_applied = 0;
+  size_t merge_predicted = 0;
+  size_t split_predicted = 0;
+  size_t rejected = 0;
+  size_t probability_evaluations = 0;
+};
+
+/// Algorithm 3 — full DynamicC. Alternates the Merge and Split algorithms
+/// until neither changes the clustering. Callers apply the §6.1 initial
+/// processing (new/updated objects as singletons) before invoking
+/// Recluster; ClusteringEngine + DynamicCSession handle that.
+class DynamicC {
+ public:
+  DynamicC(const BinaryClassifier* merge_model,
+           const BinaryClassifier* split_model,
+           const ChangeValidator* validator);
+  DynamicC(const BinaryClassifier* merge_model,
+           const BinaryClassifier* split_model,
+           const ChangeValidator* validator, DynamicCOptions options);
+
+  /// Sets the decision thresholds (from EvolutionTrainer::Fit or manual
+  /// trade-off tuning, §5.4).
+  void SetThetas(double merge_theta, double split_theta);
+
+  double merge_theta() const { return merge_theta_; }
+  double split_theta() const { return split_theta_; }
+
+  /// Runs merge/split alternation to a fixpoint. Optional feedback sets
+  /// collect labelled outcomes for continuous retraining; the optional
+  /// observer sees applied changes.
+  ReclusterReport Recluster(ClusteringEngine* engine,
+                            SampleSet* merge_feedback = nullptr,
+                            SampleSet* split_feedback = nullptr,
+                            EvolutionObserver* observer = nullptr) const;
+
+ private:
+  MergeAlgorithm merge_;
+  SplitAlgorithm split_;
+  double merge_theta_ = 0.5;
+  double split_theta_ = 0.5;
+  size_t max_iterations_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CORE_DYNAMICC_H_

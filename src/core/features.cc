@@ -1,0 +1,65 @@
+#include "core/features.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+std::vector<double> MergeFeatures(const ClusteringEngine& engine,
+                                  ClusterId cluster) {
+  const auto& stats = engine.stats();
+  auto max_inter = stats.MaxAverageInter(cluster);
+  double partner_size =
+      max_inter.cluster == kInvalidCluster
+          ? 1.0
+          : static_cast<double>(
+                engine.clustering().ClusterSize(max_inter.cluster));
+  return {stats.AverageIntraSimilarity(cluster), max_inter.average,
+          static_cast<double>(engine.clustering().ClusterSize(cluster)),
+          partner_size};
+}
+
+std::vector<double> SplitFeatures(const ClusteringEngine& engine,
+                                  ClusterId cluster) {
+  const auto& stats = engine.stats();
+  return {stats.AverageIntraSimilarity(cluster),
+          stats.MaxAverageInter(cluster).average,
+          static_cast<double>(engine.clustering().ClusterSize(cluster))};
+}
+
+std::vector<double> MergedClusterFeatures(const ClusteringEngine& engine,
+                                          ClusterId a, ClusterId b) {
+  DYNAMICC_CHECK_NE(a, b);
+  const auto& clustering = engine.clustering();
+  const auto& stats = engine.stats();
+  double size_a = static_cast<double>(clustering.ClusterSize(a));
+  double size_b = static_cast<double>(clustering.ClusterSize(b));
+  double merged_size = size_a + size_b;
+
+  // f1: combined intra sum = intra(a) + intra(b) + inter(a, b).
+  double intra_sum =
+      stats.IntraSum(a) + stats.IntraSum(b) + stats.InterSum(a, b);
+  double pairs = 0.5 * merged_size * (merged_size - 1.0);
+  double avg_intra = pairs > 0.0 ? intra_sum / pairs : 1.0;
+
+  // f2/f4: the merged cluster's inter rows are the sums of both rows.
+  double best_avg = 0.0;
+  double best_size = 1.0;
+  auto consider = [&](ClusterId other) {
+    if (other == a || other == b) return;
+    double sum = stats.InterSum(a, other) + stats.InterSum(b, other);
+    double other_size = static_cast<double>(clustering.ClusterSize(other));
+    double avg = sum / (merged_size * other_size);
+    if (avg > best_avg) {
+      best_avg = avg;
+      best_size = other_size;
+    }
+  };
+  for (ClusterId other : stats.InterNeighbors(a)) consider(other);
+  for (ClusterId other : stats.InterNeighbors(b)) consider(other);
+
+  return {avg_intra, best_avg, merged_size, best_size};
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,38 @@
+#ifndef DYNAMICC_CORE_FEATURES_H_
+#define DYNAMICC_CORE_FEATURES_H_
+
+#include <vector>
+
+#include "cluster/engine.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Number of features of the Merge model: (f1) average intra similarity,
+/// (f2) maximal average inter similarity, (f3) cluster size, (f4) size of
+/// the cluster attaining f2 (§5.2).
+inline constexpr size_t kMergeFeatureCount = 4;
+
+/// Number of features of the Split model: f1..f3 only (a split involves one
+/// cluster, §5.2).
+inline constexpr size_t kSplitFeatureCount = 3;
+
+/// Extracts the Merge-model feature vector (f1, f2, f3, f4) of `cluster`
+/// from the engine's current state. When the cluster has no inter
+/// neighbors, f2 = 0 and f4 = 1 (a hypothetical empty partner).
+std::vector<double> MergeFeatures(const ClusteringEngine& engine,
+                                  ClusterId cluster);
+
+/// Extracts the Split-model feature vector (f1, f2, f3) of `cluster`.
+std::vector<double> SplitFeatures(const ClusteringEngine& engine,
+                                  ClusterId cluster);
+
+/// Merge-model features of the *hypothetical* cluster that would result
+/// from merging `a` and `b` — used by Algorithm 1 to pick the partner that
+/// minimizes P(C_new = 1) (§6.2) without mutating the engine.
+std::vector<double> MergedClusterFeatures(const ClusteringEngine& engine,
+                                          ClusterId a, ClusterId b);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CORE_FEATURES_H_

@@ -1,0 +1,148 @@
+#include "core/merge_algorithm.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/features.h"
+#include "util/logging.h"
+
+namespace dynamicc {
+
+MergeAlgorithm::MergeAlgorithm(const BinaryClassifier* model,
+                               const ChangeValidator* validator)
+    : MergeAlgorithm(model, validator, Options{}) {}
+
+MergeAlgorithm::MergeAlgorithm(const BinaryClassifier* model,
+                               const ChangeValidator* validator,
+                               Options options)
+    : model_(model), validator_(validator), options_(options) {
+  DYNAMICC_CHECK(model != nullptr);
+  DYNAMICC_CHECK(validator != nullptr);
+}
+
+PassStats MergeAlgorithm::Run(ClusteringEngine* engine, double theta,
+                              SampleSet* feedback,
+                              EvolutionObserver* observer,
+                              VerificationMemo* memo) const {
+  PassStats stats;
+  // No evolution of this kind observed yet: predict nothing rather than
+  // guess (the model gets fitted once the trainer sees merge steps).
+  if (!model_->is_fitted()) return stats;
+
+  const Clustering& clustering = engine->clustering();
+
+  // Line 2: Cl_merge <- clusters predicted 1 by the merge model.
+  std::vector<std::pair<double, ClusterId>> flagged_ranked;
+  std::unordered_set<ClusterId> flagged;
+  for (ClusterId cluster : clustering.ClusterIds()) {
+    double p = model_->PredictProbability(MergeFeatures(*engine, cluster));
+    ++stats.probability_evaluations;
+    if (p >= theta) {
+      flagged_ranked.emplace_back(p, cluster);
+      flagged.insert(cluster);
+    }
+  }
+  stats.predicted = flagged.size();
+  if (options_.order_by_probability) {
+    std::sort(flagged_ranked.begin(), flagged_ranked.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+  }
+  std::deque<ClusterId> queue;
+  for (const auto& [p, cluster] : flagged_ranked) {
+    (void)p;
+    queue.push_back(cluster);
+  }
+
+  // Lines 3-13: process until Cl_merge is empty.
+  while (!queue.empty()) {
+    ClusterId cluster = queue.front();
+    queue.pop_front();
+    if (flagged.count(cluster) == 0) continue;  // consumed by an earlier merge
+    flagged.erase(cluster);
+    if (!clustering.HasCluster(cluster)) continue;
+
+    // Select the partner minimizing P(C_new = 1): the merge producing the
+    // most stable cluster (§6.2).
+    std::vector<ClusterId> partners =
+        engine->stats().InterNeighbors(cluster);
+    if (options_.restrict_partners_to_predicted) {
+      std::vector<ClusterId> restricted = partners;
+      restricted.erase(std::remove_if(restricted.begin(), restricted.end(),
+                                      [&flagged](ClusterId c) {
+                                        return flagged.count(c) == 0;
+                                      }),
+                       restricted.end());
+      if (!restricted.empty() || !options_.fallback_to_all_partners) {
+        partners = std::move(restricted);
+      }
+    }
+    if (options_.max_partner_checks > 0 &&
+        partners.size() > options_.max_partner_checks) {
+      // Keep the strongest neighbors by average inter similarity.
+      std::partial_sort(
+          partners.begin(), partners.begin() + options_.max_partner_checks,
+          partners.end(), [&](ClusterId x, ClusterId y) {
+            return engine->stats().AverageInterSimilarity(cluster, x) >
+                   engine->stats().AverageInterSimilarity(cluster, y);
+          });
+      partners.resize(options_.max_partner_checks);
+    }
+
+    // Rank partners: by the objective's merge delta when a cheap-delta
+    // objective is configured, otherwise by P(C_new = 1) ascending — the
+    // merge producing the most stable cluster first (§6.2).
+    std::vector<std::pair<double, ClusterId>> ranked;
+    ranked.reserve(partners.size());
+    for (ClusterId partner : partners) {
+      double score;
+      if (options_.partner_ranking_objective != nullptr) {
+        score = options_.partner_ranking_objective->MergeDelta(*engine,
+                                                               cluster,
+                                                               partner);
+      } else {
+        score = model_->PredictProbability(
+            MergedClusterFeatures(*engine, cluster, partner));
+        ++stats.probability_evaluations;
+      }
+      ranked.emplace_back(score, partner);
+    }
+    if (ranked.empty()) continue;  // line 11: drop C
+    std::sort(ranked.begin(), ranked.end());
+
+    // Line 5: verify with the objective before applying (§5.4). A small
+    // budget of runner-up partners is tried when the argmin fails.
+    bool merged = false;
+    size_t budget = std::max<size_t>(options_.verification_budget, 1);
+    for (size_t i = 0; i < ranked.size() && i < budget; ++i) {
+      ClusterId partner = ranked[i].second;
+      uint64_t memo_key = MemoKey(cluster, clustering.ClusterVersion(cluster),
+                                  partner,
+                                  clustering.ClusterVersion(partner));
+      if (memo != nullptr && memo->count(memo_key) > 0) continue;
+      if (validator_->MergeImproves(*engine, cluster, partner)) {
+        if (feedback != nullptr) {
+          feedback->push_back({MergeFeatures(*engine, cluster), 1, 1.0});
+          feedback->push_back({MergeFeatures(*engine, partner), 1, 1.0});
+        }
+        if (observer != nullptr) observer->OnMerge(*engine, cluster, partner);
+        engine->Merge(cluster, partner);
+        flagged.erase(partner);
+        stats.changed = true;
+        ++stats.applied;
+        merged = true;
+        break;
+      }
+      ++stats.rejected;
+      if (memo != nullptr) memo->insert(memo_key);
+    }
+    if (!merged && feedback != nullptr) {
+      feedback->push_back({MergeFeatures(*engine, cluster), 0, 1.0});
+    }
+  }
+  return stats;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,60 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+
+bool IsActiveCluster(const ClusteringEngine& engine, ClusterId cluster) {
+  return !engine.stats().InterNeighbors(cluster).empty();
+}
+
+std::vector<ClusterId> SampleNegativeClusters(
+    const ClusteringEngine& engine,
+    const std::unordered_set<ObjectId>& involved_objects, size_t count,
+    const NegativeSamplingOptions& options) {
+  DYNAMICC_CHECK_GT(options.active_weight, 0.0);
+  DYNAMICC_CHECK_GT(options.inactive_weight, 0.0);
+
+  // Candidates: clusters untouched by this round's evolution.
+  std::vector<ClusterId> candidates;
+  std::vector<double> weights;
+  for (ClusterId cluster : engine.clustering().ClusterIds()) {
+    bool touched = false;
+    for (ObjectId member : engine.clustering().Members(cluster)) {
+      if (involved_objects.count(member) > 0) {
+        touched = true;
+        break;
+      }
+    }
+    if (touched) continue;
+    candidates.push_back(cluster);
+    weights.push_back(IsActiveCluster(engine, cluster)
+                          ? options.active_weight
+                          : options.inactive_weight);
+  }
+
+  // Weighted sampling without replacement (Efraimidis–Spirakis keys:
+  // u^(1/w) ranks draws by weight; we take the `count` largest keys).
+  Rng rng(options.seed);
+  std::vector<std::pair<double, ClusterId>> keyed;
+  keyed.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double u = rng.Uniform();
+    if (u <= 0.0) u = 1e-12;
+    keyed.emplace_back(std::pow(u, 1.0 / weights[i]), candidates[i]);
+  }
+  size_t take = std::min(count, keyed.size());
+  std::partial_sort(
+      keyed.begin(), keyed.begin() + take, keyed.end(),
+      [](const auto& x, const auto& y) { return x.first > y.first; });
+  std::vector<ClusterId> chosen;
+  chosen.reserve(take);
+  for (size_t i = 0; i < take; ++i) chosen.push_back(keyed[i].second);
+  return chosen;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,38 @@
+#ifndef DYNAMICC_CORE_SAMPLING_H_
+#define DYNAMICC_CORE_SAMPLING_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "data/types.h"
+#include "ml/sample.h"
+
+namespace dynamicc {
+
+/// Negative-sampling configuration (§5.3). "Active" clusters — clusters
+/// with at least one inter-cluster similarity edge, i.e. involved in a
+/// multi-cluster connected component — are weighted higher because the
+/// batch algorithm inspects them more often.
+struct NegativeSamplingOptions {
+  double active_weight = 0.7;
+  double inactive_weight = 0.3;
+  uint64_t seed = 42;
+};
+
+/// Draws up to `count` negative clusters (weighted, without replacement)
+/// from the engine's clusters whose members are disjoint from
+/// `involved_objects` (objects that took part in any evolution step this
+/// round). Returns the chosen cluster ids.
+std::vector<ClusterId> SampleNegativeClusters(
+    const ClusteringEngine& engine,
+    const std::unordered_set<ObjectId>& involved_objects, size_t count,
+    const NegativeSamplingOptions& options);
+
+/// True if the cluster has at least one inter-similarity neighbor.
+bool IsActiveCluster(const ClusteringEngine& engine, ClusterId cluster);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CORE_SAMPLING_H_

@@ -1,0 +1,175 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/transform.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dynamicc {
+
+DynamicCSession::DynamicCSession(Dataset* dataset, SimilarityGraph* graph,
+                                 BatchAlgorithm* batch,
+                                 const ChangeValidator* validator,
+                                 std::unique_ptr<BinaryClassifier> merge_model,
+                                 std::unique_ptr<BinaryClassifier> split_model,
+                                 Options options)
+    : dataset_(dataset),
+      graph_(graph),
+      batch_(batch),
+      merge_model_(std::move(merge_model)),
+      split_model_(std::move(split_model)),
+      options_(options),
+      engine_(graph),
+      trainer_(options.trainer),
+      dynamicc_(merge_model_.get(), split_model_.get(), validator,
+                options.dynamicc) {
+  DYNAMICC_CHECK(dataset != nullptr);
+  DYNAMICC_CHECK(graph != nullptr);
+  DYNAMICC_CHECK(batch != nullptr);
+  DYNAMICC_CHECK(merge_model_ != nullptr);
+  DYNAMICC_CHECK(split_model_ != nullptr);
+}
+
+std::vector<ObjectId> DynamicCSession::ApplyOperations(
+    const OperationBatch& operations) {
+  std::vector<ObjectId> changed;
+  for (const DataOperation& op : operations) {
+    switch (op.kind) {
+      case DataOperation::Kind::kAdd: {
+        ObjectId id = dataset_->Add(op.record);
+        graph_->AddObject(id);
+        engine_.AddObjectAsSingleton(id);
+        changed.push_back(id);
+        break;
+      }
+      case DataOperation::Kind::kRemove: {
+        engine_.RemoveObject(op.target);
+        graph_->RemoveObject(op.target);
+        dataset_->Remove(op.target);
+        break;
+      }
+      case DataOperation::Kind::kUpdate: {
+        // §6.1: an update is remove + add-as-new-singleton with a stable id.
+        Record old_record = dataset_->Get(op.target);
+        engine_.RemoveObject(op.target);
+        dataset_->Update(op.target, op.record);
+        graph_->UpdateObject(op.target, old_record);
+        engine_.AddObjectAsSingleton(op.target);
+        changed.push_back(op.target);
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+DynamicCSession::TrainReport DynamicCSession::ObserveBatchRound(
+    const std::vector<ObjectId>& changed) {
+  TrainReport report;
+  Timer timer;
+
+  // Reference batch run on a scratch engine over the same graph.
+  ClusteringEngine batch_engine(graph_);
+  batch_->Run(&batch_engine, nullptr);
+  report.batch_ms = timer.ElapsedMillis();
+
+  // §4.3: derive the cross-round steps old -> batch result.
+  timer.Reset();
+  EvolutionList steps =
+      DeriveTransformation(engine_.clustering().CanonicalClusters(),
+                           batch_engine.clustering().CanonicalClusters(),
+                           changed);
+  report.derive_ms = timer.ElapsedMillis();
+  report.step_count = steps.size();
+
+  // Replay through the trainer; the engine ends at the batch clustering.
+  timer.Reset();
+  trainer_.AccumulateRound(&engine_, steps);
+  DYNAMICC_CHECK(engine_.clustering().CanonicalClusters() ==
+                 batch_engine.clustering().CanonicalClusters())
+      << "transformation replay must reproduce the batch clustering";
+
+  EvolutionTrainer::FitReport fit =
+      trainer_.Fit(merge_model_.get(), split_model_.get(),
+                   options_.threshold);
+  report.fit_ms = timer.ElapsedMillis();
+  report.merge_theta = fit.merge_theta;
+  report.split_theta = fit.split_theta;
+  // A workload may not have produced split evolution yet; the merge model
+  // alone is enough to start serving (unfitted models predict nothing).
+  if (fit.merge_fitted || fit.split_fitted) {
+    dynamicc_.SetThetas(fit.merge_theta, fit.split_theta);
+    trained_ = true;
+  }
+  return report;
+}
+
+DynamicCSession::DynamicReport DynamicCSession::DynamicRound(
+    const std::vector<ObjectId>& changed) {
+  DYNAMICC_CHECK(trained_)
+      << "DynamicRound requires at least one ObserveBatchRound with "
+         "evolution steps";
+  DynamicReport report;
+
+  // Long-run accuracy baseline (§1): occasionally serve with the batch
+  // algorithm, which also refreshes the evolution history and the models.
+  if (options_.observe_every > 0 &&
+      ++rounds_since_observe_ >= options_.observe_every) {
+    rounds_since_observe_ = 0;
+    TrainReport observe = ObserveBatchRound(changed);
+    report.recluster_ms = observe.batch_ms + observe.derive_ms;
+    report.retrain_ms = observe.fit_ms;
+    report.used_batch = true;
+    return report;
+  }
+
+  Timer timer;
+  SampleSet merge_feedback, split_feedback;
+  report.detail =
+      dynamicc_.Recluster(&engine_, &merge_feedback, &split_feedback);
+  report.recluster_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  if (options_.retrain_every > 0) {
+    // Feedback hygiene: only *erroneous* predictions (validator
+    // rejections) are fed back, as negatives, and only a bounded slice of
+    // them — flooding the training set with near-duplicate negatives
+    // erodes class separability. Applied changes are NOT fed back as
+    // positives: they were chosen by the model, so learning from them
+    // would be self-confirming.
+    auto rejections_only = [](const SampleSet& samples) {
+      size_t budget = 16;
+      SampleSet kept;
+      for (const Sample& sample : samples) {
+        if (sample.label == 0 && budget > 0) {
+          kept.push_back(sample);
+          --budget;
+        }
+      }
+      return kept;
+    };
+    SampleSet merge_rejections = rejections_only(merge_feedback);
+    SampleSet split_rejections = rejections_only(split_feedback);
+    trainer_.AddMergeFeedback(merge_rejections);
+    trainer_.AddSplitFeedback(split_rejections);
+    pending_feedback_ += merge_rejections.size() + split_rejections.size();
+    if (++rounds_since_retrain_ >= options_.retrain_every &&
+        pending_feedback_ > 0) {
+      // Nothing new to learn => skip the refit (retraining cost counts
+      // toward latency, so pointless refits would distort measurements).
+      rounds_since_retrain_ = 0;
+      pending_feedback_ = 0;
+      EvolutionTrainer::FitReport fit = trainer_.Fit(
+          merge_model_.get(), split_model_.get(), options_.threshold);
+      if (fit.merge_fitted || fit.split_fitted) {
+        dynamicc_.SetThetas(fit.merge_theta, fit.split_theta);
+      }
+    }
+  }
+  report.retrain_ms = timer.ElapsedMillis();
+  return report;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,125 @@
+#ifndef DYNAMICC_CORE_SESSION_H_
+#define DYNAMICC_CORE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "batch/batch_algorithm.h"
+#include "cluster/engine.h"
+#include "core/dynamicc.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/operations.h"
+#include "data/similarity_graph.h"
+#include "ml/model.h"
+#include "ml/threshold.h"
+
+namespace dynamicc {
+
+/// Facade wiring the whole DynamicC lifecycle together: apply data
+/// operations (§6.1 initial processing), observe batch rounds to build the
+/// evolution history and train models (§4, §5), then serve dynamic rounds
+/// with Algorithm 3 plus continuous feedback retraining.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   DynamicCSession session(&dataset, &graph, &batch, &validator,
+///                           std::make_unique<LogisticRegression>(),
+///                           std::make_unique<LogisticRegression>(), {});
+///   session.ApplyOperations(initial_adds);
+///   session.ObserveBatchRound();                 // training round(s)
+///   for (const auto& snapshot : schedule) {
+///     session.ApplyOperations(snapshot);
+///     session.DynamicRound();                    // fast path
+///   }
+class DynamicCSession {
+ public:
+  struct Options {
+    EvolutionTrainer::Options trainer;
+    ThresholdPolicy threshold;
+    DynamicCOptions dynamicc;
+    /// Refit models from accumulated samples + feedback every N dynamic
+    /// rounds (0 disables continuous retraining).
+    int retrain_every = 1;
+    /// Re-run the batch algorithm (a full ObserveBatchRound) every N
+    /// dynamic rounds, "to establish a baseline for accuracy" as the paper
+    /// suggests for long-running deployments (§1/§5). 0 = never; the pure
+    /// dynamic mode the evaluation measures.
+    int observe_every = 0;
+  };
+
+  /// All raw pointers must outlive the session. The validator decides
+  /// whether predicted changes are applied (objective-backed or DBSCAN
+  /// core-stability).
+  DynamicCSession(Dataset* dataset, SimilarityGraph* graph,
+                  BatchAlgorithm* batch, const ChangeValidator* validator,
+                  std::unique_ptr<BinaryClassifier> merge_model,
+                  std::unique_ptr<BinaryClassifier> split_model,
+                  Options options);
+
+  /// Applies one snapshot of operations to dataset + graph + engine,
+  /// following §6.1 (adds become singletons; updates are remove+add with a
+  /// stable id). Returns the ids of added/updated objects ("changed
+  /// objects" for §4.3).
+  std::vector<ObjectId> ApplyOperations(const OperationBatch& operations);
+
+  struct TrainReport {
+    double batch_ms = 0.0;
+    double derive_ms = 0.0;
+    double fit_ms = 0.0;
+    size_t step_count = 0;
+    double merge_theta = 0.5;
+    double split_theta = 0.5;
+  };
+
+  /// Runs the underlying batch algorithm from scratch (on a scratch
+  /// engine), derives the evolution steps from the session engine's
+  /// current clustering to the batch result (§4.3), replays them through
+  /// the trainer (harvesting samples), fits the models, and leaves the
+  /// engine at the batch clustering. `changed` is the output of the
+  /// preceding ApplyOperations.
+  TrainReport ObserveBatchRound(const std::vector<ObjectId>& changed);
+
+  struct DynamicReport {
+    double recluster_ms = 0.0;
+    double retrain_ms = 0.0;
+    /// True when this round was served by the batch algorithm because of
+    /// the observe_every cadence (recluster_ms then covers the batch run).
+    bool used_batch = false;
+    ReclusterReport detail;
+  };
+
+  /// Runs Algorithm 3 on the engine; harvests verification feedback and
+  /// retrains per the configured cadence. The reported latency covers both
+  /// re-clustering and retraining, like the paper's measurements (§7.1).
+  /// `changed` (optional) is this round's added/updated objects — only
+  /// needed when the observe_every cadence triggers a batch round.
+  DynamicReport DynamicRound(const std::vector<ObjectId>& changed = {});
+
+  ClusteringEngine& engine() { return engine_; }
+  const ClusteringEngine& engine() const { return engine_; }
+  const EvolutionTrainer& trainer() const { return trainer_; }
+  const BinaryClassifier& merge_model() const { return *merge_model_; }
+  const BinaryClassifier& split_model() const { return *split_model_; }
+  DynamicC& dynamicc() { return dynamicc_; }
+  bool is_trained() const { return trained_; }
+
+ private:
+  Dataset* dataset_;
+  SimilarityGraph* graph_;
+  BatchAlgorithm* batch_;
+  std::unique_ptr<BinaryClassifier> merge_model_;
+  std::unique_ptr<BinaryClassifier> split_model_;
+  Options options_;
+  ClusteringEngine engine_;
+  EvolutionTrainer trainer_;
+  DynamicC dynamicc_;
+  bool trained_ = false;
+  int rounds_since_retrain_ = 0;
+  int rounds_since_observe_ = 0;
+  size_t pending_feedback_ = 0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CORE_SESSION_H_

@@ -1,0 +1,128 @@
+#include "core/split_algorithm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/features.h"
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+/// Target cluster for split-as-move: the cluster holding the strongest
+/// external neighbor of `object`.
+ClusterId BestExternalCluster(const ClusteringEngine& engine,
+                              ObjectId object) {
+  ClusterId from = engine.clustering().ClusterOf(object);
+  ClusterId best = kInvalidCluster;
+  double best_sim = 0.0;
+  for (const auto& [other, sim] : engine.graph().Neighbors(object)) {
+    ClusterId cluster = engine.clustering().ClusterOf(other);
+    if (cluster == kInvalidCluster || cluster == from) continue;
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = cluster;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SplitAlgorithm::SplitAlgorithm(const BinaryClassifier* model,
+                               const ChangeValidator* validator)
+    : SplitAlgorithm(model, validator, Options{}) {}
+
+SplitAlgorithm::SplitAlgorithm(const BinaryClassifier* model,
+                               const ChangeValidator* validator,
+                               Options options)
+    : model_(model), validator_(validator), options_(options) {
+  DYNAMICC_CHECK(model != nullptr);
+  DYNAMICC_CHECK(validator != nullptr);
+}
+
+PassStats SplitAlgorithm::Run(ClusteringEngine* engine, double theta,
+                              SampleSet* feedback,
+                              EvolutionObserver* observer,
+                              VerificationMemo* memo) const {
+  PassStats stats;
+  // No split evolution observed yet: predict nothing rather than guess.
+  if (!model_->is_fitted()) return stats;
+
+  // Line 2: Cl_split <- clusters predicted 1 by the split model.
+  std::vector<ClusterId> flagged;
+  for (ClusterId cluster : engine->clustering().ClusterIds()) {
+    if (engine->clustering().ClusterSize(cluster) < 2) continue;
+    double p = model_->PredictProbability(SplitFeatures(*engine, cluster));
+    ++stats.probability_evaluations;
+    if (p >= theta) flagged.push_back(cluster);
+  }
+  stats.predicted = flagged.size();
+
+  // Lines 3-13.
+  for (ClusterId cluster : flagged) {
+    if (!engine->clustering().HasCluster(cluster)) continue;
+    if (engine->clustering().ClusterSize(cluster) < 2) continue;
+    uint64_t memo_key =
+        MemoKey(cluster, engine->clustering().ClusterVersion(cluster));
+    if (memo != nullptr && memo->count(memo_key) > 0) continue;
+
+    // Pre-change features: feedback must reflect what the model saw.
+    std::vector<double> pre_features = SplitFeatures(*engine, cluster);
+
+    // Step 1: rank members by weight = similarity to the rest (§6.3).
+    std::vector<std::pair<double, ObjectId>> ranked;
+    for (ObjectId member : engine->clustering().Members(cluster)) {
+      ranked.emplace_back(engine->stats().SumToCluster(member, cluster),
+                          member);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    if (!options_.most_different_first) {
+      std::reverse(ranked.begin(), ranked.end());
+    }
+    if (ranked.size() > options_.max_candidates) {
+      ranked.resize(options_.max_candidates);
+    }
+
+    // Step 2: first candidate whose removal verifiably improves wins.
+    bool split_done = false;
+    for (const auto& [weight, object] : ranked) {
+      (void)weight;
+      if (options_.split_as_move) {
+        ClusterId target = BestExternalCluster(*engine, object);
+        if (target == kInvalidCluster) continue;
+        if (validator_->MoveImproves(*engine, object, target)) {
+          // A move is split + merge (§4.1).
+          if (observer != nullptr) {
+            observer->OnSplit(*engine, cluster, {object});
+          }
+          engine->Move(object, target);
+          split_done = true;
+        }
+      } else if (validator_->SplitImproves(*engine, cluster, {object})) {
+        if (observer != nullptr) {
+          observer->OnSplit(*engine, cluster, {object});
+        }
+        // Step 3: C' = {r}; one object per pass (§6.3).
+        engine->SplitOut(cluster, {object});
+        split_done = true;
+      }
+      if (split_done) break;
+    }
+
+    if (split_done) {
+      stats.changed = true;
+      ++stats.applied;
+    } else {
+      ++stats.rejected;
+      if (memo != nullptr) memo->insert(memo_key);
+    }
+    if (feedback != nullptr) {
+      feedback->push_back({std::move(pre_features), split_done ? 1 : 0, 1.0});
+    }
+  }
+  return stats;
+}
+
+}  // namespace dynamicc

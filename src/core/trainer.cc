@@ -1,0 +1,109 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/features.h"
+#include "util/logging.h"
+
+namespace dynamicc {
+
+EvolutionTrainer::EvolutionTrainer() : EvolutionTrainer(Options{}) {}
+
+EvolutionTrainer::EvolutionTrainer(Options options) : options_(options) {}
+
+void EvolutionTrainer::AccumulateRound(ClusteringEngine* engine,
+                                       const EvolutionList& steps) {
+  ++round_counter_;
+  std::unordered_set<ObjectId> involved;
+  size_t merge_positives = 0;
+  size_t split_positives = 0;
+
+  for (const EvolutionStep& step : steps) {
+    for (ObjectId object : step.left) involved.insert(object);
+    for (ObjectId object : step.right) involved.insert(object);
+    const auto& clustering = engine->clustering();
+    if (step.kind == EvolutionStep::Kind::kMerge) {
+      ClusterId a = clustering.ClusterOf(step.left.front());
+      ClusterId b = clustering.ClusterOf(step.right.front());
+      DYNAMICC_CHECK_NE(a, kInvalidCluster);
+      DYNAMICC_CHECK_NE(b, kInvalidCluster);
+      DYNAMICC_CHECK_NE(a, b) << "merge step objects already co-clustered";
+      // Both participating clusters are positive merge examples (§5.2).
+      merge_samples_.push_back({MergeFeatures(*engine, a), 1, 1.0});
+      merge_samples_.push_back({MergeFeatures(*engine, b), 1, 1.0});
+      merge_positives += 2;
+      engine->Merge(a, b);
+    } else {
+      ClusterId cluster = clustering.ClusterOf(step.left.front());
+      DYNAMICC_CHECK_NE(cluster, kInvalidCluster);
+      split_samples_.push_back({SplitFeatures(*engine, cluster), 1, 1.0});
+      ++split_positives;
+      // Split out the smaller side; the remainder keeps the cluster id.
+      const auto& part =
+          step.left.size() <= step.right.size() ? step.left : step.right;
+      DYNAMICC_CHECK_LT(part.size(),
+                        engine->clustering().ClusterSize(cluster));
+      engine->SplitOut(cluster, part);
+    }
+  }
+
+  // Negative samples from untouched clusters, matched 1:1 with positives
+  // (§5.3), drawn independently for the two models.
+  NegativeSamplingOptions merge_sampling = options_.sampling;
+  merge_sampling.seed = options_.sampling.seed + 2 * round_counter_;
+  for (ClusterId cluster : SampleNegativeClusters(*engine, involved,
+                                                  merge_positives,
+                                                  merge_sampling)) {
+    merge_samples_.push_back({MergeFeatures(*engine, cluster), 0, 1.0});
+  }
+  NegativeSamplingOptions split_sampling = options_.sampling;
+  split_sampling.seed = options_.sampling.seed + 2 * round_counter_ + 1;
+  for (ClusterId cluster : SampleNegativeClusters(*engine, involved,
+                                                  split_positives,
+                                                  split_sampling)) {
+    split_samples_.push_back({SplitFeatures(*engine, cluster), 0, 1.0});
+  }
+
+  Trim(&merge_samples_);
+  Trim(&split_samples_);
+}
+
+void EvolutionTrainer::AddMergeFeedback(const SampleSet& samples) {
+  merge_samples_.insert(merge_samples_.end(), samples.begin(), samples.end());
+  Trim(&merge_samples_);
+}
+
+void EvolutionTrainer::AddSplitFeedback(const SampleSet& samples) {
+  split_samples_.insert(split_samples_.end(), samples.begin(), samples.end());
+  Trim(&split_samples_);
+}
+
+void EvolutionTrainer::Trim(SampleSet* samples) {
+  if (samples->size() <= options_.max_samples) return;
+  samples->erase(samples->begin(),
+                 samples->begin() + (samples->size() - options_.max_samples));
+}
+
+EvolutionTrainer::FitReport EvolutionTrainer::Fit(
+    BinaryClassifier* merge_model, BinaryClassifier* split_model,
+    const ThresholdPolicy& policy) const {
+  FitReport report;
+  report.merge_sample_count = merge_samples_.size();
+  report.split_sample_count = split_samples_.size();
+  if (merge_model != nullptr && !merge_samples_.empty()) {
+    merge_model->Fit(merge_samples_);
+    report.merge_theta =
+        SelectRecallFirstThreshold(*merge_model, merge_samples_, policy);
+    report.merge_fitted = true;
+  }
+  if (split_model != nullptr && !split_samples_.empty()) {
+    split_model->Fit(split_samples_);
+    report.split_theta =
+        SelectRecallFirstThreshold(*split_model, split_samples_, policy);
+    report.split_fitted = true;
+  }
+  return report;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,74 @@
+#ifndef DYNAMICC_CORE_TRAINER_H_
+#define DYNAMICC_CORE_TRAINER_H_
+
+#include <cstddef>
+
+#include "cluster/engine.h"
+#include "cluster/evolution.h"
+#include "core/sampling.h"
+#include "ml/model.h"
+#include "ml/sample.h"
+#include "ml/threshold.h"
+
+namespace dynamicc {
+
+/// Builds the Merge/Split training sets from cluster-evolution history
+/// (§5.2–5.3) and fits the models with recall-first thresholds (§5.4).
+///
+/// For each observed round, AccumulateRound *replays* the evolution steps
+/// on the engine: positive samples are extracted from the pre-step cluster
+/// state (exactly what the model will see at prediction time), then
+/// negative samples are drawn from untouched clusters with active-cluster
+/// weighting. After the replay the engine holds the round's final (batch)
+/// clustering.
+class EvolutionTrainer {
+ public:
+  struct Options {
+    NegativeSamplingOptions sampling;
+    /// Oldest samples are evicted beyond this bound — "we remove those old
+    /// samples when the size of training data becomes too large" (§5.3).
+    size_t max_samples = 20000;
+  };
+
+  EvolutionTrainer();
+  explicit EvolutionTrainer(Options options);
+
+  /// Replays one round of evolution steps, harvesting samples. The engine
+  /// must hold the pre-round clustering; it ends at the post-round one.
+  void AccumulateRound(ClusteringEngine* engine, const EvolutionList& steps);
+
+  /// Online feedback from the dynamic phase: verified predictions become
+  /// positives, rejected ones negatives ("observing the erroneous
+  /// predictions during operation", §1/§5).
+  void AddMergeFeedback(const SampleSet& samples);
+  void AddSplitFeedback(const SampleSet& samples);
+
+  const SampleSet& merge_samples() const { return merge_samples_; }
+  const SampleSet& split_samples() const { return split_samples_; }
+
+  struct FitReport {
+    double merge_theta = 0.5;
+    double split_theta = 0.5;
+    size_t merge_sample_count = 0;
+    size_t split_sample_count = 0;
+    bool merge_fitted = false;
+    bool split_fitted = false;
+  };
+
+  /// Fits both models on the accumulated samples and selects the
+  /// recall-first thresholds. Either model may be skipped (nullptr).
+  FitReport Fit(BinaryClassifier* merge_model, BinaryClassifier* split_model,
+                const ThresholdPolicy& policy) const;
+
+ private:
+  void Trim(SampleSet* samples);
+
+  Options options_;
+  SampleSet merge_samples_;
+  SampleSet split_samples_;
+  uint64_t round_counter_ = 0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CORE_TRAINER_H_

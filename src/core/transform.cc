@@ -1,0 +1,197 @@
+#include "core/transform.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+using MemberList = std::vector<ObjectId>;
+
+MemberList Sorted(MemberList v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Mutable partition with object -> group lookup.
+class WorkingPartition {
+ public:
+  explicit WorkingPartition(const std::vector<MemberList>& clusters) {
+    for (const MemberList& members : clusters) {
+      size_t group = groups_.size();
+      groups_.push_back({members.begin(), members.end()});
+      for (ObjectId object : members) owner_[object] = group;
+    }
+  }
+
+  size_t GroupOf(ObjectId object) const {
+    auto it = owner_.find(object);
+    DYNAMICC_CHECK(it != owner_.end()) << "object " << object
+                                       << " missing from old clustering";
+    return it->second;
+  }
+
+  const std::unordered_set<ObjectId>& Members(size_t group) const {
+    return groups_[group];
+  }
+
+  /// Splits `part` out of `group` into a new group; returns the new index.
+  size_t Split(size_t group, const MemberList& part) {
+    size_t fresh = groups_.size();
+    groups_.emplace_back();
+    for (ObjectId object : part) {
+      DYNAMICC_CHECK_EQ(owner_.at(object), group);
+      groups_[group].erase(object);
+      groups_[fresh].insert(object);
+      owner_[object] = fresh;
+    }
+    return fresh;
+  }
+
+  /// Merges group `b` into group `a`.
+  void Merge(size_t a, size_t b) {
+    DYNAMICC_CHECK_NE(a, b);
+    for (ObjectId object : groups_[b]) {
+      owner_[object] = a;
+      groups_[a].insert(object);
+    }
+    groups_[b].clear();
+  }
+
+ private:
+  std::vector<std::unordered_set<ObjectId>> groups_;
+  std::unordered_map<ObjectId, size_t> owner_;
+};
+
+MemberList ToSortedList(const std::unordered_set<ObjectId>& set) {
+  MemberList out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Emits the steps that make target cluster `target` exist in `partition`.
+void RealizeTarget(WorkingPartition* partition, const MemberList& target,
+                   EvolutionList* steps) {
+  std::unordered_set<ObjectId> target_set(target.begin(), target.end());
+
+  // Distinct old groups overlapping the target.
+  std::vector<size_t> overlapping;
+  {
+    std::unordered_set<size_t> seen;
+    for (ObjectId object : target) {
+      size_t group = partition->GroupOf(object);
+      if (seen.insert(group).second) overlapping.push_back(group);
+    }
+  }
+
+  // Phase-2 splits: partially-overlapping groups are cut along the target
+  // boundary; fully-contained groups are left alone ("split into c' and ∅").
+  std::vector<size_t> parts;
+  for (size_t group : overlapping) {
+    MemberList inside, outside;
+    for (ObjectId object : partition->Members(group)) {
+      (target_set.count(object) > 0 ? inside : outside).push_back(object);
+    }
+    if (outside.empty()) {
+      parts.push_back(group);
+      continue;
+    }
+    EvolutionStep step;
+    step.kind = EvolutionStep::Kind::kSplit;
+    step.left = Sorted(inside);
+    step.right = Sorted(outside);
+    steps->push_back(step);
+    parts.push_back(partition->Split(group, step.left));
+  }
+
+  // Merge the intersection pieces one by one: n - 1 merge steps.
+  for (size_t i = 1; i < parts.size(); ++i) {
+    EvolutionStep step;
+    step.kind = EvolutionStep::Kind::kMerge;
+    step.left = ToSortedList(partition->Members(parts[0]));
+    step.right = ToSortedList(partition->Members(parts[i]));
+    steps->push_back(step);
+    partition->Merge(parts[0], parts[i]);
+  }
+}
+
+}  // namespace
+
+EvolutionList DeriveTransformation(
+    const std::vector<std::vector<ObjectId>>& old_clusters,
+    const std::vector<std::vector<ObjectId>>& new_clusters,
+    const std::vector<ObjectId>& changed_objects) {
+  WorkingPartition partition(old_clusters);
+  std::unordered_set<ObjectId> changed(changed_objects.begin(),
+                                       changed_objects.end());
+
+  EvolutionList steps;
+  // Phase 1: target clusters touching this round's changed objects first.
+  std::vector<const MemberList*> deferred;
+  for (const MemberList& target : new_clusters) {
+    bool touches_change = std::any_of(
+        target.begin(), target.end(),
+        [&changed](ObjectId object) { return changed.count(object) > 0; });
+    if (touches_change) {
+      RealizeTarget(&partition, target, &steps);
+    } else {
+      deferred.push_back(&target);
+    }
+  }
+  // Phase 2: the remaining (old-object-only) clusters.
+  for (const MemberList* target : deferred) {
+    RealizeTarget(&partition, *target, &steps);
+  }
+  return steps;
+}
+
+std::vector<std::vector<ObjectId>> ApplySteps(
+    const std::vector<std::vector<ObjectId>>& clusters,
+    const EvolutionList& steps) {
+  // Represent the partition as sets keyed by their smallest member through
+  // a WorkingPartition-like replay.
+  std::vector<std::unordered_set<ObjectId>> groups;
+  std::unordered_map<ObjectId, size_t> owner;
+  for (const auto& members : clusters) {
+    size_t group = groups.size();
+    groups.push_back({members.begin(), members.end()});
+    for (ObjectId object : members) owner[object] = group;
+  }
+  for (const EvolutionStep& step : steps) {
+    if (step.kind == EvolutionStep::Kind::kMerge) {
+      size_t a = owner.at(step.left.front());
+      size_t b = owner.at(step.right.front());
+      DYNAMICC_CHECK_NE(a, b) << "merge of objects already together";
+      for (ObjectId object : groups[b]) {
+        owner[object] = a;
+        groups[a].insert(object);
+      }
+      groups[b].clear();
+    } else {
+      size_t group = owner.at(step.left.front());
+      size_t fresh = groups.size();
+      groups.emplace_back();
+      for (ObjectId object : step.left) {
+        DYNAMICC_CHECK_EQ(owner.at(object), group);
+        groups[group].erase(object);
+        groups[fresh].insert(object);
+        owner[object] = fresh;
+      }
+    }
+  }
+  std::vector<std::vector<ObjectId>> out;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    std::vector<ObjectId> members(group.begin(), group.end());
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dynamicc

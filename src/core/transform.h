@@ -1,0 +1,41 @@
+#ifndef DYNAMICC_CORE_TRANSFORM_H_
+#define DYNAMICC_CORE_TRANSFORM_H_
+
+#include <vector>
+
+#include "cluster/evolution.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Derives a short list of merge/split steps that transforms `old_clusters`
+/// into `new_clusters` — the §4.3 cross-round evolution representation.
+///
+/// Both inputs must partition the same object set. `old_clusters` is the
+/// *adjusted* previous clustering: removed objects already dropped, and
+/// added/updated objects present as singletons (the §6.1 initial
+/// processing). `changed_objects` are this round's added/updated objects;
+/// target clusters containing them are processed first (Phase 1), then the
+/// remaining differing clusters (Phase 2). Per the paper, step order
+/// between unrelated clusters is not semantically meaningful — the trainer
+/// only observes steps independently.
+///
+/// The construction follows §4.3 exactly: for each target cluster c, every
+/// old cluster c' that partially overlaps c is split into c' ∩ c and
+/// c' − (c' ∩ c) (fully contained clusters are not split — "c' is split
+/// into c' and ∅"), after which the n intersection clusters are merged one
+/// by one, yielding n − 1 merge steps.
+EvolutionList DeriveTransformation(
+    const std::vector<std::vector<ObjectId>>& old_clusters,
+    const std::vector<std::vector<ObjectId>>& new_clusters,
+    const std::vector<ObjectId>& changed_objects);
+
+/// Applies `steps` to a partition represented as member lists (test/debug
+/// helper): returns the partition after all merges/splits.
+std::vector<std::vector<ObjectId>> ApplySteps(
+    const std::vector<std::vector<ObjectId>>& clusters,
+    const EvolutionList& steps);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_CORE_TRANSFORM_H_

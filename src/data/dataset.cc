@@ -1,0 +1,50 @@
+#include "data/dataset.h"
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+ObjectId Dataset::Add(Record record) {
+  ObjectId id = static_cast<ObjectId>(records_.size());
+  record.id = id;
+  records_.push_back(std::move(record));
+  alive_.push_back(true);
+  ++alive_count_;
+  return id;
+}
+
+void Dataset::Remove(ObjectId id) {
+  DYNAMICC_CHECK_LT(id, records_.size());
+  DYNAMICC_CHECK(alive_[id]) << "removing dead object " << id;
+  alive_[id] = false;
+  --alive_count_;
+}
+
+void Dataset::Update(ObjectId id, Record record) {
+  DYNAMICC_CHECK_LT(id, records_.size());
+  DYNAMICC_CHECK(alive_[id]) << "updating dead object " << id;
+  record.id = id;
+  // Preserve the entity label unless the update supplies one explicitly.
+  if (record.entity == 0) record.entity = records_[id].entity;
+  records_[id] = std::move(record);
+}
+
+const Record& Dataset::Get(ObjectId id) const {
+  DYNAMICC_CHECK_LT(id, records_.size());
+  return records_[id];
+}
+
+bool Dataset::IsAlive(ObjectId id) const {
+  return id < alive_.size() && alive_[id];
+}
+
+std::vector<ObjectId> Dataset::AliveIds() const {
+  std::vector<ObjectId> ids;
+  ids.reserve(alive_count_);
+  for (ObjectId id = 0; id < records_.size(); ++id) {
+    if (alive_[id]) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace dynamicc

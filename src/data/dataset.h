@@ -1,0 +1,50 @@
+#ifndef DYNAMICC_DATA_DATASET_H_
+#define DYNAMICC_DATA_DATASET_H_
+
+#include <vector>
+
+#include "data/record.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Dynamic collection of records. Objects are added, removed, and updated
+/// continuously (the paper's §3.1 operation model); ids are assigned on Add
+/// and never reused, so removed slots stay tombstoned.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Adds a record and returns its assigned id.
+  ObjectId Add(Record record);
+
+  /// Removes the record; it must currently be alive.
+  void Remove(ObjectId id);
+
+  /// Replaces the record's content in place (same id). The record must be
+  /// alive. Per §6.1 an update behaves like remove+add for clustering, but
+  /// the dataset keeps the identity stable.
+  void Update(ObjectId id, Record record);
+
+  /// Accessor; the record must be alive (or have been alive: tombstoned
+  /// records remain readable for evaluation until overwritten).
+  const Record& Get(ObjectId id) const;
+
+  bool IsAlive(ObjectId id) const;
+
+  /// All currently alive ids, ascending.
+  std::vector<ObjectId> AliveIds() const;
+
+  size_t alive_count() const { return alive_count_; }
+  /// Total ids ever assigned (== one past the largest id).
+  size_t total_count() const { return records_.size(); }
+
+ private:
+  std::vector<Record> records_;
+  std::vector<bool> alive_;
+  size_t alive_count_ = 0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_DATASET_H_

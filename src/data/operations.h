@@ -1,0 +1,31 @@
+#ifndef DYNAMICC_DATA_OPERATIONS_H_
+#define DYNAMICC_DATA_OPERATIONS_H_
+
+#include <vector>
+
+#include "data/record.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// One database operation of the dynamic workload (§3.1).
+struct DataOperation {
+  enum class Kind { kAdd, kRemove, kUpdate };
+
+  Kind kind = Kind::kAdd;
+
+  /// kAdd / kUpdate: the (new) record content. For kAdd the id is assigned
+  /// by the Dataset on application.
+  Record record;
+
+  /// kRemove / kUpdate: the target object.
+  ObjectId target = kInvalidObject;
+};
+
+/// A batch of operations applied between two re-clustering rounds
+/// ("snapshot" in the paper's evaluation, §7.2).
+using OperationBatch = std::vector<DataOperation>;
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_OPERATIONS_H_

@@ -1,0 +1,27 @@
+#include "data/record.h"
+
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace dynamicc {
+
+std::string DescribeRecord(const Record& record) {
+  std::ostringstream os;
+  os << "Record{id=" << record.id << ", entity=" << record.entity;
+  if (!record.text.empty()) os << ", text=\"" << record.text << "\"";
+  if (!record.tokens.empty())
+    os << ", tokens=[" << JoinStrings(record.tokens, " ") << "]";
+  if (!record.numeric.empty()) {
+    os << ", numeric=(";
+    for (size_t i = 0; i < record.numeric.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << record.numeric[i];
+    }
+    os << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,37 @@
+#ifndef DYNAMICC_DATA_RECORD_H_
+#define DYNAMICC_DATA_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// A database object. A record carries up to three representations so that
+/// one type serves every workload in the paper:
+///  - `tokens`  : token set for Jaccard similarity (Cora-like, Febrl),
+///  - `text`    : raw string for trigram-cosine / Levenshtein similarity
+///                (MusicBrainz-like, Febrl),
+///  - `numeric` : feature vector for Euclidean-derived similarity
+///                (Access-like, Road-like).
+/// Unused representations are simply left empty.
+struct Record {
+  /// Stable id; kInvalidObject until the record is added to a Dataset.
+  ObjectId id = kInvalidObject;
+
+  /// Ground-truth entity id from the generator (used by evaluation and by
+  /// workload replay; the algorithms themselves never read it).
+  uint32_t entity = 0;
+
+  std::vector<std::string> tokens;
+  std::string text;
+  std::vector<double> numeric;
+};
+
+/// Returns a short human-readable description (for logs and examples).
+std::string DescribeRecord(const Record& record);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_RECORD_H_

@@ -1,0 +1,24 @@
+#ifndef DYNAMICC_DATA_SIMILARITY_H_
+#define DYNAMICC_DATA_SIMILARITY_H_
+
+#include "data/record.h"
+
+namespace dynamicc {
+
+/// Pairwise similarity in [0, 1]; 1 means identical, 0 means unrelated.
+/// Implementations must be symmetric and give Similarity(r, r) == 1 for any
+/// record with non-empty content.
+class SimilarityMeasure {
+ public:
+  virtual ~SimilarityMeasure() = default;
+
+  /// Similarity score between two records.
+  virtual double Similarity(const Record& a, const Record& b) const = 0;
+
+  /// Short name for reports ("jaccard", "trigram-cosine", ...).
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_SIMILARITY_H_

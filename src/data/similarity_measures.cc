@@ -1,0 +1,95 @@
+#include "data/similarity_measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace dynamicc {
+
+double JaccardSimilarity::Similarity(const Record& a, const Record& b) const {
+  if (a.tokens.empty() && b.tokens.empty()) return 0.0;
+  std::unordered_set<std::string> set_a(a.tokens.begin(), a.tokens.end());
+  std::unordered_set<std::string> set_b(b.tokens.begin(), b.tokens.end());
+  size_t intersection = 0;
+  for (const auto& token : set_a) {
+    if (set_b.count(token) > 0) ++intersection;
+  }
+  size_t union_size = set_a.size() + set_b.size() - intersection;
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double TrigramCosineSimilarity::Similarity(const Record& a,
+                                           const Record& b) const {
+  if (a.text.empty() || b.text.empty()) return a.text == b.text ? 0.0 : 0.0;
+  auto grams_a = TrigramCounts(a.text);
+  auto grams_b = TrigramCounts(b.text);
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (const auto& [gram, count] : grams_a) {
+    norm_a += static_cast<double>(count) * count;
+    auto it = grams_b.find(gram);
+    if (it != grams_b.end()) dot += static_cast<double>(count) * it->second;
+  }
+  for (const auto& [gram, count] : grams_b) {
+    norm_b += static_cast<double>(count) * count;
+  }
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double LevenshteinSimilarity::Similarity(const Record& a,
+                                         const Record& b) const {
+  size_t longest = std::max(a.text.size(), b.text.size());
+  if (longest == 0) return 0.0;
+  int dist = LevenshteinDistance(a.text, b.text);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+}
+
+EuclideanSimilarity::EuclideanSimilarity(double scale) : scale_(scale) {
+  DYNAMICC_CHECK_GT(scale, 0.0);
+}
+
+double EuclideanSimilarity::Distance(const Record& a, const Record& b) {
+  DYNAMICC_CHECK_EQ(a.numeric.size(), b.numeric.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.numeric.size(); ++i) {
+    double diff = a.numeric[i] - b.numeric[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double EuclideanSimilarity::Similarity(const Record& a,
+                                       const Record& b) const {
+  if (a.numeric.empty() || b.numeric.empty()) return 0.0;
+  double d = Distance(a, b);
+  return std::exp(-(d * d) / (2.0 * scale_ * scale_));
+}
+
+CombinedSimilarity::CombinedSimilarity(
+    std::vector<std::unique_ptr<SimilarityMeasure>> parts,
+    std::vector<double> weights)
+    : parts_(std::move(parts)), weights_(std::move(weights)) {
+  DYNAMICC_CHECK_EQ(parts_.size(), weights_.size());
+  DYNAMICC_CHECK_GT(parts_.size(), 0u);
+  double total = 0.0;
+  for (double w : weights_) {
+    DYNAMICC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  DYNAMICC_CHECK_GT(total, 0.0);
+  for (double& w : weights_) w /= total;
+}
+
+double CombinedSimilarity::Similarity(const Record& a, const Record& b) const {
+  double score = 0.0;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    score += weights_[i] * parts_[i]->Similarity(a, b);
+  }
+  return score;
+}
+
+}  // namespace dynamicc

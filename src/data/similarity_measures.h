@@ -1,0 +1,66 @@
+#ifndef DYNAMICC_DATA_SIMILARITY_MEASURES_H_
+#define DYNAMICC_DATA_SIMILARITY_MEASURES_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/similarity.h"
+
+namespace dynamicc {
+
+/// Jaccard similarity over the records' token sets [40]
+/// (|A ∩ B| / |A ∪ B|; duplicates within one record count once).
+class JaccardSimilarity final : public SimilarityMeasure {
+ public:
+  double Similarity(const Record& a, const Record& b) const override;
+  const char* Name() const override { return "jaccard"; }
+};
+
+/// Cosine similarity of character-trigram count vectors of `text` [39].
+class TrigramCosineSimilarity final : public SimilarityMeasure {
+ public:
+  double Similarity(const Record& a, const Record& b) const override;
+  const char* Name() const override { return "trigram-cosine"; }
+};
+
+/// Normalized Levenshtein similarity over `text` [49]:
+/// 1 - dist(a, b) / max(|a|, |b|).
+class LevenshteinSimilarity final : public SimilarityMeasure {
+ public:
+  double Similarity(const Record& a, const Record& b) const override;
+  const char* Name() const override { return "levenshtein"; }
+};
+
+/// Similarity derived from Euclidean distance over `numeric` via a Gaussian
+/// kernel: exp(-d² / (2·scale²)). `scale` sets the distance at which
+/// similarity decays to ~0.61.
+class EuclideanSimilarity final : public SimilarityMeasure {
+ public:
+  explicit EuclideanSimilarity(double scale);
+  double Similarity(const Record& a, const Record& b) const override;
+  const char* Name() const override { return "euclidean-gaussian"; }
+
+  /// Plain Euclidean distance helper (used by DBSCAN and k-means directly).
+  static double Distance(const Record& a, const Record& b);
+
+ private:
+  double scale_;
+};
+
+/// Weighted combination of other measures (the synthetic Febrl dataset uses
+/// Levenshtein + Jaccard, Table 1). Weights are normalized to sum to 1.
+class CombinedSimilarity final : public SimilarityMeasure {
+ public:
+  CombinedSimilarity(std::vector<std::unique_ptr<SimilarityMeasure>> parts,
+                     std::vector<double> weights);
+  double Similarity(const Record& a, const Record& b) const override;
+  const char* Name() const override { return "combined"; }
+
+ private:
+  std::vector<std::unique_ptr<SimilarityMeasure>> parts_;
+  std::vector<double> weights_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_SIMILARITY_MEASURES_H_

@@ -1,0 +1,24 @@
+#ifndef DYNAMICC_DATA_TYPES_H_
+#define DYNAMICC_DATA_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace dynamicc {
+
+/// Identifier of a database object (record). Ids are assigned by Dataset and
+/// are never reused, so they remain stable across add/remove/update streams.
+using ObjectId = uint32_t;
+
+/// Identifier of a cluster inside a Clustering. Cluster ids are also never
+/// reused within one Clustering instance.
+using ClusterId = uint32_t;
+
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+inline constexpr ClusterId kInvalidCluster =
+    std::numeric_limits<ClusterId>::max();
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_TYPES_H_

@@ -1,0 +1,59 @@
+#include "eval/confusion.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dynamicc {
+
+double ConfusionMatrix::Accuracy() const {
+  size_t total = Total();
+  if (total == 0) return 1.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(total);
+}
+
+double ConfusionMatrix::Precision() const {
+  size_t denom = true_positives + false_positives;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  size_t denom = true_positives + false_negatives;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "            predicted=0  predicted=1\n";
+  os << "actual=0  " << std::setw(11) << true_negatives << "  "
+     << std::setw(11) << false_positives << "\n";
+  os << "actual=1  " << std::setw(11) << false_negatives << "  "
+     << std::setw(11) << true_positives << "\n";
+  return os.str();
+}
+
+ConfusionMatrix EvaluateModel(const BinaryClassifier& model,
+                              const SampleSet& samples, double theta) {
+  ConfusionMatrix matrix;
+  for (const Sample& sample : samples) {
+    int predicted = model.Predict(sample.features, theta);
+    if (sample.label == 1) {
+      if (predicted == 1) {
+        ++matrix.true_positives;
+      } else {
+        ++matrix.false_negatives;
+      }
+    } else {
+      if (predicted == 1) {
+        ++matrix.false_positives;
+      } else {
+        ++matrix.true_negatives;
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,37 @@
+#ifndef DYNAMICC_EVAL_CONFUSION_H_
+#define DYNAMICC_EVAL_CONFUSION_H_
+
+#include <string>
+
+#include "ml/model.h"
+#include "ml/sample.h"
+
+namespace dynamicc {
+
+/// 2x2 confusion matrix of hard predictions (Fig. 3's heat map and the
+/// accuracy/precision/recall arithmetic of §5.4).
+struct ConfusionMatrix {
+  size_t true_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  size_t Total() const {
+    return true_positives + true_negatives + false_positives +
+           false_negatives;
+  }
+  double Accuracy() const;
+  double Precision() const;
+  double Recall() const;
+
+  /// ASCII rendering of the heat-map counts (predicted x actual).
+  std::string ToString() const;
+};
+
+/// Evaluates `model` on `samples` at decision threshold `theta`.
+ConfusionMatrix EvaluateModel(const BinaryClassifier& model,
+                              const SampleSet& samples, double theta);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_EVAL_CONFUSION_H_

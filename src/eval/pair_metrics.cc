@@ -1,0 +1,52 @@
+#include "eval/pair_metrics.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+double Choose2(double n) { return 0.5 * n * (n - 1.0); }
+}  // namespace
+
+PairMetrics ComparePairs(const std::vector<std::vector<ObjectId>>& result,
+                         const std::vector<std::vector<ObjectId>>& truth) {
+  // Contingency-table formulation: O(n) instead of O(n^2) pairs.
+  std::unordered_map<ObjectId, size_t> truth_label;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (ObjectId object : truth[i]) truth_label[object] = i;
+  }
+
+  double result_pairs = 0.0, truth_pairs = 0.0, agree_pairs = 0.0;
+  for (const auto& cluster : truth) {
+    truth_pairs += Choose2(static_cast<double>(cluster.size()));
+  }
+  for (const auto& cluster : result) {
+    result_pairs += Choose2(static_cast<double>(cluster.size()));
+    std::unordered_map<size_t, double> overlap;
+    for (ObjectId object : cluster) {
+      auto it = truth_label.find(object);
+      DYNAMICC_CHECK(it != truth_label.end())
+          << "object " << object << " missing from truth clustering";
+      overlap[it->second] += 1.0;
+    }
+    for (const auto& [label, count] : overlap) {
+      (void)label;
+      agree_pairs += Choose2(count);
+    }
+  }
+
+  PairMetrics metrics;
+  metrics.true_positives = agree_pairs;
+  metrics.false_positives = result_pairs - agree_pairs;
+  metrics.false_negatives = truth_pairs - agree_pairs;
+  return metrics;
+}
+
+double PairF1(const std::vector<std::vector<ObjectId>>& result,
+              const std::vector<std::vector<ObjectId>>& truth) {
+  return ComparePairs(result, truth).F1();
+}
+
+}  // namespace dynamicc

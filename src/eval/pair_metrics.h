@@ -1,0 +1,43 @@
+#ifndef DYNAMICC_EVAL_PAIR_METRICS_H_
+#define DYNAMICC_EVAL_PAIR_METRICS_H_
+
+#include <vector>
+
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Pair-counting clustering comparison [7]: a pair of objects is a true
+/// positive when both clusterings co-cluster it, etc. `result` is evaluated
+/// against `truth` (the paper uses the batch algorithm's clustering as
+/// truth, §7.1). Both inputs are partitions of the same object set,
+/// as member lists (Clustering::CanonicalClusters output).
+struct PairMetrics {
+  double true_positives = 0.0;
+  double false_positives = 0.0;
+  double false_negatives = 0.0;
+
+  double Precision() const {
+    double denom = true_positives + false_positives;
+    return denom == 0.0 ? 1.0 : true_positives / denom;
+  }
+  double Recall() const {
+    double denom = true_positives + false_negatives;
+    return denom == 0.0 ? 1.0 : true_positives / denom;
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+PairMetrics ComparePairs(const std::vector<std::vector<ObjectId>>& result,
+                         const std::vector<std::vector<ObjectId>>& truth);
+
+/// Convenience: pair-counting F1 of `result` against `truth`.
+double PairF1(const std::vector<std::vector<ObjectId>>& result,
+              const std::vector<std::vector<ObjectId>>& truth);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_EVAL_PAIR_METRICS_H_

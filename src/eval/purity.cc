@@ -1,0 +1,40 @@
+#include "eval/purity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+double Purity(const std::vector<std::vector<ObjectId>>& result,
+              const std::vector<std::vector<ObjectId>>& truth) {
+  std::unordered_map<ObjectId, size_t> truth_label;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    for (ObjectId object : truth[i]) truth_label[object] = i;
+  }
+  double covered = 0.0, total = 0.0;
+  for (const auto& cluster : result) {
+    std::unordered_map<size_t, double> overlap;
+    for (ObjectId object : cluster) {
+      auto it = truth_label.find(object);
+      DYNAMICC_CHECK(it != truth_label.end());
+      overlap[it->second] += 1.0;
+    }
+    double best = 0.0;
+    for (const auto& [label, count] : overlap) {
+      (void)label;
+      best = std::max(best, count);
+    }
+    covered += best;
+    total += static_cast<double>(cluster.size());
+  }
+  return total == 0.0 ? 1.0 : covered / total;
+}
+
+double InversePurity(const std::vector<std::vector<ObjectId>>& result,
+                     const std::vector<std::vector<ObjectId>>& truth) {
+  return Purity(truth, result);
+}
+
+}  // namespace dynamicc

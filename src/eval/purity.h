@@ -1,0 +1,22 @@
+#ifndef DYNAMICC_EVAL_PURITY_H_
+#define DYNAMICC_EVAL_PURITY_H_
+
+#include <vector>
+
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Purity [50]: each result cluster is matched to its best-overlapping
+/// truth cluster; purity is the fraction of objects covered by those
+/// matches. Inverse purity [9] swaps the roles (each truth cluster matched
+/// to its best result cluster).
+double Purity(const std::vector<std::vector<ObjectId>>& result,
+              const std::vector<std::vector<ObjectId>>& truth);
+
+double InversePurity(const std::vector<std::vector<ObjectId>>& result,
+                     const std::vector<std::vector<ObjectId>>& truth);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_EVAL_PURITY_H_

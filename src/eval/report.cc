@@ -1,0 +1,39 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dynamicc {
+
+QualityReport EvaluateQuality(
+    const std::vector<std::vector<ObjectId>>& result,
+    const std::vector<std::vector<ObjectId>>& truth) {
+  QualityReport report;
+  PairMetrics pairs = ComparePairs(result, truth);
+  report.f1 = pairs.F1();
+  report.precision = pairs.Precision();
+  report.recall = pairs.Recall();
+  report.purity = Purity(result, truth);
+  report.inverse_purity = InversePurity(result, truth);
+  return report;
+}
+
+std::string DescribeClustering(const ClusteringEngine& engine) {
+  const auto& clustering = engine.clustering();
+  size_t largest = 0;
+  for (ClusterId cluster : clustering.ClusterIds()) {
+    largest = std::max(largest, clustering.ClusterSize(cluster));
+  }
+  std::ostringstream os;
+  double mean =
+      clustering.num_clusters() == 0
+          ? 0.0
+          : static_cast<double>(clustering.num_objects()) /
+                static_cast<double>(clustering.num_clusters());
+  os << clustering.num_clusters() << " clusters over "
+     << clustering.num_objects() << " objects (mean size " << mean
+     << ", largest " << largest << ")";
+  return os.str();
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,33 @@
+#ifndef DYNAMICC_EVAL_REPORT_H_
+#define DYNAMICC_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "eval/pair_metrics.h"
+#include "eval/purity.h"
+
+namespace dynamicc {
+
+/// Bundle of the paper's quality measures for one method on one snapshot
+/// (Table 3's columns plus F1).
+struct QualityReport {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double purity = 0.0;
+  double inverse_purity = 0.0;
+};
+
+/// Computes the full quality bundle of `result` against `truth`.
+QualityReport EvaluateQuality(const std::vector<std::vector<ObjectId>>& result,
+                              const std::vector<std::vector<ObjectId>>& truth);
+
+/// Short human-readable summary of a clustering's shape (cluster count,
+/// mean size, largest cluster) for logs and examples.
+std::string DescribeClustering(const ClusteringEngine& engine);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_EVAL_REPORT_H_

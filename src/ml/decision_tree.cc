@@ -1,0 +1,152 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+struct WeightTotals {
+  double positive = 0.0;
+  double total = 0.0;
+};
+
+double Gini(const WeightTotals& t) {
+  if (t.total <= 0.0) return 0.0;
+  double p = t.positive / t.total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree() : DecisionTree(Options{}) {}
+
+DecisionTree::DecisionTree(Options options) : options_(options) {
+  DYNAMICC_CHECK_GT(options.max_depth, 0);
+  DYNAMICC_CHECK_GT(options.min_samples_leaf, 0);
+}
+
+void DecisionTree::Fit(const SampleSet& samples) {
+  DYNAMICC_CHECK(!samples.empty());
+  nodes_.clear();
+  std::vector<size_t> indices(samples.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  Build(samples, std::move(indices), 0);
+}
+
+int DecisionTree::Build(const SampleSet& samples, std::vector<size_t> indices,
+                        int depth) {
+  WeightTotals totals;
+  for (size_t i : indices) {
+    totals.total += samples[i].weight;
+    if (samples[i].label == 1) totals.positive += samples[i].weight;
+  }
+
+  int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  // Laplace-smoothed leaf posterior (also used as fallback below).
+  nodes_[node_index].probability =
+      (totals.positive + 1.0) / (totals.total + 2.0);
+
+  bool pure = totals.positive <= 0.0 || totals.positive >= totals.total;
+  if (depth >= options_.max_depth || pure ||
+      indices.size() < 2 * static_cast<size_t>(options_.min_samples_leaf)) {
+    return node_index;
+  }
+
+  size_t dims = samples[indices.front()].features.size();
+  double parent_gini = Gini(totals);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<size_t> sorted = indices;
+  for (size_t d = 0; d < dims; ++d) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return samples[a].features[d] < samples[b].features[d];
+    });
+    WeightTotals left;
+    for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      const Sample& sample = samples[sorted[pos]];
+      left.total += sample.weight;
+      if (sample.label == 1) left.positive += sample.weight;
+      double here = sample.features[d];
+      double next = samples[sorted[pos + 1]].features[d];
+      if (next <= here) continue;  // no boundary between equal values
+      if (pos + 1 < static_cast<size_t>(options_.min_samples_leaf) ||
+          sorted.size() - pos - 1 <
+              static_cast<size_t>(options_.min_samples_leaf)) {
+        continue;
+      }
+      double midpoint = 0.5 * (here + next);
+      // With nearly-equal values the midpoint can round onto a neighbor,
+      // which would produce an empty split side.
+      if (!(here < midpoint && midpoint < next)) continue;
+      WeightTotals right{totals.positive - left.positive,
+                         totals.total - left.total};
+      double weighted = (left.total * Gini(left) + right.total * Gini(right)) /
+                        totals.total;
+      double gain = parent_gini - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(d);
+        best_threshold = midpoint;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // no useful split
+
+  std::vector<size_t> left_indices, right_indices;
+  for (size_t i : indices) {
+    if (samples[i].features[best_feature] <= best_threshold) {
+      left_indices.push_back(i);
+    } else {
+      right_indices.push_back(i);
+    }
+  }
+  DYNAMICC_CHECK(!left_indices.empty() && !right_indices.empty());
+
+  int left = Build(samples, std::move(left_indices), depth + 1);
+  int right = Build(samples, std::move(right_indices), depth + 1);
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::PredictProbability(
+    const std::vector<double>& features) const {
+  DYNAMICC_CHECK(is_fitted());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    DYNAMICC_CHECK_LT(static_cast<size_t>(n.feature), features.size());
+    node = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[node].probability;
+}
+
+void DecisionTree::Restore(std::vector<Node> nodes) {
+  DYNAMICC_CHECK(!nodes.empty());
+  for (const Node& node : nodes) {
+    if (node.feature >= 0) {
+      DYNAMICC_CHECK_GE(node.left, 0);
+      DYNAMICC_CHECK_LT(static_cast<size_t>(node.left), nodes.size());
+      DYNAMICC_CHECK_GE(node.right, 0);
+      DYNAMICC_CHECK_LT(static_cast<size_t>(node.right), nodes.size());
+    }
+  }
+  nodes_ = std::move(nodes);
+}
+
+std::unique_ptr<BinaryClassifier> DecisionTree::Clone() const {
+  return std::make_unique<DecisionTree>(options_);
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,57 @@
+#ifndef DYNAMICC_ML_DECISION_TREE_H_
+#define DYNAMICC_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace dynamicc {
+
+/// CART-style binary decision tree (Gini impurity, axis-aligned midpoint
+/// splits, weighted samples). Leaf probability = weighted positive
+/// fraction, smoothed with one pseudo-count per class so that θ-based
+/// thresholding stays meaningful.
+class DecisionTree final : public BinaryClassifier {
+ public:
+  struct Options {
+    int max_depth = 6;
+    int min_samples_leaf = 2;
+  };
+
+  /// Tree node (public for serialization; the vector layout is an
+  /// implementation detail otherwise).
+  struct Node {
+    int feature = -1;        // -1 for leaf
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double probability = 0.5;  // leaf posterior
+  };
+
+  DecisionTree();
+  explicit DecisionTree(Options options);
+
+  const char* Name() const override { return "decision-tree"; }
+  void Fit(const SampleSet& samples) override;
+  double PredictProbability(
+      const std::vector<double>& features) const override;
+  bool is_fitted() const override { return !nodes_.empty(); }
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+
+  size_t node_count() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Restores a fitted state directly (deserialization).
+  void Restore(std::vector<Node> nodes);
+
+ private:
+  int Build(const SampleSet& samples, std::vector<size_t> indices, int depth);
+
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_DECISION_TREE_H_

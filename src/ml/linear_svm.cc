@@ -1,0 +1,112 @@
+#include "ml/linear_svm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+LinearSvm::LinearSvm() : LinearSvm(Options{}) {}
+
+LinearSvm::LinearSvm(Options options) : options_(options) {
+  DYNAMICC_CHECK_GT(options.epochs, 0);
+  DYNAMICC_CHECK_GT(options.lambda, 0.0);
+}
+
+double LinearSvm::Margin(const std::vector<double>& standardized) const {
+  double m = bias_;
+  for (size_t d = 0; d < standardized.size(); ++d) {
+    m += weights_[d] * standardized[d];
+  }
+  return m;
+}
+
+void LinearSvm::Fit(const SampleSet& samples) {
+  DYNAMICC_CHECK(!samples.empty());
+  scaler_.Fit(samples);
+  size_t dims = samples.front().features.size();
+  weights_.assign(dims, 0.0);
+  bias_ = 0.0;
+
+  std::vector<std::vector<double>> x;
+  x.reserve(samples.size());
+  for (const Sample& sample : samples) {
+    x.push_back(scaler_.Transform(sample.features));
+  }
+
+  // Pegasos: at step t, eta = 1 / (lambda * t); hinge subgradient updates.
+  Rng rng(options_.seed);
+  size_t t = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<size_t> order = rng.SampleIndices(samples.size(),
+                                                  samples.size());
+    for (size_t i : order) {
+      ++t;
+      double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      double y = samples[i].label == 1 ? 1.0 : -1.0;
+      double margin = Margin(x[i]);
+      double scale = 1.0 - eta * options_.lambda;
+      for (double& w : weights_) w *= scale;
+      if (y * margin < 1.0) {
+        double step = eta * y * samples[i].weight;
+        for (size_t d = 0; d < dims; ++d) weights_[d] += step * x[i][d];
+        bias_ += step;
+      }
+    }
+  }
+
+  // Platt-style calibration of margins -> probabilities (1-D logistic fit).
+  platt_a_ = 1.0;
+  platt_b_ = 0.0;
+  for (int step = 0; step < options_.calibration_steps; ++step) {
+    double grad_a = 0.0, grad_b = 0.0, total_weight = 0.0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      double m = Margin(x[i]);
+      double p = Sigmoid(platt_a_ * m + platt_b_);
+      double error = (p - static_cast<double>(samples[i].label)) *
+                     samples[i].weight;
+      grad_a += error * m;
+      grad_b += error;
+      total_weight += samples[i].weight;
+    }
+    platt_a_ -= 0.1 * grad_a / total_weight;
+    platt_b_ -= 0.1 * grad_b / total_weight;
+  }
+  fitted_ = true;
+}
+
+double LinearSvm::PredictProbability(
+    const std::vector<double>& features) const {
+  DYNAMICC_CHECK(fitted_);
+  double m = Margin(scaler_.Transform(features));
+  return Sigmoid(platt_a_ * m + platt_b_);
+}
+
+void LinearSvm::Restore(StandardScaler scaler, std::vector<double> weights,
+                        double bias, double platt_a, double platt_b) {
+  DYNAMICC_CHECK(scaler.is_fitted());
+  DYNAMICC_CHECK_EQ(scaler.means().size(), weights.size());
+  scaler_ = std::move(scaler);
+  weights_ = std::move(weights);
+  bias_ = bias;
+  platt_a_ = platt_a;
+  platt_b_ = platt_b;
+  fitted_ = true;
+}
+
+std::unique_ptr<BinaryClassifier> LinearSvm::Clone() const {
+  return std::make_unique<LinearSvm>(options_);
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,61 @@
+#ifndef DYNAMICC_ML_LINEAR_SVM_H_
+#define DYNAMICC_ML_LINEAR_SVM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace dynamicc {
+
+/// Soft-margin linear SVM trained with the Pegasos stochastic subgradient
+/// method, with a Platt-style sigmoid fitted over the margins so that
+/// PredictProbability is usable by DynamicC's θ mechanism.
+class LinearSvm final : public BinaryClassifier {
+ public:
+  struct Options {
+    int epochs = 40;
+    double lambda = 1e-3;
+    uint64_t seed = 7;
+    /// Gradient steps for the Platt sigmoid calibration.
+    int calibration_steps = 200;
+  };
+
+  LinearSvm();
+  explicit LinearSvm(Options options);
+
+  const char* Name() const override { return "linear-svm"; }
+  void Fit(const SampleSet& samples) override;
+  double PredictProbability(
+      const std::vector<double>& features) const override;
+  bool is_fitted() const override { return fitted_; }
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  double platt_a() const { return platt_a_; }
+  double platt_b() const { return platt_b_; }
+  const StandardScaler& scaler() const { return scaler_; }
+
+  /// Restores a fitted state directly (deserialization).
+  void Restore(StandardScaler scaler, std::vector<double> weights,
+               double bias, double platt_a, double platt_b);
+
+ private:
+  double Margin(const std::vector<double>& standardized) const;
+
+  Options options_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  // Platt calibration: P(y=1 | margin m) = sigmoid(platt_a_ * m + platt_b_).
+  double platt_a_ = 1.0;
+  double platt_b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_LINEAR_SVM_H_

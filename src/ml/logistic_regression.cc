@@ -1,0 +1,88 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+LogisticRegression::LogisticRegression()
+    : LogisticRegression(Options{}) {}
+
+LogisticRegression::LogisticRegression(Options options) : options_(options) {
+  DYNAMICC_CHECK_GT(options.epochs, 0);
+  DYNAMICC_CHECK_GT(options.learning_rate, 0.0);
+}
+
+void LogisticRegression::Fit(const SampleSet& samples) {
+  DYNAMICC_CHECK(!samples.empty());
+  scaler_.Fit(samples);
+  size_t dims = samples.front().features.size();
+  weights_.assign(dims, 0.0);
+  bias_ = 0.0;
+
+  std::vector<std::vector<double>> x;
+  x.reserve(samples.size());
+  double total_weight = 0.0;
+  for (const Sample& sample : samples) {
+    x.push_back(scaler_.Transform(sample.features));
+    total_weight += sample.weight;
+  }
+  DYNAMICC_CHECK_GT(total_weight, 0.0);
+
+  std::vector<double> gradient(dims);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    double bias_gradient = 0.0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      double z = bias_;
+      for (size_t d = 0; d < dims; ++d) z += weights_[d] * x[i][d];
+      double error =
+          (Sigmoid(z) - static_cast<double>(samples[i].label)) *
+          samples[i].weight;
+      for (size_t d = 0; d < dims; ++d) gradient[d] += error * x[i][d];
+      bias_gradient += error;
+    }
+    for (size_t d = 0; d < dims; ++d) {
+      gradient[d] = gradient[d] / total_weight + options_.l2 * weights_[d];
+      weights_[d] -= options_.learning_rate * gradient[d];
+    }
+    bias_ -= options_.learning_rate * bias_gradient / total_weight;
+  }
+  fitted_ = true;
+}
+
+double LogisticRegression::PredictProbability(
+    const std::vector<double>& features) const {
+  DYNAMICC_CHECK(fitted_);
+  std::vector<double> x = scaler_.Transform(features);
+  double z = bias_;
+  for (size_t d = 0; d < x.size(); ++d) z += weights_[d] * x[d];
+  return Sigmoid(z);
+}
+
+void LogisticRegression::Restore(StandardScaler scaler,
+                                 std::vector<double> weights, double bias) {
+  DYNAMICC_CHECK(scaler.is_fitted());
+  DYNAMICC_CHECK_EQ(scaler.means().size(), weights.size());
+  scaler_ = std::move(scaler);
+  weights_ = std::move(weights);
+  bias_ = bias;
+  fitted_ = true;
+}
+
+std::unique_ptr<BinaryClassifier> LogisticRegression::Clone() const {
+  return std::make_unique<LogisticRegression>(options_);
+}
+
+}  // namespace dynamicc

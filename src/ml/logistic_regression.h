@@ -1,0 +1,53 @@
+#ifndef DYNAMICC_ML_LOGISTIC_REGRESSION_H_
+#define DYNAMICC_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace dynamicc {
+
+/// L2-regularized logistic regression trained with full-batch gradient
+/// descent on standardized features. The paper's default model (§7.1).
+class LogisticRegression final : public BinaryClassifier {
+ public:
+  struct Options {
+    int epochs = 300;
+    double learning_rate = 0.5;
+    double l2 = 1e-4;
+  };
+
+  LogisticRegression();
+  explicit LogisticRegression(Options options);
+
+  const char* Name() const override { return "logistic-regression"; }
+  void Fit(const SampleSet& samples) override;
+  double PredictProbability(
+      const std::vector<double>& features) const override;
+  bool is_fitted() const override { return fitted_; }
+  std::unique_ptr<BinaryClassifier> Clone() const override;
+
+  /// Learned weights on the *standardized* features (for the paper's remark
+  /// about inspecting coefficient magnitudes, §6.2).
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  const StandardScaler& scaler() const { return scaler_; }
+  const Options& options() const { return options_; }
+
+  /// Restores a fitted state directly (deserialization).
+  void Restore(StandardScaler scaler, std::vector<double> weights,
+               double bias);
+
+ private:
+  Options options_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,42 @@
+#ifndef DYNAMICC_ML_MODEL_H_
+#define DYNAMICC_ML_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/sample.h"
+
+namespace dynamicc {
+
+/// Binary classifier with calibrated-ish probability output. DynamicC's
+/// Merge and Split models implement this interface (§5); probabilities are
+/// compared against the recall-first threshold θ (§5.4) and drive the merge
+/// partner selection in Algorithm 1 (minimize P(C_new = 1)).
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Trains the model on weighted samples; may be called repeatedly
+  /// (retraining replaces the previous fit).
+  virtual void Fit(const SampleSet& samples) = 0;
+
+  /// P(label = 1 | features) in [0, 1]. Requires a prior Fit.
+  virtual double PredictProbability(
+      const std::vector<double>& features) const = 0;
+
+  virtual bool is_fitted() const = 0;
+
+  /// Fresh unfitted model of the same configuration.
+  virtual std::unique_ptr<BinaryClassifier> Clone() const = 0;
+
+  /// Hard prediction with decision threshold `theta` (Eq. 2).
+  int Predict(const std::vector<double>& features, double theta = 0.5) const {
+    return PredictProbability(features) >= theta ? 1 : 0;
+  }
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_MODEL_H_

@@ -1,0 +1,22 @@
+#ifndef DYNAMICC_ML_SAMPLE_H_
+#define DYNAMICC_ML_SAMPLE_H_
+
+#include <vector>
+
+namespace dynamicc {
+
+/// One training/evaluation sample for the Merge/Split models. Features are
+/// the paper's §5.2 vectors (f1..f4 for Merge, f1..f3 for Split); `label`
+/// is 1 when the cluster evolved (merged/split) and 0 otherwise; `weight`
+/// carries the negative-sampling importance (§5.3).
+struct Sample {
+  std::vector<double> features;
+  int label = 0;
+  double weight = 1.0;
+};
+
+using SampleSet = std::vector<Sample>;
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_SAMPLE_H_

@@ -1,0 +1,50 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+void StandardScaler::Fit(const SampleSet& samples) {
+  DYNAMICC_CHECK(!samples.empty());
+  size_t dims = samples.front().features.size();
+  means_.assign(dims, 0.0);
+  stddevs_.assign(dims, 0.0);
+  double n = static_cast<double>(samples.size());
+  for (const Sample& sample : samples) {
+    DYNAMICC_CHECK_EQ(sample.features.size(), dims);
+    for (size_t d = 0; d < dims; ++d) means_[d] += sample.features[d];
+  }
+  for (size_t d = 0; d < dims; ++d) means_[d] /= n;
+  for (const Sample& sample : samples) {
+    for (size_t d = 0; d < dims; ++d) {
+      double diff = sample.features[d] - means_[d];
+      stddevs_[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    stddevs_[d] = std::sqrt(stddevs_[d] / n);
+    if (stddevs_[d] < 1e-12) stddevs_[d] = 1.0;  // constant feature
+  }
+}
+
+void StandardScaler::Restore(std::vector<double> means,
+                             std::vector<double> stddevs) {
+  DYNAMICC_CHECK_EQ(means.size(), stddevs.size());
+  means_ = std::move(means);
+  stddevs_ = std::move(stddevs);
+}
+
+std::vector<double> StandardScaler::Transform(
+    const std::vector<double>& features) const {
+  DYNAMICC_CHECK(is_fitted());
+  DYNAMICC_CHECK_EQ(features.size(), means_.size());
+  std::vector<double> out(features.size());
+  for (size_t d = 0; d < features.size(); ++d) {
+    out[d] = (features[d] - means_[d]) / stddevs_[d];
+  }
+  return out;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,37 @@
+#ifndef DYNAMICC_ML_SCALER_H_
+#define DYNAMICC_ML_SCALER_H_
+
+#include <vector>
+
+#include "ml/sample.h"
+
+namespace dynamicc {
+
+/// Per-feature standardization (zero mean, unit variance). Linear models
+/// fit it internally so that raw features (cluster sizes are unbounded)
+/// don't dominate the gradient.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Computes means and standard deviations from `samples`.
+  void Fit(const SampleSet& samples);
+
+  /// Standardizes one feature vector (constant features pass through).
+  std::vector<double> Transform(const std::vector<double>& features) const;
+
+  bool is_fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+  /// Restores a fitted state directly (deserialization).
+  void Restore(std::vector<double> means, std::vector<double> stddevs);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_SCALER_H_

@@ -1,0 +1,178 @@
+#include "ml/serialization.h"
+
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/scaler.h"
+
+namespace dynamicc {
+
+namespace {
+
+constexpr int kPrecision = 17;  // round-trips doubles exactly
+
+void WriteVector(std::ostream& os, const std::vector<double>& values) {
+  os << values.size();
+  for (double v : values) os << " " << v;
+  os << "\n";
+}
+
+bool ReadVector(std::istream& is, std::vector<double>* values) {
+  size_t count = 0;
+  if (!(is >> count)) return false;
+  values->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(is >> (*values)[i])) return false;
+  }
+  return true;
+}
+
+bool ReadScaler(std::istream& is, StandardScaler* scaler) {
+  std::vector<double> means, stddevs;
+  if (!ReadVector(is, &means) || !ReadVector(is, &stddevs)) return false;
+  if (means.size() != stddevs.size()) return false;
+  scaler->Restore(std::move(means), std::move(stddevs));
+  return true;
+}
+
+void SaveLogisticRegression(const LogisticRegression& model,
+                            std::ostream& os) {
+  os << model.Name() << "\n";
+  WriteVector(os, model.scaler().means());
+  WriteVector(os, model.scaler().stddevs());
+  WriteVector(os, model.weights());
+  os << model.bias() << "\n";
+}
+
+void SaveLinearSvm(const LinearSvm& model, std::ostream& os) {
+  os << model.Name() << "\n";
+  WriteVector(os, model.scaler().means());
+  WriteVector(os, model.scaler().stddevs());
+  WriteVector(os, model.weights());
+  os << model.bias() << " " << model.platt_a() << " " << model.platt_b()
+     << "\n";
+}
+
+void SaveDecisionTree(const DecisionTree& model, std::ostream& os) {
+  os << model.Name() << "\n";
+  os << model.nodes().size() << "\n";
+  for (const DecisionTree::Node& node : model.nodes()) {
+    os << node.feature << " " << node.threshold << " " << node.left << " "
+       << node.right << " " << node.probability << "\n";
+  }
+}
+
+std::unique_ptr<BinaryClassifier> LoadLogisticRegression(std::istream& is,
+                                                         Status* status) {
+  StandardScaler scaler;
+  std::vector<double> weights;
+  double bias = 0.0;
+  if (!ReadScaler(is, &scaler) || !ReadVector(is, &weights) ||
+      !(is >> bias) || scaler.means().size() != weights.size()) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument("malformed logistic-regression data");
+    }
+    return nullptr;
+  }
+  auto model = std::make_unique<LogisticRegression>();
+  model->Restore(std::move(scaler), std::move(weights), bias);
+  return model;
+}
+
+std::unique_ptr<BinaryClassifier> LoadLinearSvm(std::istream& is,
+                                                Status* status) {
+  StandardScaler scaler;
+  std::vector<double> weights;
+  double bias = 0.0, platt_a = 1.0, platt_b = 0.0;
+  if (!ReadScaler(is, &scaler) || !ReadVector(is, &weights) ||
+      !(is >> bias >> platt_a >> platt_b) ||
+      scaler.means().size() != weights.size()) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument("malformed linear-svm data");
+    }
+    return nullptr;
+  }
+  auto model = std::make_unique<LinearSvm>();
+  model->Restore(std::move(scaler), std::move(weights), bias, platt_a,
+                 platt_b);
+  return model;
+}
+
+std::unique_ptr<BinaryClassifier> LoadDecisionTree(std::istream& is,
+                                                   Status* status) {
+  size_t count = 0;
+  if (!(is >> count) || count == 0) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument("malformed decision-tree data");
+    }
+    return nullptr;
+  }
+  std::vector<DecisionTree::Node> nodes(count);
+  for (DecisionTree::Node& node : nodes) {
+    if (!(is >> node.feature >> node.threshold >> node.left >> node.right >>
+          node.probability)) {
+      if (status != nullptr) {
+        *status = Status::InvalidArgument("truncated decision-tree nodes");
+      }
+      return nullptr;
+    }
+    int limit = static_cast<int>(count);
+    if (node.feature >= 0 &&
+        (node.left < 0 || node.left >= limit || node.right < 0 ||
+         node.right >= limit)) {
+      if (status != nullptr) {
+        *status = Status::InvalidArgument("decision-tree child out of range");
+      }
+      return nullptr;
+    }
+  }
+  auto model = std::make_unique<DecisionTree>();
+  model->Restore(std::move(nodes));
+  return model;
+}
+
+}  // namespace
+
+Status SaveClassifier(const BinaryClassifier& model, std::ostream& os) {
+  if (!model.is_fitted()) {
+    return Status::InvalidArgument("cannot save an unfitted model");
+  }
+  os << std::setprecision(kPrecision);
+  if (const auto* lr = dynamic_cast<const LogisticRegression*>(&model)) {
+    SaveLogisticRegression(*lr, os);
+  } else if (const auto* svm = dynamic_cast<const LinearSvm*>(&model)) {
+    SaveLinearSvm(*svm, os);
+  } else if (const auto* tree = dynamic_cast<const DecisionTree*>(&model)) {
+    SaveDecisionTree(*tree, os);
+  } else {
+    return Status::InvalidArgument(std::string("unsupported model type: ") +
+                                   model.Name());
+  }
+  if (!os.good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+std::unique_ptr<BinaryClassifier> LoadClassifier(std::istream& is,
+                                                 Status* status) {
+  if (status != nullptr) *status = Status::Ok();
+  std::string name;
+  if (!(is >> name)) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument("empty model stream");
+    }
+    return nullptr;
+  }
+  if (name == "logistic-regression") return LoadLogisticRegression(is, status);
+  if (name == "linear-svm") return LoadLinearSvm(is, status);
+  if (name == "decision-tree") return LoadDecisionTree(is, status);
+  if (status != nullptr) {
+    *status = Status::InvalidArgument("unknown model type: " + name);
+  }
+  return nullptr;
+}
+
+}  // namespace dynamicc

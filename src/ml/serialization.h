@@ -1,0 +1,27 @@
+#ifndef DYNAMICC_ML_SERIALIZATION_H_
+#define DYNAMICC_ML_SERIALIZATION_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace dynamicc {
+
+/// Persists a fitted classifier in a line-oriented text format (the first
+/// line is the model name, e.g. "logistic-regression"). Supported models:
+/// LogisticRegression, LinearSvm, DecisionTree. A deployment can train
+/// DynamicC's models once, save them, and warm-start later sessions
+/// without re-observing batch rounds.
+Status SaveClassifier(const BinaryClassifier& model, std::ostream& os);
+
+/// Restores a classifier saved by SaveClassifier. On failure returns null
+/// and fills `status` (when non-null) with the reason.
+std::unique_ptr<BinaryClassifier> LoadClassifier(std::istream& is,
+                                                 Status* status = nullptr);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_SERIALIZATION_H_

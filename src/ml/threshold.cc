@@ -1,0 +1,50 @@
+#include "ml/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+double SelectRecallFirstThreshold(const BinaryClassifier& model,
+                                  const SampleSet& training,
+                                  const ThresholdPolicy& policy) {
+  std::vector<double> positive_probs;
+  for (const Sample& sample : training) {
+    if (sample.label == 1) {
+      positive_probs.push_back(model.PredictProbability(sample.features));
+    }
+  }
+  if (positive_probs.empty()) return policy.floor;
+  std::sort(positive_probs.begin(), positive_probs.end());
+  double q = std::clamp(policy.positive_quantile, 0.0, 1.0);
+  size_t index = static_cast<size_t>(
+      q * static_cast<double>(positive_probs.size() - 1));
+  double theta = positive_probs[index];
+  return std::clamp(theta, policy.floor, policy.ceiling);
+}
+
+double RecallAtThreshold(const BinaryClassifier& model,
+                         const SampleSet& samples, double theta) {
+  double captured = 0.0, positives = 0.0;
+  for (const Sample& sample : samples) {
+    if (sample.label != 1) continue;
+    positives += 1.0;
+    if (model.Predict(sample.features, theta) == 1) captured += 1.0;
+  }
+  return positives == 0.0 ? 1.0 : captured / positives;
+}
+
+double AccuracyAtThreshold(const BinaryClassifier& model,
+                           const SampleSet& samples, double theta) {
+  if (samples.empty()) return 1.0;
+  double correct = 0.0;
+  for (const Sample& sample : samples) {
+    if (model.Predict(sample.features, theta) == sample.label) correct += 1.0;
+  }
+  return correct / static_cast<double>(samples.size());
+}
+
+}  // namespace dynamicc

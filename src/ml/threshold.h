@@ -1,0 +1,42 @@
+#ifndef DYNAMICC_ML_THRESHOLD_H_
+#define DYNAMICC_ML_THRESHOLD_H_
+
+#include "ml/model.h"
+#include "ml/sample.h"
+
+namespace dynamicc {
+
+/// Recall-first decision-threshold selection (§5.4): θ is set to the
+/// minimum predicted probability over the *positive training samples*, so
+/// that every positive sample is recovered (100% training recall) while θ
+/// stays as large as possible (fewest extra clusters to verify).
+struct ThresholdPolicy {
+  /// Quantile of positive-sample probabilities to use as θ. 0 = strict
+  /// minimum (the paper's rule); a small value (e.g. 0.05) tolerates a few
+  /// outlier positives in exchange for fewer false positives.
+  double positive_quantile = 0.0;
+  /// θ is clamped into [floor, ceiling]. The floor keeps the predictor from
+  /// degenerating into "predict everything positive" when one positive
+  /// sample scored near zero.
+  double floor = 0.02;
+  double ceiling = 0.95;
+};
+
+/// Computes θ for a fitted model over the training set. Returns `floor`
+/// when there are no positive samples (everything will be re-checked only
+/// if the model is confident).
+double SelectRecallFirstThreshold(const BinaryClassifier& model,
+                                  const SampleSet& training,
+                                  const ThresholdPolicy& policy);
+
+/// Training-set recall of hard predictions at threshold theta.
+double RecallAtThreshold(const BinaryClassifier& model,
+                         const SampleSet& samples, double theta);
+
+/// Training-set accuracy of hard predictions at threshold theta.
+double AccuracyAtThreshold(const BinaryClassifier& model,
+                           const SampleSet& samples, double theta);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_ML_THRESHOLD_H_

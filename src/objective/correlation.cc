@@ -1,0 +1,86 @@
+#include "objective/correlation.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+
+/// Count of unordered pairs in a set of n objects.
+double PairCount(double n) { return 0.5 * n * (n - 1.0); }
+
+/// Sum of similarities and pair count between `part` and the rest of
+/// `cluster`.
+struct CrossStats {
+  double sum = 0.0;
+  double count = 0.0;
+};
+
+CrossStats CrossToRest(const ClusteringEngine& engine, ClusterId cluster,
+                       const std::vector<ObjectId>& part) {
+  const auto& members = engine.clustering().Members(cluster);
+  std::unordered_set<ObjectId> in_part(part.begin(), part.end());
+  CrossStats stats;
+  stats.count = static_cast<double>(part.size()) *
+                static_cast<double>(members.size() - part.size());
+  for (ObjectId object : part) {
+    DYNAMICC_CHECK_EQ(engine.clustering().ClusterOf(object), cluster);
+    for (const auto& [other, sim] : engine.graph().Neighbors(object)) {
+      if (in_part.count(other) > 0) continue;
+      if (members.count(other) > 0) stats.sum += sim;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+double CorrelationObjective::Evaluate(const ClusteringEngine& engine) const {
+  const auto& clustering = engine.clustering();
+  const auto& stats = engine.stats();
+  double intra_pairs = 0.0;
+  for (ClusterId cluster : clustering.ClusterIds()) {
+    intra_pairs += PairCount(static_cast<double>(clustering.ClusterSize(cluster)));
+  }
+  return intra_pairs - stats.TotalIntraSum() + stats.TotalInterSum();
+}
+
+double CorrelationObjective::MergeDelta(const ClusteringEngine& engine,
+                                        ClusterId a, ClusterId b) const {
+  // |a|*|b| cross pairs flip from inter (cost s) to intra (cost 1-s):
+  // delta = Σ (1-s) - Σ s = |a||b| - 2 * inter_sum(a,b).
+  double cross_pairs =
+      static_cast<double>(engine.clustering().ClusterSize(a)) *
+      static_cast<double>(engine.clustering().ClusterSize(b));
+  return cross_pairs - 2.0 * engine.stats().InterSum(a, b);
+}
+
+double CorrelationObjective::SplitDelta(
+    const ClusteringEngine& engine, ClusterId cluster,
+    const std::vector<ObjectId>& part) const {
+  // Cross pairs flip from intra (cost 1-s) to inter (cost s):
+  // delta = 2 * cross_sum - cross_count.
+  CrossStats cross = CrossToRest(engine, cluster, part);
+  return 2.0 * cross.sum - cross.count;
+}
+
+double CorrelationObjective::MoveDelta(const ClusteringEngine& engine,
+                                       ObjectId object, ClusterId to) const {
+  ClusterId from = engine.clustering().ClusterOf(object);
+  DYNAMICC_CHECK_NE(from, kInvalidCluster);
+  DYNAMICC_CHECK_NE(from, to);
+  const auto& stats = engine.stats();
+  double from_size = static_cast<double>(engine.clustering().ClusterSize(from));
+  double to_size = static_cast<double>(engine.clustering().ClusterSize(to));
+  double sum_from = stats.SumToCluster(object, from);
+  double sum_to = stats.SumToCluster(object, to);
+  // Leaving `from`: (|from|-1) pairs flip intra->inter.
+  double leave = 2.0 * sum_from - (from_size - 1.0);
+  // Joining `to`: |to| pairs flip inter->intra.
+  double join = to_size - 2.0 * sum_to;
+  return leave + join;
+}
+
+}  // namespace dynamicc

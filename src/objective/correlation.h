@@ -1,0 +1,36 @@
+#ifndef DYNAMICC_OBJECTIVE_CORRELATION_H_
+#define DYNAMICC_OBJECTIVE_CORRELATION_H_
+
+#include <vector>
+
+#include "objective/objective.h"
+
+namespace dynamicc {
+
+/// Correlation-clustering disagreement cost (paper Eq. 1, in the form that
+/// matches Example 4.1):
+///
+///   F(L) = Σ_{r,r' in same cluster} (1 − sim(r,r'))
+///        + Σ_{r,r' in different clusters} sim(r,r')
+///
+/// Non-edges have similarity 0, so only the count of intra pairs and the
+/// tracked intra/inter similarity sums are needed — every query is O(1)
+/// (O(degree) for split/move deltas).
+class CorrelationObjective final : public ObjectiveFunction {
+ public:
+  CorrelationObjective() = default;
+
+  const char* Name() const override { return "correlation"; }
+
+  double Evaluate(const ClusteringEngine& engine) const override;
+  double MergeDelta(const ClusteringEngine& engine, ClusterId a,
+                    ClusterId b) const override;
+  double SplitDelta(const ClusteringEngine& engine, ClusterId cluster,
+                    const std::vector<ObjectId>& part) const override;
+  double MoveDelta(const ClusteringEngine& engine, ObjectId object,
+                   ClusterId to) const override;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBJECTIVE_CORRELATION_H_

@@ -1,0 +1,197 @@
+#include "objective/db_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+constexpr ClusterId kSyntheticCluster =
+    std::numeric_limits<ClusterId>::max() - 1;
+
+double Scatter(double size, double intra, double singleton_scatter) {
+  if (size <= 1.0) return singleton_scatter;  // "unproven" prior
+  double pairs = 0.5 * size * (size - 1.0);
+  double avg = intra / pairs;
+  return std::clamp(1.0 - avg, 0.0, 1.0);
+}
+}  // namespace
+
+DbIndexObjective::DbIndexObjective(double separation_floor,
+                                   double singleton_scatter)
+    : separation_floor_(separation_floor),
+      singleton_scatter_(singleton_scatter) {
+  DYNAMICC_CHECK_GT(separation_floor, 0.0);
+  DYNAMICC_CHECK_GE(singleton_scatter, 0.0);
+  DYNAMICC_CHECK_LE(singleton_scatter, 1.0);
+}
+
+DbIndexObjective::ViewMap DbIndexObjective::BuildViews(
+    const ClusteringEngine& engine) const {
+  ViewMap views;
+  const auto& clustering = engine.clustering();
+  for (ClusterId c : clustering.ClusterIds()) {
+    View& view = views[c];
+    view.size = static_cast<double>(clustering.ClusterSize(c));
+    view.intra = engine.stats().IntraSum(c);
+  }
+  engine.stats().ForEachInter([&views](ClusterId a, ClusterId b, double sum) {
+    views[a].inter[b] = sum;
+    views[b].inter[a] = sum;
+  });
+  return views;
+}
+
+double DbIndexObjective::ScoreViews(const ViewMap& views) const {
+  if (views.empty()) return 0.0;
+  // Precompute scatters and the top-2 scatter values for the non-neighbor
+  // bound (for j with no inter edges, M_ij == 1 so the ratio is S_i + S_j).
+  std::unordered_map<ClusterId, double> scatter;
+  scatter.reserve(views.size());
+  double top1 = -1.0, top2 = -1.0;
+  ClusterId top1_id = kInvalidCluster;
+  for (const auto& [c, view] : views) {
+    double s = Scatter(view.size, view.intra, singleton_scatter_);
+    scatter[c] = s;
+    if (s > top1) {
+      top2 = top1;
+      top1 = s;
+      top1_id = c;
+    } else if (s > top2) {
+      top2 = s;
+    }
+  }
+  if (views.size() == 1) return scatter.begin()->second;
+
+  double total = 0.0;
+  for (const auto& [c, view] : views) {
+    double s_c = scatter[c];
+    double best_other_scatter = (c == top1_id) ? top2 : top1;
+    double best = s_c + best_other_scatter;  // non-neighbor bound (M = 1)
+    for (const auto& [other, sum] : view.inter) {
+      auto it = views.find(other);
+      DYNAMICC_CHECK(it != views.end());
+      double avg_inter = sum / (view.size * it->second.size);
+      double m = std::max(1.0 - avg_inter, separation_floor_);
+      double ratio = (s_c + scatter[other]) / m;
+      best = std::max(best, ratio);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(views.size());
+}
+
+double DbIndexObjective::Evaluate(const ClusteringEngine& engine) const {
+  return ScoreViews(BuildViews(engine));
+}
+
+void DbIndexObjective::ApplyMerge(ViewMap* views, ClusterId a, ClusterId b) {
+  DYNAMICC_CHECK_NE(a, b);
+  View& va = (*views)[a];
+  View vb = std::move((*views)[b]);
+  views->erase(b);
+  double inter_ab = 0.0;
+  auto ab = va.inter.find(b);
+  if (ab != va.inter.end()) {
+    inter_ab = ab->second;
+    va.inter.erase(ab);
+  }
+  va.intra += vb.intra + inter_ab;
+  va.size += vb.size;
+  for (const auto& [other, sum] : vb.inter) {
+    if (other == a) continue;
+    va.inter[other] += sum;
+    // All referenced clusters already have views, so at() never inserts
+    // (an operator[] insert could rehash and invalidate `va`).
+    View& vo = views->at(other);
+    vo.inter.erase(b);
+    vo.inter[a] += sum;
+  }
+}
+
+void DbIndexObjective::ApplySplit(ViewMap* views,
+                                  const ClusteringEngine& engine,
+                                  ClusterId cluster,
+                                  const std::vector<ObjectId>& part,
+                                  ClusterId fresh_id) {
+  const auto& clustering = engine.clustering();
+  const auto& members = clustering.Members(cluster);
+  std::unordered_set<ObjectId> in_part(part.begin(), part.end());
+  DYNAMICC_CHECK_LT(part.size(), members.size());
+
+  View& original = (*views)[cluster];
+  View fresh;
+  fresh.size = static_cast<double>(part.size());
+  original.size -= fresh.size;
+
+  for (ObjectId object : part) {
+    DYNAMICC_CHECK_EQ(clustering.ClusterOf(object), cluster);
+    for (const auto& [other, sim] : engine.graph().Neighbors(object)) {
+      if (in_part.count(other) > 0) {
+        // Pair inside the part: count once (when object < other).
+        if (object < other) fresh.intra += sim;
+        continue;
+      }
+      if (members.count(other) > 0) {
+        // Pair between part and rest: was intra, becomes inter.
+        original.intra -= sim;
+        original.inter[fresh_id] += sim;
+        fresh.inter[cluster] += sim;
+        continue;
+      }
+      // Pair to some other cluster: re-attribute its share.
+      ClusterId other_cluster = clustering.ClusterOf(other);
+      if (other_cluster == kInvalidCluster) continue;
+      original.inter[other_cluster] -= sim;
+      if (original.inter[other_cluster] < 1e-12) {
+        original.inter.erase(other_cluster);
+      }
+      fresh.inter[other_cluster] += sim;
+      View& vo = views->at(other_cluster);  // at(): see ApplyMerge note
+      vo.inter[cluster] -= sim;
+      if (vo.inter[cluster] < 1e-12) vo.inter.erase(cluster);
+      vo.inter[fresh_id] += sim;
+    }
+  }
+  // Pairs inside the part were counted in original.intra as well.
+  original.intra -= fresh.intra;
+  (*views)[fresh_id] = std::move(fresh);
+}
+
+double DbIndexObjective::MergeDelta(const ClusteringEngine& engine,
+                                    ClusterId a, ClusterId b) const {
+  ViewMap views = BuildViews(engine);
+  double before = ScoreViews(views);
+  ApplyMerge(&views, a, b);
+  return ScoreViews(views) - before;
+}
+
+double DbIndexObjective::SplitDelta(const ClusteringEngine& engine,
+                                    ClusterId cluster,
+                                    const std::vector<ObjectId>& part) const {
+  ViewMap views = BuildViews(engine);
+  double before = ScoreViews(views);
+  ApplySplit(&views, engine, cluster, part, kSyntheticCluster);
+  return ScoreViews(views) - before;
+}
+
+double DbIndexObjective::MoveDelta(const ClusteringEngine& engine,
+                                   ObjectId object, ClusterId to) const {
+  ClusterId from = engine.clustering().ClusterOf(object);
+  DYNAMICC_CHECK_NE(from, kInvalidCluster);
+  DYNAMICC_CHECK_NE(from, to);
+  ViewMap views = BuildViews(engine);
+  double before = ScoreViews(views);
+  if (engine.clustering().ClusterSize(from) == 1) {
+    ApplyMerge(&views, to, from);
+  } else {
+    ApplySplit(&views, engine, from, {object}, kSyntheticCluster);
+    ApplyMerge(&views, to, kSyntheticCluster);
+  }
+  return ScoreViews(views) - before;
+}
+
+}  // namespace dynamicc

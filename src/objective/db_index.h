@@ -1,0 +1,71 @@
+#ifndef DYNAMICC_OBJECTIVE_DB_INDEX_H_
+#define DYNAMICC_OBJECTIVE_DB_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "objective/objective.h"
+
+namespace dynamicc {
+
+/// Davies–Bouldin index [18] adapted to similarity space for record linkage,
+/// following Gruenheid et al. [26] (see DESIGN.md interpretation note 3):
+///
+///   scatter    S_i  = 1 − avgIntraSim(C_i)   (singleton ⇒ singleton_scatter)
+///   separation M_ij = max(1 − avgInterSim(C_i, C_j), separation_floor)
+///   DB         = (1/k) Σ_i max_{j≠i} (S_i + S_j) / M_ij    (lower better)
+///
+/// The singleton scatter prior balances two degeneracies: at 0, shattering
+/// everything into singletons scores a perfect 0; at 1, absorbing any stray
+/// singleton into any weakly-similar cluster pays off. The default 0.5
+/// treats a lone record as "unproven": merging near-duplicates (tiny M)
+/// still wins decisively, while junk merges raise the host's scatter by
+/// more than the removed singleton term was worth.
+///
+/// Deltas are computed exactly by materializing a lightweight "view" of the
+/// per-cluster aggregates, applying the hypothetical change to the view, and
+/// re-scoring — O(k + E) per call where E is the number of cluster pairs
+/// with nonzero inter similarity.
+class DbIndexObjective final : public ObjectiveFunction {
+ public:
+  explicit DbIndexObjective(double separation_floor = 0.05,
+                            double singleton_scatter = 0.5);
+
+  const char* Name() const override { return "db-index"; }
+
+  double Evaluate(const ClusteringEngine& engine) const override;
+  double MergeDelta(const ClusteringEngine& engine, ClusterId a,
+                    ClusterId b) const override;
+  double SplitDelta(const ClusteringEngine& engine, ClusterId cluster,
+                    const std::vector<ObjectId>& part) const override;
+  double MoveDelta(const ClusteringEngine& engine, ObjectId object,
+                   ClusterId to) const override;
+
+ private:
+  struct View {
+    double size = 0.0;
+    double intra = 0.0;
+    // Symmetric inter rows: inter[c] holds the pair sum to cluster c.
+    std::unordered_map<ClusterId, double> inter;
+  };
+  using ViewMap = std::unordered_map<ClusterId, View>;
+
+  ViewMap BuildViews(const ClusteringEngine& engine) const;
+  double ScoreViews(const ViewMap& views) const;
+
+  /// Merges view `b` into view `a` in place.
+  static void ApplyMerge(ViewMap* views, ClusterId a, ClusterId b);
+
+  /// Splits `part` out of `cluster` into a synthetic view `fresh_id`,
+  /// using the graph to attribute pair sums.
+  static void ApplySplit(ViewMap* views, const ClusteringEngine& engine,
+                         ClusterId cluster, const std::vector<ObjectId>& part,
+                         ClusterId fresh_id);
+
+  double separation_floor_;
+  double singleton_scatter_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBJECTIVE_DB_INDEX_H_

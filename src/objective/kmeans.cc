@@ -1,0 +1,132 @@
+#include "objective/kmeans.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+KMeansObjective::KMeansObjective(const Dataset* dataset, int target_k,
+                                 double k_penalty)
+    : dataset_(dataset), target_k_(target_k), k_penalty_(k_penalty) {
+  DYNAMICC_CHECK(dataset != nullptr);
+  DYNAMICC_CHECK_GT(target_k, 0);
+  DYNAMICC_CHECK_GE(k_penalty, 0.0);
+}
+
+double KMeansObjective::SquaredDistance(const std::vector<double>& a,
+                                        const std::vector<double>& b) {
+  DYNAMICC_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+KMeansObjective::Stats KMeansObjective::StatsOf(
+    const std::vector<ObjectId>& members) const {
+  Stats stats;
+  stats.size = static_cast<double>(members.size());
+  if (members.empty()) return stats;
+  size_t dims = dataset_->Get(members.front()).numeric.size();
+  stats.centroid.assign(dims, 0.0);
+  for (ObjectId id : members) {
+    const auto& point = dataset_->Get(id).numeric;
+    DYNAMICC_CHECK_EQ(point.size(), dims);
+    for (size_t d = 0; d < dims; ++d) stats.centroid[d] += point[d];
+  }
+  for (size_t d = 0; d < dims; ++d) stats.centroid[d] /= stats.size;
+  for (ObjectId id : members) {
+    stats.sse += SquaredDistance(dataset_->Get(id).numeric, stats.centroid);
+  }
+  return stats;
+}
+
+const KMeansObjective::Stats& KMeansObjective::StatsFor(
+    const ClusteringEngine& engine, ClusterId c) const {
+  uint64_t epoch = engine.clustering().epoch();
+  uint64_t version = engine.clustering().ClusterVersion(c);
+  auto it = cache_.find(c);
+  if (it != cache_.end() && it->second.epoch == epoch &&
+      it->second.version == version) {
+    return it->second;
+  }
+  const auto& members = engine.clustering().Members(c);
+  Stats stats = StatsOf({members.begin(), members.end()});
+  stats.epoch = epoch;
+  stats.version = version;
+  auto [slot, inserted] = cache_.insert_or_assign(c, std::move(stats));
+  (void)inserted;
+  return slot->second;
+}
+
+double KMeansObjective::Sse(const ClusteringEngine& engine) const {
+  double total = 0.0;
+  for (ClusterId c : engine.clustering().ClusterIds()) {
+    total += StatsFor(engine, c).sse;
+  }
+  return total;
+}
+
+double KMeansObjective::Evaluate(const ClusteringEngine& engine) const {
+  return Sse(engine) +
+         Penalty(static_cast<double>(engine.clustering().num_clusters()));
+}
+
+double KMeansObjective::MergeDelta(const ClusteringEngine& engine, ClusterId a,
+                                   ClusterId b) const {
+  const Stats& sa = StatsFor(engine, a);
+  const Stats& sb = StatsFor(engine, b);
+  // SSE(A ∪ B) = SSE(A) + SSE(B) + |A||B|/(|A|+|B|) · ||μA − μB||².
+  double sse_increase = (sa.size * sb.size) / (sa.size + sb.size) *
+                        SquaredDistance(sa.centroid, sb.centroid);
+  double k = static_cast<double>(engine.clustering().num_clusters());
+  return sse_increase + Penalty(k - 1.0) - Penalty(k);
+}
+
+double KMeansObjective::SplitDelta(const ClusteringEngine& engine,
+                                   ClusterId cluster,
+                                   const std::vector<ObjectId>& part) const {
+  const Stats& whole = StatsFor(engine, cluster);
+  Stats part_stats = StatsOf(part);
+  double rest_size = whole.size - part_stats.size;
+  DYNAMICC_CHECK_GT(rest_size, 0.0);
+  // μ_rest from the sum decomposition; the SSE decrease equals the
+  // between-parts term of the within-cluster variance decomposition.
+  std::vector<double> rest_centroid(whole.centroid.size());
+  for (size_t d = 0; d < rest_centroid.size(); ++d) {
+    rest_centroid[d] = (whole.centroid[d] * whole.size -
+                        part_stats.centroid[d] * part_stats.size) /
+                       rest_size;
+  }
+  double sse_decrease = (part_stats.size * rest_size / whole.size) *
+                        SquaredDistance(part_stats.centroid, rest_centroid);
+  double k = static_cast<double>(engine.clustering().num_clusters());
+  return -sse_decrease + Penalty(k + 1.0) - Penalty(k);
+}
+
+double KMeansObjective::MoveDelta(const ClusteringEngine& engine,
+                                  ObjectId object, ClusterId to) const {
+  ClusterId from = engine.clustering().ClusterOf(object);
+  DYNAMICC_CHECK_NE(from, kInvalidCluster);
+  DYNAMICC_CHECK_NE(from, to);
+  const auto& point = dataset_->Get(object).numeric;
+  const Stats& sf = StatsFor(engine, from);
+  const Stats& st = StatsFor(engine, to);
+  double delta = 0.0;
+  double k = static_cast<double>(engine.clustering().num_clusters());
+  if (sf.size > 1.0) {
+    // Removing x from C (size n): ΔSSE = −n/(n−1) · ||x − μC||².
+    delta -= sf.size / (sf.size - 1.0) * SquaredDistance(point, sf.centroid);
+  } else {
+    // The source cluster disappears.
+    delta += Penalty(k - 1.0) - Penalty(k);
+  }
+  // Adding x to T (size m): ΔSSE = m/(m+1) · ||x − μT||².
+  delta += st.size / (st.size + 1.0) * SquaredDistance(point, st.centroid);
+  return delta;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,78 @@
+#ifndef DYNAMICC_OBJECTIVE_KMEANS_H_
+#define DYNAMICC_OBJECTIVE_KMEANS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "objective/objective.h"
+
+namespace dynamicc {
+
+/// k-means objective: within-cluster sum of squared Euclidean distances to
+/// the cluster mean (SSE), plus a large penalty per unit of deviation from
+/// the target cluster count:
+///
+///   F = SSE + k_penalty * |#clusters - target_k|
+///
+/// The penalty encodes the fixed-k constraint in a form local search can
+/// use: newly added singletons make merges strongly favourable until the
+/// count returns to k, and gratuitous splits (which always lower raw SSE)
+/// are rejected. Centroids and per-cluster SSEs are cached and invalidated
+/// via Clustering::ClusterVersion.
+class KMeansObjective final : public ObjectiveFunction {
+ public:
+  /// `dataset` must outlive the objective and contain numeric records.
+  /// The default penalty must dwarf any achievable SSE change, otherwise
+  /// k-restoring merges can be rejected on large-extent data.
+  KMeansObjective(const Dataset* dataset, int target_k,
+                  double k_penalty = 1e12);
+
+  const char* Name() const override { return "kmeans-sse"; }
+
+  double Evaluate(const ClusteringEngine& engine) const override;
+  double MergeDelta(const ClusteringEngine& engine, ClusterId a,
+                    ClusterId b) const override;
+  double SplitDelta(const ClusteringEngine& engine, ClusterId cluster,
+                    const std::vector<ObjectId>& part) const override;
+  double MoveDelta(const ClusteringEngine& engine, ObjectId object,
+                   ClusterId to) const override;
+
+  int target_k() const { return target_k_; }
+
+  /// Raw SSE without the cluster-count penalty (what Fig. 5d reports).
+  double Sse(const ClusteringEngine& engine) const;
+
+ private:
+  struct Stats {
+    uint64_t epoch = 0;
+    uint64_t version = 0;
+    double size = 0.0;
+    std::vector<double> centroid;
+    double sse = 0.0;
+  };
+
+  /// Cached stats of a live cluster (recomputed when the version moved).
+  const Stats& StatsFor(const ClusteringEngine& engine, ClusterId c) const;
+
+  /// Mean/SSE of an explicit member list.
+  Stats StatsOf(const std::vector<ObjectId>& members) const;
+
+  double Penalty(double num_clusters) const {
+    double deviation = num_clusters - static_cast<double>(target_k_);
+    return k_penalty_ * (deviation < 0 ? -deviation : deviation);
+  }
+
+  static double SquaredDistance(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+  const Dataset* dataset_;
+  int target_k_;
+  double k_penalty_;
+  mutable std::unordered_map<ClusterId, Stats> cache_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBJECTIVE_KMEANS_H_

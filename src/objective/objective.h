@@ -1,0 +1,87 @@
+#ifndef DYNAMICC_OBJECTIVE_OBJECTIVE_H_
+#define DYNAMICC_OBJECTIVE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "cluster/engine.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Clustering objective function (lower is better for every implementation
+/// in this library). Besides full evaluation, implementations provide exact
+/// *deltas* for the three structural operations — the quantity every
+/// algorithm (hill-climbing, Greedy, DynamicC's verification step) actually
+/// needs. Deltas are defined as `score(after) - score(before)`, so a
+/// negative delta is an improvement.
+class ObjectiveFunction {
+ public:
+  virtual ~ObjectiveFunction() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Score of the engine's current clustering.
+  virtual double Evaluate(const ClusteringEngine& engine) const = 0;
+
+  /// Score change if clusters `a` and `b` merged.
+  virtual double MergeDelta(const ClusteringEngine& engine, ClusterId a,
+                            ClusterId b) const = 0;
+
+  /// Score change if `part` (strict non-empty subset of `cluster`) moved to
+  /// a brand-new cluster.
+  virtual double SplitDelta(const ClusteringEngine& engine, ClusterId cluster,
+                            const std::vector<ObjectId>& part) const = 0;
+
+  /// Score change if `object` moved from its cluster to `to`.
+  virtual double MoveDelta(const ClusteringEngine& engine, ObjectId object,
+                           ClusterId to) const = 0;
+};
+
+/// Decides whether a *predicted* change should actually be applied — the
+/// verification step that lets DynamicC discard false-positive predictions
+/// (§5.4 "Avoiding False Positives"). The default implementation wraps an
+/// ObjectiveFunction; DBSCAN (which has no objective) supplies a
+/// core-point-stability validator instead (§7.2.1).
+class ChangeValidator {
+ public:
+  virtual ~ChangeValidator() = default;
+
+  virtual bool MergeImproves(const ClusteringEngine& engine, ClusterId a,
+                             ClusterId b) const = 0;
+  virtual bool SplitImproves(const ClusteringEngine& engine, ClusterId cluster,
+                             const std::vector<ObjectId>& part) const = 0;
+  virtual bool MoveImproves(const ClusteringEngine& engine, ObjectId object,
+                            ClusterId to) const = 0;
+};
+
+/// ChangeValidator backed by an objective function: a change is accepted
+/// iff its delta is at most `-tolerance` (strictly improving).
+class ObjectiveValidator final : public ChangeValidator {
+ public:
+  explicit ObjectiveValidator(const ObjectiveFunction* objective,
+                              double tolerance = 1e-9)
+      : objective_(objective), tolerance_(tolerance) {}
+
+  bool MergeImproves(const ClusteringEngine& engine, ClusterId a,
+                     ClusterId b) const override {
+    return objective_->MergeDelta(engine, a, b) < -tolerance_;
+  }
+  bool SplitImproves(const ClusteringEngine& engine, ClusterId cluster,
+                     const std::vector<ObjectId>& part) const override {
+    return objective_->SplitDelta(engine, cluster, part) < -tolerance_;
+  }
+  bool MoveImproves(const ClusteringEngine& engine, ObjectId object,
+                    ClusterId to) const override {
+    return objective_->MoveDelta(engine, object, to) < -tolerance_;
+  }
+
+  const ObjectiveFunction& objective() const { return *objective_; }
+
+ private:
+  const ObjectiveFunction* objective_;
+  double tolerance_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBJECTIVE_OBJECTIVE_H_

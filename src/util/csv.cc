@@ -1,0 +1,65 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  DYNAMICC_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::Num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TableWriter::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::left << std::setw(widths[i])
+         << row[i];
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  std::vector<std::string> rule(headers_.size());
+  for (size_t i = 0; i < rule.size(); ++i) rule[i] = std::string(widths[i], '-');
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TableWriter::Print(std::ostream& os) const { os << ToAscii(); }
+
+}  // namespace dynamicc

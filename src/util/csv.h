@@ -1,0 +1,42 @@
+#ifndef DYNAMICC_UTIL_CSV_H_
+#define DYNAMICC_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dynamicc {
+
+/// Accumulates rows and renders them either as CSV or as an aligned ASCII
+/// table. The experiment harness uses this to print the paper's tables and
+/// figure series.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders as comma-separated values (one header row first).
+  std::string ToCsv() const;
+
+  /// Renders as an aligned, pipe-separated ASCII table.
+  std::string ToAscii() const;
+
+  /// Writes the ASCII rendering to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_UTIL_CSV_H_

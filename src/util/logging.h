@@ -1,0 +1,83 @@
+#ifndef DYNAMICC_UTIL_LOGGING_H_
+#define DYNAMICC_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dynamicc {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Collects a log line via stream insertion and emits it on destruction.
+/// Fatal messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Global minimum level; messages below it are dropped (fatal always emits).
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// A stream sink that swallows everything (used for disabled DCHECKs).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define DYNAMICC_LOG(level)                                                  \
+  ::dynamicc::internal_logging::LogMessage(::dynamicc::LogLevel::k##level,   \
+                                           __FILE__, __LINE__)               \
+      .stream()
+
+/// CHECK aborts with a message when the condition is false. It is active in
+/// all build types: clustering invariants guard algorithm correctness.
+#define DYNAMICC_CHECK(cond)                                       \
+  if (cond) {                                                      \
+  } else /* NOLINT */                                              \
+    DYNAMICC_LOG(Fatal) << "Check failed: " #cond " "
+
+#define DYNAMICC_CHECK_OP(op, a, b)                                         \
+  if ((a)op(b)) {                                                           \
+  } else /* NOLINT */                                                       \
+    DYNAMICC_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a)   \
+                        << " vs " << (b) << ") "
+
+#define DYNAMICC_CHECK_EQ(a, b) DYNAMICC_CHECK_OP(==, a, b)
+#define DYNAMICC_CHECK_NE(a, b) DYNAMICC_CHECK_OP(!=, a, b)
+#define DYNAMICC_CHECK_LT(a, b) DYNAMICC_CHECK_OP(<, a, b)
+#define DYNAMICC_CHECK_LE(a, b) DYNAMICC_CHECK_OP(<=, a, b)
+#define DYNAMICC_CHECK_GT(a, b) DYNAMICC_CHECK_OP(>, a, b)
+#define DYNAMICC_CHECK_GE(a, b) DYNAMICC_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define DYNAMICC_DCHECK(cond) \
+  if (true) {                 \
+  } else /* NOLINT */         \
+    ::dynamicc::internal_logging::NullStream()
+#else
+#define DYNAMICC_DCHECK(cond) DYNAMICC_CHECK(cond)
+#endif
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_UTIL_LOGGING_H_

@@ -1,0 +1,63 @@
+#ifndef DYNAMICC_UTIL_STATUS_H_
+#define DYNAMICC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dynamicc {
+
+/// Minimal error-reporting type for fallible operations (I/O, parsing).
+/// Algorithmic invariants use DYNAMICC_CHECK instead; exceptions are not
+/// used anywhere in the library.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(Code::kIoError, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad k".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName()) + ": " + message_;
+  }
+
+ private:
+  enum class Code { kOk, kInvalidArgument, kNotFound, kIoError };
+
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  const char* CodeName() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kNotFound:
+        return "NotFound";
+      case Code::kIoError:
+        return "IoError";
+    }
+    return "?";
+  }
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_UTIL_STATUS_H_

@@ -1,0 +1,70 @@
+#include "util/string_utils.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dynamicc {
+
+std::vector<std::string> SplitTokens(std::string_view text,
+                                     std::string_view delims) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    bool at_delim =
+        i == text.size() || delims.find(text[i]) != std::string_view::npos;
+    if (at_delim) {
+      if (i > start) tokens.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return tokens;
+}
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::unordered_map<std::string, int> TrigramCounts(std::string_view text) {
+  std::unordered_map<std::string, int> counts;
+  std::string padded = "##" + std::string(text) + "##";
+  if (padded.size() < 3) return counts;
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    ++counts[padded.substr(i, 3)];
+  }
+  return counts;
+}
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row dynamic program; a is the shorter string.
+  std::vector<int> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    int prev_diag = row[0];
+    row[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= a.size(); ++i) {
+      int insert_cost = row[i - 1] + 1;
+      int delete_cost = row[i] + 1;
+      int replace_cost = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({insert_cost, delete_cost, replace_cost});
+    }
+  }
+  return row[a.size()];
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace dynamicc

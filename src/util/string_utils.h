@@ -1,0 +1,32 @@
+#ifndef DYNAMICC_UTIL_STRING_UTILS_H_
+#define DYNAMICC_UTIL_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dynamicc {
+
+/// Splits `text` on any of the characters in `delims`, dropping empty pieces.
+std::vector<std::string> SplitTokens(std::string_view text,
+                                     std::string_view delims = " \t,;");
+
+/// ASCII lower-casing (datasets are generated ASCII-only).
+std::string ToLowerAscii(std::string_view text);
+
+/// Extracts the multiset of character trigrams of `text` (after padding with
+/// leading/trailing '#', the convention used for trigram cosine similarity).
+/// Returns trigram -> count.
+std::unordered_map<std::string, int> TrigramCounts(std::string_view text);
+
+/// Levenshtein edit distance between two strings.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Joins pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_UTIL_STRING_UTILS_H_

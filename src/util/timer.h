@@ -1,0 +1,31 @@
+#ifndef DYNAMICC_UTIL_TIMER_H_
+#define DYNAMICC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dynamicc {
+
+/// Monotonic wall-clock stopwatch for measuring re-clustering latency.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_UTIL_TIMER_H_

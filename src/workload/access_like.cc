@@ -1,0 +1,81 @@
+#include "workload/access_like.h"
+
+#include <cmath>
+#include <memory>
+
+#include "data/similarity_measures.h"
+
+namespace dynamicc {
+
+namespace {
+// Kernel scale of the shared profile (2x default component stddev).
+constexpr double kKernelScale = 4.0;
+}  // namespace
+
+AccessLikeGenerator::AccessLikeGenerator()
+    : AccessLikeGenerator(Options{}) {}
+
+AccessLikeGenerator::AccessLikeGenerator(Options options)
+    : options_(std::move(options)) {}
+
+WorkloadStream AccessLikeGenerator::Generate() {
+  Options opts = options_;
+  // Fixed component means, drawn once up front.
+  Rng setup(opts.seed * 977 + 3);
+  auto means = std::make_shared<std::vector<std::vector<double>>>();
+  for (int c = 0; c < opts.components; ++c) {
+    std::vector<double> mean(opts.dims);
+    for (int d = 0; d < opts.dims; ++d) {
+      mean[d] = setup.Uniform(0.0, opts.space_extent);
+    }
+    means->push_back(std::move(mean));
+  }
+
+  auto sample_point = [opts, means](uint32_t component, Rng* rng) {
+    Record record;
+    record.entity = component + 1;
+    record.numeric.resize(opts.dims);
+    for (int d = 0; d < opts.dims; ++d) {
+      record.numeric[d] =
+          (*means)[component][d] + rng->Gaussian(0.0, opts.component_stddev);
+    }
+    return record;
+  };
+
+  StreamBuilder builder(opts.seed);
+  return builder.Build(
+      opts.initial_count, opts.schedule,
+      [opts, sample_point](Rng* rng) {
+        uint32_t component =
+            static_cast<uint32_t>(rng->Index(opts.components));
+        return sample_point(component, rng);
+      },
+      [opts, sample_point](const Record& old_record, Rng* rng) {
+        if (rng->Chance(opts.relocate_probability)) {
+          // Structural update: the object moves to another group.
+          uint32_t component =
+              static_cast<uint32_t>(rng->Index(opts.components));
+          return sample_point(component, rng);
+        }
+        Record record = old_record;
+        for (double& v : record.numeric) {
+          v += rng->Gaussian(0.0, opts.component_stddev * 0.5);
+        }
+        return record;
+      });
+}
+
+double AccessLikeGenerator::SimilarityAtDistance(double distance) {
+  return std::exp(-(distance * distance) / (2.0 * kKernelScale * kKernelScale));
+}
+
+DatasetProfile AccessLikeGenerator::Profile() {
+  DatasetProfile profile;
+  profile.measure = std::make_unique<EuclideanSimilarity>(kKernelScale);
+  // Cells must cover the min-similarity radius: sim 0.05 ⇔ d ≈ 2.45·scale.
+  profile.blocker = std::make_unique<GridBlocker>(2.5 * kKernelScale);
+  profile.min_similarity = 0.05;
+  return profile;
+}
+
+}  // namespace dynamicc

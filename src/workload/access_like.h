@@ -1,0 +1,52 @@
+#ifndef DYNAMICC_WORKLOAD_ACCESS_LIKE_H_
+#define DYNAMICC_WORKLOAD_ACCESS_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/profile.h"
+#include "workload/schedule.h"
+
+namespace dynamicc {
+
+/// Synthetic stand-in for the Amazon Access Samples dataset: numeric
+/// feature vectors drawn from a Gaussian mixture (components = access
+/// roles/groups). Euclidean similarity (Table 1); exercised by the DBSCAN
+/// and k-means experiments (Fig. 5b/5d).
+class AccessLikeGenerator {
+ public:
+  struct Options {
+    size_t initial_count = 1000;
+    std::vector<SnapshotSpec> schedule = DefaultSchedule("access");
+    uint64_t seed = 41;
+    int components = 32;
+    int dims = 4;
+    double component_stddev = 2.0;
+    double space_extent = 120.0;
+    /// Probability that an Update relocates the point to a different
+    /// component (forcing a cluster-structure change).
+    double relocate_probability = 0.3;
+  };
+
+  AccessLikeGenerator();
+  explicit AccessLikeGenerator(Options options);
+
+  static const char* Name() { return "access"; }
+
+  WorkloadStream Generate();
+
+  /// Gaussian-kernel Euclidean similarity + spatial grid blocking. The
+  /// kernel scale is 2x the component stddev of the default options.
+  static DatasetProfile Profile();
+
+  /// Similarity value corresponding to Euclidean distance `distance` under
+  /// the profile's kernel — lets DBSCAN configs express ε in distance.
+  static double SimilarityAtDistance(double distance);
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_WORKLOAD_ACCESS_LIKE_H_

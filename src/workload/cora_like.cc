@@ -1,0 +1,143 @@
+#include "workload/cora_like.h"
+
+#include <deque>
+#include <iterator>
+#include <memory>
+#include <string>
+
+#include "data/similarity_measures.h"
+#include "util/string_utils.h"
+
+namespace dynamicc {
+
+namespace {
+
+const char* const kTitleWords[] = {
+    "learning",   "neural",     "networks",  "bayesian",   "inference",
+    "markov",     "models",     "clustering", "kernel",    "support",
+    "vector",     "machines",   "genetic",   "algorithms", "reinforcement",
+    "planning",   "knowledge",  "discovery", "databases",  "mining",
+    "decision",   "trees",      "boosting",  "regression", "classification",
+    "probabilistic", "graphical", "hidden",  "random",     "fields",
+    "optimization", "stochastic", "gradient", "descent",   "temporal",
+    "difference", "feature",    "selection", "dimensionality", "reduction",
+    "spectral",   "analysis",   "inductive", "logic",      "programming",
+    "information", "retrieval", "language",  "natural",    "processing"};
+
+const char* const kSurnames[] = {
+    "smith",   "johnson", "quinlan", "mitchell", "dietterich", "jordan",
+    "hinton",  "sutton",  "barto",   "pearl",    "koller",     "friedman",
+    "breiman", "vapnik",  "schapire", "freund",  "mccallum",   "cohen",
+    "moore",   "kaelbling", "russell", "norvig",  "thrun",      "littman",
+    "mooney",  "pazzani", "langley", "fisher",   "dean",       "boutilier"};
+
+const char* const kVenues[] = {"icml",  "nips",  "aaai", "ijcai", "kdd",
+                               "uai",   "colt",  "ecml", "icdm",  "jmlr",
+                               "mlj",   "aij"};
+
+/// One bibliographic entity: the clean record all duplicates derive from.
+struct Entity {
+  uint32_t id;
+  std::vector<std::string> tokens;
+};
+
+Entity MakeEntity(uint32_t id, Rng* rng) {
+  Entity entity;
+  entity.id = id;
+  size_t title_len = 4 + rng->Index(4);
+  for (size_t i = 0; i < title_len; ++i) {
+    entity.tokens.push_back(
+        kTitleWords[rng->Index(std::size(kTitleWords))]);
+  }
+  size_t authors = 1 + rng->Index(3);
+  for (size_t i = 0; i < authors; ++i) {
+    entity.tokens.push_back(kSurnames[rng->Index(std::size(kSurnames))]);
+  }
+  entity.tokens.push_back(kVenues[rng->Index(std::size(kVenues))]);
+  entity.tokens.push_back(std::to_string(1985 + rng->Index(20)));
+  return entity;
+}
+
+/// Shared emission state captured by the StreamBuilder callbacks.
+struct PoolState {
+  std::deque<Record> pending;
+  uint32_t next_entity = 0;
+};
+
+Record RecordFrom(const Entity& entity, Rng* rng, double corruption) {
+  Record record;
+  record.entity = entity.id + 1;  // 0 is reserved for "unset"
+  record.tokens = entity.tokens;
+  // Duplicate noise: token drops, typos, abbreviations.
+  for (auto& token : record.tokens) {
+    if (rng->Chance(corruption)) token = ApplyTypo(token, rng);
+    if (token.size() > 3 && rng->Chance(corruption * 0.4)) {
+      token = token.substr(0, 1) + ".";  // abbreviation
+    }
+  }
+  if (record.tokens.size() > 4 && rng->Chance(corruption)) {
+    record.tokens.erase(record.tokens.begin() +
+                        rng->Index(record.tokens.size()));
+  }
+  record.text = JoinStrings(record.tokens, " ");
+  return record;
+}
+
+}  // namespace
+
+CoraLikeGenerator::CoraLikeGenerator() : CoraLikeGenerator(Options{}) {}
+
+CoraLikeGenerator::CoraLikeGenerator(Options options)
+    : options_(std::move(options)) {}
+
+WorkloadStream CoraLikeGenerator::Generate() {
+  // Pool-based emission: entities are created in chunks with their
+  // duplicates, shuffled so duplicates of one entity spread over time.
+  auto state = std::make_shared<PoolState>();
+  Options opts = options_;
+
+  auto refill = [state, opts](Rng* rng) {
+    std::vector<Record> chunk;
+    for (int e = 0; e < 60; ++e) {
+      Entity entity = MakeEntity(state->next_entity++, rng);
+      int copies = 1 + SampleDuplicateCount(opts.distribution,
+                                            opts.duplicate_mean,
+                                            opts.max_duplicates, rng);
+      for (int c = 0; c < copies; ++c) {
+        chunk.push_back(RecordFrom(entity, rng, c == 0 ? 0.02 : 0.12));
+      }
+    }
+    rng->Shuffle(&chunk);
+    for (auto& record : chunk) state->pending.push_back(std::move(record));
+  };
+
+  StreamBuilder builder(options_.seed);
+  return builder.Build(
+      options_.initial_count, options_.schedule,
+      /*make_record=*/
+      [state, refill](Rng* rng) {
+        if (state->pending.empty()) refill(rng);
+        Record record = std::move(state->pending.front());
+        state->pending.pop_front();
+        return record;
+      },
+      /*corrupt_record=*/
+      [](const Record& old_record, Rng* rng) {
+        Record record = old_record;
+        for (auto& token : record.tokens) {
+          if (rng->Chance(0.2)) token = ApplyTypo(token, rng);
+        }
+        record.text = JoinStrings(record.tokens, " ");
+        return record;
+      });
+}
+
+DatasetProfile CoraLikeGenerator::Profile() {
+  DatasetProfile profile;
+  profile.measure = std::make_unique<JaccardSimilarity>();
+  profile.blocker = std::make_unique<TokenBlocker>(/*prefix_len=*/4);
+  profile.min_similarity = 0.15;
+  return profile;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,45 @@
+#ifndef DYNAMICC_WORKLOAD_CORA_LIKE_H_
+#define DYNAMICC_WORKLOAD_CORA_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/distributions.h"
+#include "workload/profile.h"
+#include "workload/schedule.h"
+
+namespace dynamicc {
+
+/// Synthetic stand-in for the Cora citation-matching dataset (see DESIGN.md
+/// substitution table): bibliographic records (title tokens, authors,
+/// venue, year) grouped into entities with Zipf-skewed duplicate counts and
+/// token-level corruption. Jaccard similarity over tokens, like Table 1.
+class CoraLikeGenerator {
+ public:
+  struct Options {
+    size_t initial_count = 280;
+    std::vector<SnapshotSpec> schedule = DefaultSchedule("cora");
+    uint64_t seed = 11;
+    double duplicate_mean = 2.5;
+    int max_duplicates = 8;
+    DuplicateDistribution distribution = DuplicateDistribution::kZipf;
+  };
+
+  CoraLikeGenerator();
+  explicit CoraLikeGenerator(Options options);
+
+  static const char* Name() { return "cora"; }
+
+  /// Deterministic workload stream for the configured seed.
+  WorkloadStream Generate();
+
+  /// Similarity measure + blocking matching Table 1 (Jaccard, token index).
+  static DatasetProfile Profile();
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_WORKLOAD_CORA_LIKE_H_

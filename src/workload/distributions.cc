@@ -1,0 +1,83 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  DYNAMICC_CHECK_GT(n, 0u);
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), exponent);
+    cumulative_[rank - 1] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->Uniform();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  size_t index = static_cast<size_t>(it - cumulative_.begin());
+  return std::min(index, cumulative_.size() - 1) + 1;
+}
+
+int SampleDuplicateCount(DuplicateDistribution distribution, double mean,
+                         int max_duplicates, Rng* rng) {
+  DYNAMICC_CHECK_GE(mean, 0.0);
+  int count = 0;
+  switch (distribution) {
+    case DuplicateDistribution::kUniform:
+      count = static_cast<int>(rng->Int(0, static_cast<int64_t>(2 * mean)));
+      break;
+    case DuplicateDistribution::kPoisson:
+      count = rng->Poisson(mean);
+      break;
+    case DuplicateDistribution::kZipf: {
+      // Heavy tail: most originals get few duplicates, some get many.
+      ZipfSampler zipf(static_cast<size_t>(std::max(1, max_duplicates)), 1.2);
+      count = static_cast<int>(zipf.Sample(rng)) - 1;
+      break;
+    }
+  }
+  return std::clamp(count, 0, max_duplicates);
+}
+
+const char* DistributionName(DuplicateDistribution distribution) {
+  switch (distribution) {
+    case DuplicateDistribution::kUniform:
+      return "uniform";
+    case DuplicateDistribution::kPoisson:
+      return "poisson";
+    case DuplicateDistribution::kZipf:
+      return "zipf";
+  }
+  return "?";
+}
+
+std::string ApplyTypo(const std::string& word, Rng* rng) {
+  if (word.size() < 2) return word;
+  std::string out = word;
+  size_t pos = rng->Index(out.size());
+  char letter = static_cast<char>('a' + rng->Index(26));
+  switch (rng->Index(4)) {
+    case 0:  // substitute
+      out[pos] = letter;
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, letter);
+      break;
+    default:  // transpose with the next character
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,44 @@
+#ifndef DYNAMICC_WORKLOAD_DISTRIBUTIONS_H_
+#define DYNAMICC_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dynamicc {
+
+/// Duplicate-count distribution of the Febrl-style generator (§7.1: the
+/// synthetic dataset is generated with uniform, Poisson and Zipf duplicate
+/// distributions).
+enum class DuplicateDistribution { kUniform, kPoisson, kZipf };
+
+/// Draws one rank from a Zipf(s) distribution over {1, ..., n} by inverse
+/// CDF on precomputed weights. Deterministic given the Rng state.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  /// Rank in [1, n]; rank 1 is the most likely.
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Number of duplicates for one original under the chosen distribution,
+/// bounded by `max_duplicates`.
+int SampleDuplicateCount(DuplicateDistribution distribution, double mean,
+                         int max_duplicates, Rng* rng);
+
+const char* DistributionName(DuplicateDistribution distribution);
+
+/// Applies one random character-level corruption (insert / delete /
+/// substitute / transpose) to `word` — the Febrl-style duplicate noise.
+/// Words shorter than 2 characters are returned unchanged.
+std::string ApplyTypo(const std::string& word, Rng* rng);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_WORKLOAD_DISTRIBUTIONS_H_

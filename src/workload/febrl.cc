@@ -1,0 +1,163 @@
+#include "workload/febrl.h"
+
+#include <deque>
+#include <iterator>
+#include <memory>
+#include <string>
+
+#include "data/similarity_measures.h"
+#include "util/string_utils.h"
+
+namespace dynamicc {
+
+namespace {
+
+const char* const kGivenNames[] = {
+    "james",  "mary",    "john",    "patricia", "robert", "jennifer",
+    "michael", "linda",  "william", "elizabeth", "david", "barbara",
+    "richard", "susan",  "joseph",  "jessica",  "thomas", "sarah",
+    "charles", "karen",  "daniel",  "nancy",    "matthew", "lisa",
+    "anthony", "margaret", "mark",  "betty",    "donald", "sandra"};
+
+const char* const kSurnames[] = {
+    "anderson", "baker",  "carter",  "davies",  "edwards", "foster",
+    "graham",   "harris", "irwin",   "jackson", "kelly",   "lawson",
+    "morgan",   "nolan",  "osborne", "palmer",  "quincy",  "roberts",
+    "stevens",  "turner", "underwood", "vaughan", "walker", "young"};
+
+const char* const kStreets[] = {
+    "acacia avenue", "birch street",  "cedar lane",   "dune road",
+    "elm terrace",   "fern drive",    "grove parade", "holly court",
+    "ivy close",     "jasmine way",   "kings road",   "larch walk",
+    "maple crescent", "north parade", "oak street",   "pine grove"};
+
+const char* const kCities[] = {"newcastle", "bathurst", "dubbo",   "orange",
+                               "tamworth", "armidale", "goulburn", "wagga",
+                               "albury",   "mildura",  "bendigo",  "ballarat"};
+
+struct Entity {
+  uint32_t id;
+  std::string given;
+  std::string surname;
+  std::string street_no;
+  std::string street;
+  std::string city;
+  std::string phone;
+};
+
+struct PoolState {
+  std::deque<Record> pending;
+  uint32_t next_entity = 0;
+};
+
+Entity MakeEntity(uint32_t id, Rng* rng) {
+  Entity entity;
+  entity.id = id;
+  entity.given = kGivenNames[rng->Index(std::size(kGivenNames))];
+  entity.surname = kSurnames[rng->Index(std::size(kSurnames))];
+  entity.street_no = std::to_string(1 + rng->Index(250));
+  entity.street = kStreets[rng->Index(std::size(kStreets))];
+  entity.city = kCities[rng->Index(std::size(kCities))];
+  entity.phone.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    entity.phone += static_cast<char>('0' + rng->Index(10));
+  }
+  return entity;
+}
+
+Record Render(const Entity& entity) {
+  Record record;
+  record.entity = entity.id + 1;
+  record.tokens = {entity.given, entity.surname, entity.street_no};
+  for (const auto& token : SplitTokens(entity.street)) {
+    record.tokens.push_back(token);
+  }
+  record.tokens.push_back(entity.city);
+  record.tokens.push_back(entity.phone);
+  record.text = JoinStrings(record.tokens, " ");
+  return record;
+}
+
+Record RecordFrom(const Entity& entity, Rng* rng, bool is_duplicate) {
+  Entity noisy = entity;
+  if (is_duplicate) {
+    if (rng->Chance(0.5)) noisy.given = ApplyTypo(noisy.given, rng);
+    if (rng->Chance(0.5)) noisy.surname = ApplyTypo(noisy.surname, rng);
+    if (rng->Chance(0.3)) noisy.street = ApplyTypo(noisy.street, rng);
+    if (rng->Chance(0.2)) noisy.city = ApplyTypo(noisy.city, rng);
+    if (rng->Chance(0.3)) {
+      // Swap two phone digits (a classic linkage error).
+      size_t i = rng->Index(noisy.phone.size());
+      size_t j = rng->Index(noisy.phone.size());
+      std::swap(noisy.phone[i], noisy.phone[j]);
+    }
+    if (rng->Chance(0.15)) noisy.given = noisy.given.substr(0, 1);  // initial
+  }
+  return Render(noisy);
+}
+
+}  // namespace
+
+FebrlGenerator::FebrlGenerator() : FebrlGenerator(Options{}) {}
+
+FebrlGenerator::FebrlGenerator(Options options)
+    : options_(std::move(options)) {}
+
+WorkloadStream FebrlGenerator::Generate() {
+  auto state = std::make_shared<PoolState>();
+  Options opts = options_;
+
+  auto refill = [state, opts](Rng* rng) {
+    std::vector<Record> chunk;
+    for (int e = 0; e < 100; ++e) {
+      Entity entity = MakeEntity(state->next_entity++, rng);
+      int copies = 1 + SampleDuplicateCount(opts.distribution,
+                                            opts.duplicate_mean,
+                                            opts.max_duplicates, rng);
+      for (int c = 0; c < copies; ++c) {
+        chunk.push_back(RecordFrom(entity, rng, c > 0));
+      }
+    }
+    rng->Shuffle(&chunk);
+    for (auto& record : chunk) state->pending.push_back(std::move(record));
+  };
+
+  StreamBuilder builder(options_.seed);
+  return builder.Build(
+      options_.initial_count, options_.schedule,
+      [state, refill](Rng* rng) {
+        if (state->pending.empty()) refill(rng);
+        Record record = std::move(state->pending.front());
+        state->pending.pop_front();
+        return record;
+      },
+      // Update: modify attribute values of the existing record (token-level
+      // corruption; entity identity is preserved).
+      [](const Record& old_record, Rng* rng) {
+        Record record = old_record;
+        size_t edits = 1 + rng->Index(2);
+        for (size_t i = 0; i < edits && !record.tokens.empty(); ++i) {
+          size_t pos = rng->Index(record.tokens.size());
+          record.tokens[pos] = ApplyTypo(record.tokens[pos], rng);
+        }
+        record.text = JoinStrings(record.tokens, " ");
+        return record;
+      });
+}
+
+DatasetProfile FebrlGenerator::Profile() {
+  DatasetProfile profile;
+  std::vector<std::unique_ptr<SimilarityMeasure>> parts;
+  parts.push_back(std::make_unique<LevenshteinSimilarity>());
+  parts.push_back(std::make_unique<JaccardSimilarity>());
+  profile.measure = std::make_unique<CombinedSimilarity>(
+      std::move(parts), std::vector<double>{0.5, 0.5});
+  profile.blocker = std::make_unique<TokenBlocker>(/*prefix_len=*/4);
+  // Duplicates of one person score ~0.7+; records of *different* people
+  // sharing a name/city score ~0.4. The threshold sits between the modes
+  // so cross-person edges don't glue entities together.
+  profile.min_similarity = 0.45;
+  return profile;
+}
+
+}  // namespace dynamicc

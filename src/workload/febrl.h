@@ -1,0 +1,46 @@
+#ifndef DYNAMICC_WORKLOAD_FEBRL_H_
+#define DYNAMICC_WORKLOAD_FEBRL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/distributions.h"
+#include "workload/profile.h"
+#include "workload/schedule.h"
+
+namespace dynamicc {
+
+/// Febrl-style synthetic person-record generator [5] (the paper's
+/// Synthetic dataset): original person records plus duplicates with a
+/// user-chosen distribution (uniform / Poisson / Zipf) and field-level
+/// corruption. This is the only workload with Update operations (§7.2):
+/// Febrl "allows us to generate similar objects as well as do
+/// modifications to attribute values".
+class FebrlGenerator {
+ public:
+  struct Options {
+    size_t initial_count = 1200;
+    std::vector<SnapshotSpec> schedule = DefaultSchedule("synthetic");
+    uint64_t seed = 31;
+    double duplicate_mean = 2.2;
+    int max_duplicates = 7;
+    DuplicateDistribution distribution = DuplicateDistribution::kZipf;
+  };
+
+  FebrlGenerator();
+  explicit FebrlGenerator(Options options);
+
+  static const char* Name() { return "synthetic"; }
+
+  WorkloadStream Generate();
+
+  /// Levenshtein + Jaccard combination (Table 1).
+  static DatasetProfile Profile();
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_WORKLOAD_FEBRL_H_

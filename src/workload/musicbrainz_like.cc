@@ -1,0 +1,132 @@
+#include "workload/musicbrainz_like.h"
+
+#include <deque>
+#include <iterator>
+#include <memory>
+#include <string>
+
+#include "data/similarity_measures.h"
+#include "util/string_utils.h"
+
+namespace dynamicc {
+
+namespace {
+
+const char* const kTitleWords[] = {
+    "love",   "night",  "dance",   "heart",  "fire",    "dream",  "river",
+    "summer", "shadow", "light",   "golden", "highway", "thunder", "rain",
+    "moon",   "city",   "stranger", "home",  "wild",    "blue",   "electric",
+    "midnight", "silver", "broken", "crazy", "forever", "angel",  "storm"};
+
+const char* const kArtists[] = {
+    "the velvet sparrows", "iron meridian",  "miss dolores", "kid cascade",
+    "the night office",    "paper lanterns", "violet ray",   "big sur radio",
+    "the hollow men",      "juniper falls",  "saint motel",  "cobalt drive",
+    "echo parade",         "the wandering",  "neon harvest", "low tide"};
+
+const char* const kSuffixes[] = {" (live)", " (remastered)", " (acoustic)",
+                                 " (radio edit)", " (demo)"};
+
+struct Entity {
+  uint32_t id;
+  std::string artist;
+  std::string title;
+  std::string album;
+};
+
+struct PoolState {
+  std::deque<Record> pending;
+  uint32_t next_entity = 0;
+};
+
+Entity MakeEntity(uint32_t id, Rng* rng) {
+  Entity entity;
+  entity.id = id;
+  entity.artist = kArtists[rng->Index(std::size(kArtists))];
+  // Titles carry most of the discriminating trigrams: with short titles,
+  // two different songs of one artist would be near-identical strings.
+  size_t words = 3 + rng->Index(3);
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) entity.title += " ";
+    entity.title += kTitleWords[rng->Index(std::size(kTitleWords))];
+  }
+  entity.album = kTitleWords[rng->Index(std::size(kTitleWords))];
+  return entity;
+}
+
+Record RecordFrom(const Entity& entity, Rng* rng, bool is_duplicate) {
+  std::string artist = entity.artist;
+  std::string title = entity.title;
+  std::string album = entity.album;
+  if (is_duplicate) {
+    // Release-variant noise.
+    if (rng->Chance(0.3)) title += kSuffixes[rng->Index(std::size(kSuffixes))];
+    if (rng->Chance(0.25)) {
+      title = std::to_string(1 + rng->Index(12)) + " - " + title;  // track no
+    }
+    if (rng->Chance(0.35)) title = ApplyTypo(title, rng);
+    if (rng->Chance(0.25)) artist = ApplyTypo(artist, rng);
+    if (rng->Chance(0.2)) album.clear();
+  }
+  Record record;
+  record.entity = entity.id + 1;
+  record.text = artist + " - " + title;
+  if (!album.empty()) record.text += " (" + album + ")";
+  return record;
+}
+
+}  // namespace
+
+MusicBrainzLikeGenerator::MusicBrainzLikeGenerator()
+    : MusicBrainzLikeGenerator(Options{}) {}
+
+MusicBrainzLikeGenerator::MusicBrainzLikeGenerator(Options options)
+    : options_(std::move(options)) {}
+
+WorkloadStream MusicBrainzLikeGenerator::Generate() {
+  auto state = std::make_shared<PoolState>();
+  Options opts = options_;
+
+  auto refill = [state, opts](Rng* rng) {
+    std::vector<Record> chunk;
+    for (int e = 0; e < 120; ++e) {
+      Entity entity = MakeEntity(state->next_entity++, rng);
+      int copies = 1 + SampleDuplicateCount(opts.distribution,
+                                            opts.duplicate_mean,
+                                            opts.max_duplicates, rng);
+      for (int c = 0; c < copies; ++c) {
+        chunk.push_back(RecordFrom(entity, rng, c > 0));
+      }
+    }
+    rng->Shuffle(&chunk);
+    for (auto& record : chunk) state->pending.push_back(std::move(record));
+  };
+
+  StreamBuilder builder(options_.seed);
+  return builder.Build(
+      options_.initial_count, options_.schedule,
+      [state, refill](Rng* rng) {
+        if (state->pending.empty()) refill(rng);
+        Record record = std::move(state->pending.front());
+        state->pending.pop_front();
+        return record;
+      },
+      [](const Record& old_record, Rng* rng) {
+        Record record = old_record;
+        record.text = ApplyTypo(record.text, rng);
+        return record;
+      });
+}
+
+DatasetProfile MusicBrainzLikeGenerator::Profile() {
+  DatasetProfile profile;
+  profile.measure = std::make_unique<TrigramCosineSimilarity>();
+  profile.blocker = std::make_unique<TokenBlocker>(/*prefix_len=*/4);
+  // Release variants of one song score ~0.75+; different songs by the same
+  // artist share the artist substring and score ~0.4-0.55. The threshold
+  // must sit between those modes or the graph drowns in spurious edges.
+  profile.min_similarity = 0.55;
+  return profile;
+}
+
+}  // namespace dynamicc

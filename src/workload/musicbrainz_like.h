@@ -1,0 +1,43 @@
+#ifndef DYNAMICC_WORKLOAD_MUSICBRAINZ_LIKE_H_
+#define DYNAMICC_WORKLOAD_MUSICBRAINZ_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/distributions.h"
+#include "workload/profile.h"
+#include "workload/schedule.h"
+
+namespace dynamicc {
+
+/// Synthetic stand-in for the MusicBrainz entity-resolution benchmark:
+/// song records rendered as "artist - title (album)" strings with
+/// release-variant noise (typos, abbreviations, "remastered"/"live"
+/// suffixes, track-number prefixes). Trigram-cosine similarity (Table 1).
+class MusicBrainzLikeGenerator {
+ public:
+  struct Options {
+    size_t initial_count = 1000;
+    std::vector<SnapshotSpec> schedule = DefaultSchedule("music");
+    uint64_t seed = 23;
+    double duplicate_mean = 2.0;
+    int max_duplicates = 6;
+    DuplicateDistribution distribution = DuplicateDistribution::kPoisson;
+  };
+
+  MusicBrainzLikeGenerator();
+  explicit MusicBrainzLikeGenerator(Options options);
+
+  static const char* Name() { return "music"; }
+
+  WorkloadStream Generate();
+
+  static DatasetProfile Profile();
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_WORKLOAD_MUSICBRAINZ_LIKE_H_

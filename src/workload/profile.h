@@ -1,0 +1,22 @@
+#ifndef DYNAMICC_WORKLOAD_PROFILE_H_
+#define DYNAMICC_WORKLOAD_PROFILE_H_
+
+#include <memory>
+
+#include "data/blocking.h"
+#include "data/similarity.h"
+
+namespace dynamicc {
+
+/// Everything a harness needs to build the similarity graph for one
+/// dataset: the similarity measure from Table 1, a matching blocking
+/// strategy, and the edge-retention threshold.
+struct DatasetProfile {
+  std::unique_ptr<SimilarityMeasure> measure;
+  std::unique_ptr<CandidateProvider> blocker;
+  double min_similarity = 0.1;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_WORKLOAD_PROFILE_H_

@@ -1,0 +1,90 @@
+#include "workload/road_like.h"
+
+#include <cmath>
+#include <memory>
+
+#include "data/similarity_measures.h"
+#include "util/logging.h"
+
+namespace dynamicc {
+
+namespace {
+// Wide enough that consecutive samples along a road (spacing ~10-20 units
+// at the default densities) are graph neighbors; incremental methods can
+// only merge/join across graph edges.
+constexpr double kKernelScale = 12.0;
+
+struct Road {
+  // Waypoints as (x, y, elevation).
+  std::vector<std::array<double, 3>> waypoints;
+};
+}  // namespace
+
+RoadLikeGenerator::RoadLikeGenerator() : RoadLikeGenerator(Options{}) {}
+
+RoadLikeGenerator::RoadLikeGenerator(Options options)
+    : options_(std::move(options)) {}
+
+WorkloadStream RoadLikeGenerator::Generate() {
+  Options opts = options_;
+  // Build the road network once.
+  Rng setup(opts.seed * 613 + 9);
+  auto roads = std::make_shared<std::vector<Road>>();
+  for (int r = 0; r < opts.roads; ++r) {
+    Road road;
+    double x = setup.Uniform(0.0, opts.extent);
+    double y = setup.Uniform(0.0, opts.extent);
+    double elevation = setup.Uniform(0.0, 120.0);
+    double heading = setup.Uniform(0.0, 2.0 * M_PI);
+    road.waypoints.push_back({x, y, elevation});
+    for (int s = 0; s < opts.segments_per_road; ++s) {
+      heading += setup.Gaussian(0.0, 0.35);  // gentle curvature
+      x += opts.segment_length * std::cos(heading);
+      y += opts.segment_length * std::sin(heading);
+      elevation += setup.Gaussian(0.0, 2.0);  // smooth elevation drift
+      road.waypoints.push_back({x, y, elevation});
+    }
+    roads->push_back(std::move(road));
+  }
+
+  auto sample_point = [opts, roads](Rng* rng) {
+    uint32_t road_id = static_cast<uint32_t>(rng->Index(roads->size()));
+    const Road& road = (*roads)[road_id];
+    size_t segment = rng->Index(road.waypoints.size() - 1);
+    double t = rng->Uniform();
+    const auto& a = road.waypoints[segment];
+    const auto& b = road.waypoints[segment + 1];
+    Record record;
+    record.entity = road_id + 1;
+    record.numeric = {
+        a[0] + t * (b[0] - a[0]) + rng->Gaussian(0.0, opts.point_noise),
+        a[1] + t * (b[1] - a[1]) + rng->Gaussian(0.0, opts.point_noise),
+        a[2] + t * (b[2] - a[2]) + rng->Gaussian(0.0, opts.point_noise)};
+    return record;
+  };
+
+  StreamBuilder builder(opts.seed);
+  return builder.Build(
+      opts.initial_count, opts.schedule,
+      [sample_point](Rng* rng) { return sample_point(rng); },
+      // Updates re-measure the point (fresh GPS fix, possibly elsewhere).
+      [sample_point](const Record& old_record, Rng* rng) {
+        (void)old_record;
+        return sample_point(rng);
+      });
+}
+
+double RoadLikeGenerator::SimilarityAtDistance(double distance) {
+  return std::exp(-(distance * distance) /
+                  (2.0 * kKernelScale * kKernelScale));
+}
+
+DatasetProfile RoadLikeGenerator::Profile() {
+  DatasetProfile profile;
+  profile.measure = std::make_unique<EuclideanSimilarity>(kKernelScale);
+  profile.blocker = std::make_unique<GridBlocker>(2.5 * kKernelScale);
+  profile.min_similarity = 0.05;
+  return profile;
+}
+
+}  // namespace dynamicc

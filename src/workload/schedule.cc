@@ -1,0 +1,96 @@
+#include "workload/schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+std::vector<SnapshotSpec> DefaultSchedule(const std::string& dataset_name) {
+  auto spec = [](double add, double remove, double update) {
+    return SnapshotSpec{add / 100.0, remove / 100.0, update / 100.0};
+  };
+  if (dataset_name == "cora") {
+    return {spec(32, 3, 0), spec(28, 4, 0), spec(26, 5, 0), spec(24, 3, 0),
+            spec(22, 4, 0), spec(20, 5, 0), spec(18, 3, 0), spec(16, 4, 0)};
+  }
+  if (dataset_name == "music") {
+    return {spec(22, 4, 0), spec(20, 5, 0), spec(18, 3, 0), spec(17, 4, 0),
+            spec(16, 5, 0), spec(15, 3, 0), spec(14, 4, 0), spec(13, 5, 0),
+            spec(12, 3, 0), spec(11, 4, 0)};
+  }
+  if (dataset_name == "access") {
+    return {spec(35, 2, 0), spec(32, 3, 0), spec(30, 4, 0), spec(28, 2, 0),
+            spec(26, 3, 0), spec(24, 4, 0), spec(22, 2, 0), spec(20, 3, 0),
+            spec(18, 4, 0), spec(16, 2, 0)};
+  }
+  if (dataset_name == "road") {
+    return {spec(16, 2, 0), spec(15, 3, 0), spec(14, 2, 0), spec(13, 3, 0),
+            spec(13, 2, 0), spec(12, 3, 0), spec(12, 2, 0), spec(11, 3, 0),
+            spec(11, 2, 0), spec(10, 2, 0)};
+  }
+  if (dataset_name == "synthetic") {
+    return {spec(26, 4, 9), spec(24, 5, 8), spec(22, 3, 7), spec(20, 4, 9),
+            spec(18, 5, 8), spec(16, 3, 7), spec(14, 4, 9), spec(12, 5, 8)};
+  }
+  DYNAMICC_LOG(Fatal) << "unknown dataset schedule: " << dataset_name;
+  return {};
+}
+
+DataOperation StreamBuilder::MakeAdd(const MakeRecordFn& make_record) {
+  DataOperation op;
+  op.kind = DataOperation::Kind::kAdd;
+  op.record = make_record(&rng_);
+  ObjectId id = next_id_++;
+  alive_.push_back(id);
+  contents_[id] = op.record;
+  return op;
+}
+
+WorkloadStream StreamBuilder::Build(size_t initial_count,
+                                    const std::vector<SnapshotSpec>& schedule,
+                                    const MakeRecordFn& make_record,
+                                    const CorruptRecordFn& corrupt_record) {
+  WorkloadStream stream;
+  for (size_t i = 0; i < initial_count; ++i) {
+    stream.initial.push_back(MakeAdd(make_record));
+  }
+
+  for (const SnapshotSpec& spec : schedule) {
+    OperationBatch batch;
+    size_t size_now = alive_.size();
+    size_t adds = static_cast<size_t>(spec.add_fraction * size_now);
+    size_t removes = static_cast<size_t>(spec.remove_fraction * size_now);
+    size_t updates = static_cast<size_t>(spec.update_fraction * size_now);
+    removes = std::min(removes, alive_.size() > adds ? alive_.size() - 1 : 0);
+
+    for (size_t i = 0; i < adds; ++i) batch.push_back(MakeAdd(make_record));
+
+    for (size_t i = 0; i < removes && !alive_.empty(); ++i) {
+      size_t pick = rng_.Index(alive_.size());
+      ObjectId id = alive_[pick];
+      alive_[pick] = alive_.back();
+      alive_.pop_back();
+      contents_.erase(id);
+      DataOperation op;
+      op.kind = DataOperation::Kind::kRemove;
+      op.target = id;
+      batch.push_back(op);
+    }
+
+    for (size_t i = 0; i < updates && !alive_.empty(); ++i) {
+      ObjectId id = alive_[rng_.Index(alive_.size())];
+      DataOperation op;
+      op.kind = DataOperation::Kind::kUpdate;
+      op.target = id;
+      op.record = corrupt_record(contents_.at(id), &rng_);
+      contents_[id] = op.record;
+      batch.push_back(op);
+    }
+
+    stream.snapshots.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+}  // namespace dynamicc

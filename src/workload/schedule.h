@@ -1,0 +1,63 @@
+#ifndef DYNAMICC_WORKLOAD_SCHEDULE_H_
+#define DYNAMICC_WORKLOAD_SCHEDULE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/operations.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+
+/// Operation mix of one snapshot, as fractions of the dataset size at the
+/// start of the snapshot (what Fig. 5a plots in percent).
+struct SnapshotSpec {
+  double add_fraction = 0.2;
+  double remove_fraction = 0.05;
+  double update_fraction = 0.0;
+};
+
+/// The per-dataset snapshot schedules used in the paper's evaluation
+/// (Fig. 5a: Cora and Synthetic have 8 snapshots, the others 10; updates
+/// appear only in the Synthetic workload).
+std::vector<SnapshotSpec> DefaultSchedule(const std::string& dataset_name);
+
+/// A fully materialized dynamic workload: the initial bulk load plus one
+/// operation batch per snapshot. Applying the batches in order to a fresh
+/// Dataset assigns exactly the ObjectIds the batches reference.
+struct WorkloadStream {
+  OperationBatch initial;
+  std::vector<OperationBatch> snapshots;
+};
+
+/// Shared machinery for the dataset simulators: tracks which ids are alive,
+/// emits adds/removes/updates per the schedule, and delegates record
+/// creation and update-corruption to the generator callbacks.
+class StreamBuilder {
+ public:
+  /// Creates a fresh record (a new entity member or duplicate).
+  using MakeRecordFn = std::function<Record(Rng*)>;
+  /// Produces the updated content of an existing record (same entity).
+  using CorruptRecordFn = std::function<Record(const Record&, Rng*)>;
+
+  explicit StreamBuilder(uint64_t seed) : rng_(seed) {}
+
+  WorkloadStream Build(size_t initial_count,
+                       const std::vector<SnapshotSpec>& schedule,
+                       const MakeRecordFn& make_record,
+                       const CorruptRecordFn& corrupt_record);
+
+ private:
+  DataOperation MakeAdd(const MakeRecordFn& make_record);
+
+  Rng rng_;
+  ObjectId next_id_ = 0;
+  std::vector<ObjectId> alive_;
+  std::unordered_map<ObjectId, Record> contents_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_WORKLOAD_SCHEDULE_H_

@@ -1,0 +1,185 @@
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/greedy.h"
+#include "baseline/naive.h"
+#include "batch/agglomerative.h"
+#include "cluster/engine.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "objective/correlation.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+class NumericLineFixture : public ::testing::Test {
+ protected:
+  NumericLineFixture()
+      : measure_(1.0),
+        graph_(&dataset_, &measure_, std::make_unique<AllPairsBlocker>(),
+               0.05) {}
+
+  ObjectId AddPoint(double x) {
+    Record record;
+    record.numeric = {x};
+    ObjectId id = dataset_.Add(record);
+    graph_.AddObject(id);
+    return id;
+  }
+
+  Dataset dataset_;
+  EuclideanSimilarity measure_;
+  SimilarityGraph graph_;
+};
+
+// ------------------------------------------------------------------ naive
+
+TEST_F(NumericLineFixture, NaiveJoinsClosestCluster) {
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.1);
+  ObjectId c = AddPoint(10.0);
+  ObjectId d = AddPoint(10.1);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId ab = engine.Merge(engine.clustering().ClusterOf(a),
+                              engine.clustering().ClusterOf(b));
+  ClusterId cd = engine.Merge(engine.clustering().ClusterOf(c),
+                              engine.clustering().ClusterOf(d));
+
+  // New object near the second pair.
+  ObjectId fresh = AddPoint(10.05);
+  engine.AddObjectAsSingleton(fresh);
+  NaiveIncremental naive;
+  naive.Process(&engine, {fresh});
+  EXPECT_EQ(engine.clustering().ClusterOf(fresh), cd);
+  EXPECT_NE(engine.clustering().ClusterOf(fresh), ab);
+}
+
+TEST_F(NumericLineFixture, NaiveLeavesOutliersAlone) {
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.1);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  engine.Merge(engine.clustering().ClusterOf(a),
+               engine.clustering().ClusterOf(b));
+  ObjectId outlier = AddPoint(50.0);
+  engine.AddObjectAsSingleton(outlier);
+  NaiveIncremental naive;
+  naive.Process(&engine, {outlier});
+  EXPECT_EQ(engine.clustering().ClusterSize(
+                engine.clustering().ClusterOf(outlier)),
+            1u);
+}
+
+TEST_F(NumericLineFixture, NaiveNeverRestructuresExistingClusters) {
+  // A cluster that *should* split is left intact: Naive is merge-only.
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(8.0);  // far apart but forced together
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId forced = engine.Merge(engine.clustering().ClusterOf(a),
+                                  engine.clustering().ClusterOf(b));
+  ObjectId fresh = AddPoint(20.0);
+  engine.AddObjectAsSingleton(fresh);
+  NaiveIncremental naive;
+  naive.Process(&engine, {fresh});
+  EXPECT_EQ(engine.clustering().ClusterSize(forced), 2u);
+}
+
+// ----------------------------------------------------------------- greedy
+
+TEST_F(NumericLineFixture, GreedyMergesNewObjectIn) {
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.1);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  engine.Merge(engine.clustering().ClusterOf(a),
+               engine.clustering().ClusterOf(b));
+  ObjectId fresh = AddPoint(0.05);
+  engine.AddObjectAsSingleton(fresh);
+
+  CorrelationObjective objective;
+  GreedyIncremental greedy(&objective);
+  double before = objective.Evaluate(engine);
+  auto report = greedy.Process(&engine, {fresh});
+  EXPECT_LE(objective.Evaluate(engine), before);
+  EXPECT_GE(report.merges, 1u);
+  EXPECT_EQ(engine.clustering().ClusterOf(fresh),
+            engine.clustering().ClusterOf(a));
+}
+
+TEST_F(NumericLineFixture, GreedySplitsWhenBeneficial) {
+  // Force a bad cluster {near, near, far}; greedy should split `far` out
+  // once the far object's cluster is dirty.
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.1);
+  ObjectId far = AddPoint(6.0);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId bad = engine.Merge(engine.clustering().ClusterOf(a),
+                               engine.clustering().ClusterOf(b));
+  bad = engine.Merge(bad, engine.clustering().ClusterOf(far));
+
+  CorrelationObjective objective;
+  GreedyIncremental greedy(&objective);
+  double before = objective.Evaluate(engine);
+  greedy.Process(&engine, {a});
+  EXPECT_LT(objective.Evaluate(engine), before);
+  EXPECT_NE(engine.clustering().ClusterOf(far),
+            engine.clustering().ClusterOf(a));
+}
+
+TEST(Greedy, ConvergesToBatchQualityOnRandomData) {
+  // Incrementally processing a stream with Greedy should land close to the
+  // batch agglomerative objective on well-separated data.
+  Rng rng(23);
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  CorrelationObjective objective;
+  ClusteringEngine incremental(&graph);
+
+  std::vector<double> centers = {0.0, 10.0, 20.0, 30.0};
+  GreedyIncremental greedy(&objective);
+  std::vector<ObjectId> all;
+  for (int i = 0; i < 60; ++i) {
+    Record record;
+    record.numeric = {centers[rng.Index(centers.size())] +
+                      rng.Gaussian(0.0, 0.3)};
+    ObjectId id = dataset.Add(record);
+    graph.AddObject(id);
+    incremental.AddObjectAsSingleton(id);
+    greedy.Process(&incremental, {id});
+    all.push_back(id);
+  }
+
+  ClusteringEngine batch_engine(&graph);
+  GreedyAgglomerative batch(&objective);
+  batch.Run(&batch_engine);
+
+  double batch_score = objective.Evaluate(batch_engine);
+  double greedy_score = objective.Evaluate(incremental);
+  EXPECT_LE(greedy_score, batch_score * 1.25 + 1.0);
+}
+
+TEST_F(NumericLineFixture, GreedyReportsDeltaEvaluations) {
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.1);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  CorrelationObjective objective;
+  GreedyIncremental greedy(&objective);
+  auto report = greedy.Process(&engine, {a, b});
+  EXPECT_GT(report.delta_evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace dynamicc

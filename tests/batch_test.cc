@@ -1,0 +1,361 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "batch/agglomerative.h"
+#include "batch/dbscan.h"
+#include "batch/hill_climbing.h"
+#include "batch/kmeans_lloyd.h"
+#include "cluster/engine.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "objective/correlation.h"
+#include "objective/kmeans.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+class TableSimilarity final : public SimilarityMeasure {
+ public:
+  explicit TableSimilarity(std::map<std::pair<int, int>, double> edges)
+      : edges_(std::move(edges)) {}
+  double Similarity(const Record& a, const Record& b) const override {
+    int x = static_cast<int>(a.numeric[0]);
+    int y = static_cast<int>(b.numeric[0]);
+    if (x > y) std::swap(x, y);
+    auto it = edges_.find({x, y});
+    return it == edges_.end() ? 0.0 : it->second;
+  }
+  const char* Name() const override { return "table"; }
+
+ private:
+  std::map<std::pair<int, int>, double> edges_;
+};
+
+/// The Figure 2 instance (see objective_test.cc for the edge derivation).
+class Figure2Fixture : public ::testing::Test {
+ protected:
+  Figure2Fixture()
+      : measure_({{{1, 2}, 0.9},
+                  {{2, 3}, 0.9},
+                  {{4, 5}, 0.9},
+                  {{1, 7}, 1.0},
+                  {{4, 6}, 0.7},
+                  {{5, 6}, 0.8}}),
+        graph_(&dataset_, &measure_, std::make_unique<AllPairsBlocker>(),
+               0.05) {
+    for (int label = 1; label <= 7; ++label) {
+      Record record;
+      record.numeric = {static_cast<double>(label)};
+      ids_[label] = dataset_.Add(record);
+      graph_.AddObject(ids_[label]);
+    }
+  }
+
+  ObjectId R(int label) { return ids_.at(label); }
+
+  std::vector<std::vector<ObjectId>> PaperClustering() {
+    std::vector<std::vector<ObjectId>> expected = {
+        {R(1), R(7)}, {R(2), R(3)}, {R(4), R(5), R(6)}};
+    for (auto& cluster : expected) std::sort(cluster.begin(), cluster.end());
+    std::sort(expected.begin(), expected.end());
+    return expected;
+  }
+
+  Dataset dataset_;
+  TableSimilarity measure_;
+  SimilarityGraph graph_;
+  std::map<int, ObjectId> ids_;
+};
+
+// ----------------------------------------------------------- agglomerative
+
+TEST_F(Figure2Fixture, AgglomerativeFindsPaperClustering) {
+  ClusteringEngine engine(&graph_);
+  CorrelationObjective objective;
+  GreedyAgglomerative batch(&objective);
+  batch.Run(&engine);
+  EXPECT_EQ(engine.clustering().CanonicalClusters(), PaperClustering());
+}
+
+TEST_F(Figure2Fixture, AgglomerativeRecordsMergeSteps) {
+  ClusteringEngine engine(&graph_);
+  CorrelationObjective objective;
+  GreedyAgglomerative batch(&objective);
+  RecordingObserver observer;
+  batch.Run(&engine, &observer);
+  // 7 singletons -> 3 clusters takes exactly 4 merges (Figure 2's steps).
+  EXPECT_EQ(observer.steps().size(), 4u);
+  for (const auto& step : observer.steps()) {
+    EXPECT_EQ(step.kind, EvolutionStep::Kind::kMerge);
+  }
+}
+
+TEST_F(Figure2Fixture, AgglomerativeNeverWorsensObjective) {
+  ClusteringEngine engine(&graph_);
+  CorrelationObjective objective;
+  engine.InitSingletons();
+  double before = objective.Evaluate(engine);
+  GreedyAgglomerative batch(&objective);
+  batch.Run(&engine);
+  EXPECT_LT(objective.Evaluate(engine), before);
+}
+
+// ----------------------------------------------------------- hill climbing
+
+TEST_F(Figure2Fixture, HillClimbingFindsPaperClustering) {
+  ClusteringEngine engine(&graph_);
+  CorrelationObjective objective;
+  HillClimbing batch(&objective);
+  batch.Run(&engine);
+  EXPECT_EQ(engine.clustering().CanonicalClusters(), PaperClustering());
+}
+
+TEST_F(Figure2Fixture, HillClimbingRefinesFromCurrent) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  // Deliberately bad start: everything in one cluster.
+  auto ids = engine.clustering().ClusterIds();
+  ClusterId all = ids[0];
+  for (size_t i = 1; i < ids.size(); ++i) all = engine.Merge(all, ids[i]);
+
+  CorrelationObjective objective;
+  HillClimbing::Options options;
+  options.from_current = true;
+  HillClimbing batch(&objective, options);
+  double before = objective.Evaluate(engine);
+  batch.Run(&engine);
+  EXPECT_LT(objective.Evaluate(engine), before);
+  EXPECT_GT(batch.last_step_count(), 0u);
+}
+
+TEST(HillClimbing, MonotonicObjectiveOnRandomGraph) {
+  Rng rng(17);
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  for (int i = 0; i < 40; ++i) {
+    Record record;
+    record.numeric = {rng.Uniform(0.0, 10.0)};
+    graph.AddObject(dataset.Add(record));
+  }
+  ClusteringEngine engine(&graph);
+  CorrelationObjective objective;
+  HillClimbing batch(&objective);
+  batch.Run(&engine);
+  double score = objective.Evaluate(engine);
+  // Local optimum: no single merge of inter-neighbors improves.
+  bool any_improving = false;
+  engine.stats().ForEachInter([&](ClusterId a, ClusterId b, double) {
+    if (objective.MergeDelta(engine, a, b) < -1e-9) any_improving = true;
+  });
+  EXPECT_FALSE(any_improving);
+  EXPECT_GE(score, 0.0);
+}
+
+TEST_F(Figure2Fixture, PrunedHillClimbingStillSolvesExample) {
+  ClusteringEngine engine(&graph_);
+  CorrelationObjective objective;
+  HillClimbing::Options options;
+  options.prune_top = 3;
+  HillClimbing batch(&objective, options);
+  batch.Run(&engine);
+  EXPECT_EQ(engine.clustering().CanonicalClusters(), PaperClustering());
+}
+
+// ----------------------------------------------------------------- dbscan
+
+class DbscanFixture : public ::testing::Test {
+ protected:
+  DbscanFixture()
+      : measure_(2.0),
+        graph_(&dataset_, &measure_, std::make_unique<AllPairsBlocker>(),
+               0.01) {}
+
+  ObjectId AddPoint(double x, double y) {
+    Record record;
+    record.numeric = {x, y};
+    ObjectId id = dataset_.Add(record);
+    graph_.AddObject(id);
+    return id;
+  }
+
+  Dataset dataset_;
+  EuclideanSimilarity measure_;
+  SimilarityGraph graph_;
+};
+
+TEST_F(DbscanFixture, TwoBlobsAndNoise) {
+  // Blob A: 5 points tightly packed; blob B likewise; one far noise point.
+  std::vector<ObjectId> blob_a, blob_b;
+  for (int i = 0; i < 5; ++i) blob_a.push_back(AddPoint(0.0 + 0.1 * i, 0.0));
+  for (int i = 0; i < 5; ++i) blob_b.push_back(AddPoint(50.0 + 0.1 * i, 0.0));
+  ObjectId noise = AddPoint(25.0, 25.0);
+
+  Dbscan::Options options;
+  options.min_pts = 3;
+  // eps distance 1.0 under scale 2.0: sim = exp(-1/8).
+  options.eps_similarity = std::exp(-1.0 / 8.0) - 1e-9;
+  Dbscan dbscan(options);
+  ClusteringEngine engine(&graph_);
+  dbscan.Run(&engine);
+
+  ClusterId ca = engine.clustering().ClusterOf(blob_a[0]);
+  for (ObjectId id : blob_a) EXPECT_EQ(engine.clustering().ClusterOf(id), ca);
+  ClusterId cb = engine.clustering().ClusterOf(blob_b[0]);
+  for (ObjectId id : blob_b) EXPECT_EQ(engine.clustering().ClusterOf(id), cb);
+  EXPECT_NE(ca, cb);
+  // Noise is its own singleton.
+  EXPECT_EQ(engine.clustering().ClusterSize(
+                engine.clustering().ClusterOf(noise)),
+            1u);
+}
+
+TEST_F(DbscanFixture, CorePointDetection) {
+  for (int i = 0; i < 4; ++i) AddPoint(0.1 * i, 0.0);
+  ObjectId lone = AddPoint(30.0, 0.0);
+  Dbscan::Options options;
+  options.min_pts = 3;
+  options.eps_similarity = std::exp(-1.0 / 8.0) - 1e-9;
+  Dbscan dbscan(options);
+  EXPECT_TRUE(dbscan.IsCore(graph_, 0));
+  EXPECT_FALSE(dbscan.IsCore(graph_, lone));
+}
+
+TEST_F(DbscanFixture, ValidatorAcceptsReachableMerge) {
+  std::vector<ObjectId> blob;
+  for (int i = 0; i < 5; ++i) blob.push_back(AddPoint(0.2 * i, 0.0));
+  ObjectId border = AddPoint(1.5, 0.0);  // within eps of the blob edge
+
+  Dbscan::Options options;
+  options.min_pts = 3;
+  options.eps_similarity = std::exp(-1.0 / 8.0) - 1e-9;  // eps distance 1.0
+  Dbscan dbscan(options);
+  DbscanValidator validator(&dbscan, &graph_);
+
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId cluster = engine.clustering().ClusterOf(blob[0]);
+  for (size_t i = 1; i < blob.size(); ++i) {
+    cluster = engine.Merge(cluster, engine.clustering().ClusterOf(blob[i]));
+  }
+  ClusterId border_cluster = engine.clustering().ClusterOf(border);
+  EXPECT_TRUE(validator.MergeImproves(engine, cluster, border_cluster));
+
+  // A detached far point is not reachable.
+  ObjectId far = AddPoint(40.0, 0.0);
+  engine.AddObjectAsSingleton(far);
+  EXPECT_FALSE(validator.MergeImproves(
+      engine, cluster, engine.clustering().ClusterOf(far)));
+}
+
+TEST_F(DbscanFixture, ValidatorAcceptsDetachedSplit) {
+  std::vector<ObjectId> blob;
+  for (int i = 0; i < 5; ++i) blob.push_back(AddPoint(0.2 * i, 0.0));
+  ObjectId outlier = AddPoint(20.0, 0.0);
+
+  Dbscan::Options options;
+  options.min_pts = 3;
+  options.eps_similarity = std::exp(-1.0 / 8.0) - 1e-9;
+  Dbscan dbscan(options);
+  DbscanValidator validator(&dbscan, &graph_);
+
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId cluster = engine.clustering().ClusterOf(blob[0]);
+  for (size_t i = 1; i < blob.size(); ++i) {
+    cluster = engine.Merge(cluster, engine.clustering().ClusterOf(blob[i]));
+  }
+  cluster = engine.Merge(cluster, engine.clustering().ClusterOf(outlier));
+  // The outlier is detached: splitting it out is valid.
+  EXPECT_TRUE(validator.SplitImproves(engine, cluster, {outlier}));
+  // A core blob member is not detached.
+  EXPECT_FALSE(validator.SplitImproves(engine, cluster, {blob[2]}));
+}
+
+// ----------------------------------------------------------------- kmeans
+
+TEST(KMeansLloyd, SeparatesGaussianBlobs) {
+  Rng rng(5);
+  Dataset dataset;
+  EuclideanSimilarity measure(2.0);
+  SimilarityGraph graph(&dataset, &measure, std::make_unique<GridBlocker>(5.0),
+                        0.05);
+  std::vector<std::vector<double>> centers = {{0, 0}, {30, 0}, {0, 30}};
+  std::vector<ObjectId> ids;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      Record record;
+      record.entity = static_cast<uint32_t>(c + 1);
+      record.numeric = {centers[c][0] + rng.Gaussian(0, 1.0),
+                        centers[c][1] + rng.Gaussian(0, 1.0)};
+      ObjectId id = dataset.Add(record);
+      graph.AddObject(id);
+      ids.push_back(id);
+    }
+  }
+  KMeansLloyd::Options options;
+  options.k = 3;
+  options.seed = 9;
+  KMeansLloyd kmeans(options);
+  ClusteringEngine engine(&graph);
+  kmeans.Run(&engine);
+  EXPECT_EQ(engine.clustering().num_clusters(), 3u);
+  // Objects of the same blob share a cluster.
+  for (int c = 0; c < 3; ++c) {
+    ClusterId cluster = engine.clustering().ClusterOf(ids[c * 20]);
+    for (int i = 1; i < 20; ++i) {
+      EXPECT_EQ(engine.clustering().ClusterOf(ids[c * 20 + i]), cluster);
+    }
+  }
+  KMeansObjective objective(&dataset, 3);
+  // SSE should be near 2 * 60 (unit-variance blobs, d = 2).
+  EXPECT_LT(objective.Sse(engine), 200.0);
+}
+
+TEST(KMeansLloyd, DeterministicForSeed) {
+  Rng rng(6);
+  Dataset dataset;
+  EuclideanSimilarity measure(2.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  for (int i = 0; i < 30; ++i) {
+    Record record;
+    record.numeric = {rng.Uniform(0, 50), rng.Uniform(0, 50)};
+    graph.AddObject(dataset.Add(record));
+  }
+  KMeansLloyd::Options options;
+  options.k = 4;
+  options.seed = 3;
+  ClusteringEngine e1(&graph), e2(&graph);
+  KMeansLloyd(options).Run(&e1);
+  KMeansLloyd(options).Run(&e2);
+  EXPECT_EQ(e1.clustering().CanonicalClusters(),
+            e2.clustering().CanonicalClusters());
+}
+
+// -------------------------------------------------------------- composite
+
+TEST_F(Figure2Fixture, CompositeRunsStagesInOrder) {
+  CorrelationObjective objective;
+  GreedyAgglomerative stage1(&objective);
+  HillClimbing::Options refine_options;
+  refine_options.from_current = true;
+  HillClimbing stage2(&objective, refine_options);
+  CompositeBatch composite({&stage1, &stage2}, "agglo+hc");
+  ClusteringEngine engine(&graph_);
+  composite.Run(&engine);
+  EXPECT_EQ(engine.clustering().CanonicalClusters(), PaperClustering());
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,735 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "batch/agglomerative.h"
+#include "cluster/engine.h"
+#include "core/dynamicc.h"
+#include "core/features.h"
+#include "core/merge_algorithm.h"
+#include "core/sampling.h"
+#include "core/session.h"
+#include "core/split_algorithm.h"
+#include "core/trainer.h"
+#include "core/transform.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+using Partition = std::vector<std::vector<ObjectId>>;
+
+class TableSimilarity final : public SimilarityMeasure {
+ public:
+  explicit TableSimilarity(std::map<std::pair<int, int>, double> edges)
+      : edges_(std::move(edges)) {}
+  double Similarity(const Record& a, const Record& b) const override {
+    int x = static_cast<int>(a.numeric[0]);
+    int y = static_cast<int>(b.numeric[0]);
+    if (x > y) std::swap(x, y);
+    auto it = edges_.find({x, y});
+    return it == edges_.end() ? 0.0 : it->second;
+  }
+  const char* Name() const override { return "table"; }
+
+ private:
+  std::map<std::pair<int, int>, double> edges_;
+};
+
+/// A fixed stub classifier for exercising the algorithms deterministically:
+/// probability is looked up by cluster size, defaulting to `fallback`.
+class StubClassifier final : public BinaryClassifier {
+ public:
+  explicit StubClassifier(double fallback) : fallback_(fallback) {}
+
+  const char* Name() const override { return "stub"; }
+  void Fit(const SampleSet&) override {}
+  bool is_fitted() const override { return true; }
+  std::unique_ptr<BinaryClassifier> Clone() const override {
+    return std::make_unique<StubClassifier>(fallback_);
+  }
+  double PredictProbability(const std::vector<double>&) const override {
+    return fallback_;
+  }
+
+ private:
+  double fallback_;
+};
+
+// ---------------------------------------------------------------- features
+
+class FeatureFixture : public ::testing::Test {
+ protected:
+  FeatureFixture()
+      : measure_({{{1, 2}, 0.8}, {{2, 3}, 0.6}, {{3, 4}, 0.9}}),
+        graph_(&dataset_, &measure_, std::make_unique<AllPairsBlocker>(),
+               0.05) {
+    for (int label = 1; label <= 4; ++label) {
+      Record record;
+      record.numeric = {static_cast<double>(label)};
+      ids_[label] = dataset_.Add(record);
+      graph_.AddObject(ids_[label]);
+    }
+  }
+
+  ObjectId R(int label) { return ids_.at(label); }
+
+  Dataset dataset_;
+  TableSimilarity measure_;
+  SimilarityGraph graph_;
+  std::map<int, ObjectId> ids_;
+};
+
+TEST_F(FeatureFixture, MergeFeatureValues) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId c12 = engine.Merge(engine.clustering().ClusterOf(R(1)),
+                               engine.clustering().ClusterOf(R(2)));
+  ClusterId c34 = engine.Merge(engine.clustering().ClusterOf(R(3)),
+                               engine.clustering().ClusterOf(R(4)));
+  auto f = MergeFeatures(engine, c12);
+  ASSERT_EQ(f.size(), kMergeFeatureCount);
+  EXPECT_NEAR(f[0], 0.8, 1e-12);          // avg intra of {1,2}
+  EXPECT_NEAR(f[1], 0.6 / 4.0, 1e-12);    // avg inter to {3,4}: only 2-3 edge
+  EXPECT_DOUBLE_EQ(f[2], 2.0);            // size
+  EXPECT_DOUBLE_EQ(f[3], 2.0);            // partner size
+  (void)c34;
+}
+
+TEST_F(FeatureFixture, SplitFeatureValues) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId c123 = engine.Merge(engine.Merge(engine.clustering().ClusterOf(R(1)),
+                                             engine.clustering().ClusterOf(R(2))),
+                                engine.clustering().ClusterOf(R(3)));
+  auto f = SplitFeatures(engine, c123);
+  ASSERT_EQ(f.size(), kSplitFeatureCount);
+  EXPECT_NEAR(f[0], (0.8 + 0.6 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(f[1], 0.9 / 3.0, 1e-12);  // to singleton {4}
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+}
+
+TEST_F(FeatureFixture, SingletonWithNoNeighborsHasZeroInter) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  // Build a measure-island: object 1 connects only to 2.
+  auto f = MergeFeatures(engine, engine.clustering().ClusterOf(R(1)));
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // singleton cohesion
+  EXPECT_GT(f[1], 0.0);         // has neighbor {2}
+}
+
+TEST_F(FeatureFixture, MergedClusterFeaturesMatchActualMerge) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId c12 = engine.Merge(engine.clustering().ClusterOf(R(1)),
+                               engine.clustering().ClusterOf(R(2)));
+  ClusterId c34 = engine.Merge(engine.clustering().ClusterOf(R(3)),
+                               engine.clustering().ClusterOf(R(4)));
+  auto hypothetical = MergedClusterFeatures(engine, c12, c34);
+  ClusterId merged = engine.Merge(c12, c34);
+  auto actual = MergeFeatures(engine, merged);
+  ASSERT_EQ(hypothetical.size(), actual.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(hypothetical[i], actual[i], 1e-9) << "feature " << i;
+  }
+}
+
+// --------------------------------------------------------------- transform
+
+TEST(Transform, PaperExample42) {
+  // Old clustering (Figure 1): C1 = {r1,r2,r3}, C2 = {r4,r5}; new objects
+  // r6, r7 arrive as singletons. New clustering (Figure 2):
+  // C'1 = {r2,r3}, C'2 = {r4,r5,r6}, C'3 = {r1,r7}. Objects use ids 1..7.
+  Partition old_clusters = {{1, 2, 3}, {4, 5}, {6}, {7}};
+  Partition new_clusters = {{2, 3}, {4, 5, 6}, {1, 7}};
+  EvolutionList steps = DeriveTransformation(old_clusters, new_clusters,
+                                             /*changed_objects=*/{6, 7});
+
+  // The paper derives exactly three changes:
+  //   split C1 into {r1} and {r2,r3};
+  //   merge {r4,r5} with {r6};
+  //   merge {r1} with {r7}.
+  ASSERT_EQ(steps.size(), 3u);
+  std::multiset<std::string> rendered;
+  for (const auto& step : steps) rendered.insert(step.ToString());
+  EXPECT_TRUE(rendered.count("split {1} | {2,3}") == 1)
+      << "steps: " << *rendered.begin();
+  EXPECT_EQ(rendered.count("merge {4,5} | {6}"), 1u);
+  EXPECT_EQ(rendered.count("merge {1} | {7}"), 1u);
+
+  // Applying the steps to the old clustering yields the new one.
+  Partition result = ApplySteps(old_clusters, steps);
+  Partition expected = new_clusters;
+  for (auto& c : expected) std::sort(c.begin(), c.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result, expected);
+}
+
+TEST(Transform, IdenticalClusteringsNeedNoSteps) {
+  Partition clusters = {{1, 2}, {3}};
+  EXPECT_TRUE(DeriveTransformation(clusters, clusters, {}).empty());
+}
+
+TEST(Transform, FullyContainedClusterIsNotSplit) {
+  // {1,2} ⊂ target {1,2,3}: only a merge is needed ("split into c' and ∅").
+  Partition old_clusters = {{1, 2}, {3}};
+  Partition new_clusters = {{1, 2, 3}};
+  EvolutionList steps = DeriveTransformation(old_clusters, new_clusters, {3});
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].kind, EvolutionStep::Kind::kMerge);
+}
+
+TEST(Transform, PureSplitDerivation) {
+  Partition old_clusters = {{1, 2, 3, 4}};
+  Partition new_clusters = {{1, 2}, {3, 4}};
+  EvolutionList steps = DeriveTransformation(old_clusters, new_clusters, {});
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].kind, EvolutionStep::Kind::kSplit);
+  EXPECT_EQ(ApplySteps(old_clusters, steps),
+            (Partition{{1, 2}, {3, 4}}));
+}
+
+// Property: derived steps always transform old into new.
+class TransformPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformPropertyTest, StepsReachTargetPartition) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  // Random object universe and two random partitions of it.
+  std::vector<ObjectId> objects;
+  for (ObjectId id = 0; id < 40; ++id) objects.push_back(id);
+
+  auto random_partition = [&rng](const std::vector<ObjectId>& ids) {
+    Partition partition;
+    for (ObjectId id : ids) {
+      if (partition.empty() || rng.Chance(0.3)) {
+        partition.push_back({id});
+      } else {
+        partition[rng.Index(partition.size())].push_back(id);
+      }
+    }
+    for (auto& cluster : partition) std::sort(cluster.begin(), cluster.end());
+    std::sort(partition.begin(), partition.end());
+    return partition;
+  };
+
+  Partition old_clusters = random_partition(objects);
+  Partition new_clusters = random_partition(objects);
+  std::vector<ObjectId> changed;
+  for (ObjectId id : objects) {
+    if (rng.Chance(0.2)) changed.push_back(id);
+  }
+  EvolutionList steps =
+      DeriveTransformation(old_clusters, new_clusters, changed);
+  EXPECT_EQ(ApplySteps(old_clusters, steps), new_clusters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformPropertyTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------- sampling
+
+TEST(NegativeSampling, ExcludesInvolvedClusters) {
+  Rng rng(3);
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  std::vector<ObjectId> objects;
+  for (int i = 0; i < 20; ++i) {
+    Record record;
+    record.numeric = {static_cast<double>(i)};
+    ObjectId id = dataset.Add(record);
+    graph.AddObject(id);
+    objects.push_back(id);
+  }
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+  std::unordered_set<ObjectId> involved{objects[0], objects[1]};
+  NegativeSamplingOptions options;
+  auto chosen = SampleNegativeClusters(engine, involved, 10, options);
+  EXPECT_EQ(chosen.size(), 10u);
+  for (ClusterId cluster : chosen) {
+    for (ObjectId member : engine.clustering().Members(cluster)) {
+      EXPECT_EQ(involved.count(member), 0u);
+    }
+  }
+}
+
+TEST(NegativeSampling, ActiveClustersAreOverrepresented) {
+  // 30 isolated singletons + 30 singletons in tight pairs (active).
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  std::vector<ObjectId> active_objects, inactive_objects;
+  for (int i = 0; i < 30; ++i) {
+    Record inactive;
+    inactive.numeric = {1000.0 + 50.0 * i};
+    ObjectId id = dataset.Add(inactive);
+    graph.AddObject(id);
+    inactive_objects.push_back(id);
+  }
+  for (int i = 0; i < 15; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      Record record;
+      record.numeric = {10.0 * i + 0.1 * j};
+      ObjectId id = dataset.Add(record);
+      graph.AddObject(id);
+      active_objects.push_back(id);
+    }
+  }
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+
+  NegativeSamplingOptions options;
+  size_t active_hits = 0, total = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    options.seed = seed;
+    for (ClusterId cluster : SampleNegativeClusters(engine, {}, 20, options)) {
+      ++total;
+      if (IsActiveCluster(engine, cluster)) ++active_hits;
+    }
+  }
+  // Actives are half the population but weighted 0.7 vs 0.3.
+  double active_rate = static_cast<double>(active_hits) / total;
+  EXPECT_GT(active_rate, 0.55);
+}
+
+TEST(NegativeSampling, DeterministicForSeed) {
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  for (int i = 0; i < 12; ++i) {
+    Record record;
+    record.numeric = {static_cast<double>(5 * i)};
+    graph.AddObject(dataset.Add(record));
+  }
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+  NegativeSamplingOptions options;
+  options.seed = 77;
+  auto a = SampleNegativeClusters(engine, {}, 6, options);
+  auto b = SampleNegativeClusters(engine, {}, 6, options);
+  EXPECT_EQ(a, b);
+}
+
+// ----------------------------------------------------------------- trainer
+
+TEST(Trainer, ReplayEndsAtTargetClusteringAndBalancesLabels) {
+  // Two tight pairs; evolution: merge each pair.
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  std::vector<ObjectId> ids;
+  for (double x : {0.0, 0.1, 10.0, 10.1, 20.0, 30.0, 40.0, 50.0}) {
+    Record record;
+    record.numeric = {x};
+    ObjectId id = dataset.Add(record);
+    graph.AddObject(id);
+    ids.push_back(id);
+  }
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+  Partition old_clusters = engine.clustering().CanonicalClusters();
+  Partition target = old_clusters;
+  // Merge {0,1} and {2,3} in the canonical representation.
+  Partition new_clusters = {{ids[0], ids[1]}, {ids[2], ids[3]}, {ids[4]},
+                            {ids[5]}, {ids[6]}, {ids[7]}};
+  std::sort(new_clusters.begin(), new_clusters.end());
+  EvolutionList steps = DeriveTransformation(old_clusters, new_clusters, {});
+  ASSERT_EQ(steps.size(), 2u);
+
+  EvolutionTrainer trainer;
+  trainer.AccumulateRound(&engine, steps);
+  EXPECT_EQ(engine.clustering().CanonicalClusters(), new_clusters);
+  // 2 merges -> 4 positive merge samples + 4 negatives.
+  EXPECT_EQ(trainer.merge_samples().size(), 8u);
+  size_t positives = 0;
+  for (const auto& sample : trainer.merge_samples()) {
+    positives += sample.label;
+    EXPECT_EQ(sample.features.size(), kMergeFeatureCount);
+  }
+  EXPECT_EQ(positives, 4u);
+  EXPECT_TRUE(trainer.split_samples().empty());  // no split steps, no splits
+}
+
+TEST(Trainer, EvictsOldestSamplesBeyondCap) {
+  EvolutionTrainer::Options options;
+  options.max_samples = 10;
+  EvolutionTrainer trainer(options);
+  SampleSet batch;
+  for (int i = 0; i < 25; ++i) {
+    batch.push_back({{static_cast<double>(i), 0, 0, 0}, i % 2, 1.0});
+  }
+  trainer.AddMergeFeedback(batch);
+  EXPECT_EQ(trainer.merge_samples().size(), 10u);
+  // The survivors are the newest ones.
+  EXPECT_DOUBLE_EQ(trainer.merge_samples().front().features[0], 15.0);
+}
+
+TEST(Trainer, FitProducesUsableModelsAndThetas) {
+  EvolutionTrainer trainer;
+  SampleSet merge_samples, split_samples;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    double intra = rng.Uniform();
+    int label = intra < 0.5 ? 1 : 0;  // low cohesion -> evolves
+    merge_samples.push_back({{intra, rng.Uniform(), 2.0, 2.0}, label, 1.0});
+    split_samples.push_back({{intra, rng.Uniform(), 3.0}, label, 1.0});
+  }
+  trainer.AddMergeFeedback(merge_samples);
+  trainer.AddSplitFeedback(split_samples);
+  LogisticRegression merge_model, split_model;
+  auto report = trainer.Fit(&merge_model, &split_model, ThresholdPolicy{});
+  EXPECT_TRUE(report.merge_fitted);
+  EXPECT_TRUE(report.split_fitted);
+  EXPECT_TRUE(merge_model.is_fitted());
+  EXPECT_TRUE(split_model.is_fitted());
+  EXPECT_DOUBLE_EQ(
+      RecallAtThreshold(merge_model, trainer.merge_samples(),
+                        report.merge_theta),
+      1.0);
+}
+
+// --------------------------------------------------- merge/split algorithms
+
+class AlgorithmFixture : public ::testing::Test {
+ protected:
+  AlgorithmFixture()
+      : measure_(1.0),
+        graph_(&dataset_, &measure_, std::make_unique<AllPairsBlocker>(),
+               0.05) {}
+
+  ObjectId AddPoint(double x) {
+    Record record;
+    record.numeric = {x};
+    ObjectId id = dataset_.Add(record);
+    graph_.AddObject(id);
+    return id;
+  }
+
+  Dataset dataset_;
+  EuclideanSimilarity measure_;
+  SimilarityGraph graph_;
+};
+
+TEST_F(AlgorithmFixture, MergeAlgorithmMergesOnlyWhenObjectiveImproves) {
+  // Two tight pairs far apart: merging within a pair improves, across
+  // pairs does not. An always-positive model floods predictions; the
+  // validator must keep results correct.
+  ObjectId a = AddPoint(0.0), b = AddPoint(0.1);
+  ObjectId c = AddPoint(10.0), d = AddPoint(10.1);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+
+  StubClassifier always_positive(0.99);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  MergeAlgorithm merge(&always_positive, &validator);
+  double before = objective.Evaluate(engine);
+  PassStats stats = merge.Run(&engine, 0.5);
+  EXPECT_TRUE(stats.changed);
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_LT(objective.Evaluate(engine), before);
+  EXPECT_EQ(engine.clustering().ClusterOf(a),
+            engine.clustering().ClusterOf(b));
+  EXPECT_EQ(engine.clustering().ClusterOf(c),
+            engine.clustering().ClusterOf(d));
+  EXPECT_NE(engine.clustering().ClusterOf(a),
+            engine.clustering().ClusterOf(c));
+}
+
+TEST_F(AlgorithmFixture, MergeAlgorithmIgnoresNegativePredictions) {
+  AddPoint(0.0);
+  AddPoint(0.1);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  StubClassifier always_negative(0.01);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  MergeAlgorithm merge(&always_negative, &validator);
+  PassStats stats = merge.Run(&engine, 0.5);
+  EXPECT_FALSE(stats.changed);
+  EXPECT_EQ(engine.clustering().num_clusters(), 2u);
+}
+
+TEST_F(AlgorithmFixture, SplitAlgorithmSplitsWorstObjectOut) {
+  // Tight pair + one far object glued in.
+  ObjectId a = AddPoint(0.0), b = AddPoint(0.1);
+  ObjectId far = AddPoint(6.0);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId bad = engine.Merge(engine.Merge(engine.clustering().ClusterOf(a),
+                                            engine.clustering().ClusterOf(b)),
+                               engine.clustering().ClusterOf(far));
+
+  StubClassifier always_positive(0.99);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  SplitAlgorithm split(&always_positive, &validator);
+  PassStats stats = split.Run(&engine, 0.5);
+  EXPECT_TRUE(stats.changed);
+  EXPECT_EQ(stats.applied, 1u);
+  EXPECT_NE(engine.clustering().ClusterOf(far),
+            engine.clustering().ClusterOf(a));
+  EXPECT_EQ(engine.clustering().ClusterOf(a),
+            engine.clustering().ClusterOf(b));
+  (void)bad;
+}
+
+TEST_F(AlgorithmFixture, SplitAlgorithmRejectsGoodClusters) {
+  ObjectId a = AddPoint(0.0), b = AddPoint(0.1);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  engine.Merge(engine.clustering().ClusterOf(a),
+               engine.clustering().ClusterOf(b));
+  StubClassifier always_positive(0.99);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  SplitAlgorithm split(&always_positive, &validator);
+  PassStats stats = split.Run(&engine, 0.5);
+  EXPECT_FALSE(stats.changed);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST_F(AlgorithmFixture, FeedbackCollectsVerifiedOutcomes) {
+  ObjectId a = AddPoint(0.0), b = AddPoint(0.1);
+  (void)a;
+  (void)b;
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  StubClassifier always_positive(0.99);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  MergeAlgorithm merge(&always_positive, &validator);
+  SampleSet feedback;
+  merge.Run(&engine, 0.5, &feedback);
+  ASSERT_GE(feedback.size(), 2u);
+  size_t positives = 0;
+  for (const auto& sample : feedback) positives += sample.label;
+  EXPECT_GE(positives, 2u);  // the applied merge contributed two positives
+}
+
+TEST_F(AlgorithmFixture, DynamicCConvergesAndNeverWorsens) {
+  Rng rng(31);
+  std::vector<double> centers = {0.0, 8.0, 16.0, 24.0};
+  for (int i = 0; i < 24; ++i) {
+    AddPoint(centers[rng.Index(centers.size())] + rng.Gaussian(0.0, 0.2));
+  }
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+
+  StubClassifier always_positive(0.99);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  DynamicC dynamicc(&always_positive, &always_positive, &validator);
+  dynamicc.SetThetas(0.5, 0.5);
+
+  double before = objective.Evaluate(engine);
+  ReclusterReport report = dynamicc.Recluster(&engine);
+  double after = objective.Evaluate(engine);
+  EXPECT_LE(after, before);
+  EXPECT_LT(report.iterations, 25u);  // converged before the cap
+  EXPECT_GT(report.merges_applied, 0u);
+
+  // Idempotence: a second run changes nothing.
+  ReclusterReport again = dynamicc.Recluster(&engine);
+  EXPECT_EQ(again.merges_applied + again.splits_applied, 0u);
+}
+
+TEST_F(AlgorithmFixture, AdversarialModelsCannotCorruptClustering) {
+  // Random-probability model: whatever it predicts, the validator only
+  // lets improving changes through, so the objective never increases.
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) AddPoint(rng.Uniform(0.0, 20.0));
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+
+  class RandomModel final : public BinaryClassifier {
+   public:
+    explicit RandomModel(uint64_t seed) : rng_(seed) {}
+    const char* Name() const override { return "random"; }
+    void Fit(const SampleSet&) override {}
+    bool is_fitted() const override { return true; }
+    std::unique_ptr<BinaryClassifier> Clone() const override {
+      return std::make_unique<RandomModel>(1);
+    }
+    double PredictProbability(const std::vector<double>&) const override {
+      return rng_.Uniform();
+    }
+
+   private:
+    mutable Rng rng_;
+  };
+
+  RandomModel random_model(7);
+  DynamicC dynamicc(&random_model, &random_model, &validator);
+  dynamicc.SetThetas(0.3, 0.3);
+  double score = objective.Evaluate(engine);
+  for (int round = 0; round < 5; ++round) {
+    dynamicc.Recluster(&engine);
+    double next = objective.Evaluate(engine);
+    EXPECT_LE(next, score + 1e-9);
+    score = next;
+  }
+}
+
+// ------------------------------------------------------------------ session
+
+TEST(Session, EndToEndTrainingThenDynamicRounds) {
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  GreedyAgglomerative batch(&objective);
+
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<LogisticRegression>(),
+                          DynamicCSession::Options{});
+
+  Rng rng(41);
+  std::vector<double> centers = {0.0, 10.0, 20.0, 30.0, 40.0};
+  auto make_ops = [&rng, &centers](int count) {
+    OperationBatch ops;
+    for (int i = 0; i < count; ++i) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kAdd;
+      op.record.numeric = {centers[rng.Index(centers.size())] +
+                           rng.Gaussian(0.0, 0.3)};
+      ops.push_back(op);
+    }
+    return ops;
+  };
+
+  // Two observed batch rounds to build history.
+  auto changed = session.ApplyOperations(make_ops(30));
+  session.ObserveBatchRound(changed);
+  changed = session.ApplyOperations(make_ops(15));
+  auto train_report = session.ObserveBatchRound(changed);
+  EXPECT_GT(train_report.step_count, 0u);
+  ASSERT_TRUE(session.is_trained());
+
+  // Dynamic rounds keep the objective in check.
+  for (int round = 0; round < 3; ++round) {
+    session.ApplyOperations(make_ops(10));
+    double before = objective.Evaluate(session.engine());
+    auto report = session.DynamicRound();
+    EXPECT_LE(objective.Evaluate(session.engine()), before);
+    EXPECT_GE(report.recluster_ms, 0.0);
+  }
+}
+
+TEST(Session, ObserveEveryCadenceServesWithBatch) {
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  GreedyAgglomerative batch(&objective);
+  DynamicCSession::Options options;
+  options.observe_every = 2;  // every 2nd dynamic round goes to the batch
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<LogisticRegression>(), options);
+
+  Rng rng(51);
+  auto make_ops = [&rng](int count) {
+    OperationBatch ops;
+    for (int i = 0; i < count; ++i) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kAdd;
+      op.record.numeric = {10.0 * rng.Index(4) + rng.Gaussian(0.0, 0.2)};
+      ops.push_back(op);
+    }
+    return ops;
+  };
+
+  auto changed = session.ApplyOperations(make_ops(30));
+  session.ObserveBatchRound(changed);
+  ASSERT_TRUE(session.is_trained());
+
+  std::vector<bool> used_batch;
+  for (int round = 0; round < 4; ++round) {
+    changed = session.ApplyOperations(make_ops(8));
+    used_batch.push_back(session.DynamicRound(changed).used_batch);
+  }
+  EXPECT_EQ(used_batch, (std::vector<bool>{false, true, false, true}));
+
+  // A batch-served round leaves the engine at the exact batch clustering.
+  ClusteringEngine reference(&graph);
+  batch.Run(&reference);
+  EXPECT_EQ(session.engine().clustering().CanonicalClusters(),
+            reference.clustering().CanonicalClusters());
+}
+
+TEST(Session, UpdateOperationsFollowRemoveAddSemantics) {
+  Dataset dataset;
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  GreedyAgglomerative batch(&objective);
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<LogisticRegression>(),
+                          DynamicCSession::Options{});
+
+  OperationBatch adds;
+  for (double x : {0.0, 0.1, 0.2}) {
+    DataOperation op;
+    op.kind = DataOperation::Kind::kAdd;
+    op.record.numeric = {x};
+    adds.push_back(op);
+  }
+  auto ids = session.ApplyOperations(adds);
+  ASSERT_EQ(ids.size(), 3u);
+
+  // Update: object 0 moves far away; it must end up in a fresh singleton.
+  OperationBatch updates;
+  DataOperation update;
+  update.kind = DataOperation::Kind::kUpdate;
+  update.target = ids[0];
+  update.record.numeric = {99.0};
+  updates.push_back(update);
+  auto changed = session.ApplyOperations(updates);
+  EXPECT_EQ(changed, std::vector<ObjectId>{ids[0]});
+  EXPECT_EQ(session.engine().clustering().ClusterSize(
+                session.engine().clustering().ClusterOf(ids[0])),
+            1u);
+  EXPECT_DOUBLE_EQ(dataset.Get(ids[0]).numeric[0], 99.0);
+
+  // Remove: object leaves the clustering entirely.
+  OperationBatch removes;
+  DataOperation remove;
+  remove.kind = DataOperation::Kind::kRemove;
+  remove.target = ids[1];
+  removes.push_back(remove);
+  session.ApplyOperations(removes);
+  EXPECT_EQ(session.engine().clustering().ClusterOf(ids[1]),
+            kInvalidCluster);
+  EXPECT_FALSE(dataset.IsAlive(ids[1]));
+}
+
+}  // namespace
+}  // namespace dynamicc

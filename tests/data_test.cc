@@ -1,0 +1,421 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/operations.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+Record TokenRecord(std::vector<std::string> tokens) {
+  Record record;
+  record.tokens = std::move(tokens);
+  return record;
+}
+
+Record TextRecord(std::string text) {
+  Record record;
+  record.text = std::move(text);
+  return record;
+}
+
+Record PointRecord(std::vector<double> numeric) {
+  Record record;
+  record.numeric = std::move(numeric);
+  return record;
+}
+
+// ---------------------------------------------------------------- dataset
+
+TEST(Dataset, AssignsSequentialIds) {
+  Dataset dataset;
+  EXPECT_EQ(dataset.Add(TokenRecord({"a"})), 0u);
+  EXPECT_EQ(dataset.Add(TokenRecord({"b"})), 1u);
+  EXPECT_EQ(dataset.Add(TokenRecord({"c"})), 2u);
+  EXPECT_EQ(dataset.alive_count(), 3u);
+  EXPECT_EQ(dataset.total_count(), 3u);
+}
+
+TEST(Dataset, RemoveTombstones) {
+  Dataset dataset;
+  ObjectId id = dataset.Add(TokenRecord({"a"}));
+  dataset.Add(TokenRecord({"b"}));
+  dataset.Remove(id);
+  EXPECT_FALSE(dataset.IsAlive(id));
+  EXPECT_EQ(dataset.alive_count(), 1u);
+  EXPECT_EQ(dataset.AliveIds(), std::vector<ObjectId>{1});
+  // Ids are never reused.
+  EXPECT_EQ(dataset.Add(TokenRecord({"c"})), 2u);
+}
+
+TEST(Dataset, UpdateKeepsIdAndEntity) {
+  Dataset dataset;
+  Record original = TokenRecord({"a"});
+  original.entity = 42;
+  ObjectId id = dataset.Add(original);
+  dataset.Update(id, TokenRecord({"b"}));
+  EXPECT_EQ(dataset.Get(id).tokens, std::vector<std::string>{"b"});
+  EXPECT_EQ(dataset.Get(id).entity, 42u);  // preserved when unset
+  EXPECT_EQ(dataset.Get(id).id, id);
+}
+
+// ------------------------------------------------------------- similarity
+
+TEST(Jaccard, KnownValues) {
+  JaccardSimilarity jaccard;
+  EXPECT_DOUBLE_EQ(
+      jaccard.Similarity(TokenRecord({"a", "b"}), TokenRecord({"a", "b"})),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      jaccard.Similarity(TokenRecord({"a", "b"}), TokenRecord({"c"})), 0.0);
+  EXPECT_DOUBLE_EQ(
+      jaccard.Similarity(TokenRecord({"a", "b", "c"}), TokenRecord({"b", "c",
+                                                                    "d"})),
+      0.5);
+}
+
+TEST(Jaccard, DuplicateTokensCountOnce) {
+  JaccardSimilarity jaccard;
+  EXPECT_DOUBLE_EQ(
+      jaccard.Similarity(TokenRecord({"a", "a"}), TokenRecord({"a"})), 1.0);
+}
+
+TEST(TrigramCosine, IdenticalTextIsOne) {
+  TrigramCosineSimilarity trigram;
+  EXPECT_NEAR(trigram.Similarity(TextRecord("hello world"),
+                                 TextRecord("hello world")),
+              1.0, 1e-12);
+}
+
+TEST(TrigramCosine, DisjointTextIsZero) {
+  TrigramCosineSimilarity trigram;
+  EXPECT_DOUBLE_EQ(
+      trigram.Similarity(TextRecord("aaaa"), TextRecord("zzzz")), 0.0);
+}
+
+TEST(TrigramCosine, SmallEditStaysHigh) {
+  TrigramCosineSimilarity trigram;
+  double s = trigram.Similarity(TextRecord("the velvet sparrows"),
+                                TextRecord("the velvet sparrow"));
+  EXPECT_GT(s, 0.8);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(LevenshteinSim, KnownValues) {
+  LevenshteinSimilarity lev;
+  EXPECT_DOUBLE_EQ(lev.Similarity(TextRecord("abcd"), TextRecord("abcd")),
+                   1.0);
+  // kitten -> sitting: distance 3, max length 7.
+  EXPECT_NEAR(lev.Similarity(TextRecord("kitten"), TextRecord("sitting")),
+              1.0 - 3.0 / 7.0, 1e-12);
+}
+
+TEST(EuclideanSim, GaussianKernelValues) {
+  EuclideanSimilarity euclid(2.0);
+  EXPECT_DOUBLE_EQ(
+      euclid.Similarity(PointRecord({0, 0}), PointRecord({0, 0})), 1.0);
+  // d = 2 = scale: exp(-4/8) = exp(-0.5).
+  EXPECT_NEAR(euclid.Similarity(PointRecord({0, 0}), PointRecord({2, 0})),
+              std::exp(-0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(EuclideanSimilarity::Distance(PointRecord({0, 3}),
+                                                 PointRecord({4, 0})),
+                   5.0);
+}
+
+TEST(CombinedSim, WeightsAreNormalized) {
+  std::vector<std::unique_ptr<SimilarityMeasure>> parts;
+  parts.push_back(std::make_unique<JaccardSimilarity>());
+  parts.push_back(std::make_unique<JaccardSimilarity>());
+  CombinedSimilarity combined(std::move(parts), {2.0, 2.0});
+  Record a = TokenRecord({"x", "y"});
+  Record b = TokenRecord({"y", "z"});
+  JaccardSimilarity jaccard;
+  EXPECT_NEAR(combined.Similarity(a, b), jaccard.Similarity(a, b), 1e-12);
+}
+
+// Property suite: similarity axioms over random records for each measure.
+class SimilarityAxiomsTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+std::unique_ptr<SimilarityMeasure> MakeMeasure(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<JaccardSimilarity>();
+    case 1:
+      return std::make_unique<TrigramCosineSimilarity>();
+    case 2:
+      return std::make_unique<LevenshteinSimilarity>();
+    default:
+      return std::make_unique<EuclideanSimilarity>(3.0);
+  }
+}
+
+Record RandomRecord(Rng* rng) {
+  Record record;
+  size_t tokens = 1 + rng->Index(5);
+  for (size_t i = 0; i < tokens; ++i) {
+    std::string token;
+    for (size_t k = 0; k < 3 + rng->Index(5); ++k) {
+      token += static_cast<char>('a' + rng->Index(6));
+    }
+    record.tokens.push_back(token);
+    if (i > 0) record.text += " ";
+    record.text += token;
+  }
+  for (int d = 0; d < 3; ++d) record.numeric.push_back(rng->Uniform(0, 10));
+  return record;
+}
+
+TEST_P(SimilarityAxiomsTest, RangeSymmetryIdentity) {
+  auto [which, seed] = GetParam();
+  auto measure = MakeMeasure(which);
+  Rng rng(static_cast<uint64_t>(seed));
+  for (int i = 0; i < 25; ++i) {
+    Record a = RandomRecord(&rng);
+    Record b = RandomRecord(&rng);
+    double ab = measure->Similarity(a, b);
+    double ba = measure->Similarity(b, a);
+    EXPECT_NEAR(ab, ba, 1e-12) << measure->Name();
+    EXPECT_GE(ab, 0.0) << measure->Name();
+    EXPECT_LE(ab, 1.0 + 1e-12) << measure->Name();
+    EXPECT_NEAR(measure->Similarity(a, a), 1.0, 1e-9) << measure->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, SimilarityAxiomsTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 3)));
+
+// --------------------------------------------------------------- blocking
+
+TEST(AllPairsBlocker, ReturnsEveryoneElse) {
+  AllPairsBlocker blocker;
+  Record a = TokenRecord({"x"});
+  a.id = 0;
+  Record b = TokenRecord({"y"});
+  b.id = 1;
+  blocker.Add(a);
+  blocker.Add(b);
+  auto candidates = blocker.Candidates(a);
+  EXPECT_EQ(candidates, std::vector<ObjectId>{1});
+}
+
+TEST(TokenBlocker, SharedTokenMakesCandidates) {
+  TokenBlocker blocker;
+  Record a = TokenRecord({"alpha", "beta"});
+  a.id = 0;
+  Record b = TokenRecord({"beta", "gamma"});
+  b.id = 1;
+  Record c = TokenRecord({"delta"});
+  c.id = 2;
+  blocker.Add(a);
+  blocker.Add(b);
+  blocker.Add(c);
+  auto candidates = blocker.Candidates(a);
+  EXPECT_EQ(candidates, std::vector<ObjectId>{1});
+  EXPECT_TRUE(blocker.Candidates(c).empty());
+}
+
+TEST(TokenBlocker, PrefixKeysCatchTypos) {
+  TokenBlocker blocker(/*prefix_len=*/4);
+  Record a = TokenRecord({"johnson"});
+  a.id = 0;
+  Record b = TokenRecord({"johnsen"});
+  b.id = 1;
+  blocker.Add(a);
+  blocker.Add(b);
+  EXPECT_EQ(blocker.Candidates(a), std::vector<ObjectId>{1});
+}
+
+TEST(TokenBlocker, RemoveUnindexes) {
+  TokenBlocker blocker;
+  Record a = TokenRecord({"alpha"});
+  a.id = 0;
+  Record b = TokenRecord({"alpha"});
+  b.id = 1;
+  blocker.Add(a);
+  blocker.Add(b);
+  blocker.Remove(b);
+  EXPECT_TRUE(blocker.Candidates(a).empty());
+}
+
+TEST(TokenBlocker, FallsBackToTextTokens) {
+  TokenBlocker blocker;
+  Record a = TextRecord("hello world");
+  a.id = 0;
+  Record b = TextRecord("hello there");
+  b.id = 1;
+  blocker.Add(a);
+  blocker.Add(b);
+  EXPECT_EQ(blocker.Candidates(a), std::vector<ObjectId>{1});
+}
+
+TEST(GridBlocker, NeighborCellsAreCandidates) {
+  GridBlocker blocker(10.0);
+  Record a = PointRecord({5, 5, 5});
+  a.id = 0;
+  Record b = PointRecord({12, 5, 5});  // adjacent cell
+  b.id = 1;
+  Record c = PointRecord({95, 95, 95});  // far away
+  c.id = 2;
+  blocker.Add(a);
+  blocker.Add(b);
+  blocker.Add(c);
+  auto candidates = blocker.Candidates(a);
+  EXPECT_EQ(candidates, std::vector<ObjectId>{1});
+}
+
+TEST(GridBlocker, NegativeCoordinatesWork) {
+  GridBlocker blocker(10.0);
+  Record a = PointRecord({-5, -5, 0});
+  a.id = 0;
+  Record b = PointRecord({-12, -5, 0});
+  b.id = 1;
+  blocker.Add(a);
+  blocker.Add(b);
+  EXPECT_EQ(blocker.Candidates(a), std::vector<ObjectId>{1});
+}
+
+// ------------------------------------------------------- similarity graph
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  GraphFixture()
+      : graph_(&dataset_, &jaccard_, std::make_unique<AllPairsBlocker>(),
+               0.1) {}
+
+  ObjectId AddTokens(std::vector<std::string> tokens) {
+    ObjectId id = dataset_.Add(TokenRecord(std::move(tokens)));
+    graph_.AddObject(id);
+    return id;
+  }
+
+  Dataset dataset_;
+  JaccardSimilarity jaccard_;
+  SimilarityGraph graph_;
+};
+
+TEST_F(GraphFixture, EdgesAboveThresholdOnly) {
+  ObjectId a = AddTokens({"x", "y"});
+  ObjectId b = AddTokens({"x", "y"});
+  ObjectId c = AddTokens({"z", "w", "v", "u", "t", "s", "r", "q", "p", "x"});
+  EXPECT_DOUBLE_EQ(graph_.Similarity(a, b), 1.0);
+  // Jaccard(a, c) = 1/11 < 0.1: no edge.
+  EXPECT_DOUBLE_EQ(graph_.Similarity(a, c), 0.0);
+  EXPECT_EQ(graph_.num_edges(), 1u);
+}
+
+TEST_F(GraphFixture, RemoveDropsEdges) {
+  ObjectId a = AddTokens({"x", "y"});
+  ObjectId b = AddTokens({"x", "y"});
+  AddTokens({"x", "y"});
+  EXPECT_EQ(graph_.num_edges(), 3u);
+  graph_.RemoveObject(b);
+  dataset_.Remove(b);
+  EXPECT_EQ(graph_.num_edges(), 1u);
+  EXPECT_FALSE(graph_.Contains(b));
+  EXPECT_DOUBLE_EQ(graph_.Similarity(a, b), 0.0);
+}
+
+TEST_F(GraphFixture, UpdateRewiresEdges) {
+  ObjectId a = AddTokens({"x", "y"});
+  ObjectId b = AddTokens({"x", "y"});
+  ObjectId c = AddTokens({"p", "q"});
+  EXPECT_DOUBLE_EQ(graph_.Similarity(a, b), 1.0);
+  Record old_record = dataset_.Get(b);
+  dataset_.Update(b, TokenRecord({"p", "q"}));
+  graph_.UpdateObject(b, old_record);
+  EXPECT_DOUBLE_EQ(graph_.Similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(graph_.Similarity(b, c), 1.0);
+}
+
+TEST_F(GraphFixture, SelfSimilarityIsOne) {
+  ObjectId a = AddTokens({"x"});
+  EXPECT_DOUBLE_EQ(graph_.Similarity(a, a), 1.0);
+}
+
+TEST_F(GraphFixture, ConnectedComponents) {
+  ObjectId a = AddTokens({"x", "y"});
+  ObjectId b = AddTokens({"x", "y"});
+  ObjectId c = AddTokens({"p", "q"});
+  ObjectId d = AddTokens({"p", "q"});
+  ObjectId e = AddTokens({"lonely"});
+  auto components = graph_.ConnectedComponents();
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<ObjectId>{a, b}));
+  EXPECT_EQ(components[1], (std::vector<ObjectId>{c, d}));
+  EXPECT_EQ(components[2], (std::vector<ObjectId>{e}));
+}
+
+TEST_F(GraphFixture, SumSimilarityTo) {
+  ObjectId a = AddTokens({"x", "y"});
+  ObjectId b = AddTokens({"x", "y"});
+  ObjectId c = AddTokens({"x", "y", "z", "w"});
+  double sum = graph_.SumSimilarityTo(a, {b, c});
+  EXPECT_NEAR(sum, 1.0 + 0.5, 1e-12);
+}
+
+// Property: incremental maintenance matches a graph rebuilt from scratch.
+class GraphIncrementalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphIncrementalTest, MatchesRebuiltGraph) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Dataset dataset;
+  JaccardSimilarity measure;
+  SimilarityGraph incremental(&dataset, &measure,
+                              std::make_unique<AllPairsBlocker>(), 0.1);
+
+  std::vector<ObjectId> alive;
+  for (int step = 0; step < 120; ++step) {
+    double action = rng.Uniform();
+    if (action < 0.6 || alive.size() < 3) {
+      std::vector<std::string> tokens;
+      for (size_t k = 0; k < 1 + rng.Index(3); ++k) {
+        tokens.push_back(std::string(1, static_cast<char>('a' + rng.Index(5))));
+      }
+      ObjectId id = dataset.Add(TokenRecord(tokens));
+      incremental.AddObject(id);
+      alive.push_back(id);
+    } else if (action < 0.8) {
+      size_t pick = rng.Index(alive.size());
+      ObjectId id = alive[pick];
+      incremental.RemoveObject(id);
+      dataset.Remove(id);
+      alive.erase(alive.begin() + pick);
+    } else {
+      ObjectId id = alive[rng.Index(alive.size())];
+      Record old_record = dataset.Get(id);
+      std::vector<std::string> tokens{
+          std::string(1, static_cast<char>('a' + rng.Index(5)))};
+      dataset.Update(id, TokenRecord(tokens));
+      incremental.UpdateObject(id, old_record);
+    }
+  }
+
+  // Rebuild from scratch and compare edges.
+  SimilarityGraph rebuilt(&dataset, &measure,
+                          std::make_unique<AllPairsBlocker>(), 0.1);
+  for (ObjectId id : alive) rebuilt.AddObject(id);
+  EXPECT_EQ(incremental.num_objects(), rebuilt.num_objects());
+  EXPECT_EQ(incremental.num_edges(), rebuilt.num_edges());
+  for (ObjectId a : alive) {
+    for (ObjectId b : alive) {
+      EXPECT_NEAR(incremental.Similarity(a, b), rebuilt.Similarity(a, b),
+                  1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphIncrementalTest,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace dynamicc

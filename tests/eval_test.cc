@@ -1,0 +1,148 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/confusion.h"
+#include "eval/pair_metrics.h"
+#include "eval/purity.h"
+#include "eval/report.h"
+#include "ml/model.h"
+
+namespace dynamicc {
+namespace {
+
+using Partition = std::vector<std::vector<ObjectId>>;
+
+// ------------------------------------------------------------ pair metrics
+
+TEST(PairMetrics, IdenticalClusteringsArePerfect) {
+  Partition clusters = {{1, 2, 3}, {4, 5}};
+  PairMetrics metrics = ComparePairs(clusters, clusters);
+  EXPECT_DOUBLE_EQ(metrics.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.F1(), 1.0);
+}
+
+TEST(PairMetrics, AllSingletonsAgainstOneCluster) {
+  Partition singletons = {{1}, {2}, {3}};
+  Partition together = {{1, 2, 3}};
+  PairMetrics metrics = ComparePairs(singletons, together);
+  EXPECT_DOUBLE_EQ(metrics.true_positives, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.false_negatives, 3.0);  // all 3 pairs missed
+  EXPECT_DOUBLE_EQ(metrics.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.Precision(), 1.0);  // no pairs predicted
+  EXPECT_DOUBLE_EQ(metrics.F1(), 0.0);
+}
+
+TEST(PairMetrics, KnownPartialOverlap) {
+  // result {1,2},{3,4}; truth {1,2,3},{4}:
+  // result pairs: (1,2),(3,4). truth pairs: (1,2),(1,3),(2,3).
+  // tp = 1 ((1,2)); fp = 1 ((3,4)); fn = 2.
+  Partition result = {{1, 2}, {3, 4}};
+  Partition truth = {{1, 2, 3}, {4}};
+  PairMetrics metrics = ComparePairs(result, truth);
+  EXPECT_DOUBLE_EQ(metrics.true_positives, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.false_positives, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.false_negatives, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.Precision(), 0.5);
+  EXPECT_NEAR(metrics.Recall(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.F1(), 2 * 0.5 * (1.0 / 3) / (0.5 + 1.0 / 3), 1e-12);
+}
+
+TEST(PairMetrics, SymmetricSwapExchangesPrecisionRecall) {
+  Partition a = {{1, 2}, {3, 4}, {5}};
+  Partition b = {{1, 2, 3}, {4, 5}};
+  PairMetrics ab = ComparePairs(a, b);
+  PairMetrics ba = ComparePairs(b, a);
+  EXPECT_DOUBLE_EQ(ab.Precision(), ba.Recall());
+  EXPECT_DOUBLE_EQ(ab.Recall(), ba.Precision());
+  EXPECT_DOUBLE_EQ(ab.F1(), ba.F1());
+}
+
+// ----------------------------------------------------------------- purity
+
+TEST(Purity, PerfectForIdenticalClusterings) {
+  Partition clusters = {{1, 2}, {3}};
+  EXPECT_DOUBLE_EQ(Purity(clusters, clusters), 1.0);
+  EXPECT_DOUBLE_EQ(InversePurity(clusters, clusters), 1.0);
+}
+
+TEST(Purity, SingletonsAreAlwaysPure) {
+  Partition singletons = {{1}, {2}, {3}};
+  Partition truth = {{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(Purity(singletons, truth), 1.0);
+  // But inverse purity suffers: the one truth cluster is covered 1/3.
+  EXPECT_NEAR(InversePurity(singletons, truth), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Purity, KnownMixedValue) {
+  // Cluster {1,2,3} where truth has {1,2} and {3,4}: best overlap 2 of 3.
+  Partition result = {{1, 2, 3}, {4}};
+  Partition truth = {{1, 2}, {3, 4}};
+  EXPECT_NEAR(Purity(result, truth), (2.0 + 1.0) / 4.0, 1e-12);
+}
+
+// -------------------------------------------------------------- confusion
+
+TEST(ConfusionMatrix, PaperFigure3Arithmetic) {
+  // Figure 3's heat map: tn = 8, fp = 15, fn = 1, tp = 120 over 144
+  // clusters. The paper computes accuracy 128/144 = 0.889, precision
+  // 120/135 = 0.89, recall 120/121 = 0.992.
+  ConfusionMatrix matrix;
+  matrix.true_negatives = 8;
+  matrix.false_positives = 15;
+  matrix.false_negatives = 1;
+  matrix.true_positives = 120;
+  EXPECT_EQ(matrix.Total(), 144u);
+  EXPECT_NEAR(matrix.Accuracy(), 0.889, 0.001);
+  EXPECT_NEAR(matrix.Precision(), 0.889, 0.001);
+  EXPECT_NEAR(matrix.Recall(), 0.992, 0.001);
+}
+
+TEST(ConfusionMatrix, EvaluateModelCountsOutcomes) {
+  class FixedModel final : public BinaryClassifier {
+   public:
+    const char* Name() const override { return "fixed"; }
+    void Fit(const SampleSet&) override {}
+    bool is_fitted() const override { return true; }
+    std::unique_ptr<BinaryClassifier> Clone() const override {
+      return std::make_unique<FixedModel>();
+    }
+    double PredictProbability(
+        const std::vector<double>& features) const override {
+      return features[0];  // probability is the feature itself
+    }
+  };
+
+  SampleSet samples = {
+      {{0.9}, 1, 1.0},  // tp
+      {{0.2}, 1, 1.0},  // fn
+      {{0.8}, 0, 1.0},  // fp
+      {{0.1}, 0, 1.0},  // tn
+  };
+  FixedModel model;
+  ConfusionMatrix matrix = EvaluateModel(model, samples, 0.5);
+  EXPECT_EQ(matrix.true_positives, 1u);
+  EXPECT_EQ(matrix.false_negatives, 1u);
+  EXPECT_EQ(matrix.false_positives, 1u);
+  EXPECT_EQ(matrix.true_negatives, 1u);
+  EXPECT_NE(matrix.ToString().find("predicted=1"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(QualityReport, BundlesAllMetrics) {
+  Partition result = {{1, 2}, {3, 4}};
+  Partition truth = {{1, 2, 3}, {4}};
+  QualityReport report = EvaluateQuality(result, truth);
+  EXPECT_DOUBLE_EQ(report.precision, 0.5);
+  EXPECT_NEAR(report.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_GT(report.purity, 0.0);
+  EXPECT_GT(report.inverse_purity, 0.0);
+  EXPECT_GT(report.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,263 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/scaler.h"
+#include "ml/threshold.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+/// Linearly separable 2-D set: label = 1 iff x + y > 0, with margin.
+SampleSet SeparableData(int n, uint64_t seed, double margin = 0.5) {
+  Rng rng(seed);
+  SampleSet samples;
+  while (static_cast<int>(samples.size()) < n) {
+    double x = rng.Uniform(-3.0, 3.0);
+    double y = rng.Uniform(-3.0, 3.0);
+    double score = x + y;
+    if (std::abs(score) < margin) continue;  // keep a margin
+    samples.push_back({{x, y}, score > 0 ? 1 : 0, 1.0});
+  }
+  return samples;
+}
+
+/// Data only separable by axis-aligned rectangles (XOR-ish), which linear
+/// models cannot fit but trees can.
+SampleSet XorData(int n, uint64_t seed) {
+  Rng rng(seed);
+  SampleSet samples;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Uniform(-1.0, 1.0);
+    double y = rng.Uniform(-1.0, 1.0);
+    samples.push_back({{x, y}, (x > 0) == (y > 0) ? 1 : 0, 1.0});
+  }
+  return samples;
+}
+
+double HardAccuracy(const BinaryClassifier& model, const SampleSet& samples) {
+  return AccuracyAtThreshold(model, samples, 0.5);
+}
+
+// ----------------------------------------------------------------- scaler
+
+TEST(StandardScaler, NormalizesToZeroMeanUnitVariance) {
+  SampleSet samples;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) samples.push_back({{v}, 0, 1.0});
+  StandardScaler scaler;
+  scaler.Fit(samples);
+  EXPECT_NEAR(scaler.means()[0], 3.0, 1e-12);
+  double transformed_sum = 0.0, transformed_sq = 0.0;
+  for (const auto& sample : samples) {
+    double t = scaler.Transform(sample.features)[0];
+    transformed_sum += t;
+    transformed_sq += t * t;
+  }
+  EXPECT_NEAR(transformed_sum, 0.0, 1e-9);
+  EXPECT_NEAR(transformed_sq / samples.size(), 1.0, 1e-9);
+}
+
+TEST(StandardScaler, ConstantFeaturePassesThrough) {
+  SampleSet samples;
+  samples.push_back({{7.0, 1.0}, 0, 1.0});
+  samples.push_back({{7.0, 2.0}, 1, 1.0});
+  StandardScaler scaler;
+  scaler.Fit(samples);
+  auto t = scaler.Transform({7.0, 1.5});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);  // (7-7)/1
+}
+
+// -------------------------------------------------------------------- fits
+
+template <typename Model>
+void ExpectLearnsSeparable() {
+  SampleSet train = SeparableData(400, 1);
+  SampleSet test = SeparableData(200, 2);
+  Model model;
+  model.Fit(train);
+  EXPECT_TRUE(model.is_fitted());
+  EXPECT_GT(HardAccuracy(model, train), 0.95);
+  EXPECT_GT(HardAccuracy(model, test), 0.93);
+}
+
+TEST(LogisticRegression, LearnsSeparableData) {
+  ExpectLearnsSeparable<LogisticRegression>();
+}
+
+TEST(LinearSvm, LearnsSeparableData) { ExpectLearnsSeparable<LinearSvm>(); }
+
+TEST(DecisionTree, LearnsSeparableData) {
+  ExpectLearnsSeparable<DecisionTree>();
+}
+
+TEST(DecisionTree, LearnsXorWhereLinearFails) {
+  SampleSet train = XorData(600, 3);
+  SampleSet test = XorData(300, 4);
+  DecisionTree tree;
+  tree.Fit(train);
+  EXPECT_GT(HardAccuracy(tree, test), 0.9);
+
+  LogisticRegression lr;
+  lr.Fit(train);
+  EXPECT_LT(HardAccuracy(lr, train), 0.7);  // linear model cannot fit XOR
+}
+
+TEST(LogisticRegression, ProbabilitiesOrderedByMargin) {
+  SampleSet train = SeparableData(300, 5);
+  LogisticRegression model;
+  model.Fit(train);
+  // Deeper into the positive halfplane => larger probability.
+  double p1 = model.PredictProbability({0.5, 0.5});
+  double p2 = model.PredictProbability({2.0, 2.0});
+  double n1 = model.PredictProbability({-0.5, -0.5});
+  EXPECT_GT(p2, p1);
+  EXPECT_GT(p1, n1);
+}
+
+TEST(LogisticRegression, WeightsExposeFeatureImportance) {
+  // Feature 0 is predictive, feature 1 is noise.
+  Rng rng(6);
+  SampleSet train;
+  for (int i = 0; i < 400; ++i) {
+    double x = rng.Uniform(-2.0, 2.0);
+    double noise = rng.Uniform(-2.0, 2.0);
+    train.push_back({{x, noise}, x > 0 ? 1 : 0, 1.0});
+  }
+  LogisticRegression model;
+  model.Fit(train);
+  EXPECT_GT(std::abs(model.weights()[0]), 3.0 * std::abs(model.weights()[1]));
+}
+
+TEST(LinearSvm, ProbabilityCalibrationIsMonotone) {
+  SampleSet train = SeparableData(300, 7);
+  LinearSvm model;
+  model.Fit(train);
+  EXPECT_GT(model.PredictProbability({2.0, 2.0}),
+            model.PredictProbability({-2.0, -2.0}));
+  double p = model.PredictProbability({0.0, 0.0});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(DecisionTree, ExactFitOnTinyData) {
+  SampleSet samples = {{{0.0}, 0, 1.0}, {{1.0}, 1, 1.0}};
+  DecisionTree::Options options;
+  options.min_samples_leaf = 1;  // allow the 1-sample leaves
+  DecisionTree tree(options);
+  tree.Fit(samples);
+  EXPECT_GT(tree.PredictProbability({1.0}), 0.5);
+  EXPECT_LT(tree.PredictProbability({0.0}), 0.5);
+  EXPECT_EQ(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, HandlesNearlyEqualFeatureValues) {
+  // Regression test: adjacent feature values whose midpoint rounds onto a
+  // neighbor used to produce an empty split side and abort.
+  SampleSet samples;
+  double base = 1.0;
+  double next = std::nextafter(base, 2.0);  // smallest representable step
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back({{i % 2 == 0 ? base : next}, i % 2, 1.0});
+  }
+  DecisionTree tree;
+  tree.Fit(samples);  // must not crash
+  double p = tree.PredictProbability({base});
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(DecisionTree, RespectsWeights) {
+  // Conflicting labels at the same point: the heavier side wins the leaf.
+  SampleSet samples = {{{0.0}, 1, 10.0}, {{0.0}, 0, 1.0}};
+  DecisionTree tree;
+  tree.Fit(samples);
+  EXPECT_GT(tree.PredictProbability({0.0}), 0.5);
+}
+
+TEST(AllModels, CloneYieldsUnfittedModelOfSameKind) {
+  std::vector<std::unique_ptr<BinaryClassifier>> models;
+  models.push_back(std::make_unique<LogisticRegression>());
+  models.push_back(std::make_unique<LinearSvm>());
+  models.push_back(std::make_unique<DecisionTree>());
+  for (auto& model : models) {
+    model->Fit(SeparableData(100, 8));
+    auto clone = model->Clone();
+    EXPECT_FALSE(clone->is_fitted());
+    EXPECT_STREQ(clone->Name(), model->Name());
+  }
+}
+
+// --------------------------------------------------------------- threshold
+
+TEST(Threshold, GivesFullTrainingRecall) {
+  // Noisy data: some positives score low; theta must dip below them.
+  Rng rng(9);
+  SampleSet train;
+  for (int i = 0; i < 400; ++i) {
+    double x = rng.Uniform(-3.0, 3.0);
+    int label = rng.Chance(0.85) ? (x > 0 ? 1 : 0) : (x > 0 ? 0 : 1);
+    train.push_back({{x}, label, 1.0});
+  }
+  LogisticRegression model;
+  model.Fit(train);
+  ThresholdPolicy policy;
+  policy.floor = 1e-6;
+  double theta = SelectRecallFirstThreshold(model, train, policy);
+  EXPECT_DOUBLE_EQ(RecallAtThreshold(model, train, theta), 1.0);
+  // The default 0.5 threshold misses some positives on this noisy set.
+  EXPECT_LT(RecallAtThreshold(model, train, 0.5), 1.0);
+}
+
+TEST(Threshold, SmallerThetaNeverDecreasesRecall) {
+  SampleSet train = SeparableData(300, 10, /*margin=*/0.1);
+  LogisticRegression model;
+  model.Fit(train);
+  double last_recall = 0.0;
+  for (double theta : {0.9, 0.7, 0.5, 0.3, 0.1, 0.01}) {
+    double recall = RecallAtThreshold(model, train, theta);
+    EXPECT_GE(recall, last_recall);
+    last_recall = recall;
+  }
+}
+
+TEST(Threshold, QuantilePolicyRaisesTheta) {
+  Rng rng(11);
+  SampleSet train;
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.Uniform(-3.0, 3.0);
+    int label = rng.Chance(0.9) ? (x > 0 ? 1 : 0) : (x > 0 ? 0 : 1);
+    train.push_back({{x}, label, 1.0});
+  }
+  LogisticRegression model;
+  model.Fit(train);
+  ThresholdPolicy strict;  // quantile 0
+  strict.floor = 1e-9;
+  ThresholdPolicy relaxed = strict;
+  relaxed.positive_quantile = 0.1;
+  EXPECT_GE(SelectRecallFirstThreshold(model, train, relaxed),
+            SelectRecallFirstThreshold(model, train, strict));
+}
+
+TEST(Threshold, NoPositivesFallsBackToFloor) {
+  SampleSet train;
+  for (int i = 0; i < 10; ++i) {
+    train.push_back({{static_cast<double>(i)}, 0, 1.0});
+  }
+  train.front().label = 1;  // need one positive to fit meaningfully
+  LogisticRegression model;
+  model.Fit(train);
+  SampleSet all_negative = train;
+  for (auto& sample : all_negative) sample.label = 0;
+  ThresholdPolicy policy;
+  EXPECT_DOUBLE_EQ(
+      SelectRecallFirstThreshold(model, all_negative, policy), policy.floor);
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,401 @@
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/engine.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "objective/correlation.h"
+#include "objective/db_index.h"
+#include "objective/kmeans.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+/// Similarity measure backed by an explicit edge table, keyed by the
+/// integer stored in numeric[0]. Lets tests build the paper's worked
+/// examples with exact weights.
+class TableSimilarity final : public SimilarityMeasure {
+ public:
+  explicit TableSimilarity(std::map<std::pair<int, int>, double> edges)
+      : edges_(std::move(edges)) {}
+
+  double Similarity(const Record& a, const Record& b) const override {
+    int x = static_cast<int>(a.numeric[0]);
+    int y = static_cast<int>(b.numeric[0]);
+    if (x > y) std::swap(x, y);
+    auto it = edges_.find({x, y});
+    return it == edges_.end() ? 0.0 : it->second;
+  }
+  const char* Name() const override { return "table"; }
+
+ private:
+  std::map<std::pair<int, int>, double> edges_;
+};
+
+/// The Figure 2 instance: objects r1..r7, edges r1-r2=0.9, r2-r3=0.9,
+/// r4-r5=0.9, r1-r7=1.0, r4-r6=0.7, r5-r6=0.8 (sum 5.2, matching Example
+/// 4.1's F(L1) = 5.2).
+class PaperExampleFixture : public ::testing::Test {
+ protected:
+  PaperExampleFixture()
+      : measure_({{{1, 2}, 0.9},
+                  {{2, 3}, 0.9},
+                  {{4, 5}, 0.9},
+                  {{1, 7}, 1.0},
+                  {{4, 6}, 0.7},
+                  {{5, 6}, 0.8}}),
+        graph_(&dataset_, &measure_, std::make_unique<AllPairsBlocker>(),
+               0.05) {
+    // Object ids 0..6 carry labels 1..7 in numeric[0].
+    for (int label = 1; label <= 7; ++label) {
+      Record record;
+      record.numeric = {static_cast<double>(label)};
+      ids_[label] = dataset_.Add(record);
+      graph_.AddObject(ids_[label]);
+    }
+  }
+
+  ObjectId R(int label) { return ids_.at(label); }
+
+  Dataset dataset_;
+  TableSimilarity measure_;
+  SimilarityGraph graph_;
+  std::map<int, ObjectId> ids_;
+};
+
+// ------------------------------------------------------------ correlation
+
+TEST_F(PaperExampleFixture, Example41InitialScore) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  CorrelationObjective objective;
+  // F(L1) = 0.9 * 3 + 0.8 + 0.7 + 1 = 5.2.
+  EXPECT_NEAR(objective.Evaluate(engine), 5.2, 1e-9);
+}
+
+TEST_F(PaperExampleFixture, Example41AfterMergingR1R7) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  CorrelationObjective objective;
+  double delta = objective.MergeDelta(engine, engine.clustering().ClusterOf(R(1)),
+                                      engine.clustering().ClusterOf(R(7)));
+  engine.Merge(engine.clustering().ClusterOf(R(1)),
+               engine.clustering().ClusterOf(R(7)));
+  // F(L2) = 4.2 < 5.2 = F(L1): a better clustering (Example 4.1).
+  EXPECT_NEAR(objective.Evaluate(engine), 4.2, 1e-9);
+  EXPECT_NEAR(delta, -1.0, 1e-9);
+}
+
+TEST_F(PaperExampleFixture, FinalClusteringScoresBest) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  CorrelationObjective objective;
+  // Build {r2,r3}, {r4,r5,r6}, {r1,r7} — Figure 2's final clustering.
+  engine.Merge(engine.clustering().ClusterOf(R(2)),
+               engine.clustering().ClusterOf(R(3)));
+  ClusterId c45 = engine.Merge(engine.clustering().ClusterOf(R(4)),
+                               engine.clustering().ClusterOf(R(5)));
+  engine.Merge(c45, engine.clustering().ClusterOf(R(6)));
+  engine.Merge(engine.clustering().ClusterOf(R(1)),
+               engine.clustering().ClusterOf(R(7)));
+  double final_score = objective.Evaluate(engine);
+  EXPECT_NEAR(final_score, 1.6, 1e-9);
+
+  // Any single further change worsens the score.
+  ClusterId c1 = engine.clustering().ClusterOf(R(2));
+  ClusterId c2 = engine.clustering().ClusterOf(R(4));
+  ClusterId c3 = engine.clustering().ClusterOf(R(1));
+  EXPECT_GT(objective.MergeDelta(engine, c1, c3), 0.0);
+  EXPECT_GT(objective.MergeDelta(engine, c1, c2), 0.0);
+  EXPECT_GT(objective.SplitDelta(engine, c2, {R(6)}), 0.0);
+  EXPECT_GT(objective.MoveDelta(engine, R(1), c1), 0.0);
+}
+
+// Property: deltas equal full re-evaluation differences, for all three
+// objectives, over random graphs and random operations.
+class DeltaConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DeltaConsistencyTest, DeltaMatchesRecomputation) {
+  auto [objective_kind, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  Dataset dataset;
+  EuclideanSimilarity measure(1.5);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.02);
+  for (int i = 0; i < 24; ++i) {
+    Record record;
+    record.numeric = {rng.Uniform(0.0, 8.0), rng.Uniform(0.0, 8.0)};
+    graph.AddObject(dataset.Add(record));
+  }
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+
+  std::unique_ptr<ObjectiveFunction> objective;
+  switch (objective_kind) {
+    case 0:
+      objective = std::make_unique<CorrelationObjective>();
+      break;
+    case 1:
+      objective = std::make_unique<KMeansObjective>(&dataset, 4, 100.0);
+      break;
+    default:
+      objective = std::make_unique<DbIndexObjective>();
+      break;
+  }
+
+  // Random walk over clusterings, checking one delta per step.
+  for (int step = 0; step < 60; ++step) {
+    auto ids = engine.clustering().ClusterIds();
+    double before = objective->Evaluate(engine);
+    double action = rng.Uniform();
+    if (action < 0.45 && ids.size() >= 2) {
+      ClusterId a = ids[rng.Index(ids.size())];
+      ClusterId b = ids[rng.Index(ids.size())];
+      if (a == b) continue;
+      double delta = objective->MergeDelta(engine, a, b);
+      engine.Merge(a, b);
+      EXPECT_NEAR(objective->Evaluate(engine) - before, delta, 1e-7)
+          << objective->Name() << " merge at step " << step;
+    } else if (action < 0.75) {
+      ClusterId c = ids[rng.Index(ids.size())];
+      if (engine.clustering().ClusterSize(c) < 2) continue;
+      std::vector<ObjectId> members(engine.clustering().Members(c).begin(),
+                                    engine.clustering().Members(c).end());
+      std::vector<ObjectId> part{members[rng.Index(members.size())]};
+      if (engine.clustering().ClusterSize(c) > 2 && rng.Chance(0.4)) {
+        // occasionally split multi-object parts
+        for (ObjectId m : members) {
+          if (m != part[0] && part.size() + 1 < members.size() &&
+              rng.Chance(0.3)) {
+            part.push_back(m);
+          }
+        }
+      }
+      double delta = objective->SplitDelta(engine, c, part);
+      engine.SplitOut(c, part);
+      EXPECT_NEAR(objective->Evaluate(engine) - before, delta, 1e-7)
+          << objective->Name() << " split at step " << step;
+    } else if (ids.size() >= 2) {
+      ClusterId from = ids[rng.Index(ids.size())];
+      ClusterId to = ids[rng.Index(ids.size())];
+      if (from == to) continue;
+      ObjectId member = *engine.clustering().Members(from).begin();
+      double delta = objective->MoveDelta(engine, member, to);
+      engine.Move(member, to);
+      EXPECT_NEAR(objective->Evaluate(engine) - before, delta, 1e-7)
+          << objective->Name() << " move at step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Objectives, DeltaConsistencyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// ----------------------------------------------------------------- kmeans
+
+TEST(KMeansObjective, SseOfKnownClusters) {
+  Dataset dataset;
+  auto add = [&dataset](double x, double y) {
+    Record record;
+    record.numeric = {x, y};
+    return dataset.Add(record);
+  };
+  ObjectId a = add(0, 0), b = add(2, 0), c = add(10, 0), d = add(12, 0);
+  EuclideanSimilarity measure(3.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.01);
+  for (ObjectId id : {a, b, c, d}) graph.AddObject(id);
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+  engine.Merge(engine.clustering().ClusterOf(a),
+               engine.clustering().ClusterOf(b));
+  engine.Merge(engine.clustering().ClusterOf(c),
+               engine.clustering().ClusterOf(d));
+  KMeansObjective objective(&dataset, 2, 1000.0);
+  // Each pair: centroid at midpoint, SSE = 1 + 1 = 2 per cluster.
+  EXPECT_NEAR(objective.Sse(engine), 4.0, 1e-9);
+  // Exactly k clusters: no penalty.
+  EXPECT_NEAR(objective.Evaluate(engine), 4.0, 1e-9);
+}
+
+TEST(KMeansObjective, PenaltyDrivesSingletonsToMerge) {
+  Dataset dataset;
+  auto add = [&dataset](double x) {
+    Record record;
+    record.numeric = {x};
+    return dataset.Add(record);
+  };
+  ObjectId a = add(0), b = add(1);
+  EuclideanSimilarity measure(3.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.01);
+  graph.AddObject(a);
+  graph.AddObject(b);
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+  KMeansObjective objective(&dataset, 1, 1000.0);
+  // Two singletons vs target k=1: penalty 1000; merging removes it at the
+  // cost of SSE 0.5.
+  EXPECT_NEAR(objective.Evaluate(engine), 1000.0, 1e-9);
+  double delta = objective.MergeDelta(engine, engine.clustering().ClusterOf(a),
+                                      engine.clustering().ClusterOf(b));
+  EXPECT_NEAR(delta, 0.5 - 1000.0, 1e-9);
+}
+
+// --------------------------------------------------------------- db-index
+
+TEST_F(PaperExampleFixture, DbIndexPrefersPaperClustering) {
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  DbIndexObjective objective;
+  double singleton_score = objective.Evaluate(engine);
+
+  engine.Merge(engine.clustering().ClusterOf(R(2)),
+               engine.clustering().ClusterOf(R(3)));
+  ClusterId c45 = engine.Merge(engine.clustering().ClusterOf(R(4)),
+                               engine.clustering().ClusterOf(R(5)));
+  engine.Merge(c45, engine.clustering().ClusterOf(R(6)));
+  engine.Merge(engine.clustering().ClusterOf(R(1)),
+               engine.clustering().ClusterOf(R(7)));
+  double final_score = objective.Evaluate(engine);
+  EXPECT_LT(final_score, singleton_score);
+}
+
+TEST(DbIndex, MergingNearDuplicateSingletonImproves) {
+  // One tight pair plus one singleton near it: merging the singleton in
+  // should improve (reduce) the index — the singleton carries the scatter
+  // prior and its separation to the pair is tiny.
+  Dataset dataset;
+  auto add = [&dataset](double x) {
+    Record record;
+    record.numeric = {x};
+    return dataset.Add(record);
+  };
+  ObjectId a = add(0.0), b = add(0.1), c = add(0.2);
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.01);
+  for (ObjectId id : {a, b, c}) graph.AddObject(id);
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+  ClusterId ab = engine.Merge(engine.clustering().ClusterOf(a),
+                              engine.clustering().ClusterOf(b));
+  DbIndexObjective objective;
+  double delta =
+      objective.MergeDelta(engine, ab, engine.clustering().ClusterOf(c));
+  EXPECT_LT(delta, 0.0);
+}
+
+TEST(KMeansObjective, CacheSurvivesSetClustering) {
+  // Regression test: adopting a *different* Clustering instance (whose
+  // cluster ids and versions restart) must not serve stale cached
+  // centroids. Epoch tagging makes the cache instance-safe.
+  Dataset dataset;
+  auto add = [&dataset](double x) {
+    Record record;
+    record.numeric = {x};
+    return dataset.Add(record);
+  };
+  ObjectId a = add(0), b = add(10), c = add(20), d = add(30);
+  EuclideanSimilarity measure(3.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.001);
+  for (ObjectId id : {a, b, c, d}) graph.AddObject(id);
+  ClusteringEngine engine(&graph);
+  KMeansObjective objective(&dataset, 2, 0.0);
+
+  // First partition: {a,b}, {c,d} -> SSE = 50 + 50.
+  Clustering first;
+  ClusterId f1 = first.CreateCluster();
+  ClusterId f2 = first.CreateCluster();
+  first.Assign(a, f1);
+  first.Assign(b, f1);
+  first.Assign(c, f2);
+  first.Assign(d, f2);
+  engine.SetClustering(first);
+  EXPECT_NEAR(objective.Sse(engine), 100.0, 1e-9);
+
+  // Second partition with the same ids but different members:
+  // {a,c}, {b,d} -> SSE = 200 + 200.
+  Clustering second;
+  ClusterId s1 = second.CreateCluster();
+  ClusterId s2 = second.CreateCluster();
+  second.Assign(a, s1);
+  second.Assign(c, s1);
+  second.Assign(b, s2);
+  second.Assign(d, s2);
+  ASSERT_EQ(f1, s1);  // ids collide by construction...
+  ASSERT_EQ(f2, s2);
+  engine.SetClustering(second);
+  EXPECT_NEAR(objective.Sse(engine), 400.0, 1e-9);  // ...but cache must not
+}
+
+TEST(Clustering, EpochChangesOnCopy) {
+  Clustering original;
+  original.CreateSingleton(1);
+  Clustering copy = original;
+  EXPECT_NE(copy.epoch(), original.epoch());
+  Clustering assigned;
+  uint64_t before = assigned.epoch();
+  assigned = original;
+  EXPECT_NE(assigned.epoch(), before);
+  EXPECT_NE(assigned.epoch(), original.epoch());
+  // Content is still copied faithfully.
+  EXPECT_EQ(assigned.ClusterOf(1), original.ClusterOf(1));
+}
+
+TEST(DbIndex, EmptyAndSingleClusterEdgeCases) {
+  Dataset dataset;
+  Record record;
+  record.numeric = {0.0};
+  ObjectId a = dataset.Add(record);
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.01);
+  graph.AddObject(a);
+  ClusteringEngine engine(&graph);
+  DbIndexObjective objective;
+  EXPECT_DOUBLE_EQ(objective.Evaluate(engine), 0.0);  // no clusters
+  engine.InitSingletons();
+  // One singleton: its scatter prior (default 0.5) is the whole score.
+  EXPECT_DOUBLE_EQ(objective.Evaluate(engine), 0.5);
+}
+
+TEST(DbIndex, SingletonScatterPriorBalancesDegeneracies) {
+  // A tight pair plus a *weakly* similar singleton: merging the stray
+  // singleton should NOT improve (junk merge), while a near-duplicate
+  // singleton should (see DbIndex.SingletonHasFullScatter).
+  Dataset dataset;
+  auto add = [&dataset](double x) {
+    Record record;
+    record.numeric = {x};
+    return dataset.Add(record);
+  };
+  ObjectId a = add(0.0), b = add(0.1), stray = add(2.2);
+  EuclideanSimilarity measure(1.0);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.01);
+  for (ObjectId id : {a, b, stray}) graph.AddObject(id);
+  ClusteringEngine engine(&graph);
+  engine.InitSingletons();
+  ClusterId ab = engine.Merge(engine.clustering().ClusterOf(a),
+                              engine.clustering().ClusterOf(b));
+  DbIndexObjective objective;
+  EXPECT_GT(objective.MergeDelta(engine, ab,
+                                 engine.clustering().ClusterOf(stray)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,144 @@
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/serialization.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_svm.h"
+#include "ml/logistic_regression.h"
+#include "ml/serialization.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+SampleSet TrainingData(uint64_t seed) {
+  Rng rng(seed);
+  SampleSet samples;
+  for (int i = 0; i < 250; ++i) {
+    double x = rng.Uniform(-3.0, 3.0);
+    double y = rng.Uniform(-3.0, 3.0);
+    samples.push_back({{x, y}, x + 0.5 * y > 0 ? 1 : 0, 1.0});
+  }
+  return samples;
+}
+
+template <typename Model>
+void ExpectRoundTripsExactly() {
+  SampleSet train = TrainingData(5);
+  Model model;
+  model.Fit(train);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveClassifier(model, buffer).ok());
+
+  Status status;
+  std::unique_ptr<BinaryClassifier> loaded =
+      LoadClassifier(buffer, &status);
+  ASSERT_NE(loaded, nullptr) << status.ToString();
+  EXPECT_STREQ(loaded->Name(), model.Name());
+  EXPECT_TRUE(loaded->is_fitted());
+
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> point{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
+    EXPECT_DOUBLE_EQ(loaded->PredictProbability(point),
+                     model.PredictProbability(point));
+  }
+}
+
+TEST(ModelSerialization, LogisticRegressionRoundTrip) {
+  ExpectRoundTripsExactly<LogisticRegression>();
+}
+
+TEST(ModelSerialization, LinearSvmRoundTrip) {
+  ExpectRoundTripsExactly<LinearSvm>();
+}
+
+TEST(ModelSerialization, DecisionTreeRoundTrip) {
+  ExpectRoundTripsExactly<DecisionTree>();
+}
+
+TEST(ModelSerialization, RefusesUnfittedModel) {
+  LogisticRegression model;
+  std::stringstream buffer;
+  EXPECT_FALSE(SaveClassifier(model, buffer).ok());
+}
+
+TEST(ModelSerialization, RejectsUnknownModelName) {
+  std::stringstream buffer("frobnicator 1 2 3");
+  Status status;
+  EXPECT_EQ(LoadClassifier(buffer, &status), nullptr);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ModelSerialization, RejectsTruncatedData) {
+  SampleSet train = TrainingData(6);
+  LogisticRegression model;
+  model.Fit(train);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveClassifier(model, buffer).ok());
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  Status status;
+  EXPECT_EQ(LoadClassifier(truncated, &status), nullptr);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ModelSerialization, RejectsOutOfRangeTreeChildren) {
+  std::stringstream buffer("decision-tree\n1\n0 0.5 5 6 0.5\n");
+  Status status;
+  EXPECT_EQ(LoadClassifier(buffer, &status), nullptr);
+  EXPECT_FALSE(status.ok());
+}
+
+// ------------------------------------------------------------- clustering
+
+TEST(ClusteringSerialization, RoundTrip) {
+  Clustering clustering;
+  ClusterId a = clustering.CreateCluster();
+  ClusterId b = clustering.CreateCluster();
+  clustering.Assign(3, a);
+  clustering.Assign(1, a);
+  clustering.Assign(7, b);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveClustering(clustering, buffer).ok());
+
+  Clustering loaded;
+  ASSERT_TRUE(LoadClustering(buffer, &loaded).ok());
+  EXPECT_EQ(loaded.CanonicalClusters(), clustering.CanonicalClusters());
+}
+
+TEST(ClusteringSerialization, CanonicalTextIsStable) {
+  Clustering first, second;
+  ClusterId f = first.CreateCluster();
+  first.Assign(2, f);
+  first.Assign(1, f);
+  ClusterId s = second.CreateCluster();
+  second.Assign(1, s);
+  second.Assign(2, s);
+  std::stringstream buffer_a, buffer_b;
+  ASSERT_TRUE(SaveClustering(first, buffer_a).ok());
+  ASSERT_TRUE(SaveClustering(second, buffer_b).ok());
+  EXPECT_EQ(buffer_a.str(), buffer_b.str());
+}
+
+TEST(ClusteringSerialization, RejectsDuplicateMembership) {
+  std::stringstream buffer("1 2\n2 3\n");
+  Clustering clustering;
+  EXPECT_FALSE(LoadClustering(buffer, &clustering).ok());
+}
+
+TEST(ClusteringSerialization, EmptyStreamGivesEmptyClustering) {
+  std::stringstream buffer("");
+  Clustering clustering;
+  clustering.CreateSingleton(9);  // pre-existing content is replaced
+  ASSERT_TRUE(LoadClustering(buffer, &clustering).ok());
+  EXPECT_EQ(clustering.num_clusters(), 0u);
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,147 @@
+// Randomized end-to-end consistency checks: a DynamicC session is driven
+// with random add/remove/update streams, and after every round the whole
+// stack's cross-component invariants are asserted. This is the repository's
+// failure-injection net — whatever the models predict and the validator
+// decides, the bookkeeping must stay exact.
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "batch/agglomerative.h"
+#include "cluster/cluster_stats.h"
+#include "core/session.h"
+#include "data/blocking.h"
+#include "data/similarity_measures.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+/// Checks dataset/graph/engine agreement plus incremental-stats exactness.
+void AssertConsistent(const Dataset& dataset, const SimilarityGraph& graph,
+                      const ClusteringEngine& engine) {
+  // Graph objects == alive dataset objects == clustered objects.
+  std::vector<ObjectId> alive = dataset.AliveIds();
+  EXPECT_EQ(graph.num_objects(), alive.size());
+  EXPECT_EQ(engine.clustering().num_objects(), alive.size());
+  for (ObjectId id : alive) {
+    EXPECT_TRUE(graph.Contains(id));
+    EXPECT_NE(engine.clustering().ClusterOf(id), kInvalidCluster);
+  }
+  // Every cluster member is alive, memberships are mutual.
+  for (ClusterId cluster : engine.clustering().ClusterIds()) {
+    for (ObjectId member : engine.clustering().Members(cluster)) {
+      EXPECT_TRUE(dataset.IsAlive(member));
+      EXPECT_EQ(engine.clustering().ClusterOf(member), cluster);
+    }
+  }
+  // Incremental similarity aggregates equal a full rebuild.
+  ClusterStatsTracker rebuilt(&engine.clustering(), &graph);
+  rebuilt.Rebuild();
+  EXPECT_NEAR(engine.stats().TotalIntraSum(), rebuilt.TotalIntraSum(), 1e-6);
+  EXPECT_NEAR(engine.stats().TotalInterSum(), rebuilt.TotalInterSum(), 1e-6);
+  for (ClusterId cluster : engine.clustering().ClusterIds()) {
+    EXPECT_NEAR(engine.stats().IntraSum(cluster), rebuilt.IntraSum(cluster),
+                1e-6);
+  }
+}
+
+class SessionFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionFuzzTest, RandomStreamKeepsEverythingConsistent) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  Dataset dataset;
+  EuclideanSimilarity measure(1.2);
+  SimilarityGraph graph(&dataset, &measure,
+                        std::make_unique<AllPairsBlocker>(), 0.05);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  GreedyAgglomerative batch(&objective);
+
+  DynamicCSession::Options options;
+  options.observe_every = (GetParam() % 2 == 0) ? 3 : 0;
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<DecisionTree>(), options);
+
+  std::vector<ObjectId> alive;
+  auto random_ops = [&](int adds, int removes, int updates) {
+    OperationBatch ops;
+    for (int i = 0; i < adds; ++i) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kAdd;
+      op.record.numeric = {8.0 * rng.Index(5) + rng.Gaussian(0.0, 0.4)};
+      ops.push_back(op);
+    }
+    std::unordered_set<ObjectId> touched;
+    for (int i = 0; i < removes && alive.size() > touched.size() + 3; ++i) {
+      ObjectId id = alive[rng.Index(alive.size())];
+      if (!touched.insert(id).second) continue;
+      DataOperation op;
+      op.kind = DataOperation::Kind::kRemove;
+      op.target = id;
+      ops.push_back(op);
+    }
+    for (int i = 0; i < updates && !alive.empty(); ++i) {
+      ObjectId id = alive[rng.Index(alive.size())];
+      if (!touched.insert(id).second) continue;
+      DataOperation op;
+      op.kind = DataOperation::Kind::kUpdate;
+      op.target = id;
+      op.record.numeric = {8.0 * rng.Index(5) + rng.Gaussian(0.0, 0.4)};
+      ops.push_back(op);
+    }
+    return ops;
+  };
+  ObjectId next_id = 0;  // mirrors Dataset's sequential id assignment
+  auto track = [&](const OperationBatch& ops) {
+    for (const auto& op : ops) {
+      if (op.kind == DataOperation::Kind::kAdd) {
+        alive.push_back(next_id++);
+      } else if (op.kind == DataOperation::Kind::kRemove) {
+        alive.erase(std::find(alive.begin(), alive.end(), op.target));
+      }
+    }
+  };
+
+  // Two observed rounds, then a fuzzing run of dynamic rounds.
+  for (int round = 0; round < 2; ++round) {
+    OperationBatch ops = random_ops(25, 2, 2);
+    track(ops);
+    auto changed = session.ApplyOperations(ops);
+    session.ObserveBatchRound(changed);
+    AssertConsistent(dataset, graph, session.engine());
+  }
+  ASSERT_TRUE(session.is_trained());
+
+  double score = objective.Evaluate(session.engine());
+  for (int round = 0; round < 6; ++round) {
+    OperationBatch ops =
+        random_ops(static_cast<int>(2 + rng.Index(10)),
+                   static_cast<int>(rng.Index(4)),
+                   static_cast<int>(rng.Index(4)));
+    track(ops);
+    auto changed = session.ApplyOperations(ops);
+    double before_round = objective.Evaluate(session.engine());
+    auto report = session.DynamicRound(changed);
+    AssertConsistent(dataset, graph, session.engine());
+    if (!report.used_batch) {
+      // Dynamic rounds only apply validator-approved (improving) changes.
+      EXPECT_LE(objective.Evaluate(session.engine()), before_round + 1e-9);
+    }
+    score = objective.Evaluate(session.engine());
+  }
+  EXPECT_GE(score, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzzTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,187 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_utils.h"
+#include "util/timer.h"
+
+namespace dynamicc {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(SplitTokens, SplitsOnDefaultDelimiters) {
+  EXPECT_EQ(SplitTokens("a b,c;d"),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(SplitTokens, DropsEmptyPieces) {
+  EXPECT_EQ(SplitTokens("  a   b  "), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitTokens, EmptyInputGivesNoTokens) {
+  EXPECT_TRUE(SplitTokens("").empty());
+  EXPECT_TRUE(SplitTokens("   ").empty());
+}
+
+TEST(ToLowerAscii, LowersOnlyLetters) {
+  EXPECT_EQ(ToLowerAscii("AbC 12-Z"), "abc 12-z");
+}
+
+TEST(TrigramCounts, PadsWithHashes) {
+  auto grams = TrigramCounts("ab");
+  // "##ab##" -> ##a, #ab, ab#, b##
+  EXPECT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams.at("##a"), 1);
+  EXPECT_EQ(grams.at("#ab"), 1);
+  EXPECT_EQ(grams.at("ab#"), 1);
+  EXPECT_EQ(grams.at("b##"), 1);
+}
+
+TEST(TrigramCounts, CountsRepeats) {
+  auto grams = TrigramCounts("aaaa");  // ##aaaa## has "aaa" e.g. twice
+  EXPECT_GE(grams.at("aaa"), 2);
+}
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+}
+
+TEST(Levenshtein, SymmetricOnRandomStrings) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    std::string a, b;
+    for (int k = 0; k < 12; ++k) {
+      if (rng.Chance(0.8)) a += static_cast<char>('a' + rng.Index(4));
+      if (rng.Chance(0.8)) b += static_cast<char>('a' + rng.Index(4));
+    }
+    EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+    EXPECT_LE(LevenshteinDistance(a, b),
+              static_cast<int>(std::max(a.size(), b.size())));
+  }
+}
+
+TEST(JoinStrings, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(2);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.Index(5)];
+  for (int count : seen) EXPECT_GT(count, 100);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng rng(3);
+  auto sample = rng.SampleIndices(20, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+  for (size_t index : sample) EXPECT_LT(index, 20u);
+}
+
+TEST(Rng, PoissonMeanApproximatelyCorrect) {
+  Rng rng(4);
+  double total = 0.0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) total += rng.Poisson(3.0);
+  EXPECT_NEAR(total / kDraws, 3.0, 0.15);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkedGeneratorsDiffer) {
+  Rng parent(6);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child1.Uniform() != child2.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TableWriter, CsvRendering) {
+  TableWriter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"x", "y"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TableWriter, AsciiAlignsColumns) {
+  TableWriter table({"name", "v"});
+  table.AddRow({"long-name", "1"});
+  std::string ascii = table.ToAscii();
+  EXPECT_NE(ascii.find("| name      | v |"), std::string::npos);
+  EXPECT_NE(ascii.find("| long-name | 1 |"), std::string::npos);
+}
+
+TEST(TableWriter, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::Num(2.0, 3), "2.000");
+}
+
+// ----------------------------------------------------------------- status
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, CarriesMessage) {
+  Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad k");
+}
+
+// ------------------------------------------------------------------ timer
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,311 @@
+#include <cmath>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "workload/access_like.h"
+#include "workload/cora_like.h"
+#include "workload/distributions.h"
+#include "workload/febrl.h"
+#include "workload/musicbrainz_like.h"
+#include "workload/road_like.h"
+#include "workload/schedule.h"
+
+namespace dynamicc {
+namespace {
+
+// ----------------------------------------------------------- distributions
+
+TEST(ZipfSampler, RankOneIsMostFrequent) {
+  Rng rng(1);
+  ZipfSampler zipf(50, 1.2);
+  std::unordered_map<size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[1], counts[20]);
+}
+
+TEST(SampleDuplicateCount, RespectsBounds) {
+  Rng rng(2);
+  for (auto distribution :
+       {DuplicateDistribution::kUniform, DuplicateDistribution::kPoisson,
+        DuplicateDistribution::kZipf}) {
+    for (int i = 0; i < 200; ++i) {
+      int count = SampleDuplicateCount(distribution, 2.0, 5, &rng);
+      EXPECT_GE(count, 0);
+      EXPECT_LE(count, 5);
+    }
+  }
+}
+
+TEST(ApplyTypo, ChangesWordButNotDrastically) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::string word = "johnson";
+    std::string typo = ApplyTypo(word, &rng);
+    EXPECT_GE(typo.size(), word.size() - 1);
+    EXPECT_LE(typo.size(), word.size() + 1);
+  }
+}
+
+TEST(ApplyTypo, ShortWordsUnchanged) {
+  Rng rng(4);
+  EXPECT_EQ(ApplyTypo("a", &rng), "a");
+}
+
+// ---------------------------------------------------------------- schedule
+
+TEST(DefaultSchedule, MatchesPaperSnapshotCounts) {
+  // Fig. 5a: Cora and Synthetic run 8 snapshots, the others 10.
+  EXPECT_EQ(DefaultSchedule("cora").size(), 8u);
+  EXPECT_EQ(DefaultSchedule("music").size(), 10u);
+  EXPECT_EQ(DefaultSchedule("access").size(), 10u);
+  EXPECT_EQ(DefaultSchedule("road").size(), 10u);
+  EXPECT_EQ(DefaultSchedule("synthetic").size(), 8u);
+}
+
+TEST(DefaultSchedule, OnlySyntheticHasUpdates) {
+  for (const auto& name : {"cora", "music", "access", "road"}) {
+    for (const auto& spec : DefaultSchedule(name)) {
+      EXPECT_DOUBLE_EQ(spec.update_fraction, 0.0) << name;
+    }
+  }
+  bool any_update = false;
+  for (const auto& spec : DefaultSchedule("synthetic")) {
+    if (spec.update_fraction > 0.0) any_update = true;
+  }
+  EXPECT_TRUE(any_update);
+}
+
+TEST(DefaultSchedule, FractionsWithinFigure5aRange) {
+  for (const auto& name : {"cora", "music", "access", "road", "synthetic"}) {
+    for (const auto& spec : DefaultSchedule(name)) {
+      EXPECT_GT(spec.add_fraction, 0.0) << name;
+      EXPECT_LE(spec.add_fraction, 0.35) << name;
+      EXPECT_LE(spec.remove_fraction, 0.35) << name;
+      EXPECT_LE(spec.update_fraction, 0.35) << name;
+    }
+  }
+}
+
+// ------------------------------------------------------- stream invariants
+
+/// Applies a stream to a Dataset, checking the id contract: every remove /
+/// update targets an id that is alive at that point.
+void ValidateStream(const WorkloadStream& stream) {
+  Dataset dataset;
+  auto apply = [&dataset](const OperationBatch& batch) {
+    for (const DataOperation& op : batch) {
+      switch (op.kind) {
+        case DataOperation::Kind::kAdd:
+          dataset.Add(op.record);
+          break;
+        case DataOperation::Kind::kRemove:
+          ASSERT_TRUE(dataset.IsAlive(op.target));
+          dataset.Remove(op.target);
+          break;
+        case DataOperation::Kind::kUpdate:
+          ASSERT_TRUE(dataset.IsAlive(op.target));
+          dataset.Update(op.target, op.record);
+          break;
+      }
+    }
+  };
+  apply(stream.initial);
+  for (const auto& batch : stream.snapshots) apply(batch);
+  EXPECT_GT(dataset.alive_count(), 0u);
+}
+
+template <typename Generator>
+void ExpectDeterministic() {
+  Generator g1, g2;
+  WorkloadStream s1 = g1.Generate();
+  WorkloadStream s2 = g2.Generate();
+  ASSERT_EQ(s1.initial.size(), s2.initial.size());
+  ASSERT_EQ(s1.snapshots.size(), s2.snapshots.size());
+  for (size_t i = 0; i < s1.initial.size(); ++i) {
+    EXPECT_EQ(s1.initial[i].record.text, s2.initial[i].record.text);
+    EXPECT_EQ(s1.initial[i].record.numeric, s2.initial[i].record.numeric);
+  }
+}
+
+TEST(CoraLike, StreamIsValidAndDeterministic) {
+  CoraLikeGenerator generator;
+  ValidateStream(generator.Generate());
+  ExpectDeterministic<CoraLikeGenerator>();
+}
+
+TEST(CoraLike, RecordsHaveTokensAndEntities) {
+  CoraLikeGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  size_t with_entity = 0;
+  for (const auto& op : stream.initial) {
+    EXPECT_FALSE(op.record.tokens.empty());
+    if (op.record.entity > 0) ++with_entity;
+  }
+  EXPECT_EQ(with_entity, stream.initial.size());
+}
+
+TEST(CoraLike, DuplicatesShareEntities) {
+  CoraLikeGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  std::unordered_map<uint32_t, int> entity_counts;
+  for (const auto& op : stream.initial) ++entity_counts[op.record.entity];
+  int multi = 0;
+  for (const auto& [entity, count] : entity_counts) {
+    (void)entity;
+    if (count >= 2) ++multi;
+  }
+  EXPECT_GT(multi, 5);  // zipf duplicates: several entities repeat
+}
+
+TEST(MusicLike, StreamIsValidAndDeterministic) {
+  MusicBrainzLikeGenerator generator;
+  ValidateStream(generator.Generate());
+  ExpectDeterministic<MusicBrainzLikeGenerator>();
+}
+
+TEST(MusicLike, RecordsAreTextual) {
+  MusicBrainzLikeGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  for (const auto& op : stream.initial) {
+    EXPECT_FALSE(op.record.text.empty());
+    EXPECT_NE(op.record.text.find(" - "), std::string::npos);
+  }
+}
+
+TEST(Febrl, StreamIsValidAndDeterministic) {
+  FebrlGenerator generator;
+  ValidateStream(generator.Generate());
+  ExpectDeterministic<FebrlGenerator>();
+}
+
+TEST(Febrl, HasUpdateOperations) {
+  FebrlGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  size_t updates = 0;
+  for (const auto& batch : stream.snapshots) {
+    for (const auto& op : batch) {
+      if (op.kind == DataOperation::Kind::kUpdate) ++updates;
+    }
+  }
+  EXPECT_GT(updates, 0u);
+}
+
+TEST(Febrl, UpdatePreservesEntity) {
+  FebrlGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  // Track entity per id through the stream.
+  std::unordered_map<ObjectId, uint32_t> entity_of;
+  ObjectId next_id = 0;
+  auto process = [&](const OperationBatch& batch) {
+    for (const auto& op : batch) {
+      if (op.kind == DataOperation::Kind::kAdd) {
+        entity_of[next_id++] = op.record.entity;
+      } else if (op.kind == DataOperation::Kind::kUpdate) {
+        EXPECT_EQ(op.record.entity, entity_of.at(op.target));
+      }
+    }
+  };
+  process(stream.initial);
+  for (const auto& batch : stream.snapshots) process(batch);
+}
+
+TEST(AccessLike, StreamIsValidAndNumeric) {
+  AccessLikeGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  ValidateStream(stream);
+  for (const auto& op : stream.initial) {
+    EXPECT_EQ(op.record.numeric.size(), 4u);
+  }
+}
+
+TEST(AccessLike, PointsClusterAroundComponents) {
+  AccessLikeGenerator::Options options;
+  options.initial_count = 400;
+  AccessLikeGenerator generator(options);
+  WorkloadStream stream = generator.Generate();
+  // Points of the same entity are close; different entities usually far.
+  std::unordered_map<uint32_t, std::vector<const Record*>> by_entity;
+  for (const auto& op : stream.initial) {
+    by_entity[op.record.entity].push_back(&op.record);
+  }
+  double max_intra = 0.0;
+  for (const auto& [entity, records] : by_entity) {
+    (void)entity;
+    for (size_t i = 0; i + 1 < records.size(); ++i) {
+      double d = 0;
+      for (size_t k = 0; k < 4; ++k) {
+        double diff = records[i]->numeric[k] - records[i + 1]->numeric[k];
+        d += diff * diff;
+      }
+      max_intra = std::max(max_intra, std::sqrt(d));
+    }
+  }
+  EXPECT_LT(max_intra, 25.0);  // within ~6 sigma of stddev 2 in 4-D
+}
+
+TEST(AccessLike, SimilarityAtDistanceIsMonotone) {
+  EXPECT_GT(AccessLikeGenerator::SimilarityAtDistance(1.0),
+            AccessLikeGenerator::SimilarityAtDistance(5.0));
+  EXPECT_NEAR(AccessLikeGenerator::SimilarityAtDistance(0.0), 1.0, 1e-12);
+}
+
+TEST(RoadLike, StreamIsValidAnd3D) {
+  RoadLikeGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  ValidateStream(stream);
+  for (const auto& op : stream.initial) {
+    if (op.kind == DataOperation::Kind::kAdd) {
+      EXPECT_EQ(op.record.numeric.size(), 3u);
+    }
+  }
+}
+
+TEST(RoadLike, PointsFollowRoads) {
+  RoadLikeGenerator generator;
+  WorkloadStream stream = generator.Generate();
+  // Entities (roads) should each contribute many points.
+  std::unordered_map<uint32_t, int> per_road;
+  for (const auto& op : stream.initial) ++per_road[op.record.entity];
+  EXPECT_GT(per_road.size(), 10u);
+}
+
+TEST(Profiles, ProvideMeasureAndBlocker) {
+  std::vector<DatasetProfile> profiles;
+  profiles.push_back(CoraLikeGenerator::Profile());
+  profiles.push_back(MusicBrainzLikeGenerator::Profile());
+  profiles.push_back(FebrlGenerator::Profile());
+  profiles.push_back(AccessLikeGenerator::Profile());
+  profiles.push_back(RoadLikeGenerator::Profile());
+  for (const auto& profile : profiles) {
+    EXPECT_NE(profile.measure, nullptr);
+    EXPECT_NE(profile.blocker, nullptr);
+    EXPECT_GT(profile.min_similarity, 0.0);
+    EXPECT_LT(profile.min_similarity, 1.0);
+  }
+}
+
+TEST(StreamGrowth, ApproximatesPaperTrajectories) {
+  // Initial -> final sizes should grow by roughly the paper's factors
+  // (Cora 279 -> 1879 is ~6.7x over 8 snapshots at our default mixes the
+  // growth lands in the same ballpark).
+  CoraLikeGenerator cora;
+  WorkloadStream stream = cora.Generate();
+  size_t alive = stream.initial.size();
+  for (const auto& batch : stream.snapshots) {
+    for (const auto& op : batch) {
+      if (op.kind == DataOperation::Kind::kAdd) ++alive;
+      if (op.kind == DataOperation::Kind::kRemove) --alive;
+    }
+  }
+  EXPECT_GT(alive, 3 * stream.initial.size());
+  EXPECT_LT(alive, 12 * stream.initial.size());
+}
+
+}  // namespace
+}  // namespace dynamicc
