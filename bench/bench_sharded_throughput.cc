@@ -1,0 +1,253 @@
+// Throughput of the sharded serving layer (src/service/) vs shard count.
+//
+// A partition-disjoint token workload (G independent blocking groups)
+// with hot-key serving traffic (each snapshot bursts adds into a
+// rotating handful of groups) is streamed through
+// ShardedDynamicCService configured with 1, 2, 4 and 8 shards; every
+// configuration sees byte-identical operation batches. The timed region
+// is the serving loop (ApplyOperations + DynamicRound per snapshot);
+// the initial load and the two training rounds are setup. The win being
+// measured is change-driven scheduling: a monolithic engine re-scans
+// every cluster whenever anything changed, while the sharded service
+// re-clusters only the shards the burst landed on.
+//
+// Output: one JSON document on stdout (see bench_util.h JsonWriter) with
+// records/sec per shard count and the 4-shard-vs-1 speedup — the number
+// the service-layer acceptance bar tracks (>= 1.5x on this workload).
+//
+// Flags: --groups N --active N --per-round N --rounds N --threads N
+//        --repeats N
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/agglomerative.h"
+#include "bench_util.h"
+#include "data/blocking.h"
+#include "data/operations.h"
+#include "data/similarity_measures.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "service/service_report.h"
+#include "service/sharded_service.h"
+#include "util/timer.h"
+
+using namespace dynamicc;
+
+namespace {
+
+struct BenchArgs {
+  int groups = 3072;     // independent blocking groups
+  int active = 2;        // hot groups receiving traffic per snapshot
+  int per_round = 8;     // adds per hot group per snapshot
+  int rounds = 64;       // dynamic snapshots in the timed region
+  uint32_t threads = 0;  // 0 = one per shard, capped at hardware
+  int repeats = 3;       // sweep repetitions; best serve time per config wins
+};
+
+ShardEnvironmentFactory MakeFactory() {
+  return [] {
+    ShardEnvironment env;
+    env.measure = std::make_unique<JaccardSimilarity>();
+    env.blocker = std::make_unique<TokenBlocker>();
+    env.min_similarity = 0.1;
+    auto objective = std::make_unique<CorrelationObjective>();
+    env.validator = std::make_unique<ObjectiveValidator>(objective.get());
+    env.batch = std::make_unique<GreedyAgglomerative>(objective.get());
+    env.objective = std::move(objective);
+    env.merge_model = std::make_unique<LogisticRegression>();
+    env.split_model = std::make_unique<LogisticRegression>();
+    return env;
+  };
+}
+
+DataOperation GroupAdd(int group) {
+  DataOperation op;
+  op.kind = DataOperation::Kind::kAdd;
+  op.record.entity = static_cast<uint32_t>(group);
+  op.record.tokens = {"grp" + std::to_string(group),
+                      "tag" + std::to_string(group)};
+  return op;
+}
+
+/// `per_group` adds for each of `groups` blocking groups, interleaved so
+/// routing sees a mixed stream. Group members share their token set, so
+/// similarity never crosses groups and every shard count produces the
+/// same clustering (the regime the equivalence tests pin down).
+OperationBatch GroupAdds(int groups, int per_group) {
+  OperationBatch ops;
+  for (int i = 0; i < per_group; ++i) {
+    for (int g = 0; g < groups; ++g) ops.push_back(GroupAdd(g));
+  }
+  return ops;
+}
+
+/// One serving snapshot with hot-key traffic: a rotating handful of
+/// `active` groups each takes a burst of `per_round` adds — the
+/// flash-crowd regime sharding exists for. The monolithic engine must
+/// re-scan every cluster because *something* changed; the sharded
+/// service re-clusters only the shards the burst landed on and skips
+/// the clean ones outright (change-driven scheduling).
+OperationBatch HotRound(const BenchArgs& args, int round) {
+  OperationBatch ops;
+  int start = (round * args.active) % args.groups;
+  for (int i = 0; i < args.per_round; ++i) {
+    for (int a = 0; a < args.active; ++a) {
+      ops.push_back(GroupAdd((start + a) % args.groups));
+    }
+  }
+  return ops;
+}
+
+struct Measurement {
+  uint32_t shards = 0;
+  size_t threads = 0;
+  size_t records_served = 0;
+  double serve_ms = 0.0;
+  double records_per_sec = 0.0;
+  size_t final_objects = 0;
+  size_t final_clusters = 0;
+  // Where the serving time went. The wall pair partitions serve_ms; the
+  // per-shard pair is summed across shards, so it measures cost.
+  double apply_wall_ms = 0.0;
+  double round_wall_ms = 0.0;
+  double recluster_ms = 0.0;
+  double retrain_ms = 0.0;
+  size_t rejected = 0;
+  size_t probability_evaluations = 0;
+};
+
+Measurement RunOne(uint32_t num_shards, const BenchArgs& args,
+                   const std::vector<OperationBatch>& training,
+                   const std::vector<OperationBatch>& serving) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = num_shards;
+  options.num_threads = args.threads;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  for (const OperationBatch& batch : training) {
+    auto changed = service.ApplyOperations(batch);
+    service.ObserveBatchRound(changed);
+  }
+
+  Measurement m;
+  m.shards = num_shards;
+  m.threads = service.num_threads();
+  Timer timer;
+  for (const OperationBatch& batch : serving) {
+    Timer phase;
+    auto changed = service.ApplyOperations(batch);
+    m.apply_wall_ms += phase.ElapsedMillis();
+    phase.Reset();
+    ServiceReport report = service.DynamicRound(changed);
+    m.round_wall_ms += phase.ElapsedMillis();
+    m.records_served += batch.size();
+    for (const ShardDynamicStats& stats : report.dynamic_shards) {
+      m.recluster_ms += stats.report.recluster_ms;
+      m.retrain_ms += stats.report.retrain_ms;
+    }
+    m.rejected += report.combined.rejected;
+    m.probability_evaluations += report.combined.probability_evaluations;
+  }
+  m.serve_ms = timer.ElapsedMillis();
+  m.records_per_sec =
+      m.serve_ms > 0.0 ? 1000.0 * m.records_served / m.serve_ms : 0.0;
+  m.final_objects = service.total_objects();
+  m.final_clusters = service.total_clusters();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() { return i + 1 < argc ? std::atoi(argv[++i]) : 0; };
+    if (std::strcmp(argv[i], "--groups") == 0) args.groups = next();
+    else if (std::strcmp(argv[i], "--active") == 0) args.active = next();
+    else if (std::strcmp(argv[i], "--per-round") == 0) args.per_round = next();
+    else if (std::strcmp(argv[i], "--rounds") == 0) args.rounds = next();
+    else if (std::strcmp(argv[i], "--repeats") == 0) args.repeats = next();
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      args.threads = static_cast<uint32_t>(next());
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // Banner on stderr: stdout carries exactly one JSON document so the
+  // output pipes straight into jq / plotting scripts.
+  std::fprintf(stderr, "service scaling — sharded throughput vs shard count\n");
+
+  // Identical batches for every shard count.
+  std::vector<OperationBatch> training = {GroupAdds(args.groups, 4),
+                                          GroupAdds(args.groups, 2)};
+  std::vector<OperationBatch> serving;
+  for (int r = 0; r < args.rounds; ++r) {
+    serving.push_back(HotRound(args, r));
+  }
+
+  // Each configuration keeps its best sweep: the minimum serve time is
+  // the standard noise-robust estimator (scheduler interference and cold
+  // page faults only ever add time), and the first sweep additionally
+  // warms the allocator for the rest.
+  std::vector<Measurement> results;
+  for (int rep = 0; rep < std::max(1, args.repeats); ++rep) {
+    size_t i = 0;
+    for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+      Measurement m = RunOne(shards, args, training, serving);
+      std::fprintf(stderr, "rep=%d shards=%u threads=%zu  %.0f records/sec\n",
+                   rep, m.shards, m.threads, m.records_per_sec);
+      if (rep == 0) {
+        results.push_back(m);
+      } else if (m.serve_ms < results[i].serve_ms) {
+        results[i] = m;
+      }
+      ++i;
+    }
+  }
+
+  double base = results.front().records_per_sec;
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("sharded_throughput");
+  json.Key("workload").BeginObject();
+  json.Key("groups").Value(args.groups);
+  json.Key("active_per_round").Value(args.active);
+  json.Key("per_round").Value(args.per_round);
+  json.Key("rounds").Value(args.rounds);
+  json.EndObject();
+  json.Key("results").BeginArray();
+  for (const Measurement& m : results) {
+    json.BeginObject();
+    json.Key("shards").Value(static_cast<size_t>(m.shards));
+    json.Key("threads").Value(m.threads);
+    json.Key("records_served").Value(m.records_served);
+    json.Key("serve_ms").Value(m.serve_ms);
+    json.Key("records_per_sec").Value(m.records_per_sec);
+    json.Key("speedup_vs_1").Value(base > 0.0 ? m.records_per_sec / base
+                                              : 0.0);
+    json.Key("final_objects").Value(m.final_objects);
+    json.Key("final_clusters").Value(m.final_clusters);
+    json.Key("apply_wall_ms").Value(m.apply_wall_ms);
+    json.Key("round_wall_ms").Value(m.round_wall_ms);
+    json.Key("recluster_ms").Value(m.recluster_ms);
+    json.Key("retrain_ms").Value(m.retrain_ms);
+    json.Key("rejected").Value(m.rejected);
+    json.Key("probability_evaluations").Value(m.probability_evaluations);
+    json.EndObject();
+  }
+  json.EndArray();
+  double at4 = 0.0;
+  for (const Measurement& m : results) {
+    if (m.shards == 4) at4 = base > 0.0 ? m.records_per_sec / base : 0.0;
+  }
+  json.Key("speedup_4_shards_vs_1").Value(at4);
+  json.EndObject();
+  std::printf("%s\n", json.str().c_str());
+  return 0;
+}

@@ -14,15 +14,30 @@
 //   --seed      stream seed override (0 = generator default)
 //   --kmeans-k  cluster count for the kmeans task
 //   --csv       emit CSV instead of aligned tables
+//
+// Sharded serving (src/service/): --shards N partitions the stream over
+// N concurrent engines instead of the single-engine harness path
+// (correlation task + dynamicc method only); -j N sets the worker
+// thread count (0 = one per shard, capped at the hardware):
+//
+//   dynamicc_cli --workload cora --task correlation --shards 4 -j 2
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "batch/agglomerative.h"
 #include "harness/experiment.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "service/service_report.h"
+#include "service/sharded_service.h"
 #include "util/csv.h"
+#include "util/timer.h"
 
 using namespace dynamicc;
 
@@ -36,6 +51,8 @@ struct CliArgs {
   uint64_t seed = 0;
   int kmeans_k = 24;
   bool csv = false;
+  uint32_t shards = 1;
+  uint32_t threads = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -70,6 +87,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->kmeans_k = std::stoi(v);
     } else if (flag == "--csv") {
       args->csv = true;
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->shards = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "-j" || flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->threads = static_cast<uint32_t>(std::stoul(v));
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -87,7 +112,10 @@ void Usage() {
       "                    [--task db-index|kmeans|correlation|dbscan]\n"
       "                    [--method batch|naive|greedy|dynamicc|greedyset|"
       "all]\n"
-      "                    [--scale N] [--seed N] [--kmeans-k N] [--csv]\n");
+      "                    [--scale N] [--seed N] [--kmeans-k N] [--csv]\n"
+      "                    [--shards N] [-j N]\n"
+      "  --shards N > 1 serves with the sharded service (correlation task,\n"
+      "  dynamicc method); -j N sets its worker thread count (0 = auto).\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -136,6 +164,80 @@ void PrintSeries(const std::vector<Series>& series_list, bool csv) {
   }
 }
 
+/// Serves the workload stream with the sharded service instead of the
+/// single-engine harness: one environment per shard built from the
+/// workload's Table-1 profile, the first `training_rounds` snapshots
+/// observed, the rest served dynamically. Correlation task only — the
+/// objective every shard can evaluate without global state.
+int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
+  WorkloadStream stream =
+      MakeStream(config.workload, config.scale, config.seed);
+  ShardedDynamicCService::Options options;
+  options.num_shards = args.shards;
+  options.num_threads = args.threads;
+  // Mirror the harness's session configuration so `--shards N` is
+  // comparable with the single-engine path on the same stream.
+  options.session.threshold = config.threshold;
+  options.session.dynamicc = config.dynamicc;
+  options.session.trainer = config.trainer;
+  options.session.retrain_every = config.retrain_every;
+  options.session.observe_every = config.observe_every;
+  ShardedDynamicCService service(
+      options, /*router=*/nullptr, [&config] {
+        ShardEnvironment env;
+        DatasetProfile profile = MakeProfile(config.workload);
+        env.measure = std::move(profile.measure);
+        env.blocker = std::move(profile.blocker);
+        env.min_similarity = profile.min_similarity;
+        auto objective = std::make_unique<CorrelationObjective>();
+        env.validator = std::make_unique<ObjectiveValidator>(objective.get());
+        env.batch = std::make_unique<GreedyAgglomerative>(objective.get());
+        env.objective = std::move(objective);
+        env.merge_model = std::make_unique<LogisticRegression>();
+        env.split_model = std::make_unique<LogisticRegression>();
+        return env;
+      });
+  std::fprintf(stderr, "sharded service: %u shards on %zu threads\n",
+               service.num_shards(), service.num_threads());
+
+  // Initial clustering via one observed batch round; like the harness,
+  // round 0 derives its transformation without changed-object hints.
+  service.ApplyOperations(stream.initial);
+  service.ObserveBatchRound({});
+  std::vector<ObjectId> changed;
+
+  TableWriter table({"snapshot", "objects", "ms", "clusters", "served",
+                     "merges", "splits"});
+  for (size_t snapshot = 0; snapshot < stream.snapshots.size(); ++snapshot) {
+    Timer timer;
+    changed = service.ApplyOperations(stream.snapshots[snapshot]);
+    bool observe = snapshot < static_cast<size_t>(config.training_rounds);
+    ServiceReport report = observe ? service.ObserveBatchRound(changed)
+                                   : service.DynamicRound(changed);
+    double ms = timer.ElapsedMillis();
+    size_t served = 0;
+    for (const auto& stats : report.dynamic_shards) {
+      if (stats.participated) ++served;
+    }
+    for (const auto& stats : report.train_shards) {
+      if (stats.participated) ++served;
+    }
+    table.AddRow({std::to_string(snapshot + 1),
+                  std::to_string(service.total_objects()),
+                  TableWriter::Num(ms, 1),
+                  std::to_string(service.total_clusters()),
+                  std::to_string(served),
+                  std::to_string(report.combined.merges_applied),
+                  std::to_string(report.combined.splits_applied)});
+  }
+  if (args.csv) {
+    std::cout << table.ToCsv();
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +264,15 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "workload=%s task=%s method=%s\n",
                WorkloadName(config.workload), TaskName(config.task),
                args.method.c_str());
+
+  if (args.shards > 1) {
+    if (config.task != TaskKind::kCorrelation || args.method != "dynamicc") {
+      std::fprintf(stderr,
+                   "--shards requires --task correlation --method dynamicc\n");
+      return 2;
+    }
+    return RunSharded(args, config);
+  }
 
   ExperimentHarness harness(config);
   std::vector<Series> results;

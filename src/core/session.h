@@ -98,6 +98,11 @@ class DynamicCSession {
 
   ClusteringEngine& engine() { return engine_; }
   const ClusteringEngine& engine() const { return engine_; }
+  /// Convenience for serving layers that only read the partition.
+  const Clustering& clustering() const { return engine_.clustering(); }
+  const Dataset& dataset() const { return *dataset_; }
+  const SimilarityGraph& graph() const { return *graph_; }
+  const Options& options() const { return options_; }
   const EvolutionTrainer& trainer() const { return trainer_; }
   const BinaryClassifier& merge_model() const { return *merge_model_; }
   const BinaryClassifier& split_model() const { return *split_model_; }

@@ -86,6 +86,38 @@ void TokenBlocker::Update(const Record& old_record, const Record& new_record) {
   Add(new_record);
 }
 
+// ---------------------------------------------------------- StableShardKey
+
+std::string StableShardKey(const Record& record, double numeric_cell) {
+  auto smallest_lowercase = [](const std::vector<std::string>& tokens) {
+    std::string best;
+    for (const auto& raw : tokens) {
+      std::string token = ToLowerAscii(raw);
+      // Same filter as TokenBlocker::KeysFor: 1-character tokens are not
+      // blocking keys, so they must not influence routing either (two
+      // records with identical blocking keys have to co-locate).
+      if (token.size() < 2) continue;
+      if (best.empty() || token < best) best = token;
+    }
+    return best;
+  };
+  if (!record.tokens.empty()) {
+    std::string key = smallest_lowercase(record.tokens);
+    if (!key.empty()) return key;
+  }
+  if (!record.text.empty()) {
+    std::string key = smallest_lowercase(SplitTokens(record.text));
+    if (!key.empty()) return key;
+  }
+  if (!record.numeric.empty()) {
+    DYNAMICC_CHECK_GT(numeric_cell, 0.0);
+    int64_t cell =
+        static_cast<int64_t>(std::floor(record.numeric[0] / numeric_cell));
+    return "n:" + std::to_string(cell);
+  }
+  return "";
+}
+
 // ------------------------------------------------------------- GridBlocker
 
 GridBlocker::GridBlocker(double cell_size) : cell_size_(cell_size) {

@@ -71,6 +71,28 @@ class TokenBlocker final : public CandidateProvider {
   std::unordered_map<std::string, std::unordered_set<ObjectId>> index_;
 };
 
+/// Stable shard key of a record — the content-derived key that
+/// hash-of-blocking-key routing (see service/shard_router.h) partitions
+/// on. Deterministic across processes and ingest order (no std::hash):
+///  - token records : the lexicographically smallest lowercase token of
+///    length >= 2 (the same filter TokenBlocker applies to its keys, so
+///    routing never disagrees with blocking),
+///  - text records  : likewise over the whitespace tokens of `text`,
+///  - numeric records: the floor cell of numeric[0] with side
+///    `numeric_cell`. Unlike the token branch this does NOT mirror the
+///    blocker: GridBlocker treats adjacent cells as candidates, so a
+///    similar pair straddling a cell boundary can land on different
+///    shards. Numeric routing is an approximation — align the cell
+///    with the workload's cluster separation to bound the error, or
+///    supply a custom KeyExtractor for exactness.
+///  - empty records : "".
+/// Two records that can be similar end up on the same shard exactly when
+/// they share this key, so the guarantee is workload-dependent: it holds
+/// for blocking-disjoint streams (each entity's records share their first
+/// key and no key crosses entities), which is the partitioning regime the
+/// sharded service is designed for.
+std::string StableShardKey(const Record& record, double numeric_cell = 8.0);
+
 /// Spatial grid blocker for numeric records. Cells have side `cell_size`;
 /// candidates are all objects in the record's cell and the 3^d adjacent
 /// cells (d capped at 3 dimensions; extra dimensions are ignored for

@@ -1,0 +1,73 @@
+#ifndef DYNAMICC_SERVICE_SERVICE_REPORT_H_
+#define DYNAMICC_SERVICE_SERVICE_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dynamicc.h"
+#include "core/session.h"
+
+namespace dynamicc {
+
+/// One shard's contribution to a service-level round. `round_ms` is the
+/// shard's own wall time inside the round (its position on the critical
+/// path); the nested session report breaks it down further.
+struct ShardTrainStats {
+  uint32_t shard = 0;
+  size_t objects = 0;
+  size_t clusters = 0;
+  double round_ms = 0.0;
+  /// False when the shard was empty and skipped the training round.
+  bool participated = false;
+  DynamicCSession::TrainReport report;
+};
+
+struct ShardDynamicStats {
+  uint32_t shard = 0;
+  size_t objects = 0;
+  size_t clusters = 0;
+  double round_ms = 0.0;
+  /// False when the shard sat the round out (empty, or not yet trained
+  /// because its slice produced no evolution steps).
+  bool participated = false;
+  DynamicCSession::DynamicReport report;
+};
+
+/// Accumulates `addend`'s counters into `total` (shard reports sum into
+/// the service-level view).
+inline void AccumulateRecluster(ReclusterReport* total,
+                                const ReclusterReport& addend) {
+  total->iterations += addend.iterations;
+  total->merges_applied += addend.merges_applied;
+  total->splits_applied += addend.splits_applied;
+  total->merge_predicted += addend.merge_predicted;
+  total->split_predicted += addend.split_predicted;
+  total->rejected += addend.rejected;
+  total->probability_evaluations += addend.probability_evaluations;
+}
+
+/// Service-level view of one round executed across all shards. Wall time
+/// is what a caller waits (shards run concurrently); total shard time is
+/// what the machine pays; max shard time exposes the straggler that
+/// bounds scaling.
+struct ServiceReport {
+  double wall_ms = 0.0;
+  double total_shard_ms = 0.0;
+  double max_shard_ms = 0.0;
+  size_t total_objects = 0;
+  size_t total_clusters = 0;
+
+  /// Summed DynamicC counters across shards (dynamic rounds only).
+  ReclusterReport combined;
+  /// Summed evolution-step count across shards (training rounds only).
+  size_t evolution_steps = 0;
+
+  /// Exactly one of these is non-empty, matching the round kind.
+  std::vector<ShardTrainStats> train_shards;
+  std::vector<ShardDynamicStats> dynamic_shards;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_SERVICE_SERVICE_REPORT_H_

@@ -1,0 +1,42 @@
+#include "service/shard_router.h"
+
+#include <utility>
+
+#include "data/blocking.h"
+#include "util/logging.h"
+
+namespace dynamicc {
+
+HashShardRouter::HashShardRouter()
+    : extractor_([](const Record& record) { return StableShardKey(record); }) {}
+
+HashShardRouter::HashShardRouter(KeyExtractor extractor)
+    : extractor_(std::move(extractor)) {
+  DYNAMICC_CHECK(extractor_ != nullptr);
+}
+
+uint64_t HashShardRouter::HashKey(const std::string& key) {
+  // FNV-1a, 64-bit. Chosen over std::hash for a stable value across
+  // standard libraries and process runs.
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint32_t HashShardRouter::Route(const Record& record,
+                                uint32_t num_shards) const {
+  DYNAMICC_CHECK_GT(num_shards, 0u);
+  return static_cast<uint32_t>(HashKey(extractor_(record)) % num_shards);
+}
+
+uint32_t RoundRobinShardRouter::Route(const Record& record,
+                                      uint32_t num_shards) const {
+  (void)record;
+  DYNAMICC_CHECK_GT(num_shards, 0u);
+  return next_.fetch_add(1, std::memory_order_relaxed) % num_shards;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,69 @@
+#ifndef DYNAMICC_SERVICE_SHARD_ROUTER_H_
+#define DYNAMICC_SERVICE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "data/record.h"
+
+namespace dynamicc {
+
+/// Decides which shard of a ShardedDynamicCService owns a new record.
+/// Routing happens once, at Add time; removes and updates follow the
+/// object to the shard that owns it, so routers only ever see adds.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Shard index in [0, num_shards) for a record about to be added.
+  /// `num_shards` is always >= 1. Must be deterministic in the record's
+  /// content for content-addressed routers (the default); stateful
+  /// routers (round-robin) may ignore the record entirely.
+  virtual uint32_t Route(const Record& record, uint32_t num_shards) const = 0;
+};
+
+/// Content-addressed router: FNV-1a hash of a stable key extracted from
+/// the record, modulo the shard count. With the default extractor
+/// (StableShardKey in data/blocking.h) records that share their blocking
+/// key always land on the same shard, so similarity edges never cross
+/// shards on blocking-disjoint workloads — the property that makes
+/// sharded re-clustering equivalent to the single-engine run.
+class HashShardRouter final : public ShardRouter {
+ public:
+  using KeyExtractor = std::function<std::string(const Record&)>;
+
+  /// Uses StableShardKey as the extractor.
+  HashShardRouter();
+  explicit HashShardRouter(KeyExtractor extractor);
+
+  const char* Name() const override { return "hash-blocking-key"; }
+  uint32_t Route(const Record& record, uint32_t num_shards) const override;
+
+  /// The stable 64-bit FNV-1a hash routing is based on (exposed so tests
+  /// and rebalancing tooling can reason about placements).
+  static uint64_t HashKey(const std::string& key);
+
+ private:
+  KeyExtractor extractor_;
+};
+
+/// Load-balancing router that ignores content and deals adds out in
+/// rotation. Only correct for workloads where cross-record similarity
+/// does not matter (latency soak tests, independent-singleton streams);
+/// with real similarity structure it splits clusters across shards.
+class RoundRobinShardRouter final : public ShardRouter {
+ public:
+  const char* Name() const override { return "round-robin"; }
+  uint32_t Route(const Record& record, uint32_t num_shards) const override;
+
+ private:
+  mutable std::atomic<uint32_t> next_{0};
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_SERVICE_SHARD_ROUTER_H_

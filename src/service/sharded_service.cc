@@ -1,0 +1,276 @@
+#include "service/sharded_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dynamicc {
+
+namespace {
+
+size_t DefaultThreadCount(uint32_t num_shards) {
+  unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  return std::min<size_t>(num_shards, hardware);
+}
+
+}  // namespace
+
+ShardedDynamicCService::ShardedDynamicCService(
+    Options options, std::unique_ptr<ShardRouter> router,
+    ShardEnvironmentFactory factory)
+    : options_(options),
+      router_(router ? std::move(router)
+                     : std::make_unique<HashShardRouter>()),
+      pool_(options.num_threads > 0 ? options.num_threads
+                                    : DefaultThreadCount(options.num_shards)) {
+  DYNAMICC_CHECK_GT(options_.num_shards, 0u);
+  DYNAMICC_CHECK(factory != nullptr);
+  shards_.reserve(options_.num_shards);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->env = factory();
+    DYNAMICC_CHECK(shard->env.measure != nullptr);
+    DYNAMICC_CHECK(shard->env.blocker != nullptr);
+    DYNAMICC_CHECK(shard->env.validator != nullptr);
+    DYNAMICC_CHECK(shard->env.batch != nullptr);
+    DYNAMICC_CHECK(shard->env.merge_model != nullptr);
+    DYNAMICC_CHECK(shard->env.split_model != nullptr);
+    shard->graph = std::make_unique<SimilarityGraph>(
+        &shard->dataset, shard->env.measure.get(),
+        std::move(shard->env.blocker), shard->env.min_similarity);
+    shard->session = std::make_unique<DynamicCSession>(
+        &shard->dataset, shard->graph.get(), shard->env.batch.get(),
+        shard->env.validator.get(), std::move(shard->env.merge_model),
+        std::move(shard->env.split_model), options_.session);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::vector<ObjectId> ShardedDynamicCService::ApplyOperations(
+    const OperationBatch& operations) {
+  std::vector<OperationBatch> per_shard(shards_.size());
+  // What each session must report back as changed ids. Adds get their
+  // local id pre-assigned (Dataset assigns dense sequential ids, so the
+  // next add on a shard gets total_count() + already-queued adds).
+  std::vector<std::vector<ObjectId>> expected_changed(shards_.size());
+  std::vector<size_t> pending_adds(shards_.size(), 0);
+  std::vector<ObjectId> changed_global;
+
+  for (const DataOperation& op : operations) {
+    switch (op.kind) {
+      case DataOperation::Kind::kAdd: {
+        uint32_t target = router_->Route(op.record, num_shards());
+        Shard& shard = *shards_[target];
+        ObjectId local = static_cast<ObjectId>(shard.dataset.total_count() +
+                                               pending_adds[target]++);
+        ObjectId global = static_cast<ObjectId>(locations_.size());
+        locations_.push_back({target, local});
+        DYNAMICC_CHECK_EQ(shard.global_of_local.size(), local);
+        shard.global_of_local.push_back(global);
+        per_shard[target].push_back(op);
+        expected_changed[target].push_back(local);
+        changed_global.push_back(global);
+        break;
+      }
+      case DataOperation::Kind::kRemove: {
+        const ObjectLocation& loc = locations_.at(op.target);
+        DataOperation local_op = op;
+        local_op.target = loc.local;
+        per_shard[loc.shard].push_back(local_op);
+        break;
+      }
+      case DataOperation::Kind::kUpdate: {
+        // Updates keep both their global id and their shard: the owning
+        // shard already holds the object's edges, and rerouting by the
+        // new content would break id stability (§6.1 semantics).
+        const ObjectLocation& loc = locations_.at(op.target);
+        DataOperation local_op = op;
+        local_op.target = loc.local;
+        per_shard[loc.shard].push_back(local_op);
+        expected_changed[loc.shard].push_back(loc.local);
+        changed_global.push_back(op.target);
+        break;
+      }
+    }
+  }
+
+  // Shard slices are disjoint, so they apply concurrently. Only shards
+  // with work are dispatched: waking a worker for an empty slice costs
+  // more than the slice.
+  std::vector<size_t> busy;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!per_shard[s].empty()) busy.push_back(s);
+  }
+  pool_.ParallelFor(busy.size(), [&](size_t i) {
+    size_t s = busy[i];
+    shards_[s]->dirty = true;
+    std::vector<ObjectId> local_changed =
+        shards_[s]->session->ApplyOperations(per_shard[s]);
+    DYNAMICC_CHECK(local_changed == expected_changed[s])
+        << "shard dataset assigned ids out of line with the router's "
+           "pre-assignment";
+  });
+  return changed_global;
+}
+
+std::vector<std::vector<ObjectId>> ShardedDynamicCService::LocalizeChanged(
+    const std::vector<ObjectId>& changed) const {
+  std::vector<std::vector<ObjectId>> local(shards_.size());
+  for (ObjectId global : changed) {
+    const ObjectLocation& loc = locations_.at(global);
+    local[loc.shard].push_back(loc.local);
+  }
+  return local;
+}
+
+ServiceReport ShardedDynamicCService::ObserveBatchRound(
+    const std::vector<ObjectId>& changed) {
+  std::vector<std::vector<ObjectId>> local_changed = LocalizeChanged(changed);
+  ServiceReport report;
+  report.train_shards.resize(shards_.size());
+
+  Timer wall;
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    Shard& shard = *shards_[s];
+    ShardTrainStats& stats = report.train_shards[s];
+    stats.shard = static_cast<uint32_t>(s);
+    Timer timer;
+    if (shard.dataset.alive_count() > 0) {
+      stats.report = shard.session->ObserveBatchRound(local_changed[s]);
+      stats.participated = true;
+    }
+    shard.dirty = false;  // the batch result is a fresh fixpoint
+    stats.round_ms = timer.ElapsedMillis();
+    stats.objects = shard.dataset.alive_count();
+    stats.clusters = shard.session->engine().clustering().num_clusters();
+  });
+  report.wall_ms = wall.ElapsedMillis();
+
+  for (const ShardTrainStats& stats : report.train_shards) {
+    report.total_shard_ms += stats.round_ms;
+    report.max_shard_ms = std::max(report.max_shard_ms, stats.round_ms);
+    report.total_objects += stats.objects;
+    report.total_clusters += stats.clusters;
+    report.evolution_steps += stats.report.step_count;
+  }
+  return report;
+}
+
+ServiceReport ShardedDynamicCService::DynamicRound(
+    const std::vector<ObjectId>& changed) {
+  std::vector<std::vector<ObjectId>> local_changed = LocalizeChanged(changed);
+  ServiceReport report;
+  report.dynamic_shards.resize(shards_.size());
+
+  Timer wall;
+  // A shard sits the round out while empty, or clean — no operation
+  // landed on it since its last round, so its clustering is already a
+  // DynamicC fixpoint and re-running would change nothing. Only
+  // participants are dispatched to the pool.
+  std::vector<size_t> serving;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardDynamicStats& stats = report.dynamic_shards[s];
+    stats.shard = static_cast<uint32_t>(s);
+    stats.objects = shards_[s]->dataset.alive_count();
+    stats.clusters = shards_[s]->session->engine().clustering().num_clusters();
+    if (shards_[s]->dirty && stats.objects > 0) {
+      serving.push_back(s);
+    }
+  }
+  pool_.ParallelFor(serving.size(), [&](size_t i) {
+    size_t s = serving[i];
+    Shard& shard = *shards_[s];
+    ShardDynamicStats& stats = report.dynamic_shards[s];
+    Timer timer;
+    if (shard.session->is_trained()) {
+      stats.report = shard.session->DynamicRound(local_changed[s]);
+    } else {
+      // The shard cannot serve dynamically yet — its slice of the
+      // training phase produced no evolution steps, or its first data
+      // arrived after training ended. Serve it with an observed batch
+      // round instead (mirroring the session's observe_every path):
+      // the output is the correct batch clustering either way, and the
+      // round doubles as this shard's training opportunity.
+      DynamicCSession::TrainReport observe =
+          shard.session->ObserveBatchRound(local_changed[s]);
+      stats.report.recluster_ms = observe.batch_ms + observe.derive_ms;
+      stats.report.retrain_ms = observe.fit_ms;
+      stats.report.used_batch = true;
+    }
+    stats.participated = true;
+    shard.dirty = false;
+    stats.round_ms = timer.ElapsedMillis();
+    stats.objects = shard.dataset.alive_count();
+    stats.clusters = shard.session->engine().clustering().num_clusters();
+  });
+  report.wall_ms = wall.ElapsedMillis();
+
+  for (const ShardDynamicStats& stats : report.dynamic_shards) {
+    report.total_shard_ms += stats.round_ms;
+    report.max_shard_ms = std::max(report.max_shard_ms, stats.round_ms);
+    report.total_objects += stats.objects;
+    report.total_clusters += stats.clusters;
+    AccumulateRecluster(&report.combined, stats.report.detail);
+  }
+  return report;
+}
+
+std::vector<std::vector<ObjectId>> ShardedDynamicCService::GlobalClusters()
+    const {
+  std::vector<std::vector<ObjectId>> clusters;
+  for (const auto& shard : shards_) {
+    for (const auto& members :
+         shard->session->engine().clustering().CanonicalClusters()) {
+      std::vector<ObjectId> global_members;
+      global_members.reserve(members.size());
+      for (ObjectId local : members) {
+        global_members.push_back(shard->global_of_local.at(local));
+      }
+      std::sort(global_members.begin(), global_members.end());
+      clusters.push_back(std::move(global_members));
+    }
+  }
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+size_t ShardedDynamicCService::total_objects() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->dataset.alive_count();
+  return total;
+}
+
+size_t ShardedDynamicCService::total_clusters() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->session->engine().clustering().num_clusters();
+  }
+  return total;
+}
+
+bool ShardedDynamicCService::is_trained() const {
+  for (const auto& shard : shards_) {
+    if (shard->dataset.alive_count() > 0 && !shard->session->is_trained()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t ShardedDynamicCService::ShardOfObject(ObjectId global_id) const {
+  return locations_.at(global_id).shard;
+}
+
+const DynamicCSession& ShardedDynamicCService::session(uint32_t shard) const {
+  return *shards_.at(shard)->session;
+}
+
+const Dataset& ShardedDynamicCService::dataset(uint32_t shard) const {
+  return shards_.at(shard)->dataset;
+}
+
+}  // namespace dynamicc

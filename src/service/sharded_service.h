@@ -1,0 +1,151 @@
+#ifndef DYNAMICC_SERVICE_SHARDED_SERVICE_H_
+#define DYNAMICC_SERVICE_SHARDED_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "batch/batch_algorithm.h"
+#include "core/session.h"
+#include "data/dataset.h"
+#include "data/operations.h"
+#include "data/similarity.h"
+#include "data/similarity_graph.h"
+#include "ml/model.h"
+#include "objective/objective.h"
+#include "service/service_report.h"
+#include "service/shard_router.h"
+#include "service/thread_pool.h"
+
+namespace dynamicc {
+
+/// Everything one shard needs that must not be shared across threads:
+/// its own measure, blocker, objective/validator, batch algorithm and
+/// models. A factory builds one environment per shard, so shards never
+/// contend on mutable state and rounds can run fully in parallel.
+///
+/// `validator` and `batch` may reference `objective`; all four are owned
+/// here, so the reference stays valid for the shard's lifetime. For
+/// validator-only setups (DBSCAN) leave `objective` null.
+struct ShardEnvironment {
+  std::unique_ptr<SimilarityMeasure> measure;
+  std::unique_ptr<CandidateProvider> blocker;
+  double min_similarity = 0.1;
+  std::unique_ptr<ObjectiveFunction> objective;
+  std::unique_ptr<ChangeValidator> validator;
+  std::unique_ptr<BatchAlgorithm> batch;
+  std::unique_ptr<BinaryClassifier> merge_model;
+  std::unique_ptr<BinaryClassifier> split_model;
+};
+
+using ShardEnvironmentFactory = std::function<ShardEnvironment()>;
+
+/// Concurrent serving layer over DynamicC: partitions the record stream
+/// across N shards by a pluggable ShardRouter (default: hash of the
+/// stable blocking key, data/blocking.h), owns one Dataset /
+/// SimilarityGraph / DynamicCSession per shard, and executes training
+/// and dynamic rounds across shards concurrently on a fixed thread pool.
+///
+/// Object ids: callers speak *global* ids (assigned densely by the
+/// service in operation order — the exact ids a single shared Dataset
+/// would have assigned for the same stream, which keeps sharded output
+/// directly comparable to a single-engine run). Each shard's dataset
+/// uses its own local ids; the service owns the bidirectional mapping
+/// and translates at the boundary.
+///
+/// Correctness: a round over N shards equals the single-engine round
+/// exactly when no similarity edge crosses shards — guaranteed by
+/// hash-of-blocking-key routing on blocking-disjoint workloads (see
+/// StableShardKey). On other workloads sharding trades cross-shard
+/// merges for throughput.
+class ShardedDynamicCService {
+ public:
+  struct Options {
+    uint32_t num_shards = 4;
+    /// Worker threads for round execution. 0 = one per shard, capped at
+    /// the hardware concurrency.
+    uint32_t num_threads = 0;
+    DynamicCSession::Options session;
+  };
+
+  /// `router` may be null (defaults to HashShardRouter). `factory` is
+  /// invoked num_shards times, once per shard, at construction.
+  ShardedDynamicCService(Options options, std::unique_ptr<ShardRouter> router,
+                         ShardEnvironmentFactory factory);
+
+  ShardedDynamicCService(const ShardedDynamicCService&) = delete;
+  ShardedDynamicCService& operator=(const ShardedDynamicCService&) = delete;
+
+  /// Routes the batch per shard (adds by router; removes/updates to the
+  /// owning shard) and applies each shard's slice concurrently. Returns
+  /// the global ids of added/updated objects, in operation order.
+  std::vector<ObjectId> ApplyOperations(const OperationBatch& operations);
+
+  /// Runs DynamicCSession::ObserveBatchRound on every non-empty shard
+  /// concurrently. `changed` is the output of the preceding
+  /// ApplyOperations (global ids; the service translates per shard).
+  ServiceReport ObserveBatchRound(const std::vector<ObjectId>& changed);
+
+  /// Runs DynamicCSession::DynamicRound concurrently on every shard that
+  /// needs it. A shard sits the round out (participated = false) when it
+  /// is empty or *clean* — no operation touched it since its last round.
+  /// Skipping clean shards is sound because DynamicC is idempotent at a
+  /// fixpoint (re-running changes nothing, §6.4); it is the scheduling
+  /// win of sharding: hot-key traffic re-clusters only the shards it
+  /// lands on, where a single engine re-scans every cluster. The cost is
+  /// that a clean shard's retrain cadence only advances when it serves.
+  /// A dirty shard that cannot serve dynamically yet (no evolution steps
+  /// from its training slice, or data first routed to it after training)
+  /// is served with an observed batch round instead — correct output
+  /// now, and its chance to become trained (used_batch in its report).
+  ServiceReport DynamicRound(const std::vector<ObjectId>& changed = {});
+
+  /// Current partition in global ids, canonical form (members ascending,
+  /// clusters sorted): the union of the per-shard clusterings.
+  std::vector<std::vector<ObjectId>> GlobalClusters() const;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  size_t num_threads() const { return pool_.size(); }
+  size_t total_objects() const;
+  size_t total_clusters() const;
+  /// True when every shard that holds objects can serve dynamic rounds.
+  bool is_trained() const;
+
+  /// The shard owning a (live or tombstoned) global id.
+  uint32_t ShardOfObject(ObjectId global_id) const;
+  const DynamicCSession& session(uint32_t shard) const;
+  const Dataset& dataset(uint32_t shard) const;
+  const ShardRouter& router() const { return *router_; }
+
+ private:
+  struct Shard {
+    ShardEnvironment env;
+    Dataset dataset;
+    std::unique_ptr<SimilarityGraph> graph;
+    std::unique_ptr<DynamicCSession> session;
+    /// Local id -> global id (local ids are dense, so a vector).
+    std::vector<ObjectId> global_of_local;
+    /// Set when an operation lands on the shard; cleared by rounds.
+    bool dirty = false;
+  };
+
+  struct ObjectLocation {
+    uint32_t shard = 0;
+    ObjectId local = kInvalidObject;
+  };
+
+  /// Splits `changed` (global ids) into per-shard local-id lists.
+  std::vector<std::vector<ObjectId>> LocalizeChanged(
+      const std::vector<ObjectId>& changed) const;
+
+  Options options_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global id -> owning shard + local id; indexed by global id.
+  std::vector<ObjectLocation> locations_;
+  ThreadPool pool_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_SERVICE_SHARDED_SERVICE_H_

@@ -1,0 +1,61 @@
+#ifndef DYNAMICC_SERVICE_THREAD_POOL_H_
+#define DYNAMICC_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dynamicc {
+
+/// Small fixed-size worker pool for shard-parallel rounds. Tasks are
+/// submitted as std::function<void()> and run in FIFO order on the first
+/// free worker; the pool is created once per service and reused across
+/// rounds, so round latency never pays thread start-up cost.
+///
+/// The pool makes no fairness or priority guarantees — it is sized to the
+/// shard count (or hardware), and every round submits one task per shard,
+/// so a plain FIFO queue is exactly the right amount of machinery.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (floored at 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue: blocks until all submitted tasks have finished.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when the task has run (or
+  /// carries its exception).
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(count - 1) across the pool and blocks until every
+  /// call returned. The caller thread executes fn(0) itself (fork-join),
+  /// so a count of 1 never touches the queue. The first exception (if
+  /// any) is rethrown in the caller. Must not be called from inside a
+  /// pool task (the caller's wait would occupy no worker, but nested
+  /// waits can deadlock a pool sized smaller than the nesting depth).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_SERVICE_THREAD_POOL_H_

@@ -1,0 +1,444 @@
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "batch/agglomerative.h"
+#include "core/session.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/operations.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "eval/pair_metrics.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "service/service_report.h"
+#include "service/shard_router.h"
+#include "service/sharded_service.h"
+#include "service/thread_pool.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+// -------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexAcrossRounds) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<int> hits(64, 0);
+    std::atomic<int> total{0};
+    pool.ParallelFor(hits.size(), [&](size_t i) {
+      hits[i] += 1;
+      total.fetch_add(1);
+    });
+    EXPECT_EQ(total.load(), 64);
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [](size_t i) {
+                                  if (i == 5) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing round.
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 8);
+}
+
+// ------------------------------------------------------------ shard routing
+
+Record TokenRecord(std::vector<std::string> tokens) {
+  Record record;
+  record.tokens = std::move(tokens);
+  return record;
+}
+
+TEST(StableShardKey, UsesSmallestLowercaseTokenOrderIndependently) {
+  EXPECT_EQ(StableShardKey(TokenRecord({"Beta", "alpha"})), "alpha");
+  EXPECT_EQ(StableShardKey(TokenRecord({"alpha", "Beta"})), "alpha");
+  // 1-character tokens are not blocking keys (TokenBlocker drops them),
+  // so they must not steer routing: these two records share their whole
+  // key set {acme, corp} and have to share a shard key too.
+  EXPECT_EQ(StableShardKey(TokenRecord({"x", "corp", "acme"})),
+            StableShardKey(TokenRecord({"y", "corp", "acme"})));
+  Record text_only;
+  text_only.text = "The Quick fox";
+  EXPECT_EQ(StableShardKey(text_only), "fox");
+  Record numeric;
+  numeric.numeric = {17.0, 99.0};
+  EXPECT_EQ(StableShardKey(numeric, 8.0), "n:2");
+  EXPECT_EQ(StableShardKey(Record{}), "");
+}
+
+TEST(ShardRouter, HashIsStableAcrossInstancesAndCalls) {
+  HashShardRouter a, b;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Record record = TokenRecord({"tok" + std::to_string(rng.Index(50)),
+                                 "aux" + std::to_string(rng.Index(50))});
+    for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+      uint32_t first = a.Route(record, shards);
+      EXPECT_LT(first, shards);
+      EXPECT_EQ(first, a.Route(record, shards)) << "unstable across calls";
+      EXPECT_EQ(first, b.Route(record, shards)) << "unstable across instances";
+    }
+  }
+  // Pinned FNV-1a values: routing must not drift across platforms or
+  // standard libraries (a drift would reshuffle every persisted shard).
+  EXPECT_EQ(HashShardRouter::HashKey(""), 14695981039346656037ull);
+  EXPECT_EQ(HashShardRouter::HashKey("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(ShardRouter, StableUnderReIngest) {
+  // The same content re-ingested later (fresh Record instances, different
+  // eventual ids) must land on the same shard.
+  HashShardRouter router;
+  std::vector<uint32_t> first_pass;
+  for (int i = 0; i < 60; ++i) {
+    first_pass.push_back(
+        router.Route(TokenRecord({"grp" + std::to_string(i % 12)}), 4));
+  }
+  for (int i = 0; i < 60; ++i) {
+    Record again = TokenRecord({"grp" + std::to_string(i % 12)});
+    again.id = static_cast<ObjectId>(1000 + i);  // id must not matter
+    EXPECT_EQ(router.Route(again, 4), first_pass[i]);
+  }
+}
+
+TEST(ShardRouter, NeverSplitsABlockingGroupAcrossShards) {
+  // Records sharing their blocking key (here: their single token, which
+  // TokenBlocker uses as the posting key) must always co-locate.
+  HashShardRouter router;
+  Rng rng(11);
+  for (uint32_t shards : {2u, 3u, 4u, 8u}) {
+    std::vector<std::vector<uint32_t>> shard_of_group(20);
+    for (int i = 0; i < 200; ++i) {
+      int group = static_cast<int>(rng.Index(20));
+      Record record = TokenRecord({"block" + std::to_string(group)});
+      shard_of_group[group].push_back(router.Route(record, shards));
+    }
+    for (const auto& placements : shard_of_group) {
+      for (uint32_t shard : placements) {
+        EXPECT_EQ(shard, placements.front())
+            << "blocking group split across shards at N=" << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardRouter, RoundRobinDealsEvenly) {
+  RoundRobinShardRouter router;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40; ++i) {
+    counts[router.Route(Record{}, 4)] += 1;
+  }
+  EXPECT_EQ(counts, (std::vector<int>{10, 10, 10, 10}));
+}
+
+// -------------------------------------------------------- service fixtures
+
+/// Per-shard environment: Jaccard + token blocking + correlation
+/// objective, the Cora-style profile.
+ShardEnvironmentFactory MakeFactory() {
+  return [] {
+    ShardEnvironment env;
+    env.measure = std::make_unique<JaccardSimilarity>();
+    env.blocker = std::make_unique<TokenBlocker>();
+    env.min_similarity = 0.1;
+    auto objective = std::make_unique<CorrelationObjective>();
+    env.validator = std::make_unique<ObjectiveValidator>(objective.get());
+    env.batch = std::make_unique<GreedyAgglomerative>(objective.get());
+    env.objective = std::move(objective);
+    env.merge_model = std::make_unique<LogisticRegression>();
+    env.split_model = std::make_unique<LogisticRegression>();
+    return env;
+  };
+}
+
+/// Partition-disjoint stream: members of group g share their token set
+/// (intra-group Jaccard 1) and share nothing across groups (inter 0), so
+/// no similarity edge can cross groups and hash-of-blocking-key routing
+/// is provably partition-preserving.
+OperationBatch GroupAdds(int groups, int per_group) {
+  OperationBatch ops;
+  for (int i = 0; i < per_group; ++i) {
+    for (int g = 0; g < groups; ++g) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kAdd;
+      op.record.entity = static_cast<uint32_t>(g);
+      op.record.tokens = {"grp" + std::to_string(g),
+                          "tag" + std::to_string(g)};
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+/// Single shared-engine reference for the same stream of batches:
+/// observe the first `training` batches, then serve the rest dynamically.
+std::vector<std::vector<ObjectId>> SingleEngineRun(
+    const std::vector<OperationBatch>& batches, int training) {
+  Dataset dataset;
+  JaccardSimilarity measure;
+  SimilarityGraph graph(&dataset, &measure, std::make_unique<TokenBlocker>(),
+                        0.1);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  GreedyAgglomerative batch(&objective);
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<LogisticRegression>(),
+                          DynamicCSession::Options{});
+  for (size_t i = 0; i < batches.size(); ++i) {
+    auto changed = session.ApplyOperations(batches[i]);
+    if (static_cast<int>(i) < training) {
+      session.ObserveBatchRound(changed);
+    } else {
+      session.DynamicRound(changed);
+    }
+  }
+  return session.clustering().CanonicalClusters();
+}
+
+// ---------------------------------------------------- sharded equivalence
+
+TEST(ShardedService, MatchesSingleEngineOnPartitionDisjointWorkload) {
+  // Acceptance criterion: for N in {1, 2, 4}, the sharded service must
+  // produce the single engine's clustering (same cluster count, pair-F1
+  // of 1) on a partition-disjoint stream with adds, updates and removes.
+  const int kGroups = 12;
+  std::vector<OperationBatch> batches;
+  batches.push_back(GroupAdds(kGroups, 4));  // training round 1
+  batches.push_back(GroupAdds(kGroups, 2));  // training round 2
+
+  // Dynamic snapshot: more adds, plus an update and a remove against the
+  // initial batch (global ids 0 .. kGroups*4-1 in ingest order for both
+  // the single engine and the service, by the dense-id contract).
+  OperationBatch mixed = GroupAdds(kGroups, 1);
+  DataOperation update;
+  update.kind = DataOperation::Kind::kUpdate;
+  update.target = 0;  // first record of group 0, stays in its group
+  update.record.entity = 0;
+  update.record.tokens = {"grp0", "tag0"};
+  mixed.push_back(update);
+  DataOperation remove;
+  remove.kind = DataOperation::Kind::kRemove;
+  remove.target = 1;  // first record of group 1
+  mixed.push_back(remove);
+  batches.push_back(mixed);
+
+  std::vector<std::vector<ObjectId>> reference =
+      SingleEngineRun(batches, /*training=*/2);
+  ASSERT_EQ(reference.size(), static_cast<size_t>(kGroups));
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedDynamicCService::Options options;
+    options.num_shards = shards;
+    ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+    auto changed = service.ApplyOperations(batches[0]);
+    EXPECT_EQ(changed.size(), batches[0].size());
+    service.ObserveBatchRound(changed);
+    changed = service.ApplyOperations(batches[1]);
+    service.ObserveBatchRound(changed);
+    EXPECT_TRUE(service.is_trained());
+    changed = service.ApplyOperations(batches[2]);
+    ServiceReport report = service.DynamicRound(changed);
+
+    std::vector<std::vector<ObjectId>> clusters = service.GlobalClusters();
+    EXPECT_EQ(clusters.size(), reference.size()) << "N=" << shards;
+    EXPECT_DOUBLE_EQ(PairF1(clusters, reference), 1.0) << "N=" << shards;
+    // Identical ids on both paths make the stronger claim checkable too.
+    EXPECT_EQ(clusters, reference) << "N=" << shards;
+
+    EXPECT_EQ(report.total_objects, service.total_objects());
+    EXPECT_GE(report.wall_ms, 0.0);
+    EXPECT_GE(report.total_shard_ms, report.max_shard_ms);
+  }
+}
+
+TEST(ShardedService, RoutesRemovesAndUpdatesToOwningShard) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = 4;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  auto ids = service.ApplyOperations(GroupAdds(8, 3));
+  ASSERT_EQ(ids.size(), 24u);
+  // Global ids are dense and in operation order.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<ObjectId>(i));
+  }
+  // Same group => same shard (content-addressed routing).
+  for (int g = 0; g < 8; ++g) {
+    uint32_t shard = service.ShardOfObject(ids[g]);
+    EXPECT_EQ(service.ShardOfObject(ids[g + 8]), shard);
+    EXPECT_EQ(service.ShardOfObject(ids[g + 16]), shard);
+  }
+
+  size_t before = service.total_objects();
+  OperationBatch ops;
+  DataOperation remove;
+  remove.kind = DataOperation::Kind::kRemove;
+  remove.target = ids[5];
+  ops.push_back(remove);
+  DataOperation update;
+  update.kind = DataOperation::Kind::kUpdate;
+  update.target = ids[6];
+  update.record.tokens = {"grp6", "tag6", "extra6"};
+  ops.push_back(update);
+  auto changed = service.ApplyOperations(ops);
+  EXPECT_EQ(changed, std::vector<ObjectId>{ids[6]});
+  EXPECT_EQ(service.total_objects(), before - 1);
+
+  // The removed object is gone from its owning shard's dataset; the
+  // updated one carries the new content, same global id and shard.
+  uint32_t owner = service.ShardOfObject(ids[6]);
+  bool found = false;
+  for (ObjectId local = 0;
+       local < static_cast<ObjectId>(service.dataset(owner).total_count());
+       ++local) {
+    if (!service.dataset(owner).IsAlive(local)) continue;
+    if (service.dataset(owner).Get(local).tokens.size() == 3) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShardedService, EmptyShardsSitRoundsOut) {
+  // 8 shards but only 2 groups: most shards stay empty and must neither
+  // train nor serve, while the loaded shards work normally.
+  ShardedDynamicCService::Options options;
+  options.num_shards = 8;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  auto changed = service.ApplyOperations(GroupAdds(2, 6));
+  ServiceReport train = service.ObserveBatchRound(changed);
+  EXPECT_GT(train.evolution_steps, 0u);
+
+  changed = service.ApplyOperations(GroupAdds(2, 1));
+  ServiceReport report = service.DynamicRound(changed);
+  size_t participants = 0;
+  for (const auto& stats : report.dynamic_shards) {
+    if (stats.participated) ++participants;
+    if (stats.objects == 0) {
+      EXPECT_FALSE(stats.participated);
+    }
+  }
+  EXPECT_GE(participants, 1u);
+  EXPECT_LE(participants, 2u);
+  EXPECT_EQ(service.GlobalClusters().size(), 2u);
+}
+
+TEST(ShardedService, CleanShardsSkipDynamicRounds) {
+  // Change-driven scheduling: only shards hit by operations since their
+  // last round participate; a fully clean service does nothing at all,
+  // and skipping never changes the clustering (fixpoint idempotence).
+  ShardedDynamicCService::Options options;
+  options.num_shards = 4;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  auto changed = service.ApplyOperations(GroupAdds(8, 4));
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(8, 2));
+  service.ObserveBatchRound(changed);
+  ASSERT_TRUE(service.is_trained());
+
+  // Traffic lands on group 0 only -> exactly its owning shard serves.
+  OperationBatch hot;
+  for (int i = 0; i < 3; ++i) hot.push_back(GroupAdds(1, 1)[0]);
+  changed = service.ApplyOperations(hot);
+  uint32_t hot_shard = service.ShardOfObject(changed[0]);
+  ServiceReport report = service.DynamicRound(changed);
+  for (const auto& stats : report.dynamic_shards) {
+    EXPECT_EQ(stats.participated, stats.shard == hot_shard);
+  }
+  auto clusters = service.GlobalClusters();
+
+  // No operations since: nobody participates, nothing moves.
+  ServiceReport idle = service.DynamicRound();
+  for (const auto& stats : idle.dynamic_shards) {
+    EXPECT_FALSE(stats.participated);
+  }
+  EXPECT_EQ(idle.combined.probability_evaluations, 0u);
+  EXPECT_EQ(service.GlobalClusters(), clusters);
+}
+
+TEST(ShardedService, LateArrivingGroupsAreServedViaBatchFallback) {
+  // A blocking group whose first records arrive after the training
+  // phase may land on a shard that never trained. The service must not
+  // strand it as permanent singletons: the shard serves with an
+  // observed batch round (used_batch) until it has evolution history.
+  ShardedDynamicCService::Options options;
+  options.num_shards = 8;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  // Train on group 0 only: at most one shard becomes trained.
+  auto changed = service.ApplyOperations(GroupAdds(1, 6));
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(1, 3));
+  service.ObserveBatchRound(changed);
+
+  // Groups 1..7 arrive afterwards; most land on never-trained shards.
+  OperationBatch late = GroupAdds(8, 4);
+  changed = service.ApplyOperations(late);
+  ServiceReport report = service.DynamicRound(changed);
+
+  bool saw_batch_fallback = false;
+  for (const auto& stats : report.dynamic_shards) {
+    if (stats.objects > 0) {
+      EXPECT_TRUE(stats.participated) << "shard " << stats.shard;
+    }
+    if (stats.participated && stats.report.used_batch) {
+      saw_batch_fallback = true;
+    }
+  }
+  EXPECT_TRUE(saw_batch_fallback);
+  // Every group is fully clustered — nothing stranded as singletons.
+  EXPECT_EQ(service.GlobalClusters().size(), 8u);
+}
+
+TEST(ShardedService, ConcurrentRoundsAreDeterministic) {
+  // Concurrency smoke test: many shards on several workers, repeated
+  // rounds; two identically-fed services must agree exactly, and the
+  // aggregate counters must be consistent with the per-shard reports.
+  auto run = [] {
+    ShardedDynamicCService::Options options;
+    options.num_shards = 8;
+    options.num_threads = 4;
+    auto service = std::make_unique<ShardedDynamicCService>(
+        options, nullptr, MakeFactory());
+    auto changed = service->ApplyOperations(GroupAdds(16, 4));
+    service->ObserveBatchRound(changed);
+    changed = service->ApplyOperations(GroupAdds(16, 2));
+    service->ObserveBatchRound(changed);
+    for (int round = 0; round < 4; ++round) {
+      changed = service->ApplyOperations(GroupAdds(16, 1));
+      ServiceReport report = service->DynamicRound(changed);
+      size_t merges = 0;
+      for (const auto& stats : report.dynamic_shards) {
+        merges += stats.report.detail.merges_applied;
+      }
+      EXPECT_EQ(report.combined.merges_applied, merges);
+    }
+    return service->GlobalClusters();
+  };
+
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 16u);
+}
+
+}  // namespace
+}  // namespace dynamicc
