@@ -11,13 +11,28 @@
 // every cluster whenever anything changed, while the sharded service
 // re-clusters only the shards the burst landed on.
 //
+// Two serving modes share the workload:
+//
+//  - sync:  ApplyOperations + DynamicRound per snapshot (call-and-wait;
+//           the caller pays routing *and* re-clustering).
+//  - async: every snapshot is enqueued into the bounded per-shard
+//           queues and the background workers apply + round while the
+//           producer keeps streaming; one Flush() barrier ends the run.
+//           Sustained records/sec counts enqueue-to-flushed, and the
+//           producer-side enqueue latency is reported as p50/p95 — the
+//           ingest/round overlap the pipeline buys.
+//
 // Output: one JSON document on stdout (see bench_util.h JsonWriter) with
-// records/sec per shard count and the 4-shard-vs-1 speedup — the number
-// the service-layer acceptance bar tracks (>= 1.5x on this workload).
+// records/sec per shard count and mode, the 4-shard-vs-1 speedup per
+// mode, and the async-vs-sync ratio at 4 shards — the numbers the
+// service-layer acceptance bars track.
 //
 // Flags: --groups N --active N --per-round N --rounds N --threads N
-//        --repeats N
+//        --repeats N --mode sync|async|both --queue-depth N
+//        --backpressure block|reject
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -46,6 +61,9 @@ struct BenchArgs {
   int rounds = 64;       // dynamic snapshots in the timed region
   uint32_t threads = 0;  // 0 = one per shard, capped at hardware
   int repeats = 3;       // sweep repetitions; best serve time per config wins
+  std::string mode = "both";  // sync | async | both
+  size_t queue_depth = 4096;  // async: per-shard queue bound
+  std::string backpressure = "block";  // async: block | reject
 };
 
 ShardEnvironmentFactory MakeFactory() {
@@ -103,6 +121,7 @@ OperationBatch HotRound(const BenchArgs& args, int round) {
 }
 
 struct Measurement {
+  const char* mode = "sync";
   uint32_t shards = 0;
   size_t threads = 0;
   size_t records_served = 0;
@@ -118,7 +137,23 @@ struct Measurement {
   double retrain_ms = 0.0;
   size_t rejected = 0;
   size_t probability_evaluations = 0;
+  // Async only: producer-side enqueue latency percentiles, the final
+  // flush barrier, and the pipeline counters.
+  double enqueue_p50_us = 0.0;
+  double enqueue_p95_us = 0.0;
+  double flush_ms = 0.0;
+  uint64_t coalesced_ops = 0;
+  uint64_t worker_rounds = 0;
+  uint64_t rejected_batches = 0;
+  size_t queue_high_water = 0;
 };
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  size_t index = static_cast<size_t>(p * (values->size() - 1) + 0.5);
+  return (*values)[std::min(index, values->size() - 1)];
+}
 
 Measurement RunOne(uint32_t num_shards, const BenchArgs& args,
                    const std::vector<OperationBatch>& training,
@@ -160,6 +195,68 @@ Measurement RunOne(uint32_t num_shards, const BenchArgs& args,
   return m;
 }
 
+/// Async pipeline: identical training, then the serving snapshots are
+/// only enqueued (per-call latency sampled) and one Flush() barrier ends
+/// the run. serve_ms spans first enqueue to flushed state, so sustained
+/// records/sec is directly comparable with the sync path.
+Measurement RunOneAsync(uint32_t num_shards, const BenchArgs& args,
+                        const std::vector<OperationBatch>& training,
+                        const std::vector<OperationBatch>& serving) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = num_shards;
+  options.num_threads = args.threads;
+  options.async.enabled = true;
+  options.async.queue_depth = args.queue_depth;
+  options.async.backpressure = args.backpressure == "reject"
+                                   ? BackpressurePolicy::kReject
+                                   : BackpressurePolicy::kBlock;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  for (const OperationBatch& batch : training) {
+    auto changed = service.ApplyOperations(batch);
+    service.ObserveBatchRound(changed);
+  }
+  // Transition into the serving phase: from here the background
+  // workers round continuously (a no-op barrier — queues are empty).
+  service.Flush();
+
+  Measurement m;
+  m.mode = "async";
+  m.shards = num_shards;
+  m.threads = service.num_threads();
+  std::vector<double> enqueue_us;
+  enqueue_us.reserve(serving.size());
+  Timer timer;
+  for (const OperationBatch& batch : serving) {
+    Timer enqueue;
+    auto result = service.Ingest(batch);
+    enqueue_us.push_back(enqueue.ElapsedMillis() * 1000.0);
+    if (result.accepted) m.records_served += batch.size();
+  }
+  m.apply_wall_ms = timer.ElapsedMillis();  // producer-side enqueue time
+  Timer flush_timer;
+  ServiceReport flush = service.Flush();
+  m.flush_ms = flush_timer.ElapsedMillis();
+  m.serve_ms = timer.ElapsedMillis();
+  m.round_wall_ms = flush.ingest.worker_round_ms;  // overlapped, not waited
+  m.records_per_sec =
+      m.serve_ms > 0.0 ? 1000.0 * m.records_served / m.serve_ms : 0.0;
+  m.enqueue_p50_us = Percentile(&enqueue_us, 0.50);
+  m.enqueue_p95_us = Percentile(&enqueue_us, 0.95);
+  m.coalesced_ops = flush.ingest.coalesced_ops;
+  m.worker_rounds = flush.ingest.worker_rounds;
+  m.rejected_batches = flush.ingest.rejected_batches;
+  m.queue_high_water = flush.ingest.queue_high_water;
+  // Cumulative over every round (background + flush barrier), so the
+  // counters are comparable with the sync path's per-round sums.
+  ServiceSnapshot snap = service.Snapshot();
+  m.rejected = snap.report.combined.rejected;
+  m.probability_evaluations = snap.report.combined.probability_evaluations;
+  m.final_objects = snap.total_objects;
+  m.final_clusters = snap.total_clusters;
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,10 +270,24 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--repeats") == 0) args.repeats = next();
     else if (std::strcmp(argv[i], "--threads") == 0)
       args.threads = static_cast<uint32_t>(next());
+    else if (std::strcmp(argv[i], "--queue-depth") == 0)
+      args.queue_depth = static_cast<size_t>(next());
+    else if (std::strcmp(argv[i], "--mode") == 0)
+      args.mode = i + 1 < argc ? argv[++i] : "";
+    else if (std::strcmp(argv[i], "--backpressure") == 0)
+      args.backpressure = i + 1 < argc ? argv[++i] : "";
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
+  }
+  if (args.mode != "sync" && args.mode != "async" && args.mode != "both") {
+    std::fprintf(stderr, "--mode must be sync, async or both\n");
+    return 2;
+  }
+  if (args.backpressure != "block" && args.backpressure != "reject") {
+    std::fprintf(stderr, "--backpressure must be block or reject\n");
+    return 2;
   }
 
   // Banner on stderr: stdout carries exactly one JSON document so the
@@ -195,23 +306,41 @@ int main(int argc, char** argv) {
   // the standard noise-robust estimator (scheduler interference and cold
   // page faults only ever add time), and the first sweep additionally
   // warms the allocator for the rest.
+  std::vector<const char*> modes;
+  if (args.mode == "sync" || args.mode == "both") modes.push_back("sync");
+  if (args.mode == "async" || args.mode == "both") modes.push_back("async");
   std::vector<Measurement> results;
   for (int rep = 0; rep < std::max(1, args.repeats); ++rep) {
     size_t i = 0;
-    for (uint32_t shards : {1u, 2u, 4u, 8u}) {
-      Measurement m = RunOne(shards, args, training, serving);
-      std::fprintf(stderr, "rep=%d shards=%u threads=%zu  %.0f records/sec\n",
-                   rep, m.shards, m.threads, m.records_per_sec);
-      if (rep == 0) {
-        results.push_back(m);
-      } else if (m.serve_ms < results[i].serve_ms) {
-        results[i] = m;
+    for (const char* mode : modes) {
+      for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+        Measurement m = std::strcmp(mode, "async") == 0
+                            ? RunOneAsync(shards, args, training, serving)
+                            : RunOne(shards, args, training, serving);
+        std::fprintf(stderr,
+                     "rep=%d mode=%s shards=%u threads=%zu  %.0f records/sec"
+                     " (enqueue p95 %.0f us)\n",
+                     rep, m.mode, m.shards, m.threads, m.records_per_sec,
+                     m.enqueue_p95_us);
+        if (rep == 0) {
+          results.push_back(m);
+        } else if (m.serve_ms < results[i].serve_ms) {
+          results[i] = m;
+        }
+        ++i;
       }
-      ++i;
     }
   }
 
-  double base = results.front().records_per_sec;
+  auto rate_of = [&results](const char* mode, uint32_t shards) {
+    for (const Measurement& m : results) {
+      if (std::strcmp(m.mode, mode) == 0 && m.shards == shards) {
+        return m.records_per_sec;
+      }
+    }
+    return 0.0;
+  };
+
   bench::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("sharded_throughput");
@@ -220,10 +349,14 @@ int main(int argc, char** argv) {
   json.Key("active_per_round").Value(args.active);
   json.Key("per_round").Value(args.per_round);
   json.Key("rounds").Value(args.rounds);
+  json.Key("queue_depth").Value(args.queue_depth);
+  json.Key("backpressure").Value(args.backpressure);
   json.EndObject();
   json.Key("results").BeginArray();
   for (const Measurement& m : results) {
+    double base = rate_of(m.mode, 1);
     json.BeginObject();
+    json.Key("mode").Value(m.mode);
     json.Key("shards").Value(static_cast<size_t>(m.shards));
     json.Key("threads").Value(m.threads);
     json.Key("records_served").Value(m.records_served);
@@ -239,14 +372,29 @@ int main(int argc, char** argv) {
     json.Key("retrain_ms").Value(m.retrain_ms);
     json.Key("rejected").Value(m.rejected);
     json.Key("probability_evaluations").Value(m.probability_evaluations);
+    if (std::strcmp(m.mode, "async") == 0) {
+      json.Key("enqueue_p50_us").Value(m.enqueue_p50_us);
+      json.Key("enqueue_p95_us").Value(m.enqueue_p95_us);
+      json.Key("flush_ms").Value(m.flush_ms);
+      json.Key("coalesced_ops").Value(static_cast<size_t>(m.coalesced_ops));
+      json.Key("worker_rounds").Value(static_cast<size_t>(m.worker_rounds));
+      json.Key("rejected_batches")
+          .Value(static_cast<size_t>(m.rejected_batches));
+      json.Key("queue_high_water").Value(m.queue_high_water);
+    }
     json.EndObject();
   }
   json.EndArray();
-  double at4 = 0.0;
-  for (const Measurement& m : results) {
-    if (m.shards == 4) at4 = base > 0.0 ? m.records_per_sec / base : 0.0;
-  }
-  json.Key("speedup_4_shards_vs_1").Value(at4);
+  double sync_base = rate_of("sync", 1);
+  double sync_at4 = rate_of("sync", 4);
+  double async_base = rate_of("async", 1);
+  double async_at4 = rate_of("async", 4);
+  json.Key("speedup_4_shards_vs_1")
+      .Value(sync_base > 0.0 ? sync_at4 / sync_base : 0.0);
+  json.Key("async_speedup_4_shards_vs_1")
+      .Value(async_base > 0.0 ? async_at4 / async_base : 0.0);
+  json.Key("async_vs_sync_at_4")
+      .Value(sync_at4 > 0.0 ? async_at4 / sync_at4 : 0.0);
   json.EndObject();
   std::printf("%s\n", json.str().c_str());
   return 0;

@@ -21,6 +21,16 @@
 // thread count (0 = one per shard, capped at the hardware):
 //
 //   dynamicc_cli --workload cora --task correlation --shards 4 -j 2
+//
+// Async pipelined ingestion: --async puts a bounded queue in front of
+// every shard and snapshots are served by background round workers;
+// --queue-depth N bounds each queue (pending coalesced operations) and
+// --backpressure block|reject picks what a full queue does to the
+// producer. Serving snapshots are enqueued and the stream ends with a
+// Flush() barrier:
+//
+//   dynamicc_cli --workload cora --task correlation --shards 4 --async
+//                --queue-depth 512 --backpressure block      (one line)
 
 #include <cstdio>
 #include <cstring>
@@ -53,6 +63,9 @@ struct CliArgs {
   bool csv = false;
   uint32_t shards = 1;
   uint32_t threads = 0;
+  bool async = false;
+  size_t queue_depth = 4096;
+  std::string backpressure = "block";
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -95,6 +108,20 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->threads = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--async") {
+      args->async = true;
+    } else if (flag == "--queue-depth") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->queue_depth = static_cast<size_t>(std::stoul(v));
+    } else if (flag == "--backpressure") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->backpressure = v;
+      if (args->backpressure != "block" && args->backpressure != "reject") {
+        std::fprintf(stderr, "--backpressure must be block or reject\n");
+        return false;
+      }
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -113,9 +140,13 @@ void Usage() {
       "                    [--method batch|naive|greedy|dynamicc|greedyset|"
       "all]\n"
       "                    [--scale N] [--seed N] [--kmeans-k N] [--csv]\n"
-      "                    [--shards N] [-j N]\n"
+      "                    [--shards N] [-j N] [--async] [--queue-depth N]\n"
+      "                    [--backpressure block|reject]\n"
       "  --shards N > 1 serves with the sharded service (correlation task,\n"
-      "  dynamicc method); -j N sets its worker thread count (0 = auto).\n");
+      "  dynamicc method); -j N sets its worker thread count (0 = auto).\n"
+      "  --async pipelines ingestion through bounded per-shard queues with\n"
+      "  background round workers; --queue-depth bounds each queue and\n"
+      "  --backpressure picks what a full queue does to the producer.\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -175,6 +206,11 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   ShardedDynamicCService::Options options;
   options.num_shards = args.shards;
   options.num_threads = args.threads;
+  options.async.enabled = args.async;
+  options.async.queue_depth = args.queue_depth;
+  options.async.backpressure = args.backpressure == "reject"
+                                   ? BackpressurePolicy::kReject
+                                   : BackpressurePolicy::kBlock;
   // Mirror the harness's session configuration so `--shards N` is
   // comparable with the single-engine path on the same stream.
   options.session.threshold = config.threshold;
@@ -197,14 +233,113 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
         env.split_model = std::make_unique<LogisticRegression>();
         return env;
       });
-  std::fprintf(stderr, "sharded service: %u shards on %zu threads\n",
-               service.num_shards(), service.num_threads());
+  std::fprintf(stderr, "sharded service: %u shards on %zu threads%s\n",
+               service.num_shards(), service.num_threads(),
+               service.async() ? " (async pipelined ingestion)" : "");
 
   // Initial clustering via one observed batch round; like the harness,
   // round 0 derives its transformation without changed-object hints.
   service.ApplyOperations(stream.initial);
   service.ObserveBatchRound({});
   std::vector<ObjectId> changed;
+
+  if (args.async) {
+    // Pipelined serving: training snapshots still use explicit observe
+    // barriers; afterwards every snapshot is only *enqueued* (the table
+    // shows the producer-side cost — enqueue latency and backpressure),
+    // the background workers apply + round it, and one Flush() barrier
+    // ends the stream.
+    //
+    // The stream generator numbers adds in generation order; under the
+    // kReject policy some batches are shed, so the client keeps its own
+    // generator-id -> service-id book and drops operations whose target
+    // never got admitted — exactly what a real load-shedding producer
+    // does.
+    std::vector<ObjectId> service_id_of;  // generator add idx -> service id
+    size_t service_adds = 0;              // admitted adds == next service id
+    auto translate = [&](const OperationBatch& ops) {
+      OperationBatch out;
+      const size_t gen_base = service_id_of.size();
+      for (const DataOperation& op : ops) {
+        if (op.kind == DataOperation::Kind::kAdd) {
+          out.push_back(op);
+          continue;
+        }
+        ObjectId sid;
+        if (op.target < static_cast<ObjectId>(gen_base)) {
+          sid = service_id_of[op.target];
+        } else {
+          // Intra-batch reference: adds of this batch are admitted (or
+          // rejected) together, so the target's prospective service id
+          // is the batch-relative add index past the admitted count.
+          sid = static_cast<ObjectId>(service_adds + (op.target - gen_base));
+        }
+        if (sid == kInvalidObject) continue;  // target was shed earlier
+        DataOperation translated = op;
+        translated.target = sid;
+        out.push_back(translated);
+      }
+      return out;
+    };
+    auto track = [&](const OperationBatch& ops, bool accepted) {
+      for (const DataOperation& op : ops) {
+        if (op.kind != DataOperation::Kind::kAdd) continue;
+        service_id_of.push_back(accepted
+                                    ? static_cast<ObjectId>(service_adds++)
+                                    : kInvalidObject);
+      }
+    };
+    track(stream.initial, true);  // applied above, never rejected
+
+    TableWriter table(
+        {"snapshot", "ops", "enqueue_ms", "accepted", "queued"});
+    for (size_t snapshot = 0; snapshot < stream.snapshots.size();
+         ++snapshot) {
+      OperationBatch batch = translate(stream.snapshots[snapshot]);
+      Timer timer;
+      bool observe = snapshot < static_cast<size_t>(config.training_rounds);
+      bool accepted = true;
+      if (observe) {
+        changed = service.ApplyOperations(batch);
+        service.ObserveBatchRound(changed);
+        if (snapshot + 1 == static_cast<size_t>(config.training_rounds)) {
+          service.Flush();  // enter the serving phase: workers round on
+        }
+      } else {
+        accepted = service.Ingest(batch).accepted;
+      }
+      double ms = timer.ElapsedMillis();
+      track(stream.snapshots[snapshot], accepted);
+      table.AddRow({std::to_string(snapshot + 1),
+                    std::to_string(batch.size()),
+                    TableWriter::Num(ms, 2), accepted ? "yes" : "no",
+                    std::to_string(service.ingest_stats().pending_ops)});
+    }
+    Timer flush_timer;
+    service.Flush();
+    double flush_ms = flush_timer.ElapsedMillis();
+    if (args.csv) {
+      std::cout << table.ToCsv();
+    } else {
+      table.Print(std::cout);
+    }
+    ServiceSnapshot snap = service.Snapshot();
+    const IngestStats& ingest = snap.report.ingest;
+    std::fprintf(stderr,
+                 "flush: %.1f ms  sequence=%llu  objects=%zu clusters=%zu\n"
+                 "pipeline: %llu ops accepted, %llu coalesced away, "
+                 "%llu rejected batches, %llu worker rounds, "
+                 "%llu producer waits, queue high-water %zu\n",
+                 flush_ms, static_cast<unsigned long long>(snap.sequence),
+                 snap.total_objects, snap.total_clusters,
+                 static_cast<unsigned long long>(ingest.accepted_ops),
+                 static_cast<unsigned long long>(ingest.coalesced_ops),
+                 static_cast<unsigned long long>(ingest.rejected_batches),
+                 static_cast<unsigned long long>(ingest.worker_rounds),
+                 static_cast<unsigned long long>(ingest.producer_waits),
+                 ingest.queue_high_water);
+    return 0;
+  }
 
   TableWriter table({"snapshot", "objects", "ms", "clusters", "served",
                      "merges", "splits"});
@@ -265,10 +400,11 @@ int main(int argc, char** argv) {
                WorkloadName(config.workload), TaskName(config.task),
                args.method.c_str());
 
-  if (args.shards > 1) {
+  if (args.shards > 1 || args.async) {
     if (config.task != TaskKind::kCorrelation || args.method != "dynamicc") {
       std::fprintf(stderr,
-                   "--shards requires --task correlation --method dynamicc\n");
+                   "--shards/--async require --task correlation "
+                   "--method dynamicc\n");
       return 2;
     }
     return RunSharded(args, config);

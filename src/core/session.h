@@ -32,6 +32,16 @@ namespace dynamicc {
 ///     session.ApplyOperations(snapshot);
 ///     session.DynamicRound();                    // fast path
 ///   }
+///
+/// Sessions are single-threaded and id-passive on purpose: the sharded
+/// serving layer (service/sharded_service.h) runs one session per shard
+/// and splits *global* id assignment (dense, at its ingestion boundary)
+/// from application (here, possibly later on a background worker). A
+/// session only ever sees its own dataset's dense local ids, whether
+/// its operations arrive synchronously or drained from a coalescing
+/// OperationLog (data/operation_log.h) — the two streams are
+/// composition-equivalent per object, which is what keeps the async
+/// pipeline's flush state byte-identical to a synchronous run.
 class DynamicCSession {
  public:
   struct Options {

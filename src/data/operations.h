@@ -18,7 +18,10 @@ struct DataOperation {
   /// by the Dataset on application.
   Record record;
 
-  /// kRemove / kUpdate: the target object.
+  /// kRemove / kUpdate: the target object. For kAdd the field is unused
+  /// by application, but queueing layers (OperationLog) may stamp it
+  /// with the id the add will materialize as so that later operations
+  /// on that id can coalesce into the pending add.
   ObjectId target = kInvalidObject;
 };
 

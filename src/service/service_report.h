@@ -47,6 +47,37 @@ inline void AccumulateRecluster(ReclusterReport* total,
   total->probability_evaluations += addend.probability_evaluations;
 }
 
+/// Cumulative counters of the async ingestion pipeline (bounded
+/// per-shard queues + background round workers). All counters are
+/// totals since service construction; in synchronous mode only
+/// `accepted_ops` advances.
+struct IngestStats {
+  /// Operations admitted to the service (enqueued or applied inline).
+  uint64_t accepted_ops = 0;
+  /// Whole batches turned away by the kReject backpressure policy, and
+  /// the operations they carried. A rejected batch consumes no ids.
+  uint64_t rejected_batches = 0;
+  uint64_t rejected_ops = 0;
+  /// Operations absorbed by per-key coalescing in the queues (add+update
+  /// folds, add+remove annihilations) — work never paid for.
+  uint64_t coalesced_ops = 0;
+  /// Queued operations not yet reflected in any shard engine.
+  uint64_t pending_ops = 0;
+  /// Drained batches applied by background workers, and the dynamic
+  /// rounds those workers ran.
+  uint64_t applied_batches = 0;
+  uint64_t worker_rounds = 0;
+  /// Producer wait episodes under the kBlock policy (a full queue made
+  /// an Ingest call sleep at least once).
+  uint64_t producer_waits = 0;
+  /// Largest pending-operation depth any single shard queue reached.
+  size_t queue_high_water = 0;
+  /// Summed background-worker time: applying drained batches vs running
+  /// dynamic rounds (the overlap the pipeline buys).
+  double worker_apply_ms = 0.0;
+  double worker_round_ms = 0.0;
+};
+
 /// Service-level view of one round executed across all shards. Wall time
 /// is what a caller waits (shards run concurrently); total shard time is
 /// what the machine pays; max shard time exposes the straggler that
@@ -63,9 +94,33 @@ struct ServiceReport {
   /// Summed evolution-step count across shards (training rounds only).
   size_t evolution_steps = 0;
 
+  /// Cumulative ingestion-pipeline counters at the time the report was
+  /// built (filled by barrier calls and snapshots).
+  IngestStats ingest;
+
   /// Exactly one of these is non-empty, matching the round kind.
   std::vector<ShardTrainStats> train_shards;
   std::vector<ShardDynamicStats> dynamic_shards;
+};
+
+/// A consistent cut of the service: every shard is observed at a round
+/// boundary (no shard mid-apply or mid-recluster), so the partition is
+/// one the equivalent single-engine run could have produced. `sequence`
+/// says how far into the operation stream the cut is — after a Flush()
+/// with no concurrent ingestion it equals the total accepted operation
+/// count, i.e. the cut reflects everything.
+struct ServiceSnapshot {
+  /// Operations whose effect is reflected in `clusters` (accepted minus
+  /// still-queued).
+  uint64_t sequence = 0;
+  size_t total_objects = 0;
+  size_t total_clusters = 0;
+  /// Current partition in global ids, canonical form.
+  std::vector<std::vector<ObjectId>> clusters;
+  /// Per-shard sizes plus cumulative ingest + recluster counters at the
+  /// cut (dynamic_shards carries one entry per shard; participated is
+  /// always false — a snapshot runs no rounds).
+  ServiceReport report;
 };
 
 }  // namespace dynamicc

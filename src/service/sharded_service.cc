@@ -50,97 +50,332 @@ ShardedDynamicCService::ShardedDynamicCService(
   }
 }
 
+ShardedDynamicCService::IngestResult ShardedDynamicCService::Ingest(
+    const OperationBatch& operations) {
+  return IngestInternal(operations, options_.async.backpressure);
+}
+
 std::vector<ObjectId> ShardedDynamicCService::ApplyOperations(
     const OperationBatch& operations) {
-  std::vector<OperationBatch> per_shard(shards_.size());
-  // What each session must report back as changed ids. Adds get their
-  // local id pre-assigned (Dataset assigns dense sequential ids, so the
-  // next add on a shard gets total_count() + already-queued adds).
-  std::vector<std::vector<ObjectId>> expected_changed(shards_.size());
-  std::vector<size_t> pending_adds(shards_.size(), 0);
-  std::vector<ObjectId> changed_global;
+  IngestResult result =
+      IngestInternal(operations, BackpressurePolicy::kBlock);
+  return std::move(result.changed);
+}
 
-  for (const DataOperation& op : operations) {
-    switch (op.kind) {
-      case DataOperation::Kind::kAdd: {
-        uint32_t target = router_->Route(op.record, num_shards());
-        Shard& shard = *shards_[target];
-        ObjectId local = static_cast<ObjectId>(shard.dataset.total_count() +
-                                               pending_adds[target]++);
-        ObjectId global = static_cast<ObjectId>(locations_.size());
-        locations_.push_back({target, local});
-        DYNAMICC_CHECK_EQ(shard.global_of_local.size(), local);
-        shard.global_of_local.push_back(global);
-        per_shard[target].push_back(op);
-        expected_changed[target].push_back(local);
-        changed_global.push_back(global);
-        break;
+ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
+    const OperationBatch& operations, BackpressurePolicy policy) {
+  // Producers serialize here: global ids come out dense in admission
+  // order, and a kReject capacity check stays atomic with its enqueue.
+  std::lock_guard<std::mutex> ingest_lock(ingest_mutex_);
+  const bool async = options_.async.enabled;
+  const size_t depth = std::max<size_t>(1, options_.async.queue_depth);
+
+  // Pass 1 — route every operation without touching state: adds by
+  // content, removes/updates to the shard that owns the target. A
+  // target may be an add from this very batch (its id is not assigned
+  // until pass 2), so prospective ids resolve against the batch's own
+  // adds.
+  std::vector<uint32_t> shard_of(operations.size());
+  std::vector<size_t> slice_size(shards_.size(), 0);
+  std::vector<uint32_t> batch_add_shards;
+  {
+    std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+    const size_t base = locations_.size();
+    for (size_t i = 0; i < operations.size(); ++i) {
+      const DataOperation& op = operations[i];
+      uint32_t target;
+      if (op.kind == DataOperation::Kind::kAdd) {
+        target = router_->Route(op.record, num_shards());
+        batch_add_shards.push_back(target);
+      } else if (op.target < base) {
+        target = locations_.at(op.target).shard;
+      } else {
+        // Intra-batch reference: the target is this batch's add number
+        // (op.target - base), which pass 2 will admit under exactly
+        // that id.
+        target = batch_add_shards.at(op.target - base);
       }
-      case DataOperation::Kind::kRemove: {
-        const ObjectLocation& loc = locations_.at(op.target);
-        DataOperation local_op = op;
-        local_op.target = loc.local;
-        per_shard[loc.shard].push_back(local_op);
-        break;
-      }
-      case DataOperation::Kind::kUpdate: {
-        // Updates keep both their global id and their shard: the owning
-        // shard already holds the object's edges, and rerouting by the
-        // new content would break id stability (§6.1 semantics).
-        const ObjectLocation& loc = locations_.at(op.target);
-        DataOperation local_op = op;
-        local_op.target = loc.local;
-        per_shard[loc.shard].push_back(local_op);
-        expected_changed[loc.shard].push_back(loc.local);
-        changed_global.push_back(op.target);
-        break;
+      shard_of[i] = target;
+      slice_size[target] += 1;
+    }
+  }
+
+  // kReject decides before any id is assigned, so a turned-away batch
+  // leaves no trace. The depth bounds *backlog*, not batch size: a
+  // shard with an empty queue admits any slice (transiently exceeding
+  // the depth), so an oversized batch always makes progress on retry
+  // instead of being rejected forever. The check is conservative
+  // otherwise: it charges the slice's full size even though coalescing
+  // may shrink it on arrival.
+  if (async && policy == BackpressurePolicy::kReject) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (slice_size[s] == 0) continue;
+      std::lock_guard<std::mutex> lock(shards_[s]->queue_mutex);
+      size_t pending = shards_[s]->log.pending();
+      if (pending > 0 && pending + slice_size[s] > depth) {
+        rejected_batches_.fetch_add(1);
+        rejected_ops_.fetch_add(operations.size());
+        return IngestResult{false, {}};
       }
     }
   }
 
-  // Shard slices are disjoint, so they apply concurrently. Only shards
-  // with work are dispatched: waking a worker for an empty slice costs
-  // more than the slice.
-  std::vector<size_t> busy;
+  // Pass 2 — commit: assign global ids densely in admission order and
+  // build the per-shard slices. Adds carry their assigned id in
+  // `target` (the OperationLog coalescing handle; cleared again before
+  // the slice reaches the session).
+  IngestResult result;
+  std::vector<OperationBatch> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    if (!per_shard[s].empty()) busy.push_back(s);
+    per_shard[s].reserve(slice_size[s]);
   }
-  pool_.ParallelFor(busy.size(), [&](size_t i) {
-    size_t s = busy[i];
-    shards_[s]->dirty = true;
-    std::vector<ObjectId> local_changed =
-        shards_[s]->session->ApplyOperations(per_shard[s]);
-    DYNAMICC_CHECK(local_changed == expected_changed[s])
-        << "shard dataset assigned ids out of line with the router's "
-           "pre-assignment";
-  });
-  return changed_global;
+  {
+    std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+    for (size_t i = 0; i < operations.size(); ++i) {
+      DataOperation routed = operations[i];
+      if (routed.kind == DataOperation::Kind::kAdd) {
+        ObjectId global = static_cast<ObjectId>(locations_.size());
+        locations_.push_back(ObjectLocation{shard_of[i], kInvalidObject});
+        routed.target = global;
+        result.changed.push_back(global);
+      } else if (routed.kind == DataOperation::Kind::kUpdate) {
+        result.changed.push_back(routed.target);
+      }
+      per_shard[shard_of[i]].push_back(std::move(routed));
+    }
+  }
+
+  if (!async) {
+    // Shard slices are disjoint, so they apply concurrently. Only
+    // shards with work are dispatched: waking a worker for an empty
+    // slice costs more than the slice.
+    std::vector<size_t> busy;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!per_shard[s].empty()) busy.push_back(s);
+    }
+    pool_.ParallelFor(busy.size(), [&](size_t i) {
+      size_t s = busy[i];
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> round_lock(shard.round_mutex);
+      shard.dirty = true;
+      ApplyBatchToShard(s, per_shard[s]);
+      std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
+      shard.accepted_ops += per_shard[s].size();
+    });
+    return result;
+  }
+
+  // Pass 3 — enqueue with backpressure and wake each shard's worker.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    bool schedule = false;
+    {
+      std::unique_lock<std::mutex> lock(shard.queue_mutex);
+      bool counted_wait = false;
+      for (DataOperation& op : per_shard[s]) {
+        // Only kBlock meters the queue op-by-op; a kReject batch was
+        // admitted as a whole above and must never stall the producer
+        // (its slice may transiently exceed the depth).
+        while (policy == BackpressurePolicy::kBlock &&
+               shard.log.pending() >= depth) {
+          // A worker must be in flight before we sleep, or nobody would
+          // ever make room (a slice larger than the queue depth fills
+          // it before this call returns).
+          if (!shard.worker_busy) {
+            shard.worker_busy = true;
+            pool_.SubmitTo(s, [this, s] { WorkerDrain(s); });
+            continue;
+          }
+          if (!counted_wait) {
+            shard.producer_waits += 1;
+            counted_wait = true;
+          }
+          shard.queue_not_full.wait(lock);
+        }
+        shard.log.Append(std::move(op));
+        shard.accepted_ops += 1;
+        shard.queue_high_water =
+            std::max(shard.queue_high_water, shard.log.pending());
+      }
+      if (!shard.log.empty() && !shard.worker_busy) {
+        shard.worker_busy = true;
+        schedule = true;
+      }
+    }
+    if (schedule) pool_.SubmitTo(s, [this, s] { WorkerDrain(s); });
+  }
+  return result;
+}
+
+std::vector<ObjectId> ShardedDynamicCService::ApplyBatchToShard(
+    size_t shard_index, const OperationBatch& batch) {
+  Shard& shard = *shards_[shard_index];
+  size_t base = shard.dataset.total_count();
+  OperationBatch local_ops;
+  local_ops.reserve(batch.size());
+  std::vector<ObjectId> expected;
+  size_t adds = 0;
+  {
+    std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+    for (const DataOperation& op : batch) {
+      DataOperation local = op;
+      if (op.kind == DataOperation::Kind::kAdd) {
+        ObjectId global = op.target;
+        DYNAMICC_CHECK(global != kInvalidObject)
+            << "add reached a shard without an admission-assigned id";
+        ObjectId local_id = static_cast<ObjectId>(base + adds++);
+        locations_[global].local = local_id;
+        local.target = kInvalidObject;
+        expected.push_back(local_id);
+        DYNAMICC_CHECK_EQ(shard.global_of_local.size(), local_id);
+        shard.global_of_local.push_back(global);
+      } else {
+        const ObjectLocation& loc = locations_.at(op.target);
+        DYNAMICC_CHECK_EQ(loc.shard, static_cast<uint32_t>(shard_index));
+        DYNAMICC_CHECK(loc.local != kInvalidObject)
+            << "operation targets an object that never materialized";
+        local.target = loc.local;
+        if (op.kind == DataOperation::Kind::kUpdate) {
+          expected.push_back(loc.local);
+        }
+      }
+      local_ops.push_back(std::move(local));
+    }
+  }
+  std::vector<ObjectId> changed = shard.session->ApplyOperations(local_ops);
+  DYNAMICC_CHECK(changed == expected)
+      << "shard dataset assigned ids out of line with the service's "
+         "admission-order pre-assignment";
+  return changed;
+}
+
+void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  // Several shards may share one pool worker; yielding after a few
+  // batches round-robins them instead of letting a continuously-fed
+  // shard starve its neighbours. On yield the shard stays marked busy
+  // and the resubmitted task owns the remaining queue.
+  constexpr int kBatchesBeforeYield = 4;
+  for (int iteration = 0; iteration < kBatchesBeforeYield; ++iteration) {
+    OperationLog::Drained drained;
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mutex);
+      if (shard.log.empty()) {
+        shard.log.Take(0);  // GC entries annihilated in place
+        shard.worker_busy = false;
+        shard.queue_drained.notify_all();
+        return;
+      }
+      drained = shard.log.Take(options_.async.max_batch);
+      shard.queue_not_full.notify_all();
+    }
+
+    Timer timer;
+    double apply_ms = 0.0;
+    double round_ms = 0.0;
+    bool rounded = false;
+    DynamicCSession::DynamicReport round_report;
+    {
+      std::lock_guard<std::mutex> round_lock(shard.round_mutex);
+      std::vector<ObjectId> changed =
+          ApplyBatchToShard(shard_index, drained.ops);
+      apply_ms = timer.ElapsedMillis();
+      shard.dirty = true;
+      // Rounds run in the background only once the whole service is
+      // trained; until then application is deferred but rounds stay
+      // with the explicit barriers, so training matches the
+      // synchronous path exactly.
+      if (serving_.load(std::memory_order_acquire) &&
+          shard.session->is_trained()) {
+        if (!shard.pending_changed.empty()) {
+          changed.insert(changed.begin(), shard.pending_changed.begin(),
+                         shard.pending_changed.end());
+          shard.pending_changed.clear();
+        }
+        timer.Reset();
+        round_report = shard.session->DynamicRound(changed);
+        round_ms = timer.ElapsedMillis();
+        shard.dirty = false;
+        rounded = true;
+      } else {
+        shard.pending_changed.insert(shard.pending_changed.end(),
+                                     changed.begin(), changed.end());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mutex);
+      shard.applied_batches += 1;
+      shard.worker_apply_ms += apply_ms;
+      if (rounded) {
+        shard.worker_rounds += 1;
+        shard.worker_round_ms += round_ms;
+        AccumulateRecluster(&shard.round_detail, round_report.detail);
+      }
+    }
+  }
+  pool_.SubmitTo(shard_index, [this, shard_index] { WorkerDrain(shard_index); });
+}
+
+void ShardedDynamicCService::Drain() {
+  if (!async()) return;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> lock(shard.queue_mutex);
+    shard.queue_drained.wait(
+        lock, [&shard] { return shard.log.empty() && !shard.worker_busy; });
+  }
 }
 
 std::vector<std::vector<ObjectId>> ShardedDynamicCService::LocalizeChanged(
     const std::vector<ObjectId>& changed) const {
   std::vector<std::vector<ObjectId>> local(shards_.size());
+  std::lock_guard<std::mutex> loc_lock(locations_mutex_);
   for (ObjectId global : changed) {
     const ObjectLocation& loc = locations_.at(global);
+    // Skip ids that never materialized (adds annihilated in the queue).
+    if (loc.local == kInvalidObject) continue;
     local[loc.shard].push_back(loc.local);
   }
   return local;
 }
 
+std::vector<std::vector<ObjectId>>
+ShardedDynamicCService::TakePendingChanged() {
+  std::vector<std::vector<ObjectId>> hints(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> round_lock(shards_[s]->round_mutex);
+    hints[s] = std::move(shards_[s]->pending_changed);
+    shards_[s]->pending_changed.clear();
+  }
+  return hints;
+}
+
 ServiceReport ShardedDynamicCService::ObserveBatchRound(
     const std::vector<ObjectId>& changed) {
-  std::vector<std::vector<ObjectId>> local_changed = LocalizeChanged(changed);
+  std::vector<std::vector<ObjectId>> hints;
+  if (async()) {
+    // Barrier: everything admitted is applied before the round, and the
+    // service's own record of applied-but-unrounded objects replaces
+    // the caller's list (they agree when the caller passed what the
+    // preceding ingest returned).
+    Drain();
+    hints = TakePendingChanged();
+  } else {
+    hints = LocalizeChanged(changed);
+  }
   ServiceReport report;
   report.train_shards.resize(shards_.size());
 
   Timer wall;
   pool_.ParallelFor(shards_.size(), [&](size_t s) {
     Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> round_lock(shard.round_mutex);
     ShardTrainStats& stats = report.train_shards[s];
     stats.shard = static_cast<uint32_t>(s);
     Timer timer;
     if (shard.dataset.alive_count() > 0) {
-      stats.report = shard.session->ObserveBatchRound(local_changed[s]);
+      stats.report = shard.session->ObserveBatchRound(hints[s]);
       stats.participated = true;
     }
     shard.dirty = false;  // the batch result is a fresh fixpoint
@@ -157,22 +392,37 @@ ServiceReport ShardedDynamicCService::ObserveBatchRound(
     report.total_clusters += stats.clusters;
     report.evolution_steps += stats.report.step_count;
   }
+  FillIngestStats(&report.ingest);
+  // An observe means the caller is driving barriers (training, or a
+  // long-run accuracy refresh): background rounds stay off until the
+  // next explicit DynamicRound/Flush, so any number of training
+  // barriers sees exactly the synchronous path's engine state and
+  // derives identical models.
+  serving_.store(false, std::memory_order_release);
   return report;
 }
 
 ServiceReport ShardedDynamicCService::DynamicRound(
     const std::vector<ObjectId>& changed) {
-  std::vector<std::vector<ObjectId>> local_changed = LocalizeChanged(changed);
+  std::vector<std::vector<ObjectId>> hints;
+  if (async()) {
+    Drain();
+    hints = TakePendingChanged();
+  } else {
+    hints = LocalizeChanged(changed);
+  }
   ServiceReport report;
   report.dynamic_shards.resize(shards_.size());
 
   Timer wall;
   // A shard sits the round out while empty, or clean — no operation
   // landed on it since its last round, so its clustering is already a
-  // DynamicC fixpoint and re-running would change nothing. Only
-  // participants are dispatched to the pool.
+  // DynamicC fixpoint and re-running would change nothing. In async
+  // mode the background workers already rounded every trained shard, so
+  // only shards they had to leave dirty (untrained ones) serve here.
   std::vector<size_t> serving;
   for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> round_lock(shards_[s]->round_mutex);
     ShardDynamicStats& stats = report.dynamic_shards[s];
     stats.shard = static_cast<uint32_t>(s);
     stats.objects = shards_[s]->dataset.alive_count();
@@ -184,10 +434,11 @@ ServiceReport ShardedDynamicCService::DynamicRound(
   pool_.ParallelFor(serving.size(), [&](size_t i) {
     size_t s = serving[i];
     Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> round_lock(shard.round_mutex);
     ShardDynamicStats& stats = report.dynamic_shards[s];
     Timer timer;
     if (shard.session->is_trained()) {
-      stats.report = shard.session->DynamicRound(local_changed[s]);
+      stats.report = shard.session->DynamicRound(hints[s]);
     } else {
       // The shard cannot serve dynamically yet — its slice of the
       // training phase produced no evolution steps, or its first data
@@ -196,7 +447,7 @@ ServiceReport ShardedDynamicCService::DynamicRound(
       // the output is the correct batch clustering either way, and the
       // round doubles as this shard's training opportunity.
       DynamicCSession::TrainReport observe =
-          shard.session->ObserveBatchRound(local_changed[s]);
+          shard.session->ObserveBatchRound(hints[s]);
       stats.report.recluster_ms = observe.batch_ms + observe.derive_ms;
       stats.report.retrain_ms = observe.fit_ms;
       stats.report.used_batch = true;
@@ -206,6 +457,8 @@ ServiceReport ShardedDynamicCService::DynamicRound(
     stats.round_ms = timer.ElapsedMillis();
     stats.objects = shard.dataset.alive_count();
     stats.clusters = shard.session->engine().clustering().num_clusters();
+    std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
+    AccumulateRecluster(&shard.round_detail, stats.report.detail);
   });
   report.wall_ms = wall.ElapsedMillis();
 
@@ -216,23 +469,95 @@ ServiceReport ShardedDynamicCService::DynamicRound(
     report.total_clusters += stats.clusters;
     AccumulateRecluster(&report.combined, stats.report.detail);
   }
+  FillIngestStats(&report.ingest);
+  // An explicit dynamic barrier is the caller's transition into the
+  // serving phase: from here (if every data-holding shard is trained)
+  // the background workers round continuously until the next observe.
+  serving_.store(is_trained(), std::memory_order_release);
   return report;
+}
+
+ServiceReport ShardedDynamicCService::Flush() { return DynamicRound({}); }
+
+ServiceSnapshot ShardedDynamicCService::Snapshot() const {
+  ServiceSnapshot snap;
+  snap.report.dynamic_shards.resize(shards_.size());
+
+  // Holding every round mutex pauses each shard's worker between
+  // rounds: the cut observes every shard at a round boundary.
+  std::vector<std::unique_lock<std::mutex>> round_locks;
+  round_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    round_locks.emplace_back(shard->round_mutex);
+  }
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    ShardDynamicStats& stats = snap.report.dynamic_shards[s];
+    stats.shard = static_cast<uint32_t>(s);
+    stats.objects = shard.dataset.alive_count();
+    stats.clusters = shard.session->engine().clustering().num_clusters();
+    AppendShardClusters(shard, &snap.clusters);
+    snap.total_objects += stats.objects;
+    snap.total_clusters += stats.clusters;
+    snap.report.total_objects += stats.objects;
+    snap.report.total_clusters += stats.clusters;
+    std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
+    AccumulateRecluster(&snap.report.combined, shard.round_detail);
+  }
+  std::sort(snap.clusters.begin(), snap.clusters.end());
+
+  FillIngestStats(&snap.report.ingest);
+  snap.sequence =
+      snap.report.ingest.accepted_ops - snap.report.ingest.pending_ops;
+  return snap;
+}
+
+IngestStats ShardedDynamicCService::ingest_stats() const {
+  IngestStats stats;
+  FillIngestStats(&stats);
+  return stats;
+}
+
+void ShardedDynamicCService::FillIngestStats(IngestStats* ingest) const {
+  ingest->rejected_batches = rejected_batches_.load();
+  ingest->rejected_ops = rejected_ops_.load();
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.queue_mutex);
+    ingest->accepted_ops += shard.accepted_ops;
+    ingest->coalesced_ops += shard.log.coalesced();
+    ingest->pending_ops += shard.log.pending_logical();
+    ingest->applied_batches += shard.applied_batches;
+    ingest->worker_rounds += shard.worker_rounds;
+    ingest->producer_waits += shard.producer_waits;
+    ingest->queue_high_water =
+        std::max(ingest->queue_high_water, shard.queue_high_water);
+    ingest->worker_apply_ms += shard.worker_apply_ms;
+    ingest->worker_round_ms += shard.worker_round_ms;
+  }
+}
+
+void ShardedDynamicCService::AppendShardClusters(
+    const Shard& shard, std::vector<std::vector<ObjectId>>* out) {
+  for (const auto& members :
+       shard.session->engine().clustering().CanonicalClusters()) {
+    std::vector<ObjectId> global_members;
+    global_members.reserve(members.size());
+    for (ObjectId local : members) {
+      global_members.push_back(shard.global_of_local.at(local));
+    }
+    std::sort(global_members.begin(), global_members.end());
+    out->push_back(std::move(global_members));
+  }
 }
 
 std::vector<std::vector<ObjectId>> ShardedDynamicCService::GlobalClusters()
     const {
   std::vector<std::vector<ObjectId>> clusters;
   for (const auto& shard : shards_) {
-    for (const auto& members :
-         shard->session->engine().clustering().CanonicalClusters()) {
-      std::vector<ObjectId> global_members;
-      global_members.reserve(members.size());
-      for (ObjectId local : members) {
-        global_members.push_back(shard->global_of_local.at(local));
-      }
-      std::sort(global_members.begin(), global_members.end());
-      clusters.push_back(std::move(global_members));
-    }
+    std::lock_guard<std::mutex> round_lock(shard->round_mutex);
+    AppendShardClusters(*shard, &clusters);
   }
   std::sort(clusters.begin(), clusters.end());
   return clusters;
@@ -240,13 +565,17 @@ std::vector<std::vector<ObjectId>> ShardedDynamicCService::GlobalClusters()
 
 size_t ShardedDynamicCService::total_objects() const {
   size_t total = 0;
-  for (const auto& shard : shards_) total += shard->dataset.alive_count();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> round_lock(shard->round_mutex);
+    total += shard->dataset.alive_count();
+  }
   return total;
 }
 
 size_t ShardedDynamicCService::total_clusters() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> round_lock(shard->round_mutex);
     total += shard->session->engine().clustering().num_clusters();
   }
   return total;
@@ -254,6 +583,7 @@ size_t ShardedDynamicCService::total_clusters() const {
 
 bool ShardedDynamicCService::is_trained() const {
   for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> round_lock(shard->round_mutex);
     if (shard->dataset.alive_count() > 0 && !shard->session->is_trained()) {
       return false;
     }
@@ -262,6 +592,7 @@ bool ShardedDynamicCService::is_trained() const {
 }
 
 uint32_t ShardedDynamicCService::ShardOfObject(ObjectId global_id) const {
+  std::lock_guard<std::mutex> loc_lock(locations_mutex_);
   return locations_.at(global_id).shard;
 }
 

@@ -1,13 +1,18 @@
 #ifndef DYNAMICC_SERVICE_SHARDED_SERVICE_H_
 #define DYNAMICC_SERVICE_SHARDED_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "batch/batch_algorithm.h"
 #include "core/session.h"
 #include "data/dataset.h"
+#include "data/operation_log.h"
 #include "data/operations.h"
 #include "data/similarity.h"
 #include "data/similarity_graph.h"
@@ -40,32 +45,102 @@ struct ShardEnvironment {
 
 using ShardEnvironmentFactory = std::function<ShardEnvironment()>;
 
+/// What a full shard queue does to an Ingest call in async mode.
+enum class BackpressurePolicy {
+  /// Wait until the shard's worker drains enough space (never drops).
+  kBlock,
+  /// Turn the whole batch away — no ids assigned, nothing enqueued —
+  /// and report it in IngestStats. Load-shedding for latency-bound
+  /// producers: an admitted batch never stalls, and a batch is only
+  /// rejected while the target shard has backlog (an idle shard admits
+  /// any batch, transiently exceeding the depth, so retries always
+  /// make progress).
+  kReject,
+};
+
 /// Concurrent serving layer over DynamicC: partitions the record stream
 /// across N shards by a pluggable ShardRouter (default: hash of the
 /// stable blocking key, data/blocking.h), owns one Dataset /
 /// SimilarityGraph / DynamicCSession per shard, and executes training
 /// and dynamic rounds across shards concurrently on a fixed thread pool.
 ///
-/// Object ids: callers speak *global* ids (assigned densely by the
-/// service in operation order — the exact ids a single shared Dataset
-/// would have assigned for the same stream, which keeps sharded output
-/// directly comparable to a single-engine run). Each shard's dataset
-/// uses its own local ids; the service owns the bidirectional mapping
-/// and translates at the boundary.
+/// Object ids: callers speak *global* ids, assigned densely in arrival
+/// order at the ingestion boundary — the exact ids a single shared
+/// Dataset would have assigned for the same stream, which keeps sharded
+/// output directly comparable to a single-engine run. Id assignment is
+/// split from application: each shard's dataset assigns its own local
+/// ids when (possibly later, on a worker) its slice is applied; the
+/// service owns the bidirectional mapping and translates at the
+/// boundary.
 ///
-/// Correctness: a round over N shards equals the single-engine round
-/// exactly when no similarity edge crosses shards — guaranteed by
-/// hash-of-blocking-key routing on blocking-disjoint workloads (see
-/// StableShardKey). On other workloads sharding trades cross-shard
-/// merges for throughput.
+/// Ingestion modes:
+///
+///  - **Synchronous** (default): ApplyOperations routes the batch and
+///    applies each shard's slice concurrently (fork-join) before
+///    returning; rounds are driven explicitly by the caller.
+///  - **Async pipelined** (`Options::async.enabled`): ApplyOperations /
+///    Ingest only *enqueue* — each shard has a bounded MPSC queue (an
+///    OperationLog, so queued work coalesces before it is paid for) and
+///    a long-lived background worker that drains the queue into batches,
+///    applies them, and runs dynamic rounds continuously. Ingest and
+///    re-clustering overlap; a full queue blocks or rejects per
+///    `Options::async.backpressure`. Reading state goes through the
+///    Flush()/Drain() barriers or a Snapshot() at a consistent cut.
+///
+/// Training still uses explicit barriers in both modes: while the
+/// caller drives ObserveBatchRound barriers, async mode merely defers
+/// application (workers never round), so every training barrier —
+/// however many there are — sees exactly the engine state the
+/// synchronous path would have, and the models come out identical. The
+/// first explicit DynamicRound()/Flush() afterwards is the transition
+/// into the serving phase: from then on the background workers run
+/// dynamic rounds continuously (until the next observe, which returns
+/// the service to barrier-driven mode, e.g. for a long-run accuracy
+/// refresh). A shard that first receives data after training (so it is
+/// itself untrained) accumulates its changes and is served with a
+/// batch-fallback round at the next Flush(), which is also its
+/// training opportunity.
+///
+/// Correctness: at any flush barrier, a round over N shards equals the
+/// single-engine round exactly when no similarity edge crosses shards —
+/// guaranteed by hash-of-blocking-key routing on blocking-disjoint
+/// workloads (see StableShardKey). On other workloads sharding trades
+/// cross-shard merges for throughput.
 class ShardedDynamicCService {
  public:
+  struct AsyncOptions {
+    /// Enable pipelined ingestion (bounded queues + background workers).
+    bool enabled = false;
+    /// Per-shard backlog bound in pending (post-coalescing) operations;
+    /// floored at 1. kBlock meters producers against it op-by-op;
+    /// kReject sheds batches that would grow an existing backlog past
+    /// it (a single batch may transiently exceed it on an idle shard).
+    size_t queue_depth = 4096;
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+    /// Most operations a worker applies per drained batch before it
+    /// runs a round (0 = drain everything queued). Bounds worst-case
+    /// round latency under sustained ingest.
+    size_t max_batch = 0;
+  };
+
   struct Options {
     uint32_t num_shards = 4;
-    /// Worker threads for round execution. 0 = one per shard, capped at
-    /// the hardware concurrency.
+    /// Worker threads. 0 = one per shard, capped at the hardware
+    /// concurrency. In async mode shard s's drain worker is pinned to
+    /// thread s % num_threads.
     uint32_t num_threads = 0;
     DynamicCSession::Options session;
+    AsyncOptions async;
+  };
+
+  /// Outcome of one Ingest call. `accepted` is false only in async mode
+  /// under the kReject policy when a shard queue had no room for the
+  /// batch; a rejected batch assigns no ids and enqueues nothing.
+  struct IngestResult {
+    bool accepted = true;
+    /// Global ids of added/updated objects, in operation order (what
+    /// the single-engine session would report as changed).
+    std::vector<ObjectId> changed;
   };
 
   /// `router` may be null (defaults to HashShardRouter). `factory` is
@@ -76,14 +151,29 @@ class ShardedDynamicCService {
   ShardedDynamicCService(const ShardedDynamicCService&) = delete;
   ShardedDynamicCService& operator=(const ShardedDynamicCService&) = delete;
 
-  /// Routes the batch per shard (adds by router; removes/updates to the
-  /// owning shard) and applies each shard's slice concurrently. Returns
-  /// the global ids of added/updated objects, in operation order.
+  /// Async mode: waits for queues to drain, then stops the workers.
+  /// External producers must stop ingesting before destruction.
+  ~ShardedDynamicCService() = default;
+
+  /// Admits a batch under the configured backpressure policy. Sync mode:
+  /// routes per shard (adds by router; removes/updates to the owning
+  /// shard) and applies each slice concurrently before returning. Async
+  /// mode: assigns global ids, enqueues per shard, and returns — the
+  /// background workers apply and round later. Thread-safe (multiple
+  /// producers may ingest concurrently; ids stay dense in admission
+  /// order).
+  IngestResult Ingest(const OperationBatch& operations);
+
+  /// Ingest under the kBlock policy regardless of configuration — never
+  /// rejects. Returns the global ids of added/updated objects.
   std::vector<ObjectId> ApplyOperations(const OperationBatch& operations);
 
   /// Runs DynamicCSession::ObserveBatchRound on every non-empty shard
   /// concurrently. `changed` is the output of the preceding
-  /// ApplyOperations (global ids; the service translates per shard).
+  /// ApplyOperations (global ids; the service translates per shard). In
+  /// async mode the service drained the queues first and uses its own
+  /// precise record of applied-but-unrounded objects instead of
+  /// `changed`. Requires ingest quiescence (a training barrier).
   ServiceReport ObserveBatchRound(const std::vector<ObjectId>& changed);
 
   /// Runs DynamicCSession::DynamicRound concurrently on every shard that
@@ -98,14 +188,43 @@ class ShardedDynamicCService {
   /// from its training slice, or data first routed to it after training)
   /// is served with an observed batch round instead — correct output
   /// now, and its chance to become trained (used_batch in its report).
+  ///
+  /// In async mode this is the flush barrier's second half: queues are
+  /// drained first, and only shards the background workers left dirty
+  /// (untrained ones) still serve here.
   ServiceReport DynamicRound(const std::vector<ObjectId>& changed = {});
 
+  /// Async barrier, step 1: blocks until every queued operation has been
+  /// applied by the background workers. Does not run rounds. No-op in
+  /// sync mode.
+  void Drain();
+
+  /// Async barrier, step 2 (= Drain + DynamicRound): after Flush()
+  /// returns, every admitted operation is applied *and* covered by a
+  /// round — the state readable via GlobalClusters()/Snapshot() is what
+  /// the synchronous path would have produced at this point in the
+  /// stream. The returned report covers the final serving pass and
+  /// carries cumulative IngestStats.
+  ServiceReport Flush();
+
+  /// Consistent cut: every shard observed at a round boundary, with the
+  /// partition, per-shard sizes, and cumulative pipeline counters. Safe
+  /// to call concurrently with ingestion (it briefly pauses each shard's
+  /// worker between rounds).
+  ServiceSnapshot Snapshot() const;
+
+  /// Cumulative ingestion-pipeline counters (see IngestStats).
+  IngestStats ingest_stats() const;
+
   /// Current partition in global ids, canonical form (members ascending,
-  /// clusters sorted): the union of the per-shard clusterings.
+  /// clusters sorted): the union of the per-shard clusterings. In async
+  /// mode, call after Flush() (or use Snapshot()) for a cut that
+  /// reflects the whole stream.
   std::vector<std::vector<ObjectId>> GlobalClusters() const;
 
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   size_t num_threads() const { return pool_.size(); }
+  bool async() const { return options_.async.enabled; }
   size_t total_objects() const;
   size_t total_clusters() const;
   /// True when every shard that holds objects can serve dynamic rounds.
@@ -123,10 +242,40 @@ class ShardedDynamicCService {
     Dataset dataset;
     std::unique_ptr<SimilarityGraph> graph;
     std::unique_ptr<DynamicCSession> session;
+
+    /// Held for the duration of every apply + round on this shard (by
+    /// the background worker in async mode, by fork-join lanes at
+    /// barriers); snapshot readers take it to observe the shard at a
+    /// round boundary. Also guards global_of_local, dirty and
+    /// pending_changed.
+    mutable std::mutex round_mutex;
     /// Local id -> global id (local ids are dense, so a vector).
     std::vector<ObjectId> global_of_local;
     /// Set when an operation lands on the shard; cleared by rounds.
     bool dirty = false;
+    /// Local ids applied but not yet covered by any round (accumulates
+    /// only while the shard is untrained; barrier rounds consume it).
+    std::vector<ObjectId> pending_changed;
+
+    /// Guards the ingest queue and the counters below.
+    mutable std::mutex queue_mutex;
+    std::condition_variable queue_not_full;
+    std::condition_variable queue_drained;
+    OperationLog log;
+    /// True while a drain task is queued or running for this shard.
+    bool worker_busy = false;
+    uint64_t accepted_ops = 0;
+    uint64_t applied_batches = 0;
+    uint64_t worker_rounds = 0;
+    uint64_t producer_waits = 0;
+    size_t queue_high_water = 0;
+    double worker_apply_ms = 0.0;
+    double worker_round_ms = 0.0;
+    /// Cumulative recluster counters from every dynamic round this
+    /// shard ran — background worker rounds and barrier rounds alike —
+    /// so Snapshot().report.combined is comparable with summing the
+    /// synchronous path's per-round reports.
+    ReclusterReport round_detail;
   };
 
   struct ObjectLocation {
@@ -134,15 +283,67 @@ class ShardedDynamicCService {
     ObjectId local = kInvalidObject;
   };
 
-  /// Splits `changed` (global ids) into per-shard local-id lists.
+  IngestResult IngestInternal(const OperationBatch& operations,
+                              BackpressurePolicy policy);
+
+  /// Translates a drained (global-handle) batch to local ids, applies it
+  /// through the shard's session, and registers the global<->local
+  /// mapping for adds. Caller holds the shard's round_mutex. Returns the
+  /// local changed ids.
+  std::vector<ObjectId> ApplyBatchToShard(size_t shard_index,
+                                          const OperationBatch& batch);
+
+  /// Background drain loop for one shard: repeatedly takes a coalesced
+  /// batch, applies it, and (once the shard is trained) runs a dynamic
+  /// round, until the queue is empty.
+  void WorkerDrain(size_t shard_index);
+
+  /// Splits `changed` (global ids) into per-shard local-id lists,
+  /// skipping ids that never materialized (annihilated adds).
   std::vector<std::vector<ObjectId>> LocalizeChanged(
       const std::vector<ObjectId>& changed) const;
+
+  /// Moves every shard's pending_changed out (the async barrier's
+  /// precise per-shard changed hints).
+  std::vector<std::vector<ObjectId>> TakePendingChanged();
+
+  /// Fills `ingest` with the cumulative pipeline counters.
+  void FillIngestStats(IngestStats* ingest) const;
+
+  /// Appends one shard's clusters to `out`, translated to global ids
+  /// with members ascending. Caller holds the shard's round_mutex; the
+  /// cluster list still needs a final sort for canonical form.
+  static void AppendShardClusters(const Shard& shard,
+                                  std::vector<std::vector<ObjectId>>* out);
 
   Options options_;
   std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// Global id -> owning shard + local id; indexed by global id.
+
+  /// Serializes producers: global ids are assigned densely in admission
+  /// order, and a kReject capacity check is atomic with its enqueue.
+  /// Never taken by workers (a producer may block on queue space while
+  /// holding it; workers must stay free to drain).
+  std::mutex ingest_mutex_;
+  /// Guards locations_ (brief, leaf-level).
+  mutable std::mutex locations_mutex_;
+  /// Global id -> owning shard + local id; indexed by global id. The
+  /// shard is fixed at admission; the local id is filled in when the
+  /// add is applied (kInvalidObject until then, or forever for adds
+  /// annihilated in the queue).
   std::vector<ObjectLocation> locations_;
+  std::atomic<uint64_t> rejected_batches_{0};
+  std::atomic<uint64_t> rejected_ops_{0};
+  /// Set by explicit DynamicRound/Flush barriers (to is_trained()) and
+  /// cleared by ObserveBatchRound. Background workers only run rounds
+  /// while set — in barrier-driven (training/observe) mode async
+  /// ingestion defers application only, so every observe barrier sees
+  /// exactly the synchronous path's engine state and derives identical
+  /// models, no matter how many training rounds the caller runs.
+  std::atomic<bool> serving_{false};
+
+  /// Last member: destroyed first, so the pool joins its workers (and
+  /// finishes any queued drain) while the shards are still alive.
   ThreadPool pool_;
 };
 

@@ -1,6 +1,7 @@
 #include "service/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 namespace dynamicc {
@@ -8,64 +9,86 @@ namespace dynamicc {
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t count = std::max<size_t>(1, num_threads);
   workers_.reserve(count);
+  threads_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+  stopping_.store(true);
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->wake.notify_all();
   }
-  wake_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& thread : threads_) thread.join();
 }
 
-std::future<void> ThreadPool::Submit(std::function<void()> task) {
+std::future<void> ThreadPool::SubmitTo(size_t worker,
+                                       std::function<void()> task) {
+  Worker& target = *workers_[worker % workers_.size()];
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(packaged));
+    std::lock_guard<std::mutex> lock(target.mutex);
+    target.queue.push_back(std::move(packaged));
   }
-  wake_.notify_one();
+  target.wake.notify_one();
   return future;
 }
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  // Fork-join: workers take indices 1..count-1 while the caller runs
-  // index 0 itself. The caller would otherwise just block, and for the
-  // common small counts (one or two busy shards) this removes all or
-  // half of the worker wake-up latency.
+  // Shared-counter fork-join: the caller and the drafted workers each
+  // claim the next unclaimed index until the range is exhausted. Every
+  // index runs; the first exception is remembered and rethrown once the
+  // whole range finished (matching a shared-queue pool's semantics).
+  struct ForkState {
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForkState>();
+  auto drive = [state, &fn, count] {
+    for (;;) {
+      size_t index = state->next.fetch_add(1);
+      if (index >= count) return;
+      try {
+        fn(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+    }
+  };
+  // The caller covers one lane, so draft at most count - 1 workers.
+  size_t drafted = std::min(threads_.size(), count - 1);
   std::vector<std::future<void>> futures;
-  futures.reserve(count - 1);
-  for (size_t i = 1; i < count; ++i) {
-    futures.push_back(Submit([&fn, i] { fn(i); }));
+  futures.reserve(drafted);
+  for (size_t w = 0; w < drafted; ++w) {
+    futures.push_back(SubmitTo(w, drive));
   }
-  std::exception_ptr inline_error;
-  try {
-    fn(0);
-  } catch (...) {
-    inline_error = std::current_exception();
-  }
-  // Wait on all before rethrowing so no task still references `fn`.
+  drive();
   for (auto& future : futures) future.wait();
-  if (inline_error) std::rethrow_exception(inline_error);
-  for (auto& future : futures) future.get();
+  if (state->error) std::rethrow_exception(state->error);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t index) {
+  Worker& self = *workers_[index];
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop();
+      std::unique_lock<std::mutex> lock(self.mutex);
+      self.wake.wait(lock, [this, &self] {
+        return stopping_.load() || !self.queue.empty();
+      });
+      if (self.queue.empty()) return;  // stopping with a drained queue
+      task = std::move(self.queue.front());
+      self.queue.pop_front();
     }
     task();  // exceptions land in the task's future
   }

@@ -1,26 +1,36 @@
 #ifndef DYNAMICC_SERVICE_THREAD_POOL_H_
 #define DYNAMICC_SERVICE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace dynamicc {
 
-/// Small fixed-size worker pool for shard-parallel rounds. Tasks are
-/// submitted as std::function<void()> and run in FIFO order on the first
-/// free worker; the pool is created once per service and reused across
-/// rounds, so round latency never pays thread start-up cost.
+/// Fixed-size pool of persistent workers, each with its own FIFO task
+/// queue. The pool is created once per service and reused for its whole
+/// life, so neither rounds nor ingestion ever pay thread start-up cost.
 ///
-/// The pool makes no fairness or priority guarantees — it is sized to the
-/// shard count (or hardware), and every round submits one task per shard,
-/// so a plain FIFO queue is exactly the right amount of machinery.
+/// Two modes share the same workers:
+///
+///  - **Pinned submission** (`SubmitTo`): tasks sent to one worker run
+///    on that worker in submission order. The async ingestion path pins
+///    shard `s`'s drain loop to worker `s % size()`, which gives each
+///    shard a long-lived, single-consumer worker — per-shard work is
+///    serialized without any per-shard locking of the engine.
+///  - **Fork-join** (`ParallelFor`): the caller and up to `size()`
+///    workers claim indices from a shared counter until none are left.
+///    Claiming (rather than pre-slicing) load-balances uneven per-index
+///    cost exactly like a shared run queue — the straggler shard keeps
+///    one worker busy while the others finish the rest. Training rounds
+///    and the synchronous serving path use this mode.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (floored at 1).
@@ -29,31 +39,39 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains the queue: blocks until all submitted tasks have finished.
+  /// Drains every worker's queue: blocks until all submitted tasks have
+  /// finished.
   ~ThreadPool();
 
-  size_t size() const { return workers_.size(); }
+  size_t size() const { return threads_.size(); }
 
-  /// Enqueues a task; the future resolves when the task has run (or
-  /// carries its exception).
-  std::future<void> Submit(std::function<void()> task);
+  /// Enqueues a task on worker `worker % size()`; the future resolves
+  /// when the task has run (or carries its exception). Tasks pinned to
+  /// the same worker run in submission order (FIFO), one at a time —
+  /// there is no work stealing, so a task queued behind a long-running
+  /// pinned task waits even while other workers idle.
+  std::future<void> SubmitTo(size_t worker, std::function<void()> task);
 
   /// Runs fn(0) .. fn(count - 1) across the pool and blocks until every
-  /// call returned. The caller thread executes fn(0) itself (fork-join),
-  /// so a count of 1 never touches the queue. The first exception (if
-  /// any) is rethrown in the caller. Must not be called from inside a
-  /// pool task (the caller's wait would occupy no worker, but nested
-  /// waits can deadlock a pool sized smaller than the nesting depth).
+  /// call returned. The caller thread participates (fork-join), so a
+  /// count of 1 never touches a queue. Every index runs even if some
+  /// throw; the first exception is rethrown in the caller afterwards.
+  /// Must not be called from inside a pool task (the nested join could
+  /// deadlock a pool sized smaller than the nesting depth).
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::deque<std::packaged_task<void()>> queue;
+  };
 
-  std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+  void WorkerLoop(size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace dynamicc

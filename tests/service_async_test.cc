@@ -1,0 +1,488 @@
+// Async pipelined ingestion: bounded per-shard queues + background round
+// workers. The anchor is the flush-barrier contract — after Flush(), the
+// async N-shard service must be byte-identical to the synchronous
+// single-engine run on blocking-disjoint streams, for any interleaving
+// of enqueues the pipeline chose to coalesce or round differently.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "batch/agglomerative.h"
+#include "core/session.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/operations.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "eval/pair_metrics.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "service/service_report.h"
+#include "service/sharded_service.h"
+#include "service/thread_pool.h"
+#include "service_test_util.h"
+#include "util/rng.h"
+
+namespace dynamicc {
+namespace {
+
+// ------------------------------------------------------- pinned submission
+
+TEST(ThreadPool, SubmitToRunsFifoPerWorker) {
+  ThreadPool pool(3);
+  std::vector<int> order;
+  std::mutex mutex;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.SubmitTo(1, [i, &order, &mutex] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(i);
+    }));
+  }
+  for (auto& future : futures) future.get();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PinnedAndForkJoinShareWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> pinned{0};
+  auto future = pool.SubmitTo(0, [&pinned] { pinned.fetch_add(1); });
+  std::atomic<int> total{0};
+  pool.ParallelFor(16, [&total](size_t) { total.fetch_add(1); });
+  future.get();
+  EXPECT_EQ(pinned.load(), 1);
+  EXPECT_EQ(total.load(), 16);
+}
+
+// ------------------------------------- service fixtures: service_test_util.h
+
+ShardedDynamicCService::Options AsyncOptions(uint32_t shards,
+                                             size_t queue_depth = 4096) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = shards;
+  options.async.enabled = true;
+  options.async.queue_depth = queue_depth;
+  return options;
+}
+
+// ------------------------------------------------ async-vs-sync equivalence
+
+TEST(AsyncService, MatchesSingleEngineAtFlushBarriers) {
+  // The PR-1 acceptance scenario, served through the async pipeline:
+  // same training barriers, serving traffic enqueued instead of applied,
+  // one Flush() at the end. For N in {1, 2, 4} the flushed state must
+  // be byte-identical to the synchronous single-engine run.
+  const int kGroups = 12;
+  std::vector<OperationBatch> batches;
+  batches.push_back(GroupAdds(kGroups, 4));
+  batches.push_back(GroupAdds(kGroups, 2));
+  OperationBatch mixed = GroupAdds(kGroups, 1);
+  DataOperation update;
+  update.kind = DataOperation::Kind::kUpdate;
+  update.target = 0;
+  update.record.entity = 0;
+  update.record.tokens = {"grp0", "tag0"};
+  mixed.push_back(update);
+  DataOperation remove;
+  remove.kind = DataOperation::Kind::kRemove;
+  remove.target = 1;
+  mixed.push_back(remove);
+  batches.push_back(mixed);
+
+  std::vector<std::vector<ObjectId>> reference =
+      SingleEngineRun(batches, /*training=*/2);
+  ASSERT_EQ(reference.size(), static_cast<size_t>(kGroups));
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedDynamicCService service(AsyncOptions(shards), nullptr,
+                                   MakeFactory());
+    ASSERT_TRUE(service.async());
+
+    auto changed = service.ApplyOperations(batches[0]);
+    EXPECT_EQ(changed.size(), batches[0].size());
+    service.ObserveBatchRound(changed);
+    changed = service.ApplyOperations(batches[1]);
+    service.ObserveBatchRound(changed);
+    EXPECT_TRUE(service.is_trained());
+
+    service.ApplyOperations(batches[2]);
+    ServiceReport report = service.Flush();
+
+    std::vector<std::vector<ObjectId>> clusters = service.GlobalClusters();
+    EXPECT_EQ(clusters.size(), reference.size()) << "N=" << shards;
+    EXPECT_DOUBLE_EQ(PairF1(clusters, reference), 1.0) << "N=" << shards;
+    EXPECT_EQ(clusters, reference) << "N=" << shards;
+
+    // The flush report carries the pipeline's cumulative counters.
+    EXPECT_EQ(report.ingest.accepted_ops,
+              batches[0].size() + batches[1].size() + batches[2].size());
+    EXPECT_EQ(report.ingest.pending_ops, 0u);
+    EXPECT_GT(report.ingest.applied_batches, 0u);
+  }
+}
+
+TEST(AsyncService, ExtraTrainingBarriersStayByteIdenticalToSync) {
+  // Models typically fit at the *first* observe; the service must not
+  // start background rounds just because it is trained, or the second
+  // and third training barriers would see a pre-rounded engine and
+  // derive different models than the synchronous run. Observes keep
+  // the pipeline in barrier-driven mode, so any training length
+  // matches sync exactly.
+  const int kGroups = 10;
+  std::vector<OperationBatch> batches;
+  batches.push_back(GroupAdds(kGroups, 4));
+  batches.push_back(GroupAdds(kGroups, 2));
+  batches.push_back(GroupAdds(kGroups, 2));  // third training barrier
+  batches.push_back(GroupAdds(kGroups, 1));  // served dynamically
+
+  std::vector<std::vector<ObjectId>> reference =
+      SingleEngineRun(batches, /*training=*/3);
+
+  for (uint32_t shards : {1u, 4u}) {
+    ShardedDynamicCService service(AsyncOptions(shards), nullptr,
+                                   MakeFactory());
+    for (int round = 0; round < 3; ++round) {
+      auto changed = service.ApplyOperations(batches[round]);
+      service.ObserveBatchRound(changed);
+    }
+    service.ApplyOperations(batches[3]);
+    service.Flush();
+    EXPECT_EQ(service.GlobalClusters(), reference) << "N=" << shards;
+  }
+}
+
+TEST(AsyncService, BackgroundWorkersRoundOnceTrained) {
+  // After training, serving traffic must be rounded by the background
+  // workers themselves — a Flush() afterwards finds nothing left to do.
+  ShardedDynamicCService service(AsyncOptions(4), nullptr, MakeFactory());
+  auto changed = service.ApplyOperations(GroupAdds(8, 4));
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(8, 2));
+  service.ObserveBatchRound(changed);
+  ASSERT_TRUE(service.is_trained());
+  service.Flush();  // transition into the serving phase
+
+  for (int burst = 0; burst < 4; ++burst) {
+    service.ApplyOperations(GroupAdds(8, 1));
+  }
+  service.Drain();
+  IngestStats stats = service.ingest_stats();
+  EXPECT_GT(stats.worker_rounds, 0u);
+
+  ServiceReport flush = service.Flush();
+  for (const auto& shard_stats : flush.dynamic_shards) {
+    EXPECT_FALSE(shard_stats.participated)
+        << "background workers should have left nothing dirty";
+  }
+  EXPECT_EQ(service.GlobalClusters().size(), 8u);
+}
+
+TEST(AsyncService, SnapshotIsSequenceNumberedAndConsistent) {
+  ShardedDynamicCService service(AsyncOptions(2), nullptr, MakeFactory());
+  auto changed = service.ApplyOperations(GroupAdds(6, 4));
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(6, 2));
+  service.ObserveBatchRound(changed);
+
+  service.ApplyOperations(GroupAdds(6, 1));
+  service.Flush();
+  ServiceSnapshot snap = service.Snapshot();
+  // Quiescent after Flush: the cut reflects every admitted operation.
+  EXPECT_EQ(snap.sequence, 6u * 7u);
+  EXPECT_EQ(snap.report.ingest.pending_ops, 0u);
+  EXPECT_EQ(snap.clusters, service.GlobalClusters());
+  EXPECT_EQ(snap.total_objects, service.total_objects());
+  EXPECT_EQ(snap.total_clusters, snap.clusters.size());
+  EXPECT_EQ(snap.report.dynamic_shards.size(), service.num_shards());
+}
+
+TEST(AsyncService, SnapshotDuringIngestionIsSafe) {
+  // Concurrent snapshots while a producer streams bursts: each cut must
+  // be internally consistent (clusters cover exactly the alive objects
+  // it reports) without stopping the pipeline.
+  ShardedDynamicCService service(AsyncOptions(4, /*queue_depth=*/64), nullptr,
+                                 MakeFactory());
+  auto changed = service.ApplyOperations(GroupAdds(8, 3));
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(8, 2));
+  service.ObserveBatchRound(changed);
+
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    for (int burst = 0; burst < 30; ++burst) {
+      service.ApplyOperations(GroupAdds(8, 1));
+    }
+    done.store(true);
+  });
+  size_t cuts = 0;
+  while (!done.load()) {
+    ServiceSnapshot snap = service.Snapshot();
+    size_t members = 0;
+    for (const auto& cluster : snap.clusters) members += cluster.size();
+    EXPECT_EQ(members, snap.total_objects);
+    EXPECT_LE(snap.sequence, snap.report.ingest.accepted_ops);
+    ++cuts;
+  }
+  producer.join();
+  EXPECT_GT(cuts, 0u);
+  service.Flush();
+  EXPECT_EQ(service.Snapshot().sequence, 8u * (3u + 2u + 30u));
+}
+
+// ------------------------------------------------------------ backpressure
+
+TEST(AsyncService, BlockBackpressureNeverDropsOperations) {
+  // A queue far smaller than the stream: producers must stall, never
+  // lose work. 1 shard + depth 4 forces the wait path constantly.
+  ShardedDynamicCService::Options options = AsyncOptions(1, /*depth=*/4);
+  options.async.backpressure = BackpressurePolicy::kBlock;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  const int kOps = 400;
+  OperationBatch adds = GroupAdds(1, kOps);
+  auto changed = service.ApplyOperations(adds);
+  EXPECT_EQ(changed.size(), static_cast<size_t>(kOps));
+  service.Flush();
+  EXPECT_EQ(service.total_objects(), static_cast<size_t>(kOps));
+  IngestStats stats = service.ingest_stats();
+  EXPECT_EQ(stats.accepted_ops, static_cast<uint64_t>(kOps));
+  EXPECT_LE(stats.queue_high_water, 4u);
+}
+
+TEST(AsyncService, RejectAdmitsAnyBatchOnIdleShardsAndShedsOnBacklog) {
+  // The depth bounds *backlog*, not batch size: an idle shard admits a
+  // slice far larger than the queue depth (otherwise an oversized batch
+  // would be rejected forever — a producer livelock), and once drained
+  // the next batch is admitted again. Rejection happens only against
+  // existing backlog, and a rejected batch must not consume ids.
+  ShardedDynamicCService::Options options = AsyncOptions(1, /*depth=*/8);
+  options.async.backpressure = BackpressurePolicy::kReject;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  auto oversized = service.Ingest(GroupAdds(1, 32));
+  EXPECT_TRUE(oversized.accepted) << "idle shard must admit any batch";
+  ASSERT_EQ(oversized.changed.size(), 32u);
+
+  service.Drain();
+  auto after_drain = service.Ingest(GroupAdds(1, 8));
+  EXPECT_TRUE(after_drain.accepted);
+  ASSERT_EQ(after_drain.changed.size(), 8u);
+  EXPECT_EQ(after_drain.changed.front(), static_cast<ObjectId>(32));
+
+  // Train so that every drained batch costs the worker a dynamic round:
+  // backlog now builds much faster than the producer's loop turnaround,
+  // making shedding reliable below.
+  auto changed = service.ApplyOperations(GroupAdds(1, 4));  // kBlock path
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(1, 2));
+  service.ObserveBatchRound(changed);
+  ASSERT_TRUE(service.is_trained());
+  service.Flush();  // serving phase: drained batches now cost rounds
+
+  // Shed against backlog: hammer without draining until a batch is
+  // turned away, then verify it assigned no ids (the next accepted
+  // batch continues the dense sequence) and nothing admitted was lost.
+  uint64_t accepted_ops = 40 + 6;
+  bool saw_reject = false;
+  for (int i = 0; i < 1000 && !saw_reject; ++i) {
+    auto result = service.Ingest(GroupAdds(1, 6));
+    if (result.accepted) {
+      ASSERT_EQ(result.changed.front(),
+                static_cast<ObjectId>(accepted_ops));
+      accepted_ops += 6;
+    } else {
+      EXPECT_TRUE(result.changed.empty());
+      saw_reject = true;
+    }
+  }
+  EXPECT_TRUE(saw_reject) << "sustained ingest into depth 8 never shed";
+
+  auto retry = service.Ingest(GroupAdds(1, 6));
+  if (retry.accepted) {
+    EXPECT_EQ(retry.changed.front(), static_cast<ObjectId>(accepted_ops));
+    accepted_ops += 6;
+  }
+
+  service.Flush();
+  IngestStats stats = service.ingest_stats();
+  EXPECT_EQ(stats.accepted_ops, accepted_ops);
+  EXPECT_GE(stats.rejected_batches, 1u);
+  EXPECT_EQ(service.total_objects(), static_cast<size_t>(accepted_ops));
+}
+
+TEST(AsyncService, RejectStressKeepsAcceptedStateExact) {
+  // Hammer a tiny queue with small batches; some are shed under load,
+  // but everything accepted must be present and correctly clustered at
+  // the flush barrier, and the id space must stay dense over accepted
+  // adds only.
+  ShardedDynamicCService::Options options = AsyncOptions(2, /*depth=*/16);
+  options.async.backpressure = BackpressurePolicy::kReject;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  auto changed = service.ApplyOperations(GroupAdds(4, 4));  // block: always in
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(4, 2));
+  service.ObserveBatchRound(changed);
+
+  uint64_t accepted_ops = 4 * 6;
+  uint64_t rejected = 0;
+  ObjectId next_id = static_cast<ObjectId>(accepted_ops);
+  for (int burst = 0; burst < 200; ++burst) {
+    OperationBatch batch = GroupAdds(4, 2);
+    auto result = service.Ingest(batch);
+    if (!result.accepted) {
+      ++rejected;
+      continue;
+    }
+    ASSERT_EQ(result.changed.size(), batch.size());
+    for (ObjectId id : result.changed) {
+      EXPECT_EQ(id, next_id++) << "ids must stay dense over accepted ops";
+    }
+    accepted_ops += batch.size();
+  }
+  service.Flush();
+  IngestStats stats = service.ingest_stats();
+  EXPECT_EQ(stats.accepted_ops, accepted_ops);
+  EXPECT_EQ(stats.rejected_batches, rejected);
+  EXPECT_EQ(service.total_objects(), static_cast<size_t>(accepted_ops));
+  // Group structure survives the shedding: everything accepted clusters
+  // into the 4 disjoint groups.
+  EXPECT_EQ(service.GlobalClusters().size(), 4u);
+}
+
+// ------------------------------------------------------------- coalescing
+
+TEST(AsyncService, QueuedChurnCoalescesAndPreservesFinalState) {
+  // Add/update/remove churn against ids that are still queued: the
+  // pipeline may fold or annihilate any of it, but the flushed state
+  // must match the synchronous service fed the identical stream.
+  auto run = [](bool async) {
+    ShardedDynamicCService::Options options;
+    options.num_shards = 2;
+    options.async.enabled = async;
+    options.async.queue_depth = 1024;
+    auto service = std::make_unique<ShardedDynamicCService>(options, nullptr,
+                                                            MakeFactory());
+    auto changed = service->ApplyOperations(GroupAdds(6, 4));
+    service->ObserveBatchRound(changed);
+    changed = service->ApplyOperations(GroupAdds(6, 2));
+    service->ObserveBatchRound(changed);
+
+    Rng rng(17);
+    for (int burst = 0; burst < 10; ++burst) {
+      OperationBatch adds = GroupAdds(6, 2);
+      auto ids = service->ApplyOperations(adds);
+      // Immediately mutate what we just admitted — in async mode these
+      // race the worker: they either fold into the queued adds or apply
+      // individually, and both must converge to the same state.
+      OperationBatch churn;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (rng.Chance(0.4)) {
+          DataOperation update;
+          update.kind = DataOperation::Kind::kUpdate;
+          update.target = ids[i];
+          int group = static_cast<int>(adds[i].record.entity);
+          update.record.entity = adds[i].record.entity;
+          update.record.tokens = {"grp" + std::to_string(group),
+                                  "tag" + std::to_string(group)};
+          churn.push_back(update);
+        } else if (rng.Chance(0.3)) {
+          DataOperation remove;
+          remove.kind = DataOperation::Kind::kRemove;
+          remove.target = ids[i];
+          churn.push_back(remove);
+        }
+      }
+      service->ApplyOperations(churn);
+    }
+    service->Flush();
+    return std::make_pair(service->GlobalClusters(),
+                          service->ingest_stats());
+  };
+
+  auto async_run = run(true);
+  auto sync_run = run(false);
+  EXPECT_EQ(async_run.first, sync_run.first);
+  EXPECT_EQ(async_run.second.accepted_ops, sync_run.second.accepted_ops);
+  EXPECT_EQ(async_run.first.size(), 6u);
+}
+
+TEST(AsyncService, IntraBatchTargetsResolveInBothModes) {
+  // A batch may remove or update an object added earlier in the same
+  // batch (real workload streams do this): routing must resolve the
+  // prospective id against the batch's own adds, in sync and async
+  // mode alike.
+  for (bool async : {false, true}) {
+    ShardedDynamicCService::Options options;
+    options.num_shards = 4;
+    options.async.enabled = async;
+    ShardedDynamicCService service(options, nullptr, MakeFactory());
+    auto changed = service.ApplyOperations(GroupAdds(6, 3));
+    service.ObserveBatchRound(changed);
+    size_t admitted = 6 * 3;
+
+    OperationBatch batch = GroupAdds(6, 1);  // prospective ids 18..23
+    DataOperation update;
+    update.kind = DataOperation::Kind::kUpdate;
+    update.target = static_cast<ObjectId>(admitted);  // this batch's 1st add
+    update.record.entity = 0;
+    update.record.tokens = {"grp0", "tag0"};
+    batch.push_back(update);
+    DataOperation remove;
+    remove.kind = DataOperation::Kind::kRemove;
+    remove.target = static_cast<ObjectId>(admitted + 1);  // 2nd add
+    batch.push_back(remove);
+    auto ids = service.ApplyOperations(batch);
+    EXPECT_EQ(ids.size(), 7u);  // 6 adds + 1 update
+
+    service.Flush();
+    EXPECT_EQ(service.total_objects(), admitted + 6 - 1);
+    EXPECT_EQ(service.GlobalClusters().size(), 6u);
+  }
+}
+
+// ----------------------------------------------------- lifecycle + fallback
+
+TEST(AsyncService, LateArrivingGroupsServedAtFlush) {
+  // Groups that first arrive after training land on never-trained
+  // shards; the background workers cannot round them, so Flush() must
+  // serve them with the batch fallback (their training opportunity).
+  ShardedDynamicCService service(AsyncOptions(8), nullptr, MakeFactory());
+  auto changed = service.ApplyOperations(GroupAdds(1, 6));
+  service.ObserveBatchRound(changed);
+  changed = service.ApplyOperations(GroupAdds(1, 3));
+  service.ObserveBatchRound(changed);
+
+  service.ApplyOperations(GroupAdds(8, 4));
+  ServiceReport report = service.Flush();
+
+  bool saw_batch_fallback = false;
+  for (const auto& stats : report.dynamic_shards) {
+    if (stats.participated && stats.report.used_batch) {
+      saw_batch_fallback = true;
+    }
+  }
+  EXPECT_TRUE(saw_batch_fallback);
+  EXPECT_EQ(service.GlobalClusters().size(), 8u);
+}
+
+TEST(AsyncService, DestructionWithQueuedWorkIsClean) {
+  // Dropping the service with operations still queued must not hang or
+  // crash: the pool drains its workers before the shards go away.
+  for (int trial = 0; trial < 3; ++trial) {
+    ShardedDynamicCService service(AsyncOptions(4, /*depth=*/256), nullptr,
+                                   MakeFactory());
+    service.ApplyOperations(GroupAdds(12, 6));
+    // No Drain/Flush: destructor handles the in-flight work.
+  }
+}
+
+}  // namespace
+}  // namespace dynamicc

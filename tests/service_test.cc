@@ -22,6 +22,7 @@
 #include "service/shard_router.h"
 #include "service/sharded_service.h"
 #include "service/thread_pool.h"
+#include "service_test_util.h"
 #include "util/rng.h"
 
 namespace dynamicc {
@@ -147,70 +148,10 @@ TEST(ShardRouter, RoundRobinDealsEvenly) {
   EXPECT_EQ(counts, (std::vector<int>{10, 10, 10, 10}));
 }
 
-// -------------------------------------------------------- service fixtures
-
-/// Per-shard environment: Jaccard + token blocking + correlation
-/// objective, the Cora-style profile.
-ShardEnvironmentFactory MakeFactory() {
-  return [] {
-    ShardEnvironment env;
-    env.measure = std::make_unique<JaccardSimilarity>();
-    env.blocker = std::make_unique<TokenBlocker>();
-    env.min_similarity = 0.1;
-    auto objective = std::make_unique<CorrelationObjective>();
-    env.validator = std::make_unique<ObjectiveValidator>(objective.get());
-    env.batch = std::make_unique<GreedyAgglomerative>(objective.get());
-    env.objective = std::move(objective);
-    env.merge_model = std::make_unique<LogisticRegression>();
-    env.split_model = std::make_unique<LogisticRegression>();
-    return env;
-  };
-}
-
-/// Partition-disjoint stream: members of group g share their token set
-/// (intra-group Jaccard 1) and share nothing across groups (inter 0), so
-/// no similarity edge can cross groups and hash-of-blocking-key routing
-/// is provably partition-preserving.
-OperationBatch GroupAdds(int groups, int per_group) {
-  OperationBatch ops;
-  for (int i = 0; i < per_group; ++i) {
-    for (int g = 0; g < groups; ++g) {
-      DataOperation op;
-      op.kind = DataOperation::Kind::kAdd;
-      op.record.entity = static_cast<uint32_t>(g);
-      op.record.tokens = {"grp" + std::to_string(g),
-                          "tag" + std::to_string(g)};
-      ops.push_back(op);
-    }
-  }
-  return ops;
-}
-
-/// Single shared-engine reference for the same stream of batches:
-/// observe the first `training` batches, then serve the rest dynamically.
-std::vector<std::vector<ObjectId>> SingleEngineRun(
-    const std::vector<OperationBatch>& batches, int training) {
-  Dataset dataset;
-  JaccardSimilarity measure;
-  SimilarityGraph graph(&dataset, &measure, std::make_unique<TokenBlocker>(),
-                        0.1);
-  CorrelationObjective objective;
-  ObjectiveValidator validator(&objective);
-  GreedyAgglomerative batch(&objective);
-  DynamicCSession session(&dataset, &graph, &batch, &validator,
-                          std::make_unique<LogisticRegression>(),
-                          std::make_unique<LogisticRegression>(),
-                          DynamicCSession::Options{});
-  for (size_t i = 0; i < batches.size(); ++i) {
-    auto changed = session.ApplyOperations(batches[i]);
-    if (static_cast<int>(i) < training) {
-      session.ObserveBatchRound(changed);
-    } else {
-      session.DynamicRound(changed);
-    }
-  }
-  return session.clustering().CanonicalClusters();
-}
+// --------------------- service fixtures: shared via service_test_util.h
+// (MakeFactory, GroupAdds, SingleEngineRun — one definition for every
+// service suite, so the equivalence claims are pinned against the same
+// configuration everywhere.)
 
 // ---------------------------------------------------- sharded equivalence
 

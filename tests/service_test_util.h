@@ -1,0 +1,93 @@
+#ifndef DYNAMICC_TESTS_SERVICE_TEST_UTIL_H_
+#define DYNAMICC_TESTS_SERVICE_TEST_UTIL_H_
+
+// Shared fixtures for the service-layer suites (service_test,
+// service_async_test, the service fuzz in session_fuzz_test): the
+// canonical per-shard environment, the partition-disjoint group
+// workload, and the single-engine reference run the equivalence
+// claims are pinned against. One definition keeps every suite testing
+// the *same* configuration.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/agglomerative.h"
+#include "core/session.h"
+#include "data/blocking.h"
+#include "data/dataset.h"
+#include "data/operations.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "ml/logistic_regression.h"
+#include "objective/correlation.h"
+#include "service/sharded_service.h"
+
+namespace dynamicc {
+
+/// Per-shard environment: Jaccard + token blocking + correlation
+/// objective, the Cora-style profile.
+inline ShardEnvironmentFactory MakeFactory() {
+  return [] {
+    ShardEnvironment env;
+    env.measure = std::make_unique<JaccardSimilarity>();
+    env.blocker = std::make_unique<TokenBlocker>();
+    env.min_similarity = 0.1;
+    auto objective = std::make_unique<CorrelationObjective>();
+    env.validator = std::make_unique<ObjectiveValidator>(objective.get());
+    env.batch = std::make_unique<GreedyAgglomerative>(objective.get());
+    env.objective = std::move(objective);
+    env.merge_model = std::make_unique<LogisticRegression>();
+    env.split_model = std::make_unique<LogisticRegression>();
+    return env;
+  };
+}
+
+/// Partition-disjoint stream: members of group g share their token set
+/// (intra-group Jaccard 1) and share nothing across groups (inter 0), so
+/// no similarity edge can cross groups and hash-of-blocking-key routing
+/// is provably partition-preserving.
+inline OperationBatch GroupAdds(int groups, int per_group) {
+  OperationBatch ops;
+  for (int i = 0; i < per_group; ++i) {
+    for (int g = 0; g < groups; ++g) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kAdd;
+      op.record.entity = static_cast<uint32_t>(g);
+      op.record.tokens = {"grp" + std::to_string(g),
+                          "tag" + std::to_string(g)};
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+/// Single shared-engine reference for the same stream of batches:
+/// observe the first `training` batches, then serve the rest dynamically.
+inline std::vector<std::vector<ObjectId>> SingleEngineRun(
+    const std::vector<OperationBatch>& batches, int training) {
+  Dataset dataset;
+  JaccardSimilarity measure;
+  SimilarityGraph graph(&dataset, &measure, std::make_unique<TokenBlocker>(),
+                        0.1);
+  CorrelationObjective objective;
+  ObjectiveValidator validator(&objective);
+  GreedyAgglomerative batch(&objective);
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<LogisticRegression>(),
+                          DynamicCSession::Options{});
+  for (size_t i = 0; i < batches.size(); ++i) {
+    auto changed = session.ApplyOperations(batches[i]);
+    if (static_cast<int>(i) < training) {
+      session.ObserveBatchRound(changed);
+    } else {
+      session.DynamicRound(changed);
+    }
+  }
+  return session.clustering().CanonicalClusters();
+}
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_TESTS_SERVICE_TEST_UTIL_H_

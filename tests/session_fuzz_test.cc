@@ -19,6 +19,8 @@
 #include "ml/decision_tree.h"
 #include "ml/logistic_regression.h"
 #include "objective/correlation.h"
+#include "service/sharded_service.h"
+#include "service_test_util.h"
 #include "util/rng.h"
 
 namespace dynamicc {
@@ -142,6 +144,121 @@ TEST_P(SessionFuzzTest, RandomStreamKeepsEverythingConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzzTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Async-service fuzz: random add/update/remove streams enqueued into the
+// pipelined service with Drain/Flush/Snapshot interleaved at random.
+// Whatever the queues coalesced and whenever the background workers
+// rounded, every flush barrier must leave the whole sharded stack
+// consistent, with the tracked alive set exactly clustered.
+
+class ServiceAsyncFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceAsyncFuzzTest, InterleavedEnqueueAndFlushStaysConsistent) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  ShardedDynamicCService::Options options;
+  options.num_shards = (GetParam() % 2 == 0) ? 4 : 2;
+  options.async.enabled = true;
+  options.async.queue_depth = 1 + rng.Index(32);  // exercise backpressure
+  options.async.max_batch = rng.Index(8);         // 0 = drain everything
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  const int kGroups = 8;
+  std::vector<ObjectId> alive;       // tracked global ids
+  std::vector<ObjectId> recent;      // admitted this phase, maybe queued
+  uint64_t admitted = 0;
+  auto random_ops = [&](int adds, int churn) {
+    OperationBatch ops;
+    for (int i = 0; i < adds; ++i) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kAdd;
+      int group = static_cast<int>(rng.Index(kGroups));
+      op.record.entity = static_cast<uint32_t>(group);
+      op.record.tokens = {"grp" + std::to_string(group),
+                          "tag" + std::to_string(group)};
+      ops.push_back(op);
+    }
+    // Churn against recently admitted ids: in async mode these target
+    // operations that may still sit in a queue, exercising the add ->
+    // update fold and add -> remove annihilation paths end to end.
+    for (int i = 0; i < churn && !recent.empty(); ++i) {
+      ObjectId target = recent[rng.Index(recent.size())];
+      if (std::find(alive.begin(), alive.end(), target) == alive.end()) {
+        continue;
+      }
+      DataOperation op;
+      if (rng.Chance(0.5)) {
+        op.kind = DataOperation::Kind::kUpdate;
+        int group = static_cast<int>(target % kGroups);
+        op.record.entity = static_cast<uint32_t>(group);
+        op.record.tokens = {"grp" + std::to_string(group),
+                            "tag" + std::to_string(group)};
+      } else {
+        op.kind = DataOperation::Kind::kRemove;
+        alive.erase(std::find(alive.begin(), alive.end(), target));
+      }
+      op.target = target;
+      ops.push_back(op);
+    }
+    return ops;
+  };
+  auto admit = [&](const OperationBatch& ops) {
+    auto changed = service.ApplyOperations(ops);
+    admitted += ops.size();
+    recent.clear();
+    for (size_t i = 0, c = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == DataOperation::Kind::kAdd) {
+        alive.push_back(changed[c]);
+        recent.push_back(changed[c]);
+        ++c;
+      } else if (ops[i].kind == DataOperation::Kind::kUpdate) {
+        ++c;
+      }
+    }
+  };
+  auto check_flushed = [&] {
+    // Every admitted operation reflected; alive set exactly clustered.
+    ServiceSnapshot snap = service.Snapshot();
+    EXPECT_EQ(snap.sequence, admitted);
+    EXPECT_EQ(snap.total_objects, alive.size());
+    std::vector<ObjectId> clustered;
+    for (const auto& cluster : snap.clusters) {
+      clustered.insert(clustered.end(), cluster.begin(), cluster.end());
+    }
+    std::sort(clustered.begin(), clustered.end());
+    std::vector<ObjectId> expected = alive;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(clustered, expected);
+  };
+
+  // Training phase behind explicit barriers.
+  for (int round = 0; round < 2; ++round) {
+    admit(random_ops(20, 2));
+    service.ObserveBatchRound({});
+    check_flushed();
+  }
+
+  // Serving phase: enqueue bursts with random barriers in between.
+  for (int step = 0; step < 12; ++step) {
+    admit(random_ops(static_cast<int>(1 + rng.Index(6)),
+                     static_cast<int>(rng.Index(4))));
+    double dice = rng.Uniform();
+    if (dice < 0.25) {
+      service.Flush();
+      check_flushed();
+    } else if (dice < 0.45) {
+      service.Drain();
+    } else if (dice < 0.6) {
+      ServiceSnapshot snap = service.Snapshot();  // mid-stream cut
+      EXPECT_LE(snap.sequence, admitted);
+    }
+  }
+  service.Flush();
+  check_flushed();
+  EXPECT_EQ(service.ingest_stats().accepted_ops, admitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceAsyncFuzzTest, ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace dynamicc
