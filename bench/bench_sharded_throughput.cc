@@ -27,9 +27,21 @@
 // mode, and the async-vs-sync ratio at 4 shards — the numbers the
 // service-layer acceptance bars track.
 //
+// A third section measures dynamic placement: a *skewed* hot-key
+// workload whose hot groups all collide on one shard under static hash
+// placement (chosen adversarially by scanning group hashes). The same
+// stream is served twice at 4 shards — static placement vs the
+// auto-rebalancer (Options::rebalance) — and the JSON reports both
+// sustained rates plus their ratio (`rebalance_vs_static_at_4`), the
+// migrations executed, and the record-imbalance the rebalancer started
+// from and ended at. Every measurement also carries the max/mean
+// shard-cost ratio and per-shard record counts (ServiceReport's
+// imbalance fields).
+//
 // Flags: --groups N --active N --per-round N --rounds N --threads N
 //        --repeats N --mode sync|async|both --queue-depth N
-//        --backpressure block|reject
+//        --backpressure block|reject --skewed 0|1 --hot N
+//        --rebalance-every K
 
 #include <algorithm>
 #include <cstdint>
@@ -64,6 +76,9 @@ struct BenchArgs {
   std::string mode = "both";  // sync | async | both
   size_t queue_depth = 4096;  // async: per-shard queue bound
   std::string backpressure = "block";  // async: block | reject
+  bool skewed = true;         // run the static-vs-rebalanced section
+  int hot = 8;                // skewed: colliding hot groups
+  uint32_t rebalance_every = 4;  // skewed: auto-rebalance cadence
 };
 
 ShardEnvironmentFactory MakeFactory() {
@@ -129,6 +144,14 @@ struct Measurement {
   double records_per_sec = 0.0;
   size_t final_objects = 0;
   size_t final_clusters = 0;
+  // Placement health at the end of the run: max/mean shard-cost ratio
+  // over the serving rounds, final record skew, per-shard record
+  // counts, and how many group migrations the placement layer executed.
+  double cost_imbalance = 0.0;
+  double record_imbalance = 0.0;
+  std::vector<size_t> shard_records;
+  uint64_t migrations = 0;
+  uint64_t placement_version = 0;
   // Where the serving time went. The wall pair partitions serve_ms; the
   // per-shard pair is summed across shards, so it measures cost.
   double apply_wall_ms = 0.0;
@@ -155,6 +178,18 @@ double Percentile(std::vector<double>* values, double p) {
   return (*values)[std::min(index, values->size() - 1)];
 }
 
+void FillPlacementHealth(const ShardedDynamicCService& service,
+                         Measurement* m) {
+  ServiceSnapshot snap = service.Snapshot();
+  m->record_imbalance = snap.report.record_imbalance;
+  m->migrations = snap.report.groups_migrated;
+  m->placement_version = snap.report.placement_version;
+  m->shard_records.clear();
+  for (const ShardDynamicStats& stats : snap.report.dynamic_shards) {
+    m->shard_records.push_back(stats.objects);
+  }
+}
+
 Measurement RunOne(uint32_t num_shards, const BenchArgs& args,
                    const std::vector<OperationBatch>& training,
                    const std::vector<OperationBatch>& serving) {
@@ -171,6 +206,8 @@ Measurement RunOne(uint32_t num_shards, const BenchArgs& args,
   Measurement m;
   m.shards = num_shards;
   m.threads = service.num_threads();
+  double imbalance_sum = 0.0;
+  size_t imbalance_rounds = 0;
   Timer timer;
   for (const OperationBatch& batch : serving) {
     Timer phase;
@@ -186,12 +223,19 @@ Measurement RunOne(uint32_t num_shards, const BenchArgs& args,
     }
     m.rejected += report.combined.rejected;
     m.probability_evaluations += report.combined.probability_evaluations;
+    if (report.cost_imbalance > 0.0) {
+      imbalance_sum += report.cost_imbalance;
+      ++imbalance_rounds;
+    }
   }
   m.serve_ms = timer.ElapsedMillis();
   m.records_per_sec =
       m.serve_ms > 0.0 ? 1000.0 * m.records_served / m.serve_ms : 0.0;
   m.final_objects = service.total_objects();
   m.final_clusters = service.total_clusters();
+  m.cost_imbalance =
+      imbalance_rounds > 0 ? imbalance_sum / imbalance_rounds : 0.0;
+  FillPlacementHealth(service, &m);
   return m;
 }
 
@@ -254,7 +298,111 @@ Measurement RunOneAsync(uint32_t num_shards, const BenchArgs& args,
   m.probability_evaluations = snap.report.combined.probability_evaluations;
   m.final_objects = snap.total_objects;
   m.final_clusters = snap.total_clusters;
+  m.cost_imbalance = flush.cost_imbalance;
+  FillPlacementHealth(service, &m);
   return m;
+}
+
+/// Skewed (hot-key collision) section: async pipeline, static placement
+/// vs mid-stream rebalancing. Under static placement every hot group
+/// drains through ONE pinned shard worker — the whole stream is
+/// serialized on a single core no matter how many shards exist. The
+/// rebalanced run calls RebalanceOnce() every `rebalance_every`
+/// snapshots: hot groups migrate away (queued backlog replays onto the
+/// destination logs) and the remaining stream drains in parallel.
+Measurement RunOneSkewed(const BenchArgs& args,
+                         const std::vector<OperationBatch>& training,
+                         const std::vector<OperationBatch>& serving,
+                         uint32_t rebalance_every) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = 4;
+  options.num_threads = args.threads;
+  options.async.enabled = true;
+  // A tight queue paces the producer at drain rate (kBlock): load
+  // evolves in real time, so the rebalance cadence below observes the
+  // hot shard's cost while the stream flows — and migrations re-home
+  // genuine queued backlog (the replay path), not an empty queue.
+  options.async.queue_depth = std::min<size_t>(args.queue_depth, 256);
+  options.async.adaptive_batch = true;
+  options.async.min_batch = 32;
+  if (rebalance_every > 0) {
+    options.rebalance.policy.hysteresis = 1.3;
+    options.rebalance.policy.max_moves = 8;
+    // Record counts, not per-window cost: the serving stream is
+    // homogeneous, and the stable metric keeps the placement from
+    // thrashing once it is balanced (migrations are not free).
+    options.rebalance.policy.metric = Rebalancer::LoadMetric::kRecords;
+  }
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+
+  for (const OperationBatch& batch : training) {
+    auto changed = service.ApplyOperations(batch);
+    service.ObserveBatchRound(changed);
+  }
+  service.Flush();
+
+  Measurement m;
+  m.mode = rebalance_every > 0 ? "rebalance" : "static";
+  m.shards = 4;
+  m.threads = service.num_threads();
+  Timer timer;
+  for (size_t i = 0; i < serving.size(); ++i) {
+    Timer phase;
+    if (service.Ingest(serving[i]).accepted) {
+      m.records_served += serving[i].size();
+    }
+    m.apply_wall_ms += phase.ElapsedMillis();
+    if (rebalance_every > 0 && (i + 1) % rebalance_every == 0) {
+      service.RebalanceOnce();
+    }
+  }
+  ServiceReport flush = service.Flush();
+  m.serve_ms = timer.ElapsedMillis();
+  m.round_wall_ms = flush.ingest.worker_round_ms;
+  m.records_per_sec =
+      m.serve_ms > 0.0 ? 1000.0 * m.records_served / m.serve_ms : 0.0;
+  m.cost_imbalance = flush.cost_imbalance;
+  std::fprintf(stderr,
+               "  [skewed %s] enqueue %.0f ms, flush wall %.0f ms, worker "
+               "apply %.0f ms, worker rounds %llu (%.0f ms), batches %llu\n",
+               m.mode, m.apply_wall_ms, flush.wall_ms,
+               flush.ingest.worker_apply_ms,
+               static_cast<unsigned long long>(flush.ingest.worker_rounds),
+               flush.ingest.worker_round_ms,
+               static_cast<unsigned long long>(flush.ingest.applied_batches));
+  ServiceSnapshot snap = service.Snapshot();
+  m.recluster_ms = snap.report.ingest.worker_round_ms;
+  m.final_objects = snap.total_objects;
+  m.final_clusters = snap.total_clusters;
+  FillPlacementHealth(service, &m);
+  return m;
+}
+
+/// The adversarial hot set: `count` groups whose hash placement all
+/// collides on shard 0 at `num_shards` — the worst case static routing
+/// can be dealt, and the case the rebalancer exists for.
+std::vector<int> CollidingHotGroups(int count, uint32_t num_shards) {
+  std::vector<int> hot;
+  for (int g = 0; static_cast<int>(hot.size()) < count; ++g) {
+    Record probe = GroupAdd(g).record;
+    if (HashShardRouter::HashKey(StableShardKey(probe)) % num_shards == 0) {
+      hot.push_back(g);
+    }
+  }
+  return hot;
+}
+
+/// Skewed serving snapshot: a flash crowd over the *whole* colliding
+/// hot set, every round. Under static placement one shard re-clusters
+/// all of it serially — the straggler that bounds every fork-join
+/// round; after rebalancing the same work fans out across shards.
+OperationBatch SkewedRound(const BenchArgs& args,
+                           const std::vector<int>& hot) {
+  OperationBatch ops;
+  for (int i = 0; i < args.per_round; ++i) {
+    for (int g : hot) ops.push_back(GroupAdd(g));
+  }
+  return ops;
 }
 
 }  // namespace
@@ -272,6 +420,12 @@ int main(int argc, char** argv) {
       args.threads = static_cast<uint32_t>(next());
     else if (std::strcmp(argv[i], "--queue-depth") == 0)
       args.queue_depth = static_cast<size_t>(next());
+    else if (std::strcmp(argv[i], "--skewed") == 0)
+      args.skewed = next() != 0;
+    else if (std::strcmp(argv[i], "--hot") == 0)
+      args.hot = next();
+    else if (std::strcmp(argv[i], "--rebalance-every") == 0)
+      args.rebalance_every = static_cast<uint32_t>(next());
     else if (std::strcmp(argv[i], "--mode") == 0)
       args.mode = i + 1 < argc ? argv[++i] : "";
     else if (std::strcmp(argv[i], "--backpressure") == 0)
@@ -332,6 +486,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Skewed section: static placement vs rebalanced, 4 shards, identical
+  // adversarial stream. The training phase loads a *balanced* background
+  // universe (every shard trained — the steady state of a long-running
+  // service); then the workload drifts: all serving traffic concentrates
+  // on hot groups whose hash placement collides on shard 0.
+  Measurement skewed_static, skewed_rebalanced;
+  if (args.skewed) {
+    const int kBackground = 64;
+    std::vector<int> hot = CollidingHotGroups(std::max(2, args.hot), 4);
+    std::vector<OperationBatch> skew_training = {GroupAdds(kBackground, 4),
+                                                 GroupAdds(kBackground, 2)};
+    std::vector<OperationBatch> skew_serving;
+    for (int r = 0; r < args.rounds; ++r) {
+      skew_serving.push_back(SkewedRound(args, hot));
+    }
+    for (int rep = 0; rep < std::max(1, args.repeats); ++rep) {
+      Measurement st = RunOneSkewed(args, skew_training, skew_serving, 0);
+      Measurement rb = RunOneSkewed(args, skew_training, skew_serving,
+                                    args.rebalance_every);
+      if (rep == 0 || st.serve_ms < skewed_static.serve_ms) {
+        skewed_static = st;
+      }
+      if (rep == 0 || rb.serve_ms < skewed_rebalanced.serve_ms) {
+        skewed_rebalanced = rb;
+      }
+      std::fprintf(stderr,
+                   "rep=%d skewed static %.0f rec/s (imb %.2f) vs "
+                   "rebalanced %.0f rec/s (imb %.2f, %llu migrations)\n",
+                   rep, st.records_per_sec, st.record_imbalance,
+                   rb.records_per_sec, rb.record_imbalance,
+                   static_cast<unsigned long long>(rb.migrations));
+    }
+  }
+
   auto rate_of = [&results](const char* mode, uint32_t shards) {
     for (const Measurement& m : results) {
       if (std::strcmp(m.mode, mode) == 0 && m.shards == shards) {
@@ -372,6 +560,11 @@ int main(int argc, char** argv) {
     json.Key("retrain_ms").Value(m.retrain_ms);
     json.Key("rejected").Value(m.rejected);
     json.Key("probability_evaluations").Value(m.probability_evaluations);
+    json.Key("cost_imbalance").Value(m.cost_imbalance);
+    json.Key("record_imbalance").Value(m.record_imbalance);
+    json.Key("shard_records").BeginArray();
+    for (size_t records : m.shard_records) json.Value(records);
+    json.EndArray();
     if (std::strcmp(m.mode, "async") == 0) {
       json.Key("enqueue_p50_us").Value(m.enqueue_p50_us);
       json.Key("enqueue_p95_us").Value(m.enqueue_p95_us);
@@ -395,6 +588,39 @@ int main(int argc, char** argv) {
       .Value(async_base > 0.0 ? async_at4 / async_base : 0.0);
   json.Key("async_vs_sync_at_4")
       .Value(sync_at4 > 0.0 ? async_at4 / sync_at4 : 0.0);
+  if (args.skewed) {
+    auto write_skewed = [&json](const char* key, const Measurement& m) {
+      json.Key(key).BeginObject();
+      json.Key("records_per_sec").Value(m.records_per_sec);
+      json.Key("serve_ms").Value(m.serve_ms);
+      json.Key("apply_wall_ms").Value(m.apply_wall_ms);
+      json.Key("round_wall_ms").Value(m.round_wall_ms);
+      json.Key("recluster_ms").Value(m.recluster_ms);
+      json.Key("records_served").Value(m.records_served);
+      json.Key("final_clusters").Value(m.final_clusters);
+      json.Key("cost_imbalance").Value(m.cost_imbalance);
+      json.Key("record_imbalance").Value(m.record_imbalance);
+      json.Key("shard_records").BeginArray();
+      for (size_t records : m.shard_records) json.Value(records);
+      json.EndArray();
+      json.Key("migrations").Value(static_cast<size_t>(m.migrations));
+      json.Key("placement_version")
+          .Value(static_cast<size_t>(m.placement_version));
+      json.EndObject();
+    };
+    json.Key("skewed").BeginObject();
+    json.Key("hot_groups").Value(std::max(2, args.hot));
+    json.Key("rebalance_every").Value(static_cast<size_t>(
+        args.rebalance_every));
+    write_skewed("static", skewed_static);
+    write_skewed("rebalanced", skewed_rebalanced);
+    json.Key("rebalance_vs_static_at_4")
+        .Value(skewed_static.records_per_sec > 0.0
+                   ? skewed_rebalanced.records_per_sec /
+                         skewed_static.records_per_sec
+                   : 0.0);
+    json.EndObject();
+  }
   json.EndObject();
   std::printf("%s\n", json.str().c_str());
   return 0;

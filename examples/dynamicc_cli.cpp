@@ -66,6 +66,8 @@ struct CliArgs {
   bool async = false;
   size_t queue_depth = 4096;
   std::string backpressure = "block";
+  uint32_t rebalance_every = 0;
+  bool adaptive_batch = false;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -110,6 +112,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->threads = static_cast<uint32_t>(std::stoul(v));
     } else if (flag == "--async") {
       args->async = true;
+    } else if (flag == "--adaptive-batch") {
+      args->adaptive_batch = true;
+    } else if (flag == "--rebalance-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->rebalance_every = static_cast<uint32_t>(std::stoul(v));
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -142,11 +150,15 @@ void Usage() {
       "                    [--scale N] [--seed N] [--kmeans-k N] [--csv]\n"
       "                    [--shards N] [-j N] [--async] [--queue-depth N]\n"
       "                    [--backpressure block|reject]\n"
+      "                    [--rebalance-every K] [--adaptive-batch]\n"
       "  --shards N > 1 serves with the sharded service (correlation task,\n"
       "  dynamicc method); -j N sets its worker thread count (0 = auto).\n"
       "  --async pipelines ingestion through bounded per-shard queues with\n"
       "  background round workers; --queue-depth bounds each queue and\n"
-      "  --backpressure picks what a full queue does to the producer.\n");
+      "  --backpressure picks what a full queue does to the producer.\n"
+      "  --rebalance-every K migrates hot blocking groups between shards\n"
+      "  every K dynamic barriers (load-aware placement); --adaptive-batch\n"
+      "  lets each async worker size its drain bite by AIMD.\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -211,6 +223,8 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   options.async.backpressure = args.backpressure == "reject"
                                    ? BackpressurePolicy::kReject
                                    : BackpressurePolicy::kBlock;
+  options.async.adaptive_batch = args.adaptive_batch;
+  options.rebalance.every_rounds = args.rebalance_every;
   // Mirror the harness's session configuration so `--shards N` is
   // comparable with the single-engine path on the same stream.
   options.session.threshold = config.threshold;
@@ -236,6 +250,29 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   std::fprintf(stderr, "sharded service: %u shards on %zu threads%s\n",
                service.num_shards(), service.num_threads(),
                service.async() ? " (async pipelined ingestion)" : "");
+  if (args.rebalance_every > 0) {
+    std::fprintf(stderr, "rebalancing: every %u dynamic barriers\n",
+                 args.rebalance_every);
+  }
+
+  // End-of-run placement health (printed by both serving paths): the
+  // routing-table version, how many groups migrated, and where the
+  // records ended up.
+  auto print_placement = [&service] {
+    ServiceSnapshot snap = service.Snapshot();
+    std::string per_shard;
+    for (const auto& stats : snap.report.dynamic_shards) {
+      if (!per_shard.empty()) per_shard += ", ";
+      per_shard += std::to_string(stats.objects);
+    }
+    std::fprintf(
+        stderr,
+        "placement: version %llu, %llu group migrations; record imbalance "
+        "%.2fx max/mean; per-shard records [%s]\n",
+        static_cast<unsigned long long>(snap.report.placement_version),
+        static_cast<unsigned long long>(snap.report.groups_migrated),
+        snap.report.record_imbalance, per_shard.c_str());
+  };
 
   // Initial clustering via one observed batch round; like the harness,
   // round 0 derives its transformation without changed-object hints.
@@ -338,6 +375,14 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                  static_cast<unsigned long long>(ingest.worker_rounds),
                  static_cast<unsigned long long>(ingest.producer_waits),
                  ingest.queue_high_water);
+    if (args.adaptive_batch) {
+      std::fprintf(stderr,
+                   "adaptive batch: %llu grows, %llu shrinks, bites %zu-%zu\n",
+                   static_cast<unsigned long long>(ingest.batch_grows),
+                   static_cast<unsigned long long>(ingest.batch_shrinks),
+                   ingest.adaptive_batch_min, ingest.adaptive_batch_max);
+    }
+    print_placement();
     return 0;
   }
 
@@ -370,6 +415,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   } else {
     table.Print(std::cout);
   }
+  print_placement();
   return 0;
 }
 

@@ -1,5 +1,9 @@
 #include "cluster/engine.h"
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "util/logging.h"
 
 namespace dynamicc {
@@ -76,6 +80,48 @@ void ClusteringEngine::InitSingletons() {
   Reset();
   for (ObjectId object : graph_->Objects()) {
     AddObjectAsSingleton(object);
+  }
+}
+
+ClusteringEngine::GroupExtract ClusteringEngine::ExtractGroupState(
+    const std::vector<ObjectId>& objects) {
+  GroupExtract extract;
+  // Group by source cluster first: ids are assigned monotonically, so a
+  // std::map yields a deterministic cluster order independent of the
+  // input order of `objects`.
+  std::map<ClusterId, std::vector<ObjectId>> by_cluster;
+  for (ObjectId object : objects) {
+    ClusterId cluster = clustering_.ClusterOf(object);
+    DYNAMICC_CHECK_NE(cluster, kInvalidCluster)
+        << "extracting unassigned object " << object;
+    by_cluster[cluster].push_back(object);
+  }
+  extract.clusters.reserve(by_cluster.size());
+  for (auto& [cluster, members] : by_cluster) {
+    for (ObjectId object : members) {
+      UnassignTracked(object);
+    }
+    // Unassigning the last member deleted the cluster; a survivor means
+    // the extraction cut through it (cross-group edges inside a shard).
+    if (clustering_.HasCluster(cluster)) ++extract.split_sources;
+    std::sort(members.begin(), members.end());
+    extract.clusters.push_back(std::move(members));
+  }
+  return extract;
+}
+
+void ClusteringEngine::AdoptGroupState(
+    const std::vector<std::vector<ObjectId>>& clusters) {
+  for (const auto& members : clusters) {
+    DYNAMICC_CHECK(!members.empty()) << "adopting an empty cluster";
+    ClusterId fresh = clustering_.CreateCluster();
+    for (ObjectId object : members) {
+      DYNAMICC_CHECK(graph_->Contains(object))
+          << "adopted object " << object << " must be in the similarity graph";
+      DYNAMICC_CHECK_EQ(clustering_.ClusterOf(object), kInvalidCluster)
+          << "adopted object " << object << " is already assigned";
+      AssignTracked(object, fresh);
+    }
   }
 }
 

@@ -60,6 +60,37 @@ class ClusteringEngine {
   /// Removes everything.
   void Reset();
 
+  // ------------------------------------------------------- group surgery
+
+  /// Result of ExtractGroupState: the detached sub-partition of the
+  /// extracted objects, grouped by the cluster they came from.
+  struct GroupExtract {
+    /// One entry per source cluster that lost members, members ascending,
+    /// entries ordered by source cluster id — a deterministic, id-free
+    /// form that AdoptGroupState on another engine can re-attach.
+    std::vector<std::vector<ObjectId>> clusters;
+    /// Source clusters that also kept members outside the extracted set
+    /// (the extraction cut through a cluster, which only happens when
+    /// similarity edges cross blocking groups). The survivors may no
+    /// longer be a fixpoint and should be re-validated by a round.
+    size_t split_sources = 0;
+  };
+
+  /// Detaches `objects` (all currently assigned) from the partition and
+  /// returns their induced sub-partition. Aggregates are maintained
+  /// incrementally, so the objects must still carry their edges in the
+  /// similarity graph when this runs — extract *before* removing them
+  /// from the graph. The state-surgery half of live group migration: a
+  /// blocking group leaves one shard engine with its cluster memberships
+  /// intact instead of being re-clustered from scratch.
+  GroupExtract ExtractGroupState(const std::vector<ObjectId>& objects);
+
+  /// Re-attaches a previously extracted sub-partition: every inner list
+  /// becomes one fresh cluster. Objects must be unassigned and already
+  /// registered in this engine's similarity graph (aggregates are
+  /// derived from its edges) — adopt *after* the graph knows them.
+  void AdoptGroupState(const std::vector<std::vector<ObjectId>>& clusters);
+
   // -------------------------------------------------------------- access
 
   const Clustering& clustering() const { return clustering_; }

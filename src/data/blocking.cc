@@ -118,6 +118,22 @@ std::string StableShardKey(const Record& record, double numeric_cell) {
   return "";
 }
 
+uint64_t BlockingKeyHash(const std::string& key) {
+  // FNV-1a, 64-bit. Chosen over std::hash for a stable value across
+  // standard libraries and process runs (HashShardRouter::HashKey pins
+  // the same constants in its tests).
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t StableShardKeyHash(const Record& record, double numeric_cell) {
+  return BlockingKeyHash(StableShardKey(record, numeric_cell));
+}
+
 // ------------------------------------------------------------- GridBlocker
 
 GridBlocker::GridBlocker(double cell_size) : cell_size_(cell_size) {

@@ -93,6 +93,18 @@ class TokenBlocker final : public CandidateProvider {
 /// sharded service is designed for.
 std::string StableShardKey(const Record& record, double numeric_cell = 8.0);
 
+/// Stable 64-bit FNV-1a hash of a blocking-group key. This is the
+/// *identity of a blocking group* throughout the serving stack: the hash
+/// router reduces it modulo the shard count, the placement table keys
+/// its overrides on it, and migrations name the group they move by it.
+/// Deterministic across processes and standard libraries (no std::hash),
+/// so persisted placements never reshuffle.
+uint64_t BlockingKeyHash(const std::string& key);
+
+/// BlockingKeyHash of a record's StableShardKey — the group a record
+/// belongs to under default content-addressed routing.
+uint64_t StableShardKeyHash(const Record& record, double numeric_cell = 8.0);
+
 /// Spatial grid blocker for numeric records. Cells have side `cell_size`;
 /// candidates are all objects in the record's cell and the 3^d adjacent
 /// cells (d capped at 3 dimensions; extra dimensions are ignored for

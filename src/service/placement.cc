@@ -1,0 +1,25 @@
+#include "service/placement.h"
+
+#include <atomic>
+#include <utility>
+
+namespace dynamicc {
+
+PlacementTable::PlacementTable()
+    : current_(std::make_shared<PlacementView>()) {}
+
+PlacementTable::View PlacementTable::Current() const {
+  return std::atomic_load(&current_);
+}
+
+uint64_t PlacementTable::Assign(uint64_t group, uint32_t shard) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  auto next = std::make_shared<PlacementView>(*Current());
+  next->version += 1;
+  next->overrides[group] = shard;
+  uint64_t version = next->version;
+  std::atomic_store(&current_, View(std::move(next)));
+  return version;
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,66 @@
+#ifndef DYNAMICC_SERVICE_PLACEMENT_H_
+#define DYNAMICC_SERVICE_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace dynamicc {
+
+/// One immutable version of the placement: the set of blocking groups
+/// whose shard was pinned explicitly (by a migration), keyed by the
+/// stable group hash (BlockingKeyHash of the group's blocking key).
+/// Groups without an override fall back to the router's content-hash
+/// placement, so the table stays proportional to the number of *moved*
+/// groups, not the number of groups.
+struct PlacementView {
+  uint64_t version = 0;
+  std::unordered_map<uint64_t, uint32_t> overrides;
+
+  /// Pinned shard for `group`, or nullptr when the group falls back to
+  /// hash placement.
+  const uint32_t* Find(uint64_t group) const {
+    auto it = overrides.find(group);
+    return it == overrides.end() ? nullptr : &it->second;
+  }
+};
+
+/// Monotonically versioned blocking-group -> shard map with copy-on-write
+/// publication: readers pin one immutable PlacementView with a single
+/// atomic shared_ptr load and route an entire batch against it, so a
+/// concurrent migration can never split a batch across two placements.
+/// Writers copy the current view, apply the override, and publish the
+/// successor under a short writer-side mutex. Versions only grow; two
+/// services that perform the same migration sequence publish the same
+/// version numbers (the determinism the placement tests pin down).
+class PlacementTable {
+ public:
+  using View = std::shared_ptr<const PlacementView>;
+
+  PlacementTable();
+
+  PlacementTable(const PlacementTable&) = delete;
+  PlacementTable& operator=(const PlacementTable&) = delete;
+
+  /// The current version, pinned: the returned view never changes, even
+  /// while later versions are published. Lock-free for readers.
+  View Current() const;
+
+  uint64_t version() const { return Current()->version; }
+  size_t num_overrides() const { return Current()->overrides.size(); }
+
+  /// Publishes a successor version with `group` pinned to `shard` and
+  /// returns the new version number. Idempotent assignments still bump
+  /// the version: a version is the count of placement decisions, which
+  /// keeps replayed migration sequences comparable step by step.
+  uint64_t Assign(uint64_t group, uint32_t shard);
+
+ private:
+  View current_;  // accessed via std::atomic_load / std::atomic_store
+  std::mutex write_mutex_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_SERVICE_PLACEMENT_H_

@@ -1,0 +1,84 @@
+#ifndef DYNAMICC_SERVICE_REBALANCER_H_
+#define DYNAMICC_SERVICE_REBALANCER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dynamicc {
+
+/// Load-aware placement policy: given per-shard cost and per-group size,
+/// picks blocking-group moves that relieve the straggler shard. Pure
+/// decision logic — it never touches the service; ShardedDynamicCService
+/// feeds it measurements (ServiceReport-derived round cost plus alive
+/// record counts) and executes the returned moves via MigrateGroup.
+///
+/// The policy is greedy max-straggler-relief: while the most loaded
+/// shard exceeds the mean by the hysteresis factor, move its heaviest
+/// movable group to the least loaded shard, provided the move strictly
+/// relieves the straggler (the destination stays below the straggler's
+/// pre-move load). Hysteresis keeps the placement from oscillating:
+/// mild imbalance — inevitable with group-granular placement — is
+/// tolerated, only a real straggler triggers surgery.
+class Rebalancer {
+ public:
+  /// What "load" means to the policy. kAuto prefers measured round cost
+  /// when any shard has it (records otherwise) — the most faithful
+  /// signal, but short measurement windows are noisy and can re-trigger
+  /// moves on a placement that is already fine. kRecords always uses
+  /// alive record counts: less faithful when per-record cost varies,
+  /// but stable — a balanced placement measures balanced forever.
+  enum class LoadMetric { kAuto, kRecords };
+
+  struct Options {
+    /// Act only when max shard load > hysteresis * mean shard load.
+    double hysteresis = 1.2;
+    /// Most moves per PickMoves invocation (one migration each).
+    size_t max_moves = 4;
+    /// Groups smaller than this never move (surgery has fixed overhead).
+    size_t min_group_records = 2;
+    LoadMetric metric = LoadMetric::kAuto;
+  };
+
+  struct ShardLoad {
+    uint32_t shard = 0;
+    /// Measured round cost since the last rebalance (worker + barrier
+    /// rounds). Zero for every shard before any round ran; the policy
+    /// then falls back to record counts.
+    double cost_ms = 0.0;
+    /// Alive records on the shard.
+    size_t records = 0;
+  };
+
+  struct GroupLoad {
+    uint64_t group = 0;
+    uint32_t shard = 0;
+    /// Alive records in the group.
+    size_t records = 0;
+  };
+
+  struct Move {
+    uint64_t group = 0;
+    uint32_t from = 0;
+    uint32_t to = 0;
+    /// Load expected to leave the straggler (same unit as the shard
+    /// loads the decision was made on).
+    double expected_gain = 0.0;
+  };
+
+  explicit Rebalancer(Options options) : options_(options) {}
+
+  /// Deterministic in its inputs: ties break on shard index and group
+  /// hash, so identical measurements always produce identical plans.
+  std::vector<Move> PickMoves(const std::vector<ShardLoad>& shards,
+                              const std::vector<GroupLoad>& groups) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_SERVICE_REBALANCER_H_

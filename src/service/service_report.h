@@ -47,6 +47,21 @@ inline void AccumulateRecluster(ReclusterReport* total,
   total->probability_evaluations += addend.probability_evaluations;
 }
 
+/// Max/mean ratio over `values`: 1.0 when balanced, N when everything
+/// sits on one entry of N, 0.0 when nothing is loaded. The mean counts
+/// zero entries — an idle shard *is* imbalance — so callers pass one
+/// entry per shard they consider eligible (all shards for record skew,
+/// participants only for round cost).
+inline double MaxMeanRatio(const std::vector<double>& values) {
+  double max = 0.0, sum = 0.0;
+  for (double v : values) {
+    if (v > max) max = v;
+    if (v > 0.0) sum += v;
+  }
+  if (values.empty() || sum <= 0.0) return 0.0;
+  return max * static_cast<double>(values.size()) / sum;
+}
+
 /// Cumulative counters of the async ingestion pipeline (bounded
 /// per-shard queues + background round workers). All counters are
 /// totals since service construction; in synchronous mode only
@@ -76,6 +91,15 @@ struct IngestStats {
   /// dynamic rounds (the overlap the pipeline buys).
   double worker_apply_ms = 0.0;
   double worker_round_ms = 0.0;
+  /// Adaptive drain sizing (AsyncOptions::adaptive_batch, AIMD): bite
+  /// growth/shrink episodes across all shards, and the smallest/largest
+  /// per-shard bite currently in effect (0/0 while disabled or before
+  /// any worker adapted). Divergent min/max is the feature working:
+  /// bursty shards grew their bite while latency-bound ones shrank.
+  uint64_t batch_grows = 0;
+  uint64_t batch_shrinks = 0;
+  size_t adaptive_batch_min = 0;
+  size_t adaptive_batch_max = 0;
 };
 
 /// Service-level view of one round executed across all shards. Wall time
@@ -88,6 +112,23 @@ struct ServiceReport {
   double max_shard_ms = 0.0;
   size_t total_objects = 0;
   size_t total_clusters = 0;
+
+  /// Imbalance, as max/mean ratios (1.0 = perfectly balanced, 0.0 = not
+  /// computable). `cost_imbalance` compares round wall time across the
+  /// shards that participated in this round — the straggler factor that
+  /// bounds fork-join scaling and that the Rebalancer's hysteresis
+  /// threshold is compared against. `record_imbalance` compares alive
+  /// record counts across ALL shards (an idle shard counts toward the
+  /// mean — it *is* the skew: everything on 1 shard of N reads N.0) —
+  /// meaningful even in rounds nobody served, and in snapshots.
+  double cost_imbalance = 0.0;
+  double record_imbalance = 0.0;
+
+  /// Placement state at the time the report was built: the version of
+  /// the routing table (one bump per placement decision) and the
+  /// cumulative number of group migrations that actually moved data.
+  uint64_t placement_version = 0;
+  uint64_t groups_migrated = 0;
 
   /// Summed DynamicC counters across shards (dynamic rounds only).
   ReclusterReport combined;

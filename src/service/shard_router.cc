@@ -15,21 +15,22 @@ HashShardRouter::HashShardRouter(KeyExtractor extractor)
   DYNAMICC_CHECK(extractor_ != nullptr);
 }
 
+uint64_t ShardRouter::GroupKey(const Record& record) const {
+  return StableShardKeyHash(record);
+}
+
 uint64_t HashShardRouter::HashKey(const std::string& key) {
-  // FNV-1a, 64-bit. Chosen over std::hash for a stable value across
-  // standard libraries and process runs.
-  uint64_t hash = 14695981039346656037ull;
-  for (unsigned char c : key) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
+  return BlockingKeyHash(key);
 }
 
 uint32_t HashShardRouter::Route(const Record& record,
                                 uint32_t num_shards) const {
   DYNAMICC_CHECK_GT(num_shards, 0u);
   return static_cast<uint32_t>(HashKey(extractor_(record)) % num_shards);
+}
+
+uint64_t HashShardRouter::GroupKey(const Record& record) const {
+  return HashKey(extractor_(record));
 }
 
 uint32_t RoundRobinShardRouter::Route(const Record& record,

@@ -23,7 +23,25 @@ class ShardRouter {
   /// `num_shards` is always >= 1. Must be deterministic in the record's
   /// content for content-addressed routers (the default); stateful
   /// routers (round-robin) may ignore the record entirely.
+  ///
+  /// This is the *fallback* placement: the service consults its
+  /// versioned PlacementTable first (service/placement.h) and only
+  /// routes here for blocking groups that were never migrated.
   virtual uint32_t Route(const Record& record, uint32_t num_shards) const = 0;
+
+  /// Stable identity of the record's blocking group — the key the
+  /// placement layer pins overrides on and migrations move by. The
+  /// default is the content hash of StableShardKey, which every
+  /// content-addressed deployment shares; routers with a custom notion
+  /// of grouping override it consistently with Route.
+  virtual uint64_t GroupKey(const Record& record) const;
+
+  /// True when Route is a pure function of the record's content, so a
+  /// blocking group's records always co-locate. The placement layer
+  /// (migration, rebalancing) requires this: moving "a group" is only
+  /// meaningful when the group lives on one shard. Stateful scatter
+  /// routers must return false.
+  virtual bool ContentAddressed() const { return true; }
 };
 
 /// Content-addressed router: FNV-1a hash of a stable key extracted from
@@ -43,8 +61,14 @@ class HashShardRouter final : public ShardRouter {
   const char* Name() const override { return "hash-blocking-key"; }
   uint32_t Route(const Record& record, uint32_t num_shards) const override;
 
+  /// With a custom extractor the group identity follows the extractor,
+  /// so placement overrides and fallback routing always agree on what
+  /// a "group" is.
+  uint64_t GroupKey(const Record& record) const override;
+
   /// The stable 64-bit FNV-1a hash routing is based on (exposed so tests
-  /// and rebalancing tooling can reason about placements).
+  /// and rebalancing tooling can reason about placements; delegates to
+  /// BlockingKeyHash in data/blocking.h).
   static uint64_t HashKey(const std::string& key);
 
  private:
@@ -59,6 +83,9 @@ class RoundRobinShardRouter final : public ShardRouter {
  public:
   const char* Name() const override { return "round-robin"; }
   uint32_t Route(const Record& record, uint32_t num_shards) const override;
+  /// Scatters a group's records by design, so group migration and
+  /// rebalancing are off the table (the service checks).
+  bool ContentAddressed() const override { return false; }
 
  private:
   mutable std::atomic<uint32_t> next_{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "util/logging.h"
@@ -29,6 +30,14 @@ ShardedDynamicCService::ShardedDynamicCService(
                                     : DefaultThreadCount(options.num_shards)) {
   DYNAMICC_CHECK_GT(options_.num_shards, 0u);
   DYNAMICC_CHECK(factory != nullptr);
+  // Reject the invalid combination up front: the auto-rebalance cadence
+  // needs per-group loads, which only exist under content-addressed
+  // routing — failing here beats CHECK-aborting mid-serving at the
+  // K-th barrier.
+  DYNAMICC_CHECK(options_.rebalance.every_rounds == 0 ||
+                 router_->ContentAddressed())
+      << "automatic rebalancing requires a content-addressed router ("
+      << router_->Name() << " scatters groups across shards)";
   shards_.reserve(options_.num_shards);
   for (uint32_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -70,14 +79,21 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
   const bool async = options_.async.enabled;
   const size_t depth = std::max<size_t>(1, options_.async.queue_depth);
 
+  // The whole batch routes against one pinned placement version.
+  // Migrations publish new versions under ingest_mutex_, so the pin is
+  // also a proof: no batch ever straddles a placement swap.
+  PlacementTable::View placement = placement_.Current();
+
   // Pass 1 — route every operation without touching state: adds by
-  // content, removes/updates to the shard that owns the target. A
+  // placement override (falling back to the router for groups never
+  // moved), removes/updates to the shard that owns the target. A
   // target may be an add from this very batch (its id is not assigned
   // until pass 2), so prospective ids resolve against the batch's own
   // adds.
   std::vector<uint32_t> shard_of(operations.size());
   std::vector<size_t> slice_size(shards_.size(), 0);
   std::vector<uint32_t> batch_add_shards;
+  std::vector<uint64_t> batch_add_groups;
   {
     std::lock_guard<std::mutex> loc_lock(locations_mutex_);
     const size_t base = locations_.size();
@@ -85,8 +101,11 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
       const DataOperation& op = operations[i];
       uint32_t target;
       if (op.kind == DataOperation::Kind::kAdd) {
-        target = router_->Route(op.record, num_shards());
+        uint64_t group = router_->GroupKey(op.record);
+        const uint32_t* pinned = placement->Find(group);
+        target = pinned ? *pinned : router_->Route(op.record, num_shards());
         batch_add_shards.push_back(target);
+        batch_add_groups.push_back(group);
       } else if (op.target < base) {
         target = locations_.at(op.target).shard;
       } else {
@@ -131,11 +150,16 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
   }
   {
     std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+    size_t add_index = 0;
     for (size_t i = 0; i < operations.size(); ++i) {
       DataOperation routed = operations[i];
       if (routed.kind == DataOperation::Kind::kAdd) {
         ObjectId global = static_cast<ObjectId>(locations_.size());
-        locations_.push_back(ObjectLocation{shard_of[i], kInvalidObject});
+        uint64_t group = batch_add_groups[add_index++];
+        locations_.push_back(
+            ObjectLocation{shard_of[i], kInvalidObject, group});
+        group_members_[group].push_back(global);
+        group_shard_[group] = shard_of[i];
         routed.target = global;
         result.changed.push_back(global);
       } else if (routed.kind == DataOperation::Kind::kUpdate) {
@@ -226,6 +250,7 @@ std::vector<ObjectId> ShardedDynamicCService::ApplyBatchToShard(
             << "add reached a shard without an admission-assigned id";
         ObjectId local_id = static_cast<ObjectId>(base + adds++);
         locations_[global].local = local_id;
+        group_alive_[locations_[global].group] += 1;
         local.target = kInvalidObject;
         expected.push_back(local_id);
         DYNAMICC_CHECK_EQ(shard.global_of_local.size(), local_id);
@@ -238,6 +263,8 @@ std::vector<ObjectId> ShardedDynamicCService::ApplyBatchToShard(
         local.target = loc.local;
         if (op.kind == DataOperation::Kind::kUpdate) {
           expected.push_back(loc.local);
+        } else {
+          group_alive_[loc.group] -= 1;
         }
       }
       local_ops.push_back(std::move(local));
@@ -261,13 +288,28 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
     OperationLog::Drained drained;
     {
       std::lock_guard<std::mutex> lock(shard.queue_mutex);
+      if (shard.paused) {
+        // A migration is operating on this shard: park at the batch
+        // boundary (no drained batch stays in flight); the migration
+        // reschedules the worker once the surgery is done.
+        shard.worker_busy = false;
+        shard.queue_drained.notify_all();
+        return;
+      }
       if (shard.log.empty()) {
         shard.log.Take(0);  // GC entries annihilated in place
         shard.worker_busy = false;
         shard.queue_drained.notify_all();
         return;
       }
-      drained = shard.log.Take(options_.async.max_batch);
+      size_t bite = options_.async.max_batch;
+      if (options_.async.adaptive_batch) {
+        if (shard.adaptive_batch == 0) {
+          shard.adaptive_batch = std::max<size_t>(1, options_.async.min_batch);
+        }
+        bite = shard.adaptive_batch;
+      }
+      drained = shard.log.Take(bite);
       shard.queue_not_full.notify_all();
     }
 
@@ -310,7 +352,16 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
       if (rounded) {
         shard.worker_rounds += 1;
         shard.worker_round_ms += round_ms;
+        shard.cost_ms += round_ms;
         AccumulateRecluster(&shard.round_detail, round_report.detail);
+      }
+      if (options_.async.adaptive_batch && shard.adaptive_batch > 0) {
+        AdaptiveBiteDecision next = NextAdaptiveBite(
+            shard.adaptive_batch, apply_ms + round_ms, shard.log.pending(),
+            options_.async);
+        shard.adaptive_batch = next.bite;
+        if (next.grew) shard.batch_grows += 1;
+        if (next.shrank) shard.batch_shrinks += 1;
       }
     }
   }
@@ -382,6 +433,10 @@ ServiceReport ShardedDynamicCService::ObserveBatchRound(
     stats.round_ms = timer.ElapsedMillis();
     stats.objects = shard.dataset.alive_count();
     stats.clusters = shard.session->engine().clustering().num_clusters();
+    if (stats.participated) {
+      std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
+      shard.cost_ms += stats.round_ms;
+    }
   });
   report.wall_ms = wall.ElapsedMillis();
 
@@ -393,6 +448,7 @@ ServiceReport ShardedDynamicCService::ObserveBatchRound(
     report.evolution_steps += stats.report.step_count;
   }
   FillIngestStats(&report.ingest);
+  FinalizeReport(&report);
   // An observe means the caller is driving barriers (training, or a
   // long-run accuracy refresh): background rounds stay off until the
   // next explicit DynamicRound/Flush, so any number of training
@@ -458,6 +514,7 @@ ServiceReport ShardedDynamicCService::DynamicRound(
     stats.objects = shard.dataset.alive_count();
     stats.clusters = shard.session->engine().clustering().num_clusters();
     std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
+    shard.cost_ms += stats.round_ms;
     AccumulateRecluster(&shard.round_detail, stats.report.detail);
   });
   report.wall_ms = wall.ElapsedMillis();
@@ -470,10 +527,21 @@ ServiceReport ShardedDynamicCService::DynamicRound(
     AccumulateRecluster(&report.combined, stats.report.detail);
   }
   FillIngestStats(&report.ingest);
+  FinalizeReport(&report);
   // An explicit dynamic barrier is the caller's transition into the
   // serving phase: from here (if every data-holding shard is trained)
   // the background workers round continuously until the next observe.
   serving_.store(is_trained(), std::memory_order_release);
+  // Automatic placement maintenance rides the barrier cadence: every K
+  // dynamic barriers one rebalance pass runs, after the round so its
+  // cost measurements include this round and its migrations land before
+  // the next batch of traffic.
+  if (options_.rebalance.every_rounds > 0 &&
+      rounds_since_rebalance_.fetch_add(1) + 1 >=
+          options_.rebalance.every_rounds) {
+    rounds_since_rebalance_.store(0);
+    RebalanceOnce();
+  }
   return report;
 }
 
@@ -508,6 +576,7 @@ ServiceSnapshot ShardedDynamicCService::Snapshot() const {
   std::sort(snap.clusters.begin(), snap.clusters.end());
 
   FillIngestStats(&snap.report.ingest);
+  FinalizeReport(&snap.report);
   snap.sequence =
       snap.report.ingest.accepted_ops - snap.report.ingest.pending_ops;
   return snap;
@@ -535,7 +604,38 @@ void ShardedDynamicCService::FillIngestStats(IngestStats* ingest) const {
         std::max(ingest->queue_high_water, shard.queue_high_water);
     ingest->worker_apply_ms += shard.worker_apply_ms;
     ingest->worker_round_ms += shard.worker_round_ms;
+    ingest->batch_grows += shard.batch_grows;
+    ingest->batch_shrinks += shard.batch_shrinks;
+    if (shard.adaptive_batch > 0) {
+      if (ingest->adaptive_batch_min == 0 ||
+          shard.adaptive_batch < ingest->adaptive_batch_min) {
+        ingest->adaptive_batch_min = shard.adaptive_batch;
+      }
+      ingest->adaptive_batch_max =
+          std::max(ingest->adaptive_batch_max, shard.adaptive_batch);
+    }
   }
+}
+
+void ShardedDynamicCService::FinalizeReport(ServiceReport* report) const {
+  std::vector<double> cost, records;
+  auto fold = [&](size_t objects, double round_ms, bool participated) {
+    // Every shard counts toward record skew (an empty shard is the
+    // skew); only participants count toward round cost (clean shards
+    // were skipped by design, not stragglers).
+    records.push_back(static_cast<double>(objects));
+    if (participated && round_ms > 0.0) cost.push_back(round_ms);
+  };
+  for (const ShardTrainStats& stats : report->train_shards) {
+    fold(stats.objects, stats.round_ms, stats.participated);
+  }
+  for (const ShardDynamicStats& stats : report->dynamic_shards) {
+    fold(stats.objects, stats.round_ms, stats.participated);
+  }
+  report->cost_imbalance = MaxMeanRatio(cost);
+  report->record_imbalance = MaxMeanRatio(records);
+  report->placement_version = placement_.version();
+  report->groups_migrated = migrations_.load();
 }
 
 void ShardedDynamicCService::AppendShardClusters(
@@ -589,6 +689,316 @@ bool ShardedDynamicCService::is_trained() const {
     }
   }
   return true;
+}
+
+ShardedDynamicCService::AdaptiveBiteDecision
+ShardedDynamicCService::NextAdaptiveBite(size_t current, double latency_ms,
+                                         size_t backlog,
+                                         const AsyncOptions& options) {
+  // AIMD: a slow round halves the bite (latency recovers in a few
+  // rounds no matter how far it overshot), a fast round with backlog
+  // still queued grows it one min_batch step (throughput converges
+  // without overshooting). Bounded to [min_batch, max_batch or
+  // queue_depth].
+  const size_t floor_bite = std::max<size_t>(1, options.min_batch);
+  size_t ceiling = options.max_batch > 0
+                       ? options.max_batch
+                       : std::max<size_t>(1, options.queue_depth);
+  ceiling = std::max(ceiling, floor_bite);
+
+  AdaptiveBiteDecision decision;
+  decision.bite = std::min(std::max(current, floor_bite), ceiling);
+  if (latency_ms > options.target_round_ms) {
+    size_t shrunk = std::max(floor_bite, decision.bite / 2);
+    if (shrunk < decision.bite) {
+      decision.bite = shrunk;
+      decision.shrank = true;
+    }
+  } else if (backlog > decision.bite && decision.bite < ceiling) {
+    decision.bite = std::min(ceiling, decision.bite + floor_bite);
+    decision.grew = true;
+  }
+  return decision;
+}
+
+void ShardedDynamicCService::ParkWorker(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::unique_lock<std::mutex> lock(shard.queue_mutex);
+  shard.paused = true;
+  // The worker parks at its next batch boundary (it checks `paused`
+  // before every Take), so after this wait no drained-but-unapplied
+  // batch exists for the shard. Producers cannot re-schedule a worker
+  // meanwhile — the caller holds ingest_mutex_.
+  shard.queue_drained.wait(lock, [&shard] { return !shard.worker_busy; });
+}
+
+void ShardedDynamicCService::ResumeWorker(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.queue_mutex);
+    shard.paused = false;
+    if (!shard.log.empty() && !shard.worker_busy) {
+      shard.worker_busy = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    pool_.SubmitTo(shard_index,
+                   [this, shard_index] { WorkerDrain(shard_index); });
+  }
+}
+
+ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
+    uint64_t group, uint32_t to_shard) {
+  DYNAMICC_CHECK_LT(to_shard, num_shards());
+  DYNAMICC_CHECK(router_->ContentAddressed())
+      << "group migration requires a content-addressed router ("
+      << router_->Name() << " scatters groups across shards)";
+  Timer timer;
+  MigrationReport report;
+  report.group = group;
+  report.to = to_shard;
+
+  // Producers are excluded for the whole move: admission pins a
+  // placement version under ingest_mutex_, so holding it means no batch
+  // can straddle the swap — the only operations that raced the move are
+  // the ones already sitting in the source shard's queue, and those are
+  // replayed below. Ingest to *other* shards resumes the moment this
+  // returns; their queues and workers are never touched.
+  std::lock_guard<std::mutex> ingest_lock(ingest_mutex_);
+
+  // Source = the shard currently owning the group. group_shard_ is
+  // authoritative (admission sets it, every migration updates it);
+  // first-member locations would lie for groups whose early members
+  // are tombstones, which stay where they died.
+  uint32_t from = to_shard;
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+    auto it = group_shard_.find(group);
+    if (it != group_shard_.end()) {
+      from = it->second;
+      known = true;
+    }
+  }
+  report.from = known ? from : to_shard;
+  if (!known || from == to_shard) {
+    // Nothing to move; still pin the placement so future adds land on
+    // `to_shard` deterministically.
+    report.placement_version = placement_.Assign(group, to_shard);
+    report.ms = timer.ElapsedMillis();
+    return report;
+  }
+
+  // Flush epoch, step 1: park both drain workers at a batch boundary.
+  ParkWorker(from);
+  ParkWorker(to_shard);
+
+  {
+    Shard& src = *shards_[from];
+    Shard& dst = *shards_[to_shard];
+    // Lock order everywhere: round_mutex (ascending) before
+    // locations_mutex_.
+    std::unique_lock<std::mutex> first(
+        shards_[std::min(from, to_shard)]->round_mutex);
+    std::unique_lock<std::mutex> second(
+        shards_[std::max(from, to_shard)]->round_mutex);
+
+    // The moved set: applied+alive members carry their state across;
+    // queued members (no local id yet) just flip ownership and their
+    // pending operations replay. Tombstones stay behind.
+    std::vector<ObjectId> moved_globals;
+    std::vector<ObjectId> moved_locals;
+    std::unordered_set<ObjectId> moved_set;
+    {
+      std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+      group_shard_[group] = to_shard;
+      auto it = group_members_.find(group);
+      if (it != group_members_.end()) {
+        for (ObjectId global : it->second) {
+          ObjectLocation& loc = locations_[global];
+          if (loc.shard != from) continue;
+          if (loc.local == kInvalidObject) {
+            loc.shard = to_shard;  // queued (or annihilated) add
+            moved_set.insert(global);
+            continue;
+          }
+          if (!src.dataset.IsAlive(loc.local)) continue;
+          loc.shard = to_shard;
+          moved_set.insert(global);
+          moved_globals.push_back(global);
+          moved_locals.push_back(loc.local);
+        }
+      }
+    }
+
+    if (!moved_locals.empty()) {
+      // State surgery: membership first (the stats hooks need the edges
+      // still in the graph), then graph, then dataset — an apply in
+      // reverse. No model, trainer or threshold is touched: the group
+      // arrives at a destination that keeps serving with its own
+      // training, which is the whole point of moving state instead of
+      // re-clustering.
+      ClusteringEngine::GroupExtract extract =
+          src.session->engine().ExtractGroupState(moved_locals);
+      std::vector<Record> records;
+      records.reserve(moved_locals.size());
+      for (ObjectId local : moved_locals) {
+        records.push_back(src.dataset.Get(local));
+        src.graph->RemoveObject(local);
+        src.dataset.Remove(local);
+      }
+
+      // Adopt: records in source-local (= admission) order keep repeated
+      // migrations deterministic; edges re-derive from the destination's
+      // blocker, then the carried-over memberships re-attach.
+      std::unordered_map<ObjectId, ObjectId> local_map;
+      local_map.reserve(moved_locals.size());
+      {
+        std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+        for (size_t i = 0; i < moved_locals.size(); ++i) {
+          ObjectId fresh = dst.dataset.Add(records[i]);
+          dst.graph->AddObject(fresh);
+          DYNAMICC_CHECK_EQ(dst.global_of_local.size(), fresh);
+          dst.global_of_local.push_back(moved_globals[i]);
+          locations_[moved_globals[i]].local = fresh;
+          local_map[moved_locals[i]] = fresh;
+        }
+      }
+      std::vector<std::vector<ObjectId>> adopted = std::move(extract.clusters);
+      for (auto& cluster : adopted) {
+        for (ObjectId& member : cluster) member = local_map.at(member);
+      }
+      dst.session->engine().AdoptGroupState(adopted);
+      report.objects = moved_locals.size();
+      report.clusters = adopted.size();
+
+      // Applied-but-unrounded hints follow their objects.
+      if (!src.pending_changed.empty()) {
+        std::vector<ObjectId> kept;
+        kept.reserve(src.pending_changed.size());
+        for (ObjectId local : src.pending_changed) {
+          auto mapped = local_map.find(local);
+          if (mapped == local_map.end()) {
+            kept.push_back(local);
+          } else {
+            dst.pending_changed.push_back(mapped->second);
+          }
+        }
+        src.pending_changed.swap(kept);
+      }
+      // A cut cluster (similarity edges crossing blocking groups inside
+      // the shard) leaves the source off its fixpoint.
+      if (extract.split_sources > 0) src.dirty = true;
+    }
+
+    // Flush epoch, step 2: re-home the raced tail. Everything producers
+    // enqueued for this group before the swap sits in the source log;
+    // extract it by target id and replay it onto the destination log in
+    // arrival order — per-object composition (folds, annihilations)
+    // keeps working because relative order is preserved.
+    OperationLog::Extracted raced;
+    {
+      std::lock_guard<std::mutex> queue_lock(src.queue_mutex);
+      raced = src.log.ExtractIf([&moved_set](const DataOperation& op) {
+        return op.target != kInvalidObject && moved_set.count(op.target) > 0;
+      });
+      report.source_epoch = src.log.appended();
+    }
+    {
+      std::lock_guard<std::mutex> queue_lock(dst.queue_mutex);
+      for (DataOperation& op : raced.ops) {
+        dst.log.Append(std::move(op));
+      }
+      report.dest_epoch = dst.log.appended();
+      report.replayed_ops = raced.ops.size();
+    }
+
+    if (report.objects > 0 || report.replayed_ops > 0) {
+      // The adopted state is re-validated (and, on an untrained
+      // destination, trained) at the next round that covers the shard.
+      dst.dirty = true;
+      report.moved = true;
+      migrations_.fetch_add(1);
+    }
+  }
+
+  // Publish the new placement while producers are still excluded — the
+  // first batch admitted after the move already routes to `to_shard` —
+  // then let the workers loose again.
+  report.placement_version = placement_.Assign(group, to_shard);
+  ResumeWorker(from);
+  ResumeWorker(to_shard);
+  report.ms = timer.ElapsedMillis();
+  return report;
+}
+
+std::vector<Rebalancer::GroupLoad> ShardedDynamicCService::GroupLoads() const {
+  DYNAMICC_CHECK(router_->ContentAddressed())
+      << "per-group loads require a content-addressed router ("
+      << router_->Name() << " scatters groups across shards)";
+  std::vector<Rebalancer::GroupLoad> loads;
+  {
+    std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+    loads.reserve(group_alive_.size());
+    for (const auto& [group, alive] : group_alive_) {
+      if (alive == 0) continue;
+      auto shard = group_shard_.find(group);
+      if (shard == group_shard_.end()) continue;
+      Rebalancer::GroupLoad load;
+      load.group = group;
+      load.shard = shard->second;
+      load.records = alive;
+      loads.push_back(load);
+    }
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const Rebalancer::GroupLoad& a, const Rebalancer::GroupLoad& b) {
+              if (a.records != b.records) return a.records > b.records;
+              return a.group < b.group;
+            });
+  return loads;
+}
+
+ShardedDynamicCService::RebalanceReport
+ShardedDynamicCService::RebalanceOnce() {
+  RebalanceReport report;
+  std::vector<Rebalancer::GroupLoad> groups = GroupLoads();
+  std::vector<Rebalancer::ShardLoad> shard_loads(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_loads[s].shard = static_cast<uint32_t>(s);
+    std::lock_guard<std::mutex> queue_lock(shards_[s]->queue_mutex);
+    shard_loads[s].cost_ms = shards_[s]->cost_ms;
+  }
+  for (const Rebalancer::GroupLoad& group : groups) {
+    shard_loads[group.shard].records += group.records;
+  }
+  std::vector<double> records_per_shard(shards_.size(), 0.0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    records_per_shard[s] = static_cast<double>(shard_loads[s].records);
+  }
+  report.record_imbalance_before = MaxMeanRatio(records_per_shard);
+
+  Rebalancer policy(options_.rebalance.policy);
+  for (const Rebalancer::Move& move : policy.PickMoves(shard_loads, groups)) {
+    report.moves.push_back(MigrateGroup(move.group, move.to));
+  }
+
+  // The cost window restarts: the next pass judges the new placement on
+  // its own measurements instead of pre-move history.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> queue_lock(shard->queue_mutex);
+    shard->cost_ms = 0.0;
+  }
+
+  std::fill(records_per_shard.begin(), records_per_shard.end(), 0.0);
+  for (const Rebalancer::GroupLoad& group : GroupLoads()) {
+    records_per_shard[group.shard] += static_cast<double>(group.records);
+  }
+  report.record_imbalance_after = MaxMeanRatio(records_per_shard);
+  report.placement_version = placement_.version();
+  return report;
 }
 
 uint32_t ShardedDynamicCService::ShardOfObject(ObjectId global_id) const {

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "batch/batch_algorithm.h"
@@ -18,6 +19,8 @@
 #include "data/similarity_graph.h"
 #include "ml/model.h"
 #include "objective/objective.h"
+#include "service/placement.h"
+#include "service/rebalancer.h"
 #include "service/service_report.h"
 #include "service/shard_router.h"
 #include "service/thread_pool.h"
@@ -59,10 +62,18 @@ enum class BackpressurePolicy {
 };
 
 /// Concurrent serving layer over DynamicC: partitions the record stream
-/// across N shards by a pluggable ShardRouter (default: hash of the
-/// stable blocking key, data/blocking.h), owns one Dataset /
-/// SimilarityGraph / DynamicCSession per shard, and executes training
-/// and dynamic rounds across shards concurrently on a fixed thread pool.
+/// across N shards by blocking group, owns one Dataset / SimilarityGraph
+/// / DynamicCSession per shard, and executes training and dynamic rounds
+/// across shards concurrently on a fixed thread pool.
+///
+/// Placement is dynamic: a versioned PlacementTable maps blocking groups
+/// to shards (copy-on-write, one pinned version per ingested batch) with
+/// the pluggable ShardRouter (default: hash of the stable blocking key,
+/// data/blocking.h) as the fallback for groups never moved. Hot groups
+/// migrate between shards live — records, cluster memberships and
+/// similarity aggregates carried over, no retraining — either manually
+/// (MigrateGroup) or through the load-aware Rebalancer
+/// (RebalanceOnce / Options::rebalance.every_rounds).
 ///
 /// Object ids: callers speak *global* ids, assigned densely in arrival
 /// order at the ingestion boundary — the exact ids a single shared
@@ -119,8 +130,28 @@ class ShardedDynamicCService {
     BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
     /// Most operations a worker applies per drained batch before it
     /// runs a round (0 = drain everything queued). Bounds worst-case
-    /// round latency under sustained ingest.
+    /// round latency under sustained ingest. With adaptive_batch this
+    /// is the ceiling of the adaptive bite instead (0 = queue_depth).
     size_t max_batch = 0;
+    /// AIMD adaptation of the per-round drain bite, per shard: a round
+    /// slower than target_round_ms halves the shard's bite
+    /// (multiplicative decrease, keeps latency-sensitive shards
+    /// responsive); a fast round with backlog still waiting grows it by
+    /// min_batch (additive increase, lets bursty shards take bigger
+    /// bites and amortize the per-round fixed cost). Bounded to
+    /// [min_batch, max_batch or queue_depth].
+    bool adaptive_batch = false;
+    double target_round_ms = 4.0;
+    size_t min_batch = 16;
+  };
+
+  /// Automatic placement maintenance.
+  struct RebalanceOptions {
+    /// 0 = manual rebalancing only (RebalanceOnce()). K > 0 runs a
+    /// rebalance pass after every K explicit dynamic barriers
+    /// (DynamicRound / Flush).
+    uint32_t every_rounds = 0;
+    Rebalancer::Options policy;
   };
 
   struct Options {
@@ -131,6 +162,7 @@ class ShardedDynamicCService {
     uint32_t num_threads = 0;
     DynamicCSession::Options session;
     AsyncOptions async;
+    RebalanceOptions rebalance;
   };
 
   /// Outcome of one Ingest call. `accepted` is false only in async mode
@@ -213,6 +245,91 @@ class ShardedDynamicCService {
   /// worker between rounds).
   ServiceSnapshot Snapshot() const;
 
+  // ------------------------------------------- dynamic placement control
+
+  /// Outcome of one group migration. `moved` is false when the group had
+  /// nothing to move (unknown, empty, or already on `to`) — the
+  /// placement override is still recorded so future adds land on `to`.
+  struct MigrationReport {
+    uint64_t group = 0;
+    uint32_t from = 0;
+    uint32_t to = 0;
+    bool moved = false;
+    /// Alive records carried over, and the clusters they arrived in.
+    size_t objects = 0;
+    size_t clusters = 0;
+    /// Queued (async) operations that raced the move: extracted from
+    /// the source shard's log by OperationLog sequence number and
+    /// replayed onto the destination's log, order preserved.
+    size_t replayed_ops = 0;
+    /// Placement version published by this migration.
+    uint64_t placement_version = 0;
+    /// The flush epoch: every source-shard operation with a sequence
+    /// number below source_epoch was either applied before the move or
+    /// replayed to the destination; dest_epoch is the destination log's
+    /// sequence after the replay appended.
+    uint64_t source_epoch = 0;
+    uint64_t dest_epoch = 0;
+    double ms = 0.0;
+  };
+
+  /// Outcome of one rebalance pass: the moves executed plus the record
+  /// imbalance (max/mean alive records across all shards, idle shards
+  /// included) around the pass.
+  struct RebalanceReport {
+    std::vector<MigrationReport> moves;
+    double record_imbalance_before = 0.0;
+    double record_imbalance_after = 0.0;
+    uint64_t placement_version = 0;
+  };
+
+  /// Live-migrates blocking group `group` (a ShardRouter::GroupKey
+  /// value; see GroupOf) to `to_shard` without retraining: quiesces only
+  /// the source and destination shards at a flush epoch, moves the
+  /// group's records, cluster memberships and similarity aggregates via
+  /// ClusteringEngine::{Extract,Adopt}GroupState, re-homes queued
+  /// operations that raced the move, and publishes a new placement
+  /// version — concurrent ingest to other shards keeps flowing. At the
+  /// next flush barrier the clustering is byte-identical to a run that
+  /// never migrated (blocking-disjoint workloads; the migration
+  /// equivalence tests pin this down).
+  MigrationReport MigrateGroup(uint64_t group, uint32_t to_shard);
+
+  /// One load-aware rebalance pass: measures per-shard cost (cumulative
+  /// round time since the last pass) and per-group sizes, asks the
+  /// Rebalancer policy for moves, and executes them. Also runs
+  /// automatically every Options::rebalance.every_rounds dynamic
+  /// barriers.
+  RebalanceReport RebalanceOnce();
+
+  /// The blocking-group key of a record under the configured router —
+  /// what MigrateGroup and the placement table key on.
+  uint64_t GroupOf(const Record& record) const {
+    return router_->GroupKey(record);
+  }
+
+  /// Current per-group load (alive records + owning shard), the
+  /// group-level half of the Rebalancer's input. Sorted heaviest first,
+  /// ties on group hash (deterministic).
+  std::vector<Rebalancer::GroupLoad> GroupLoads() const;
+
+  const PlacementTable& placement() const { return placement_; }
+
+  /// One pure AIMD step for the adaptive drain bite (see
+  /// AsyncOptions::adaptive_batch): multiplicative decrease when the
+  /// observed apply+round latency exceeds the target, additive increase
+  /// while the remaining backlog outruns the current bite. Exposed as a
+  /// pure function so the policy is unit-testable without timing.
+  struct AdaptiveBiteDecision {
+    size_t bite = 0;
+    bool grew = false;
+    bool shrank = false;
+  };
+  static AdaptiveBiteDecision NextAdaptiveBite(size_t current,
+                                               double latency_ms,
+                                               size_t backlog,
+                                               const AsyncOptions& options);
+
   /// Cumulative ingestion-pipeline counters (see IngestStats).
   IngestStats ingest_stats() const;
 
@@ -264,6 +381,22 @@ class ShardedDynamicCService {
     OperationLog log;
     /// True while a drain task is queued or running for this shard.
     bool worker_busy = false;
+    /// Set by a migration to park the drain worker at a batch boundary:
+    /// a worker that sees it returns without taking another batch (and
+    /// without resubmitting itself), so the migration can operate on a
+    /// shard with no drained-but-unapplied batch in flight. Producers
+    /// cannot schedule a worker meanwhile — the migration holds
+    /// ingest_mutex_.
+    bool paused = false;
+    /// Current AIMD drain bite (adaptive_batch mode; 0 until the first
+    /// drain initializes it to min_batch).
+    size_t adaptive_batch = 0;
+    uint64_t batch_grows = 0;
+    uint64_t batch_shrinks = 0;
+    /// Round cost accumulated since the last rebalance pass (worker and
+    /// barrier rounds alike) — the per-shard half of the Rebalancer's
+    /// input.
+    double cost_ms = 0.0;
     uint64_t accepted_ops = 0;
     uint64_t applied_batches = 0;
     uint64_t worker_rounds = 0;
@@ -281,10 +414,22 @@ class ShardedDynamicCService {
   struct ObjectLocation {
     uint32_t shard = 0;
     ObjectId local = kInvalidObject;
+    /// Blocking group the object was admitted under (router GroupKey);
+    /// migrations move whole groups, so this never changes.
+    uint64_t group = 0;
   };
 
   IngestResult IngestInternal(const OperationBatch& operations,
                               BackpressurePolicy policy);
+
+  /// Fills `report`'s imbalance ratios and placement fields from its
+  /// per-shard stats and the service counters.
+  void FinalizeReport(ServiceReport* report) const;
+
+  /// Parks / resumes shard `s`'s drain worker around a migration (async
+  /// mode; see Shard::paused).
+  void ParkWorker(size_t shard_index);
+  void ResumeWorker(size_t shard_index);
 
   /// Translates a drained (global-handle) batch to local ids, applies it
   /// through the shard's session, and registers the global<->local
@@ -320,6 +465,12 @@ class ShardedDynamicCService {
   std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Versioned blocking-group -> shard overrides. Every batch routes
+  /// against one pinned version (taken under ingest_mutex_, which every
+  /// migration also holds, so a batch can never straddle two
+  /// placements); groups without an override fall back to the router.
+  PlacementTable placement_;
+
   /// Serializes producers: global ids are assigned densely in admission
   /// order, and a kReject capacity check is atomic with its enqueue.
   /// Never taken by workers (a producer may block on queue space while
@@ -332,8 +483,25 @@ class ShardedDynamicCService {
   /// add is applied (kInvalidObject until then, or forever for adds
   /// annihilated in the queue).
   std::vector<ObjectLocation> locations_;
+  /// Group hash -> global ids ever admitted under it (append-only; dead
+  /// and annihilated members are filtered at use). Guarded by
+  /// locations_mutex_.
+  std::unordered_map<uint64_t, std::vector<ObjectId>> group_members_;
+  /// Group hash -> alive applied records, maintained at application
+  /// time (adds increment, removes decrement). Guarded by
+  /// locations_mutex_; the O(groups) input of GroupLoads().
+  std::unordered_map<uint64_t, size_t> group_alive_;
+  /// Group hash -> the shard currently owning the group (set at
+  /// admission, updated by migration). The authoritative answer —
+  /// individual members' locations can lag it for tombstones, which
+  /// stay where they died. Guarded by locations_mutex_.
+  std::unordered_map<uint64_t, uint32_t> group_shard_;
   std::atomic<uint64_t> rejected_batches_{0};
   std::atomic<uint64_t> rejected_ops_{0};
+  /// Migrations that actually moved data, and the dynamic-barrier
+  /// cadence counter for automatic rebalancing.
+  std::atomic<uint64_t> migrations_{0};
+  std::atomic<uint32_t> rounds_since_rebalance_{0};
   /// Set by explicit DynamicRound/Flush barriers (to is_trained()) and
   /// cleared by ObserveBatchRound. Background workers only run rounds
   /// while set — in barrier-driven (training/observe) mode async

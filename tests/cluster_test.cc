@@ -163,6 +163,89 @@ TEST_F(EngineFixture, SetClusteringAdoptsPartition) {
               graph_.Similarity(a, b), 1e-12);
 }
 
+// ----------------------------------------------------------- group surgery
+
+TEST_F(EngineFixture, ExtractGroupStateDetachesWholeClusters) {
+  // Two tight pairs far apart; extracting one pair removes its cluster
+  // wholesale (no split) and leaves the rest — and its stats — intact.
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.01);
+  ObjectId c = AddPoint(10.0);
+  ObjectId d = AddPoint(10.01);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId ab = engine.Merge(engine.clustering().ClusterOf(a),
+                              engine.clustering().ClusterOf(b));
+  ClusterId cd = engine.Merge(engine.clustering().ClusterOf(c),
+                              engine.clustering().ClusterOf(d));
+  double cd_intra = engine.stats().IntraSum(cd);
+
+  auto extract = engine.ExtractGroupState({a, b});
+  EXPECT_EQ(extract.split_sources, 0u);
+  ASSERT_EQ(extract.clusters.size(), 1u);
+  EXPECT_EQ(extract.clusters[0], (std::vector<ObjectId>{a, b}));
+  EXPECT_FALSE(engine.clustering().HasCluster(ab));
+  EXPECT_EQ(engine.clustering().ClusterOf(a), kInvalidCluster);
+  EXPECT_EQ(engine.clustering().num_clusters(), 1u);
+  EXPECT_NEAR(engine.stats().IntraSum(cd), cd_intra, 1e-12);
+  EXPECT_NEAR(engine.stats().TotalIntraSum(), cd_intra, 1e-12);
+}
+
+TEST_F(EngineFixture, ExtractGroupStateReportsCutClusters) {
+  // Extracting a strict subset of a cluster must cut it: the survivor
+  // stays behind and split_sources flags the damage.
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.1);
+  ObjectId c = AddPoint(0.2);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  ClusterId abc = engine.Merge(
+      engine.Merge(engine.clustering().ClusterOf(a),
+                   engine.clustering().ClusterOf(b)),
+      engine.clustering().ClusterOf(c));
+
+  auto extract = engine.ExtractGroupState({a, b});
+  EXPECT_EQ(extract.split_sources, 1u);
+  ASSERT_EQ(extract.clusters.size(), 1u);
+  EXPECT_EQ(extract.clusters[0], (std::vector<ObjectId>{a, b}));
+  EXPECT_TRUE(engine.clustering().HasCluster(abc));
+  EXPECT_EQ(engine.clustering().ClusterSize(abc), 1u);
+  EXPECT_NEAR(engine.stats().IntraSum(abc), 0.0, 1e-12);
+}
+
+TEST_F(EngineFixture, AdoptGroupStateRestoresStatsFromGraphEdges) {
+  // Round-trip through a second engine over the same graph: adopting
+  // the extracted sub-partition must reproduce membership *and*
+  // aggregates exactly (verified against an independent Rebuild).
+  ObjectId a = AddPoint(0.0);
+  ObjectId b = AddPoint(0.01);
+  ObjectId c = AddPoint(0.02);
+  ObjectId d = AddPoint(10.0);
+  ClusteringEngine engine(&graph_);
+  engine.InitSingletons();
+  engine.Merge(engine.Merge(engine.clustering().ClusterOf(a),
+                            engine.clustering().ClusterOf(b)),
+               engine.clustering().ClusterOf(c));
+  auto canonical = engine.clustering().CanonicalClusters();
+  double total_intra = engine.stats().TotalIntraSum();
+
+  auto extract = engine.ExtractGroupState({a, b, c, d});
+  EXPECT_EQ(engine.clustering().num_clusters(), 0u);
+
+  ClusteringEngine adopter(&graph_);
+  adopter.AdoptGroupState(extract.clusters);
+  EXPECT_EQ(adopter.clustering().CanonicalClusters(), canonical);
+  EXPECT_NEAR(adopter.stats().TotalIntraSum(), total_intra, 1e-12);
+  ClusterId abc = adopter.clustering().ClusterOf(a);
+  double incremental = adopter.stats().IntraSum(abc);
+  // The incremental aggregates equal a from-scratch rebuild.
+  Clustering snapshot = adopter.Snapshot();
+  ClusteringEngine rebuilt(&graph_);
+  rebuilt.SetClustering(snapshot);
+  EXPECT_NEAR(rebuilt.stats().IntraSum(rebuilt.clustering().ClusterOf(a)),
+              incremental, 1e-12);
+}
+
 // ------------------------------------------------------------ stats values
 
 TEST_F(EngineFixture, AverageIntraAndInter) {

@@ -158,6 +158,58 @@ TEST(OperationLog, BoundedTakeRespectsArrivalOrderAndPurgesHandles) {
   EXPECT_EQ(rest.ops[4].target, 0u);
 }
 
+TEST(OperationLog, ExtractIfRemovesMatchesAndKeepsTheRestCoalescing) {
+  // Interleave two "groups" of targets; extracting one group by target
+  // must preserve arrival order on both sides, carry sequence numbers,
+  // and leave the kept entries still able to coalesce.
+  OperationLog log;
+  log.Append(Add(0, "g0"));
+  log.Append(Add(1, "g1"));
+  log.Append(Add(2, "g0"));
+  log.Append(Update(1, "g1b"));  // folds into add(1)
+  log.Append(Add(3, "g1"));
+  EXPECT_EQ(log.pending(), 4u);
+
+  auto moved = log.ExtractIf([](const DataOperation& op) {
+    return op.target == 1 || op.target == 3;
+  });
+  ASSERT_EQ(moved.ops.size(), 2u);
+  EXPECT_EQ(moved.ops[0].target, 1u);
+  EXPECT_EQ(moved.ops[0].record.tokens[0], "g1b");  // kept its fold
+  EXPECT_EQ(moved.ops[1].target, 3u);
+  EXPECT_EQ(moved.logical_ops, 3u);  // add(1) + folded update + add(3)
+  EXPECT_EQ(moved.sequences, (std::vector<uint64_t>{1u, 4u}));
+  EXPECT_EQ(log.pending(), 2u);
+
+  // The kept entries still coalesce; the extracted target no longer
+  // does (its add lives elsewhere now).
+  log.Append(Update(0, "g0b"));
+  EXPECT_EQ(log.pending(), 2u);
+  log.Append(Update(1, "stray"));
+  EXPECT_EQ(log.pending(), 3u);
+
+  // Replay onto a second log: per-object composition keeps working.
+  OperationLog destination;
+  for (DataOperation& op : moved.ops) destination.Append(std::move(op));
+  destination.Append(Remove(3));  // annihilates the replayed add(3)
+  EXPECT_EQ(destination.pending(), 1u);
+  auto drained = destination.Take();
+  ASSERT_EQ(drained.ops.size(), 1u);
+  EXPECT_EQ(drained.ops[0].target, 1u);
+}
+
+TEST(OperationLog, ExtractIfSkipsAnnihilatedEntries) {
+  OperationLog log;
+  log.Append(Add(0, "a"));
+  log.Append(Remove(0));  // annihilates in place
+  log.Append(Add(1, "b"));
+  auto moved = log.ExtractIf([](const DataOperation&) { return true; });
+  ASSERT_EQ(moved.ops.size(), 1u);
+  EXPECT_EQ(moved.ops[0].target, 1u);
+  EXPECT_EQ(log.pending(), 0u);
+  EXPECT_TRUE(log.empty());
+}
+
 TEST(OperationLog, AddsWithoutHandlesNeverCoalesce) {
   OperationLog log;
   log.Append(Add(kInvalidObject, "opaque"));

@@ -62,6 +62,43 @@ inline OperationBatch GroupAdds(int groups, int per_group) {
   return ops;
 }
 
+/// Adds for an explicit set of group ids (same token scheme as
+/// GroupAdds), interleaved.
+inline OperationBatch AddsForGroups(const std::vector<int>& groups,
+                                    int per_group) {
+  OperationBatch ops;
+  for (int i = 0; i < per_group; ++i) {
+    for (int g : groups) {
+      DataOperation op;
+      op.kind = DataOperation::Kind::kAdd;
+      op.record.entity = static_cast<uint32_t>(g);
+      op.record.tokens = {"grp" + std::to_string(g),
+                          "tag" + std::to_string(g)};
+      ops.push_back(op);
+    }
+  }
+  return ops;
+}
+
+/// Group key hash of GroupAdds records for group `g` (their smallest
+/// lowercase token is "grp<g>"), i.e. what MigrateGroup takes.
+inline uint64_t GroupKeyOf(int g) {
+  return BlockingKeyHash("grp" + std::to_string(g));
+}
+
+/// Group ids (from [0, universe)) whose hash placement collides on
+/// `shard` at `num_shards` — an adversarial hot set: every one of them
+/// lands on the same shard under static routing.
+inline std::vector<int> CollidingGroups(int count, uint32_t shard,
+                                        uint32_t num_shards, int universe) {
+  std::vector<int> colliding;
+  for (int g = 0; g < universe && static_cast<int>(colliding.size()) < count;
+       ++g) {
+    if (GroupKeyOf(g) % num_shards == shard) colliding.push_back(g);
+  }
+  return colliding;
+}
+
 /// Single shared-engine reference for the same stream of batches:
 /// observe the first `training` batches, then serve the rest dynamically.
 inline std::vector<std::vector<ObjectId>> SingleEngineRun(
