@@ -44,10 +44,12 @@
 //        --rebalance-every K
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,7 @@
 #include "objective/correlation.h"
 #include "service/service_report.h"
 #include "service/sharded_service.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 using namespace dynamicc;
@@ -169,6 +172,19 @@ struct Measurement {
   uint64_t worker_rounds = 0;
   uint64_t rejected_batches = 0;
   size_t queue_high_water = 0;
+  // Epoch-flush probe (async only): a sealed burst is epoch-flushed
+  // while a later-epoch backlog sits in the queues. epoch_flush_ms is
+  // the prefix barrier's latency, epoch_flush_pending the backlog it
+  // (correctly) did not drain, full_flush_ms the old global barrier
+  // paying for everything afterwards.
+  double epoch_flush_ms = 0.0;
+  uint64_t epoch_flush_pending = 0;
+  double full_flush_ms = 0.0;
+  // Durability probe (async only): SaveSnapshot/LoadSnapshot wall time
+  // and whether the restored clustering matched byte for byte.
+  double snapshot_save_ms = 0.0;
+  double snapshot_load_ms = 0.0;
+  bool snapshot_identical = false;
 };
 
 double Percentile(std::vector<double>* values, double p) {
@@ -300,6 +316,57 @@ Measurement RunOneAsync(uint32_t num_shards, const BenchArgs& args,
   m.final_clusters = snap.total_clusters;
   m.cost_imbalance = flush.cost_imbalance;
   FillPlacementHealth(service, &m);
+
+  // Epoch-flush probe, outside the timed region, under *concurrent*
+  // ingest — the regime the prefix barrier exists for. The probe seals
+  // the traffic admitted so far, then a producer thread replays the
+  // serving stream (pure adds) several times while the main thread
+  // times Flush(sealed): it returns once the sealed prefix is applied
+  // even though the producer keeps feeding the queues (the old barrier
+  // would chase it). The full barrier afterwards pays for the leftover
+  // backlog: epoch_flush_ms vs full_flush_ms is the wait a reader no
+  // longer pays, and epoch_flush_pending the later-epoch backlog the
+  // prefix barrier (correctly) left queued. Numbers are noisy on small
+  // boxes — the *shape* (prefix barrier bounded, full barrier paying
+  // the backlog) is what the JSON documents.
+  {
+    for (const OperationBatch& batch : serving) service.Ingest(batch);
+    uint64_t sealed = service.CloseEpoch();
+    // Bounded volume (not an open loop): the probe should measure
+    // barrier mechanics, not ever-growing cluster sizes.
+    std::thread producer([&service, &serving] {
+      for (int pass = 0; pass < 6; ++pass) {
+        for (const OperationBatch& batch : serving) service.Ingest(batch);
+      }
+    });
+    Timer epoch_timer;
+    ServiceReport epoch_flush = service.Flush(sealed);
+    m.epoch_flush_ms = epoch_timer.ElapsedMillis();
+    m.epoch_flush_pending = epoch_flush.ingest.pending_ops;
+    producer.join();
+    Timer full_timer;
+    service.Flush();
+    m.full_flush_ms = full_timer.ElapsedMillis();
+  }
+
+  // Durability probe: serialize the loaded service, restore it into a
+  // fresh one, and verify the round trip reproduced the clustering.
+  {
+    const std::string dir =
+        "/tmp/dynamicc_bench_snapshot_" + std::to_string(num_shards);
+    Timer save_timer;
+    Status saved = service.SaveSnapshot(dir);
+    m.snapshot_save_ms = save_timer.ElapsedMillis();
+    if (saved.ok()) {
+      ShardedDynamicCService restored(options, nullptr, MakeFactory());
+      Timer load_timer;
+      Status loaded = restored.LoadSnapshot(dir);
+      m.snapshot_load_ms = load_timer.ElapsedMillis();
+      m.snapshot_identical =
+          loaded.ok() &&
+          restored.GlobalClusters() == service.GlobalClusters();
+    }
+  }
   return m;
 }
 
@@ -574,6 +641,16 @@ int main(int argc, char** argv) {
       json.Key("rejected_batches")
           .Value(static_cast<size_t>(m.rejected_batches));
       json.Key("queue_high_water").Value(m.queue_high_water);
+      // Epoch flush (prefix barrier) next to the old full barrier, plus
+      // the backlog the prefix barrier left queued — the point of the
+      // feature is exactly this gap.
+      json.Key("epoch_flush_ms").Value(m.epoch_flush_ms);
+      json.Key("epoch_flush_pending_ops")
+          .Value(static_cast<size_t>(m.epoch_flush_pending));
+      json.Key("full_flush_ms").Value(m.full_flush_ms);
+      json.Key("snapshot_save_ms").Value(m.snapshot_save_ms);
+      json.Key("snapshot_load_ms").Value(m.snapshot_load_ms);
+      json.Key("snapshot_identical").Value(m.snapshot_identical ? 1 : 0);
     }
     json.EndObject();
   }

@@ -17,10 +17,23 @@
 //
 // Sharded serving (src/service/): --shards N partitions the stream over
 // N concurrent engines instead of the single-engine harness path
-// (correlation task + dynamicc method only); -j N sets the worker
+// (correlation or db-index task, dynamicc method); -j N sets the worker
 // thread count (0 = one per shard, capped at the hardware):
 //
 //   dynamicc_cli --workload cora --task correlation --shards 4 -j 2
+//   dynamicc_cli --workload cora --task db-index --shards 4
+//
+// Durability: --save-snapshot DIR persists the full serving state
+// (engines, models, id maps, placement) after serving snapshot
+// --snapshot-at K; --load-snapshot DIR --resume-at K warm-restarts a
+// fresh process from it and continues the same deterministic stream —
+// the `final:` line on stdout is byte-equal to the never-restarted
+// run's:
+//
+//   dynamicc_cli --task correlation --shards 2 --save-snapshot s
+//                --snapshot-at 4                             (one line)
+//   dynamicc_cli --task correlation --shards 2 --load-snapshot s
+//                --resume-at 4                               (one line)
 //
 // Async pipelined ingestion: --async puts a bounded queue in front of
 // every shard and snapshots are served by background round workers;
@@ -41,11 +54,14 @@
 #include <vector>
 
 #include "batch/agglomerative.h"
+#include "batch/hill_climbing.h"
 #include "harness/experiment.h"
 #include "ml/logistic_regression.h"
 #include "objective/correlation.h"
+#include "objective/db_index.h"
 #include "service/service_report.h"
 #include "service/sharded_service.h"
+#include "service/snapshot.h"
 #include "util/csv.h"
 #include "util/timer.h"
 
@@ -68,6 +84,16 @@ struct CliArgs {
   std::string backpressure = "block";
   uint32_t rebalance_every = 0;
   bool adaptive_batch = false;
+  std::string rebalance_metric = "auto";
+  /// Durable snapshots: --save-snapshot DIR writes one after serving
+  /// snapshot --snapshot-at K (0 = after the final barrier);
+  /// --load-snapshot DIR warm-starts from one, skipping the first
+  /// --resume-at K serving snapshots (the stream generator is
+  /// deterministic, so the resumed run continues the exact stream).
+  std::string save_snapshot;
+  size_t snapshot_at = 0;
+  std::string load_snapshot;
+  size_t resume_at = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -118,6 +144,33 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->rebalance_every = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--rebalance-metric") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->rebalance_metric = v;
+      if (args->rebalance_metric != "auto" &&
+          args->rebalance_metric != "records" &&
+          args->rebalance_metric != "ops") {
+        std::fprintf(stderr,
+                     "--rebalance-metric must be auto, records or ops\n");
+        return false;
+      }
+    } else if (flag == "--save-snapshot") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->save_snapshot = v;
+    } else if (flag == "--snapshot-at") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->snapshot_at = static_cast<size_t>(std::stoul(v));
+    } else if (flag == "--load-snapshot") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->load_snapshot = v;
+    } else if (flag == "--resume-at") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->resume_at = static_cast<size_t>(std::stoul(v));
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -151,14 +204,24 @@ void Usage() {
       "                    [--shards N] [-j N] [--async] [--queue-depth N]\n"
       "                    [--backpressure block|reject]\n"
       "                    [--rebalance-every K] [--adaptive-batch]\n"
-      "  --shards N > 1 serves with the sharded service (correlation task,\n"
-      "  dynamicc method); -j N sets its worker thread count (0 = auto).\n"
+      "                    [--rebalance-metric auto|records|ops]\n"
+      "                    [--save-snapshot DIR] [--snapshot-at K]\n"
+      "                    [--load-snapshot DIR] [--resume-at K]\n"
+      "  --shards N > 1 serves with the sharded service (correlation or\n"
+      "  db-index task, dynamicc method); -j N sets its worker thread\n"
+      "  count (0 = auto).\n"
       "  --async pipelines ingestion through bounded per-shard queues with\n"
       "  background round workers; --queue-depth bounds each queue and\n"
       "  --backpressure picks what a full queue does to the producer.\n"
       "  --rebalance-every K migrates hot blocking groups between shards\n"
-      "  every K dynamic barriers (load-aware placement); --adaptive-batch\n"
-      "  lets each async worker size its drain bite by AIMD.\n");
+      "  every K dynamic barriers (load-aware placement) ranked by\n"
+      "  --rebalance-metric (ops = applied-operation counts);\n"
+      "  --adaptive-batch lets each async worker size its drain bite by\n"
+      "  AIMD.\n"
+      "  --save-snapshot DIR persists the full serving state after\n"
+      "  serving snapshot --snapshot-at K (0 = end of stream);\n"
+      "  --load-snapshot DIR warm-restarts from it and --resume-at K\n"
+      "  continues the deterministic stream after the first K snapshots.\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -207,11 +270,70 @@ void PrintSeries(const std::vector<Series>& series_list, bool csv) {
   }
 }
 
+/// Per-shard environment factory for the tasks the sharded path serves:
+/// every shard gets the workload's Table-1 profile plus its own copy of
+/// the task objective/validator/batch pipeline. The pipeline comes from
+/// the harness's MakeTaskPipeline — the *same* builder the single-engine
+/// path uses — so `--shards N` is comparable with it by construction
+/// (correlation: greedy agglomeration + hill climbing; db-index:
+/// agglomeration bootstrapped on the O(1)-delta correlation objective,
+/// then hill climbing on DB-index).
+ShardEnvironmentFactory MakeShardFactory(const ExperimentConfig& config) {
+  return [config] {
+    ShardEnvironment env;
+    DatasetProfile profile = MakeProfile(config.workload);
+    env.measure = std::move(profile.measure);
+    env.blocker = std::move(profile.blocker);
+    env.min_similarity = profile.min_similarity;
+    TaskPipeline pipeline = MakeTaskPipeline(config);
+    env.objective = std::move(pipeline.objective);
+    env.bootstrap_objective = std::move(pipeline.bootstrap_objective);
+    env.validator = std::move(pipeline.validator);
+    env.batch_stages = std::move(pipeline.stages);
+    env.batch = std::move(pipeline.batch);
+    env.merge_model = std::make_unique<LogisticRegression>();
+    env.split_model = std::make_unique<LogisticRegression>();
+    return env;
+  };
+}
+
+/// Deterministic end-of-run state line (stdout): everything in it is
+/// reproducible across processes on the same stream, so a warm-restarted
+/// run is checked for equality against the never-restarted one by
+/// comparing this single line (the CI persistence step does exactly
+/// that). The hash covers the full canonical partition in global ids.
+/// Deliberately excluded: applied/coalesced op counts — in async mode
+/// queue coalescing depends on drain-worker timing, so those counters
+/// legitimately vary between equivalent runs (the flush-barrier
+/// equivalence guarantee covers the *clustering*, not how much work the
+/// queues managed to fold away).
+void PrintFinalState(ShardedDynamicCService& service) {
+  ServiceSnapshot snap = service.Snapshot();
+  std::string canonical;
+  for (const auto& members : snap.clusters) {
+    for (ObjectId id : members) {
+      canonical += std::to_string(id);
+      canonical += ' ';
+    }
+    canonical += '\n';
+  }
+  std::printf(
+      "final: objects=%zu clusters=%zu placement_version=%llu "
+      "migrations=%llu accepted=%llu epoch=%llu state_hash=%016llx\n",
+      snap.total_objects, snap.total_clusters,
+      static_cast<unsigned long long>(snap.report.placement_version),
+      static_cast<unsigned long long>(snap.report.groups_migrated),
+      static_cast<unsigned long long>(snap.report.ingest.accepted_ops),
+      static_cast<unsigned long long>(snap.report.ingest.applied_epoch),
+      static_cast<unsigned long long>(SnapshotChecksum(canonical)));
+}
+
 /// Serves the workload stream with the sharded service instead of the
-/// single-engine harness: one environment per shard built from the
-/// workload's Table-1 profile, the first `training_rounds` snapshots
-/// observed, the rest served dynamically. Correlation task only — the
-/// objective every shard can evaluate without global state.
+/// single-engine harness: one environment per shard, the first
+/// `training_rounds` snapshots observed, the rest served dynamically
+/// (correlation and db-index tasks). With --load-snapshot the service
+/// warm-restarts from a saved state and continues the deterministic
+/// stream at --resume-at.
 int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   WorkloadStream stream =
       MakeStream(config.workload, config.scale, config.seed);
@@ -225,6 +347,11 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                                    : BackpressurePolicy::kBlock;
   options.async.adaptive_batch = args.adaptive_batch;
   options.rebalance.every_rounds = args.rebalance_every;
+  if (args.rebalance_metric == "records") {
+    options.rebalance.policy.metric = Rebalancer::LoadMetric::kRecords;
+  } else if (args.rebalance_metric == "ops") {
+    options.rebalance.policy.metric = Rebalancer::LoadMetric::kOps;
+  }
   // Mirror the harness's session configuration so `--shards N` is
   // comparable with the single-engine path on the same stream.
   options.session.threshold = config.threshold;
@@ -232,21 +359,51 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   options.session.trainer = config.trainer;
   options.session.retrain_every = config.retrain_every;
   options.session.observe_every = config.observe_every;
-  ShardedDynamicCService service(
-      options, /*router=*/nullptr, [&config] {
-        ShardEnvironment env;
-        DatasetProfile profile = MakeProfile(config.workload);
-        env.measure = std::move(profile.measure);
-        env.blocker = std::move(profile.blocker);
-        env.min_similarity = profile.min_similarity;
-        auto objective = std::make_unique<CorrelationObjective>();
-        env.validator = std::make_unique<ObjectiveValidator>(objective.get());
-        env.batch = std::make_unique<GreedyAgglomerative>(objective.get());
-        env.objective = std::move(objective);
-        env.merge_model = std::make_unique<LogisticRegression>();
-        env.split_model = std::make_unique<LogisticRegression>();
-        return env;
-      });
+  ShardedDynamicCService service(options, /*router=*/nullptr,
+                                 MakeShardFactory(config));
+
+  const bool resuming = !args.load_snapshot.empty();
+  size_t resume_at = 0;
+  if (resuming) {
+    if (args.async && args.backpressure == "reject") {
+      std::fprintf(stderr,
+                   "--load-snapshot cannot replay a kReject id book; use "
+                   "--backpressure block\n");
+      return 2;
+    }
+    Status status = service.LoadSnapshot(args.load_snapshot);
+    if (!status.ok()) {
+      std::fprintf(stderr, "load-snapshot failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    resume_at = args.resume_at;
+    SnapshotInfo info;
+    if (ReadSnapshotInfo(args.load_snapshot, &info).ok()) {
+      std::fprintf(stderr,
+                   "warm restart: snapshot at epoch %llu, placement "
+                   "version %llu; resuming at serving snapshot %zu\n",
+                   static_cast<unsigned long long>(info.epoch),
+                   static_cast<unsigned long long>(info.placement_version),
+                   resume_at);
+    }
+  }
+
+  auto maybe_save = [&args, &service](size_t completed_snapshot) {
+    if (args.save_snapshot.empty()) return;
+    if (args.snapshot_at != completed_snapshot) return;
+    Timer timer;
+    Status status = service.SaveSnapshot(args.save_snapshot);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save-snapshot failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "snapshot saved to %s after snapshot %zu "
+                 "(%.1f ms)\n",
+                 args.save_snapshot.c_str(), completed_snapshot,
+                 timer.ElapsedMillis());
+  };
   std::fprintf(stderr, "sharded service: %u shards on %zu threads%s\n",
                service.num_shards(), service.num_threads(),
                service.async() ? " (async pipelined ingestion)" : "");
@@ -275,9 +432,13 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   };
 
   // Initial clustering via one observed batch round; like the harness,
-  // round 0 derives its transformation without changed-object hints.
-  service.ApplyOperations(stream.initial);
-  service.ObserveBatchRound({});
+  // round 0 derives its transformation without changed-object hints. A
+  // warm restart skips this entirely — the snapshot carries the trained
+  // state the initial load + observation produced.
+  if (!resuming) {
+    service.ApplyOperations(stream.initial);
+    service.ObserveBatchRound({});
+  }
   std::vector<ObjectId> changed;
 
   if (args.async) {
@@ -326,11 +487,17 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                                     : kInvalidObject);
       }
     };
-    track(stream.initial, true);  // applied above, never rejected
+    track(stream.initial, true);  // applied (or restored), never rejected
+    // A resumed run replays the id book for the snapshots the saved
+    // service already served (kBlock admits everything, so "all
+    // accepted" reconstructs the book exactly).
+    for (size_t snapshot = 0; snapshot < resume_at; ++snapshot) {
+      track(stream.snapshots[snapshot], true);
+    }
 
     TableWriter table(
         {"snapshot", "ops", "enqueue_ms", "accepted", "queued"});
-    for (size_t snapshot = 0; snapshot < stream.snapshots.size();
+    for (size_t snapshot = resume_at; snapshot < stream.snapshots.size();
          ++snapshot) {
       OperationBatch batch = translate(stream.snapshots[snapshot]);
       Timer timer;
@@ -351,10 +518,19 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                     std::to_string(batch.size()),
                     TableWriter::Num(ms, 2), accepted ? "yes" : "no",
                     std::to_string(service.ingest_stats().pending_ops)});
+      // A durable snapshot is taken at a barrier: in the serving phase
+      // flush the admitted prefix first so the saved state reflects
+      // this snapshot (observe barriers above already flushed).
+      if (!observe && !args.save_snapshot.empty() &&
+          args.snapshot_at == snapshot + 1) {
+        service.Flush();
+      }
+      maybe_save(snapshot + 1);
     }
     Timer flush_timer;
     service.Flush();
     double flush_ms = flush_timer.ElapsedMillis();
+    maybe_save(0);
     if (args.csv) {
       std::cout << table.ToCsv();
     } else {
@@ -383,12 +559,14 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                    ingest.adaptive_batch_min, ingest.adaptive_batch_max);
     }
     print_placement();
+    PrintFinalState(service);
     return 0;
   }
 
   TableWriter table({"snapshot", "objects", "ms", "clusters", "served",
                      "merges", "splits"});
-  for (size_t snapshot = 0; snapshot < stream.snapshots.size(); ++snapshot) {
+  for (size_t snapshot = resume_at; snapshot < stream.snapshots.size();
+       ++snapshot) {
     Timer timer;
     changed = service.ApplyOperations(stream.snapshots[snapshot]);
     bool observe = snapshot < static_cast<size_t>(config.training_rounds);
@@ -409,13 +587,16 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                   std::to_string(served),
                   std::to_string(report.combined.merges_applied),
                   std::to_string(report.combined.splits_applied)});
+    maybe_save(snapshot + 1);
   }
+  maybe_save(0);
   if (args.csv) {
     std::cout << table.ToCsv();
   } else {
     table.Print(std::cout);
   }
   print_placement();
+  PrintFinalState(service);
   return 0;
 }
 
@@ -446,11 +627,14 @@ int main(int argc, char** argv) {
                WorkloadName(config.workload), TaskName(config.task),
                args.method.c_str());
 
-  if (args.shards > 1 || args.async) {
-    if (config.task != TaskKind::kCorrelation || args.method != "dynamicc") {
+  if (args.shards > 1 || args.async || !args.load_snapshot.empty() ||
+      !args.save_snapshot.empty()) {
+    if ((config.task != TaskKind::kCorrelation &&
+         config.task != TaskKind::kDbIndex) ||
+        args.method != "dynamicc") {
       std::fprintf(stderr,
-                   "--shards/--async require --task correlation "
-                   "--method dynamicc\n");
+                   "--shards/--async/--*-snapshot require --task "
+                   "correlation|db-index --method dynamicc\n");
       return 2;
     }
     return RunSharded(args, config);

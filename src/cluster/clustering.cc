@@ -47,6 +47,20 @@ ClusterId Clustering::CreateSingleton(ObjectId object) {
   return id;
 }
 
+ClusterId Clustering::CreateClusterWithId(ClusterId id) {
+  DYNAMICC_CHECK_GE(id, next_cluster_id_)
+      << "restored cluster ids must arrive in increasing order";
+  next_cluster_id_ = id + 1;
+  clusters_[id];
+  return id;
+}
+
+void Clustering::ReserveClusterIds(ClusterId next) {
+  DYNAMICC_CHECK_GE(next, next_cluster_id_)
+      << "cluster id counter may not move backwards";
+  next_cluster_id_ = next;
+}
+
 void Clustering::Assign(ObjectId object, ClusterId cluster) {
   DYNAMICC_CHECK(assignment_.find(object) == assignment_.end())
       << "object " << object << " already assigned";

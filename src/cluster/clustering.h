@@ -27,6 +27,22 @@ class Clustering {
   /// Creates a cluster holding exactly `object` (object must be unassigned).
   ClusterId CreateSingleton(ObjectId object);
 
+  /// Creates an empty cluster with a *caller-chosen* id, advancing the
+  /// id counter past it. Ids must be presented in strictly increasing
+  /// order (`id >= next id`), which is exactly what replaying a saved
+  /// clustering in ascending cluster-id order provides. Restoring exact
+  /// ids (gaps included) matters for warm restart: merge/split candidate
+  /// enumeration walks clusters in id order, so a restored engine only
+  /// behaves byte-identically to the never-restarted one if its cluster
+  /// ids — not just its member sets — survive the round trip.
+  ClusterId CreateClusterWithId(ClusterId id);
+
+  /// Advances the id counter to `next` (which must not go backwards)
+  /// without creating a cluster — restores the counter position left by
+  /// clusters that were created and later deleted past the largest
+  /// surviving id.
+  void ReserveClusterIds(ClusterId next);
+
   /// Assigns an unassigned object to an existing cluster.
   void Assign(ObjectId object, ClusterId cluster);
 
@@ -52,6 +68,12 @@ class Clustering {
 
   size_t num_clusters() const { return clusters_.size(); }
   size_t num_objects() const { return assignment_.size(); }
+
+  /// The id the next CreateCluster call would return. Persisted by the
+  /// id-exact serialization so restored engines keep assigning the same
+  /// ids the never-restarted run would (deleted-tail clusters leave the
+  /// counter past the largest live id).
+  ClusterId next_cluster_id() const { return next_cluster_id_; }
 
   /// Monotonic per-cluster membership version: bumped every time an object
   /// enters or leaves the cluster. Lets callers cache derived per-cluster

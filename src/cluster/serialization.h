@@ -18,6 +18,20 @@ Status SaveClustering(const Clustering& clustering, std::ostream& os);
 /// replaced). Objects may not repeat across lines.
 Status LoadClustering(std::istream& is, Clustering* clustering);
 
+/// Id-exact form for warm restart: unlike SaveClustering (canonical,
+/// id-free) this persists each cluster's *id* and the next-id counter,
+/// so the restored engine keeps enumerating and assigning cluster ids
+/// exactly like the never-restarted one. Format:
+///
+///   clusters <count> next <next_id>
+///   <cluster_id> <size> <member...>      (one line per cluster, ids
+///                                         ascending, members ascending)
+Status SaveClusteringWithIds(const Clustering& clustering, std::ostream& os);
+
+/// Restores a partition saved by SaveClusteringWithIds (replacing
+/// `clustering`), validating ids, sizes and member uniqueness.
+Status LoadClusteringWithIds(std::istream& is, Clustering* clustering);
+
 }  // namespace dynamicc
 
 #endif  // DYNAMICC_CLUSTER_SERIALIZATION_H_

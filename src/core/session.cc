@@ -32,6 +32,25 @@ DynamicCSession::DynamicCSession(Dataset* dataset, SimilarityGraph* graph,
   DYNAMICC_CHECK(split_model_ != nullptr);
 }
 
+DynamicCSession::PersistentState DynamicCSession::ExportState() const {
+  PersistentState state;
+  state.trained = trained_;
+  state.rounds_since_retrain = rounds_since_retrain_;
+  state.rounds_since_observe = rounds_since_observe_;
+  state.pending_feedback = pending_feedback_;
+  state.merge_theta = dynamicc_.merge_theta();
+  state.split_theta = dynamicc_.split_theta();
+  return state;
+}
+
+void DynamicCSession::ImportState(const PersistentState& state) {
+  trained_ = state.trained;
+  rounds_since_retrain_ = state.rounds_since_retrain;
+  rounds_since_observe_ = state.rounds_since_observe;
+  pending_feedback_ = state.pending_feedback;
+  dynamicc_.SetThetas(state.merge_theta, state.split_theta);
+}
+
 std::vector<ObjectId> DynamicCSession::ApplyOperations(
     const OperationBatch& operations) {
   std::vector<ObjectId> changed;

@@ -106,6 +106,36 @@ class DynamicCSession {
   /// needed when the observe_every cadence triggers a batch round.
   DynamicReport DynamicRound(const std::vector<ObjectId>& changed = {});
 
+  /// The session state that must survive a process restart beyond what
+  /// the dataset/graph/engine and the models themselves carry: the
+  /// serving-phase flag, the retrain/observe cadence positions, and the
+  /// decision thresholds. Together with the trainer's sample sets and
+  /// the fitted model parameters this is everything that influences
+  /// future rounds — a session restored from it behaves byte-identically
+  /// to one that never restarted.
+  struct PersistentState {
+    bool trained = false;
+    int rounds_since_retrain = 0;
+    int rounds_since_observe = 0;
+    size_t pending_feedback = 0;
+    double merge_theta = 0.5;
+    double split_theta = 0.5;
+  };
+
+  PersistentState ExportState() const;
+
+  /// Restores counters, flags and thetas exported by ExportState. The
+  /// caller restores the engine (SetClustering), the trainer
+  /// (mutable_trainer()->RestoreState) and the models
+  /// (ml/serialization's LoadClassifierInto on mutable_*_model())
+  /// separately — they live in their own layers' formats.
+  void ImportState(const PersistentState& state);
+
+  /// Mutable access for state restoration (snapshot loading only).
+  EvolutionTrainer* mutable_trainer() { return &trainer_; }
+  BinaryClassifier* mutable_merge_model() { return merge_model_.get(); }
+  BinaryClassifier* mutable_split_model() { return split_model_.get(); }
+
   ClusteringEngine& engine() { return engine_; }
   const ClusteringEngine& engine() const { return engine_; }
   /// Convenience for serving layers that only read the partition.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "core/features.h"
 #include "util/logging.h"
@@ -65,6 +66,16 @@ void EvolutionTrainer::AccumulateRound(ClusteringEngine* engine,
     split_samples_.push_back({SplitFeatures(*engine, cluster), 0, 1.0});
   }
 
+  Trim(&merge_samples_);
+  Trim(&split_samples_);
+}
+
+void EvolutionTrainer::RestoreState(SampleSet merge_samples,
+                                    SampleSet split_samples,
+                                    uint64_t rounds_observed) {
+  merge_samples_ = std::move(merge_samples);
+  split_samples_ = std::move(split_samples);
+  round_counter_ = rounds_observed;
   Trim(&merge_samples_);
   Trim(&split_samples_);
 }

@@ -46,6 +46,17 @@ class EvolutionTrainer {
   const SampleSet& merge_samples() const { return merge_samples_; }
   const SampleSet& split_samples() const { return split_samples_; }
 
+  /// Observed rounds so far. The counter seeds per-round negative
+  /// sampling, so it is part of the trainer's persistent state: a
+  /// restored trainer must draw the same negatives in its next round as
+  /// the never-restarted one.
+  uint64_t rounds_observed() const { return round_counter_; }
+
+  /// Restores the full mutable state (sample sets + round counter) from
+  /// a snapshot; options stay whatever this trainer was built with.
+  void RestoreState(SampleSet merge_samples, SampleSet split_samples,
+                    uint64_t rounds_observed);
+
   struct FitReport {
     double merge_theta = 0.5;
     double split_theta = 0.5;

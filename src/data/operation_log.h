@@ -106,6 +106,21 @@ class OperationLog {
     return extracted;
   }
 
+  /// Sequence number of the oldest surviving pending entry, or
+  /// `appended()` when nothing is pending. Every appended operation with
+  /// a sequence number below this is *reflected*: drained (its effect is
+  /// applied once the drained batch is), folded into a later-drained
+  /// host, or annihilated in place. The epoch watermark the service's
+  /// flush-epoch machinery advances on — conservative for folds (a fold
+  /// into a still-pending host keeps the host's earlier sequence as the
+  /// floor, never the fold's own).
+  uint64_t first_pending_sequence() const {
+    for (const Entry& entry : entries_) {
+      if (!entry.dead) return entry.sequence;
+    }
+    return appended_;
+  }
+
   /// Surviving entries waiting to be drained (what a bounded queue
   /// meters) — annihilated pairs do not count.
   size_t pending() const { return pending_; }

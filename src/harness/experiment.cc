@@ -110,6 +110,47 @@ DatasetProfile MakeProfile(WorkloadKind workload) {
   return {};
 }
 
+TaskPipeline MakeTaskPipeline(const ExperimentConfig& config) {
+  TaskPipeline pipeline;
+  HillClimbing::Options refine;
+  refine.from_current = true;
+  switch (config.task) {
+    case TaskKind::kDbIndex: {
+      pipeline.objective = std::make_unique<DbIndexObjective>(
+          config.db_separation_floor, config.db_singleton_scatter);
+      // Bootstrap with the O(1)-delta correlation objective; DB-index
+      // deltas are O(k+E) and would make from-scratch agglomeration
+      // quadratic (the hill-climbing stage then refines on DB-index).
+      pipeline.bootstrap_objective = std::make_unique<CorrelationObjective>();
+      pipeline.stages.push_back(std::make_unique<GreedyAgglomerative>(
+          pipeline.bootstrap_objective.get()));
+      refine.prune_top = 16;
+      refine.max_steps = 400;
+      break;
+    }
+    case TaskKind::kCorrelation: {
+      pipeline.objective = std::make_unique<CorrelationObjective>();
+      pipeline.stages.push_back(
+          std::make_unique<GreedyAgglomerative>(pipeline.objective.get()));
+      refine.prune_top = 32;
+      refine.max_steps = 2000;
+      break;
+    }
+    default:
+      DYNAMICC_LOG(Fatal)
+          << "MakeTaskPipeline supports correlation and db-index only";
+  }
+  pipeline.validator =
+      std::make_unique<ObjectiveValidator>(pipeline.objective.get());
+  pipeline.stages.push_back(
+      std::make_unique<HillClimbing>(pipeline.objective.get(), refine));
+  pipeline.batch = std::make_unique<CompositeBatch>(
+      std::vector<BatchAlgorithm*>{pipeline.stages[0].get(),
+                                   pipeline.stages[1].get()},
+      "hill-climbing");
+  return pipeline;
+}
+
 void RepairClusterCount(ClusteringEngine* engine, size_t target_k) {
   const Dataset& dataset = engine->graph().dataset();
   while (engine->clustering().num_clusters() > target_k) {
@@ -198,48 +239,14 @@ std::unique_ptr<ExperimentHarness::RunEnv> ExperimentHarness::MakeEnv() {
   env->engine = std::make_unique<ClusteringEngine>(env->graph.get());
 
   switch (config_.task) {
-    case TaskKind::kDbIndex: {
-      env->objective = std::make_unique<DbIndexObjective>(
-          config_.db_separation_floor, config_.db_singleton_scatter);
-      env->validator =
-          std::make_unique<ObjectiveValidator>(env->objective.get());
-      // Bootstrap with the O(1)-delta correlation objective; DB-index
-      // deltas are O(k+E) and would make from-scratch agglomeration
-      // quadratic (the hill-climbing stage then refines on DB-index).
-      env->bootstrap_objective = std::make_unique<CorrelationObjective>();
-      auto boot =
-          std::make_unique<GreedyAgglomerative>(env->bootstrap_objective.get());
-      HillClimbing::Options refine;
-      refine.from_current = true;
-      refine.prune_top = 16;
-      refine.max_steps = 400;
-      auto climb =
-          std::make_unique<HillClimbing>(env->objective.get(), refine);
-      env->batch_stages.push_back(std::move(boot));
-      env->batch_stages.push_back(std::move(climb));
-      env->batch = std::make_unique<CompositeBatch>(
-          std::vector<BatchAlgorithm*>{env->batch_stages[0].get(),
-                                       env->batch_stages[1].get()},
-          "hill-climbing");
-      break;
-    }
+    case TaskKind::kDbIndex:
     case TaskKind::kCorrelation: {
-      env->objective = std::make_unique<CorrelationObjective>();
-      env->validator =
-          std::make_unique<ObjectiveValidator>(env->objective.get());
-      auto boot = std::make_unique<GreedyAgglomerative>(env->objective.get());
-      HillClimbing::Options refine;
-      refine.from_current = true;
-      refine.prune_top = 32;
-      refine.max_steps = 2000;
-      auto climb =
-          std::make_unique<HillClimbing>(env->objective.get(), refine);
-      env->batch_stages.push_back(std::move(boot));
-      env->batch_stages.push_back(std::move(climb));
-      env->batch = std::make_unique<CompositeBatch>(
-          std::vector<BatchAlgorithm*>{env->batch_stages[0].get(),
-                                       env->batch_stages[1].get()},
-          "hill-climbing");
+      TaskPipeline pipeline = MakeTaskPipeline(config_);
+      env->objective = std::move(pipeline.objective);
+      env->bootstrap_objective = std::move(pipeline.bootstrap_objective);
+      env->validator = std::move(pipeline.validator);
+      env->batch_stages = std::move(pipeline.stages);
+      env->batch = std::move(pipeline.batch);
       break;
     }
     case TaskKind::kKMeans: {

@@ -190,6 +190,28 @@ void RepairClusterCount(ClusteringEngine* engine, size_t target_k);
 /// overrides (0 = generator defaults).
 WorkloadStream MakeStream(WorkloadKind workload, size_t scale, uint64_t seed);
 
+/// The owned objective/validator/batch pipeline of one graph-driven task
+/// (correlation or db-index). One builder serves both serving paths —
+/// the harness's single-engine RunEnv and the sharded service's
+/// per-shard environments — so the batch stages and their tuning
+/// constants cannot drift apart between `--shards N` and the
+/// single-engine run they are compared against.
+struct TaskPipeline {
+  std::unique_ptr<ObjectiveFunction> objective;
+  /// db-index only: the O(1)-delta objective its agglomeration
+  /// bootstrap runs on (the task objective's deltas are O(k+E)).
+  std::unique_ptr<ObjectiveFunction> bootstrap_objective;
+  std::unique_ptr<ChangeValidator> validator;
+  /// Stages referenced by `batch` when it is a CompositeBatch.
+  std::vector<std::unique_ptr<BatchAlgorithm>> stages;
+  std::unique_ptr<BatchAlgorithm> batch;
+};
+
+/// Builds the pipeline for TaskKind::kCorrelation or kDbIndex (the
+/// tasks that need neither the dataset nor the graph to construct);
+/// other tasks are a caller error.
+TaskPipeline MakeTaskPipeline(const ExperimentConfig& config);
+
 /// The Table-1 profile (measure/blocker/threshold) for `workload`.
 DatasetProfile MakeProfile(WorkloadKind workload);
 

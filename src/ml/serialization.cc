@@ -1,5 +1,6 @@
 #include "ml/serialization.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <string>
 #include <vector>
@@ -21,12 +22,20 @@ void WriteVector(std::ostream& os, const std::vector<double>& values) {
   os << "\n";
 }
 
+/// Declared counts come from (possibly hand-edited) streams, so growth
+/// is capped at what was actually parsed: a bogus huge count fails on
+/// the first missing element instead of aborting in a giant resize.
+constexpr size_t kReserveCap = 4096;
+
 bool ReadVector(std::istream& is, std::vector<double>* values) {
   size_t count = 0;
   if (!(is >> count)) return false;
-  values->resize(count);
+  values->clear();
+  values->reserve(std::min(count, kReserveCap));
   for (size_t i = 0; i < count; ++i) {
-    if (!(is >> (*values)[i])) return false;
+    double value = 0.0;
+    if (!(is >> value)) return false;
+    values->push_back(value);
   }
   return true;
 }
@@ -111,8 +120,10 @@ std::unique_ptr<BinaryClassifier> LoadDecisionTree(std::istream& is,
     }
     return nullptr;
   }
-  std::vector<DecisionTree::Node> nodes(count);
-  for (DecisionTree::Node& node : nodes) {
+  std::vector<DecisionTree::Node> nodes;
+  nodes.reserve(std::min(count, kReserveCap));
+  for (size_t i = 0; i < count; ++i) {
+    DecisionTree::Node node;
     if (!(is >> node.feature >> node.threshold >> node.left >> node.right >>
           node.probability)) {
       if (status != nullptr) {
@@ -129,6 +140,7 @@ std::unique_ptr<BinaryClassifier> LoadDecisionTree(std::istream& is,
       }
       return nullptr;
     }
+    nodes.push_back(node);
   }
   auto model = std::make_unique<DecisionTree>();
   model->Restore(std::move(nodes));
@@ -173,6 +185,73 @@ std::unique_ptr<BinaryClassifier> LoadClassifier(std::istream& is,
     *status = Status::InvalidArgument("unknown model type: " + name);
   }
   return nullptr;
+}
+
+Status LoadClassifierInto(std::istream& is, BinaryClassifier* model) {
+  Status status;
+  std::unique_ptr<BinaryClassifier> loaded = LoadClassifier(is, &status);
+  if (loaded == nullptr) return status;
+  if (std::string(loaded->Name()) != model->Name()) {
+    return Status::InvalidArgument(
+        std::string("model type mismatch: stream holds ") + loaded->Name() +
+        ", target is " + model->Name());
+  }
+  if (auto* lr = dynamic_cast<LogisticRegression*>(model)) {
+    auto& src = static_cast<LogisticRegression&>(*loaded);
+    lr->Restore(src.scaler(), src.weights(), src.bias());
+  } else if (auto* svm = dynamic_cast<LinearSvm*>(model)) {
+    auto& src = static_cast<LinearSvm&>(*loaded);
+    svm->Restore(src.scaler(), src.weights(), src.bias(), src.platt_a(),
+                 src.platt_b());
+  } else if (auto* tree = dynamic_cast<DecisionTree*>(model)) {
+    auto& src = static_cast<DecisionTree&>(*loaded);
+    tree->Restore(src.nodes());
+  } else {
+    return Status::InvalidArgument(
+        std::string("unsupported target model type: ") + model->Name());
+  }
+  return Status::Ok();
+}
+
+Status SaveSampleSet(const SampleSet& samples, std::ostream& os) {
+  os << std::setprecision(kPrecision);
+  os << "samples " << samples.size() << "\n";
+  for (const Sample& sample : samples) {
+    os << sample.label << " " << sample.weight << " "
+       << sample.features.size();
+    for (double feature : sample.features) os << " " << feature;
+    os << "\n";
+  }
+  if (!os.good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Status LoadSampleSet(std::istream& is, SampleSet* samples) {
+  std::string tag;
+  size_t count = 0;
+  if (!(is >> tag >> count) || tag != "samples") {
+    return Status::InvalidArgument("malformed sample-set header");
+  }
+  SampleSet fresh;
+  fresh.reserve(std::min(count, kReserveCap));
+  for (size_t i = 0; i < count; ++i) {
+    Sample sample;
+    size_t features = 0;
+    if (!(is >> sample.label >> sample.weight >> features)) {
+      return Status::InvalidArgument("truncated sample entry");
+    }
+    sample.features.reserve(std::min(features, kReserveCap));
+    for (size_t f = 0; f < features; ++f) {
+      double value = 0.0;
+      if (!(is >> value)) {
+        return Status::InvalidArgument("truncated sample features");
+      }
+      sample.features.push_back(value);
+    }
+    fresh.push_back(std::move(sample));
+  }
+  *samples = std::move(fresh);
+  return Status::Ok();
 }
 
 }  // namespace dynamicc

@@ -22,6 +22,21 @@ Status SaveClassifier(const BinaryClassifier& model, std::ostream& os);
 std::unique_ptr<BinaryClassifier> LoadClassifier(std::istream& is,
                                                  Status* status = nullptr);
 
+/// Restores saved parameters *into* an existing model object, which must
+/// be of the same concrete type the stream was saved from. Warm restart
+/// needs this form: a session's models are referenced by raw pointer
+/// from deep inside DynamicC, so restoring state in place keeps every
+/// pointer valid where LoadClassifier's fresh object would not.
+Status LoadClassifierInto(std::istream& is, BinaryClassifier* model);
+
+/// Persists a training-sample set exactly (labels, weights and features
+/// round-trip bit-for-bit), so a restored trainer refits the same models
+/// the never-restarted one would.
+Status SaveSampleSet(const SampleSet& samples, std::ostream& os);
+
+/// Restores a sample set saved by SaveSampleSet (replacing `samples`).
+Status LoadSampleSet(std::istream& is, SampleSet* samples);
+
 }  // namespace dynamicc
 
 #endif  // DYNAMICC_ML_SERIALIZATION_H_

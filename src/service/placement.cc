@@ -22,4 +22,13 @@ uint64_t PlacementTable::Assign(uint64_t group, uint32_t shard) {
   return version;
 }
 
+void PlacementTable::Restore(
+    uint64_t version, std::unordered_map<uint64_t, uint32_t> overrides) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  auto next = std::make_shared<PlacementView>();
+  next->version = version;
+  next->overrides = std::move(overrides);
+  std::atomic_store(&current_, View(std::move(next)));
+}
+
 }  // namespace dynamicc

@@ -56,6 +56,13 @@ class PlacementTable {
   /// keeps replayed migration sequences comparable step by step.
   uint64_t Assign(uint64_t group, uint32_t shard);
 
+  /// Replaces the whole table with a previously persisted state —
+  /// version *and* overrides — so a restored service resumes publishing
+  /// from exactly where the saved one stopped (version numbers stay
+  /// comparable across the restart). Snapshot loading only.
+  void Restore(uint64_t version,
+               std::unordered_map<uint64_t, uint32_t> overrides);
+
  private:
   View current_;  // accessed via std::atomic_load / std::atomic_store
   std::mutex write_mutex_;

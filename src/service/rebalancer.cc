@@ -22,8 +22,10 @@ std::vector<Rebalancer::Move> Rebalancer::PickMoves(
     total_cost += shard.cost_ms;
     total_records += shard.records;
   }
-  const bool use_cost =
-      options_.metric == LoadMetric::kAuto && total_cost > 0.0;
+  const bool use_ops = options_.metric == LoadMetric::kOps;
+  const bool use_cost = !use_ops &&
+                        options_.metric == LoadMetric::kAuto &&
+                        total_cost > 0.0;
   const double cost_per_record =
       use_cost && total_records > 0
           ? total_cost / static_cast<double>(total_records)
@@ -31,19 +33,25 @@ std::vector<Rebalancer::Move> Rebalancer::PickMoves(
 
   std::vector<double> load(shards.size(), 0.0);
   for (size_t s = 0; s < shards.size(); ++s) {
-    load[s] = use_cost ? (shards[s].cost_ms > 0.0
-                              ? shards[s].cost_ms
-                              : cost_per_record *
-                                    static_cast<double>(shards[s].records))
-                       : static_cast<double>(shards[s].records);
+    if (use_ops) {
+      load[s] = static_cast<double>(shards[s].ops);
+    } else if (use_cost) {
+      load[s] = shards[s].cost_ms > 0.0
+                    ? shards[s].cost_ms
+                    : cost_per_record * static_cast<double>(shards[s].records);
+    } else {
+      load[s] = static_cast<double>(shards[s].records);
+    }
   }
 
   // A group's contribution to its shard's load, in the same unit as
-  // `load`: its record-proportional share of the shard's measured cost,
-  // or — when the shard never measured one — its records scaled by the
-  // fleet-wide cost-per-record (records alone would compare record
-  // counts against milliseconds and wreck the relief checks below).
+  // `load`: its own op count under kOps, its record-proportional share
+  // of the shard's measured cost under kAuto, or — when the shard never
+  // measured one — its records scaled by the fleet-wide cost-per-record
+  // (records alone would compare record counts against milliseconds and
+  // wreck the relief checks below).
   auto group_weight = [&](const GroupLoad& group) {
+    if (use_ops) return static_cast<double>(group.ops);
     if (!use_cost) return static_cast<double>(group.records);
     const ShardLoad& shard = shards[group.shard];
     if (shard.cost_ms > 0.0 && shard.records > 0) {
@@ -53,8 +61,13 @@ std::vector<Rebalancer::Move> Rebalancer::PickMoves(
     return cost_per_record * static_cast<double>(group.records);
   };
 
-  // Candidate groups per shard, heaviest first (ties on group hash so
-  // the plan is deterministic).
+  // Candidate groups per shard, heaviest first *in the active metric*
+  // (ties on group hash so the plan is deterministic).
+  auto heavier = [use_ops](const GroupLoad& a, const GroupLoad& b) {
+    if (use_ops && a.ops != b.ops) return a.ops > b.ops;
+    if (a.records != b.records) return a.records > b.records;
+    return a.group < b.group;
+  };
   std::vector<std::vector<GroupLoad>> per_shard(shards.size());
   for (const GroupLoad& group : groups) {
     if (group.shard < shards.size() &&
@@ -63,11 +76,7 @@ std::vector<Rebalancer::Move> Rebalancer::PickMoves(
     }
   }
   for (auto& candidates : per_shard) {
-    std::sort(candidates.begin(), candidates.end(),
-              [](const GroupLoad& a, const GroupLoad& b) {
-                if (a.records != b.records) return a.records > b.records;
-                return a.group < b.group;
-              });
+    std::sort(candidates.begin(), candidates.end(), heavier);
   }
 
   double mean = 0.0;
@@ -104,13 +113,8 @@ std::vector<Rebalancer::Move> Rebalancer::PickMoves(
       candidates.erase(candidates.begin() + static_cast<long>(i));
       // Keep the destination's candidate list ordered for later rounds.
       auto& dest = per_shard[coolest];
-      dest.insert(std::upper_bound(
-                      dest.begin(), dest.end(), relocated,
-                      [](const GroupLoad& a, const GroupLoad& b) {
-                        if (a.records != b.records)
-                          return a.records > b.records;
-                        return a.group < b.group;
-                      }),
+      dest.insert(std::upper_bound(dest.begin(), dest.end(), relocated,
+                                   heavier),
                   relocated);
       moved = true;
       break;

@@ -28,7 +28,12 @@ class Rebalancer {
   /// moves on a placement that is already fine. kRecords always uses
   /// alive record counts: less faithful when per-record cost varies,
   /// but stable — a balanced placement measures balanced forever.
-  enum class LoadMetric { kAuto, kRecords };
+  /// kOps uses cumulative *applied-operation* counts (IngestStats'
+  /// applied_ops broken down per group): a hot group that churns through
+  /// updates re-clusters its shard far more often than its record count
+  /// suggests, and the op counter sees that where record counts cannot —
+  /// the first step of the cost model that prices activity, not size.
+  enum class LoadMetric { kAuto, kRecords, kOps };
 
   struct Options {
     /// Act only when max shard load > hysteresis * mean shard load.
@@ -48,6 +53,9 @@ class Rebalancer {
     double cost_ms = 0.0;
     /// Alive records on the shard.
     size_t records = 0;
+    /// Operations applied to the shard's engine since construction
+    /// (kOps metric input; groups carry the per-group breakdown).
+    uint64_t ops = 0;
   };
 
   struct GroupLoad {
@@ -55,6 +63,9 @@ class Rebalancer {
     uint32_t shard = 0;
     /// Alive records in the group.
     size_t records = 0;
+    /// Operations applied under the group (adds + updates + removes),
+    /// cumulative — the activity signal behind LoadMetric::kOps.
+    uint64_t ops = 0;
   };
 
   struct Move {

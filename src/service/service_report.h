@@ -78,6 +78,15 @@ struct IngestStats {
   uint64_t coalesced_ops = 0;
   /// Queued operations not yet reflected in any shard engine.
   uint64_t pending_ops = 0;
+  /// Operations applied into shard engines (surviving operations only —
+  /// coalesced-away work never counts). The per-group breakdown behind
+  /// this total feeds the Rebalancer's kOps load metric.
+  uint64_t applied_ops = 0;
+  /// Flush-epoch watermarks: the epoch currently open for admissions,
+  /// and the highest closed epoch every shard has fully applied (0 until
+  /// the first CloseEpoch).
+  uint64_t open_epoch = 0;
+  uint64_t applied_epoch = 0;
   /// Drained batches applied by background workers, and the dynamic
   /// rounds those workers ran.
   uint64_t applied_batches = 0;
@@ -129,6 +138,10 @@ struct ServiceReport {
   /// cumulative number of group migrations that actually moved data.
   uint64_t placement_version = 0;
   uint64_t groups_migrated = 0;
+
+  /// For reports produced by an epoch-tagged Flush(epoch): the epoch the
+  /// barrier waited for (0 for full barriers and plain rounds).
+  uint64_t flush_epoch = 0;
 
   /// Summed DynamicC counters across shards (dynamic rounds only).
   ReclusterReport combined;

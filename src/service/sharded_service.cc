@@ -185,6 +185,7 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
       ApplyBatchToShard(s, per_shard[s]);
       std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
       shard.accepted_ops += per_shard[s].size();
+      shard.applied_ops += per_shard[s].size();
     });
     return result;
   }
@@ -251,6 +252,7 @@ std::vector<ObjectId> ShardedDynamicCService::ApplyBatchToShard(
         ObjectId local_id = static_cast<ObjectId>(base + adds++);
         locations_[global].local = local_id;
         group_alive_[locations_[global].group] += 1;
+        group_ops_[locations_[global].group] += 1;
         local.target = kInvalidObject;
         expected.push_back(local_id);
         DYNAMICC_CHECK_EQ(shard.global_of_local.size(), local_id);
@@ -261,6 +263,7 @@ std::vector<ObjectId> ShardedDynamicCService::ApplyBatchToShard(
         DYNAMICC_CHECK(loc.local != kInvalidObject)
             << "operation targets an object that never materialized";
         local.target = loc.local;
+        group_ops_[loc.group] += 1;
         if (op.kind == DataOperation::Kind::kUpdate) {
           expected.push_back(loc.local);
         } else {
@@ -292,12 +295,14 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
         // A migration is operating on this shard: park at the batch
         // boundary (no drained batch stays in flight); the migration
         // reschedules the worker once the surgery is done.
+        AdvanceEpochsLocked(&shard);
         shard.worker_busy = false;
         shard.queue_drained.notify_all();
         return;
       }
       if (shard.log.empty()) {
         shard.log.Take(0);  // GC entries annihilated in place
+        AdvanceEpochsLocked(&shard);
         shard.worker_busy = false;
         shard.queue_drained.notify_all();
         return;
@@ -348,6 +353,10 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
     {
       std::lock_guard<std::mutex> lock(shard.queue_mutex);
       shard.applied_batches += 1;
+      shard.applied_ops += drained.ops.size();
+      // The drained batch is applied: the reflected prefix advanced, and
+      // with it possibly one or more epoch watermarks.
+      AdvanceEpochsLocked(&shard);
       shard.worker_apply_ms += apply_ms;
       if (rounded) {
         shard.worker_rounds += 1;
@@ -467,7 +476,13 @@ ServiceReport ShardedDynamicCService::DynamicRound(
   } else {
     hints = LocalizeChanged(changed);
   }
+  return ServeBarrier(std::move(hints), /*flush_epoch=*/0);
+}
+
+ServiceReport ShardedDynamicCService::ServeBarrier(
+    std::vector<std::vector<ObjectId>> hints, uint64_t flush_epoch) {
   ServiceReport report;
+  report.flush_epoch = flush_epoch;
   report.dynamic_shards.resize(shards_.size());
 
   Timer wall;
@@ -547,6 +562,86 @@ ServiceReport ShardedDynamicCService::DynamicRound(
 
 ServiceReport ShardedDynamicCService::Flush() { return DynamicRound({}); }
 
+uint64_t ShardedDynamicCService::CloseEpoch() {
+  std::lock_guard<std::mutex> ingest_lock(ingest_mutex_);
+  return CloseEpochLocked();
+}
+
+uint64_t ShardedDynamicCService::CloseEpochLocked() {
+  // ingest_mutex_ is held: no admission races the seal, so the recorded
+  // boundaries cover exactly the operations of this epoch and earlier.
+  const uint64_t closed = open_epoch_.fetch_add(1);
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.queue_mutex);
+    const uint64_t boundary = shard.log.appended();
+    if (!shard.worker_busy) {
+      // No drain task is queued or running, so nothing is in flight and
+      // the precise watermark is safe to read straight off the log
+      // (first_pending_sequence() is appended() when nothing pends).
+      shard.reflected_seq = shard.log.first_pending_sequence();
+    }
+    if (boundary <= shard.reflected_seq) {
+      shard.applied_epoch = closed;
+      shard.epoch_applied.notify_all();
+    } else {
+      shard.epoch_marks.push_back(Shard::EpochMark{closed, boundary});
+    }
+  }
+  return closed;
+}
+
+void ShardedDynamicCService::AdvanceEpochsLocked(Shard* shard) {
+  shard->reflected_seq = shard->log.first_pending_sequence();
+  bool advanced = false;
+  while (!shard->epoch_marks.empty() &&
+         shard->epoch_marks.front().boundary <= shard->reflected_seq) {
+    shard->applied_epoch = shard->epoch_marks.front().epoch;
+    shard->epoch_marks.pop_front();
+    advanced = true;
+  }
+  if (advanced) shard->epoch_applied.notify_all();
+}
+
+void ShardedDynamicCService::WaitEpoch(uint64_t epoch) {
+  if (epoch == 0) return;
+  DYNAMICC_CHECK_LT(epoch, open_epoch_.load())
+      << "WaitEpoch requires a closed epoch (CloseEpoch first)";
+  // A migration moves queued operations — and with them epoch
+  // obligations — from one shard's log to another's. A scan that
+  // overlapped one may have checked the destination before the replayed
+  // tail arrived, so the scan only counts if no migration surgery ran
+  // during it (seqlock; migrations are rare, rescans cheap: already
+  // applied shards pass immediately).
+  for (;;) {
+    const uint64_t seq_before = migration_seq_.load(std::memory_order_acquire);
+    if (seq_before % 2 == 1) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::unique_lock<std::mutex> lock(shard.queue_mutex);
+      shard.epoch_applied.wait(
+          lock, [&shard, epoch] { return shard.applied_epoch >= epoch; });
+    }
+    if (migration_seq_.load(std::memory_order_acquire) == seq_before) return;
+  }
+}
+
+ServiceReport ShardedDynamicCService::Flush(uint64_t epoch) {
+  // 0 is not an epoch (numbering starts at 1): catching it here keeps a
+  // caller who passed an uninitialized watermark from silently getting
+  // a no-drain barrier that looks like a completed flush.
+  DYNAMICC_CHECK_GT(epoch, 0u) << "Flush(epoch) requires a sealed epoch";
+  WaitEpoch(epoch);
+  // Only what the epoch's application left dirty still needs serving
+  // (trained shards were rounded by their workers batch by batch; the
+  // hints carry the applied-but-unrounded objects of untrained ones).
+  // No Drain(): later-epoch queue contents stay queued.
+  return ServeBarrier(TakePendingChanged(), epoch);
+}
+
 ServiceSnapshot ShardedDynamicCService::Snapshot() const {
   ServiceSnapshot snap;
   snap.report.dynamic_shards.resize(shards_.size());
@@ -591,10 +686,16 @@ IngestStats ShardedDynamicCService::ingest_stats() const {
 void ShardedDynamicCService::FillIngestStats(IngestStats* ingest) const {
   ingest->rejected_batches = rejected_batches_.load();
   ingest->rejected_ops = rejected_ops_.load();
+  ingest->open_epoch = open_epoch_.load();
+  // The fleet-wide applied epoch is the laggard's: an epoch is applied
+  // once *every* shard has it.
+  uint64_t applied_epoch = ingest->open_epoch - 1;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.queue_mutex);
+    applied_epoch = std::min(applied_epoch, shard.applied_epoch);
     ingest->accepted_ops += shard.accepted_ops;
+    ingest->applied_ops += shard.applied_ops;
     ingest->coalesced_ops += shard.log.coalesced();
     ingest->pending_ops += shard.log.pending_logical();
     ingest->applied_batches += shard.applied_batches;
@@ -615,6 +716,7 @@ void ShardedDynamicCService::FillIngestStats(IngestStats* ingest) const {
           std::max(ingest->adaptive_batch_max, shard.adaptive_batch);
     }
   }
+  ingest->applied_epoch = applied_epoch;
 }
 
 void ShardedDynamicCService::FinalizeReport(ServiceReport* report) const {
@@ -792,6 +894,11 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
   }
 
   // Flush epoch, step 1: park both drain workers at a batch boundary.
+  // The surgery below moves queued operations — and with them epoch
+  // obligations — between the two shards' logs; the seqlock (odd = in
+  // progress) makes concurrent WaitEpoch scans that overlapped the move
+  // re-scan instead of trusting a destination they checked too early.
+  migration_seq_.fetch_add(1, std::memory_order_acq_rel);
   ParkWorker(from);
   ParkWorker(to_shard);
 
@@ -899,12 +1006,17 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
     // arrival order — per-object composition (folds, annihilations)
     // keeps working because relative order is preserved.
     OperationLog::Extracted raced;
+    uint64_t src_applied_epoch = 0;
     {
       std::lock_guard<std::mutex> queue_lock(src.queue_mutex);
       raced = src.log.ExtractIf([&moved_set](const DataOperation& op) {
         return op.target != kInvalidObject && moved_set.count(op.target) > 0;
       });
       report.source_epoch = src.log.appended();
+      // Every operation still queued on the source — the raced tail
+      // included — belongs to an epoch the source has *not* applied
+      // yet, so this bounds the epochs the tail can carry from below.
+      src_applied_epoch = src.applied_epoch;
     }
     {
       std::lock_guard<std::mutex> queue_lock(dst.queue_mutex);
@@ -913,6 +1025,42 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
       }
       report.dest_epoch = dst.log.appended();
       report.replayed_ops = raced.ops.size();
+      if (!raced.ops.empty()) {
+        // The replayed tail was admitted in earlier — possibly already
+        // sealed, possibly already *applied on this destination* —
+        // epochs, but it now sits at the end of the destination log.
+        // Rebuild the destination's epoch state so every sealed epoch
+        // the tail could belong to (anything above the source's applied
+        // watermark) waits for the full post-replay log: roll
+        // applied_epoch back to cover tails from epochs the destination
+        // had already reported applied, and give every such epoch a
+        // boundary at the end of the replay. Conservative — a sealed
+        // epoch may now also wait for a few unrelated queued operations
+        // — but producers are excluded here, so the over-approximation
+        // is bounded by the queue contents at the time of the move.
+        // Waiters mid-scan are safe: the migration seqlock makes any
+        // WaitEpoch scan that overlapped this surgery re-scan.
+        const uint64_t sealed_max = open_epoch_.load() - 1;
+        const uint64_t new_applied =
+            std::min(dst.applied_epoch, src_applied_epoch);
+        if (sealed_max > new_applied) {
+          dst.applied_epoch = new_applied;
+          dst.epoch_marks.clear();
+          for (uint64_t epoch = new_applied + 1; epoch <= sealed_max;
+               ++epoch) {
+            dst.epoch_marks.push_back(
+                Shard::EpochMark{epoch, dst.log.appended()});
+          }
+        }
+      }
+    }
+    {
+      // The extracted operations are no longer the source's obligation:
+      // its watermark may jump past sealed boundaries right now (the
+      // worker is parked, so nobody else will advance it — without this
+      // a source left idle after the move would strand its epochs).
+      std::lock_guard<std::mutex> queue_lock(src.queue_mutex);
+      AdvanceEpochsLocked(&src);
     }
 
     if (report.objects > 0 || report.replayed_ops > 0) {
@@ -930,6 +1078,7 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
   report.placement_version = placement_.Assign(group, to_shard);
   ResumeWorker(from);
   ResumeWorker(to_shard);
+  migration_seq_.fetch_add(1, std::memory_order_acq_rel);
   report.ms = timer.ElapsedMillis();
   return report;
 }
@@ -950,6 +1099,8 @@ std::vector<Rebalancer::GroupLoad> ShardedDynamicCService::GroupLoads() const {
       load.group = group;
       load.shard = shard->second;
       load.records = alive;
+      auto ops = group_ops_.find(group);
+      if (ops != group_ops_.end()) load.ops = ops->second;
       loads.push_back(load);
     }
   }
@@ -973,6 +1124,7 @@ ShardedDynamicCService::RebalanceOnce() {
   }
   for (const Rebalancer::GroupLoad& group : groups) {
     shard_loads[group.shard].records += group.records;
+    shard_loads[group.shard].ops += group.ops;
   }
   std::vector<double> records_per_shard(shards_.size(), 0.0);
   for (size_t s = 0; s < shards_.size(); ++s) {

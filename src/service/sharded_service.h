@@ -4,9 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "service/service_report.h"
 #include "service/shard_router.h"
 #include "service/thread_pool.h"
+#include "util/status.h"
 
 namespace dynamicc {
 
@@ -44,6 +47,14 @@ struct ShardEnvironment {
   std::unique_ptr<BatchAlgorithm> batch;
   std::unique_ptr<BinaryClassifier> merge_model;
   std::unique_ptr<BinaryClassifier> split_model;
+  /// Optional extra owned state for multi-stage batch pipelines: `batch`
+  /// may be a CompositeBatch over `batch_stages`, and a stage may run on
+  /// a cheaper `bootstrap_objective` than the task objective (the
+  /// db-index environments do both, mirroring the harness: greedy
+  /// agglomeration bootstraps on correlation, hill climbing refines on
+  /// DB-index). Both live here so their lifetime matches the shard's.
+  std::unique_ptr<ObjectiveFunction> bootstrap_objective;
+  std::vector<std::unique_ptr<BatchAlgorithm>> batch_stages;
 };
 
 using ShardEnvironmentFactory = std::function<ShardEnvironment()>;
@@ -239,6 +250,70 @@ class ShardedDynamicCService {
   /// carries cumulative IngestStats.
   ServiceReport Flush();
 
+  // ------------------------------------------------- epoch-tagged flushes
+
+  /// Ingestion is divided into *flush epochs*: every admitted batch
+  /// belongs to the epoch that was open when it was admitted, and
+  /// CloseEpoch() seals the current epoch (recording, per shard, how far
+  /// into its operation log the epoch reaches). A closed epoch is
+  /// *applied* on a shard once the shard's drain worker has applied all
+  /// of its operations; Flush(epoch) waits for exactly that prefix on
+  /// every shard — no full quiescence, and queue contents admitted in
+  /// later epochs are not drained. This is the consistency point the
+  /// old global barrier over-delivered on: readers that need "everything
+  /// up to here" no longer wait out traffic that arrived after "here",
+  /// and under sustained ingest Flush(epoch) returns where Flush()
+  /// would chase the producers forever. MigrateGroup transfers a moved
+  /// group's epoch obligations to the destination shard's log, so
+  /// watermarks stay sound across live migrations.
+
+  /// The epoch currently open for admissions (>= 1).
+  uint64_t open_epoch() const { return open_epoch_.load(); }
+
+  /// Seals the current epoch and returns its number. Admissions after
+  /// this call belong to the next epoch. Epoch numbers are dense from 1,
+  /// so two services fed the same barrier sequence agree on them.
+  uint64_t CloseEpoch();
+
+  /// Blocks until every shard has applied every operation admitted in
+  /// epochs <= `epoch` (which must be closed). Does not run rounds and
+  /// does not drain later-epoch queue contents.
+  void WaitEpoch(uint64_t epoch);
+
+  /// Epoch-tagged flush barrier: WaitEpoch(epoch), then one serving pass
+  /// over the shards still dirty (in async serving mode the background
+  /// workers already rounded every trained shard as part of applying the
+  /// epoch). After it returns, the clustering reflects at least every
+  /// operation of epochs <= `epoch` — later-epoch operations may still
+  /// be queued, which is the point: the barrier's latency is bounded by
+  /// the epoch's own backlog, not by whatever arrived since.
+  ServiceReport Flush(uint64_t epoch);
+
+  // ------------------------------------------------------ durable snapshots
+
+  /// Serializes the full serving state into `dir` (created if needed) as
+  /// one versioned, checksummed snapshot: per-shard datasets, id-exact
+  /// clusterings, trained models + trainer sample sets + session
+  /// cadence state, the global<->local id maps, cumulative IngestStats,
+  /// and the PlacementTable (version + overrides, stable BlockingKeyHash
+  /// keys). Taken at an epoch boundary: producers are excluded, the
+  /// current epoch is closed and applied everywhere, then state is
+  /// written — so the snapshot is exactly "the service at epoch E", and
+  /// E is recorded in the manifest. Safe to call between barriers of a
+  /// live service; concurrent Ingest calls block for the duration.
+  Status SaveSnapshot(const std::string& dir);
+
+  /// Restores a snapshot written by SaveSnapshot into this service,
+  /// which must be freshly constructed (same num_shards and a factory
+  /// producing the same environment/model types) and must not have
+  /// admitted any operation. After it returns the service serves from
+  /// the saved epoch: same placement version, same models (no
+  /// retraining), same id assignment — feeding it the operations the
+  /// saved service would have received next produces byte-identical
+  /// assignments and placement versions. Rejects corrupted, truncated
+  /// or version-mismatched snapshots (checksums in the manifest).
+  Status LoadSnapshot(const std::string& dir);
+
   /// Consistent cut: every shard observed at a round boundary, with the
   /// partition, per-shard sizes, and cumulative pipeline counters. Safe
   /// to call concurrently with ingestion (it briefly pauses each shard's
@@ -379,6 +454,24 @@ class ShardedDynamicCService {
     std::condition_variable queue_not_full;
     std::condition_variable queue_drained;
     OperationLog log;
+    /// One sealed epoch this shard has not fully applied yet: every log
+    /// operation with sequence < boundary belongs to `epoch` (or
+    /// earlier). Boundaries are non-decreasing front to back; a
+    /// migration that replays raced operations onto this shard raises
+    /// pending boundaries so the epoch waits for the replayed tail too.
+    struct EpochMark {
+      uint64_t epoch = 0;
+      uint64_t boundary = 0;
+    };
+    std::deque<EpochMark> epoch_marks;
+    /// Highest closed epoch fully applied on this shard (monotone).
+    uint64_t applied_epoch = 0;
+    /// Log-sequence watermark: every appended operation with sequence <
+    /// reflected_seq has been applied (or folded/annihilated into one
+    /// that was). Only recomputed at batch boundaries — when no drained
+    /// batch is in flight — so it never overstates.
+    uint64_t reflected_seq = 0;
+    std::condition_variable epoch_applied;
     /// True while a drain task is queued or running for this shard.
     bool worker_busy = false;
     /// Set by a migration to park the drain worker at a batch boundary:
@@ -398,6 +491,9 @@ class ShardedDynamicCService {
     /// input.
     double cost_ms = 0.0;
     uint64_t accepted_ops = 0;
+    /// Operations applied into this shard's engine (surviving operations
+    /// only; the per-group breakdown lives in group_ops_).
+    uint64_t applied_ops = 0;
     uint64_t applied_batches = 0;
     uint64_t worker_rounds = 0;
     uint64_t producer_waits = 0;
@@ -425,6 +521,22 @@ class ShardedDynamicCService {
   /// Fills `report`'s imbalance ratios and placement fields from its
   /// per-shard stats and the service counters.
   void FinalizeReport(ServiceReport* report) const;
+
+  /// The serving half every barrier shares (DynamicRound, Flush and
+  /// Flush(epoch) differ only in how they quiesce and derive hints):
+  /// rounds the dirty shards, finalizes the report, flips the service
+  /// into serving mode, and drives the automatic rebalance cadence.
+  ServiceReport ServeBarrier(std::vector<std::vector<ObjectId>> hints,
+                             uint64_t flush_epoch);
+
+  /// CloseEpoch with ingest_mutex_ already held.
+  uint64_t CloseEpochLocked();
+
+  /// Recomputes `shard`'s reflected_seq from its log and pops every
+  /// epoch mark the watermark now covers (notifying epoch waiters).
+  /// Caller holds the shard's queue_mutex, at a batch boundary (no
+  /// drained-but-unapplied batch in flight for the shard).
+  static void AdvanceEpochsLocked(Shard* shard);
 
   /// Parks / resumes shard `s`'s drain worker around a migration (async
   /// mode; see Shard::paused).
@@ -491,6 +603,11 @@ class ShardedDynamicCService {
   /// time (adds increment, removes decrement). Guarded by
   /// locations_mutex_; the O(groups) input of GroupLoads().
   std::unordered_map<uint64_t, size_t> group_alive_;
+  /// Group hash -> operations applied under the group (cumulative; every
+  /// surviving add/update/remove counts). Guarded by locations_mutex_.
+  /// The per-group activity signal the Rebalancer's kOps metric ranks
+  /// on, and part of the persisted IngestStats.
+  std::unordered_map<uint64_t, uint64_t> group_ops_;
   /// Group hash -> the shard currently owning the group (set at
   /// admission, updated by migration). The authoritative answer —
   /// individual members' locations can lag it for tombstones, which
@@ -502,6 +619,13 @@ class ShardedDynamicCService {
   /// cadence counter for automatic rebalancing.
   std::atomic<uint64_t> migrations_{0};
   std::atomic<uint32_t> rounds_since_rebalance_{0};
+  /// The epoch currently accepting admissions; CloseEpoch increments it.
+  std::atomic<uint64_t> open_epoch_{1};
+  /// Seqlock over migration surgery (odd = in progress): a migration
+  /// moves epoch obligations between shard logs, so WaitEpoch re-scans
+  /// whenever its scan overlapped one — per-shard watermarks alone
+  /// cannot see an obligation that hopped shards mid-scan.
+  std::atomic<uint64_t> migration_seq_{0};
   /// Set by explicit DynamicRound/Flush barriers (to is_trained()) and
   /// cleared by ObserveBatchRound. Background workers only run rounds
   /// while set — in barrier-driven (training/observe) mode async

@@ -57,6 +57,32 @@ TEST(OperationLog, SequencesAreDenseAndOrderIsPreserved) {
   EXPECT_EQ(log.Append(Add(2, "c")), 3u);
 }
 
+TEST(OperationLog, FirstPendingSequenceTracksTheReflectedPrefix) {
+  OperationLog log;
+  EXPECT_EQ(log.first_pending_sequence(), 0u);  // empty: everything done
+  log.Append(Add(0, "a"));                      // seq 0
+  log.Append(Add(1, "b"));                      // seq 1
+  EXPECT_EQ(log.first_pending_sequence(), 0u);
+
+  OperationLog::Drained drained = log.Take(1);  // drains seq 0
+  ASSERT_EQ(drained.ops.size(), 1u);
+  EXPECT_EQ(log.first_pending_sequence(), 1u);
+
+  // A fold into a pending host keeps the host's earlier sequence as the
+  // floor — the fold's own effect is pending until the host drains.
+  log.Append(Update(1, "b2"));  // seq 2, folds into seq 1
+  EXPECT_EQ(log.first_pending_sequence(), 1u);
+
+  // Annihilated entries do not hold the watermark back.
+  log.Take(0);
+  log.Append(Add(5, "x"));  // seq 3
+  log.Append(Remove(5));    // seq 4: annihilates seq 3 in place
+  log.Append(Add(6, "y"));  // seq 5
+  EXPECT_EQ(log.first_pending_sequence(), 5u);
+  log.Take(0);
+  EXPECT_EQ(log.first_pending_sequence(), log.appended());
+}
+
 TEST(OperationLog, AddThenUpdateFoldsIntoTheAdd) {
   OperationLog log;
   log.Append(Add(0, "old"));

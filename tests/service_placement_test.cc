@@ -381,6 +381,83 @@ TEST(Rebalancer, RelievesTheStragglerGreedily) {
   EXPECT_NE(moves[1].to, moves[0].to);
 }
 
+TEST(Rebalancer, OpsMetricRanksByActivityNotSize) {
+  // Shard 0 holds few records but churns through operations (hot
+  // updates); shard 1 holds many records that never move. kRecords
+  // would call shard 1 the straggler — kOps must pick shard 0's hot
+  // group instead.
+  Rebalancer::Options options;
+  options.hysteresis = 1.2;
+  options.max_moves = 1;
+  options.metric = Rebalancer::LoadMetric::kOps;
+  Rebalancer policy(options);
+  std::vector<Rebalancer::ShardLoad> shards = {
+      {0, 0.0, 30, 900}, {1, 0.0, 200, 210}, {2, 0.0, 30, 30},
+      {3, 0.0, 30, 30}};
+  std::vector<Rebalancer::GroupLoad> groups = {
+      {11, 0, 20, 800},  // small but hot: the move that relieves shard 0
+      {12, 0, 10, 100},  {21, 1, 200, 210},
+      {31, 2, 30, 30},   {41, 3, 30, 30}};
+  auto moves = policy.PickMoves(shards, groups);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, 0u);
+  EXPECT_EQ(moves[0].group, 11u);
+  EXPECT_EQ(moves[0].expected_gain, 800.0);
+}
+
+TEST(Rebalancer, OpsMetricStillRespectsMinGroupRecords) {
+  Rebalancer::Options options;
+  options.hysteresis = 1.1;
+  options.metric = Rebalancer::LoadMetric::kOps;
+  options.min_group_records = 5;
+  Rebalancer policy(options);
+  std::vector<Rebalancer::ShardLoad> shards = {{0, 0.0, 4, 1000},
+                                               {1, 0.0, 4, 10}};
+  // The only hot group is below the record floor: surgery overhead is
+  // priced in records, however hot the group runs.
+  std::vector<Rebalancer::GroupLoad> groups = {{11, 0, 4, 1000},
+                                               {21, 1, 4, 10}};
+  EXPECT_TRUE(policy.PickMoves(shards, groups).empty());
+}
+
+TEST(ServicePlacement, GroupLoadsCarryAppliedOpCounts) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = 2;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+  auto changed = service.ApplyOperations(GroupAdds(4, 2));
+  service.ObserveBatchRound(changed);
+  // Churn group 0 only: 2 adds + 3 updates on its first record.
+  service.ApplyOperations(AddsForGroups({0}, 2));
+  OperationBatch updates;
+  for (int i = 0; i < 3; ++i) {
+    DataOperation op;
+    op.kind = DataOperation::Kind::kUpdate;
+    op.target = 0;
+    op.record.entity = 0;
+    op.record.tokens = {"grp0", "tag0"};
+    updates.push_back(op);
+  }
+  service.ApplyOperations(updates);
+  service.Flush();
+
+  uint64_t hot = GroupKeyOf(0);
+  bool found = false;
+  uint64_t total_ops = 0;
+  for (const auto& load : service.GroupLoads()) {
+    total_ops += load.ops;
+    if (load.group == hot) {
+      found = true;
+      // 2 training adds + 2 churn adds + 3 updates.
+      EXPECT_EQ(load.ops, 7u);
+      EXPECT_EQ(load.records, 4u);
+    } else {
+      EXPECT_EQ(load.ops, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(total_ops, service.ingest_stats().applied_ops);
+}
+
 TEST(Rebalancer, CostMeasurementsDominateWhenPresent) {
   // Shard 1 has fewer records but a pathological measured cost — the
   // policy must chase cost, not record counts.
