@@ -38,16 +38,24 @@
 // shard-cost ratio and per-shard record counts (ServiceReport's
 // imbalance fields).
 //
+// A fourth section measures replication (src/replication/): the same
+// barriered serving stream is run with delta shipping off and on
+// (records/sec both ways — the delta-emit overhead is their gap), and a
+// follower tails the log while the primary streams, catching up every
+// few epochs; the JSON reports the epochs-behind series over time, the
+// catch-up cost, and whether the replica ended byte-identical.
+//
 // Flags: --groups N --active N --per-round N --rounds N --threads N
 //        --repeats N --mode sync|async|both --queue-depth N
 //        --backpressure block|reject --skewed 0|1 --hot N
-//        --rebalance-every K
+//        --rebalance-every K --replication 0|1 --catchup-every K
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <string>
@@ -55,6 +63,8 @@
 
 #include "batch/agglomerative.h"
 #include "bench_util.h"
+#include "replication/follower.h"
+#include "replication/replication_session.h"
 #include "data/blocking.h"
 #include "data/operations.h"
 #include "data/similarity_measures.h"
@@ -82,6 +92,8 @@ struct BenchArgs {
   bool skewed = true;         // run the static-vs-rebalanced section
   int hot = 8;                // skewed: colliding hot groups
   uint32_t rebalance_every = 4;  // skewed: auto-rebalance cadence
+  bool replication = true;       // run the delta-shipping section
+  int catchup_every = 4;         // replication: follower catch-up cadence
 };
 
 ShardEnvironmentFactory MakeFactory() {
@@ -445,6 +457,123 @@ Measurement RunOneSkewed(const BenchArgs& args,
   return m;
 }
 
+/// Replication section: the same barriered serving stream (ingest +
+/// flush + one sealed epoch per round — the replicated-primary
+/// protocol) with delta shipping off vs on, plus a follower tailing the
+/// log as it grows. records/sec on-vs-off is the delta-emit overhead; a
+/// lag sample (sealed epochs the follower is behind) is taken every
+/// round, and the follower only catches up every `catchup_every` rounds
+/// so the series actually moves.
+struct ReplicationMeasurement {
+  double off_records_per_sec = 0.0;
+  double on_records_per_sec = 0.0;
+  double seal_ms_total = 0.0;        // cumulative SealEpoch wall time
+  uint64_t deltas_shipped = 0;
+  uint64_t pending_at_seals = 0;
+  std::vector<uint64_t> lag_epochs;  // one sample per serving round
+  uint64_t max_lag = 0;
+  double catchup_ms_total = 0.0;
+  uint64_t follower_epoch = 0;
+  bool identical = false;            // replica byte-equal at the end
+};
+
+ReplicationMeasurement RunReplicated(
+    const BenchArgs& args, const std::vector<OperationBatch>& training,
+    const std::vector<OperationBatch>& serving) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = 4;
+  options.num_threads = args.threads;
+  options.async.enabled = true;
+  options.async.queue_depth = args.queue_depth;
+
+  ReplicationMeasurement m;
+
+  // Baseline: identical barrier + seal cadence, no shipping.
+  {
+    ShardedDynamicCService service(options, nullptr, MakeFactory());
+    for (const OperationBatch& batch : training) {
+      auto changed = service.ApplyOperations(batch);
+      service.ObserveBatchRound(changed);
+    }
+    service.Flush();
+    Timer timer;
+    size_t records = 0;
+    for (const OperationBatch& batch : serving) {
+      if (service.Ingest(batch).accepted) records += batch.size();
+      service.Flush();
+      service.CloseEpoch();
+    }
+    double ms = timer.ElapsedMillis();
+    m.off_records_per_sec = ms > 0.0 ? 1000.0 * records / ms : 0.0;
+  }
+
+  // Shipping on, with a follower tailing the directory live.
+  const std::string dir = "/tmp/dynamicc_bench_replication";
+  std::filesystem::remove_all(dir);
+  ShardedDynamicCService primary(options, nullptr, MakeFactory());
+  for (const OperationBatch& batch : training) {
+    auto changed = primary.ApplyOperations(batch);
+    primary.ObserveBatchRound(changed);
+  }
+  primary.Flush();
+  ReplicationSession repl(&primary, dir, {});
+  Status status = repl.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "replication bench skipped: %s\n",
+                 status.ToString().c_str());
+    return m;
+  }
+
+  ShardedDynamicCService::Options follower_options = options;
+  follower_options.async.enabled = false;
+  Follower follower(dir, follower_options, MakeFactory());
+  status = follower.Restore();
+  if (!status.ok()) {
+    std::fprintf(stderr, "replication bench: follower restore failed: %s\n",
+                 status.ToString().c_str());
+    return m;
+  }
+
+  Timer timer;
+  size_t records = 0;
+  uint64_t last_sealed = repl.last_base_epoch();
+  const int catchup_every = std::max(1, args.catchup_every);
+  for (size_t round = 0; round < serving.size(); ++round) {
+    if (primary.Ingest(serving[round]).accepted) {
+      records += serving[round].size();
+    }
+    primary.Flush();
+    Timer seal_timer;
+    last_sealed = repl.SealEpoch();
+    m.seal_ms_total += seal_timer.ElapsedMillis();
+    // Lag is sampled every round; the follower only acts on its cadence.
+    m.lag_epochs.push_back(last_sealed - follower.epoch());
+    if ((round + 1) % static_cast<size_t>(catchup_every) == 0) {
+      Timer catchup;
+      if (!follower.CatchUp().ok()) break;
+      m.catchup_ms_total += catchup.ElapsedMillis();
+    }
+  }
+  // The follower replays in-process here (a real deployment tails from
+  // another machine), so its catch-up time is carved out of the
+  // primary's serve window: on-vs-off isolates the delta-*emit* cost.
+  double ms = timer.ElapsedMillis() - m.catchup_ms_total;
+  m.on_records_per_sec = ms > 0.0 ? 1000.0 * records / ms : 0.0;
+  m.deltas_shipped = repl.deltas_shipped();
+  m.pending_at_seals = repl.pending_at_seals();
+  for (uint64_t lag : m.lag_epochs) m.max_lag = std::max(m.max_lag, lag);
+
+  Timer final_catchup;
+  if (follower.CatchUp().ok()) {
+    m.catchup_ms_total += final_catchup.ElapsedMillis();
+    follower.Flush();
+    m.follower_epoch = follower.epoch();
+    m.identical =
+        follower.service().GlobalClusters() == primary.GlobalClusters();
+  }
+  return m;
+}
+
 /// The adversarial hot set: `count` groups whose hash placement all
 /// collides on shard 0 at `num_shards` — the worst case static routing
 /// can be dealt, and the case the rebalancer exists for.
@@ -493,6 +622,10 @@ int main(int argc, char** argv) {
       args.hot = next();
     else if (std::strcmp(argv[i], "--rebalance-every") == 0)
       args.rebalance_every = static_cast<uint32_t>(next());
+    else if (std::strcmp(argv[i], "--replication") == 0)
+      args.replication = next() != 0;
+    else if (std::strcmp(argv[i], "--catchup-every") == 0)
+      args.catchup_every = next();
     else if (std::strcmp(argv[i], "--mode") == 0)
       args.mode = i + 1 < argc ? argv[++i] : "";
     else if (std::strcmp(argv[i], "--backpressure") == 0)
@@ -585,6 +718,23 @@ int main(int argc, char** argv) {
                    rb.records_per_sec, rb.record_imbalance,
                    static_cast<unsigned long long>(rb.migrations));
     }
+  }
+
+  // Replication section: delta-emit overhead + follower catch-up lag on
+  // the plain (unskewed) serving stream.
+  ReplicationMeasurement replication;
+  if (args.replication) {
+    replication = RunReplicated(args, training, serving);
+    std::fprintf(stderr,
+                 "replication: %.0f rec/s off vs %.0f rec/s on "
+                 "(%llu deltas, seal total %.1f ms, max lag %llu epochs, "
+                 "catch-up total %.1f ms, identical=%d)\n",
+                 replication.off_records_per_sec,
+                 replication.on_records_per_sec,
+                 static_cast<unsigned long long>(replication.deltas_shipped),
+                 replication.seal_ms_total,
+                 static_cast<unsigned long long>(replication.max_lag),
+                 replication.catchup_ms_total, replication.identical ? 1 : 0);
   }
 
   auto rate_of = [&results](const char* mode, uint32_t shards) {
@@ -696,6 +846,36 @@ int main(int argc, char** argv) {
                    ? skewed_rebalanced.records_per_sec /
                          skewed_static.records_per_sec
                    : 0.0);
+    json.EndObject();
+  }
+  if (args.replication) {
+    json.Key("replication").BeginObject();
+    json.Key("off_records_per_sec").Value(replication.off_records_per_sec);
+    json.Key("on_records_per_sec").Value(replication.on_records_per_sec);
+    // > 1.0 means shipping cost; the gap is the delta-emit overhead.
+    json.Key("emit_overhead_ratio")
+        .Value(replication.on_records_per_sec > 0.0
+                   ? replication.off_records_per_sec /
+                         replication.on_records_per_sec
+                   : 0.0);
+    json.Key("seal_ms_total").Value(replication.seal_ms_total);
+    json.Key("deltas_shipped")
+        .Value(static_cast<size_t>(replication.deltas_shipped));
+    json.Key("pending_at_seals")
+        .Value(static_cast<size_t>(replication.pending_at_seals));
+    json.Key("catchup_every").Value(static_cast<size_t>(
+        std::max(1, args.catchup_every)));
+    json.Key("lag_epochs").BeginArray();
+    for (uint64_t lag : replication.lag_epochs) {
+      json.Value(static_cast<size_t>(lag));
+    }
+    json.EndArray();
+    json.Key("max_lag_epochs")
+        .Value(static_cast<size_t>(replication.max_lag));
+    json.Key("catchup_ms_total").Value(replication.catchup_ms_total);
+    json.Key("follower_epoch")
+        .Value(static_cast<size_t>(replication.follower_epoch));
+    json.Key("follower_identical").Value(replication.identical ? 1 : 0);
     json.EndObject();
   }
   json.EndObject();

@@ -44,6 +44,25 @@
 //
 //   dynamicc_cli --workload cora --task correlation --shards 4 --async
 //                --queue-depth 512 --backpressure block      (one line)
+//
+// Replication & failover (src/replication/): --replicate-to DIR turns
+// the run into a replicated primary — after training it publishes a
+// base snapshot into DIR and ships one epoch-tagged delta per serving
+// snapshot (--replicate-snapshot-every K compacts the log behind a
+// fresh base every K epochs). A second process tails DIR with --follow:
+// it restores the base, replays the deltas, and its `final:` line is
+// byte-equal to the primary's; --promote-at K instead promotes the
+// follower after serving snapshot K (zero retraining) and serves the
+// remaining deterministic stream itself — still byte-equal:
+//
+//   dynamicc_cli --task correlation --shards 2 --replicate-to R (one line)
+//   dynamicc_cli --task correlation --shards 2 --follow R       (same line)
+//   dynamicc_cli --task correlation --shards 2 --follow R
+//                --promote-at 4                               (same line)
+//
+// Sharded DBSCAN: --task dbscan now serves through --shards N too (a
+// validator-only environment: no objective; the DBSCAN core-stability
+// validator binds to each shard's similarity graph).
 
 #include <cstdio>
 #include <cstring>
@@ -54,11 +73,14 @@
 #include <vector>
 
 #include "batch/agglomerative.h"
+#include "batch/dbscan.h"
 #include "batch/hill_climbing.h"
 #include "harness/experiment.h"
 #include "ml/logistic_regression.h"
 #include "objective/correlation.h"
 #include "objective/db_index.h"
+#include "replication/follower.h"
+#include "replication/replication_session.h"
 #include "service/service_report.h"
 #include "service/sharded_service.h"
 #include "service/snapshot.h"
@@ -94,6 +116,16 @@ struct CliArgs {
   size_t snapshot_at = 0;
   std::string load_snapshot;
   size_t resume_at = 0;
+  /// Replication: --replicate-to DIR makes this run a replicated
+  /// primary (base snapshot + one delta per serving snapshot into DIR;
+  /// --replicate-snapshot-every K compacts behind a fresh base every K
+  /// epochs). --follow DIR makes it a follower of DIR; --promote-at K
+  /// additionally promotes it after serving snapshot K and serves the
+  /// rest of the deterministic stream itself.
+  std::string replicate_to;
+  uint32_t replicate_snapshot_every = 0;
+  std::string follow;
+  size_t promote_at = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -171,6 +203,22 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->resume_at = static_cast<size_t>(std::stoul(v));
+    } else if (flag == "--replicate-to") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->replicate_to = v;
+    } else if (flag == "--replicate-snapshot-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->replicate_snapshot_every = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--follow") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->follow = v;
+    } else if (flag == "--promote-at") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->promote_at = static_cast<size_t>(std::stoul(v));
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -221,7 +269,12 @@ void Usage() {
       "  --save-snapshot DIR persists the full serving state after\n"
       "  serving snapshot --snapshot-at K (0 = end of stream);\n"
       "  --load-snapshot DIR warm-restarts from it and --resume-at K\n"
-      "  continues the deterministic stream after the first K snapshots.\n");
+      "  continues the deterministic stream after the first K snapshots.\n"
+      "  --replicate-to DIR ships a base snapshot plus one epoch delta\n"
+      "  per serving snapshot into DIR (--replicate-snapshot-every K\n"
+      "  compacts behind a fresh base every K epochs); --follow DIR\n"
+      "  replays DIR as a follower, and --promote-at K fails over after\n"
+      "  serving snapshot K and serves the remaining stream itself.\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -285,12 +338,26 @@ ShardEnvironmentFactory MakeShardFactory(const ExperimentConfig& config) {
     env.measure = std::move(profile.measure);
     env.blocker = std::move(profile.blocker);
     env.min_similarity = profile.min_similarity;
-    TaskPipeline pipeline = MakeTaskPipeline(config);
-    env.objective = std::move(pipeline.objective);
-    env.bootstrap_objective = std::move(pipeline.bootstrap_objective);
-    env.validator = std::move(pipeline.validator);
-    env.batch_stages = std::move(pipeline.stages);
-    env.batch = std::move(pipeline.batch);
+    if (config.task == TaskKind::kDbscan) {
+      // Validator-only environment: DBSCAN has no objective, and its
+      // core-stability validator binds to the shard's similarity graph,
+      // which the service creates after this factory returns — hence
+      // the deferred validator_factory.
+      auto dbscan = std::make_unique<Dbscan>(config.dbscan);
+      const Dbscan* core = dbscan.get();
+      env.batch = std::move(dbscan);
+      env.validator_factory = [core](const SimilarityGraph* graph)
+          -> std::unique_ptr<ChangeValidator> {
+        return std::make_unique<DbscanValidator>(core, graph);
+      };
+    } else {
+      TaskPipeline pipeline = MakeTaskPipeline(config);
+      env.objective = std::move(pipeline.objective);
+      env.bootstrap_objective = std::move(pipeline.bootstrap_objective);
+      env.validator = std::move(pipeline.validator);
+      env.batch_stages = std::move(pipeline.stages);
+      env.batch = std::move(pipeline.batch);
+    }
     env.merge_model = std::make_unique<LogisticRegression>();
     env.split_model = std::make_unique<LogisticRegression>();
     return env;
@@ -334,9 +401,8 @@ void PrintFinalState(ShardedDynamicCService& service) {
 /// (correlation and db-index tasks). With --load-snapshot the service
 /// warm-restarts from a saved state and continues the deterministic
 /// stream at --resume-at.
-int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
-  WorkloadStream stream =
-      MakeStream(config.workload, config.scale, config.seed);
+ShardedDynamicCService::Options MakeServiceOptions(
+    const CliArgs& args, const ExperimentConfig& config) {
   ShardedDynamicCService::Options options;
   options.num_shards = args.shards;
   options.num_threads = args.threads;
@@ -359,8 +425,55 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   options.session.trainer = config.trainer;
   options.session.retrain_every = config.retrain_every;
   options.session.observe_every = config.observe_every;
+  return options;
+}
+
+int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
+  WorkloadStream stream =
+      MakeStream(config.workload, config.scale, config.seed);
+  ShardedDynamicCService::Options options = MakeServiceOptions(args, config);
   ShardedDynamicCService service(options, /*router=*/nullptr,
                                  MakeShardFactory(config));
+
+  // Replication: the primary publishes its base snapshot at the
+  // training -> serving transition, then seals (and ships) one epoch
+  // per serving snapshot.
+  std::unique_ptr<ReplicationSession> repl;
+  if (!args.replicate_to.empty()) {
+    ReplicationSession::Options repl_options;
+    repl_options.snapshot_every = args.replicate_snapshot_every;
+    repl = std::make_unique<ReplicationSession>(&service, args.replicate_to,
+                                                repl_options);
+  }
+  bool repl_started = false;
+  auto maybe_start_replication = [&args, &repl, &repl_started, &service] {
+    if (repl == nullptr || repl_started) return;
+    service.Flush();  // the trained state the base snapshot captures
+    Status status = repl->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "replicate-to failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    repl_started = true;
+    std::fprintf(stderr, "replicating to %s: base at epoch %llu\n",
+                 args.replicate_to.c_str(),
+                 static_cast<unsigned long long>(repl->last_base_epoch()));
+  };
+  auto report_replication = [&repl, &repl_started]() -> bool {
+    if (!repl_started) return true;
+    if (!repl->status().ok()) {
+      std::fprintf(stderr, "replication error: %s\n",
+                   repl->status().ToString().c_str());
+      return false;
+    }
+    std::fprintf(stderr,
+                 "replication: %llu deltas shipped, last base at epoch "
+                 "%llu\n",
+                 static_cast<unsigned long long>(repl->deltas_shipped()),
+                 static_cast<unsigned long long>(repl->last_base_epoch()));
+    return true;
+  };
 
   const bool resuming = !args.load_snapshot.empty();
   size_t resume_at = 0;
@@ -500,8 +613,9 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
     for (size_t snapshot = resume_at; snapshot < stream.snapshots.size();
          ++snapshot) {
       OperationBatch batch = translate(stream.snapshots[snapshot]);
-      Timer timer;
       bool observe = snapshot < static_cast<size_t>(config.training_rounds);
+      if (!observe) maybe_start_replication();
+      Timer timer;
       bool accepted = true;
       if (observe) {
         changed = service.ApplyOperations(batch);
@@ -526,6 +640,18 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
         service.Flush();
       }
       maybe_save(snapshot + 1);
+      // One sealed epoch per serving snapshot. A *replicated* async
+      // primary barriers the epoch before sealing it: un-barriered
+      // pipelining leaves the clustering dependent on where the drain
+      // workers happened to cut their bites — schedule noise no log can
+      // replay on workloads whose blocking groups interact. The barrier
+      // makes the shipped stream fully determine the state, so the
+      // follower's replay is byte-identical on every workload (and the
+      // queues still pipeline within each snapshot).
+      if (repl_started) {
+        service.Flush();
+        repl->SealEpoch();
+      }
     }
     Timer flush_timer;
     service.Flush();
@@ -559,6 +685,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                    ingest.adaptive_batch_min, ingest.adaptive_batch_max);
     }
     print_placement();
+    if (!report_replication()) return 1;
     PrintFinalState(service);
     return 0;
   }
@@ -567,9 +694,10 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                      "merges", "splits"});
   for (size_t snapshot = resume_at; snapshot < stream.snapshots.size();
        ++snapshot) {
+    bool observe = snapshot < static_cast<size_t>(config.training_rounds);
+    if (!observe) maybe_start_replication();
     Timer timer;
     changed = service.ApplyOperations(stream.snapshots[snapshot]);
-    bool observe = snapshot < static_cast<size_t>(config.training_rounds);
     ServiceReport report = observe ? service.ObserveBatchRound(changed)
                                    : service.DynamicRound(changed);
     double ms = timer.ElapsedMillis();
@@ -588,6 +716,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                   std::to_string(report.combined.merges_applied),
                   std::to_string(report.combined.splits_applied)});
     maybe_save(snapshot + 1);
+    if (repl_started) repl->SealEpoch();
   }
   maybe_save(0);
   if (args.csv) {
@@ -596,7 +725,94 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
     table.Print(std::cout);
   }
   print_placement();
+  if (!report_replication()) return 1;
   PrintFinalState(service);
+  return 0;
+}
+
+/// Follower mode (--follow DIR): restores the primary's base snapshot,
+/// replays the shipped epoch deltas, and either reports the replica's
+/// state (byte-equal `final:` line to the primary's) or — with
+/// --promote-at K — fails over after serving snapshot K and serves the
+/// remaining deterministic stream itself, with zero retraining.
+int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
+  const size_t training = static_cast<size_t>(config.training_rounds);
+  if (args.promote_at > 0 && args.promote_at < training) {
+    std::fprintf(stderr,
+                 "--promote-at must be >= the training rounds (%zu): the "
+                 "primary only seals epochs while serving\n",
+                 training);
+    return 2;
+  }
+  // --promote-at maps serving snapshot K to epoch base + (K - training),
+  // which assumes one sealed epoch per serving snapshot — i.e. the
+  // primary ran without --replicate-snapshot-every (each mid-stream base
+  // seals an extra epoch, and compaction retires the deltas a fresh
+  // process would need to stop *before* the newest base anyway). A
+  // long-running tailer promotes wherever it stands instead.
+  ShardedDynamicCService::Options options = MakeServiceOptions(args, config);
+  options.async.enabled = false;       // replay is already batched
+  options.rebalance.every_rounds = 0;  // placement arrives via the stream
+  Follower follower(args.follow, options, MakeShardFactory(config));
+  Status status = follower.Restore();
+  if (!status.ok()) {
+    std::fprintf(stderr, "follow failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const uint64_t base = follower.base_epoch();
+  std::fprintf(stderr, "following %s: base at epoch %llu\n",
+               args.follow.c_str(), static_cast<unsigned long long>(base));
+
+  if (args.promote_at == 0) {
+    size_t replayed = 0;
+    status = follower.CatchUp(&replayed);
+    if (!status.ok()) {
+      std::fprintf(stderr, "catch-up failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    follower.Flush();
+    std::fprintf(stderr, "caught up: %zu deltas replayed, at epoch %llu\n",
+                 replayed,
+                 static_cast<unsigned long long>(follower.epoch()));
+    PrintFinalState(follower.service());
+    return 0;
+  }
+
+  // Failover: the primary seals epoch base + (K - training) when it
+  // finishes serving snapshot K (one seal per serving snapshot), so
+  // that is the hand-over point.
+  const uint64_t target = base + (args.promote_at - training);
+  size_t replayed = 0;
+  status = follower.CatchUpTo(target, &replayed);
+  if (!status.ok()) {
+    std::fprintf(stderr, "catch-up to epoch %llu failed: %s\n",
+                 static_cast<unsigned long long>(target),
+                 status.ToString().c_str());
+    return 1;
+  }
+  follower.Flush();
+  std::unique_ptr<ShardedDynamicCService> service = follower.Promote();
+  std::fprintf(stderr,
+               "promoted at epoch %llu after %zu deltas (zero retraining); "
+               "serving the remaining stream\n",
+               static_cast<unsigned long long>(target), replayed);
+
+  // The new primary serves the rest of the deterministic stream the old
+  // one would have received, mirroring its cadence: a replicated
+  // primary barriers and seals one epoch per serving snapshot (sync and
+  // async alike), so the promoted service does the same.
+  WorkloadStream stream =
+      MakeStream(config.workload, config.scale, config.seed);
+  for (size_t snapshot = args.promote_at; snapshot < stream.snapshots.size();
+       ++snapshot) {
+    std::vector<ObjectId> changed =
+        service->ApplyOperations(stream.snapshots[snapshot]);
+    service->DynamicRound(changed);
+    service->CloseEpoch();
+  }
+  service->Flush();
+  PrintFinalState(*service);
   return 0;
 }
 
@@ -628,15 +844,24 @@ int main(int argc, char** argv) {
                args.method.c_str());
 
   if (args.shards > 1 || args.async || !args.load_snapshot.empty() ||
-      !args.save_snapshot.empty()) {
+      !args.save_snapshot.empty() || !args.replicate_to.empty() ||
+      !args.follow.empty()) {
     if ((config.task != TaskKind::kCorrelation &&
-         config.task != TaskKind::kDbIndex) ||
+         config.task != TaskKind::kDbIndex &&
+         config.task != TaskKind::kDbscan) ||
         args.method != "dynamicc") {
       std::fprintf(stderr,
-                   "--shards/--async/--*-snapshot require --task "
-                   "correlation|db-index --method dynamicc\n");
+                   "--shards/--async/--*-snapshot/--replicate-to/--follow "
+                   "require --task correlation|db-index|dbscan --method "
+                   "dynamicc\n");
       return 2;
     }
+    if (!args.follow.empty() && !args.replicate_to.empty()) {
+      std::fprintf(stderr,
+                   "--follow and --replicate-to are mutually exclusive\n");
+      return 2;
+    }
+    if (!args.follow.empty()) return RunFollower(args, config);
     return RunSharded(args, config);
   }
 

@@ -106,6 +106,32 @@ class OperationLog {
     return extracted;
   }
 
+  /// Epoch-range export: copies (without removing) every surviving
+  /// pending operation whose sequence number lies in [begin, end), in
+  /// arrival order, with sequences and logical counts — the primitive
+  /// for shipping or inspecting a sealed epoch's still-queued tail (the
+  /// operations a follower is guaranteed to receive once the epoch
+  /// applies). Entries keep their queue positions and keep coalescing
+  /// afterwards. Folds are attributed to their host entry's sequence,
+  /// consistent with first_pending_sequence().
+  Extracted ExportRange(uint64_t begin_sequence, uint64_t end_sequence) const;
+
+  /// Count-only sibling of ExportRange: the logical operations carried
+  /// by surviving entries with sequence in [begin, end), with no
+  /// copying. What the service's epoch-seal hook reports as the sealed
+  /// epochs' pending tail (replication lag) — cheap enough to sit under
+  /// the seal path's locks.
+  uint64_t LogicalInRange(uint64_t begin_sequence,
+                          uint64_t end_sequence) const {
+    uint64_t logical = 0;
+    for (const Entry& entry : entries_) {
+      if (entry.dead || entry.sequence < begin_sequence) continue;
+      if (entry.sequence >= end_sequence) break;  // entries are in order
+      logical += entry.logical;
+    }
+    return logical;
+  }
+
   /// Sequence number of the oldest surviving pending entry, or
   /// `appended()` when nothing is pending. Every appended operation with
   /// a sequence number below this is *reflected*: drained (its effect is

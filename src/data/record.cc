@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/string_utils.h"
+#include "util/wire.h"
 
 namespace dynamicc {
 
@@ -22,6 +23,41 @@ std::string DescribeRecord(const Record& record) {
   }
   os << "}";
   return os.str();
+}
+
+void WriteRecordWire(std::ostream& os, const Record& record) {
+  os << record.entity << " " << record.tokens.size() << " "
+     << record.numeric.size() << "\n";
+  for (const std::string& token : record.tokens) {
+    WriteLengthPrefixed(os, token);
+  }
+  WriteLengthPrefixed(os, record.text);
+  for (size_t d = 0; d < record.numeric.size(); ++d) {
+    os << (d > 0 ? " " : "") << record.numeric[d];
+  }
+  os << "\n";
+}
+
+Status ReadRecordWire(std::istream& is, size_t max_bytes, Record* record) {
+  size_t token_count = 0, numeric_count = 0;
+  if (!(is >> record->entity >> token_count >> numeric_count) ||
+      token_count > max_bytes || numeric_count > max_bytes) {
+    return Status::InvalidArgument("malformed record wire header");
+  }
+  record->tokens.resize(token_count);
+  for (std::string& token : record->tokens) {
+    Status status = ReadLengthPrefixed(is, max_bytes, &token);
+    if (!status.ok()) return status;
+  }
+  Status status = ReadLengthPrefixed(is, max_bytes, &record->text);
+  if (!status.ok()) return status;
+  record->numeric.resize(numeric_count);
+  for (size_t d = 0; d < numeric_count; ++d) {
+    if (!(is >> record->numeric[d])) {
+      return Status::InvalidArgument("malformed record wire numerics");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace dynamicc

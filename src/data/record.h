@@ -1,10 +1,12 @@
 #ifndef DYNAMICC_DATA_RECORD_H_
 #define DYNAMICC_DATA_RECORD_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "data/types.h"
+#include "util/status.h"
 
 namespace dynamicc {
 
@@ -31,6 +33,21 @@ struct Record {
 
 /// Returns a short human-readable description (for logs and examples).
 std::string DescribeRecord(const Record& record);
+
+/// Line-oriented wire form of a record's content — the ONE dialect
+/// every durable format speaks (service snapshots, replication deltas):
+/// "entity token_count numeric_count\n", length-prefixed tokens and
+/// text (util/wire.h), then the numerics line. Callers set the stream's
+/// double precision (both formats use 17 significant digits, exact
+/// round trip) and may prepend their own fields to the header line
+/// (the snapshot's alive flag). The id is not written: it is assigned
+/// by the consuming Dataset.
+void WriteRecordWire(std::ostream& os, const Record& record);
+
+/// Reads one WriteRecordWire block. `max_bytes` bounds the declared
+/// counts (callers pass the enclosing file's size) so corrupted counts
+/// are rejected instead of honored with giant allocations.
+Status ReadRecordWire(std::istream& is, size_t max_bytes, Record* record);
 
 }  // namespace dynamicc
 

@@ -1,0 +1,265 @@
+#include "replication/delta_log.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "service/snapshot.h"
+#include "util/wire.h"
+
+namespace dynamicc {
+
+namespace {
+
+constexpr int kDoublePrecision = 17;  // round-trips IEEE doubles exactly
+
+/// "delta-<epoch>.dat" -> epoch; "base-<epoch>" -> epoch.
+bool ParseTaggedName(const std::string& name, const std::string& prefix,
+                     const std::string& suffix, uint64_t* epoch) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+}  // namespace
+
+DeltaLog::DeltaLog(std::string dir) : dir_(std::move(dir)) {}
+
+Status DeltaLog::Init() const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create replication directory " + dir_ +
+                           ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+std::string DeltaLog::DeltaPathFor(uint64_t epoch) const {
+  return JoinPath(dir_, "delta-" + std::to_string(epoch) + ".dat");
+}
+
+std::string DeltaLog::BaseDirFor(uint64_t epoch) const {
+  return JoinPath(dir_, "base-" + std::to_string(epoch));
+}
+
+Status DeltaLog::WriteDelta(
+    uint64_t epoch, uint64_t pending_at_seal,
+    const std::vector<ReplicationEvent>& events) const {
+  std::ostringstream os;
+  os << std::setprecision(kDoublePrecision);
+  os << "events " << events.size() << "\n";
+  for (const ReplicationEvent& event : events) {
+    switch (event.kind) {
+      case ReplicationEvent::Kind::kBatch: {
+        os << "batch " << event.ops.size() << "\n";
+        for (const DataOperation& op : event.ops) {
+          os << static_cast<int>(op.kind) << " " << op.target << "\n";
+          WriteRecordWire(os, op.record);
+        }
+        break;
+      }
+      case ReplicationEvent::Kind::kMigration:
+        os << "migrate " << event.group << " " << event.to_shard << "\n";
+        break;
+      case ReplicationEvent::Kind::kBarrier: {
+        os << "barrier "
+           << (event.barrier == StreamObserver::Barrier::kObserve ? 0 : 1)
+           << " " << event.hints.size();
+        for (ObjectId hint : event.hints) os << " " << hint;
+        os << "\n";
+        break;
+      }
+    }
+  }
+  const std::string payload = os.str();
+  std::ostringstream file;
+  file << "dynamicc-delta " << kDeltaFormatVersion << " " << epoch << " "
+       << pending_at_seal << " " << payload.size() << " " << std::hex
+       << SnapshotChecksum(payload) << std::dec << "\n"
+       << payload;
+  return WriteFileAtomic(DeltaPathFor(epoch), file.str());
+}
+
+Status DeltaLog::ReadDelta(uint64_t epoch,
+                           std::vector<ReplicationEvent>* events,
+                           DeltaInfo* info) const {
+  std::string bytes;
+  Status status = ReadFileBytes(DeltaPathFor(epoch), &bytes);
+  if (!status.ok()) return status;
+
+  std::istringstream is(bytes);
+  std::string magic;
+  DeltaInfo header;
+  uint64_t payload_size = 0, checksum = 0;
+  if (!(is >> magic >> header.format_version >> header.epoch >>
+        header.pending_at_seal >> payload_size >> std::hex >> checksum >>
+        std::dec) ||
+      magic != "dynamicc-delta") {
+    return Status::InvalidArgument("not a dynamicc delta file: " +
+                                   DeltaPathFor(epoch));
+  }
+  if (header.format_version != kDeltaFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported delta format version " +
+        std::to_string(header.format_version) + " (expected " +
+        std::to_string(kDeltaFormatVersion) + ")");
+  }
+  if (header.epoch != epoch) {
+    return Status::InvalidArgument("delta file names epoch " +
+                                   std::to_string(header.epoch) +
+                                   ", expected " + std::to_string(epoch));
+  }
+  is.get();  // the newline ending the header
+  const size_t payload_offset = static_cast<size_t>(is.tellg());
+  if (payload_offset > bytes.size() ||
+      bytes.size() - payload_offset != payload_size) {
+    return Status::InvalidArgument(
+        "delta payload is truncated or padded: " +
+        std::to_string(bytes.size() - payload_offset) +
+        " bytes, header says " + std::to_string(payload_size));
+  }
+  const std::string payload = bytes.substr(payload_offset);
+  if (SnapshotChecksum(payload) != checksum) {
+    return Status::InvalidArgument(DeltaPathFor(epoch) +
+                                   " failed its checksum: delta is "
+                                   "corrupted");
+  }
+
+  std::istringstream ps(payload);
+  std::string tag;
+  size_t event_count = 0;
+  if (!(ps >> tag >> event_count) || tag != "events" ||
+      event_count > payload.size()) {
+    return Status::InvalidArgument("malformed delta event header");
+  }
+  header.event_count = event_count;
+  events->clear();
+  events->reserve(event_count);
+  for (size_t e = 0; e < event_count; ++e) {
+    if (!(ps >> tag)) {
+      return Status::InvalidArgument("truncated delta event list");
+    }
+    ReplicationEvent event;
+    if (tag == "batch") {
+      event.kind = ReplicationEvent::Kind::kBatch;
+      size_t op_count = 0;
+      if (!(ps >> op_count) || op_count > payload.size()) {
+        return Status::InvalidArgument("malformed delta batch header");
+      }
+      event.ops.resize(op_count);
+      for (DataOperation& op : event.ops) {
+        int kind = 0;
+        if (!(ps >> kind >> op.target) || kind < 0 || kind > 2) {
+          return Status::InvalidArgument("malformed delta operation");
+        }
+        op.kind = static_cast<DataOperation::Kind>(kind);
+        status = ReadRecordWire(ps, payload.size(), &op.record);
+        if (!status.ok()) return status;
+      }
+    } else if (tag == "migrate") {
+      event.kind = ReplicationEvent::Kind::kMigration;
+      if (!(ps >> event.group >> event.to_shard)) {
+        return Status::InvalidArgument("malformed delta migration");
+      }
+    } else if (tag == "barrier") {
+      event.kind = ReplicationEvent::Kind::kBarrier;
+      int observe = 0;
+      size_t hint_count = 0;
+      if (!(ps >> observe >> hint_count) || hint_count > payload.size()) {
+        return Status::InvalidArgument("malformed delta barrier");
+      }
+      event.barrier = observe == 0 ? StreamObserver::Barrier::kObserve
+                                   : StreamObserver::Barrier::kDynamic;
+      event.hints.resize(hint_count);
+      for (ObjectId& hint : event.hints) {
+        if (!(ps >> hint)) {
+          return Status::InvalidArgument("malformed delta barrier hints");
+        }
+      }
+    } else {
+      return Status::InvalidArgument("unknown delta event kind: " + tag);
+    }
+    events->push_back(std::move(event));
+  }
+  if (info != nullptr) *info = header;
+  return Status::Ok();
+}
+
+Status DeltaLog::List(State* state) const {
+  state->bases.clear();
+  state->deltas.clear();
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) {
+    return Status::NotFound("cannot list replication directory " + dir_ +
+                            ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    uint64_t epoch = 0;
+    if (ParseTaggedName(name, "delta-", ".dat", &epoch)) {
+      state->deltas.push_back(epoch);
+    } else if (ParseTaggedName(name, "base-", "", &epoch)) {
+      state->bases.push_back(epoch);
+    }
+    // Everything else — "*.tmp" in-flight deltas, "*.saving" snapshot
+    // scratch — is an unpublished artifact and invisible to readers.
+  }
+  std::sort(state->bases.begin(), state->bases.end());
+  std::sort(state->deltas.begin(), state->deltas.end());
+  return Status::Ok();
+}
+
+Status DeltaLog::Compact(uint64_t new_base_epoch) const {
+  State state;
+  Status status = List(&state);
+  if (!status.ok()) return status;
+  // The previous base bounds which deltas live tailers may still need.
+  uint64_t previous_base = 0;
+  bool has_previous = false;
+  for (uint64_t base : state.bases) {
+    if (base < new_base_epoch) {
+      previous_base = base;
+      has_previous = true;
+    }
+  }
+  const uint64_t delta_floor = has_previous ? previous_base : new_base_epoch;
+  std::error_code ec;
+  for (uint64_t base : state.bases) {
+    if (base >= new_base_epoch) continue;
+    std::filesystem::remove_all(BaseDirFor(base), ec);
+    if (ec) {
+      // A failed removal must surface (it latches into the session's
+      // sticky status): otherwise stale artifacts accumulate while the
+      // operator believes the log is bounded.
+      return Status::IoError("compaction cannot remove " + BaseDirFor(base) +
+                             ": " + ec.message());
+    }
+  }
+  for (uint64_t delta : state.deltas) {
+    if (delta > delta_floor) continue;
+    std::filesystem::remove(DeltaPathFor(delta), ec);
+    if (ec) {
+      return Status::IoError("compaction cannot remove " +
+                             DeltaPathFor(delta) + ": " + ec.message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,177 @@
+#include "replication/follower.h"
+
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+
+Follower::Follower(
+    std::string replication_dir,
+    ShardedDynamicCService::Options service_options,
+    ShardEnvironmentFactory factory,
+    std::function<std::unique_ptr<ShardRouter>()> router_factory)
+    : log_(std::move(replication_dir)),
+      options_(service_options),
+      factory_(std::move(factory)),
+      router_factory_(std::move(router_factory)) {
+  // Placement decisions arrive through the replicated stream; a
+  // follower-side rebalancer would publish its own on top and the
+  // version numbering would fork.
+  DYNAMICC_CHECK_EQ(options_.rebalance.every_rounds, 0u)
+      << "followers must not rebalance on their own";
+}
+
+std::unique_ptr<ShardedDynamicCService> Follower::MakeService() const {
+  return std::make_unique<ShardedDynamicCService>(
+      options_, router_factory_ ? router_factory_() : nullptr, factory_);
+}
+
+Status Follower::LoadBase(uint64_t base) {
+  auto fresh = MakeService();
+  Status status = fresh->LoadSnapshot(log_.BaseDirFor(base));
+  if (!status.ok()) return status;
+  service_ = std::move(fresh);
+  base_epoch_ = base;
+  restores_ += 1;
+  return Status::Ok();
+}
+
+Status Follower::Restore() {
+  Status status;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    DeltaLog::State state;
+    status = log_.List(&state);
+    if (!status.ok()) return status;
+    if (state.bases.empty()) {
+      return Status::NotFound("no base snapshot in " + log_.dir());
+    }
+    status = LoadBase(state.bases.back());
+    if (status.ok()) return status;
+    // The primary's compaction may have retired this base between the
+    // listing and the load — in which case a newer one exists: rescan
+    // and retry. A load failure with the base still present is real.
+    if (std::filesystem::exists(log_.BaseDirFor(state.bases.back()))) {
+      return status;
+    }
+  }
+  return status;
+}
+
+uint64_t Follower::epoch() const {
+  return service_ ? service_->open_epoch() - 1 : 0;
+}
+
+Status Follower::CatchUp(size_t* replayed) {
+  return CatchUpTo(std::numeric_limits<uint64_t>::max(), replayed);
+}
+
+Status Follower::CatchUpTo(uint64_t target, size_t* replayed) {
+  if (replayed != nullptr) *replayed = 0;
+  if (service_ == nullptr) {
+    return Status::InvalidArgument("CatchUp before Restore");
+  }
+  const bool bounded = target != std::numeric_limits<uint64_t>::max();
+  while (epoch() < target) {
+    const uint64_t next = epoch() + 1;
+    const std::string next_path = log_.DeltaPathFor(next);
+    if (std::filesystem::exists(next_path)) {
+      std::vector<ReplicationEvent> events;
+      Status status = log_.ReadDelta(next, &events);
+      if (status.ok()) {
+        status = ReplayDelta(next, events);
+        if (!status.ok()) return status;
+        if (replayed != nullptr) *replayed += 1;
+        continue;
+      }
+      // A read failure with the file still present is corruption —
+      // fatal, never skipped. If the file vanished between the exists
+      // check and the read, compaction raced us: fall through to the
+      // rebuild scan below like any other missing delta.
+      if (std::filesystem::exists(next_path)) return status;
+    }
+    // The next delta is not (or no longer) there. If compaction moved
+    // the log past us, a newer base exists: rebuild from it and keep
+    // tailing. Otherwise we are simply caught up with what shipped.
+    DeltaLog::State state;
+    Status status = log_.List(&state);
+    if (!status.ok()) return status;
+    if (!state.bases.empty() && state.bases.back() > epoch() &&
+        state.bases.back() <= target) {
+      status = LoadBase(state.bases.back());
+      if (!status.ok()) {
+        // Same compaction race as Restore: a base retired mid-load
+        // means a newer one exists — loop back and rescan.
+        if (std::filesystem::exists(log_.BaseDirFor(state.bases.back()))) {
+          return status;
+        }
+      }
+      continue;
+    }
+    break;
+  }
+  if (bounded && epoch() < target) {
+    return Status::NotFound("epoch " + std::to_string(target) +
+                            " has not shipped yet (replica at " +
+                            std::to_string(epoch()) + ")");
+  }
+  return Status::Ok();
+}
+
+Status Follower::ReplayDelta(uint64_t epoch,
+                             const std::vector<ReplicationEvent>& events) {
+  for (const ReplicationEvent& event : events) {
+    switch (event.kind) {
+      case ReplicationEvent::Kind::kBatch: {
+        // The journaled targets double as a lockstep proof: the adds'
+        // stamped ids must be exactly what this replica's own dense
+        // admission assigns.
+        std::vector<ObjectId> expected;
+        for (const DataOperation& op : event.ops) {
+          if (op.kind != DataOperation::Kind::kRemove) {
+            expected.push_back(op.target);
+          }
+        }
+        std::vector<ObjectId> changed = service_->ApplyOperations(event.ops);
+        if (changed != expected) {
+          return Status::InvalidArgument(
+              "replication stream diverged at epoch " +
+              std::to_string(epoch) +
+              ": replica assigned different global ids");
+        }
+        break;
+      }
+      case ReplicationEvent::Kind::kMigration:
+        service_->MigrateGroup(event.group, event.to_shard);
+        break;
+      case ReplicationEvent::Kind::kBarrier:
+        if (event.barrier == StreamObserver::Barrier::kObserve) {
+          service_->ObserveBatchRound(event.hints);
+        } else {
+          service_->DynamicRound(event.hints);
+        }
+        break;
+    }
+  }
+  const uint64_t sealed = service_->CloseEpoch();
+  if (sealed != epoch) {
+    return Status::InvalidArgument(
+        "replica sealed epoch " + std::to_string(sealed) + ", delta is " +
+        std::to_string(epoch) + " — log is missing an epoch");
+  }
+  return Status::Ok();
+}
+
+ServiceReport Follower::Flush() {
+  DYNAMICC_CHECK(service_ != nullptr) << "Flush before Restore";
+  return service_->Flush();
+}
+
+std::unique_ptr<ShardedDynamicCService> Follower::Promote() {
+  DYNAMICC_CHECK(service_ != nullptr) << "Promote before Restore";
+  return std::move(service_);
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,100 @@
+#ifndef DYNAMICC_REPLICATION_FOLLOWER_H_
+#define DYNAMICC_REPLICATION_FOLLOWER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replication/delta_log.h"
+#include "service/sharded_service.h"
+#include "util/status.h"
+
+namespace dynamicc {
+
+/// Replica of a replicated ShardedDynamicCService: restores the newest
+/// base snapshot from the replication directory, then replays shipped
+/// delta epochs — admitted batches through its own ingest boundary,
+/// migrations through MigrateGroup, barriers with the primary's own
+/// hints — so its clusterings, models, placement versions and dense id
+/// assignment stay byte-identical to the primary at every sealed epoch,
+/// with zero retraining. When compaction has advanced past the next
+/// delta (the follower fell more than one base interval behind), the
+/// follower rebuilds itself from the newest base and keeps tailing.
+///
+/// Failover is Promote(): the follower hands over its service, which is
+/// a full primary — same placement version, same id maps, same models —
+/// and stays in lockstep when fed the stream the old primary would have
+/// received next.
+///
+/// The service replays in whatever mode `service_options` configures
+/// (sync is the natural choice: replay is already batched); automatic
+/// rebalancing must be off — migrations arrive through the stream, and
+/// a follower-side rebalancer would double-apply placement decisions.
+class Follower {
+ public:
+  /// `router_factory` (optional) must build the same router type the
+  /// primary uses (null = the service default); `factory` the same
+  /// per-shard environments. Both are retained: a compaction-triggered
+  /// rebuild constructs a fresh service from them.
+  Follower(std::string replication_dir,
+           ShardedDynamicCService::Options service_options,
+           ShardEnvironmentFactory factory,
+           std::function<std::unique_ptr<ShardRouter>()> router_factory =
+               nullptr);
+
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  /// Restores the newest base snapshot into a fresh service.
+  Status Restore();
+
+  /// Replays every shipped delta in epoch order until none is left
+  /// (then returns Ok — a live tail simply calls this again later).
+  Status CatchUp(size_t* replayed = nullptr);
+
+  /// Replays until the follower has applied sealed epoch `target`;
+  /// fails if the log cannot reach it yet.
+  Status CatchUpTo(uint64_t target, size_t* replayed = nullptr);
+
+  /// Highest sealed epoch fully replayed (= the base epoch right after
+  /// Restore); 0 before Restore.
+  uint64_t epoch() const;
+  /// Epoch of the base snapshot the current service was restored from.
+  uint64_t base_epoch() const { return base_epoch_; }
+  /// Base restores performed (1 after Restore; +1 per compaction-forced
+  /// rebuild).
+  uint64_t restores() const { return restores_; }
+
+  /// Read barrier: flushes the replica so reads reflect every replayed
+  /// epoch (equivalent to the primary's state at epoch()).
+  ServiceReport Flush();
+
+  /// Failover: detaches and returns the service. The follower is spent
+  /// afterwards (service() must not be called).
+  std::unique_ptr<ShardedDynamicCService> Promote();
+
+  ShardedDynamicCService& service() { return *service_; }
+  const ShardedDynamicCService& service() const { return *service_; }
+  const DeltaLog& log() const { return log_; }
+
+ private:
+  std::unique_ptr<ShardedDynamicCService> MakeService() const;
+  Status LoadBase(uint64_t base);
+  /// Replays one delta and seals the matching epoch on the replica.
+  Status ReplayDelta(uint64_t epoch,
+                     const std::vector<ReplicationEvent>& events);
+
+  DeltaLog log_;
+  ShardedDynamicCService::Options options_;
+  ShardEnvironmentFactory factory_;
+  std::function<std::unique_ptr<ShardRouter>()> router_factory_;
+  std::unique_ptr<ShardedDynamicCService> service_;
+  uint64_t base_epoch_ = 0;
+  uint64_t restores_ = 0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_REPLICATION_FOLLOWER_H_

@@ -1,0 +1,191 @@
+#include "replication/replication_session.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "service/snapshot.h"
+
+namespace dynamicc {
+
+ReplicationSession::ReplicationSession(ShardedDynamicCService* service,
+                                       std::string dir, Options options)
+    : service_(service), log_(std::move(dir)), options_(options) {}
+
+ReplicationSession::~ReplicationSession() { Stop(); }
+
+Status ReplicationSession::Start() {
+  Status status = log_.Init();
+  if (!status.ok()) return status;
+  // A session bootstraps a *fresh* log: artifacts left by an earlier
+  // primary in the same directory would shadow the new base for
+  // followers (Restore picks the highest base epoch, and a dead run's
+  // epochs may be higher than this service's). Resuming an existing
+  // log instead of sweeping it is the chained-replication ROADMAP item.
+  {
+    DeltaLog::State stale;
+    status = log_.List(&stale);
+    if (!status.ok()) return status;
+    std::error_code ec;
+    for (uint64_t base : stale.bases) {
+      std::filesystem::remove_all(log_.BaseDirFor(base), ec);
+      if (ec) {
+        return Status::IoError("cannot sweep stale base " +
+                               log_.BaseDirFor(base) + ": " + ec.message());
+      }
+    }
+    for (uint64_t delta : stale.deltas) {
+      std::filesystem::remove(log_.DeltaPathFor(delta), ec);
+      if (ec) {
+        return Status::IoError("cannot sweep stale delta " +
+                               log_.DeltaPathFor(delta) + ": " +
+                               ec.message());
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    status_ = Status::Ok();
+    attached_ = true;
+  }
+  service_->SetStreamObserver(this);
+
+  // The initial base: SaveSnapshot seals the epoch currently open (its
+  // delta — events between attach and seal, normally none — ships
+  // through the hook and is compacted right away). The caller is
+  // quiescent per the contract, so the epoch read here is the one the
+  // save seals; the manifest read-back pins it.
+  const uint64_t base_epoch = service_->open_epoch();
+  const std::string base_dir = log_.BaseDirFor(base_epoch);
+  status = service_->SaveSnapshot(base_dir);
+  if (!status.ok()) {
+    Stop();
+    return status;
+  }
+  SnapshotInfo info;
+  status = ReadSnapshotInfo(base_dir, &info);
+  if (!status.ok() || info.epoch != base_epoch) {
+    Stop();
+    return status.ok()
+               ? Status::InvalidArgument(
+                     "base snapshot sealed epoch " +
+                     std::to_string(info.epoch) + ", expected " +
+                     std::to_string(base_epoch) +
+                     " (epochs sealed concurrently with Start?)")
+               : status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_base_epoch_ = base_epoch;
+    epochs_since_base_ = 0;
+  }
+  return log_.Compact(base_epoch);
+}
+
+void ReplicationSession::Stop() {
+  bool detach = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    detach = attached_;
+    attached_ = false;
+  }
+  if (detach) service_->SetStreamObserver(nullptr);
+}
+
+uint64_t ReplicationSession::SealEpoch() {
+  const uint64_t epoch = service_->CloseEpoch();  // hook ships the delta
+  bool want_base = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    want_base = options_.snapshot_every > 0 &&
+                epochs_since_base_ >= options_.snapshot_every;
+  }
+  if (want_base) {
+    // Base publication seals one extra epoch (the save's own); its delta
+    // ships first, so live tailers replay straight across the cut while
+    // fresh followers start from the base.
+    const uint64_t base_epoch = service_->open_epoch();
+    const std::string base_dir = log_.BaseDirFor(base_epoch);
+    Status status = service_->SaveSnapshot(base_dir);
+    if (status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        last_base_epoch_ = base_epoch;
+        epochs_since_base_ = 0;
+      }
+      status = log_.Compact(base_epoch);
+    }
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (status_.ok()) status_ = status;
+    }
+  }
+  return epoch;
+}
+
+Status ReplicationSession::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+uint64_t ReplicationSession::last_base_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_base_epoch_;
+}
+
+uint64_t ReplicationSession::deltas_shipped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deltas_shipped_;
+}
+
+uint64_t ReplicationSession::pending_at_seals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_at_seals_;
+}
+
+void ReplicationSession::OnAdmitted(OperationBatch operations) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplicationEvent event;
+  event.kind = ReplicationEvent::Kind::kBatch;
+  event.ops = std::move(operations);
+  events_.push_back(std::move(event));
+}
+
+void ReplicationSession::OnEpochSealed(uint64_t epoch,
+                                       uint64_t pending_tail_ops) {
+  // Called from the service's seal path (ingest lock held): buffer out,
+  // file written, sticky error latched on failure — the primary keeps
+  // serving either way.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ReplicationEvent> sealed;
+  sealed.swap(events_);
+  Status status = log_.WriteDelta(epoch, pending_tail_ops, sealed);
+  if (!status.ok()) {
+    if (status_.ok()) status_ = status;
+    return;
+  }
+  deltas_shipped_ += 1;
+  pending_at_seals_ += pending_tail_ops;
+  epochs_since_base_ += 1;
+}
+
+void ReplicationSession::OnMigration(uint64_t group, uint32_t to_shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplicationEvent event;
+  event.kind = ReplicationEvent::Kind::kMigration;
+  event.group = group;
+  event.to_shard = to_shard;
+  events_.push_back(std::move(event));
+}
+
+void ReplicationSession::OnBarrier(Barrier kind,
+                                   const std::vector<ObjectId>& hints) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplicationEvent event;
+  event.kind = ReplicationEvent::Kind::kBarrier;
+  event.barrier = kind;
+  event.hints = hints;
+  events_.push_back(std::move(event));
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,107 @@
+#ifndef DYNAMICC_REPLICATION_REPLICATION_SESSION_H_
+#define DYNAMICC_REPLICATION_REPLICATION_SESSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "replication/delta_log.h"
+#include "service/sharded_service.h"
+#include "util/status.h"
+
+namespace dynamicc {
+
+/// Primary-side replication: attaches to a live ShardedDynamicCService
+/// as its StreamObserver, buffers every admitted batch, migration and
+/// barrier, and ships the buffer as one checksummed delta whenever an
+/// epoch seals — the epoch-seal path *is* the shipping path, so a
+/// primary that seals an epoch per serving round streams its state
+/// change by change with no extra barriers. Every `snapshot_every`
+/// sealed epochs the session also cuts a full base snapshot into the
+/// replication directory and compacts the delta log behind it, keeping
+/// the directory bounded by one base plus one compaction interval.
+///
+/// Lifecycle:
+///
+///   ReplicationSession repl(&service, "replica_dir", options);
+///   Status s = repl.Start();      // attach + initial base snapshot
+///   ...
+///   per serving round: ingest / barrier as usual, then
+///   uint64_t epoch = repl.SealEpoch();   // ships delta-<epoch>.dat
+///   ...
+///   repl.Stop();                  // detach (also done by ~)
+///
+/// Hook-side failures (disk full mid-seal) cannot be returned through
+/// the service's seal path, so they latch into status(): the primary
+/// keeps serving — replication degrades, the service does not — and the
+/// operator checks status() at the cadence they check any replica lag.
+class ReplicationSession : public StreamObserver {
+ public:
+  struct Options {
+    /// Cut a full base snapshot and compact shipped deltas every K
+    /// sealed epochs (0 = only the initial base at Start()).
+    uint32_t snapshot_every = 0;
+  };
+
+  /// `service` must outlive the session or Stop() must run first.
+  ReplicationSession(ShardedDynamicCService* service, std::string dir,
+                     Options options);
+  ~ReplicationSession() override;
+
+  ReplicationSession(const ReplicationSession&) = delete;
+  ReplicationSession& operator=(const ReplicationSession&) = delete;
+
+  /// Attaches to the service and publishes the initial base snapshot
+  /// (sealing one epoch; its delta — events between attach and seal,
+  /// normally none — is shipped and immediately compacted away). Call
+  /// at a quiescent point: after training barriers, no in-flight
+  /// producers.
+  Status Start();
+
+  /// Detaches from the service. Idempotent.
+  void Stop();
+
+  /// Seals the current epoch through the service (which ships its delta
+  /// via the OnEpochSealed hook) and, at the snapshot_every cadence,
+  /// cuts a base snapshot + compacts. Returns the sealed epoch.
+  uint64_t SealEpoch();
+
+  /// First hook-side error, sticky (Ok while healthy).
+  Status status() const;
+
+  const DeltaLog& log() const { return log_; }
+  uint64_t last_base_epoch() const;
+  uint64_t deltas_shipped() const;
+  /// Sum of DeltaInfo::pending_at_seal over shipped deltas: how much
+  /// sealed-but-unapplied backlog the primary carried at its seals.
+  uint64_t pending_at_seals() const;
+
+  // StreamObserver hooks (called by the service; not for direct use).
+  void OnAdmitted(OperationBatch operations) override;
+  void OnEpochSealed(uint64_t epoch, uint64_t pending_tail_ops) override;
+  void OnMigration(uint64_t group, uint32_t to_shard) override;
+  void OnBarrier(Barrier kind, const std::vector<ObjectId>& hints) override;
+
+ private:
+  ShardedDynamicCService* service_;
+  DeltaLog log_;
+  Options options_;
+
+  /// Guards everything below. OnEpochSealed writes the delta file while
+  /// holding it: seals are already serialized by the service's ingest
+  /// lock, and keeping the write inside the critical section pins the
+  /// buffer-to-file ordering without a second handshake.
+  mutable std::mutex mutex_;
+  bool attached_ = false;
+  std::vector<ReplicationEvent> events_;
+  uint64_t last_base_epoch_ = 0;
+  uint64_t deltas_shipped_ = 0;
+  uint64_t pending_at_seals_ = 0;
+  uint64_t epochs_since_base_ = 0;
+  Status status_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_REPLICATION_REPLICATION_SESSION_H_

@@ -44,13 +44,20 @@ ShardedDynamicCService::ShardedDynamicCService(
     shard->env = factory();
     DYNAMICC_CHECK(shard->env.measure != nullptr);
     DYNAMICC_CHECK(shard->env.blocker != nullptr);
-    DYNAMICC_CHECK(shard->env.validator != nullptr);
     DYNAMICC_CHECK(shard->env.batch != nullptr);
     DYNAMICC_CHECK(shard->env.merge_model != nullptr);
     DYNAMICC_CHECK(shard->env.split_model != nullptr);
     shard->graph = std::make_unique<SimilarityGraph>(
         &shard->dataset, shard->env.measure.get(),
         std::move(shard->env.blocker), shard->env.min_similarity);
+    // Validator-only environments (DBSCAN) build their validator against
+    // the shard's graph, which only exists now.
+    if (shard->env.validator == nullptr && shard->env.validator_factory) {
+      shard->env.validator = shard->env.validator_factory(shard->graph.get());
+    }
+    DYNAMICC_CHECK(shard->env.validator != nullptr)
+        << "environment provides neither a validator nor a validator "
+           "factory";
     shard->session = std::make_unique<DynamicCSession>(
         &shard->dataset, shard->graph.get(), shard->env.batch.get(),
         shard->env.validator.get(), std::move(shard->env.merge_model),
@@ -148,8 +155,19 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
   for (size_t s = 0; s < shards_.size(); ++s) {
     per_shard[s].reserve(slice_size[s]);
   }
+  // The replication feed journals the batch exactly as admitted: global
+  // admission order, adds stamped with their assigned ids — replaying it
+  // through a fresh service's own ingest boundary reassigns the same
+  // ids. The copy is made outside the locks and stamped afterwards
+  // (ids are dense from the pre-commit watermark, so the k-th add got
+  // first_add_id + k); the sink takes ownership, so this is the only
+  // copy the feed costs the ingest path.
+  OperationBatch journal;
+  if (observer_ != nullptr) journal = operations;
+  ObjectId first_add_id = kInvalidObject;
   {
     std::lock_guard<std::mutex> loc_lock(locations_mutex_);
+    first_add_id = static_cast<ObjectId>(locations_.size());
     size_t add_index = 0;
     for (size_t i = 0; i < operations.size(); ++i) {
       DataOperation routed = operations[i];
@@ -167,6 +185,13 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
       }
       per_shard[shard_of[i]].push_back(std::move(routed));
     }
+  }
+  if (observer_ != nullptr && !journal.empty()) {
+    ObjectId next_add_id = first_add_id;
+    for (DataOperation& op : journal) {
+      if (op.kind == DataOperation::Kind::kAdd) op.target = next_add_id++;
+    }
+    observer_->OnAdmitted(std::move(journal));
   }
 
   if (!async) {
@@ -411,6 +436,19 @@ ShardedDynamicCService::TakePendingChanged() {
   return hints;
 }
 
+std::vector<ObjectId> ShardedDynamicCService::GlobalizeHints(
+    const std::vector<std::vector<ObjectId>>& local_hints) const {
+  std::vector<ObjectId> global;
+  for (size_t s = 0; s < shards_.size() && s < local_hints.size(); ++s) {
+    if (local_hints[s].empty()) continue;
+    std::lock_guard<std::mutex> round_lock(shards_[s]->round_mutex);
+    for (ObjectId local : local_hints[s]) {
+      global.push_back(shards_[s]->global_of_local.at(local));
+    }
+  }
+  return global;
+}
+
 ServiceReport ShardedDynamicCService::ObserveBatchRound(
     const std::vector<ObjectId>& changed) {
   std::vector<std::vector<ObjectId>> hints;
@@ -423,6 +461,10 @@ ServiceReport ShardedDynamicCService::ObserveBatchRound(
     hints = TakePendingChanged();
   } else {
     hints = LocalizeChanged(changed);
+  }
+  if (observer_ != nullptr) {
+    observer_->OnBarrier(StreamObserver::Barrier::kObserve,
+                         async() ? GlobalizeHints(hints) : changed);
   }
   ServiceReport report;
   report.train_shards.resize(shards_.size());
@@ -475,6 +517,10 @@ ServiceReport ShardedDynamicCService::DynamicRound(
     hints = TakePendingChanged();
   } else {
     hints = LocalizeChanged(changed);
+  }
+  if (observer_ != nullptr) {
+    observer_->OnBarrier(StreamObserver::Barrier::kDynamic,
+                         async() ? GlobalizeHints(hints) : changed);
   }
   return ServeBarrier(std::move(hints), /*flush_epoch=*/0);
 }
@@ -571,6 +617,7 @@ uint64_t ShardedDynamicCService::CloseEpochLocked() {
   // ingest_mutex_ is held: no admission races the seal, so the recorded
   // boundaries cover exactly the operations of this epoch and earlier.
   const uint64_t closed = open_epoch_.fetch_add(1);
+  uint64_t pending_tail = 0;
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.queue_mutex);
@@ -587,6 +634,16 @@ uint64_t ShardedDynamicCService::CloseEpochLocked() {
     } else {
       shard.epoch_marks.push_back(Shard::EpochMark{closed, boundary});
     }
+    if (observer_ != nullptr) {
+      // Everything still queued below the seal boundary is
+      // sealed-but-unapplied — the primary's replication lag at this
+      // boundary, which the delta log records per epoch. Count-only
+      // (ExportRange's copying sibling has no place under these locks).
+      pending_tail += shard.log.LogicalInRange(0, boundary);
+    }
+  }
+  if (observer_ != nullptr) {
+    observer_->OnEpochSealed(closed, pending_tail);
   }
   return closed;
 }
@@ -639,7 +696,12 @@ ServiceReport ShardedDynamicCService::Flush(uint64_t epoch) {
   // (trained shards were rounded by their workers batch by batch; the
   // hints carry the applied-but-unrounded objects of untrained ones).
   // No Drain(): later-epoch queue contents stay queued.
-  return ServeBarrier(TakePendingChanged(), epoch);
+  std::vector<std::vector<ObjectId>> hints = TakePendingChanged();
+  if (observer_ != nullptr) {
+    observer_->OnBarrier(StreamObserver::Barrier::kDynamic,
+                         GlobalizeHints(hints));
+  }
+  return ServeBarrier(std::move(hints), epoch);
 }
 
 ServiceSnapshot ShardedDynamicCService::Snapshot() const {
@@ -889,6 +951,9 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
     // Nothing to move; still pin the placement so future adds land on
     // `to_shard` deterministically.
     report.placement_version = placement_.Assign(group, to_shard);
+    // No-op moves are journaled too: every Assign bumps the placement
+    // version, and the follower must bump in lockstep.
+    if (observer_ != nullptr) observer_->OnMigration(group, to_shard);
     report.ms = timer.ElapsedMillis();
     return report;
   }
@@ -1076,6 +1141,7 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
   // first batch admitted after the move already routes to `to_shard` —
   // then let the workers loose again.
   report.placement_version = placement_.Assign(group, to_shard);
+  if (observer_ != nullptr) observer_->OnMigration(group, to_shard);
   ResumeWorker(from);
   ResumeWorker(to_shard);
   migration_seq_.fetch_add(1, std::memory_order_acq_rel);

@@ -44,6 +44,15 @@ struct ShardEnvironment {
   double min_similarity = 0.1;
   std::unique_ptr<ObjectiveFunction> objective;
   std::unique_ptr<ChangeValidator> validator;
+  /// Validator-only environments (DBSCAN) leave `validator` null and set
+  /// this instead: their validator needs the shard's similarity graph,
+  /// which only exists once the service has built the shard, so the
+  /// service invokes the factory right after creating the graph. The
+  /// returned validator may reference `batch`/`batch_stages` members
+  /// (e.g. DbscanValidator holding the Dbscan instance) — they are owned
+  /// here, so the reference stays valid for the shard's lifetime.
+  std::function<std::unique_ptr<ChangeValidator>(const SimilarityGraph*)>
+      validator_factory;
   std::unique_ptr<BatchAlgorithm> batch;
   std::unique_ptr<BinaryClassifier> merge_model;
   std::unique_ptr<BinaryClassifier> split_model;
@@ -58,6 +67,53 @@ struct ShardEnvironment {
 };
 
 using ShardEnvironmentFactory = std::function<ShardEnvironment()>;
+
+/// Hook interface through which the service reports every
+/// state-changing decision of its serving protocol, in serialization
+/// order — the feed the replication layer (src/replication/) journals
+/// into epoch-tagged deltas. A follower that replays the reported
+/// admitted batches, migrations and barriers through its own service
+/// reproduces the primary's clusterings, models and placement exactly
+/// (blocking-disjoint workloads, the regime every equivalence claim in
+/// this repository lives in).
+///
+/// Threading: OnAdmitted, OnEpochSealed and OnMigration are invoked
+/// under the service's ingest lock, so they are totally ordered against
+/// each other and against admissions. OnBarrier is invoked from the
+/// barrier caller's thread before the rounds run; replicated flows keep
+/// barriers serialized against producers (the CLI, tests and benches
+/// all do), which makes the whole event stream a linearization of the
+/// primary's processing. Implementations must not call back into the
+/// service from OnAdmitted/OnEpochSealed/OnMigration (the ingest lock
+/// is held); OnBarrier may.
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+
+  /// Which barrier ran (ObserveBatchRound vs DynamicRound/Flush).
+  enum class Barrier { kObserve, kDynamic };
+
+  /// One admitted batch in admission order, passed by value (the sink
+  /// owns it — no second copy on the ingest path). Adds carry their
+  /// assigned global id in `target` (the same stamping the
+  /// operation-log coalescing uses); removes/updates carry global
+  /// target ids.
+  virtual void OnAdmitted(OperationBatch operations) = 0;
+
+  /// CloseEpoch sealed `epoch`. `pending_tail_ops` counts the sealed
+  /// epochs' operations still queued (unapplied) across all shards at
+  /// the seal — the primary's replication lag at this boundary.
+  virtual void OnEpochSealed(uint64_t epoch, uint64_t pending_tail_ops) = 0;
+
+  /// MigrateGroup published a placement decision (every call, including
+  /// no-op moves — each one bumps the placement version).
+  virtual void OnMigration(uint64_t group, uint32_t to_shard) = 0;
+
+  /// A barrier is about to run with the given changed-object hints
+  /// (global ids; what the barrier's rounds will be seeded with).
+  virtual void OnBarrier(Barrier kind,
+                         const std::vector<ObjectId>& hints) = 0;
+};
 
 /// What a full shard queue does to an Ingest call in async mode.
 enum class BackpressurePolicy {
@@ -422,6 +478,14 @@ class ShardedDynamicCService {
   /// True when every shard that holds objects can serve dynamic rounds.
   bool is_trained() const;
 
+  /// Attaches (or detaches, with nullptr) the replication feed. Must be
+  /// called while the service is quiescent — no in-flight producers and
+  /// no barrier running — typically right before the base snapshot that
+  /// starts a ReplicationSession. Not owned; the observer must outlive
+  /// the service or detach first.
+  void SetStreamObserver(StreamObserver* observer) { observer_ = observer; }
+  StreamObserver* stream_observer() const { return observer_; }
+
   /// The shard owning a (live or tombstoned) global id.
   uint32_t ShardOfObject(ObjectId global_id) const;
   const DynamicCSession& session(uint32_t shard) const;
@@ -564,6 +628,13 @@ class ShardedDynamicCService {
   /// precise per-shard changed hints).
   std::vector<std::vector<ObjectId>> TakePendingChanged();
 
+  /// Translates per-shard local-id hint lists back to global ids
+  /// (concatenated; per-shard relative order preserved, which is all a
+  /// later LocalizeChanged needs). Used to report async barriers' hints
+  /// to the stream observer in the global vocabulary OnAdmitted uses.
+  std::vector<ObjectId> GlobalizeHints(
+      const std::vector<std::vector<ObjectId>>& local_hints) const;
+
   /// Fills `ingest` with the cumulative pipeline counters.
   void FillIngestStats(IngestStats* ingest) const;
 
@@ -576,6 +647,11 @@ class ShardedDynamicCService {
   Options options_;
   std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Replication feed (null = not replicating). Written only while
+  /// quiescent (SetStreamObserver's contract); read on the ingest, seal,
+  /// migration and barrier paths.
+  StreamObserver* observer_ = nullptr;
 
   /// Versioned blocking-group -> shard overrides. Every batch routes
   /// against one pinned version (taken under ingest_mutex_, which every

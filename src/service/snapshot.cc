@@ -20,6 +20,7 @@
 #include "ml/serialization.h"
 #include "service/sharded_service.h"
 #include "util/logging.h"
+#include "util/wire.h"
 
 namespace dynamicc {
 
@@ -31,53 +32,6 @@ constexpr const char* kServiceFileName = "service.dat";
 
 std::string ShardFileName(size_t shard) {
   return "shard-" + std::to_string(shard) + ".dat";
-}
-
-/// Length-prefixed byte string: arbitrary content (spaces, newlines)
-/// survives the round trip.
-void WriteBytes(std::ostream& os, const std::string& bytes) {
-  os << bytes.size() << ' ';
-  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  os << '\n';
-}
-
-Status ReadBytes(std::istream& is, size_t max_bytes, std::string* out) {
-  size_t size = 0;
-  if (!(is >> size)) return Status::InvalidArgument("missing byte count");
-  if (size > max_bytes) {
-    return Status::InvalidArgument("byte count exceeds file size");
-  }
-  is.get();  // the single separator space
-  out->resize(size);
-  if (size > 0 &&
-      !is.read(&(*out)[0], static_cast<std::streamsize>(size))) {
-    return Status::InvalidArgument("truncated byte string");
-  }
-  return Status::Ok();
-}
-
-Status ReadFileBytes(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IoError("read failed: " + path);
-  *out = buffer.str();
-  return Status::Ok();
-}
-
-Status WriteFileBytes(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IoError("cannot create " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::Ok();
-}
-
-std::string JoinPath(const std::string& dir, const std::string& name) {
-  if (dir.empty()) return name;
-  return dir.back() == '/' ? dir + name : dir + "/" + name;
 }
 
 struct ManifestEntry {
@@ -200,11 +154,28 @@ Status ReadSnapshotInfo(const std::string& dir, SnapshotInfo* info) {
 }
 
 Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
+  // Crash atomicity: every file is written into a sibling scratch
+  // directory ("<dir>.saving") and the scratch is renamed into place
+  // only after the manifest — the integrity root, written last — is on
+  // disk. A kill at any point leaves either the previous complete
+  // snapshot at `dir` (plus a stale scratch the next save sweeps away)
+  // or the new complete one; a reader can never observe a half-written
+  // `dir`. The one non-atomic window (previous snapshot removed, rename
+  // pending) still cannot surface a half-trusted state: `dir` is simply
+  // absent and the finished replacement sits in the scratch.
+  const std::string scratch = dir + ".saving";
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+  std::filesystem::remove_all(scratch, ec);
   if (ec) {
-    return Status::IoError("cannot create snapshot directory " + dir + ": " +
-                           ec.message());
+    // A stale scratch that cannot be swept must fail the save: writing
+    // into it would publish its leftover files as part of the snapshot.
+    return Status::IoError("cannot sweep stale snapshot scratch " + scratch +
+                           ": " + ec.message());
+  }
+  std::filesystem::create_directories(scratch, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot scratch " + scratch +
+                           ": " + ec.message());
   }
 
   // Quiesce at an epoch boundary: producers are excluded (so nothing is
@@ -238,7 +209,7 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
     entry.size = bytes.size();
     entry.checksum = SnapshotChecksum(bytes);
     manifest.files.push_back(entry);
-    return WriteFileBytes(JoinPath(dir, name), bytes);
+    return WriteFileBytes(JoinPath(scratch, name), bytes);
   };
 
   // ------------------------------------------------------- service.dat
@@ -300,15 +271,10 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
     os << "dataset " << shard.dataset.total_count() << "\n";
     for (ObjectId id = 0; id < shard.dataset.total_count(); ++id) {
       const Record& record = shard.dataset.Get(id);
-      os << (shard.dataset.IsAlive(id) ? 1 : 0) << " " << record.entity
-         << " " << record.tokens.size() << " " << record.numeric.size()
-         << "\n";
-      for (const std::string& token : record.tokens) WriteBytes(os, token);
-      WriteBytes(os, record.text);
-      for (size_t d = 0; d < record.numeric.size(); ++d) {
-        os << (d > 0 ? " " : "") << record.numeric[d];
-      }
-      os << "\n";
+      // The shared record dialect (data/record.h), prefixed by the
+      // snapshot's alive flag on the same header line.
+      os << (shard.dataset.IsAlive(id) ? 1 : 0) << " ";
+      WriteRecordWire(os, record);
     }
 
     Status status =
@@ -362,11 +328,41 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
     if (!status.ok()) return status;
   }
 
-  // The manifest goes last: a crash mid-save leaves a directory without
-  // one, which LoadSnapshot rejects outright — never a half-trusted
-  // snapshot.
-  return WriteFileBytes(JoinPath(dir, kManifestName),
-                        RenderManifest(manifest));
+  // The manifest goes last: even a torn scratch directory (if a caller
+  // ever pointed a load at one) is missing its integrity root and is
+  // rejected outright.
+  Status status = WriteFileBytes(JoinPath(scratch, kManifestName),
+                                 RenderManifest(manifest));
+  if (!status.ok()) return status;
+
+  // Publish by rename-aside: the previous snapshot moves to
+  // "<dir>.old", the scratch renames into place, and only then is the
+  // backup dropped. At every instant at least one *complete* snapshot
+  // exists on disk — a kill between the two renames leaves `dir`
+  // momentarily absent, but both the backup and the replacement are
+  // whole (recover by renaming either back); loads only ever trust
+  // `dir`, so nothing half-written can be picked up.
+  const std::string backup = dir + ".old";
+  std::filesystem::remove_all(backup, ec);
+  if (ec) {
+    return Status::IoError("cannot sweep stale snapshot backup " + backup +
+                           ": " + ec.message());
+  }
+  if (std::filesystem::exists(dir)) {
+    std::filesystem::rename(dir, backup, ec);
+    if (ec) {
+      return Status::IoError("cannot set aside snapshot " + dir + ": " +
+                             ec.message());
+    }
+  }
+  std::filesystem::rename(scratch, dir, ec);
+  if (ec) {
+    return Status::IoError("cannot publish snapshot " + dir +
+                           " (previous state preserved at " + backup +
+                           "): " + ec.message());
+  }
+  std::filesystem::remove_all(backup, ec);  // best effort; swept next save
+  return Status::Ok();
 }
 
 Status ShardedDynamicCService::LoadSnapshot(const std::string& dir) {
@@ -507,27 +503,12 @@ Status ShardedDynamicCService::LoadSnapshot(const std::string& dir) {
     std::vector<bool> alive(total_records, false);
     for (size_t r = 0; r < total_records; ++r) {
       int alive_flag = 0;
-      uint32_t entity = 0;
-      size_t token_count = 0, numeric_count = 0;
-      if (!(is >> alive_flag >> entity >> token_count >> numeric_count) ||
-          token_count > bytes.size() || numeric_count > bytes.size()) {
+      if (!(is >> alive_flag)) {
         return Status::InvalidArgument("malformed record header");
       }
       Record record;
-      record.entity = entity;
-      record.tokens.resize(token_count);
-      for (std::string& token : record.tokens) {
-        status = ReadBytes(is, bytes.size(), &token);
-        if (!status.ok()) return status;
-      }
-      status = ReadBytes(is, bytes.size(), &record.text);
+      status = ReadRecordWire(is, bytes.size(), &record);
       if (!status.ok()) return status;
-      record.numeric.resize(numeric_count);
-      for (size_t d = 0; d < numeric_count; ++d) {
-        if (!(is >> record.numeric[d])) {
-          return Status::InvalidArgument("malformed record numerics");
-        }
-      }
       ObjectId id = shard.dataset.Add(std::move(record));
       DYNAMICC_CHECK_EQ(static_cast<size_t>(id), r);
       alive[r] = alive_flag != 0;

@@ -29,9 +29,18 @@ namespace dynamicc {
 ///
 /// Everything is line-oriented text; doubles are written with 17
 /// significant digits (exact round trip) and strings length-prefixed
-/// (arbitrary bytes survive). Similarity graphs and cluster aggregates
-/// are *not* stored: both re-derive deterministically from the dataset
-/// (the same property live group migration already relies on).
+/// (arbitrary bytes survive; wire conventions in util/wire.h).
+/// Similarity graphs and cluster aggregates are *not* stored: both
+/// re-derive deterministically from the dataset (the same property live
+/// group migration already relies on).
+///
+/// Writes are crash-atomic: SaveSnapshot stages the whole directory in
+/// a "<dir>.saving" scratch (manifest last) and publishes by
+/// rename-aside (previous snapshot to "<dir>.old", scratch into place,
+/// backup dropped last), so a kill at any point leaves at least one
+/// complete snapshot on disk — and a half-written directory, should
+/// one ever be pointed at, is missing its manifest or fails its
+/// checksums and is rejected on load.
 
 /// Bumped whenever the layout changes incompatibly; LoadSnapshot
 /// rejects other versions.

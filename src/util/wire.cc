@@ -1,0 +1,69 @@
+#include "util/wire.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dynamicc {
+
+void WriteLengthPrefixed(std::ostream& os, const std::string& bytes) {
+  os << bytes.size() << ' ';
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os << '\n';
+}
+
+Status ReadLengthPrefixed(std::istream& is, size_t max_bytes,
+                          std::string* out) {
+  size_t size = 0;
+  if (!(is >> size)) return Status::InvalidArgument("missing byte count");
+  if (size > max_bytes) {
+    return Status::InvalidArgument("byte count exceeds file size");
+  }
+  is.get();  // the single separator space
+  out->resize(size);
+  if (size > 0 && !is.read(&(*out)[0], static_cast<std::streamsize>(size))) {
+    return Status::InvalidArgument("truncated byte string");
+  }
+  return Status::Ok();
+}
+
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot create " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string temp = path + ".tmp";
+  Status status = WriteFileBytes(temp, bytes);
+  if (!status.ok()) return status;
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    const std::string reason = ec.message();
+    std::error_code cleanup;  // must not clobber the rename failure
+    std::filesystem::remove(temp, cleanup);
+    return Status::IoError("cannot publish " + path + ": " + reason);
+  }
+  return Status::Ok();
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return dir.back() == '/' ? dir + name : dir + "/" + name;
+}
+
+}  // namespace dynamicc

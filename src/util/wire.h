@@ -1,0 +1,46 @@
+#ifndef DYNAMICC_UTIL_WIRE_H_
+#define DYNAMICC_UTIL_WIRE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "util/status.h"
+
+namespace dynamicc {
+
+/// Wire conventions shared by every durable format in the repository
+/// (service snapshots, replication delta logs): line-oriented text with
+/// length-prefixed byte strings, whole-file read/write helpers, and
+/// crash-atomic publication via write-to-temp + rename. Factored out of
+/// service/snapshot.cc so the replication subsystem speaks the exact
+/// same dialect instead of a drifting copy.
+
+/// Writes `bytes` as "<size> <raw bytes>\n": arbitrary content (spaces,
+/// newlines) survives the round trip.
+void WriteLengthPrefixed(std::ostream& os, const std::string& bytes);
+
+/// Reads one length-prefixed byte string written by WriteLengthPrefixed.
+/// `max_bytes` bounds the declared size (callers pass the enclosing
+/// file's size) so a corrupted count is rejected instead of honored with
+/// a giant allocation.
+Status ReadLengthPrefixed(std::istream& is, size_t max_bytes,
+                          std::string* out);
+
+/// Reads the whole file at `path` into `out` (binary, no translation).
+Status ReadFileBytes(const std::string& path, std::string* out);
+
+/// Writes `bytes` to `path`, truncating. Not atomic — callers that need
+/// crash atomicity publish through WriteFileAtomic or a temp directory.
+Status WriteFileBytes(const std::string& path, const std::string& bytes);
+
+/// Crash-atomic file publication: writes to "<path>.tmp" and renames it
+/// into place, so `path` either holds the previous content or all of
+/// `bytes`, never a prefix. Readers must ignore "*.tmp" names.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// "<dir>/<name>" with the usual trailing-slash tolerance.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_UTIL_WIRE_H_

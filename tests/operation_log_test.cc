@@ -236,6 +236,59 @@ TEST(OperationLog, ExtractIfSkipsAnnihilatedEntries) {
   EXPECT_TRUE(log.empty());
 }
 
+TEST(OperationLog, ExportRangeCopiesTheSealedTailNonDestructively) {
+  OperationLog log;
+  log.Append(Add(0, "a"));   // seq 0
+  log.Append(Add(1, "b"));   // seq 1
+  log.Append(Update(0, "a2"));  // folds into seq 0's add
+  log.Append(Add(2, "c"));   // seq 3
+  log.Append(Remove(2));     // annihilates seq 3
+  log.Append(Add(3, "d"));   // seq 5
+
+  // The epoch-range export: survivors in [0, 4), arrival order, with
+  // their sequences; the fold counts toward its host's logical total
+  // and the annihilated pair is invisible.
+  OperationLog::Extracted exported = log.ExportRange(0, 4);
+  ASSERT_EQ(exported.ops.size(), 2u);
+  EXPECT_EQ(exported.sequences, (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(exported.logical_ops, 3u);
+  EXPECT_EQ(exported.ops[0].record.tokens[0], "a2");  // the folded content
+
+  // Non-destructive: the log still drains everything, and the exported
+  // entries kept coalescing afterwards.
+  EXPECT_EQ(log.pending(), 3u);
+  log.Append(Update(1, "b2"));
+  OperationLog::Drained drained = log.Take();
+  ASSERT_EQ(drained.ops.size(), 3u);
+  EXPECT_EQ(drained.ops[1].record.tokens[0], "b2");
+
+  // An empty window, and a window past the tail, both come back empty.
+  EXPECT_TRUE(log.ExportRange(0, 0).ops.empty());
+  EXPECT_TRUE(log.ExportRange(100, 200).ops.empty());
+}
+
+TEST(OperationLog, ExportRangeBoundsMatchEpochBoundaries) {
+  OperationLog log;
+  log.Append(Add(0, "a"));  // epoch 1: seq 0
+  log.Append(Add(1, "b"));  // epoch 1: seq 1
+  const uint64_t boundary = log.appended();
+  log.Append(Add(2, "c"));  // epoch 2: seq 2
+
+  // Everything below the seal boundary is the sealed epochs' pending
+  // tail — what the service reports to the replication feed at a seal
+  // (via the count-only LogicalInRange; ExportRange agrees).
+  EXPECT_EQ(log.ExportRange(0, boundary).logical_ops, 2u);
+  EXPECT_EQ(log.LogicalInRange(0, boundary), 2u);
+  EXPECT_EQ(log.ExportRange(boundary, log.appended()).logical_ops, 1u);
+  EXPECT_EQ(log.LogicalInRange(boundary, log.appended()), 1u);
+
+  // Draining the first entry shrinks the exported tail accordingly.
+  log.Take(1);
+  EXPECT_EQ(log.ExportRange(0, boundary).sequences,
+            (std::vector<uint64_t>{1}));
+  EXPECT_EQ(log.LogicalInRange(0, boundary), 1u);
+}
+
 TEST(OperationLog, AddsWithoutHandlesNeverCoalesce) {
   OperationLog log;
   log.Append(Add(kInvalidObject, "opaque"));

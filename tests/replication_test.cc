@@ -1,0 +1,401 @@
+// Replication subsystem (src/replication/): delta-log wire format and
+// compaction policy, primary-side ReplicationSession shipping epoch
+// deltas through the service's seal hook, and the Follower contract —
+// base snapshot + delta replay is byte-identical to the primary at
+// every sealed epoch (clusterings, models, placement, dense id
+// assignment), live tailing keeps up, and Promote() yields a service
+// that stays in lockstep on the subsequent stream with zero retraining.
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/serialization.h"
+#include "replication/delta_log.h"
+#include "replication/follower.h"
+#include "replication/replication_session.h"
+#include "service/sharded_service.h"
+#include "service_test_util.h"
+#include "util/status.h"
+#include "util/wire.h"
+
+namespace dynamicc {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "dynamicc_repl_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ShardedDynamicCService::Options ServiceOptions(uint32_t shards, bool async) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = shards;
+  options.async.enabled = async;
+  return options;
+}
+
+std::string ModelBytes(const BinaryClassifier& model) {
+  if (!model.is_fitted()) return "unfitted";
+  std::ostringstream os;
+  EXPECT_TRUE(SaveClassifier(model, os).ok());
+  return os.str();
+}
+
+/// The replica-equivalence bar: everything the acceptance criteria name
+/// (clusterings, models, placement) plus the admission-side state that
+/// makes failover seamless (dense id assignment, epochs, cadence).
+/// Deliberately not compared: worker-side counters (applied batches,
+/// coalescing) — an async primary and a sync replica do different
+/// amounts of queue bookkeeping for the same state.
+void ExpectReplica(ShardedDynamicCService& primary,
+                   ShardedDynamicCService& replica) {
+  EXPECT_EQ(primary.GlobalClusters(), replica.GlobalClusters());
+  EXPECT_EQ(primary.total_objects(), replica.total_objects());
+  EXPECT_EQ(primary.total_clusters(), replica.total_clusters());
+  EXPECT_EQ(primary.open_epoch(), replica.open_epoch());
+  EXPECT_EQ(primary.placement().version(), replica.placement().version());
+  EXPECT_EQ(primary.placement().Current()->overrides,
+            replica.placement().Current()->overrides);
+  EXPECT_EQ(primary.ingest_stats().accepted_ops,
+            replica.ingest_stats().accepted_ops);
+  ASSERT_EQ(primary.num_shards(), replica.num_shards());
+  for (uint32_t s = 0; s < primary.num_shards(); ++s) {
+    SCOPED_TRACE(testing::Message() << "shard " << s);
+    EXPECT_EQ(ModelBytes(primary.session(s).merge_model()),
+              ModelBytes(replica.session(s).merge_model()));
+    EXPECT_EQ(ModelBytes(primary.session(s).split_model()),
+              ModelBytes(replica.session(s).split_model()));
+    DynamicCSession::PersistentState a = primary.session(s).ExportState();
+    DynamicCSession::PersistentState b = replica.session(s).ExportState();
+    EXPECT_EQ(a.trained, b.trained);
+    EXPECT_EQ(a.rounds_since_retrain, b.rounds_since_retrain);
+    EXPECT_EQ(a.rounds_since_observe, b.rounds_since_observe);
+    EXPECT_EQ(a.merge_theta, b.merge_theta);
+    EXPECT_EQ(a.split_theta, b.split_theta);
+  }
+}
+
+// ------------------------------------------------------------ DeltaLog
+
+TEST(DeltaLog, RoundTripsEveryEventKind) {
+  DeltaLog log(TempDir("roundtrip"));
+  ASSERT_TRUE(log.Init().ok());
+
+  std::vector<ReplicationEvent> events;
+  {
+    ReplicationEvent batch;
+    batch.kind = ReplicationEvent::Kind::kBatch;
+    DataOperation add;
+    add.kind = DataOperation::Kind::kAdd;
+    add.target = 7;
+    add.record.entity = 3;
+    add.record.tokens = {"with space", "new\nline", ""};
+    add.record.text = std::string("\0binary\xff", 8);
+    add.record.numeric = {1.0 / 3.0, -2.5e-17};
+    batch.ops.push_back(add);
+    DataOperation update;
+    update.kind = DataOperation::Kind::kUpdate;
+    update.target = 4;
+    update.record.tokens = {"u"};
+    batch.ops.push_back(update);
+    DataOperation remove;
+    remove.kind = DataOperation::Kind::kRemove;
+    remove.target = 2;
+    batch.ops.push_back(remove);
+    events.push_back(batch);
+
+    ReplicationEvent migrate;
+    migrate.kind = ReplicationEvent::Kind::kMigration;
+    migrate.group = 0xdeadbeefcafeULL;
+    migrate.to_shard = 3;
+    events.push_back(migrate);
+
+    ReplicationEvent barrier;
+    barrier.kind = ReplicationEvent::Kind::kBarrier;
+    barrier.barrier = StreamObserver::Barrier::kObserve;
+    barrier.hints = {1, 5, 9};
+    events.push_back(barrier);
+  }
+  ASSERT_TRUE(log.WriteDelta(42, 17, events).ok());
+
+  std::vector<ReplicationEvent> restored;
+  DeltaInfo info;
+  ASSERT_TRUE(log.ReadDelta(42, &restored, &info).ok());
+  EXPECT_EQ(info.epoch, 42u);
+  EXPECT_EQ(info.pending_at_seal, 17u);
+  EXPECT_EQ(info.event_count, 3u);
+  ASSERT_EQ(restored.size(), 3u);
+  ASSERT_EQ(restored[0].ops.size(), 3u);
+  EXPECT_EQ(restored[0].ops[0].target, 7u);
+  EXPECT_EQ(restored[0].ops[0].record.tokens, events[0].ops[0].record.tokens);
+  EXPECT_EQ(restored[0].ops[0].record.text, events[0].ops[0].record.text);
+  EXPECT_EQ(restored[0].ops[0].record.numeric,
+            events[0].ops[0].record.numeric);  // exact, not near
+  EXPECT_EQ(restored[0].ops[2].kind, DataOperation::Kind::kRemove);
+  EXPECT_EQ(restored[1].group, events[1].group);
+  EXPECT_EQ(restored[1].to_shard, 3u);
+  EXPECT_EQ(restored[2].barrier, StreamObserver::Barrier::kObserve);
+  EXPECT_EQ(restored[2].hints, events[2].hints);
+}
+
+TEST(DeltaLog, RejectsTruncationCorruptionAndVersionSkew) {
+  DeltaLog log(TempDir("mutilate"));
+  ASSERT_TRUE(log.Init().ok());
+  std::vector<ReplicationEvent> events(1);
+  events[0].kind = ReplicationEvent::Kind::kBarrier;
+  events[0].hints = {1, 2, 3};
+  ASSERT_TRUE(log.WriteDelta(5, 0, events).ok());
+
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(log.DeltaPathFor(5), &bytes).ok());
+  std::vector<ReplicationEvent> out;
+
+  // Truncation.
+  ASSERT_TRUE(
+      WriteFileBytes(log.DeltaPathFor(5), bytes.substr(0, bytes.size() / 2))
+          .ok());
+  EXPECT_FALSE(log.ReadDelta(5, &out).ok());
+
+  // Flipped payload byte.
+  std::string flipped = bytes;
+  flipped[flipped.size() - 2] ^= 0x20;
+  ASSERT_TRUE(WriteFileBytes(log.DeltaPathFor(5), flipped).ok());
+  EXPECT_FALSE(log.ReadDelta(5, &out).ok());
+
+  // Version skew.
+  std::string skewed = bytes;
+  size_t pos = skewed.find("dynamicc-delta 1");
+  ASSERT_NE(pos, std::string::npos);
+  skewed.replace(pos, 16, "dynamicc-delta 9");
+  ASSERT_TRUE(WriteFileBytes(log.DeltaPathFor(5), skewed).ok());
+  Status status = log.ReadDelta(5, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+
+  // Epoch/file-name mismatch.
+  ASSERT_TRUE(WriteFileBytes(log.DeltaPathFor(6), bytes).ok());
+  EXPECT_FALSE(log.ReadDelta(6, &out).ok());
+
+  // Intact content still loads (the rejections above were not sticky).
+  ASSERT_TRUE(WriteFileBytes(log.DeltaPathFor(5), bytes).ok());
+  EXPECT_TRUE(log.ReadDelta(5, &out).ok());
+}
+
+TEST(DeltaLog, ListIgnoresUnpublishedArtifacts) {
+  DeltaLog log(TempDir("listing"));
+  ASSERT_TRUE(log.Init().ok());
+  ASSERT_TRUE(log.WriteDelta(3, 0, {}).ok());
+  ASSERT_TRUE(log.WriteDelta(4, 0, {}).ok());
+  std::filesystem::create_directories(log.BaseDirFor(2));
+  std::filesystem::create_directories(log.dir() + "/base-9.saving");
+  ASSERT_TRUE(WriteFileBytes(log.dir() + "/delta-7.dat.tmp", "torn").ok());
+  ASSERT_TRUE(WriteFileBytes(log.dir() + "/unrelated.txt", "x").ok());
+
+  DeltaLog::State state;
+  ASSERT_TRUE(log.List(&state).ok());
+  EXPECT_EQ(state.bases, (std::vector<uint64_t>{2}));
+  EXPECT_EQ(state.deltas, (std::vector<uint64_t>{3, 4}));
+}
+
+TEST(DeltaLog, CompactionKeepsOneIntervalForLiveTailers) {
+  DeltaLog log(TempDir("compact"));
+  ASSERT_TRUE(log.Init().ok());
+  for (uint64_t e = 1; e <= 8; ++e) ASSERT_TRUE(log.WriteDelta(e, 0, {}).ok());
+  std::filesystem::create_directories(log.BaseDirFor(4));
+  std::filesystem::create_directories(log.BaseDirFor(8));
+
+  ASSERT_TRUE(log.Compact(8).ok());
+  DeltaLog::State state;
+  ASSERT_TRUE(log.List(&state).ok());
+  // Base 4 is gone; deltas (4, 8] stay for followers tailing past 4.
+  EXPECT_EQ(state.bases, (std::vector<uint64_t>{8}));
+  EXPECT_EQ(state.deltas, (std::vector<uint64_t>{5, 6, 7, 8}));
+
+  // First-ever base (no predecessor): everything at or below it goes.
+  DeltaLog first(TempDir("compact_first"));
+  ASSERT_TRUE(first.Init().ok());
+  for (uint64_t e = 1; e <= 3; ++e) {
+    ASSERT_TRUE(first.WriteDelta(e, 0, {}).ok());
+  }
+  std::filesystem::create_directories(first.BaseDirFor(3));
+  ASSERT_TRUE(first.Compact(3).ok());
+  ASSERT_TRUE(first.List(&state).ok());
+  EXPECT_EQ(state.bases, (std::vector<uint64_t>{3}));
+  EXPECT_TRUE(state.deltas.empty());
+}
+
+// ------------------------------------------- primary -> follower replay
+
+/// One replicated serving round on the primary: churn (adds + updates on
+/// earlier ids), a flush barrier, then the epoch seal that ships it.
+void ServeRound(ShardedDynamicCService& service, ReplicationSession& repl,
+                int round) {
+  OperationBatch batch = GroupAdds(10, 1);
+  for (ObjectId target = static_cast<ObjectId>(round % 3); target < 30;
+       target += 11) {
+    DataOperation update;
+    update.kind = DataOperation::Kind::kUpdate;
+    update.target = target;
+    int g = static_cast<int>(target % 10);
+    update.record.entity = static_cast<uint32_t>(g);
+    update.record.tokens = {"grp" + std::to_string(g),
+                            "tag" + std::to_string(g),
+                            "v" + std::to_string(round)};
+    batch.push_back(update);
+  }
+  std::vector<ObjectId> changed = service.ApplyOperations(batch);
+  if (service.async()) {
+    service.Flush();
+  } else {
+    service.DynamicRound(changed);
+  }
+  repl.SealEpoch();
+  ASSERT_TRUE(repl.status().ok());
+}
+
+TEST(Replication, FollowerIsByteIdenticalAtEveryEpoch) {
+  for (bool async : {false, true}) {
+    for (uint32_t shards : {1u, 2u, 4u}) {
+      SCOPED_TRACE(testing::Message()
+                   << "async=" << async << " shards=" << shards);
+      ShardedDynamicCService primary(ServiceOptions(shards, async), nullptr,
+                                     MakeFactory());
+      auto changed = primary.ApplyOperations(GroupAdds(10, 3));
+      primary.ObserveBatchRound(changed);
+      primary.Flush();
+
+      std::string dir = TempDir("lockstep_" + std::to_string(shards) +
+                                (async ? "_async" : "_sync"));
+      ReplicationSession repl(&primary, dir, {});
+      ASSERT_TRUE(repl.Start().ok());
+
+      Follower follower(dir, ServiceOptions(shards, false), MakeFactory());
+      ASSERT_TRUE(follower.Restore().ok());
+      EXPECT_EQ(follower.epoch(), follower.base_epoch());
+      ExpectReplica(primary, follower.service());
+
+      // Live tail: after every shipped epoch the replica re-converges to
+      // byte identity — not only at the end of the stream.
+      for (int round = 0; round < 4; ++round) {
+        SCOPED_TRACE(round);
+        ServeRound(primary, repl, round);
+        size_t replayed = 0;
+        ASSERT_TRUE(follower.CatchUp(&replayed).ok());
+        EXPECT_EQ(replayed, 1u);
+        follower.Flush();
+        ExpectReplica(primary, follower.service());
+      }
+      EXPECT_EQ(repl.deltas_shipped(), 5u);  // Start's seal + 4 rounds
+    }
+  }
+}
+
+TEST(Replication, PromotedFollowerStaysInLockstepWithZeroRetraining) {
+  for (bool async : {false, true}) {
+    SCOPED_TRACE(async);
+    ShardedDynamicCService primary(ServiceOptions(2, async), nullptr,
+                                   MakeFactory());
+    auto changed = primary.ApplyOperations(GroupAdds(8, 3));
+    primary.ObserveBatchRound(changed);
+    primary.Flush();
+
+    std::string dir = TempDir(std::string("promote_") +
+                              (async ? "async" : "sync"));
+    ReplicationSession repl(&primary, dir, {});
+    ASSERT_TRUE(repl.Start().ok());
+    for (int round = 0; round < 3; ++round) {
+      OperationBatch batch = GroupAdds(8, 1);
+      auto ids = primary.ApplyOperations(batch);
+      if (primary.async()) {
+        primary.Flush();
+      } else {
+        primary.DynamicRound(ids);
+      }
+      repl.SealEpoch();
+    }
+
+    Follower follower(dir, ServiceOptions(2, false), MakeFactory());
+    ASSERT_TRUE(follower.Restore().ok());
+    ASSERT_TRUE(follower.CatchUp().ok());
+    follower.Flush();
+
+    // Failover: the promoted service took over with the models it
+    // restored + replayed — no retraining — and serves the stream the
+    // old primary would have received next, in lockstep.
+    std::unique_ptr<ShardedDynamicCService> promoted = follower.Promote();
+    ExpectReplica(primary, *promoted);
+    for (int round = 0; round < 3; ++round) {
+      SCOPED_TRACE(round);
+      OperationBatch tail = GroupAdds(8, 1);
+      DataOperation update;
+      update.kind = DataOperation::Kind::kUpdate;
+      update.target = static_cast<ObjectId>(round);
+      int g = static_cast<int>(update.target % 8);
+      update.record.entity = static_cast<uint32_t>(g);
+      update.record.tokens = {"grp" + std::to_string(g),
+                              "tag" + std::to_string(g), "post-failover"};
+      tail.push_back(update);
+
+      auto ids_a = primary.ApplyOperations(tail);
+      auto ids_b = promoted->ApplyOperations(tail);
+      EXPECT_EQ(ids_a, ids_b);  // dense id assignment continues unchanged
+      primary.Flush();
+      promoted->Flush();
+      primary.CloseEpoch();
+      promoted->CloseEpoch();
+      ExpectReplica(primary, *promoted);
+    }
+  }
+}
+
+TEST(Replication, SealWithoutBarrierShipsTheBacklog) {
+  // Reads at an epoch don't require the primary to barrier first: the
+  // seal alone ships the admitted ops, and the *replica's* flush
+  // produces the state the primary's Flush(epoch) would.
+  ShardedDynamicCService primary(ServiceOptions(2, true), nullptr,
+                                 MakeFactory());
+  auto changed = primary.ApplyOperations(GroupAdds(6, 3));
+  primary.ObserveBatchRound(changed);
+  primary.Flush();
+
+  std::string dir = TempDir("seal_no_barrier");
+  ReplicationSession repl(&primary, dir, {});
+  ASSERT_TRUE(repl.Start().ok());
+
+  primary.Ingest(GroupAdds(6, 2));
+  uint64_t sealed = repl.SealEpoch();
+
+  Follower follower(dir, ServiceOptions(2, false), MakeFactory());
+  ASSERT_TRUE(follower.Restore().ok());
+  ASSERT_TRUE(follower.CatchUpTo(sealed).ok());
+  follower.Flush();
+  primary.Flush(sealed);
+  EXPECT_EQ(primary.GlobalClusters(), follower.service().GlobalClusters());
+}
+
+TEST(Replication, CatchUpToFailsUntilTheEpochShips) {
+  ShardedDynamicCService primary(ServiceOptions(1, false), nullptr,
+                                 MakeFactory());
+  auto changed = primary.ApplyOperations(GroupAdds(4, 2));
+  primary.ObserveBatchRound(changed);
+  primary.Flush();
+  std::string dir = TempDir("not_yet");
+  ReplicationSession repl(&primary, dir, {});
+  ASSERT_TRUE(repl.Start().ok());
+
+  Follower follower(dir, ServiceOptions(1, false), MakeFactory());
+  ASSERT_TRUE(follower.Restore().ok());
+  uint64_t base = follower.base_epoch();
+  EXPECT_FALSE(follower.CatchUpTo(base + 1).ok());
+  primary.ApplyOperations(GroupAdds(4, 1));
+  primary.Flush();
+  repl.SealEpoch();
+  EXPECT_TRUE(follower.CatchUpTo(base + 1).ok());
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,148 @@
+// Sharded DBSCAN: the validator-only ShardEnvironment (null objective +
+// graph-bound validator built through validator_factory) serves DBSCAN
+// through ShardedDynamicCService, equivalent to the single-engine
+// session at N in {1, 2, 4} on partition-disjoint workloads — the same
+// bar the correlation-task service equivalence pins down.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "batch/dbscan.h"
+#include "core/session.h"
+#include "data/dataset.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "ml/logistic_regression.h"
+#include "service/sharded_service.h"
+#include "service_test_util.h"
+
+namespace dynamicc {
+namespace {
+
+Dbscan::Options DbscanOptions() {
+  Dbscan::Options options;
+  options.min_pts = 2;
+  options.eps_similarity = 0.5;
+  return options;
+}
+
+/// Validator-only environment: no objective; the DbscanValidator needs
+/// the shard's similarity graph, so it is built via validator_factory
+/// once the service has created the graph.
+ShardEnvironmentFactory MakeDbscanFactory() {
+  return [] {
+    ShardEnvironment env;
+    env.measure = std::make_unique<JaccardSimilarity>();
+    env.blocker = std::make_unique<TokenBlocker>();
+    env.min_similarity = 0.1;
+    auto dbscan = std::make_unique<Dbscan>(DbscanOptions());
+    const Dbscan* core = dbscan.get();
+    env.batch = std::move(dbscan);  // owns the Dbscan the validator reads
+    env.validator_factory =
+        [core](const SimilarityGraph* graph) -> std::unique_ptr<ChangeValidator> {
+      return std::make_unique<DbscanValidator>(core, graph);
+    };
+    env.merge_model = std::make_unique<LogisticRegression>();
+    env.split_model = std::make_unique<LogisticRegression>();
+    return env;
+  };
+}
+
+/// Single-engine DBSCAN reference over the same stream of batches.
+std::vector<std::vector<ObjectId>> SingleEngineDbscan(
+    const std::vector<OperationBatch>& batches, int training) {
+  Dataset dataset;
+  JaccardSimilarity measure;
+  SimilarityGraph graph(&dataset, &measure, std::make_unique<TokenBlocker>(),
+                        0.1);
+  Dbscan batch(DbscanOptions());
+  DbscanValidator validator(&batch, &graph);
+  DynamicCSession session(&dataset, &graph, &batch, &validator,
+                          std::make_unique<LogisticRegression>(),
+                          std::make_unique<LogisticRegression>(),
+                          DynamicCSession::Options{});
+  for (size_t i = 0; i < batches.size(); ++i) {
+    auto changed = session.ApplyOperations(batches[i]);
+    if (static_cast<int>(i) < training) {
+      session.ObserveBatchRound(changed);
+    } else {
+      session.DynamicRound(changed);
+    }
+  }
+  return session.clustering().CanonicalClusters();
+}
+
+TEST(ShardedDbscan, MatchesSingleEngineAtEveryShardCount) {
+  // Groups big enough to clear min_pts (density clusters) plus churn:
+  // later batches grow some groups and add a brand-new one.
+  std::vector<OperationBatch> batches = {GroupAdds(6, 4),
+                                         GroupAdds(6, 1),
+                                         AddsForGroups({0, 2, 4, 9}, 2),
+                                         AddsForGroups({9, 1}, 3)};
+  const int training = 1;
+  std::vector<std::vector<ObjectId>> reference =
+      SingleEngineDbscan(batches, training);
+  ASSERT_FALSE(reference.empty());
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE(shards);
+    ShardedDynamicCService::Options options;
+    options.num_shards = shards;
+    ShardedDynamicCService service(options, nullptr, MakeDbscanFactory());
+    for (size_t i = 0; i < batches.size(); ++i) {
+      auto changed = service.ApplyOperations(batches[i]);
+      if (static_cast<int>(i) < training) {
+        service.ObserveBatchRound(changed);
+      } else {
+        service.DynamicRound(changed);
+      }
+    }
+    EXPECT_EQ(service.GlobalClusters(), reference);
+  }
+}
+
+TEST(ShardedDbscan, AsyncPipelineFlushMatchesSync) {
+  std::vector<OperationBatch> batches = {GroupAdds(5, 4), GroupAdds(5, 2),
+                                         AddsForGroups({0, 3}, 3)};
+  ShardedDynamicCService::Options sync_options;
+  sync_options.num_shards = 2;
+  ShardedDynamicCService sync_service(sync_options, nullptr,
+                                      MakeDbscanFactory());
+  ShardedDynamicCService::Options async_options = sync_options;
+  async_options.async.enabled = true;
+  ShardedDynamicCService async_service(async_options, nullptr,
+                                       MakeDbscanFactory());
+
+  auto changed = sync_service.ApplyOperations(batches[0]);
+  sync_service.ObserveBatchRound(changed);
+  changed = async_service.ApplyOperations(batches[0]);
+  async_service.ObserveBatchRound(changed);
+  for (size_t i = 1; i < batches.size(); ++i) {
+    changed = sync_service.ApplyOperations(batches[i]);
+    sync_service.DynamicRound(changed);
+    async_service.Ingest(batches[i]);
+    async_service.Flush();
+  }
+  EXPECT_EQ(async_service.GlobalClusters(), sync_service.GlobalClusters());
+}
+
+TEST(ShardedDbscan, MissingValidatorAndFactoryIsFatal) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = 1;
+  auto broken_factory = [] {
+    ShardEnvironment env;
+    env.measure = std::make_unique<JaccardSimilarity>();
+    env.blocker = std::make_unique<TokenBlocker>();
+    env.batch = std::make_unique<Dbscan>(DbscanOptions());
+    env.merge_model = std::make_unique<LogisticRegression>();
+    env.split_model = std::make_unique<LogisticRegression>();
+    return env;  // neither validator nor validator_factory
+  };
+  EXPECT_DEATH(ShardedDynamicCService(options, nullptr, broken_factory),
+               "validator");
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -427,6 +427,67 @@ TEST_F(CorruptionTest, ShardCountMismatchIsRejected) {
   EXPECT_FALSE(Load(/*shards=*/4).ok());
 }
 
+// --------------------------------------------------- crash atomicity
+
+// Kill-mid-save simulation: a save that died after writing some payload
+// files (no manifest yet, scratch not renamed) must leave the previous
+// snapshot loadable, its scratch must never load, and the next save
+// must sweep the debris and succeed.
+TEST_F(CorruptionTest, KilledMidSaveLeavesThePreviousSnapshotIntact) {
+  // The state a killed process leaves behind: a partial "<dir>.saving"
+  // scratch — some payload, no integrity root.
+  const std::string scratch = dir_ + ".saving";
+  std::filesystem::create_directories(scratch);
+  std::filesystem::copy_file(Path("shard-0.dat"), scratch + "/shard-0.dat");
+  {
+    std::ofstream torn(scratch + "/service.dat", std::ios::trunc);
+    torn << "service 1\ntrunca";  // mid-write
+  }
+
+  // The published snapshot is untouched by the dead save.
+  EXPECT_TRUE(Load().ok());
+
+  // Pointing a load at the scratch itself is rejected outright (no
+  // manifest was written — it always goes last).
+  {
+    ShardedDynamicCService fresh(ServiceOptions(2, false), nullptr,
+                                 MakeFactory());
+    EXPECT_FALSE(fresh.LoadSnapshot(scratch).ok());
+  }
+
+  // A later save sweeps the stale scratch and publishes atomically.
+  ShardedDynamicCService service(ServiceOptions(2, false), nullptr,
+                                 MakeFactory());
+  auto changed = service.ApplyOperations(GroupAdds(5, 2));
+  service.ObserveBatchRound(changed);
+  service.Flush();
+  ASSERT_TRUE(service.SaveSnapshot(dir_).ok());
+  EXPECT_FALSE(std::filesystem::exists(scratch));
+  ShardedDynamicCService restored(ServiceOptions(2, false), nullptr,
+                                  MakeFactory());
+  ASSERT_TRUE(restored.LoadSnapshot(dir_).ok());
+  ExpectEquivalent(service, restored);
+}
+
+// Overwriting an existing snapshot is all-or-nothing: the old directory
+// is replaced only after the new one is complete, so no interleaving of
+// old and new files can ever be observed.
+TEST_F(CorruptionTest, ResaveReplacesTheSnapshotWholesale) {
+  ShardedDynamicCService bigger(ServiceOptions(2, false), nullptr,
+                                MakeFactory());
+  auto changed = bigger.ApplyOperations(GroupAdds(9, 3));
+  bigger.ObserveBatchRound(changed);
+  bigger.Flush();
+  ASSERT_TRUE(bigger.SaveSnapshot(dir_).ok());
+
+  SnapshotInfo info;
+  ASSERT_TRUE(ReadSnapshotInfo(dir_, &info).ok());
+  ShardedDynamicCService restored(ServiceOptions(2, false), nullptr,
+                                  MakeFactory());
+  ASSERT_TRUE(restored.LoadSnapshot(dir_).ok());
+  ExpectEquivalent(bigger, restored);
+}
+
 TEST_F(CorruptionTest, NonFreshServiceIsRejected) {
   ShardedDynamicCService used(ServiceOptions(2, false), nullptr,
                               MakeFactory());
