@@ -49,6 +49,7 @@
 //        --repeats N --mode sync|async|both --queue-depth N
 //        --backpressure block|reject --skewed 0|1 --hot N
 //        --rebalance-every K --replication 0|1 --catchup-every K
+//        --metrics-overhead 0|1
 
 #include <algorithm>
 #include <atomic>
@@ -70,6 +71,7 @@
 #include "data/similarity_measures.h"
 #include "ml/logistic_regression.h"
 #include "objective/correlation.h"
+#include "obs/metrics.h"
 #include "service/service_report.h"
 #include "service/sharded_service.h"
 #include "util/status.h"
@@ -94,6 +96,7 @@ struct BenchArgs {
   uint32_t rebalance_every = 4;  // skewed: auto-rebalance cadence
   bool replication = true;       // run the delta-shipping section
   int catchup_every = 4;         // replication: follower catch-up cadence
+  bool metrics_overhead = true;  // run the metrics-overhead guard
 };
 
 ShardEnvironmentFactory MakeFactory() {
@@ -468,12 +471,22 @@ struct ReplicationMeasurement {
   double off_records_per_sec = 0.0;
   double on_records_per_sec = 0.0;
   double seal_ms_total = 0.0;        // cumulative SealEpoch wall time
+  // The session's split of that wall time: service-side bookkeeping
+  // (watermarks, epoch marks) vs delta serialization + write. A slow
+  // seal is attributable to the service or the replication sink.
+  double seal_service_ms_total = 0.0;
+  double delta_ship_ms_total = 0.0;
+  uint64_t delta_bytes_total = 0;
   uint64_t deltas_shipped = 0;
   uint64_t pending_at_seals = 0;
   std::vector<uint64_t> lag_epochs;  // one sample per serving round
   uint64_t max_lag = 0;
   double catchup_ms_total = 0.0;
   uint64_t follower_epoch = 0;
+  // Final values of the follower's own staleness gauges (its private
+  // registry — a shared book would pool primary and replica metrics).
+  double follower_epochs_behind = 0.0;
+  double follower_replay_lag_ms = 0.0;
   bool identical = false;            // replica byte-equal at the end
 };
 
@@ -526,6 +539,10 @@ ReplicationMeasurement RunReplicated(
 
   ShardedDynamicCService::Options follower_options = options;
   follower_options.async.enabled = false;
+  // The follower keeps its own metrics book: both services live in this
+  // process, and sharing Default() would pool their histograms.
+  obs::MetricsRegistry follower_registry;
+  follower_options.obs.metrics = &follower_registry;
   Follower follower(dir, follower_options, MakeFactory());
   status = follower.Restore();
   if (!status.ok()) {
@@ -561,6 +578,9 @@ ReplicationMeasurement RunReplicated(
   m.on_records_per_sec = ms > 0.0 ? 1000.0 * records / ms : 0.0;
   m.deltas_shipped = repl.deltas_shipped();
   m.pending_at_seals = repl.pending_at_seals();
+  m.seal_service_ms_total = repl.seal_ms_total();
+  m.delta_ship_ms_total = repl.delta_ship_ms_total();
+  m.delta_bytes_total = repl.delta_bytes_total();
   for (uint64_t lag : m.lag_epochs) m.max_lag = std::max(m.max_lag, lag);
 
   Timer final_catchup;
@@ -571,6 +591,63 @@ ReplicationMeasurement RunReplicated(
     m.identical =
         follower.service().GlobalClusters() == primary.GlobalClusters();
   }
+  // GetGauge returns the instance CatchUp has been updating (registries
+  // register on first use), so these are the live staleness gauges.
+  m.follower_epochs_behind =
+      follower_registry.GetGauge("follower.epochs_behind")->value();
+  m.follower_replay_lag_ms =
+      follower_registry.GetGauge("follower.replay_lag_ms")->value();
+  return m;
+}
+
+/// Metrics-overhead guard: the same 4-shard async serving stream with
+/// the registry attached vs compiled-in-but-idle (a null pointer in
+/// Options::obs — exactly what a service without --metrics-out runs).
+/// The arms are interleaved within each repeat so scheduler and thermal
+/// drift hit both equally, and each arm keeps its best time. The bar
+/// the instrumentation must clear: one relaxed striped atomic add per
+/// hot-path event, ≤ 2% sustained-throughput cost.
+struct MetricsOverhead {
+  double idle_ms = 0.0;     // best serve time, metrics pointer null
+  double enabled_ms = 0.0;  // best serve time, registry attached
+  double overhead_pct = 0.0;
+  bool within_2pct = false;
+};
+
+MetricsOverhead MeasureMetricsOverhead(
+    const BenchArgs& args, const std::vector<OperationBatch>& training,
+    const std::vector<OperationBatch>& serving) {
+  auto run_once = [&](obs::MetricsRegistry* registry) {
+    ShardedDynamicCService::Options options;
+    options.num_shards = 4;
+    options.num_threads = args.threads;
+    options.async.enabled = true;
+    options.async.queue_depth = args.queue_depth;
+    options.obs.metrics = registry;
+    ShardedDynamicCService service(options, nullptr, MakeFactory());
+    for (const OperationBatch& batch : training) {
+      auto changed = service.ApplyOperations(batch);
+      service.ObserveBatchRound(changed);
+    }
+    service.Flush();
+    Timer timer;
+    for (const OperationBatch& batch : serving) service.Ingest(batch);
+    service.Flush();
+    return timer.ElapsedMillis();
+  };
+  MetricsOverhead m;
+  obs::MetricsRegistry registry;  // reused: registration is one-time cost
+  for (int rep = 0; rep < std::max(1, args.repeats); ++rep) {
+    double idle = run_once(nullptr);
+    double enabled = run_once(&registry);
+    if (rep == 0 || idle < m.idle_ms) m.idle_ms = idle;
+    if (rep == 0 || enabled < m.enabled_ms) m.enabled_ms = enabled;
+  }
+  m.overhead_pct = m.idle_ms > 0.0
+                       ? 100.0 * (m.enabled_ms - m.idle_ms) / m.idle_ms
+                       : 0.0;
+  // Negative overhead is run-to-run noise in the idle arm's favor.
+  m.within_2pct = m.overhead_pct <= 2.0;
   return m;
 }
 
@@ -626,6 +703,8 @@ int main(int argc, char** argv) {
       args.replication = next() != 0;
     else if (std::strcmp(argv[i], "--catchup-every") == 0)
       args.catchup_every = next();
+    else if (std::strcmp(argv[i], "--metrics-overhead") == 0)
+      args.metrics_overhead = next() != 0;
     else if (std::strcmp(argv[i], "--mode") == 0)
       args.mode = i + 1 < argc ? argv[++i] : "";
     else if (std::strcmp(argv[i], "--backpressure") == 0)
@@ -735,6 +814,18 @@ int main(int argc, char** argv) {
                  replication.seal_ms_total,
                  static_cast<unsigned long long>(replication.max_lag),
                  replication.catchup_ms_total, replication.identical ? 1 : 0);
+  }
+
+  // Metrics-overhead guard: registry attached vs compiled-in-but-idle
+  // on the plain 4-shard async stream.
+  MetricsOverhead overhead;
+  if (args.metrics_overhead) {
+    overhead = MeasureMetricsOverhead(args, training, serving);
+    std::fprintf(stderr,
+                 "metrics overhead: idle %.1f ms vs enabled %.1f ms "
+                 "(%+.2f%%, within 2%% bar: %s)\n",
+                 overhead.idle_ms, overhead.enabled_ms, overhead.overhead_pct,
+                 overhead.within_2pct ? "yes" : "no");
   }
 
   auto rate_of = [&results](const char* mode, uint32_t shards) {
@@ -859,6 +950,13 @@ int main(int argc, char** argv) {
                          replication.on_records_per_sec
                    : 0.0);
     json.Key("seal_ms_total").Value(replication.seal_ms_total);
+    // The session's attribution of that wall time (service bookkeeping
+    // vs delta serialization + write) and the wire bytes shipped.
+    json.Key("seal_service_ms_total")
+        .Value(replication.seal_service_ms_total);
+    json.Key("delta_ship_ms_total").Value(replication.delta_ship_ms_total);
+    json.Key("delta_bytes_total")
+        .Value(static_cast<size_t>(replication.delta_bytes_total));
     json.Key("deltas_shipped")
         .Value(static_cast<size_t>(replication.deltas_shipped));
     json.Key("pending_at_seals")
@@ -875,7 +973,22 @@ int main(int argc, char** argv) {
     json.Key("catchup_ms_total").Value(replication.catchup_ms_total);
     json.Key("follower_epoch")
         .Value(static_cast<size_t>(replication.follower_epoch));
+    // Staleness gauges from the follower's own registry at the end of
+    // the run (0 behind after the final catch-up; the replay-lag gauge
+    // keeps the cost of that last CatchUp pass).
+    json.Key("follower_epochs_behind")
+        .Value(replication.follower_epochs_behind);
+    json.Key("follower_replay_lag_ms")
+        .Value(replication.follower_replay_lag_ms);
     json.Key("follower_identical").Value(replication.identical ? 1 : 0);
+    json.EndObject();
+  }
+  if (args.metrics_overhead) {
+    json.Key("metrics_overhead").BeginObject();
+    json.Key("idle_ms").Value(overhead.idle_ms);
+    json.Key("enabled_ms").Value(overhead.enabled_ms);
+    json.Key("metrics_overhead_pct").Value(overhead.overhead_pct);
+    json.Key("within_2pct").Value(overhead.within_2pct ? 1 : 0);
     json.EndObject();
   }
   json.EndObject();

@@ -77,6 +77,9 @@
 #include "batch/hill_climbing.h"
 #include "harness/experiment.h"
 #include "ml/logistic_regression.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "objective/correlation.h"
 #include "objective/db_index.h"
 #include "replication/follower.h"
@@ -126,6 +129,16 @@ struct CliArgs {
   uint32_t replicate_snapshot_every = 0;
   std::string follow;
   size_t promote_at = 0;
+  /// Observability: --metrics-out FILE attaches the process-wide
+  /// metrics registry to the service and exports a snapshot (JSON, or
+  /// CSV when FILE ends in ".csv") at the end of the run —
+  /// --metrics-every K additionally re-exports after every K stream
+  /// snapshots, so a live run can be watched by tailing the file.
+  /// --trace-out FILE attaches an epoch tracer and flushes its spans as
+  /// Chrome-trace JSON (load in chrome://tracing or Perfetto).
+  std::string metrics_out;
+  uint32_t metrics_every = 0;
+  std::string trace_out;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -219,6 +232,18 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->promote_at = static_cast<size_t>(std::stoul(v));
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_out = v;
+    } else if (flag == "--metrics-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_every = static_cast<uint32_t>(std::stoul(v));
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_out = v;
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -274,7 +299,11 @@ void Usage() {
       "  per serving snapshot into DIR (--replicate-snapshot-every K\n"
       "  compacts behind a fresh base every K epochs); --follow DIR\n"
       "  replays DIR as a follower, and --promote-at K fails over after\n"
-      "  serving snapshot K and serves the remaining stream itself.\n");
+      "  serving snapshot K and serves the remaining stream itself.\n"
+      "  --metrics-out FILE exports service metrics (JSON; CSV if FILE\n"
+      "  ends in .csv) at the end of the run, --metrics-every K also\n"
+      "  after every K stream snapshots; --trace-out FILE flushes epoch\n"
+      "  trace spans as Chrome-trace JSON.\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -395,6 +424,31 @@ void PrintFinalState(ShardedDynamicCService& service) {
       static_cast<unsigned long long>(SnapshotChecksum(canonical)));
 }
 
+/// Exports metrics (refreshing the registry's IngestStats mirror gauges
+/// first, so file and report agree) and, when a tracer is attached, its
+/// spans as Chrome-trace JSON. Export failures are reported but never
+/// fail the run — observability degrades, the experiment does not.
+void ExportObservability(const CliArgs& args,
+                         const ShardedDynamicCService& service,
+                         const obs::Tracer* tracer) {
+  if (!args.metrics_out.empty() && service.metrics_registry() != nullptr) {
+    service.ingest_stats();  // refresh mirror gauges before the export
+    Status status =
+        obs::ExportMetrics(*service.metrics_registry(), args.metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (tracer != nullptr && !args.trace_out.empty()) {
+    Status status = obs::ExportTrace(*tracer, args.trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
 /// Serves the workload stream with the sharded service instead of the
 /// single-engine harness: one environment per shard, the first
 /// `training_rounds` snapshots observed, the rest served dynamically
@@ -432,6 +486,14 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   WorkloadStream stream =
       MakeStream(config.workload, config.scale, config.seed);
   ShardedDynamicCService::Options options = MakeServiceOptions(args, config);
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!args.trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>(args.shards);
+    options.obs.tracer = tracer.get();
+  }
+  if (!args.metrics_out.empty()) {
+    options.obs.metrics = &obs::MetricsRegistry::Default();
+  }
   ShardedDynamicCService service(options, /*router=*/nullptr,
                                  MakeShardFactory(config));
 
@@ -640,6 +702,10 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
         service.Flush();
       }
       maybe_save(snapshot + 1);
+      if (args.metrics_every > 0 &&
+          (snapshot + 1) % args.metrics_every == 0) {
+        ExportObservability(args, service, /*tracer=*/nullptr);
+      }
       // One sealed epoch per serving snapshot. A *replicated* async
       // primary barriers the epoch before sealing it: un-barriered
       // pipelining leaves the clustering dependent on where the drain
@@ -686,6 +752,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
     }
     print_placement();
     if (!report_replication()) return 1;
+    ExportObservability(args, service, tracer.get());
     PrintFinalState(service);
     return 0;
   }
@@ -716,6 +783,9 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                   std::to_string(report.combined.merges_applied),
                   std::to_string(report.combined.splits_applied)});
     maybe_save(snapshot + 1);
+    if (args.metrics_every > 0 && (snapshot + 1) % args.metrics_every == 0) {
+      ExportObservability(args, service, /*tracer=*/nullptr);
+    }
     if (repl_started) repl->SealEpoch();
   }
   maybe_save(0);
@@ -726,6 +796,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   }
   print_placement();
   if (!report_replication()) return 1;
+  ExportObservability(args, service, tracer.get());
   PrintFinalState(service);
   return 0;
 }
@@ -753,6 +824,14 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
   ShardedDynamicCService::Options options = MakeServiceOptions(args, config);
   options.async.enabled = false;       // replay is already batched
   options.rebalance.every_rounds = 0;  // placement arrives via the stream
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!args.trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>(args.shards);
+    options.obs.tracer = tracer.get();
+  }
+  if (!args.metrics_out.empty()) {
+    options.obs.metrics = &obs::MetricsRegistry::Default();
+  }
   Follower follower(args.follow, options, MakeShardFactory(config));
   Status status = follower.Restore();
   if (!status.ok()) {
@@ -775,6 +854,7 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
     std::fprintf(stderr, "caught up: %zu deltas replayed, at epoch %llu\n",
                  replayed,
                  static_cast<unsigned long long>(follower.epoch()));
+    ExportObservability(args, follower.service(), tracer.get());
     PrintFinalState(follower.service());
     return 0;
   }
@@ -812,6 +892,7 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
     service->CloseEpoch();
   }
   service->Flush();
+  ExportObservability(args, *service, tracer.get());
   PrintFinalState(*service);
   return 0;
 }

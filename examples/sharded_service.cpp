@@ -28,6 +28,7 @@
 #include "eval/report.h"
 #include "ml/logistic_regression.h"
 #include "objective/correlation.h"
+#include "obs/metrics.h"
 #include "service/service_report.h"
 #include "service/sharded_service.h"
 #include "service/snapshot.h"
@@ -151,6 +152,11 @@ int main() {
   async_options.async.enabled = true;
   async_options.async.queue_depth = 256;
   async_options.async.backpressure = BackpressurePolicy::kBlock;
+  // Observability: hand the service a metrics registry and every layer
+  // (ingest, drain workers, barriers, epoch seals, snapshots) records
+  // into it; leave the pointer null and the instrumentation compiles in
+  // but stays idle. The demo prints a few of the instruments below.
+  async_options.obs.metrics = &obs::MetricsRegistry::Default();
   ShardedDynamicCService pipeline(async_options, /*router=*/nullptr,
                                   CoraStyleFactory());
   std::printf("\nasync pipeline: %u shards, queue depth %zu, %s policy\n",
@@ -287,6 +293,20 @@ int main() {
       static_cast<unsigned long long>(pipeline.open_epoch()));
   (void)epoch_ids;
   pipeline.Flush();  // full barrier before the durability demo below
+
+  // ---- Metrics registry ---------------------------------------------
+  // One pull gives every counter/gauge/histogram the run recorded so
+  // far; ingest_stats() refreshes the gauges that mirror IngestStats
+  // (they are the same numbers by construction).
+  pipeline.ingest_stats();
+  obs::MetricsSnapshot obs_snap = obs::MetricsRegistry::Default().Snapshot();
+  for (const auto& view : obs_snap.histograms) {
+    if (view.count == 0) continue;
+    std::printf("metric %-18s count=%llu p50<=%.3gms p95<=%.3gms\n",
+                view.name.c_str(),
+                static_cast<unsigned long long>(view.count), view.p50,
+                view.p95);
+  }
 
   // ---- Durable snapshots & warm restart -----------------------------
   // Everything above — per-shard engines, trained models, id maps, the

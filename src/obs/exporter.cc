@@ -1,0 +1,145 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dynamicc {
+namespace obs {
+
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  std::string out(buffer);
+  // %g renders integral doubles bare ("3"); that is still valid JSON,
+  // but "nan"/"inf" are not — clamp the pathological cases to null.
+  if (out.find("nan") != std::string::npos ||
+      out.find("inf") != std::string::npos) {
+    return "null";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << Quote(snapshot.counters[i].first) << ": "
+       << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "}" : "\n  }");
+  os << ",\n  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << Quote(snapshot.gauges[i].first) << ": "
+       << Num(snapshot.gauges[i].second);
+  }
+  os << (snapshot.gauges.empty() ? "}" : "\n  }");
+  os << ",\n  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const MetricsSnapshot::HistogramView& h = snapshot.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    " << Quote(h.name) << ": {"
+       << "\"count\": " << h.count << ", \"sum\": " << Num(h.sum)
+       << ", \"p50\": " << Num(h.p50) << ", \"p95\": " << Num(h.p95)
+       << ", \"p99\": " << Num(h.p99) << ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) os << ", ";
+      os << "[" << Num(h.buckets[b].first) << ", " << h.buckets[b].second
+         << "]";
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "}" : "\n  }");
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string RenderMetricsCsv(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "kind,name,field,value\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << "counter," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << "gauge," << name << ",value," << Num(value) << "\n";
+  }
+  for (const MetricsSnapshot::HistogramView& h : snapshot.histograms) {
+    os << "histogram," << h.name << ",count," << h.count << "\n";
+    os << "histogram," << h.name << ",sum," << Num(h.sum) << "\n";
+    os << "histogram," << h.name << ",p50," << Num(h.p50) << "\n";
+    os << "histogram," << h.name << ",p95," << Num(h.p95) << "\n";
+    os << "histogram," << h.name << ",p99," << Num(h.p99) << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderChromeTrace(const Tracer& tracer) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceSpan& span : tracer.Spans()) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    const uint32_t tid =
+        span.shard < tracer.num_shards() ? span.shard : tracer.num_shards();
+    os << "  {\"name\": " << Quote(span.name) << ", \"cat\": \"dynamicc\""
+       << ", \"ph\": \"X\", \"pid\": 0, \"tid\": " << tid
+       << ", \"ts\": " << Num(static_cast<double>(span.start_ns) / 1000.0)
+       << ", \"dur\": " << Num(static_cast<double>(span.duration_ns) / 1000.0)
+       << ", \"args\": {\"epoch\": " << span.epoch
+       << ", \"seq_begin\": " << span.seq_begin
+       << ", \"seq_end\": " << span.seq_end << "}}";
+  }
+  os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return Status::IoError("cannot open " + tmp);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!os) return Status::IoError("cannot write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("cannot publish " + path + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status ExportMetrics(const MetricsRegistry& registry,
+                     const std::string& path) {
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  return WriteFileAtomic(
+      path, csv ? RenderMetricsCsv(snapshot) : RenderMetricsJson(snapshot));
+}
+
+Status ExportTrace(const Tracer& tracer, const std::string& path) {
+  return WriteFileAtomic(path, RenderChromeTrace(tracer));
+}
+
+}  // namespace obs
+}  // namespace dynamicc

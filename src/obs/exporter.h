@@ -1,0 +1,53 @@
+#ifndef DYNAMICC_OBS_EXPORTER_H_
+#define DYNAMICC_OBS_EXPORTER_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace dynamicc {
+namespace obs {
+
+/// Renders a MetricsSnapshot as one JSON object:
+///
+///   {"counters": {"name": N, ...},
+///    "gauges": {"name": X, ...},
+///    "histograms": {"name": {"count": N, "sum": X, "p50": X, "p95": X,
+///                            "p99": X, "buckets": [[bound, count], ...]},
+///                   ...}}
+///
+/// Keys are sorted (snapshots are), so identical state renders
+/// identical bytes. Metric names never need escaping beyond quotes —
+/// the catalogue sticks to [a-z0-9._{}=]+ — but quoting is applied
+/// regardless.
+std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
+
+/// CSV with one row per scalar: `kind,name,field,value`. Counters and
+/// gauges use field "value"; histograms emit count/sum/p50/p95/p99 rows.
+std::string RenderMetricsCsv(const MetricsSnapshot& snapshot);
+
+/// Renders a tracer's retained spans in Chrome-trace format (the
+/// "traceEvents" JSON chrome://tracing and Perfetto load): one complete
+/// ("ph":"X") event per span, ts/dur in microseconds, tid = shard
+/// (num_shards for service-wide spans), epoch and sequence range in
+/// args.
+std::string RenderChromeTrace(const Tracer& tracer);
+
+/// Writes `bytes` to `path` via a sibling ".tmp" and an atomic rename,
+/// so a concurrent reader (or a crash) never sees a torn export.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// Snapshot + render + atomic write in one call. Format by extension:
+/// ".csv" renders CSV, everything else JSON.
+Status ExportMetrics(const MetricsRegistry& registry,
+                     const std::string& path);
+
+/// Chrome-trace flush of everything the tracer retained.
+Status ExportTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace obs
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBS_EXPORTER_H_

@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <functional>
+#include <thread>
+
+namespace dynamicc {
+namespace obs {
+
+size_t ThreadStripe() {
+  // Hash of the thread id, computed once per thread. Distinct threads
+  // may share a stripe (kMetricStripes is a contention hedge, not an
+  // identity); correctness only needs every write to land in *a*
+  // stripe that reads sum over.
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kMetricStripes;
+  return stripe;
+}
+
+double Histogram::UpperBound(int bucket) {
+  return kMinBound * std::ldexp(1.0, bucket);
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value > kMinBound)) return 0;  // also catches NaN and negatives
+  // Smallest b with kMinBound * 2^b >= value. frexp is exact where
+  // log2 would wobble at powers of two: frexp(v) = m * 2^e with
+  // m in [0.5, 1), so v <= 2^e always and v > 2^(e-1) unless v is an
+  // exact power of two (m == 0.5), which belongs one bucket down.
+  int exp = 0;
+  double mantissa = std::frexp(value / kMinBound, &exp);
+  int bucket = mantissa == 0.5 ? exp - 1 : exp;
+  if (bucket < 0) bucket = 0;
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  return bucket;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    for (const auto& bucket : stripe.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  uint64_t milli = 0;
+  for (const Stripe& stripe : stripes_) {
+    milli += stripe.sum_milli.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(milli) / 1000.0;
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::BucketCounts() const {
+  std::array<uint64_t, kNumBuckets> counts{};
+  for (const Stripe& stripe : stripes_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      counts[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double p) const {
+  std::array<uint64_t, kNumBuckets> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(total)));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) return UpperBound(b);
+  }
+  return UpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramView view;
+    view.name = name;
+    const auto counts = histogram->BucketCounts();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      view.count += counts[b];
+      if (counts[b] > 0) {
+        view.buckets.emplace_back(Histogram::UpperBound(b), counts[b]);
+      }
+    }
+    view.sum = histogram->Sum();
+    view.p50 = histogram->Percentile(0.50);
+    view.p95 = histogram->Percentile(0.95);
+    view.p99 = histogram->Percentile(0.99);
+    snap.histograms.push_back(std::move(view));
+  }
+  return snap;
+}
+
+std::string ShardLabel(const std::string& name, uint32_t shard) {
+  return name + "{shard=" + std::to_string(shard) + "}";
+}
+
+}  // namespace obs
+}  // namespace dynamicc

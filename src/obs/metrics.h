@@ -1,0 +1,187 @@
+#ifndef DYNAMICC_OBS_METRICS_H_
+#define DYNAMICC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dynamicc {
+namespace obs {
+
+/// Process-wide metrics: named counters, gauges and log-scale latency
+/// histograms, registered once (mutex-protected, pointer-stable) and
+/// recorded into lock-free afterwards. The hot path pays one relaxed
+/// atomic add on a thread-striped cache line; everything heavier —
+/// totals, percentiles, rendering — happens at read time, off the
+/// serving paths. Handles returned by the registry stay valid for the
+/// registry's lifetime, so instrumented code resolves its names once at
+/// construction and never touches a map again.
+///
+/// Naming convention (see docs/metrics.md for the full catalogue):
+/// dot-separated subsystem.metric, with per-shard instances labelled
+/// `name{shard=i}` (ShardLabel below). Counters, gauges and histograms
+/// live in separate namespaces: the same name may exist in each.
+
+/// Stripes spread concurrent writers across cache lines; values are
+/// summed on read ("per-shard atomics aggregated on read").
+inline constexpr size_t kMetricStripes = 8;
+
+/// The stripe this thread records into (stable per thread).
+size_t ThreadStripe();
+
+/// Monotone event count. Add() is wait-free: one relaxed fetch_add.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    stripes_[ThreadStripe()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all stripes (monotone, but not a consistent cut under
+  /// concurrent writers — fine for monitoring, don't diff two reads
+  /// taken mid-burst).
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, epochs behind).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket base-2 log-scale histogram. Bucket i covers
+/// (UpperBound(i-1), UpperBound(i)] with UpperBound(i) = kMinBound * 2^i;
+/// the last bucket absorbs everything larger, and values at or below
+/// kMinBound land in bucket 0. With millisecond inputs the range spans
+/// 1 µs to ~2.4 hours, and the same geometry serves byte-sized inputs
+/// (up to ~8 GiB) without reconfiguration.
+///
+/// Record() is one relaxed fetch_add on a thread-striped bucket (plus
+/// one for the running sum); count, sum and percentiles are derived on
+/// read. Percentile(p) returns the upper bound of the bucket holding
+/// the rank-⌈p·count⌉ value — a conservative (never understated)
+/// estimate whose error is bounded by the 2x bucket width, and which is
+/// exact in tests that pin distributions to known buckets.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;
+  static constexpr double kMinBound = 0.001;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Upper bound of bucket `b` (kMinBound * 2^b).
+  static double UpperBound(int bucket);
+  /// The bucket a value lands in.
+  static int BucketFor(double value);
+
+  void Record(double value) {
+    Stripe& stripe = stripes_[ThreadStripe()];
+    stripe.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    // The sum is kept in micro-units (value * 1000 rounded) so it can
+    // live in one integer atomic; Sum() scales back.
+    stripe.sum_milli.fetch_add(static_cast<uint64_t>(value * 1000.0 + 0.5),
+                               std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  double Sum() const;
+  /// See class comment; 0.0 on an empty histogram. `p` in (0, 1].
+  double Percentile(double p) const;
+
+  /// Aggregated per-bucket counts (index = bucket).
+  std::array<uint64_t, kNumBuckets> BucketCounts() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> sum_milli{0};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Point-in-time pull of a whole registry, ready for rendering
+/// (exporter.h) or programmatic assertions. Entries are sorted by name,
+/// so two snapshots of identical state render identical bytes.
+struct MetricsSnapshot {
+  struct HistogramView {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /// Non-empty buckets only: (upper bound, count), ascending.
+    std::vector<std::pair<double, uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramView> histograms;
+};
+
+/// Owns every metric registered through it. Get*() registers on first
+/// use and returns the existing instance afterwards; the returned
+/// pointer never moves or dies before the registry does. Instantiable
+/// so tests (and in-process primary/follower pairs) can keep separate
+/// books; most callers share Default().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (what dynamicc_cli exports).
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map keeps Snapshot() name-sorted for free; registration is
+  // construction-time, so lookup cost is irrelevant.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Canonical per-shard label: "queue.depth{shard=3}".
+std::string ShardLabel(const std::string& name, uint32_t shard);
+
+}  // namespace obs
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBS_METRICS_H_

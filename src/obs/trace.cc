@@ -1,0 +1,67 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace dynamicc {
+namespace obs {
+
+Tracer::Tracer(uint32_t num_shards, size_t capacity)
+    : num_shards_(num_shards),
+      capacity_(std::max<size_t>(1, capacity)),
+      origin_(std::chrono::steady_clock::now()),
+      rings_(num_shards + 1) {}
+
+uint64_t Tracer::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+Tracer::Ring& Tracer::RingFor(uint32_t shard) const {
+  // Out-of-range shards (kServiceShard included) share the last ring.
+  return rings_[shard < num_shards_ ? shard : num_shards_];
+}
+
+void Tracer::Record(const TraceSpan& span) {
+  Ring& ring = RingFor(span.shard);
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.spans.size() < capacity_) {
+    ring.spans.push_back(span);
+  } else {
+    ring.spans[ring.next] = span;  // overwrite the oldest
+  }
+  ring.next = (ring.next + 1) % capacity_;
+  ring.total += 1;
+}
+
+std::vector<TraceSpan> Tracer::Spans() const {
+  std::vector<TraceSpan> all;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    // Oldest first: once the ring wrapped, `next` points at the oldest
+    // retained span.
+    const size_t n = ring.spans.size();
+    const size_t start = n < capacity_ ? 0 : ring.next;
+    for (size_t i = 0; i < n; ++i) {
+      all.push_back(ring.spans[(start + i) % n]);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return all;
+}
+
+uint64_t Tracer::dropped() const {
+  uint64_t dropped = 0;
+  for (const Ring& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    dropped += ring.total - ring.spans.size();
+  }
+  return dropped;
+}
+
+}  // namespace obs
+}  // namespace dynamicc

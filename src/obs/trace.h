@@ -1,0 +1,154 @@
+#ifndef DYNAMICC_OBS_TRACE_H_
+#define DYNAMICC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+namespace obs {
+
+/// Epoch-scoped tracing: every phase of an operation's life through the
+/// service — admission, queue wait, drain-batch apply, dynamic round,
+/// epoch seal, delta ship, follower replay, migration quiesce/surgery —
+/// is recorded as a span stamped with steady_clock ticks, the epoch it
+/// belongs to, the shard it ran on and the operation-log sequence range
+/// it covers. Spans land in bounded per-shard ring buffers (oldest
+/// overwritten first, drops counted), so a tracer attached to a
+/// long-running service holds the recent past at a fixed memory cost
+/// and can be flushed at any time as Chrome-trace JSON (exporter.h;
+/// load the file in chrome://tracing or https://ui.perfetto.dev).
+
+/// Canonical span names. Anything `const char*` with static lifetime
+/// works; these are the ones the service stack emits (one row each in
+/// docs/metrics.md).
+inline constexpr const char* kSpanIngestAdmit = "ingest.admit";
+inline constexpr const char* kSpanQueueWait = "queue.wait";
+inline constexpr const char* kSpanDrainApply = "drain.apply";
+inline constexpr const char* kSpanWorkerRound = "worker.round";
+inline constexpr const char* kSpanObserveRound = "barrier.observe";
+inline constexpr const char* kSpanDynamicRound = "barrier.dynamic";
+inline constexpr const char* kSpanEpochSeal = "epoch.seal";
+inline constexpr const char* kSpanDeltaShip = "delta.ship";
+inline constexpr const char* kSpanFollowerReplay = "follower.replay";
+inline constexpr const char* kSpanMigrationQuiesce = "migration.quiesce";
+inline constexpr const char* kSpanMigrationSurgery = "migration.surgery";
+inline constexpr const char* kSpanSnapshotSave = "snapshot.save";
+inline constexpr const char* kSpanSnapshotLoad = "snapshot.load";
+
+/// Shard value for spans that belong to the service as a whole
+/// (admission, barriers, seals); they land in the tracer's extra ring.
+inline constexpr uint32_t kServiceShard = 0xffffffffu;
+
+struct TraceSpan {
+  /// Static-lifetime name (one of the kSpan* constants, typically).
+  const char* name = "";
+  uint32_t shard = kServiceShard;
+  uint64_t epoch = 0;
+  /// Operation-log sequence range the span covers, [begin, end); both 0
+  /// when the span is not tied to log positions.
+  uint64_t seq_begin = 0;
+  uint64_t seq_end = 0;
+  /// steady_clock nanoseconds since the tracer was constructed.
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+};
+
+/// One ring per shard plus one for service-wide spans. Record() takes
+/// the owning ring's mutex — uncontended in practice (a shard's spans
+/// come from its own worker) and span-grained, never per-operation.
+class Tracer {
+ public:
+  /// `num_shards` shard rings + 1 service ring, each holding up to
+  /// `capacity` spans (floored at 1).
+  explicit Tracer(uint32_t num_shards, size_t capacity = 4096);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// steady_clock nanoseconds since construction (what spans stamp).
+  uint64_t NowNs() const;
+
+  void Record(const TraceSpan& span);
+
+  /// Every retained span across all rings, ordered by start_ns.
+  std::vector<TraceSpan> Spans() const;
+
+  /// Spans overwritten because their ring was full.
+  uint64_t dropped() const;
+
+  uint32_t num_shards() const { return num_shards_; }
+
+ private:
+  struct Ring {
+    mutable std::mutex mutex;
+    std::vector<TraceSpan> spans;  // capacity-sized once full
+    size_t next = 0;               // wraparound write index
+    uint64_t total = 0;            // lifetime Record() count
+  };
+  Ring& RingFor(uint32_t shard) const;
+
+  const uint32_t num_shards_;
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::vector<Ring> rings_;
+};
+
+/// RAII span: stamps start on construction, records on destruction.
+/// A null tracer disables everything (including the log tags), so call
+/// sites need no branches. While alive, the span's shard/epoch are also
+/// published as this thread's log tags — every DYNAMICC_LOG line
+/// emitted inside a traced region carries "[s<shard> e<epoch>]".
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, uint32_t shard,
+             uint64_t epoch = 0)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    span_.name = name;
+    span_.shard = shard;
+    span_.epoch = epoch;
+    span_.start_ns = tracer_->NowNs();
+    prev_tags_ = internal_logging::GetThreadLogTags();
+    internal_logging::SetThreadLogTags(
+        {shard == kServiceShard ? -1 : static_cast<int64_t>(shard), epoch});
+    tagged_ = true;
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    if (tagged_) internal_logging::SetThreadLogTags(prev_tags_);
+    span_.duration_ns = tracer_->NowNs() - span_.start_ns;
+    tracer_->Record(span_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_epoch(uint64_t epoch) {
+    if (tracer_ == nullptr) return;
+    span_.epoch = epoch;
+    internal_logging::LogTags tags = internal_logging::GetThreadLogTags();
+    tags.epoch = epoch;
+    internal_logging::SetThreadLogTags(tags);
+  }
+  void set_range(uint64_t begin, uint64_t end) {
+    span_.seq_begin = begin;
+    span_.seq_end = end;
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceSpan span_;
+  bool tagged_ = false;
+  internal_logging::LogTags prev_tags_;
+};
+
+}  // namespace obs
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBS_TRACE_H_

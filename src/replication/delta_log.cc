@@ -59,7 +59,8 @@ std::string DeltaLog::BaseDirFor(uint64_t epoch) const {
 
 Status DeltaLog::WriteDelta(
     uint64_t epoch, uint64_t pending_at_seal,
-    const std::vector<ReplicationEvent>& events) const {
+    const std::vector<ReplicationEvent>& events,
+    uint64_t* bytes_out) const {
   std::ostringstream os;
   os << std::setprecision(kDoublePrecision);
   os << "events " << events.size() << "\n";
@@ -92,7 +93,9 @@ Status DeltaLog::WriteDelta(
        << pending_at_seal << " " << payload.size() << " " << std::hex
        << SnapshotChecksum(payload) << std::dec << "\n"
        << payload;
-  return WriteFileAtomic(DeltaPathFor(epoch), file.str());
+  const std::string bytes = file.str();
+  if (bytes_out != nullptr) *bytes_out = bytes.size();
+  return WriteFileAtomic(DeltaPathFor(epoch), bytes);
 }
 
 Status DeltaLog::ReadDelta(uint64_t epoch,

@@ -86,9 +86,12 @@ class DeltaLog {
   /// Where a base snapshot for sealed epoch `epoch` lives.
   std::string BaseDirFor(uint64_t epoch) const;
 
-  /// Journals sealed epoch `epoch` crash-atomically.
+  /// Journals sealed epoch `epoch` crash-atomically. When `bytes_out`
+  /// is non-null it receives the published file's size (header +
+  /// payload) — the wire cost of shipping this delta.
   Status WriteDelta(uint64_t epoch, uint64_t pending_at_seal,
-                    const std::vector<ReplicationEvent>& events) const;
+                    const std::vector<ReplicationEvent>& events,
+                    uint64_t* bytes_out = nullptr) const;
 
   /// Reads, verifies (size + checksum + version) and parses one delta.
   /// `info` is optional.

@@ -1,10 +1,12 @@
 #include "replication/follower.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <limits>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace dynamicc {
 
@@ -22,6 +24,23 @@ Follower::Follower(
   // version numbering would fork.
   DYNAMICC_CHECK_EQ(options_.rebalance.every_rounds, 0u)
       << "followers must not rebalance on their own";
+  if (options_.obs.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.obs.metrics;
+    epochs_behind_ = reg.GetGauge("follower.epochs_behind");
+    replay_lag_ms_ = reg.GetGauge("follower.replay_lag_ms");
+    replay_ms_ = reg.GetHistogram("follower.replay_ms");
+  }
+}
+
+void Follower::UpdateLagGauge() {
+  if (epochs_behind_ == nullptr) return;
+  DeltaLog::State state;
+  if (!log_.List(&state).ok()) return;
+  uint64_t newest = state.deltas.empty() ? 0 : state.deltas.back();
+  if (!state.bases.empty()) newest = std::max(newest, state.bases.back());
+  const uint64_t applied = epoch();
+  epochs_behind_->Set(
+      newest > applied ? static_cast<double>(newest - applied) : 0.0);
 }
 
 std::unique_ptr<ShardedDynamicCService> Follower::MakeService() const {
@@ -74,6 +93,7 @@ Status Follower::CatchUpTo(uint64_t target, size_t* replayed) {
     return Status::InvalidArgument("CatchUp before Restore");
   }
   const bool bounded = target != std::numeric_limits<uint64_t>::max();
+  Timer wall;
   while (epoch() < target) {
     const uint64_t next = epoch() + 1;
     const std::string next_path = log_.DeltaPathFor(next);
@@ -112,6 +132,11 @@ Status Follower::CatchUpTo(uint64_t target, size_t* replayed) {
     }
     break;
   }
+  // Staleness gauges refresh on every catch-up pass: how long this pass
+  // spent clearing backlog, and how far behind the shipped stream the
+  // replica still is (0 when fully caught up).
+  if (replay_lag_ms_ != nullptr) replay_lag_ms_->Set(wall.ElapsedMillis());
+  UpdateLagGauge();
   if (bounded && epoch() < target) {
     return Status::NotFound("epoch " + std::to_string(target) +
                             " has not shipped yet (replica at " +
@@ -122,6 +147,10 @@ Status Follower::CatchUpTo(uint64_t target, size_t* replayed) {
 
 Status Follower::ReplayDelta(uint64_t epoch,
                              const std::vector<ReplicationEvent>& events) {
+  obs::ScopedSpan span(options_.obs.tracer, obs::kSpanFollowerReplay,
+                       obs::kServiceShard, epoch);
+  ScopedTimer timer;
+  timer.Record(replay_ms_);
   for (const ReplicationEvent& event : events) {
     switch (event.kind) {
       case ReplicationEvent::Kind::kBatch: {

@@ -85,6 +85,9 @@ class Follower {
   /// Replays one delta and seals the matching epoch on the replica.
   Status ReplayDelta(uint64_t epoch,
                      const std::vector<ReplicationEvent>& events);
+  /// Refreshes follower.epochs_behind from a directory listing: newest
+  /// shipped epoch (delta or base) minus the epoch replayed so far.
+  void UpdateLagGauge();
 
   DeltaLog log_;
   ShardedDynamicCService::Options options_;
@@ -93,6 +96,14 @@ class Follower {
   std::unique_ptr<ShardedDynamicCService> service_;
   uint64_t base_epoch_ = 0;
   uint64_t restores_ = 0;
+
+  /// Follower-side staleness instruments, resolved from
+  /// `service_options.obs.metrics` at construction (null = off). An
+  /// in-process primary+follower pair should carry *separate*
+  /// registries, or their service-level metrics pool into one book.
+  obs::Gauge* epochs_behind_ = nullptr;
+  obs::Gauge* replay_lag_ms_ = nullptr;
+  obs::Histogram* replay_ms_ = nullptr;
 };
 
 }  // namespace dynamicc

@@ -1,9 +1,11 @@
 #include "replication/replication_session.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
 #include "service/snapshot.h"
+#include "util/timer.h"
 
 namespace dynamicc {
 
@@ -42,6 +44,11 @@ Status ReplicationSession::Start() {
       }
     }
   }
+  if (service_->metrics_registry() != nullptr) {
+    obs::MetricsRegistry& reg = *service_->metrics_registry();
+    delta_bytes_metric_ = reg.GetCounter("replication.delta_bytes");
+    compact_ms_metric_ = reg.GetHistogram("replication.compact_ms");
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
@@ -79,6 +86,8 @@ Status ReplicationSession::Start() {
     last_base_epoch_ = base_epoch;
     epochs_since_base_ = 0;
   }
+  ScopedTimer compact_timer;
+  compact_timer.Record(compact_ms_metric_);
   return log_.Compact(base_epoch);
 }
 
@@ -93,10 +102,21 @@ void ReplicationSession::Stop() {
 }
 
 uint64_t ReplicationSession::SealEpoch() {
+  double ship_before = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ship_before = delta_ship_ms_total_;
+  }
+  Timer timer;
   const uint64_t epoch = service_->CloseEpoch();  // hook ships the delta
+  const double close_ms = timer.ElapsedMillis();
   bool want_base = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // The hook accounted its WriteDelta time while CloseEpoch ran; the
+    // remainder of the close is the seal proper (service bookkeeping).
+    seal_ms_total_ +=
+        std::max(0.0, close_ms - (delta_ship_ms_total_ - ship_before));
     want_base = options_.snapshot_every > 0 &&
                 epochs_since_base_ >= options_.snapshot_every;
   }
@@ -113,6 +133,8 @@ uint64_t ReplicationSession::SealEpoch() {
         last_base_epoch_ = base_epoch;
         epochs_since_base_ = 0;
       }
+      ScopedTimer compact_timer;
+      compact_timer.Record(compact_ms_metric_);
       status = log_.Compact(base_epoch);
     }
     if (!status.ok()) {
@@ -143,6 +165,21 @@ uint64_t ReplicationSession::pending_at_seals() const {
   return pending_at_seals_;
 }
 
+double ReplicationSession::seal_ms_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seal_ms_total_;
+}
+
+double ReplicationSession::delta_ship_ms_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_ship_ms_total_;
+}
+
+uint64_t ReplicationSession::delta_bytes_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_bytes_total_;
+}
+
 void ReplicationSession::OnAdmitted(OperationBatch operations) {
   std::lock_guard<std::mutex> lock(mutex_);
   ReplicationEvent event;
@@ -159,7 +196,10 @@ void ReplicationSession::OnEpochSealed(uint64_t epoch,
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ReplicationEvent> sealed;
   sealed.swap(events_);
-  Status status = log_.WriteDelta(epoch, pending_tail_ops, sealed);
+  Timer timer;
+  uint64_t bytes = 0;
+  Status status = log_.WriteDelta(epoch, pending_tail_ops, sealed, &bytes);
+  delta_ship_ms_total_ += timer.ElapsedMillis();
   if (!status.ok()) {
     if (status_.ok()) status_ = status;
     return;
@@ -167,6 +207,8 @@ void ReplicationSession::OnEpochSealed(uint64_t epoch,
   deltas_shipped_ += 1;
   pending_at_seals_ += pending_tail_ops;
   epochs_since_base_ += 1;
+  delta_bytes_total_ += bytes;
+  if (delta_bytes_metric_ != nullptr) delta_bytes_metric_->Add(bytes);
 }
 
 void ReplicationSession::OnMigration(uint64_t group, uint32_t to_shard) {

@@ -76,6 +76,15 @@ class ReplicationSession : public StreamObserver {
   /// Sum of DeltaInfo::pending_at_seal over shipped deltas: how much
   /// sealed-but-unapplied backlog the primary carried at its seals.
   uint64_t pending_at_seals() const;
+  /// Split of SealEpoch's CloseEpoch time: `seal_ms_total` is the
+  /// service-side bookkeeping (watermarks, epoch marks), `delta_ship_ms`
+  /// the delta serialization + write inside the OnEpochSealed hook.
+  /// Together they account for the epoch-seal wall time, so a slow seal
+  /// is attributable to the service or the replication sink at a glance.
+  double seal_ms_total() const;
+  double delta_ship_ms_total() const;
+  /// Bytes of every delta file shipped since Start().
+  uint64_t delta_bytes_total() const;
 
   // StreamObserver hooks (called by the service; not for direct use).
   void OnAdmitted(OperationBatch operations) override;
@@ -99,7 +108,16 @@ class ReplicationSession : public StreamObserver {
   uint64_t deltas_shipped_ = 0;
   uint64_t pending_at_seals_ = 0;
   uint64_t epochs_since_base_ = 0;
+  double seal_ms_total_ = 0.0;
+  double delta_ship_ms_total_ = 0.0;
+  uint64_t delta_bytes_total_ = 0;
   Status status_;
+
+  /// Resolved from the service's registry at Start() (null when the
+  /// service runs without metrics). Not under mutex_: written once
+  /// before the observer attaches, read-only afterwards.
+  obs::Counter* delta_bytes_metric_ = nullptr;
+  obs::Histogram* compact_ms_metric_ = nullptr;
 };
 
 }  // namespace dynamicc

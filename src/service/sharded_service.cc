@@ -64,6 +64,52 @@ ShardedDynamicCService::ShardedDynamicCService(
         std::move(shard->env.split_model), options_.session);
     shards_.push_back(std::move(shard));
   }
+
+  // Metric handles resolve once, here; the hot paths only ever test
+  // `metrics_` and poke pre-resolved atomics. Names are catalogued in
+  // docs/metrics.md — keep the two in sync.
+  tracer_ = options_.obs.tracer;
+  if (options_.obs.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.obs.metrics;
+    metrics_ = std::make_unique<ServiceMetrics>();
+    metrics_->admit_ms = reg.GetHistogram("ingest.admit_ms");
+    metrics_->queue_wait_ms = reg.GetHistogram("queue.wait_ms");
+    metrics_->drain_batch_ops = reg.GetHistogram("drain.batch_ops");
+    metrics_->drain_apply_ms = reg.GetHistogram("drain.apply_ms");
+    metrics_->worker_round_ms = reg.GetHistogram("worker.round_ms");
+    metrics_->barrier_ms = reg.GetHistogram("barrier.round_ms");
+    metrics_->epoch_seal_ms = reg.GetHistogram("epoch.seal_ms");
+    metrics_->delta_ship_ms = reg.GetHistogram("epoch.delta_ship_ms");
+    metrics_->migration_ms = reg.GetHistogram("migration.ms");
+    metrics_->snapshot_save_ms = reg.GetHistogram("snapshot.save_ms");
+    metrics_->snapshot_load_ms = reg.GetHistogram("snapshot.load_ms");
+    metrics_->epochs_sealed = reg.GetCounter("epoch.sealed");
+    metrics_->migration_ops_rehomed = reg.GetCounter("migration.ops_rehomed");
+    metrics_->rebalance_passes = reg.GetCounter("placement.rebalance_passes");
+    metrics_->snapshot_save_bytes = reg.GetCounter("snapshot.save_bytes");
+    metrics_->snapshot_load_bytes = reg.GetCounter("snapshot.load_bytes");
+    metrics_->accepted_ops = reg.GetGauge("ingest.accepted_ops");
+    metrics_->rejected_batches = reg.GetGauge("ingest.rejected_batches");
+    metrics_->rejected_ops = reg.GetGauge("ingest.rejected_ops");
+    metrics_->coalesced_ops = reg.GetGauge("ingest.coalesced_ops");
+    metrics_->pending_ops = reg.GetGauge("ingest.pending_ops");
+    metrics_->applied_ops = reg.GetGauge("ingest.applied_ops");
+    metrics_->open_epoch = reg.GetGauge("epoch.open");
+    metrics_->applied_epoch = reg.GetGauge("epoch.applied");
+    metrics_->applied_batches = reg.GetGauge("ingest.applied_batches");
+    metrics_->worker_rounds = reg.GetGauge("worker.rounds");
+    metrics_->producer_waits = reg.GetGauge("ingest.producer_waits");
+    metrics_->queue_high_water = reg.GetGauge("queue.high_water");
+    metrics_->record_imbalance = reg.GetGauge("placement.record_imbalance");
+    metrics_->cost_imbalance = reg.GetGauge("placement.cost_imbalance");
+    metrics_->placement_version = reg.GetGauge("placement.version");
+    metrics_->groups_migrated = reg.GetGauge("placement.groups_migrated");
+    metrics_->queue_depth.reserve(options_.num_shards);
+    for (uint32_t s = 0; s < options_.num_shards; ++s) {
+      metrics_->queue_depth.push_back(
+          reg.GetGauge(obs::ShardLabel("queue.depth", s)));
+    }
+  }
 }
 
 ShardedDynamicCService::IngestResult ShardedDynamicCService::Ingest(
@@ -83,6 +129,15 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
   // Producers serialize here: global ids come out dense in admission
   // order, and a kReject capacity check stays atomic with its enqueue.
   std::lock_guard<std::mutex> ingest_lock(ingest_mutex_);
+  // The admit span covers the whole producer-side call: routing, id
+  // assignment, enqueue (including any backpressure stall, which also
+  // gets its own queue.wait span). Its seq range is the assigned
+  // global-id range when the batch carries adds.
+  obs::ScopedSpan admit_span(tracer_, obs::kSpanIngestAdmit,
+                             obs::kServiceShard,
+                             open_epoch_.load(std::memory_order_relaxed));
+  ScopedTimer admit_timer;
+  admit_timer.Record(metrics_ ? metrics_->admit_ms : nullptr);
   const bool async = options_.async.enabled;
   const size_t depth = std::max<size_t>(1, options_.async.queue_depth);
 
@@ -193,6 +248,10 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
     }
     observer_->OnAdmitted(std::move(journal));
   }
+  if (!batch_add_shards.empty()) {
+    admit_span.set_range(first_add_id,
+                         first_add_id + batch_add_shards.size());
+  }
 
   if (!async) {
     // Shard slices are disjoint, so they apply concurrently. Only
@@ -223,6 +282,7 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
     {
       std::unique_lock<std::mutex> lock(shard.queue_mutex);
       bool counted_wait = false;
+      Timer wait_timer;  // read only when a backpressure stall happened
       for (DataOperation& op : per_shard[s]) {
         // Only kBlock meters the queue op-by-op; a kReject batch was
         // admitted as a whole above and must never stall the producer
@@ -240,6 +300,7 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
           if (!counted_wait) {
             shard.producer_waits += 1;
             counted_wait = true;
+            wait_timer.Reset();
           }
           shard.queue_not_full.wait(lock);
         }
@@ -247,6 +308,25 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
         shard.accepted_ops += 1;
         shard.queue_high_water =
             std::max(shard.queue_high_water, shard.log.pending());
+      }
+      if (counted_wait) {
+        // One wait episode per (batch, shard): from the first stall to
+        // the slice being fully enqueued.
+        const double wait_ms = wait_timer.ElapsedMillis();
+        if (metrics_) metrics_->queue_wait_ms->Record(wait_ms);
+        if (tracer_ != nullptr) {
+          obs::TraceSpan span;
+          span.name = obs::kSpanQueueWait;
+          span.shard = static_cast<uint32_t>(s);
+          span.epoch = open_epoch_.load(std::memory_order_relaxed);
+          span.duration_ns = static_cast<uint64_t>(wait_ms * 1e6);
+          span.start_ns = tracer_->NowNs() - span.duration_ns;
+          tracer_->Record(span);
+        }
+      }
+      if (metrics_) {
+        metrics_->queue_depth[s]->Set(
+            static_cast<double>(shard.log.pending()));
       }
       if (!shard.log.empty() && !shard.worker_busy) {
         shard.worker_busy = true;
@@ -314,6 +394,7 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
   constexpr int kBatchesBeforeYield = 4;
   for (int iteration = 0; iteration < kBatchesBeforeYield; ++iteration) {
     OperationLog::Drained drained;
+    uint64_t span_seq_begin = 0;
     {
       std::lock_guard<std::mutex> lock(shard.queue_mutex);
       if (shard.paused) {
@@ -339,20 +420,38 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
         }
         bite = shard.adaptive_batch;
       }
+      if (tracer_ != nullptr) {
+        span_seq_begin = shard.log.first_pending_sequence();
+      }
       drained = shard.log.Take(bite);
       shard.queue_not_full.notify_all();
+      if (metrics_) {
+        metrics_->queue_depth[shard_index]->Set(
+            static_cast<double>(shard.log.pending()));
+      }
     }
 
-    Timer timer;
     double apply_ms = 0.0;
     double round_ms = 0.0;
     bool rounded = false;
     DynamicCSession::DynamicReport round_report;
+    const uint64_t drain_epoch = open_epoch_.load(std::memory_order_relaxed);
+    if (metrics_) {
+      metrics_->drain_batch_ops->Record(
+          static_cast<double>(drained.ops.size()));
+    }
     {
       std::lock_guard<std::mutex> round_lock(shard.round_mutex);
-      std::vector<ObjectId> changed =
-          ApplyBatchToShard(shard_index, drained.ops);
-      apply_ms = timer.ElapsedMillis();
+      std::vector<ObjectId> changed;
+      {
+        obs::ScopedSpan span(tracer_, obs::kSpanDrainApply,
+                             static_cast<uint32_t>(shard_index), drain_epoch);
+        span.set_range(span_seq_begin, drained.end_sequence);
+        ScopedTimer timer;
+        timer.Set(&apply_ms)
+            .Record(metrics_ ? metrics_->drain_apply_ms : nullptr);
+        changed = ApplyBatchToShard(shard_index, drained.ops);
+      }
       shard.dirty = true;
       // Rounds run in the background only once the whole service is
       // trained; until then application is deferred but rounds stay
@@ -365,9 +464,15 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
                          shard.pending_changed.end());
           shard.pending_changed.clear();
         }
-        timer.Reset();
-        round_report = shard.session->DynamicRound(changed);
-        round_ms = timer.ElapsedMillis();
+        {
+          obs::ScopedSpan span(tracer_, obs::kSpanWorkerRound,
+                               static_cast<uint32_t>(shard_index),
+                               drain_epoch);
+          ScopedTimer timer;
+          timer.Set(&round_ms)
+              .Record(metrics_ ? metrics_->worker_round_ms : nullptr);
+          round_report = shard.session->DynamicRound(changed);
+        }
         shard.dirty = false;
         rounded = true;
       } else {
@@ -469,27 +574,37 @@ ServiceReport ShardedDynamicCService::ObserveBatchRound(
   ServiceReport report;
   report.train_shards.resize(shards_.size());
 
-  Timer wall;
-  pool_.ParallelFor(shards_.size(), [&](size_t s) {
-    Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> round_lock(shard.round_mutex);
-    ShardTrainStats& stats = report.train_shards[s];
-    stats.shard = static_cast<uint32_t>(s);
-    Timer timer;
-    if (shard.dataset.alive_count() > 0) {
-      stats.report = shard.session->ObserveBatchRound(hints[s]);
-      stats.participated = true;
-    }
-    shard.dirty = false;  // the batch result is a fresh fixpoint
-    stats.round_ms = timer.ElapsedMillis();
-    stats.objects = shard.dataset.alive_count();
-    stats.clusters = shard.session->engine().clustering().num_clusters();
-    if (stats.participated) {
-      std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
-      shard.cost_ms += stats.round_ms;
-    }
-  });
-  report.wall_ms = wall.ElapsedMillis();
+  {
+    obs::ScopedSpan barrier_span(
+        tracer_, obs::kSpanObserveRound, obs::kServiceShard,
+        open_epoch_.load(std::memory_order_relaxed));
+    ScopedTimer wall;
+    wall.Set(&report.wall_ms)
+        .Record(metrics_ ? metrics_->barrier_ms : nullptr);
+    pool_.ParallelFor(shards_.size(), [&](size_t s) {
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> round_lock(shard.round_mutex);
+      ShardTrainStats& stats = report.train_shards[s];
+      stats.shard = static_cast<uint32_t>(s);
+      {
+        obs::ScopedSpan span(tracer_, obs::kSpanObserveRound,
+                             static_cast<uint32_t>(s));
+        ScopedTimer timer;
+        timer.Set(&stats.round_ms);
+        if (shard.dataset.alive_count() > 0) {
+          stats.report = shard.session->ObserveBatchRound(hints[s]);
+          stats.participated = true;
+        }
+        shard.dirty = false;  // the batch result is a fresh fixpoint
+      }
+      stats.objects = shard.dataset.alive_count();
+      stats.clusters = shard.session->engine().clustering().num_clusters();
+      if (stats.participated) {
+        std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
+        shard.cost_ms += stats.round_ms;
+      }
+    });
+  }
 
   for (const ShardTrainStats& stats : report.train_shards) {
     report.total_shard_ms += stats.round_ms;
@@ -531,7 +646,6 @@ ServiceReport ShardedDynamicCService::ServeBarrier(
   report.flush_epoch = flush_epoch;
   report.dynamic_shards.resize(shards_.size());
 
-  Timer wall;
   // A shard sits the round out while empty, or clean — no operation
   // landed on it since its last round, so its clustering is already a
   // DynamicC fixpoint and re-running would change nothing. In async
@@ -548,37 +662,48 @@ ServiceReport ShardedDynamicCService::ServeBarrier(
       serving.push_back(s);
     }
   }
-  pool_.ParallelFor(serving.size(), [&](size_t i) {
-    size_t s = serving[i];
-    Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> round_lock(shard.round_mutex);
-    ShardDynamicStats& stats = report.dynamic_shards[s];
-    Timer timer;
-    if (shard.session->is_trained()) {
-      stats.report = shard.session->DynamicRound(hints[s]);
-    } else {
-      // The shard cannot serve dynamically yet — its slice of the
-      // training phase produced no evolution steps, or its first data
-      // arrived after training ended. Serve it with an observed batch
-      // round instead (mirroring the session's observe_every path):
-      // the output is the correct batch clustering either way, and the
-      // round doubles as this shard's training opportunity.
-      DynamicCSession::TrainReport observe =
-          shard.session->ObserveBatchRound(hints[s]);
-      stats.report.recluster_ms = observe.batch_ms + observe.derive_ms;
-      stats.report.retrain_ms = observe.fit_ms;
-      stats.report.used_batch = true;
-    }
-    stats.participated = true;
-    shard.dirty = false;
-    stats.round_ms = timer.ElapsedMillis();
-    stats.objects = shard.dataset.alive_count();
-    stats.clusters = shard.session->engine().clustering().num_clusters();
-    std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
-    shard.cost_ms += stats.round_ms;
-    AccumulateRecluster(&shard.round_detail, stats.report.detail);
-  });
-  report.wall_ms = wall.ElapsedMillis();
+  {
+    obs::ScopedSpan barrier_span(tracer_, obs::kSpanDynamicRound,
+                                 obs::kServiceShard, flush_epoch);
+    ScopedTimer wall_timer;
+    wall_timer.Set(&report.wall_ms)
+        .Record(metrics_ ? metrics_->barrier_ms : nullptr);
+    pool_.ParallelFor(serving.size(), [&](size_t i) {
+      size_t s = serving[i];
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> round_lock(shard.round_mutex);
+      ShardDynamicStats& stats = report.dynamic_shards[s];
+      {
+        obs::ScopedSpan span(tracer_, obs::kSpanDynamicRound,
+                             static_cast<uint32_t>(s), flush_epoch);
+        ScopedTimer timer;
+        timer.Set(&stats.round_ms);
+        if (shard.session->is_trained()) {
+          stats.report = shard.session->DynamicRound(hints[s]);
+        } else {
+          // The shard cannot serve dynamically yet — its slice of the
+          // training phase produced no evolution steps, or its first
+          // data arrived after training ended. Serve it with an
+          // observed batch round instead (mirroring the session's
+          // observe_every path): the output is the correct batch
+          // clustering either way, and the round doubles as this
+          // shard's training opportunity.
+          DynamicCSession::TrainReport observe =
+              shard.session->ObserveBatchRound(hints[s]);
+          stats.report.recluster_ms = observe.batch_ms + observe.derive_ms;
+          stats.report.retrain_ms = observe.fit_ms;
+          stats.report.used_batch = true;
+        }
+        stats.participated = true;
+        shard.dirty = false;
+      }
+      stats.objects = shard.dataset.alive_count();
+      stats.clusters = shard.session->engine().clustering().num_clusters();
+      std::lock_guard<std::mutex> queue_lock(shard.queue_mutex);
+      shard.cost_ms += stats.round_ms;
+      AccumulateRecluster(&shard.round_detail, stats.report.detail);
+    });
+  }
 
   for (const ShardDynamicStats& stats : report.dynamic_shards) {
     report.total_shard_ms += stats.round_ms;
@@ -618,31 +743,48 @@ uint64_t ShardedDynamicCService::CloseEpochLocked() {
   // boundaries cover exactly the operations of this epoch and earlier.
   const uint64_t closed = open_epoch_.fetch_add(1);
   uint64_t pending_tail = 0;
-  for (const auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.queue_mutex);
-    const uint64_t boundary = shard.log.appended();
-    if (!shard.worker_busy) {
-      // No drain task is queued or running, so nothing is in flight and
-      // the precise watermark is safe to read straight off the log
-      // (first_pending_sequence() is appended() when nothing pends).
-      shard.reflected_seq = shard.log.first_pending_sequence();
-    }
-    if (boundary <= shard.reflected_seq) {
-      shard.applied_epoch = closed;
-      shard.epoch_applied.notify_all();
-    } else {
-      shard.epoch_marks.push_back(Shard::EpochMark{closed, boundary});
-    }
-    if (observer_ != nullptr) {
-      // Everything still queued below the seal boundary is
-      // sealed-but-unapplied — the primary's replication lag at this
-      // boundary, which the delta log records per epoch. Count-only
-      // (ExportRange's copying sibling has no place under these locks).
-      pending_tail += shard.log.LogicalInRange(0, boundary);
+  {
+    // The seal proper: stamping watermarks and epoch marks across the
+    // shards. Shipping the delta (the observer hook below) is timed
+    // separately — the split is what tells an operator whether a slow
+    // CloseEpoch is the service's bookkeeping or the replication sink.
+    obs::ScopedSpan span(tracer_, obs::kSpanEpochSeal, obs::kServiceShard,
+                         closed);
+    ScopedTimer seal_timer;
+    seal_timer.Record(metrics_ ? metrics_->epoch_seal_ms : nullptr);
+    for (const auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.queue_mutex);
+      const uint64_t boundary = shard.log.appended();
+      if (!shard.worker_busy) {
+        // No drain task is queued or running, so nothing is in flight
+        // and the precise watermark is safe to read straight off the
+        // log (first_pending_sequence() is appended() when nothing
+        // pends).
+        shard.reflected_seq = shard.log.first_pending_sequence();
+      }
+      if (boundary <= shard.reflected_seq) {
+        shard.applied_epoch = closed;
+        shard.epoch_applied.notify_all();
+      } else {
+        shard.epoch_marks.push_back(Shard::EpochMark{closed, boundary});
+      }
+      if (observer_ != nullptr) {
+        // Everything still queued below the seal boundary is
+        // sealed-but-unapplied — the primary's replication lag at this
+        // boundary, which the delta log records per epoch. Count-only
+        // (ExportRange's copying sibling has no place under these
+        // locks).
+        pending_tail += shard.log.LogicalInRange(0, boundary);
+      }
     }
   }
+  if (metrics_) metrics_->epochs_sealed->Add(1);
   if (observer_ != nullptr) {
+    obs::ScopedSpan span(tracer_, obs::kSpanDeltaShip, obs::kServiceShard,
+                         closed);
+    ScopedTimer ship_timer;
+    ship_timer.Record(metrics_ ? metrics_->delta_ship_ms : nullptr);
     observer_->OnEpochSealed(closed, pending_tail);
   }
   return closed;
@@ -752,9 +894,15 @@ void ShardedDynamicCService::FillIngestStats(IngestStats* ingest) const {
   // The fleet-wide applied epoch is the laggard's: an epoch is applied
   // once *every* shard has it.
   uint64_t applied_epoch = ingest->open_epoch - 1;
+  size_t shard_index = 0;
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.queue_mutex);
+    if (metrics_ != nullptr) {
+      metrics_->queue_depth[shard_index]->Set(
+          static_cast<double>(shard.log.pending()));
+    }
+    shard_index += 1;
     applied_epoch = std::min(applied_epoch, shard.applied_epoch);
     ingest->accepted_ops += shard.accepted_ops;
     ingest->applied_ops += shard.applied_ops;
@@ -779,6 +927,28 @@ void ShardedDynamicCService::FillIngestStats(IngestStats* ingest) const {
     }
   }
   ingest->applied_epoch = applied_epoch;
+
+  // The shard-local counters above stay authoritative; the registry
+  // carries a verbatim mirror so exporters and reports can never
+  // disagree (obs_test pins gauge == struct field).
+  if (metrics_ != nullptr) {
+    metrics_->accepted_ops->Set(static_cast<double>(ingest->accepted_ops));
+    metrics_->rejected_batches->Set(
+        static_cast<double>(ingest->rejected_batches));
+    metrics_->rejected_ops->Set(static_cast<double>(ingest->rejected_ops));
+    metrics_->coalesced_ops->Set(static_cast<double>(ingest->coalesced_ops));
+    metrics_->pending_ops->Set(static_cast<double>(ingest->pending_ops));
+    metrics_->applied_ops->Set(static_cast<double>(ingest->applied_ops));
+    metrics_->open_epoch->Set(static_cast<double>(ingest->open_epoch));
+    metrics_->applied_epoch->Set(static_cast<double>(ingest->applied_epoch));
+    metrics_->applied_batches->Set(
+        static_cast<double>(ingest->applied_batches));
+    metrics_->worker_rounds->Set(static_cast<double>(ingest->worker_rounds));
+    metrics_->producer_waits->Set(
+        static_cast<double>(ingest->producer_waits));
+    metrics_->queue_high_water->Set(
+        static_cast<double>(ingest->queue_high_water));
+  }
 }
 
 void ShardedDynamicCService::FinalizeReport(ServiceReport* report) const {
@@ -800,6 +970,14 @@ void ShardedDynamicCService::FinalizeReport(ServiceReport* report) const {
   report->record_imbalance = MaxMeanRatio(records);
   report->placement_version = placement_.version();
   report->groups_migrated = migrations_.load();
+  if (metrics_ != nullptr) {
+    metrics_->cost_imbalance->Set(report->cost_imbalance);
+    metrics_->record_imbalance->Set(report->record_imbalance);
+    metrics_->placement_version->Set(
+        static_cast<double>(report->placement_version));
+    metrics_->groups_migrated->Set(
+        static_cast<double>(report->groups_migrated));
+  }
 }
 
 void ShardedDynamicCService::AppendShardClusters(
@@ -964,10 +1142,20 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
   // progress) makes concurrent WaitEpoch scans that overlapped the move
   // re-scan instead of trusting a destination they checked too early.
   migration_seq_.fetch_add(1, std::memory_order_acq_rel);
-  ParkWorker(from);
-  ParkWorker(to_shard);
+  {
+    obs::ScopedSpan span(tracer_, obs::kSpanMigrationQuiesce,
+                         obs::kServiceShard,
+                         open_epoch_.load(std::memory_order_relaxed));
+    span.set_range(group, group);
+    ParkWorker(from);
+    ParkWorker(to_shard);
+  }
 
   {
+    obs::ScopedSpan surgery_span(
+        tracer_, obs::kSpanMigrationSurgery, obs::kServiceShard,
+        open_epoch_.load(std::memory_order_relaxed));
+    surgery_span.set_range(group, group);
     Shard& src = *shards_[from];
     Shard& dst = *shards_[to_shard];
     // Lock order everywhere: round_mutex (ascending) before
@@ -1145,7 +1333,13 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
   ResumeWorker(from);
   ResumeWorker(to_shard);
   migration_seq_.fetch_add(1, std::memory_order_acq_rel);
+  // Not a ScopedTimer: report.ms must be read into the return value,
+  // and return-value construction happens before local destructors run.
   report.ms = timer.ElapsedMillis();
+  if (metrics_) {
+    metrics_->migration_ms->Record(report.ms);
+    metrics_->migration_ops_rehomed->Add(report.replayed_ops);
+  }
   return report;
 }
 
@@ -1181,6 +1375,7 @@ std::vector<Rebalancer::GroupLoad> ShardedDynamicCService::GroupLoads() const {
 ShardedDynamicCService::RebalanceReport
 ShardedDynamicCService::RebalanceOnce() {
   RebalanceReport report;
+  if (metrics_) metrics_->rebalance_passes->Add(1);
   std::vector<Rebalancer::GroupLoad> groups = GroupLoads();
   std::vector<Rebalancer::ShardLoad> shard_loads(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {

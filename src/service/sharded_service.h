@@ -21,6 +21,8 @@
 #include "data/similarity_graph.h"
 #include "ml/model.h"
 #include "objective/objective.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/placement.h"
 #include "service/rebalancer.h"
 #include "service/service_report.h"
@@ -221,6 +223,18 @@ class ShardedDynamicCService {
     Rebalancer::Options policy;
   };
 
+  /// Observability hooks (src/obs/). Both null by default — the
+  /// compiled-in-but-idle state, where every instrumentation site costs
+  /// a pointer test (the overhead guard in bench_sharded_throughput
+  /// pins the enabled cost at <2% records/sec). Neither is owned; both
+  /// must outlive the service. Two services sharing one registry pool
+  /// their counters — give an in-process follower its own registry when
+  /// the books must stay separate.
+  struct ObsOptions {
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+  };
+
   struct Options {
     uint32_t num_shards = 4;
     /// Worker threads. 0 = one per shard, capped at the hardware
@@ -230,6 +244,7 @@ class ShardedDynamicCService {
     DynamicCSession::Options session;
     AsyncOptions async;
     RebalanceOptions rebalance;
+    ObsOptions obs;
   };
 
   /// Outcome of one Ingest call. `accepted` is false only in async mode
@@ -486,6 +501,15 @@ class ShardedDynamicCService {
   void SetStreamObserver(StreamObserver* observer) { observer_ = observer; }
   StreamObserver* stream_observer() const { return observer_; }
 
+  /// The registry/tracer this service instruments into (null when
+  /// metrics are idle). The replication layer resolves its own metric
+  /// handles through these, so primary-side and service-side metrics
+  /// land in the same books.
+  obs::MetricsRegistry* metrics_registry() const {
+    return options_.obs.metrics;
+  }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// The shard owning a (live or tombstoned) global id.
   uint32_t ShardOfObject(ObjectId global_id) const;
   const DynamicCSession& session(uint32_t shard) const;
@@ -638,6 +662,51 @@ class ShardedDynamicCService {
   /// Fills `ingest` with the cumulative pipeline counters.
   void FillIngestStats(IngestStats* ingest) const;
 
+  /// Registry handles, resolved once at construction (null metrics_
+  /// when Options::obs.metrics is null). Histograms record live on the
+  /// hot paths; the IngestStats-mirror gauges are published by
+  /// FillIngestStats — the shard counters stay the single source of
+  /// truth and the registry is the uniform export surface over them
+  /// (obs_test pins the two views equal).
+  struct ServiceMetrics {
+    obs::Histogram* admit_ms = nullptr;
+    obs::Histogram* queue_wait_ms = nullptr;
+    obs::Histogram* drain_batch_ops = nullptr;
+    obs::Histogram* drain_apply_ms = nullptr;
+    obs::Histogram* worker_round_ms = nullptr;
+    obs::Histogram* barrier_ms = nullptr;
+    obs::Histogram* epoch_seal_ms = nullptr;
+    obs::Histogram* delta_ship_ms = nullptr;
+    obs::Histogram* migration_ms = nullptr;
+    obs::Histogram* snapshot_save_ms = nullptr;
+    obs::Histogram* snapshot_load_ms = nullptr;
+    obs::Counter* epochs_sealed = nullptr;
+    obs::Counter* migration_ops_rehomed = nullptr;
+    obs::Counter* rebalance_passes = nullptr;
+    obs::Counter* snapshot_save_bytes = nullptr;
+    obs::Counter* snapshot_load_bytes = nullptr;
+    /// IngestStats mirrors (gauges; see FillIngestStats).
+    obs::Gauge* accepted_ops = nullptr;
+    obs::Gauge* rejected_batches = nullptr;
+    obs::Gauge* rejected_ops = nullptr;
+    obs::Gauge* coalesced_ops = nullptr;
+    obs::Gauge* pending_ops = nullptr;
+    obs::Gauge* applied_ops = nullptr;
+    obs::Gauge* open_epoch = nullptr;
+    obs::Gauge* applied_epoch = nullptr;
+    obs::Gauge* applied_batches = nullptr;
+    obs::Gauge* worker_rounds = nullptr;
+    obs::Gauge* producer_waits = nullptr;
+    obs::Gauge* queue_high_water = nullptr;
+    /// Placement health (published by FinalizeReport / RebalanceOnce).
+    obs::Gauge* record_imbalance = nullptr;
+    obs::Gauge* cost_imbalance = nullptr;
+    obs::Gauge* placement_version = nullptr;
+    obs::Gauge* groups_migrated = nullptr;
+    /// Per-shard queue depth, labelled "queue.depth{shard=i}".
+    std::vector<obs::Gauge*> queue_depth;
+  };
+
   /// Appends one shard's clusters to `out`, translated to global ids
   /// with members ascending. Caller holds the shard's round_mutex; the
   /// cluster list still needs a final sort for canonical form.
@@ -647,6 +716,11 @@ class ShardedDynamicCService {
   Options options_;
   std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Null when metrics are idle — every instrumentation site guards on
+  /// this one pointer.
+  std::unique_ptr<ServiceMetrics> metrics_;
+  obs::Tracer* tracer_ = nullptr;
 
   /// Replication feed (null = not replicating). Written only while
   /// quiescent (SetStreamObserver's contract); read on the ingest, seal,

@@ -20,6 +20,7 @@
 #include "ml/serialization.h"
 #include "service/sharded_service.h"
 #include "util/logging.h"
+#include "util/timer.h"
 #include "util/wire.h"
 
 namespace dynamicc {
@@ -154,6 +155,12 @@ Status ReadSnapshotInfo(const std::string& dir, SnapshotInfo* info) {
 }
 
 Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
+  // The span/timer cover the whole save — quiesce included, since the
+  // stall the service experiences is the number an operator wants.
+  obs::ScopedSpan save_span(tracer_, obs::kSpanSnapshotSave,
+                            obs::kServiceShard);
+  ScopedTimer save_timer;
+  save_timer.Record(metrics_ ? metrics_->snapshot_save_ms : nullptr);
   // Crash atomicity: every file is written into a sibling scratch
   // directory ("<dir>.saving") and the scratch is renamed into place
   // only after the manifest — the integrity root, written last — is on
@@ -185,6 +192,7 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
   // consistent cut the files capture.
   std::lock_guard<std::mutex> ingest_lock(ingest_mutex_);
   const uint64_t epoch = CloseEpochLocked();
+  save_span.set_epoch(epoch);
   // Safe while holding ingest_mutex_: Drain only touches the queue
   // mutexes, and the workers it waits on never take ingest_mutex_.
   Drain();
@@ -202,6 +210,7 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
   manifest.info.num_shards = num_shards();
   manifest.info.placement_version = placement_.version();
 
+  uint64_t total_bytes = 0;
   auto emit = [&](const std::string& name,
                   const std::string& bytes) -> Status {
     ManifestEntry entry;
@@ -209,6 +218,7 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
     entry.size = bytes.size();
     entry.checksum = SnapshotChecksum(bytes);
     manifest.files.push_back(entry);
+    total_bytes += bytes.size();
     return WriteFileBytes(JoinPath(scratch, name), bytes);
   };
 
@@ -331,8 +341,10 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
   // The manifest goes last: even a torn scratch directory (if a caller
   // ever pointed a load at one) is missing its integrity root and is
   // rejected outright.
-  Status status = WriteFileBytes(JoinPath(scratch, kManifestName),
-                                 RenderManifest(manifest));
+  const std::string manifest_bytes = RenderManifest(manifest);
+  total_bytes += manifest_bytes.size();
+  Status status =
+      WriteFileBytes(JoinPath(scratch, kManifestName), manifest_bytes);
   if (!status.ok()) return status;
 
   // Publish by rename-aside: the previous snapshot moves to
@@ -362,10 +374,15 @@ Status ShardedDynamicCService::SaveSnapshot(const std::string& dir) {
                            "): " + ec.message());
   }
   std::filesystem::remove_all(backup, ec);  // best effort; swept next save
+  if (metrics_) metrics_->snapshot_save_bytes->Add(total_bytes);
   return Status::Ok();
 }
 
 Status ShardedDynamicCService::LoadSnapshot(const std::string& dir) {
+  obs::ScopedSpan load_span(tracer_, obs::kSpanSnapshotLoad,
+                            obs::kServiceShard);
+  ScopedTimer load_timer;
+  load_timer.Record(metrics_ ? metrics_->snapshot_load_ms : nullptr);
   {
     std::lock_guard<std::mutex> loc_lock(locations_mutex_);
     if (!locations_.empty() || open_epoch_.load() != 1) {
@@ -381,6 +398,7 @@ Status ShardedDynamicCService::LoadSnapshot(const std::string& dir) {
   Manifest manifest;
   status = ParseManifest(manifest_bytes, &manifest);
   if (!status.ok()) return status;
+  load_span.set_epoch(manifest.info.epoch);
   if (manifest.info.num_shards != num_shards()) {
     return Status::InvalidArgument(
         "snapshot holds " + std::to_string(manifest.info.num_shards) +
@@ -647,6 +665,14 @@ Status ShardedDynamicCService::LoadSnapshot(const std::string& dir) {
     shard_ptr->applied_epoch = open_epoch - 1;
   }
   serving_.store(serving, std::memory_order_release);
+  if (metrics_) {
+    // Manifest entry sizes are checksum-verified against what was read.
+    uint64_t total_bytes = manifest_bytes.size();
+    for (const ManifestEntry& entry : manifest.files) {
+      total_bytes += entry.size;
+    }
+    metrics_->snapshot_load_bytes->Add(total_bytes);
+  }
   return Status::Ok();
 }
 

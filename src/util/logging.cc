@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace dynamicc {
@@ -7,6 +8,8 @@ namespace internal_logging {
 
 namespace {
 LogLevel g_min_level = LogLevel::kInfo;
+
+thread_local LogTags t_log_tags;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,14 +31,29 @@ const char* LevelName(LogLevel level) {
 LogLevel GetMinLogLevel() { return g_min_level; }
 void SetMinLogLevel(LogLevel level) { g_min_level = level; }
 
+LogTags GetThreadLogTags() { return t_log_tags; }
+void SetThreadLogTags(LogTags tags) { t_log_tags = tags; }
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line;
+  // Shard/epoch context from the trace layer, when a span is active on
+  // this thread.
+  if (t_log_tags.shard >= 0) stream_ << " s" << t_log_tags.shard;
+  if (t_log_tags.epoch > 0) stream_ << " e" << t_log_tags.epoch;
+  stream_ << "] ";
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= g_min_level || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    // One fwrite of the whole formatted line: stderr is unbuffered but
+    // POSIX only makes single write calls atomic — streaming the line
+    // piecewise (the old std::cerr << ... << std::endl) let concurrent
+    // workers' lines shear mid-token.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -1,6 +1,7 @@
 #ifndef DYNAMICC_UTIL_LOGGING_H_
 #define DYNAMICC_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -12,7 +13,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 
 namespace internal_logging {
 
-/// Collects a log line via stream insertion and emits it on destruction.
+/// Thread-local shard/epoch context carried on every log line emitted
+/// while set: "[INFO file:42 s3 e17] ...". The trace layer
+/// (obs::ScopedSpan) publishes the span's shard/epoch here for the
+/// span's lifetime, so logs from instrumented regions self-identify
+/// without every call site threading the context through. shard < 0
+/// means "service-wide" (no s tag); epoch 0 means "no epoch" (no e
+/// tag).
+struct LogTags {
+  int64_t shard = -1;
+  uint64_t epoch = 0;
+};
+LogTags GetThreadLogTags();
+void SetThreadLogTags(LogTags tags);
+
+/// Collects a log line via stream insertion and emits it on
+/// destruction as one write of the fully formatted line — concurrent
+/// threads' lines interleave whole, never character by character.
 /// Fatal messages abort the process after emitting.
 class LogMessage {
  public:

@@ -26,6 +26,80 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Stopwatch that reports its elapsed milliseconds to attached sinks
+/// when it leaves scope — the one idiom behind every duration metric,
+/// replacing the hand-rolled `Timer t; ... x = t.ElapsedMillis();`
+/// pattern. Sinks compose:
+///
+///   {
+///     ScopedTimer timer;
+///     timer.Set(&stats.round_ms).Record(metrics ? metrics->round_ms
+///                                               : nullptr);
+///     ... timed work ...
+///   }   // stats.round_ms written, histogram recorded
+///
+/// Record() takes anything with a `Record(double)` member (an
+/// obs::Histogram, typically) without this header depending on it;
+/// null targets are ignored, so instrumentation that is compiled in
+/// but idle costs a pointer test.
+class ScopedTimer {
+ public:
+  ScopedTimer() = default;
+  ~ScopedTimer() {
+    const double ms = timer_.ElapsedMillis();
+    for (int i = 0; i < num_sinks_; ++i) sinks_[i].fn(sinks_[i].target, ms);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// `*target = elapsed` on destruction.
+  ScopedTimer& Set(double* target) {
+    return Attach(target, [](void* p, double ms) {
+      *static_cast<double*>(p) = ms;
+    });
+  }
+
+  /// `*target += elapsed` on destruction.
+  ScopedTimer& Add(double* target) {
+    return Attach(target, [](void* p, double ms) {
+      *static_cast<double*>(p) += ms;
+    });
+  }
+
+  /// `sink->Record(elapsed)` on destruction; null sinks are ignored.
+  template <typename Sink>
+  ScopedTimer& Record(Sink* sink) {
+    return Attach(sink, [](void* p, double ms) {
+      static_cast<Sink*>(p)->Record(ms);
+    });
+  }
+
+  /// Reads the stopwatch without detaching the sinks.
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
+
+ private:
+  static constexpr int kMaxSinks = 4;
+  using SinkFn = void (*)(void*, double);
+
+  ScopedTimer& Attach(void* target, SinkFn fn) {
+    if (target != nullptr && num_sinks_ < kMaxSinks) {
+      sinks_[num_sinks_].target = target;
+      sinks_[num_sinks_].fn = fn;
+      num_sinks_ += 1;
+    }
+    return *this;
+  }
+
+  struct Sink {
+    void* target = nullptr;
+    SinkFn fn = nullptr;
+  };
+  Timer timer_;
+  Sink sinks_[kMaxSinks];
+  int num_sinks_ = 0;
+};
+
 }  // namespace dynamicc
 
 #endif  // DYNAMICC_UTIL_TIMER_H_
