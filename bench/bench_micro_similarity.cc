@@ -1,14 +1,30 @@
-// Micro-benchmarks of the similarity kernels (google-benchmark): the
-// pairwise scoring cost that blocking amortizes.
+// Micro-benchmarks of the similarity hot path (google-benchmark): the
+// seed scalar kernels versus the PR-7 indexed batch kernels, scoring one
+// probe against a 64-candidate block per iteration — the shape
+// SimilarityGraph::ScoreAgainstCandidates actually runs.
+//
+// Benchmark names come in <Measure>_seed / <Measure>_indexed pairs over
+// identical inputs, so a JSON run (--benchmark_format=json) yields the
+// before/after ns-per-pair ratio by dividing the two real_time values
+// (both score kBatch pairs per iteration). The `full_evals` counter is
+// the distance-call count per batch: how many of the 64 pairs the
+// threshold-aware kernel actually evaluated (seed always evaluates all).
+
+#include <memory>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "data/feature_index.h"
 #include "data/record.h"
 #include "data/similarity_measures.h"
 #include "util/rng.h"
 
 namespace dynamicc {
 namespace {
+
+constexpr size_t kBatch = 64;
+constexpr double kThreshold = 0.5;
 
 Record MakeTextRecord(Rng* rng, size_t words) {
   Record record;
@@ -32,49 +48,130 @@ Record MakePointRecord(Rng* rng, size_t dims) {
   return record;
 }
 
-void BM_Jaccard(benchmark::State& state) {
-  Rng rng(1);
-  Record a = MakeTextRecord(&rng, 8);
-  Record b = MakeTextRecord(&rng, 8);
+/// Candidate block with blocking-realistic overlap: roughly half the
+/// candidates share most of their content with the probe (would clear a
+/// 0.5 threshold), the rest overlap only incidentally.
+struct Workload {
+  Record probe;
+  std::vector<Record> candidates;
+};
+
+Workload TextWorkload(uint64_t seed, size_t words) {
+  Rng rng(seed);
+  Workload w;
+  w.probe = MakeTextRecord(&rng, words);
+  for (size_t i = 0; i < kBatch; ++i) {
+    if (i % 2 == 0) {
+      Record near = w.probe;  // same content, one token perturbed
+      near.tokens[i % near.tokens.size()] = "alt" + std::to_string(i);
+      near.text += "x";
+      w.candidates.push_back(std::move(near));
+    } else {
+      w.candidates.push_back(MakeTextRecord(&rng, words));
+    }
+  }
+  return w;
+}
+
+Workload PointWorkload(uint64_t seed, size_t dims) {
+  Rng rng(seed);
+  Workload w;
+  w.probe = MakePointRecord(&rng, dims);
+  for (size_t i = 0; i < kBatch; ++i) {
+    Record candidate = w.probe;
+    double spread = i % 2 == 0 ? 0.5 : 40.0;  // near vs far cluster
+    for (double& v : candidate.numeric) v += rng.Uniform(-spread, spread);
+    w.candidates.push_back(std::move(candidate));
+  }
+  return w;
+}
+
+/// Seed path: one scalar virtual Similarity call per pair, the loop
+/// SimilarityGraph ran before the batch core existed.
+void RunSeed(benchmark::State& state, const SimilarityMeasure& measure,
+             const Workload& w) {
+  for (auto _ : state) {
+    for (const Record& candidate : w.candidates) {
+      double s = measure.Similarity(w.probe, candidate);
+      benchmark::DoNotOptimize(s);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+  state.counters["full_evals"] = static_cast<double>(kBatch);
+}
+
+/// Indexed path: features prebuilt (as the graph does at Add time), one
+/// SimilarityBatch call per iteration with the graph's edge threshold.
+void RunIndexed(benchmark::State& state, const SimilarityMeasure& measure,
+                const Workload& w) {
+  FeatureIndex index(measure.FeatureNeeds() != 0 ? measure.FeatureNeeds()
+                                                 : kFeatureAll);
+  RecordFeatures probe_features;
+  index.Build(w.probe, &probe_features);
+  std::vector<RecordFeatures> features(w.candidates.size());
+  std::vector<SimCandidate> batch(w.candidates.size());
+  for (size_t i = 0; i < w.candidates.size(); ++i) {
+    index.Build(w.candidates[i], &features[i]);
+    batch[i] = {&w.candidates[i], &features[i]};
+  }
+  std::vector<double> out(w.candidates.size());
+  size_t full = 0;
+  for (auto _ : state) {
+    full = measure.SimilarityBatch(w.probe, &probe_features, batch.data(),
+                                   batch.size(), kThreshold, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+  state.counters["full_evals"] = static_cast<double>(full);
+}
+
+void BM_Jaccard_seed(benchmark::State& state) {
   JaccardSimilarity measure;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(measure.Similarity(a, b));
-  }
+  RunSeed(state, measure, TextWorkload(1, 8));
 }
-BENCHMARK(BM_Jaccard);
+BENCHMARK(BM_Jaccard_seed);
 
-void BM_TrigramCosine(benchmark::State& state) {
-  Rng rng(2);
-  Record a = MakeTextRecord(&rng, 6);
-  Record b = MakeTextRecord(&rng, 6);
+void BM_Jaccard_indexed(benchmark::State& state) {
+  JaccardSimilarity measure;
+  RunIndexed(state, measure, TextWorkload(1, 8));
+}
+BENCHMARK(BM_Jaccard_indexed);
+
+void BM_TrigramCosine_seed(benchmark::State& state) {
   TrigramCosineSimilarity measure;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(measure.Similarity(a, b));
-  }
+  RunSeed(state, measure, TextWorkload(2, 6));
 }
-BENCHMARK(BM_TrigramCosine);
+BENCHMARK(BM_TrigramCosine_seed);
 
-void BM_Levenshtein(benchmark::State& state) {
-  Rng rng(3);
-  Record a = MakeTextRecord(&rng, 6);
-  Record b = MakeTextRecord(&rng, 6);
+void BM_TrigramCosine_indexed(benchmark::State& state) {
+  TrigramCosineSimilarity measure;
+  RunIndexed(state, measure, TextWorkload(2, 6));
+}
+BENCHMARK(BM_TrigramCosine_indexed);
+
+void BM_Levenshtein_seed(benchmark::State& state) {
   LevenshteinSimilarity measure;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(measure.Similarity(a, b));
-  }
+  RunSeed(state, measure, TextWorkload(3, 6));
 }
-BENCHMARK(BM_Levenshtein);
+BENCHMARK(BM_Levenshtein_seed);
 
-void BM_Euclidean(benchmark::State& state) {
-  Rng rng(4);
-  Record a = MakePointRecord(&rng, state.range(0));
-  Record b = MakePointRecord(&rng, state.range(0));
-  EuclideanSimilarity measure(5.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(measure.Similarity(a, b));
-  }
+void BM_Levenshtein_indexed(benchmark::State& state) {
+  LevenshteinSimilarity measure;
+  RunIndexed(state, measure, TextWorkload(3, 6));
 }
-BENCHMARK(BM_Euclidean)->Arg(3)->Arg(16);
+BENCHMARK(BM_Levenshtein_indexed);
+
+void BM_Euclidean_seed(benchmark::State& state) {
+  EuclideanSimilarity measure(5.0);
+  RunSeed(state, measure, PointWorkload(4, state.range(0)));
+}
+BENCHMARK(BM_Euclidean_seed)->Arg(3)->Arg(16);
+
+void BM_Euclidean_indexed(benchmark::State& state) {
+  EuclideanSimilarity measure(5.0);
+  RunIndexed(state, measure, PointWorkload(4, state.range(0)));
+}
+BENCHMARK(BM_Euclidean_indexed)->Arg(3)->Arg(16);
 
 }  // namespace
 }  // namespace dynamicc

@@ -68,6 +68,7 @@
 #include "replication/replication_session.h"
 #include "data/blocking.h"
 #include "data/operations.h"
+#include "data/similarity_graph.h"
 #include "data/similarity_measures.h"
 #include "ml/logistic_regression.h"
 #include "objective/correlation.h"
@@ -97,6 +98,7 @@ struct BenchArgs {
   bool replication = true;       // run the delta-shipping section
   int catchup_every = 4;         // replication: follower catch-up cadence
   bool metrics_overhead = true;  // run the metrics-overhead guard
+  bool sim_core = true;          // run the seed-vs-indexed sim-core section
 };
 
 ShardEnvironmentFactory MakeFactory() {
@@ -651,6 +653,141 @@ MetricsOverhead MeasureMetricsOverhead(
   return m;
 }
 
+/// Sim-core section: the seed scalar similarity loop vs the indexed
+/// batch core (and the core with history-guided pruning) on a stream
+/// built to have a stop-word blocking key. Every record carries a
+/// shared "common" token, so candidate lists grow with the whole
+/// shard-local universe while true edges stay within groups: the
+/// regime where per-pair kernel cost dominates serving (indexed wins)
+/// and where the cold "common" key's history earns its pruning
+/// (sim.calls collapses to the within-group candidates).
+///
+/// Token layout per record: "agrp<g>" (sorts before "common", so
+/// within-group candidates attribute to the hot group key), "common",
+/// and 6 globally-unique filler tokens. Within-group Jaccard is
+/// 2/14 ≈ 0.14 (≥ the 0.1 edge threshold), cross-group 1/15 ≈ 0.07
+/// (below it) — so pruning the "common" key drops no true edges and
+/// the pruned run's clustering stays identical too.
+constexpr int kSimCoreGroups = 48;
+constexpr int kSimCoreFiller = 6;
+
+DataOperation SimCoreAdd(int group, int* unique_counter) {
+  DataOperation op;
+  op.kind = DataOperation::Kind::kAdd;
+  op.record.entity = static_cast<uint32_t>(group);
+  op.record.tokens = {"agrp" + std::to_string(group), "common"};
+  for (int u = 0; u < kSimCoreFiller; ++u) {
+    op.record.tokens.push_back("u" + std::to_string((*unique_counter)++));
+  }
+  return op;
+}
+
+struct SimCoreRun {
+  double serve_ms = 0.0;
+  double records_per_sec = 0.0;
+  size_t records_served = 0;
+  uint64_t sim_calls = 0;
+  uint64_t sim_full = 0;
+  uint64_t sim_pruned = 0;
+  size_t final_clusters = 0;
+  std::vector<std::vector<ObjectId>> clusters;
+};
+
+SimCoreRun RunSimCore(const BenchArgs& args,
+                      const SimilarityGraph::Options& core,
+                      const std::vector<OperationBatch>& training,
+                      const std::vector<OperationBatch>& serving) {
+  obs::MetricsRegistry registry;
+  ShardedDynamicCService::Options options;
+  options.num_shards = 4;
+  options.num_threads = args.threads;
+  options.obs.metrics = &registry;
+  auto factory = [&core] {
+    ShardEnvironment env = MakeFactory()();
+    env.sim_core = core;
+    return env;
+  };
+  ShardedDynamicCService service(options, nullptr, factory);
+  for (const OperationBatch& batch : training) {
+    auto changed = service.ApplyOperations(batch);
+    service.ObserveBatchRound(changed);
+  }
+  SimCoreRun run;
+  Timer timer;
+  for (const OperationBatch& batch : serving) {
+    auto changed = service.ApplyOperations(batch);
+    service.DynamicRound(changed);
+    run.records_served += batch.size();
+  }
+  run.serve_ms = timer.ElapsedMillis();
+  run.records_per_sec =
+      run.serve_ms > 0.0 ? 1000.0 * run.records_served / run.serve_ms : 0.0;
+  run.sim_calls = registry.GetCounter("sim.calls")->value();
+  run.sim_full = registry.GetCounter("sim.full")->value();
+  run.sim_pruned = registry.GetCounter("sim.pruned")->value();
+  run.final_clusters = service.total_clusters();
+  run.clusters = service.GlobalClusters();
+  return run;
+}
+
+struct SimCoreMeasurement {
+  SimCoreRun seed;
+  SimCoreRun indexed;
+  SimCoreRun pruned;
+  bool indexed_identical = false;
+  bool pruned_identical = false;
+};
+
+SimCoreMeasurement MeasureSimCore(const BenchArgs& args) {
+  int unique = 0;
+  std::vector<OperationBatch> training;
+  for (int member = 0; member < 2; ++member) {
+    OperationBatch batch;
+    for (int g = 0; g < kSimCoreGroups; ++g) {
+      batch.push_back(SimCoreAdd(g, &unique));
+    }
+    training.push_back(std::move(batch));
+  }
+  std::vector<OperationBatch> serving;
+  for (int r = 0; r < args.rounds; ++r) {
+    OperationBatch batch;
+    for (int i = 0; i < args.per_round; ++i) {
+      batch.push_back(
+          SimCoreAdd((r * args.per_round + i) % kSimCoreGroups, &unique));
+    }
+    serving.push_back(std::move(batch));
+  }
+
+  SimilarityGraph::Options seed_core;
+  seed_core.use_feature_index = false;
+  SimilarityGraph::Options indexed_core;  // defaults: indexed + order
+  SimilarityGraph::Options pruned_core;
+  pruned_core.history = SimilarityGraph::HistoryMode::kPrune;
+
+  SimCoreMeasurement m;
+  // Interleaved arms per repeat, best serve time each — same estimator
+  // as the shard sweep. Counters are deterministic across repeats.
+  for (int rep = 0; rep < std::max(1, args.repeats); ++rep) {
+    SimCoreRun seed = RunSimCore(args, seed_core, training, serving);
+    SimCoreRun indexed = RunSimCore(args, indexed_core, training, serving);
+    SimCoreRun pruned = RunSimCore(args, pruned_core, training, serving);
+    if (rep == 0) {
+      m.indexed_identical = indexed.clusters == seed.clusters;
+      m.pruned_identical = pruned.clusters == seed.clusters;
+    }
+    if (rep == 0 || seed.serve_ms < m.seed.serve_ms) m.seed = seed;
+    if (rep == 0 || indexed.serve_ms < m.indexed.serve_ms) {
+      m.indexed = indexed;
+    }
+    if (rep == 0 || pruned.serve_ms < m.pruned.serve_ms) m.pruned = pruned;
+  }
+  // Cluster vectors served their equality check; don't keep them live.
+  m.seed.clusters.clear();
+  m.indexed.clusters.clear();
+  m.pruned.clusters.clear();
+  return m;
+}
+
 /// The adversarial hot set: `count` groups whose hash placement all
 /// collides on shard 0 at `num_shards` — the worst case static routing
 /// can be dealt, and the case the rebalancer exists for.
@@ -705,6 +842,8 @@ int main(int argc, char** argv) {
       args.catchup_every = next();
     else if (std::strcmp(argv[i], "--metrics-overhead") == 0)
       args.metrics_overhead = next() != 0;
+    else if (std::strcmp(argv[i], "--sim-core") == 0)
+      args.sim_core = next() != 0;
     else if (std::strcmp(argv[i], "--mode") == 0)
       args.mode = i + 1 < argc ? argv[++i] : "";
     else if (std::strcmp(argv[i], "--backpressure") == 0)
@@ -826,6 +965,25 @@ int main(int argc, char** argv) {
                  "(%+.2f%%, within 2%% bar: %s)\n",
                  overhead.idle_ms, overhead.enabled_ms, overhead.overhead_pct,
                  overhead.within_2pct ? "yes" : "no");
+  }
+
+  // Sim-core section: seed scalar loop vs indexed batch core vs
+  // indexed+pruned on the stop-word-key stream.
+  SimCoreMeasurement sim_core;
+  if (args.sim_core) {
+    sim_core = MeasureSimCore(args);
+    std::fprintf(stderr,
+                 "sim core: seed %.0f rec/s (%llu calls) vs indexed %.0f "
+                 "rec/s (identical=%d) vs pruned %.0f rec/s "
+                 "(%llu calls, %llu pruned, identical=%d)\n",
+                 sim_core.seed.records_per_sec,
+                 static_cast<unsigned long long>(sim_core.seed.sim_calls),
+                 sim_core.indexed.records_per_sec,
+                 sim_core.indexed_identical ? 1 : 0,
+                 sim_core.pruned.records_per_sec,
+                 static_cast<unsigned long long>(sim_core.pruned.sim_calls),
+                 static_cast<unsigned long long>(sim_core.pruned.sim_pruned),
+                 sim_core.pruned_identical ? 1 : 0);
   }
 
   auto rate_of = [&results](const char* mode, uint32_t shards) {
@@ -981,6 +1139,45 @@ int main(int argc, char** argv) {
     json.Key("follower_replay_lag_ms")
         .Value(replication.follower_replay_lag_ms);
     json.Key("follower_identical").Value(replication.identical ? 1 : 0);
+    json.EndObject();
+  }
+  if (args.sim_core) {
+    auto write_run = [&json](const char* key, const SimCoreRun& r) {
+      json.Key(key).BeginObject();
+      json.Key("records_per_sec").Value(r.records_per_sec);
+      json.Key("serve_ms").Value(r.serve_ms);
+      json.Key("records_served").Value(r.records_served);
+      json.Key("sim_calls").Value(static_cast<size_t>(r.sim_calls));
+      json.Key("sim_full").Value(static_cast<size_t>(r.sim_full));
+      json.Key("sim_pruned").Value(static_cast<size_t>(r.sim_pruned));
+      json.Key("final_clusters").Value(r.final_clusters);
+      json.EndObject();
+    };
+    json.Key("sim_core").BeginObject();
+    write_run("seed", sim_core.seed);
+    write_run("indexed", sim_core.indexed);
+    write_run("indexed_pruned", sim_core.pruned);
+    json.Key("indexed_vs_seed")
+        .Value(sim_core.seed.records_per_sec > 0.0
+                   ? sim_core.indexed.records_per_sec /
+                         sim_core.seed.records_per_sec
+                   : 0.0);
+    json.Key("pruned_vs_seed")
+        .Value(sim_core.seed.records_per_sec > 0.0
+                   ? sim_core.pruned.records_per_sec /
+                         sim_core.seed.records_per_sec
+                   : 0.0);
+    // The history payoff in calls: pruning the cold "common" key drops
+    // the cross-group candidates outright.
+    json.Key("calls_reduction_pct")
+        .Value(sim_core.seed.sim_calls > 0
+                   ? 100.0 * (1.0 - static_cast<double>(
+                                        sim_core.pruned.sim_calls) /
+                                        static_cast<double>(
+                                            sim_core.seed.sim_calls))
+                   : 0.0);
+    json.Key("indexed_identical").Value(sim_core.indexed_identical ? 1 : 0);
+    json.Key("pruned_identical").Value(sim_core.pruned_identical ? 1 : 0);
     json.EndObject();
   }
   if (args.metrics_overhead) {

@@ -14,6 +14,8 @@
 //   --seed      stream seed override (0 = generator default)
 //   --kmeans-k  cluster count for the kmeans task
 //   --csv       emit CSV instead of aligned tables
+//   --sim-core  seed | indexed similarity hot path (default indexed;
+//               both cores produce byte-identical clusterings)
 //
 // Sharded serving (src/service/): --shards N partitions the stream over
 // N concurrent engines instead of the single-engine harness path
@@ -139,6 +141,14 @@ struct CliArgs {
   std::string metrics_out;
   uint32_t metrics_every = 0;
   std::string trace_out;
+  /// Similarity core: --sim-core seed runs the scalar per-pair loop the
+  /// repo started with; indexed (default) runs the batched feature-index
+  /// kernels (bit-identical clustering either way). --sim-history picks
+  /// the candidate-history mode: off, order (default; scoring order
+  /// only, still exact) or prune (approximate, skips historically cold
+  /// blocking keys).
+  std::string sim_core = "indexed";
+  std::string sim_history = "order";
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -244,6 +254,23 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->trace_out = v;
+    } else if (flag == "--sim-core") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->sim_core = v;
+      if (args->sim_core != "seed" && args->sim_core != "indexed") {
+        std::fprintf(stderr, "--sim-core must be seed or indexed\n");
+        return false;
+      }
+    } else if (flag == "--sim-history") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->sim_history = v;
+      if (args->sim_history != "off" && args->sim_history != "order" &&
+          args->sim_history != "prune") {
+        std::fprintf(stderr, "--sim-history must be off, order or prune\n");
+        return false;
+      }
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -303,7 +330,11 @@ void Usage() {
       "  --metrics-out FILE exports service metrics (JSON; CSV if FILE\n"
       "  ends in .csv) at the end of the run, --metrics-every K also\n"
       "  after every K stream snapshots; --trace-out FILE flushes epoch\n"
-      "  trace spans as Chrome-trace JSON.\n");
+      "  trace spans as Chrome-trace JSON.\n"
+      "  --sim-core seed|indexed picks the similarity hot path (indexed\n"
+      "  = batched feature-index kernels, the default; both produce the\n"
+      "  same clustering); --sim-history off|order|prune sets the\n"
+      "  candidate-history mode (prune is approximate).\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -367,6 +398,7 @@ ShardEnvironmentFactory MakeShardFactory(const ExperimentConfig& config) {
     env.measure = std::move(profile.measure);
     env.blocker = std::move(profile.blocker);
     env.min_similarity = profile.min_similarity;
+    env.sim_core = config.sim_core;
     if (config.task == TaskKind::kDbscan) {
       // Validator-only environment: DBSCAN has no objective, and its
       // core-stability validator binds to the shard's similarity graph,
@@ -915,6 +947,12 @@ int main(int argc, char** argv) {
   config.scale = args.scale;
   config.seed = args.seed;
   config.kmeans_k = args.kmeans_k;
+  config.sim_core.use_feature_index = args.sim_core == "indexed";
+  config.sim_core.history =
+      args.sim_history == "off"
+          ? SimilarityGraph::HistoryMode::kOff
+          : args.sim_history == "prune" ? SimilarityGraph::HistoryMode::kPrune
+                                        : SimilarityGraph::HistoryMode::kOrder;
   if (config.task == TaskKind::kDbscan) {
     config.dbscan.min_pts = 4;
     config.dbscan.eps_similarity = 0.5;

@@ -95,8 +95,22 @@ double ClusterStatsTracker::AverageInterSimilarity(ClusterId a,
 ClusterStatsTracker::MaxInter ClusterStatsTracker::MaxAverageInter(
     ClusterId cluster) const {
   MaxInter best;
-  for (ClusterId other : InterNeighbors(cluster)) {
-    double avg = AverageInterSimilarity(cluster, other);
+  auto it = inter_.find(cluster);
+  if (it == inter_.end()) return best;
+  // Single pass over the row: the per-pair sums are already in hand, so
+  // the InterSum() lookup AverageInterSimilarity would redo per neighbor
+  // is skipped. Sorted by id first, so equal averages resolve to the
+  // same winner as the InterNeighbors()-ordered loop this replaces.
+  std::vector<std::pair<ClusterId, double>> row;
+  row.reserve(it->second.size());
+  for (const auto& [other, sum] : it->second) {
+    if (sum > kEpsilon) row.emplace_back(other, sum);
+  }
+  std::sort(row.begin(), row.end());
+  double size_a = static_cast<double>(clustering_->ClusterSize(cluster));
+  for (const auto& [other, sum] : row) {
+    double pairs = size_a * static_cast<double>(clustering_->ClusterSize(other));
+    double avg = pairs == 0.0 ? 0.0 : sum / pairs;
     if (avg > best.average) {
       best.average = avg;
       best.cluster = other;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -81,12 +82,20 @@ PassStats MergeAlgorithm::Run(ClusteringEngine* engine, double theta,
     }
     if (options_.max_partner_checks > 0 &&
         partners.size() > options_.max_partner_checks) {
-      // Keep the strongest neighbors by average inter similarity.
+      // Keep the strongest neighbors by average inter similarity. The
+      // averages are computed once per partner, not twice per comparison
+      // (partial_sort does O(n log k) comparisons).
+      std::unordered_map<ClusterId, double> avg_to;
+      avg_to.reserve(partners.size());
+      for (ClusterId partner : partners) {
+        avg_to.emplace(partner,
+                       engine->stats().AverageInterSimilarity(cluster,
+                                                              partner));
+      }
       std::partial_sort(
           partners.begin(), partners.begin() + options_.max_partner_checks,
-          partners.end(), [&](ClusterId x, ClusterId y) {
-            return engine->stats().AverageInterSimilarity(cluster, x) >
-                   engine->stats().AverageInterSimilarity(cluster, y);
+          partners.end(), [&avg_to](ClusterId x, ClusterId y) {
+            return avg_to.find(x)->second > avg_to.find(y)->second;
           });
       partners.resize(options_.max_partner_checks);
     }

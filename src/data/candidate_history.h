@@ -1,0 +1,79 @@
+#ifndef DYNAMICC_DATA_CANDIDATE_HISTORY_H_
+#define DYNAMICC_DATA_CANDIDATE_HISTORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dynamicc {
+
+/// Per-blocking-key outcome history of candidate scoring: how often a
+/// candidate pair contributed by this key historically cleared the
+/// similarity graph's edge threshold. This is the paper's own thesis —
+/// learn from cluster-evolution history — applied to the hot path:
+/// keys whose pairs almost never form edges (stop-word-like tokens,
+/// sparse grid cells) are scored last, and in the explicitly-flagged
+/// approximate mode not at all.
+///
+/// Rates are smoothed with a Beta-style prior so cold keys rank
+/// neutrally instead of at the extremes.
+class CandidateHistory {
+ public:
+  struct Options {
+    /// Smoothing prior: a key with no history reads as
+    /// prior_hits / prior_trials.
+    double prior_hits = 1.0;
+    double prior_trials = 2.0;
+  };
+
+  struct KeyStats {
+    uint64_t trials = 0;  // candidate pairs this key contributed
+    uint64_t hits = 0;    // of those, pairs that cleared the threshold
+  };
+
+  CandidateHistory() = default;
+  explicit CandidateHistory(const Options& options) : options_(options) {}
+
+  /// Folds `trials` scored pairs (`hits` of them admitted as edges)
+  /// into the key's history.
+  void RecordOutcome(uint64_t key_hash, uint64_t trials, uint64_t hits) {
+    if (trials == 0) return;
+    KeyStats& stats = stats_[key_hash];
+    stats.trials += trials;
+    stats.hits += hits;
+  }
+
+  /// Smoothed historical edge rate of the key, in (0, 1).
+  double HitRate(uint64_t key_hash) const {
+    const KeyStats* stats = Find(key_hash);
+    double trials = options_.prior_trials;
+    double hits = options_.prior_hits;
+    if (stats != nullptr) {
+      trials += static_cast<double>(stats->trials);
+      hits += static_cast<double>(stats->hits);
+    }
+    return hits / trials;
+  }
+
+  /// Raw trial count of the key (0 when unseen) — pruning only engages
+  /// past a minimum sample size.
+  uint64_t Trials(uint64_t key_hash) const {
+    const KeyStats* stats = Find(key_hash);
+    return stats == nullptr ? 0 : stats->trials;
+  }
+
+  const KeyStats* Find(uint64_t key_hash) const {
+    auto it = stats_.find(key_hash);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return stats_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::unordered_map<uint64_t, KeyStats> stats_;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_CANDIDATE_HISTORY_H_

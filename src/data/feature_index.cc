@@ -1,0 +1,190 @@
+#include "data/feature_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DYNAMICC_HAVE_AVX2_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace dynamicc {
+
+FeatureIndex::FeatureIndex(uint32_t wanted) : wanted_(wanted) {}
+
+uint32_t FeatureIndex::InternToken(const std::string& token) {
+  auto [it, inserted] =
+      token_intern_.emplace(token, static_cast<uint32_t>(token_intern_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void FeatureIndex::Build(const Record& record, RecordFeatures* out) {
+  out->token_ids.clear();
+  out->trigram_ids.clear();
+  out->trigram_counts.clear();
+  out->trigram_norm2 = 0.0;
+  out->trigram_l1 = 0;
+  out->trigram_max = 0;
+  out->numeric.clear();
+  out->text_size = static_cast<uint32_t>(record.text.size());
+
+  if ((wanted_ & kFeatureTokens) != 0 && !record.tokens.empty()) {
+    out->token_ids.reserve(record.tokens.size());
+    for (const std::string& token : record.tokens) {
+      out->token_ids.push_back(InternToken(token));
+    }
+    std::sort(out->token_ids.begin(), out->token_ids.end());
+    out->token_ids.erase(
+        std::unique(out->token_ids.begin(), out->token_ids.end()),
+        out->token_ids.end());
+  }
+
+  if ((wanted_ & kFeatureTrigrams) != 0 && !record.text.empty()) {
+    // Same padding convention as TrigramCounts: "##" + text + "##",
+    // one trigram per window. Bytes are taken unsigned so non-ASCII
+    // content packs cleanly into the 24-bit id.
+    std::string padded;
+    padded.reserve(record.text.size() + 4);
+    padded.append("##").append(record.text).append("##");
+    out->trigram_ids.reserve(padded.size() - 2);
+    for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+      uint32_t id = (static_cast<uint32_t>(static_cast<unsigned char>(
+                         padded[i]))
+                     << 16) |
+                    (static_cast<uint32_t>(static_cast<unsigned char>(
+                         padded[i + 1]))
+                     << 8) |
+                    static_cast<uint32_t>(static_cast<unsigned char>(
+                        padded[i + 2]));
+      out->trigram_ids.push_back(id);
+    }
+    std::sort(out->trigram_ids.begin(), out->trigram_ids.end());
+    // Run-length collapse into (id, count); the aggregates are all
+    // integer-valued, so the doubles below are exact.
+    size_t write = 0;
+    for (size_t read = 0; read < out->trigram_ids.size();) {
+      uint32_t id = out->trigram_ids[read];
+      size_t run = read;
+      while (run < out->trigram_ids.size() && out->trigram_ids[run] == id) {
+        ++run;
+      }
+      uint32_t count = static_cast<uint32_t>(run - read);
+      out->trigram_ids[write++] = id;
+      out->trigram_counts.push_back(count);
+      out->trigram_norm2 +=
+          static_cast<double>(count) * static_cast<double>(count);
+      out->trigram_l1 += count;
+      out->trigram_max = std::max(out->trigram_max, count);
+      read = run;
+    }
+    out->trigram_ids.resize(write);
+  }
+
+  if ((wanted_ & kFeatureNumeric) != 0 && !record.numeric.empty()) {
+    out->numeric = record.numeric;
+  }
+}
+
+const RecordFeatures& FeatureIndex::Insert(ObjectId id, const Record& record) {
+  size_t slot = static_cast<size_t>(id);
+  if (slot >= features_.size()) {
+    features_.resize(slot + 1);
+    present_.resize(slot + 1, 0);
+  }
+  if (!present_[slot]) {
+    present_[slot] = 1;
+    ++live_;
+  }
+  Build(record, &features_[slot]);
+  return features_[slot];
+}
+
+void FeatureIndex::Remove(ObjectId id) {
+  size_t slot = static_cast<size_t>(id);
+  DYNAMICC_CHECK(slot < present_.size() && present_[slot])
+      << "object " << id << " not indexed";
+  present_[slot] = 0;
+  features_[slot] = RecordFeatures{};
+  --live_;
+}
+
+const RecordFeatures* FeatureIndex::Find(ObjectId id) const {
+  size_t slot = static_cast<size_t>(id);
+  if (slot >= present_.size() || !present_[slot]) return nullptr;
+  return &features_[slot];
+}
+
+namespace {
+
+size_t CountSortedIntersectionScalar(const uint32_t* a, size_t a_size,
+                                     const uint32_t* b, size_t b_size) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a_size && j < b_size) {
+    uint32_t x = a[i];
+    uint32_t y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+#ifdef DYNAMICC_HAVE_AVX2_DISPATCH
+/// Probe each element of the smaller array against 8-wide blocks of the
+/// larger one. Blocks whose maximum is below the needle are skipped
+/// whole; anything before the current block is known to be smaller than
+/// the needle, so a present needle is always inside the current block.
+__attribute__((target("avx2"))) size_t CountSortedIntersectionAvx2(
+    const uint32_t* small, size_t small_size, const uint32_t* large,
+    size_t large_size) {
+  size_t j = 0, count = 0;
+  for (size_t i = 0; i < small_size; ++i) {
+    uint32_t v = small[i];
+    while (j + 8 <= large_size && large[j + 7] < v) j += 8;
+    if (j + 8 <= large_size) {
+      __m256i needle = _mm256_set1_epi32(static_cast<int>(v));
+      __m256i block =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(large + j));
+      __m256i eq = _mm256_cmpeq_epi32(block, needle);
+      count += _mm256_movemask_epi8(eq) != 0;
+    } else {
+      while (j < large_size && large[j] < v) ++j;
+      if (j == large_size) break;
+      count += (large[j] == v);
+    }
+  }
+  return count;
+}
+#endif  // DYNAMICC_HAVE_AVX2_DISPATCH
+
+}  // namespace
+
+bool CpuHasAvx2() {
+#ifdef DYNAMICC_HAVE_AVX2_DISPATCH
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+size_t CountSortedIntersection(const uint32_t* a, size_t a_size,
+                               const uint32_t* b, size_t b_size) {
+  if (a_size > b_size) {
+    std::swap(a, b);
+    std::swap(a_size, b_size);
+  }
+#ifdef DYNAMICC_HAVE_AVX2_DISPATCH
+  // The block scan costs O(small · large/8): it pays when the larger
+  // side is long enough to amortize block skipping, not on the 8-token
+  // sets typical of blocking keys.
+  if (b_size >= 64 && b_size >= 4 * a_size && CpuHasAvx2()) {
+    return CountSortedIntersectionAvx2(a, a_size, b, b_size);
+  }
+#endif
+  return CountSortedIntersectionScalar(a, a_size, b, b_size);
+}
+
+}  // namespace dynamicc

@@ -1,0 +1,110 @@
+#ifndef DYNAMICC_DATA_FEATURE_INDEX_H_
+#define DYNAMICC_DATA_FEATURE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+#include "data/types.h"
+
+namespace dynamicc {
+
+/// Which per-record similarity features a measure consumes (bitmask).
+/// The index only builds what the graph's measure asks for, so e.g. a
+/// Jaccard-only workload never pays for trigram extraction at Add time.
+enum RecordFeatureKind : uint32_t {
+  kFeatureTokens = 1u << 0,    // interned sorted token ids (Jaccard)
+  kFeatureTrigrams = 1u << 1,  // sorted trigram id/count vectors (cosine)
+  kFeatureNumeric = 1u << 2,   // contiguous numeric view (Euclidean)
+  kFeatureAll = kFeatureTokens | kFeatureTrigrams | kFeatureNumeric,
+};
+
+/// Precomputed similarity inputs of one record. Built once when the
+/// record enters the similarity graph (Add/Update) and reused by every
+/// subsequent pairwise scoring, replacing the per-call
+/// unordered_set<std::string> / TrigramCounts hash-map construction the
+/// seed kernels paid per pair. Everything here is self-contained (no
+/// pointers into the Dataset, whose record storage reallocates on Add).
+struct RecordFeatures {
+  /// Sorted unique interned ids of `tokens` (identity-preserving: two
+  /// equal token strings get the same id), for merge-intersection
+  /// Jaccard. Sorted by id, which is a total order consistent across
+  /// both sides of any pair from the same index.
+  std::vector<uint32_t> token_ids;
+
+  /// Character trigrams of the '#'-padded `text`, packed 3 bytes into a
+  /// 24-bit id (byte-wise, so non-ASCII bytes are fine), sorted
+  /// ascending with parallel multiplicities. Replaces TrigramCounts.
+  std::vector<uint32_t> trigram_ids;
+  std::vector<uint32_t> trigram_counts;
+  /// Σ count² — integer-valued, so it is exact in a double and equal to
+  /// the seed's norm accumulation regardless of summation order.
+  double trigram_norm2 = 0.0;
+  /// Σ count (L1 mass) and max count (L∞): the cosine upper bound
+  /// dot ≤ min(L1(a)·L∞(b), L1(b)·L∞(a)) drives threshold skipping.
+  uint64_t trigram_l1 = 0;
+  uint32_t trigram_max = 0;
+
+  /// Contiguous copy of `numeric` owned by the index (stable storage,
+  /// vectorization-friendly; Dataset's own vector moves on growth).
+  std::vector<double> numeric;
+
+  /// Byte length of `text` (banded-Levenshtein length prefilter).
+  uint32_t text_size = 0;
+};
+
+/// Per-object feature store owned by a SimilarityGraph. Object ids are
+/// dense per dataset, so storage is a flat vector indexed by id.
+/// Token interning is append-only: ids are never reused, matching the
+/// dataset's own id discipline (the intern table grows with the
+/// vocabulary, not with the stream).
+class FeatureIndex {
+ public:
+  /// `wanted` is a RecordFeatureKind mask; omitted kinds stay empty.
+  explicit FeatureIndex(uint32_t wanted = kFeatureAll);
+
+  FeatureIndex(const FeatureIndex&) = delete;
+  FeatureIndex& operator=(const FeatureIndex&) = delete;
+
+  /// Builds (or rebuilds, for updates) the features of `record` under
+  /// `id`. Returns the stored entry.
+  const RecordFeatures& Insert(ObjectId id, const Record& record);
+
+  /// Drops the entry (storage is retained for id reuse-free datasets).
+  void Remove(ObjectId id);
+
+  /// The entry for `id`, or nullptr when none is indexed.
+  const RecordFeatures* Find(ObjectId id) const;
+
+  size_t size() const { return live_; }
+  size_t vocabulary_size() const { return token_intern_.size(); }
+  uint32_t wanted() const { return wanted_; }
+
+  /// Builds features standalone (benches/tests) using this index's
+  /// intern table without storing the result.
+  void Build(const Record& record, RecordFeatures* out);
+
+ private:
+  uint32_t InternToken(const std::string& token);
+
+  uint32_t wanted_;
+  std::unordered_map<std::string, uint32_t> token_intern_;
+  std::vector<RecordFeatures> features_;
+  std::vector<char> present_;
+  size_t live_ = 0;
+};
+
+/// |a ∩ b| of two ascending unique uint32 arrays (merge-intersection;
+/// dispatches to an AVX2 block-scan on large inputs when the CPU has
+/// it — the count is integer-exact either way).
+size_t CountSortedIntersection(const uint32_t* a, size_t a_size,
+                               const uint32_t* b, size_t b_size);
+
+/// True when the runtime CPU supports AVX2 (cached after first call).
+bool CpuHasAvx2();
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_DATA_FEATURE_INDEX_H_

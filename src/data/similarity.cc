@@ -1,0 +1,22 @@
+#include "data/similarity.h"
+
+#include "data/feature_index.h"
+
+namespace dynamicc {
+
+size_t SimilarityMeasure::SimilarityBatch(const Record& probe,
+                                          const RecordFeatures* probe_features,
+                                          const SimCandidate* candidates,
+                                          size_t count, double min_similarity,
+                                          double* out) const {
+  (void)probe_features;
+  (void)min_similarity;
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = Similarity(probe, *candidates[i].record);
+  }
+  return count;
+}
+
+uint32_t SimilarityMeasure::FeatureNeeds() const { return kFeatureAll; }
+
+}  // namespace dynamicc

@@ -1,19 +1,63 @@
 #ifndef DYNAMICC_DATA_SIMILARITY_H_
 #define DYNAMICC_DATA_SIMILARITY_H_
 
+#include <cstddef>
+
 #include "data/record.h"
 
 namespace dynamicc {
 
+struct RecordFeatures;  // data/feature_index.h
+
+/// One candidate of a batched scoring call: the record plus (optionally)
+/// its precomputed features. `features` may be null — implementations
+/// then fall back to the scalar path for that candidate. Both pointers
+/// are only required to stay valid for the duration of the call.
+struct SimCandidate {
+  const Record* record = nullptr;
+  const RecordFeatures* features = nullptr;
+};
+
 /// Pairwise similarity in [0, 1]; 1 means identical, 0 means unrelated.
 /// Implementations must be symmetric and give Similarity(r, r) == 1 for any
-/// record with non-empty content.
+/// record with non-empty content (content the measure reads: tokens for
+/// Jaccard, text for the string measures, numeric for Euclidean).
+/// Records that are empty under the measure score 0 against everything,
+/// including an identical empty record — "no content" means "no
+/// evidence of similarity", not "equal".
 class SimilarityMeasure {
  public:
   virtual ~SimilarityMeasure() = default;
 
   /// Similarity score between two records.
   virtual double Similarity(const Record& a, const Record& b) const = 0;
+
+  /// Scores `probe` against `count` candidates into out[0..count), one
+  /// virtual dispatch for the whole batch.
+  ///
+  /// Threshold contract: out[i] is bit-identical to
+  /// Similarity(probe, *candidates[i].record) whenever that exact score
+  /// is >= min_similarity; when it is below, out[i] may be any value
+  /// < min_similarity (threshold-aware kernels bail out early on pairs
+  /// that provably cannot clear the bound). Pass min_similarity <= 0 to
+  /// force exact scores for every pair.
+  ///
+  /// Returns the number of candidates fully evaluated — pairs that were
+  /// not short-circuited by an upper bound (the "distance call" count
+  /// the benches track).
+  ///
+  /// The base implementation loops over Similarity(); kernels override
+  /// it with indexed merge-intersection / dot-product / banded-DP /
+  /// running-sum loops over the precomputed features.
+  virtual size_t SimilarityBatch(const Record& probe,
+                                 const RecordFeatures* probe_features,
+                                 const SimCandidate* candidates, size_t count,
+                                 double min_similarity, double* out) const;
+
+  /// RecordFeatureKind mask (data/feature_index.h) of the features this
+  /// measure's batch kernel reads. The graph's feature index only
+  /// builds what the configured measure asks for. Default: everything.
+  virtual uint32_t FeatureNeeds() const;
 
   /// Short name for reports ("jaccard", "trigram-cosine", ...).
   virtual const char* Name() const = 0;

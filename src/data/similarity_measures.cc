@@ -2,29 +2,161 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <string_view>
+#include <vector>
 
+#include "data/feature_index.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
 
 namespace dynamicc {
 
+namespace {
+
+/// Absolute slack on threshold upper bounds: a candidate is skipped only
+/// when its bound sits below min_similarity by more than this, so the
+/// few-ulp rounding of the bound arithmetic can never skip a pair whose
+/// exact score clears the threshold (the byte-identical contract).
+constexpr double kBoundSlack = 1e-9;
+
+/// Sorted unique views of a token list (the scalar path's merge input).
+std::vector<std::string_view> SortedUniqueTokens(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string_view> views(tokens.begin(), tokens.end());
+  std::sort(views.begin(), views.end());
+  views.erase(std::unique(views.begin(), views.end()), views.end());
+  return views;
+}
+
+/// Banded Levenshtein distance: exact when the distance is <= band,
+/// otherwise any value > band. Cells outside the |i-j| <= band diagonal
+/// stripe cannot lie on an edit path of cost <= band, so they are held
+/// at INF and never computed.
+int BandedLevenshtein(std::string_view a, std::string_view b, int band) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  const int kInf = band + 1;
+  if (lb - la > band) return kInf;
+  std::vector<int> prev(la + 1, kInf), cur(la + 1, kInf);
+  for (int i = 0; i <= std::min(la, band); ++i) prev[i] = i;
+  for (int j = 1; j <= lb; ++j) {
+    const int lo = std::max(1, j - band);
+    const int hi = std::min(la, j + band);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 1) cur[0] = j <= band ? j : kInf;
+    for (int i = lo; i <= hi; ++i) {
+      int best = std::min(prev[i], cur[i - 1]) + 1;
+      int replace = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min(best, replace);
+    }
+    std::swap(prev, cur);
+  }
+  return std::min(prev[la], kInf);
+}
+
+/// Exact trigram dot product over two sorted (id, count) vectors. All
+/// addends are integer products, so the accumulated sum is exact (and
+/// therefore equal to the seed's hash-map accumulation in any order).
+uint64_t TrigramMergeDot(const RecordFeatures& a, const RecordFeatures& b) {
+  uint64_t dot = 0;
+  size_t i = 0, j = 0;
+  const size_t na = a.trigram_ids.size(), nb = b.trigram_ids.size();
+  while (i < na && j < nb) {
+    uint32_t x = a.trigram_ids[i];
+    uint32_t y = b.trigram_ids[j];
+    if (x == y) {
+      dot += static_cast<uint64_t>(a.trigram_counts[i]) * b.trigram_counts[j];
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Jaccard
+
 double JaccardSimilarity::Similarity(const Record& a, const Record& b) const {
   if (a.tokens.empty() && b.tokens.empty()) return 0.0;
-  std::unordered_set<std::string> set_a(a.tokens.begin(), a.tokens.end());
-  std::unordered_set<std::string> set_b(b.tokens.begin(), b.tokens.end());
+  // Sorted-vector merge intersection: same counts as the historical
+  // two-unordered_set construction, without the per-call hashing.
+  std::vector<std::string_view> set_a = SortedUniqueTokens(a.tokens);
+  std::vector<std::string_view> set_b = SortedUniqueTokens(b.tokens);
   size_t intersection = 0;
-  for (const auto& token : set_a) {
-    if (set_b.count(token) > 0) ++intersection;
+  size_t i = 0, j = 0;
+  while (i < set_a.size() && j < set_b.size()) {
+    if (set_a[i] == set_b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (set_a[i] < set_b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
   size_t union_size = set_a.size() + set_b.size() - intersection;
   if (union_size == 0) return 0.0;
   return static_cast<double>(intersection) / static_cast<double>(union_size);
 }
 
+size_t JaccardSimilarity::SimilarityBatch(const Record& probe,
+                                          const RecordFeatures* probe_features,
+                                          const SimCandidate* candidates,
+                                          size_t count, double min_similarity,
+                                          double* out) const {
+  size_t full = 0;
+  for (size_t c = 0; c < count; ++c) {
+    const RecordFeatures* cf = candidates[c].features;
+    if (probe_features == nullptr || cf == nullptr) {
+      out[c] = Similarity(probe, *candidates[c].record);
+      ++full;
+      continue;
+    }
+    const size_t na = probe_features->token_ids.size();
+    const size_t nb = cf->token_ids.size();
+    if (na == 0 || nb == 0) {
+      out[c] = 0.0;  // empty set: intersection 0 (and 0/0 reads as 0)
+      ++full;
+      continue;
+    }
+    if (min_similarity > 0.0) {
+      // |A∩B| <= min, |A∪B| >= max, so J <= min/max.
+      double bound = static_cast<double>(std::min(na, nb)) /
+                     static_cast<double>(std::max(na, nb));
+      if (bound < min_similarity - kBoundSlack) {
+        out[c] = 0.0;
+        continue;
+      }
+    }
+    size_t intersection =
+        CountSortedIntersection(probe_features->token_ids.data(), na,
+                                cf->token_ids.data(), nb);
+    size_t union_size = na + nb - intersection;
+    out[c] = static_cast<double>(intersection) /
+             static_cast<double>(union_size);
+    ++full;
+  }
+  return full;
+}
+
+uint32_t JaccardSimilarity::FeatureNeeds() const { return kFeatureTokens; }
+
+// ---------------------------------------------------------- TrigramCosine
+
 double TrigramCosineSimilarity::Similarity(const Record& a,
                                            const Record& b) const {
-  if (a.text.empty() || b.text.empty()) return a.text == b.text ? 0.0 : 0.0;
+  // Empty-content convention, stated plainly (this used to be the dead
+  // ternary `a.text == b.text ? 0.0 : 0.0`): a record without text has
+  // no trigram vector, so it is non-similar to everything — including
+  // an identical empty record.
+  if (a.text.empty() || b.text.empty()) return 0.0;
   auto grams_a = TrigramCounts(a.text);
   auto grams_b = TrigramCounts(b.text);
   double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
@@ -40,6 +172,59 @@ double TrigramCosineSimilarity::Similarity(const Record& a,
   return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
 }
 
+size_t TrigramCosineSimilarity::SimilarityBatch(
+    const Record& probe, const RecordFeatures* probe_features,
+    const SimCandidate* candidates, size_t count, double min_similarity,
+    double* out) const {
+  size_t full = 0;
+  for (size_t c = 0; c < count; ++c) {
+    const RecordFeatures* cf = candidates[c].features;
+    if (probe_features == nullptr || cf == nullptr) {
+      out[c] = Similarity(probe, *candidates[c].record);
+      ++full;
+      continue;
+    }
+    if (probe.text.empty() || candidates[c].record->text.empty()) {
+      out[c] = 0.0;
+      ++full;
+      continue;
+    }
+    const double norm2_a = probe_features->trigram_norm2;
+    const double norm2_b = cf->trigram_norm2;
+    if (norm2_a == 0.0 || norm2_b == 0.0) {
+      out[c] = 0.0;
+      ++full;
+      continue;
+    }
+    const double denom = std::sqrt(norm2_a) * std::sqrt(norm2_b);
+    if (min_similarity > 0.0) {
+      // dot = Σ aᵍ·bᵍ <= min(‖a‖₁·‖b‖∞, ‖b‖₁·‖a‖∞): every unit of a's
+      // trigram mass meets at most ‖b‖∞ units of b's, and vice versa.
+      // All factors are integer-exact in doubles.
+      uint64_t dot_bound =
+          std::min(probe_features->trigram_l1 *
+                       static_cast<uint64_t>(cf->trigram_max),
+                   cf->trigram_l1 *
+                       static_cast<uint64_t>(probe_features->trigram_max));
+      double bound = static_cast<double>(dot_bound) / denom;
+      if (bound < min_similarity - kBoundSlack) {
+        out[c] = 0.0;
+        continue;
+      }
+    }
+    uint64_t dot = TrigramMergeDot(*probe_features, *cf);
+    out[c] = static_cast<double>(dot) / denom;
+    ++full;
+  }
+  return full;
+}
+
+uint32_t TrigramCosineSimilarity::FeatureNeeds() const {
+  return kFeatureTrigrams;
+}
+
+// ------------------------------------------------------------ Levenshtein
+
 double LevenshteinSimilarity::Similarity(const Record& a,
                                          const Record& b) const {
   size_t longest = std::max(a.text.size(), b.text.size());
@@ -47,6 +232,60 @@ double LevenshteinSimilarity::Similarity(const Record& a,
   int dist = LevenshteinDistance(a.text, b.text);
   return 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
 }
+
+size_t LevenshteinSimilarity::SimilarityBatch(
+    const Record& probe, const RecordFeatures* probe_features,
+    const SimCandidate* candidates, size_t count, double min_similarity,
+    double* out) const {
+  (void)probe_features;
+  size_t full = 0;
+  const size_t la = probe.text.size();
+  for (size_t c = 0; c < count; ++c) {
+    const Record& other = *candidates[c].record;
+    const size_t lb = other.text.size();
+    const size_t longest = std::max(la, lb);
+    if (longest == 0) {
+      out[c] = 0.0;
+      ++full;
+      continue;
+    }
+    if (min_similarity > 0.0) {
+      // sim >= θ needs dist <= (1-θ)·longest; +2 absorbs the rounding
+      // of the float budget so the band is never too narrow.
+      const size_t budget = static_cast<size_t>(
+                                (1.0 - min_similarity) *
+                                static_cast<double>(longest)) +
+                            2;
+      const size_t diff = la > lb ? la - lb : lb - la;
+      if (diff > budget) {
+        out[c] = 0.0;  // dist >= |la-lb| > budget, so sim < θ
+        continue;
+      }
+      int dist = BandedLevenshtein(probe.text, other.text,
+                                   static_cast<int>(budget));
+      ++full;
+      if (static_cast<size_t>(dist) > budget) {
+        out[c] = 0.0;  // true distance exceeds the band, sim < θ
+        continue;
+      }
+      out[c] =
+          1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+      continue;
+    }
+    int dist = LevenshteinDistance(probe.text, other.text);
+    ++full;
+    out[c] = 1.0 - static_cast<double>(dist) / static_cast<double>(longest);
+  }
+  return full;
+}
+
+uint32_t LevenshteinSimilarity::FeatureNeeds() const {
+  // The banded DP reads raw text from the candidate records; only the
+  // length prefilter uses the index, and lengths ride along for free.
+  return 0;
+}
+
+// -------------------------------------------------------------- Euclidean
 
 EuclideanSimilarity::EuclideanSimilarity(double scale) : scale_(scale) {
   DYNAMICC_CHECK_GT(scale, 0.0);
@@ -69,6 +308,65 @@ double EuclideanSimilarity::Similarity(const Record& a,
   return std::exp(-(d * d) / (2.0 * scale_ * scale_));
 }
 
+size_t EuclideanSimilarity::SimilarityBatch(
+    const Record& probe, const RecordFeatures* probe_features,
+    const SimCandidate* candidates, size_t count, double min_similarity,
+    double* out) const {
+  const std::vector<double>& va =
+      (probe_features != nullptr && !probe_features->numeric.empty())
+          ? probe_features->numeric
+          : probe.numeric;
+  // exp(-d²/(2s²)) >= θ ⟺ d² <= -2s²·ln θ. The 1e-9 relative margin
+  // keeps the bail-out sound under rounding; thresholds within a
+  // whisker of 1 get no early exit (the margin would not cover them).
+  double cutoff = -1.0;
+  if (min_similarity > 0.0 && min_similarity < 0.999) {
+    cutoff = -2.0 * scale_ * scale_ * std::log(min_similarity);
+    cutoff = cutoff * (1.0 + 1e-9) + 1e-12;
+  }
+  size_t full = 0;
+  for (size_t c = 0; c < count; ++c) {
+    const Record& other = *candidates[c].record;
+    const RecordFeatures* cf = candidates[c].features;
+    const std::vector<double>& vb =
+        (cf != nullptr && !cf->numeric.empty()) ? cf->numeric : other.numeric;
+    if (va.empty() || other.numeric.empty()) {
+      out[c] = 0.0;
+      ++full;
+      continue;
+    }
+    DYNAMICC_CHECK_EQ(va.size(), vb.size());
+    // Seed-order accumulation with a running-sum bail-out every 8
+    // dimensions: partial sums are bit-equal to the seed's prefix sums,
+    // so a pair that survives to the end scores identically.
+    double sum = 0.0;
+    bool bailed = false;
+    const size_t n = va.size();
+    size_t i = 0;
+    while (i < n) {
+      const size_t stop = std::min(n, i + 8);
+      for (; i < stop; ++i) {
+        double diff = va[i] - vb[i];
+        sum += diff * diff;
+      }
+      if (cutoff >= 0.0 && sum > cutoff) {
+        out[c] = 0.0;
+        bailed = true;
+        break;
+      }
+    }
+    if (bailed) continue;
+    double d = std::sqrt(sum);
+    out[c] = std::exp(-(d * d) / (2.0 * scale_ * scale_));
+    ++full;
+  }
+  return full;
+}
+
+uint32_t EuclideanSimilarity::FeatureNeeds() const { return kFeatureNumeric; }
+
+// --------------------------------------------------------------- Combined
+
 CombinedSimilarity::CombinedSimilarity(
     std::vector<std::unique_ptr<SimilarityMeasure>> parts,
     std::vector<double> weights)
@@ -90,6 +388,30 @@ double CombinedSimilarity::Similarity(const Record& a, const Record& b) const {
     score += weights_[i] * parts_[i]->Similarity(a, b);
   }
   return score;
+}
+
+size_t CombinedSimilarity::SimilarityBatch(
+    const Record& probe, const RecordFeatures* probe_features,
+    const SimCandidate* candidates, size_t count, double min_similarity,
+    double* out) const {
+  (void)min_similarity;  // a weighted sum admits no per-part threshold
+  std::vector<double> part_scores(count);
+  std::fill(out, out + count, 0.0);
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    parts_[p]->SimilarityBatch(probe, probe_features, candidates, count,
+                               /*min_similarity=*/0.0, part_scores.data());
+    // Accumulate in part order, matching the scalar path's summation.
+    for (size_t c = 0; c < count; ++c) {
+      out[c] += weights_[p] * part_scores[c];
+    }
+  }
+  return count;
+}
+
+uint32_t CombinedSimilarity::FeatureNeeds() const {
+  uint32_t needs = 0;
+  for (const auto& part : parts_) needs |= part->FeatureNeeds();
+  return needs;
 }
 
 }  // namespace dynamicc

@@ -10,34 +10,56 @@ namespace dynamicc {
 
 /// Jaccard similarity over the records' token sets [40]
 /// (|A ∩ B| / |A ∪ B|; duplicates within one record count once).
+/// Both records empty => 0 (no content, no evidence).
 class JaccardSimilarity final : public SimilarityMeasure {
  public:
   double Similarity(const Record& a, const Record& b) const override;
+  size_t SimilarityBatch(const Record& probe,
+                         const RecordFeatures* probe_features,
+                         const SimCandidate* candidates, size_t count,
+                         double min_similarity, double* out) const override;
+  uint32_t FeatureNeeds() const override;
   const char* Name() const override { return "jaccard"; }
 };
 
 /// Cosine similarity of character-trigram count vectors of `text` [39].
+/// Either text empty => 0, even when both are empty.
 class TrigramCosineSimilarity final : public SimilarityMeasure {
  public:
   double Similarity(const Record& a, const Record& b) const override;
+  size_t SimilarityBatch(const Record& probe,
+                         const RecordFeatures* probe_features,
+                         const SimCandidate* candidates, size_t count,
+                         double min_similarity, double* out) const override;
+  uint32_t FeatureNeeds() const override;
   const char* Name() const override { return "trigram-cosine"; }
 };
 
 /// Normalized Levenshtein similarity over `text` [49]:
-/// 1 - dist(a, b) / max(|a|, |b|).
+/// 1 - dist(a, b) / max(|a|, |b|). Both texts empty => 0.
 class LevenshteinSimilarity final : public SimilarityMeasure {
  public:
   double Similarity(const Record& a, const Record& b) const override;
+  size_t SimilarityBatch(const Record& probe,
+                         const RecordFeatures* probe_features,
+                         const SimCandidate* candidates, size_t count,
+                         double min_similarity, double* out) const override;
+  uint32_t FeatureNeeds() const override;
   const char* Name() const override { return "levenshtein"; }
 };
 
 /// Similarity derived from Euclidean distance over `numeric` via a Gaussian
 /// kernel: exp(-d² / (2·scale²)). `scale` sets the distance at which
-/// similarity decays to ~0.61.
+/// similarity decays to ~0.61. Either vector empty => 0.
 class EuclideanSimilarity final : public SimilarityMeasure {
  public:
   explicit EuclideanSimilarity(double scale);
   double Similarity(const Record& a, const Record& b) const override;
+  size_t SimilarityBatch(const Record& probe,
+                         const RecordFeatures* probe_features,
+                         const SimCandidate* candidates, size_t count,
+                         double min_similarity, double* out) const override;
+  uint32_t FeatureNeeds() const override;
   const char* Name() const override { return "euclidean-gaussian"; }
 
   /// Plain Euclidean distance helper (used by DBSCAN and k-means directly).
@@ -54,6 +76,14 @@ class CombinedSimilarity final : public SimilarityMeasure {
   CombinedSimilarity(std::vector<std::unique_ptr<SimilarityMeasure>> parts,
                      std::vector<double> weights);
   double Similarity(const Record& a, const Record& b) const override;
+  /// Batches through the parts' kernels (each part scored exactly — a
+  /// weighted sum admits no per-part threshold) and combines in part
+  /// order, so scores stay bit-identical to the scalar path.
+  size_t SimilarityBatch(const Record& probe,
+                         const RecordFeatures* probe_features,
+                         const SimCandidate* candidates, size_t count,
+                         double min_similarity, double* out) const override;
+  uint32_t FeatureNeeds() const override;
   const char* Name() const override { return "combined"; }
 
  private:

@@ -1,0 +1,610 @@
+// Tests of the two-phase similarity core (PR 7): the per-record
+// FeatureIndex, the batched threshold-aware kernels, candidate history,
+// and — the load-bearing claim — bit-identity between the indexed core
+// and the seed scalar path, from single kernels all the way up to the
+// sharded service's clustering output.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/blocking.h"
+#include "data/candidate_history.h"
+#include "data/dataset.h"
+#include "data/feature_index.h"
+#include "data/similarity_graph.h"
+#include "data/similarity_measures.h"
+#include "obs/metrics.h"
+#include "service/sharded_service.h"
+#include "service_test_util.h"
+#include "util/rng.h"
+#include "util/string_utils.h"
+
+namespace dynamicc {
+namespace {
+
+Record TokenRecord(std::vector<std::string> tokens) {
+  Record record;
+  record.tokens = std::move(tokens);
+  return record;
+}
+
+Record TextRecord(std::string text) {
+  Record record;
+  record.text = std::move(text);
+  return record;
+}
+
+Record PointRecord(std::vector<double> numeric) {
+  Record record;
+  record.numeric = std::move(numeric);
+  return record;
+}
+
+/// Random record exercising every representation, including empties and
+/// non-ASCII ("unicode-ish") bytes in text.
+Record RandomRecord(Rng& rng) {
+  Record record;
+  if (!rng.Chance(0.1)) {
+    size_t n = rng.Index(8);
+    for (size_t i = 0; i < n; ++i) {
+      record.tokens.push_back("tok" + std::to_string(rng.Index(20)));
+    }
+  }
+  if (!rng.Chance(0.1)) {
+    size_t n = rng.Index(40);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Chance(0.1)) {
+        record.text.push_back(static_cast<char>(0x80 + rng.Index(0x80)));
+      } else {
+        record.text.push_back(static_cast<char>('a' + rng.Index(26)));
+      }
+    }
+  }
+  if (!rng.Chance(0.1)) {
+    size_t n = 1 + rng.Index(24);
+    for (size_t i = 0; i < n; ++i) {
+      record.numeric.push_back(rng.Uniform(-10.0, 10.0));
+    }
+  }
+  return record;
+}
+
+std::vector<std::unique_ptr<SimilarityMeasure>> AllMeasures() {
+  std::vector<std::unique_ptr<SimilarityMeasure>> measures;
+  measures.push_back(std::make_unique<JaccardSimilarity>());
+  measures.push_back(std::make_unique<TrigramCosineSimilarity>());
+  measures.push_back(std::make_unique<LevenshteinSimilarity>());
+  measures.push_back(std::make_unique<EuclideanSimilarity>(4.0));
+  {
+    std::vector<std::unique_ptr<SimilarityMeasure>> parts;
+    parts.push_back(std::make_unique<LevenshteinSimilarity>());
+    parts.push_back(std::make_unique<JaccardSimilarity>());
+    measures.push_back(std::make_unique<CombinedSimilarity>(
+        std::move(parts), std::vector<double>{2.0, 3.0}));
+  }
+  return measures;
+}
+
+// ------------------------------------------------------- measure contract
+
+TEST(MeasureContract, SelfSimilarityIsOneForNonEmptyContent) {
+  Record token_rec = TokenRecord({"alpha", "beta", "Alpha"});
+  Record text_rec = TextRecord("hello world");
+  Record point_rec = PointRecord({1.5, -2.0, 3.25});
+  Record full = token_rec;
+  full.text = text_rec.text;
+  full.numeric = point_rec.numeric;
+
+  EXPECT_DOUBLE_EQ(JaccardSimilarity().Similarity(token_rec, token_rec), 1.0);
+  // Trigram self-similarity is dot/(sqrt(n)*sqrt(n)) — within rounding
+  // of 1, not bit-exactly 1, hence DOUBLE_EQ.
+  EXPECT_DOUBLE_EQ(
+      TrigramCosineSimilarity().Similarity(text_rec, text_rec), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity().Similarity(text_rec, text_rec),
+                   1.0);
+  EXPECT_DOUBLE_EQ(EuclideanSimilarity(4.0).Similarity(point_rec, point_rec),
+                   1.0);
+  for (const auto& measure : AllMeasures()) {
+    EXPECT_DOUBLE_EQ(measure->Similarity(full, full), 1.0) << measure->Name();
+  }
+}
+
+TEST(MeasureContract, SymmetryOnRandomRecords) {
+  Rng rng(11);
+  auto measures = AllMeasures();
+  for (int i = 0; i < 50; ++i) {
+    Record a = RandomRecord(rng);
+    Record b = RandomRecord(rng);
+    // Euclidean CHECKs on dimension mismatch; align the vectors.
+    b.numeric = a.numeric;
+    std::reverse(b.numeric.begin(), b.numeric.end());
+    for (const auto& measure : measures) {
+      EXPECT_EQ(measure->Similarity(a, b), measure->Similarity(b, a))
+          << measure->Name();
+    }
+  }
+}
+
+TEST(MeasureContract, EmptyContentMeansNoEvidenceNotEqual) {
+  Record empty;  // empty under every measure
+  Record token_rec = TokenRecord({"alpha"});
+  Record text_rec = TextRecord("abc");
+  Record point_rec = PointRecord({1.0});
+
+  // The pinned fix of the historical dead ternary
+  // (`a.text == b.text ? 0.0 : 0.0`): two empty texts score 0, not 1.
+  EXPECT_EQ(TrigramCosineSimilarity().Similarity(empty, empty), 0.0);
+  EXPECT_EQ(TrigramCosineSimilarity().Similarity(empty, text_rec), 0.0);
+  EXPECT_EQ(LevenshteinSimilarity().Similarity(empty, empty), 0.0);
+  EXPECT_EQ(JaccardSimilarity().Similarity(empty, empty), 0.0);
+  EXPECT_EQ(JaccardSimilarity().Similarity(empty, token_rec), 0.0);
+  Record empty_point;  // Euclidean: empty vs non-empty is 0 (no CHECK)
+  EXPECT_EQ(EuclideanSimilarity(4.0).Similarity(empty_point, point_rec), 0.0);
+  EXPECT_EQ(EuclideanSimilarity(4.0).Similarity(empty_point, empty_point),
+            0.0);
+}
+
+TEST(MeasureContract, JaccardMatchesSetDefinitionWithDuplicates) {
+  Rng rng(13);
+  JaccardSimilarity jaccard;
+  for (int i = 0; i < 100; ++i) {
+    Record a = TokenRecord({});
+    Record b = TokenRecord({});
+    size_t na = rng.Index(10), nb = rng.Index(10);
+    for (size_t k = 0; k < na; ++k) {
+      a.tokens.push_back("t" + std::to_string(rng.Index(6)));
+    }
+    for (size_t k = 0; k < nb; ++k) {
+      b.tokens.push_back("t" + std::to_string(rng.Index(6)));
+    }
+    std::set<std::string> sa(a.tokens.begin(), a.tokens.end());
+    std::set<std::string> sb(b.tokens.begin(), b.tokens.end());
+    std::vector<std::string> inter, uni;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(inter));
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::back_inserter(uni));
+    double expected =
+        uni.empty() ? 0.0
+                    : static_cast<double>(inter.size()) /
+                          static_cast<double>(uni.size());
+    EXPECT_EQ(jaccard.Similarity(a, b), expected);
+  }
+}
+
+// ---------------------------------------------------------- feature index
+
+TEST(FeatureIndex, TrigramFeaturesMatchTrigramCounts) {
+  Rng rng(17);
+  FeatureIndex index(kFeatureTrigrams);
+  for (int i = 0; i < 60; ++i) {
+    Record record = RandomRecord(rng);
+    RecordFeatures features;
+    index.Build(record, &features);
+    if (record.text.empty()) {
+      // Empty text builds no trigram vector: the measure's empty-content
+      // convention returns 0 before any trigram is read, so the
+      // padding-only "###" grams TrigramCounts would report are dead
+      // weight the index deliberately skips.
+      EXPECT_TRUE(features.trigram_ids.empty());
+      EXPECT_EQ(features.trigram_norm2, 0.0);
+      continue;
+    }
+    auto grams = TrigramCounts(record.text);
+    // Same number of distinct trigrams, same multiset of counts, same
+    // exact integer aggregates.
+    ASSERT_EQ(features.trigram_ids.size(), grams.size());
+    double norm2 = 0.0;
+    uint64_t l1 = 0;
+    uint32_t max_count = 0;
+    for (const auto& [gram, count] : grams) {
+      norm2 += static_cast<double>(count) * count;
+      l1 += static_cast<uint64_t>(count);
+      max_count = std::max(max_count, static_cast<uint32_t>(count));
+    }
+    EXPECT_EQ(features.trigram_norm2, norm2);
+    EXPECT_EQ(features.trigram_l1, l1);
+    EXPECT_EQ(features.trigram_max, max_count);
+    EXPECT_TRUE(std::is_sorted(features.trigram_ids.begin(),
+                               features.trigram_ids.end()));
+    EXPECT_EQ(features.text_size, record.text.size());
+  }
+}
+
+TEST(FeatureIndex, InsertFindRemoveLifecycle) {
+  Dataset dataset;
+  FeatureIndex index(kFeatureAll);
+  ObjectId a = dataset.Add(TokenRecord({"alpha", "beta", "alpha"}));
+  ObjectId b = dataset.Add(TextRecord("hello"));
+  index.Insert(a, dataset.Get(a));
+  index.Insert(b, dataset.Get(b));
+  ASSERT_NE(index.Find(a), nullptr);
+  ASSERT_NE(index.Find(b), nullptr);
+  EXPECT_EQ(index.size(), 2u);
+  // Duplicates collapse; interned ids are sorted unique.
+  EXPECT_EQ(index.Find(a)->token_ids.size(), 2u);
+  index.Remove(a);
+  EXPECT_EQ(index.Find(a), nullptr);
+  EXPECT_EQ(index.size(), 1u);
+  // Re-insert after an update rebuilds in place.
+  dataset.Update(b, TextRecord("goodbye"));
+  index.Insert(b, dataset.Get(b));
+  EXPECT_EQ(index.Find(b)->text_size, 7u);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(FeatureIndex, CountSortedIntersectionMatchesStd) {
+  Rng rng(19);
+  for (int round = 0; round < 40; ++round) {
+    // Sizes chosen to hit both the scalar merge and the AVX2 block-scan
+    // dispatch gate (b >= 64 and b >= 4a).
+    size_t na = rng.Index(12);
+    size_t nb = rng.Chance(0.5) ? rng.Index(12) : 64 + rng.Index(200);
+    std::set<uint32_t> sa, sb;
+    while (sa.size() < na) sa.insert(static_cast<uint32_t>(rng.Index(500)));
+    while (sb.size() < nb) sb.insert(static_cast<uint32_t>(rng.Index(500)));
+    std::vector<uint32_t> va(sa.begin(), sa.end());
+    std::vector<uint32_t> vb(sb.begin(), sb.end());
+    std::vector<uint32_t> inter;
+    std::set_intersection(va.begin(), va.end(), vb.begin(), vb.end(),
+                          std::back_inserter(inter));
+    EXPECT_EQ(CountSortedIntersection(va.data(), va.size(), vb.data(),
+                                      vb.size()),
+              inter.size());
+    EXPECT_EQ(CountSortedIntersection(vb.data(), vb.size(), va.data(),
+                                      va.size()),
+              inter.size());
+  }
+}
+
+// ----------------------------------------------------------- batch kernels
+
+TEST(SimilarityBatch, BitIdenticalToScalarAcrossThresholds) {
+  Rng rng(23);
+  auto measures = AllMeasures();
+  const double thresholds[] = {0.0, 0.15, 0.5, 0.9};
+  for (int round = 0; round < 8; ++round) {
+    // One shared numeric dimensionality per round (Euclidean CHECKs).
+    size_t dims = rng.Index(12);
+    auto make = [&rng, dims]() {
+      Record record = RandomRecord(rng);
+      record.numeric.resize(dims);
+      for (double& v : record.numeric) v = rng.Uniform(-10.0, 10.0);
+      return record;
+    };
+    Record probe = make();
+    std::vector<Record> candidates;
+    for (int i = 0; i < 24; ++i) candidates.push_back(make());
+    candidates.push_back(Record{});           // fully empty candidate
+    candidates.back().numeric.resize(dims);   // keep dimensions aligned
+
+    for (const auto& measure : measures) {
+      FeatureIndex index(measure->FeatureNeeds() != 0
+                             ? measure->FeatureNeeds()
+                             : kFeatureAll);
+      RecordFeatures probe_features;
+      index.Build(probe, &probe_features);
+      std::vector<RecordFeatures> cand_features(candidates.size());
+      std::vector<SimCandidate> batch(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        index.Build(candidates[i], &cand_features[i]);
+        batch[i].record = &candidates[i];
+        // A few candidates without features exercise the scalar
+        // fallback inside the kernels.
+        batch[i].features = i % 7 == 3 ? nullptr : &cand_features[i];
+      }
+      for (double theta : thresholds) {
+        std::vector<double> out(candidates.size(), -1.0);
+        size_t full = measure->SimilarityBatch(
+            probe, &probe_features, batch.data(), batch.size(), theta,
+            out.data());
+        EXPECT_LE(full, batch.size());
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          double exact = measure->Similarity(probe, candidates[i]);
+          if (theta <= 0.0 || exact >= theta) {
+            // The contract: bit-identical whenever the exact score
+            // clears the threshold (or no threshold is given).
+            EXPECT_EQ(out[i], exact)
+                << measure->Name() << " theta=" << theta << " cand=" << i;
+          } else {
+            EXPECT_LT(out[i], theta)
+                << measure->Name() << " theta=" << theta << " cand=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimilarityBatch, ThresholdSkipsReduceFullEvaluations) {
+  // Disjoint token sets: the Jaccard size-ratio bound prunes everything
+  // at a high threshold without touching the merge loop.
+  JaccardSimilarity jaccard;
+  FeatureIndex index(kFeatureTokens);
+  Record probe = TokenRecord({"aa", "bb"});
+  std::vector<Record> candidates;
+  for (int i = 0; i < 16; ++i) {
+    candidates.push_back(TokenRecord({"aa", "bb", "cc", "dd", "ee", "ff",
+                                      "gg", "x" + std::to_string(i)}));
+  }
+  RecordFeatures probe_features;
+  index.Build(probe, &probe_features);
+  std::vector<RecordFeatures> cand_features(candidates.size());
+  std::vector<SimCandidate> batch(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    index.Build(candidates[i], &cand_features[i]);
+    batch[i] = {&candidates[i], &cand_features[i]};
+  }
+  std::vector<double> out(candidates.size());
+  // Bound: 2/8 = 0.25 < 0.9, every pair skips.
+  size_t full = jaccard.SimilarityBatch(probe, &probe_features, batch.data(),
+                                        batch.size(), 0.9, out.data());
+  EXPECT_EQ(full, 0u);
+  // Without a threshold every pair is evaluated.
+  full = jaccard.SimilarityBatch(probe, &probe_features, batch.data(),
+                                 batch.size(), 0.0, out.data());
+  EXPECT_EQ(full, batch.size());
+}
+
+// ------------------------------------------------------- candidate history
+
+TEST(CandidateHistory, SmoothedRatesAndCounts) {
+  CandidateHistory history;
+  // Cold key reads the prior: 1/2.
+  EXPECT_DOUBLE_EQ(history.HitRate(42), 0.5);
+  EXPECT_EQ(history.Trials(42), 0u);
+  history.RecordOutcome(42, 10, 1);
+  EXPECT_EQ(history.Trials(42), 10u);
+  EXPECT_DOUBLE_EQ(history.HitRate(42), (1.0 + 1.0) / (2.0 + 10.0));
+  history.RecordOutcome(42, 10, 9);
+  EXPECT_EQ(history.Trials(42), 20u);
+  EXPECT_DOUBLE_EQ(history.HitRate(42), (1.0 + 10.0) / (2.0 + 20.0));
+  // Zero-trial outcomes are ignored, unknown keys never materialize.
+  history.RecordOutcome(7, 0, 0);
+  EXPECT_EQ(history.Find(7), nullptr);
+  EXPECT_EQ(history.size(), 1u);
+}
+
+// ------------------------------------------------------ keyed enumeration
+
+TEST(Blocking, CandidatesWithKeysMatchesCandidatesOrder) {
+  Rng rng(29);
+  TokenBlocker token_blocker(/*prefix_len=*/3);
+  GridBlocker grid_blocker(4.0);
+  std::vector<Record> indexed;
+  for (int i = 0; i < 120; ++i) {
+    Record record = RandomRecord(rng);
+    record.numeric.resize(2);
+    record.numeric[0] = rng.Uniform(-20.0, 20.0);
+    record.numeric[1] = rng.Uniform(-20.0, 20.0);
+    record.id = static_cast<ObjectId>(i);
+    token_blocker.Add(record);
+    grid_blocker.Add(record);
+    indexed.push_back(std::move(record));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const Record& probe = indexed[rng.Index(indexed.size())];
+    for (const CandidateProvider* provider :
+         {static_cast<const CandidateProvider*>(&token_blocker),
+          static_cast<const CandidateProvider*>(&grid_blocker)}) {
+      std::vector<ObjectId> plain = provider->Candidates(probe);
+      KeyedCandidates keyed = provider->CandidatesWithKeys(probe);
+      EXPECT_EQ(keyed.ids, plain);
+      EXPECT_EQ(keyed.keys.size(), keyed.ids.size());
+    }
+  }
+  // The default implementation (AllPairsBlocker) reports key 0.
+  AllPairsBlocker all_pairs;
+  all_pairs.Add(indexed[0]);
+  all_pairs.Add(indexed[1]);
+  KeyedCandidates keyed = all_pairs.CandidatesWithKeys(indexed[0]);
+  ASSERT_EQ(keyed.ids.size(), 1u);
+  EXPECT_EQ(keyed.keys[0], 0u);
+}
+
+// ----------------------------------------------------- graph equivalence
+
+/// Drives two graphs over one dataset through an identical random
+/// add/update/remove stream and requires identical adjacency — including
+/// Neighbors() iteration order, which downstream FP accumulation in
+/// ClusterStatsTracker depends on.
+void ExpectGraphsIdentical(SimilarityGraph& a, SimilarityGraph& b) {
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (ObjectId id : a.Objects()) {
+    ASSERT_TRUE(b.Contains(id));
+    const auto& na = a.Neighbors(id);
+    const auto& nb = b.Neighbors(id);
+    std::vector<std::pair<ObjectId, double>> order_a(na.begin(), na.end());
+    std::vector<std::pair<ObjectId, double>> order_b(nb.begin(), nb.end());
+    EXPECT_EQ(order_a, order_b) << "object " << id;
+  }
+}
+
+TEST(SimilarityGraphCore, IndexedMatchesSeedScalarTokenWorkload) {
+  Rng rng(31);
+  Dataset dataset;
+  JaccardSimilarity measure;
+  SimilarityGraph::Options seed_options;
+  seed_options.use_feature_index = false;
+  SimilarityGraph seed(&dataset, &measure, std::make_unique<TokenBlocker>(),
+                      0.3, seed_options);
+  SimilarityGraph indexed(&dataset, &measure,
+                          std::make_unique<TokenBlocker>(), 0.3);
+  ASSERT_NE(indexed.feature_index(), nullptr);
+  ASSERT_NE(indexed.candidate_history(), nullptr);
+  EXPECT_EQ(seed.feature_index(), nullptr);
+
+  std::vector<ObjectId> alive;
+  for (int step = 0; step < 300; ++step) {
+    double dice = rng.Uniform();
+    if (alive.size() < 10 || dice < 0.6) {
+      Record record = TokenRecord({"g" + std::to_string(rng.Index(12)),
+                                   "h" + std::to_string(rng.Index(12)),
+                                   "u" + std::to_string(rng.Index(40))});
+      ObjectId id = dataset.Add(std::move(record));
+      seed.AddObject(id);
+      indexed.AddObject(id);
+      alive.push_back(id);
+    } else if (dice < 0.8) {
+      size_t pick = rng.Index(alive.size());
+      ObjectId id = alive[pick];
+      Record old_record = dataset.Get(id);  // copy before overwrite
+      Record updated = TokenRecord({"g" + std::to_string(rng.Index(12)),
+                                    "u" + std::to_string(rng.Index(40))});
+      dataset.Update(id, std::move(updated));
+      seed.UpdateObject(id, old_record);
+      indexed.UpdateObject(id, old_record);
+    } else {
+      size_t pick = rng.Index(alive.size());
+      ObjectId id = alive[pick];
+      seed.RemoveObject(id);
+      indexed.RemoveObject(id);
+      dataset.Remove(id);
+      alive.erase(alive.begin() + pick);
+    }
+  }
+  ExpectGraphsIdentical(seed, indexed);
+}
+
+TEST(SimilarityGraphCore, IndexedMatchesSeedScalarNumericWorkload) {
+  Rng rng(37);
+  Dataset dataset;
+  EuclideanSimilarity measure(3.0);
+  SimilarityGraph::Options seed_options;
+  seed_options.use_feature_index = false;
+  SimilarityGraph seed(&dataset, &measure, std::make_unique<GridBlocker>(4.0),
+                      0.4, seed_options);
+  SimilarityGraph indexed(&dataset, &measure,
+                          std::make_unique<GridBlocker>(4.0), 0.4);
+  for (int i = 0; i < 200; ++i) {
+    Record record = PointRecord({rng.Uniform(-16.0, 16.0),
+                                 rng.Uniform(-16.0, 16.0),
+                                 rng.Uniform(-16.0, 16.0)});
+    ObjectId id = dataset.Add(std::move(record));
+    seed.AddObject(id);
+    indexed.AddObject(id);
+  }
+  ExpectGraphsIdentical(seed, indexed);
+}
+
+TEST(SimilarityGraphCore, PruneModeDropsColdKeysOnly) {
+  // Group tokens sort before the shared cold token, so intra-group
+  // candidates are attributed to their (hot) group key and the shared
+  // token accumulates only cross-group misses — once its smoothed rate
+  // falls below the floor, pruning skips exactly those pairs.
+  auto build = [](SimilarityGraph::HistoryMode mode,
+                  obs::MetricsRegistry* metrics, Dataset& dataset,
+                  const JaccardSimilarity& measure) {
+    SimilarityGraph::Options options;
+    options.history = mode;
+    options.prune_min_trials = 16;
+    options.prune_below_hit_rate = 0.02;
+    options.metrics = metrics;
+    return std::make_unique<SimilarityGraph>(
+        &dataset, &measure, std::make_unique<TokenBlocker>(), 0.6, options);
+  };
+  JaccardSimilarity measure;
+  Dataset exact_dataset, pruned_dataset;
+  obs::MetricsRegistry metrics;
+  auto exact = build(SimilarityGraph::HistoryMode::kOrder, nullptr,
+                     exact_dataset, measure);
+  auto pruned = build(SimilarityGraph::HistoryMode::kPrune, &metrics,
+                      pruned_dataset, measure);
+  auto make = [](int group, int i) {
+    (void)i;  // group members are identical: intra J=1 (hit), cross J=1/3
+    return TokenRecord({"agrp" + std::to_string(group), "zz-shared"});
+  };
+  for (int i = 0; i < 40; ++i) {
+    for (int g = 0; g < 4; ++g) {
+      ObjectId a = exact_dataset.Add(make(g, i));
+      ObjectId b = pruned_dataset.Add(make(g, i));
+      ASSERT_EQ(a, b);
+      exact->AddObject(a);
+      pruned->AddObject(b);
+    }
+  }
+  // Pruning must have engaged on the cold shared key...
+  EXPECT_GT(metrics.GetCounter("sim.pruned")->value(), 0u);
+  EXPECT_GT(metrics.GetCounter("sim.calls")->value(), 0u);
+  // ...but every surviving edge carries the exact score, and no edge
+  // exists that the exact graph lacks (pruning only removes work, it
+  // never invents similarity).
+  EXPECT_LE(pruned->num_edges(), exact->num_edges());
+  for (ObjectId id : pruned->Objects()) {
+    for (const auto& [other, sim] : pruned->Neighbors(id)) {
+      EXPECT_EQ(sim, exact->Similarity(id, other))
+          << id << " -> " << other;
+    }
+  }
+  // In this construction the cold key contributes no edges at all, so
+  // the pruned edge set is the full exact edge set.
+  EXPECT_EQ(pruned->num_edges(), exact->num_edges());
+}
+
+// ----------------------------------------------- end-to-end (service) run
+
+ShardEnvironmentFactory FactoryWithCore(SimilarityGraph::Options sim_core) {
+  return [sim_core] {
+    ShardEnvironment env = MakeFactory()();
+    env.sim_core = sim_core;
+    return env;
+  };
+}
+
+TEST(SimilarityGraphCore, ServiceClusteringByteIdenticalAcrossCores) {
+  const int kGroups = 10;
+  std::vector<OperationBatch> batches;
+  batches.push_back(GroupAdds(kGroups, 3));
+  batches.push_back(GroupAdds(kGroups, 2));
+  OperationBatch mixed = GroupAdds(kGroups, 1);
+  DataOperation update;
+  update.kind = DataOperation::Kind::kUpdate;
+  update.target = 0;
+  update.record.entity = 0;
+  update.record.tokens = {"grp0", "tag0"};
+  mixed.push_back(update);
+  DataOperation remove;
+  remove.kind = DataOperation::Kind::kRemove;
+  remove.target = 1;
+  mixed.push_back(remove);
+  batches.push_back(mixed);
+
+  auto run = [&batches](bool indexed, uint32_t shards, bool async) {
+    ShardedDynamicCService::Options options;
+    options.num_shards = shards;
+    options.async.enabled = async;
+    SimilarityGraph::Options sim_core;
+    sim_core.use_feature_index = indexed;
+    ShardedDynamicCService service(options, nullptr,
+                                   FactoryWithCore(sim_core));
+    auto changed = service.ApplyOperations(batches[0]);
+    service.ObserveBatchRound(changed);
+    changed = service.ApplyOperations(batches[1]);
+    service.ObserveBatchRound(changed);
+    changed = service.ApplyOperations(batches[2]);
+    service.DynamicRound(changed);
+    return service.GlobalClusters();
+  };
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    for (bool async : {false, true}) {
+      auto seed_clusters = run(/*indexed=*/false, shards, async);
+      auto indexed_clusters = run(/*indexed=*/true, shards, async);
+      EXPECT_EQ(indexed_clusters, seed_clusters)
+          << "shards=" << shards << " async=" << async;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynamicc
