@@ -10,6 +10,8 @@
 // the distance-call count per batch: how many of the 64 pairs the
 // threshold-aware kernel actually evaluated (seed always evaluates all).
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -160,6 +162,45 @@ void BM_Levenshtein_indexed(benchmark::State& state) {
   RunIndexed(state, measure, TextWorkload(3, 6));
 }
 BENCHMARK(BM_Levenshtein_indexed);
+
+/// Scalar-merge vs dispatching trigram dot — the _scalar/_dispatch
+/// real_time ratio is the AVX2 speedup gate (>= 1.0 asserted in CI:
+/// dispatch must never lose to the merge it replaces). The shape is
+/// the k-nearest-clusters one the read path runs: a short probe
+/// against a long cluster representative — the asymmetric case where
+/// the 8-wide block probe's O(small + large/8) beats the merge's
+/// O(small + large). The long side clears the >= 64-id dispatch
+/// floor; both kernels produce the same exact uint64 dot.
+void RunTrigramDot(benchmark::State& state, bool dispatch) {
+  Rng rng(7);
+  const Record a = MakeTextRecord(&rng, 12);
+  const Record b = MakeTextRecord(&rng, 96);
+  FeatureIndex index(kFeatureTrigrams);
+  RecordFeatures fa, fb;
+  index.Build(a, &fa);
+  index.Build(b, &fb);
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      uint64_t dot = dispatch ? TrigramDotProduct(fa, fb)
+                              : TrigramDotProductScalar(fa, fb);
+      benchmark::DoNotOptimize(dot);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+  state.counters["trigram_ids"] =
+      static_cast<double>(std::max(fa.trigram_ids.size(),
+                                   fb.trigram_ids.size()));
+}
+
+void BM_TrigramDot_scalar(benchmark::State& state) {
+  RunTrigramDot(state, /*dispatch=*/false);
+}
+BENCHMARK(BM_TrigramDot_scalar);
+
+void BM_TrigramDot_dispatch(benchmark::State& state) {
+  RunTrigramDot(state, /*dispatch=*/true);
+}
+BENCHMARK(BM_TrigramDot_dispatch);
 
 void BM_Euclidean_seed(benchmark::State& state) {
   EuclideanSimilarity measure(5.0);

@@ -66,11 +66,14 @@
 // validator-only environment: no objective; the DBSCAN core-stability
 // validator binds to each shard's similarity graph).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -86,6 +89,7 @@
 #include "objective/db_index.h"
 #include "replication/follower.h"
 #include "replication/replication_session.h"
+#include "service/query_api.h"
 #include "service/service_report.h"
 #include "service/sharded_service.h"
 #include "service/snapshot.h"
@@ -149,6 +153,16 @@ struct CliArgs {
   /// blocking keys).
   std::string sim_core = "indexed";
   std::string sim_history = "order";
+  /// Read path: --serve-reads publishes an epoch-pinned read view at
+  /// every sealed epoch and runs --read-clients concurrent reader
+  /// threads through a ReadRouter while the stream is being served
+  /// (point lookups, k-nearest-cluster probes and partition stats);
+  /// --max-staleness-epochs K is the router's per-query admission
+  /// bound. Reads are side-effect-free: the `final:` line is unchanged,
+  /// a `reads:` line reports what was served.
+  bool serve_reads = false;
+  int read_clients = 2;
+  uint64_t max_staleness_epochs = 8;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -271,6 +285,16 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
         std::fprintf(stderr, "--sim-history must be off, order or prune\n");
         return false;
       }
+    } else if (flag == "--serve-reads") {
+      args->serve_reads = true;
+    } else if (flag == "--read-clients") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->read_clients = std::stoi(v);
+    } else if (flag == "--max-staleness-epochs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->max_staleness_epochs = static_cast<uint64_t>(std::stoull(v));
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -334,7 +358,12 @@ void Usage() {
       "  --sim-core seed|indexed picks the similarity hot path (indexed\n"
       "  = batched feature-index kernels, the default; both produce the\n"
       "  same clustering); --sim-history off|order|prune sets the\n"
-      "  candidate-history mode (prune is approximate).\n");
+      "  candidate-history mode (prune is approximate).\n"
+      "  --serve-reads publishes an epoch-pinned read view per sealed\n"
+      "  epoch and serves --read-clients N concurrent reader threads\n"
+      "  through a ReadRouter while the stream runs (lock-free; the\n"
+      "  final: line is unchanged); --max-staleness-epochs K bounds how\n"
+      "  many epochs behind the frontier an answer may be.\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -498,6 +527,7 @@ ShardedDynamicCService::Options MakeServiceOptions(
                                    ? BackpressurePolicy::kReject
                                    : BackpressurePolicy::kBlock;
   options.async.adaptive_batch = args.adaptive_batch;
+  options.read.serve = args.serve_reads;
   options.rebalance.every_rounds = args.rebalance_every;
   if (args.rebalance_metric == "records") {
     options.rebalance.policy.metric = Rebalancer::LoadMetric::kRecords;
@@ -567,6 +597,88 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                  static_cast<unsigned long long>(repl->deltas_shipped()),
                  static_cast<unsigned long long>(repl->last_base_epoch()));
     return true;
+  };
+
+  // Read path (--serve-reads): concurrent reader threads over a
+  // ReadRouter while the stream is being served — point lookups,
+  // k-nearest probes and partition stats against epoch-pinned views,
+  // lock-free against the ingest running on the same service. Readers
+  // start at the serving transition (the first published view) and are
+  // joined before the final state line; reads are side-effect-free, so
+  // `final:` stays byte-identical to a run without them.
+  std::unique_ptr<ReadRouter> router;
+  std::vector<std::thread> reader_threads;
+  std::atomic<bool> readers_stop{false};
+  std::atomic<uint64_t> reads_served{0};
+  std::atomic<uint64_t> reads_max_staleness{0};
+  Record read_probe;
+  for (const DataOperation& op : stream.initial) {
+    if (op.kind == DataOperation::Kind::kAdd) {
+      read_probe = op.record;
+      break;
+    }
+  }
+  auto maybe_start_readers = [&] {
+    if (!args.serve_reads || router != nullptr) return;
+    ReadRouter::Options router_options;
+    router_options.max_staleness_epochs = args.max_staleness_epochs;
+    if (!args.metrics_out.empty()) {
+      router_options.metrics = &obs::MetricsRegistry::Default();
+    }
+    router = std::make_unique<ReadRouter>(&service, router_options);
+    const size_t known_objects = std::max<size_t>(1, service.total_objects());
+    for (int c = 0; c < std::max(1, args.read_clients); ++c) {
+      reader_threads.emplace_back([&, known_objects, c] {
+        uint64_t t = static_cast<uint64_t>(c) * 7919;
+        while (!readers_stop.load(std::memory_order_relaxed)) {
+          QueryClient::ResultInfo info;
+          switch (t % 3) {
+            case 0:
+              info = router->Stats().info;
+              break;
+            case 1:
+              info = router
+                         ->ClusterOfRecord(static_cast<ObjectId>(
+                             (t * 2654435761ull) % known_objects))
+                         .info;
+              break;
+            default:
+              info = router->KNearestClusters(read_probe, 4).info;
+          }
+          if (info.served) {
+            reads_served.fetch_add(1, std::memory_order_relaxed);
+            uint64_t seen =
+                reads_max_staleness.load(std::memory_order_relaxed);
+            while (info.staleness > seen &&
+                   !reads_max_staleness.compare_exchange_weak(
+                       seen, info.staleness, std::memory_order_relaxed)) {
+            }
+          }
+          ++t;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    std::fprintf(stderr,
+                 "serving reads: %d clients, staleness bound %llu epochs\n",
+                 std::max(1, args.read_clients),
+                 static_cast<unsigned long long>(args.max_staleness_epochs));
+  };
+  auto finish_readers = [&] {
+    if (router == nullptr) return;
+    readers_stop.store(true, std::memory_order_relaxed);
+    for (std::thread& thread : reader_threads) thread.join();
+    std::printf(
+        "reads: routed=%llu served=%llu rejected_stale=%llu "
+        "max_staleness=%llu bound=%llu frontier=%llu\n",
+        static_cast<unsigned long long>(router->queries()),
+        static_cast<unsigned long long>(
+            reads_served.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(router->rejected_stale()),
+        static_cast<unsigned long long>(
+            reads_max_staleness.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(args.max_staleness_epochs),
+        static_cast<unsigned long long>(router->Frontier()));
   };
 
   const bool resuming = !args.load_snapshot.empty();
@@ -708,7 +820,10 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
          ++snapshot) {
       OperationBatch batch = translate(stream.snapshots[snapshot]);
       bool observe = snapshot < static_cast<size_t>(config.training_rounds);
-      if (!observe) maybe_start_replication();
+      if (!observe) {
+        maybe_start_replication();
+        maybe_start_readers();
+      }
       Timer timer;
       bool accepted = true;
       if (observe) {
@@ -784,6 +899,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
     }
     print_placement();
     if (!report_replication()) return 1;
+    finish_readers();
     ExportObservability(args, service, tracer.get());
     PrintFinalState(service);
     return 0;
@@ -794,7 +910,10 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   for (size_t snapshot = resume_at; snapshot < stream.snapshots.size();
        ++snapshot) {
     bool observe = snapshot < static_cast<size_t>(config.training_rounds);
-    if (!observe) maybe_start_replication();
+    if (!observe) {
+      maybe_start_replication();
+      maybe_start_readers();
+    }
     Timer timer;
     changed = service.ApplyOperations(stream.snapshots[snapshot]);
     ServiceReport report = observe ? service.ObserveBatchRound(changed)
@@ -828,6 +947,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   }
   print_placement();
   if (!report_replication()) return 1;
+  finish_readers();
   ExportObservability(args, service, tracer.get());
   PrintFinalState(service);
   return 0;

@@ -21,15 +21,7 @@ uint32_t FeatureIndex::InternToken(const std::string& token) {
 }
 
 void FeatureIndex::Build(const Record& record, RecordFeatures* out) {
-  out->token_ids.clear();
-  out->trigram_ids.clear();
-  out->trigram_counts.clear();
-  out->trigram_norm2 = 0.0;
-  out->trigram_l1 = 0;
-  out->trigram_max = 0;
-  out->numeric.clear();
-  out->text_size = static_cast<uint32_t>(record.text.size());
-
+  BuildContent(record, out);
   if ((wanted_ & kFeatureTokens) != 0 && !record.tokens.empty()) {
     out->token_ids.reserve(record.tokens.size());
     for (const std::string& token : record.tokens) {
@@ -40,6 +32,48 @@ void FeatureIndex::Build(const Record& record, RecordFeatures* out) {
         std::unique(out->token_ids.begin(), out->token_ids.end()),
         out->token_ids.end());
   }
+}
+
+void FeatureIndex::BuildQuery(const Record& record,
+                              RecordFeatures* out) const {
+  BuildContent(record, out);
+  if ((wanted_ & kFeatureTokens) != 0 && !record.tokens.empty()) {
+    // Unseen tokens get synthetic ids past the intern table: they can
+    // intersect nothing indexed, but still count toward the probe's set
+    // size (the Jaccard denominator), so the score equals the scalar
+    // path's. Duplicate unseen strings must share one synthetic id or
+    // the probe's set size would inflate.
+    std::unordered_map<std::string, uint32_t> unseen;
+    out->token_ids.reserve(record.tokens.size());
+    for (const std::string& token : record.tokens) {
+      auto it = token_intern_.find(token);
+      if (it != token_intern_.end()) {
+        out->token_ids.push_back(it->second);
+      } else {
+        uint32_t next =
+            static_cast<uint32_t>(token_intern_.size() + unseen.size());
+        auto [slot, inserted] = unseen.emplace(token, next);
+        (void)inserted;
+        out->token_ids.push_back(slot->second);
+      }
+    }
+    std::sort(out->token_ids.begin(), out->token_ids.end());
+    out->token_ids.erase(
+        std::unique(out->token_ids.begin(), out->token_ids.end()),
+        out->token_ids.end());
+  }
+}
+
+void FeatureIndex::BuildContent(const Record& record,
+                                RecordFeatures* out) const {
+  out->token_ids.clear();
+  out->trigram_ids.clear();
+  out->trigram_counts.clear();
+  out->trigram_norm2 = 0.0;
+  out->trigram_l1 = 0;
+  out->trigram_max = 0;
+  out->numeric.clear();
+  out->text_size = static_cast<uint32_t>(record.text.size());
 
   if ((wanted_ & kFeatureTrigrams) != 0 && !record.text.empty()) {
     // Same padding convention as TrigramCounts: "##" + text + "##",

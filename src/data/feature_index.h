@@ -86,8 +86,20 @@ class FeatureIndex {
   /// intern table without storing the result.
   void Build(const Record& record, RecordFeatures* out);
 
+  /// Builds features for a query probe WITHOUT mutating the intern
+  /// table: tokens already interned get their ids; unseen tokens get
+  /// synthetic ids >= vocabulary_size() (deduplicated within the probe)
+  /// that match nothing indexed. Scores against indexed records are
+  /// exactly what Insert-then-score would give, because an unseen probe
+  /// token can intersect nothing. Safe to call concurrently with other
+  /// const methods — this is the read-path entry point.
+  void BuildQuery(const Record& record, RecordFeatures* out) const;
+
  private:
   uint32_t InternToken(const std::string& token);
+  /// The token-independent half of Build/BuildQuery (trigrams, numeric,
+  /// text_size); clears `out` first.
+  void BuildContent(const Record& record, RecordFeatures* out) const;
 
   uint32_t wanted_;
   std::unordered_map<std::string, uint32_t> token_intern_;

@@ -9,6 +9,11 @@
 #include "util/logging.h"
 #include "util/string_utils.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DYNAMICC_HAVE_AVX2_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace dynamicc {
 
 namespace {
@@ -55,10 +60,51 @@ int BandedLevenshtein(std::string_view a, std::string_view b, int band) {
   return std::min(prev[la], kInf);
 }
 
-/// Exact trigram dot product over two sorted (id, count) vectors. All
-/// addends are integer products, so the accumulated sum is exact (and
-/// therefore equal to the seed's hash-map accumulation in any order).
-uint64_t TrigramMergeDot(const RecordFeatures& a, const RecordFeatures& b) {
+#ifdef DYNAMICC_HAVE_AVX2_DISPATCH
+/// Probe each (id, count) of the smaller vector against 8-wide blocks
+/// of the larger one's id array (same skip structure as the sorted
+/// intersection in feature_index.cc). Ids are unique within a vector,
+/// so at most one lane matches: movemask -> ctz locates it and the
+/// counts multiply as exact uint64 addends.
+__attribute__((target("avx2"))) uint64_t TrigramDotAvx2(
+    const uint32_t* small_ids, const uint32_t* small_counts,
+    size_t small_size, const uint32_t* large_ids,
+    const uint32_t* large_counts, size_t large_size) {
+  size_t j = 0;
+  uint64_t dot = 0;
+  for (size_t i = 0; i < small_size; ++i) {
+    const uint32_t v = small_ids[i];
+    while (j + 8 <= large_size && large_ids[j + 7] < v) j += 8;
+    if (j + 8 <= large_size) {
+      __m256i needle = _mm256_set1_epi32(static_cast<int>(v));
+      __m256i block = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(large_ids + j));
+      __m256i eq = _mm256_cmpeq_epi32(block, needle);
+      const int mask = _mm256_movemask_epi8(eq);
+      if (mask != 0) {
+        const int lane = __builtin_ctz(static_cast<unsigned>(mask)) / 4;
+        dot += static_cast<uint64_t>(small_counts[i]) *
+               large_counts[j + static_cast<size_t>(lane)];
+      }
+    } else {
+      while (j < large_size && large_ids[j] < v) ++j;
+      if (j == large_size) break;
+      if (large_ids[j] == v) {
+        dot += static_cast<uint64_t>(small_counts[i]) * large_counts[j];
+      }
+    }
+  }
+  return dot;
+}
+#endif  // DYNAMICC_HAVE_AVX2_DISPATCH
+
+}  // namespace
+
+uint64_t TrigramDotProductScalar(const RecordFeatures& a,
+                                 const RecordFeatures& b) {
+  // Sorted merge; all addends are integer products, so the accumulated
+  // sum is exact (and therefore equal to the seed's hash-map
+  // accumulation in any order).
   uint64_t dot = 0;
   size_t i = 0, j = 0;
   const size_t na = a.trigram_ids.size(), nb = b.trigram_ids.size();
@@ -78,7 +124,23 @@ uint64_t TrigramMergeDot(const RecordFeatures& a, const RecordFeatures& b) {
   return dot;
 }
 
-}  // namespace
+uint64_t TrigramDotProduct(const RecordFeatures& a, const RecordFeatures& b) {
+  const RecordFeatures* sm = &a;
+  const RecordFeatures* lg = &b;
+  if (sm->trigram_ids.size() > lg->trigram_ids.size()) std::swap(sm, lg);
+#ifdef DYNAMICC_HAVE_AVX2_DISPATCH
+  // The block probe touches the large side once (8 ids per skip) plus
+  // one compare per small id — O(small + large/8) vs the merge's
+  // O(small + large) — so it pays whenever the large side is long
+  // enough to amortize the vector setup, regardless of the ratio.
+  if (lg->trigram_ids.size() >= 64 && CpuHasAvx2()) {
+    return TrigramDotAvx2(sm->trigram_ids.data(), sm->trigram_counts.data(),
+                          sm->trigram_ids.size(), lg->trigram_ids.data(),
+                          lg->trigram_counts.data(), lg->trigram_ids.size());
+  }
+#endif
+  return TrigramDotProductScalar(*sm, *lg);
+}
 
 // ----------------------------------------------------------------- Jaccard
 
@@ -212,7 +274,7 @@ size_t TrigramCosineSimilarity::SimilarityBatch(
         continue;
       }
     }
-    uint64_t dot = TrigramMergeDot(*probe_features, *cf);
+    uint64_t dot = TrigramDotProduct(*probe_features, *cf);
     out[c] = static_cast<double>(dot) / denom;
     ++full;
   }

@@ -91,6 +91,19 @@ class CombinedSimilarity final : public SimilarityMeasure {
   std::vector<double> weights_;
 };
 
+/// Exact trigram dot product Σ aᵍ·bᵍ over two sorted-unique (id, count)
+/// feature vectors. Every addend is an integer product accumulated in
+/// uint64, so the sum is exact in ANY evaluation order — which is what
+/// lets the dispatching form pick a vectorized kernel while keeping the
+/// bit-identical-admitted-scores contract (the quotient fed to the
+/// cosine is the same integer either way). The dispatcher probes the
+/// smaller vector against 8-wide AVX2 blocks of the larger when the
+/// sizes warrant it and the CPU has AVX2; the scalar twin is the sorted
+/// merge, exposed for the micro-bench ratio and differential tests.
+uint64_t TrigramDotProduct(const RecordFeatures& a, const RecordFeatures& b);
+uint64_t TrigramDotProductScalar(const RecordFeatures& a,
+                                 const RecordFeatures& b);
+
 }  // namespace dynamicc
 
 #endif  // DYNAMICC_DATA_SIMILARITY_MEASURES_H_

@@ -39,6 +39,7 @@ inline constexpr const char* kSpanMigrationQuiesce = "migration.quiesce";
 inline constexpr const char* kSpanMigrationSurgery = "migration.surgery";
 inline constexpr const char* kSpanSnapshotSave = "snapshot.save";
 inline constexpr const char* kSpanSnapshotLoad = "snapshot.load";
+inline constexpr const char* kSpanReadPublish = "read.publish";
 
 /// Shard value for spans that belong to the service as a whole
 /// (admission, barriers, seals); they land in the tracer's extra ring.

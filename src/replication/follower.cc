@@ -200,6 +200,15 @@ ServiceReport Follower::Flush() {
 
 std::unique_ptr<ShardedDynamicCService> Follower::Promote() {
   DYNAMICC_CHECK(service_ != nullptr) << "Promote before Restore";
+  // Latch the read handoff fence before the service changes hands: the
+  // last view epoch this follower served as a replica (see
+  // last_read_epoch()). Views already pinned stay valid — pins outlive
+  // the handoff, the registry moves with the service — so in-flight
+  // reads finish against replica-era state while the router reroutes
+  // everything newer to the promoted primary.
+  last_read_epoch_ = service_->serves_reads()
+                         ? service_->read_views()->current_epoch()
+                         : epoch();
   return std::move(service_);
 }
 

@@ -32,6 +32,10 @@ namespace dynamicc {
 /// (sync is the natural choice: replay is already batched); automatic
 /// rebalancing must be off — migrations arrive through the stream, and
 /// a follower-side rebalancer would double-apply placement decisions.
+/// With `service_options.read.serve` on, every replayed epoch publishes
+/// an epoch-pinned ReadView on the replica too (service().read_views()),
+/// so queries scale out across followers; the follower.epochs_behind
+/// gauge is the per-replica staleness bound routers admit against.
 class Follower {
  public:
   /// `router_factory` (optional) must build the same router type the
@@ -72,8 +76,19 @@ class Follower {
   ServiceReport Flush();
 
   /// Failover: detaches and returns the service. The follower is spent
-  /// afterwards (service() must not be called).
+  /// afterwards (service() must not be called). Before handing over,
+  /// Promote() latches last_read_epoch() — the read-serving handoff
+  /// fence.
   std::unique_ptr<ShardedDynamicCService> Promote();
+
+  /// The newest read-view epoch this follower had published when
+  /// Promote() latched it (its replayed epoch when read serving is
+  /// off); 0 before promotion. Routers drain in-flight failover reads
+  /// against this fence: a pinned view at an epoch <= this value is
+  /// replica-era (bounded-stale under the old primary's frontier, per
+  /// contract), anything the promoted primary publishes afterwards is
+  /// fresh — a deterministic cut, no wall-clock grace period.
+  uint64_t last_read_epoch() const { return last_read_epoch_; }
 
   ShardedDynamicCService& service() { return *service_; }
   const ShardedDynamicCService& service() const { return *service_; }
@@ -96,6 +111,7 @@ class Follower {
   std::unique_ptr<ShardedDynamicCService> service_;
   uint64_t base_epoch_ = 0;
   uint64_t restores_ = 0;
+  uint64_t last_read_epoch_ = 0;
 
   /// Follower-side staleness instruments, resolved from
   /// `service_options.obs.metrics` at construction (null = off). An

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/trace.h"
 #include "service/snapshot.h"
 #include "util/timer.h"
 
@@ -48,7 +49,9 @@ Status ReplicationSession::Start() {
     obs::MetricsRegistry& reg = *service_->metrics_registry();
     delta_bytes_metric_ = reg.GetCounter("replication.delta_bytes");
     compact_ms_metric_ = reg.GetHistogram("replication.compact_ms");
+    delta_ship_ms_metric_ = reg.GetHistogram("epoch.delta_ship_ms");
   }
+  tracer_ = service_->tracer();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
@@ -65,6 +68,7 @@ Status ReplicationSession::Start() {
   const uint64_t base_epoch = service_->open_epoch();
   const std::string base_dir = log_.BaseDirFor(base_epoch);
   status = service_->SaveSnapshot(base_dir);
+  ShipPending();  // the save's seal queued one delta; write it pre-compact
   if (!status.ok()) {
     Stop();
     return status;
@@ -98,25 +102,26 @@ void ReplicationSession::Stop() {
     detach = attached_;
     attached_ = false;
   }
-  if (detach) service_->SetStreamObserver(nullptr);
+  if (detach) {
+    service_->SetStreamObserver(nullptr);
+    ShipPending();  // nothing new queues after detach; drain the tail
+  }
 }
 
 uint64_t ReplicationSession::SealEpoch() {
-  double ship_before = 0.0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ship_before = delta_ship_ms_total_;
-  }
   Timer timer;
-  const uint64_t epoch = service_->CloseEpoch();  // hook ships the delta
+  const uint64_t epoch = service_->CloseEpoch();  // hook queues the delta
   const double close_ms = timer.ElapsedMillis();
   bool want_base = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // The hook accounted its WriteDelta time while CloseEpoch ran; the
-    // remainder of the close is the seal proper (service bookkeeping).
-    seal_ms_total_ +=
-        std::max(0.0, close_ms - (delta_ship_ms_total_ - ship_before));
+    // The hook is swap-only now, so the whole close is the seal proper
+    // (service bookkeeping); the delta write is timed in ShipPending.
+    seal_ms_total_ += close_ms;
+  }
+  ShipPending();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
     want_base = options_.snapshot_every > 0 &&
                 epochs_since_base_ >= options_.snapshot_every;
   }
@@ -127,6 +132,7 @@ uint64_t ReplicationSession::SealEpoch() {
     const uint64_t base_epoch = service_->open_epoch();
     const std::string base_dir = log_.BaseDirFor(base_epoch);
     Status status = service_->SaveSnapshot(base_dir);
+    ShipPending();
     if (status.ok()) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -180,6 +186,11 @@ uint64_t ReplicationSession::delta_bytes_total() const {
   return delta_bytes_total_;
 }
 
+size_t ReplicationSession::pending_ship_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
 void ReplicationSession::OnAdmitted(OperationBatch operations) {
   std::lock_guard<std::mutex> lock(mutex_);
   ReplicationEvent event;
@@ -190,25 +201,57 @@ void ReplicationSession::OnAdmitted(OperationBatch operations) {
 
 void ReplicationSession::OnEpochSealed(uint64_t epoch,
                                        uint64_t pending_tail_ops) {
-  // Called from the service's seal path (ingest lock held): buffer out,
-  // file written, sticky error latched on failure — the primary keeps
-  // serving either way.
+  // Called from the service's seal path (ingest lock held): swap-only.
+  // The buffer-to-epoch cut happens here — still inside the critical
+  // section, so ordering against admissions is pinned — but the file
+  // write waits for ShipPending(), off the admission path.
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<ReplicationEvent> sealed;
-  sealed.swap(events_);
-  Timer timer;
-  uint64_t bytes = 0;
-  Status status = log_.WriteDelta(epoch, pending_tail_ops, sealed, &bytes);
-  delta_ship_ms_total_ += timer.ElapsedMillis();
-  if (!status.ok()) {
-    if (status_.ok()) status_ = status;
-    return;
+  PendingDelta delta;
+  delta.epoch = epoch;
+  delta.pending_tail_ops = pending_tail_ops;
+  delta.events.swap(events_);
+  pending_.push_back(std::move(delta));
+}
+
+size_t ReplicationSession::ShipPending() {
+  // ship_mutex_ serializes writers FIFO; each delta is popped under
+  // mutex_ *before* its write, so a failed write drops the delta (the
+  // sticky-status contract) instead of wedging the queue.
+  std::lock_guard<std::mutex> ship_lock(ship_mutex_);
+  size_t shipped = 0;
+  for (;;) {
+    PendingDelta delta;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.empty()) break;
+      delta = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    obs::ScopedSpan span(tracer_, obs::kSpanDeltaShip, obs::kServiceShard,
+                         delta.epoch);
+    Timer timer;
+    uint64_t bytes = 0;
+    Status status =
+        log_.WriteDelta(delta.epoch, delta.pending_tail_ops, delta.events,
+                        &bytes);
+    const double ship_ms = timer.ElapsedMillis();
+    if (delta_ship_ms_metric_ != nullptr) {
+      delta_ship_ms_metric_->Record(ship_ms);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    delta_ship_ms_total_ += ship_ms;
+    if (!status.ok()) {
+      if (status_.ok()) status_ = status;
+      continue;
+    }
+    deltas_shipped_ += 1;
+    pending_at_seals_ += delta.pending_tail_ops;
+    epochs_since_base_ += 1;
+    delta_bytes_total_ += bytes;
+    if (delta_bytes_metric_ != nullptr) delta_bytes_metric_->Add(bytes);
+    shipped += 1;
   }
-  deltas_shipped_ += 1;
-  pending_at_seals_ += pending_tail_ops;
-  epochs_since_base_ += 1;
-  delta_bytes_total_ += bytes;
-  if (delta_bytes_metric_ != nullptr) delta_bytes_metric_->Add(bytes);
+  return shipped;
 }
 
 void ReplicationSession::OnMigration(uint64_t group, uint32_t to_shard) {

@@ -2,6 +2,7 @@
 #define DYNAMICC_REPLICATION_REPLICATION_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -14,13 +15,18 @@ namespace dynamicc {
 
 /// Primary-side replication: attaches to a live ShardedDynamicCService
 /// as its StreamObserver, buffers every admitted batch, migration and
-/// barrier, and ships the buffer as one checksummed delta whenever an
-/// epoch seals — the epoch-seal path *is* the shipping path, so a
-/// primary that seals an epoch per serving round streams its state
-/// change by change with no extra barriers. Every `snapshot_every`
-/// sealed epochs the session also cuts a full base snapshot into the
-/// replication directory and compacts the delta log behind it, keeping
-/// the directory bounded by one base plus one compaction interval.
+/// barrier, and ships the buffer as one checksummed delta per sealed
+/// epoch. Shipping is double-buffered: the seal hook (which runs under
+/// the service's ingest lock) only swaps the event buffer onto a
+/// pending queue — O(1), no file IO — and the delta file is written by
+/// ShipPending() *after* CloseEpoch returns, off the admission path.
+/// SealEpoch() does both back to back, so a primary that seals an epoch
+/// per serving round still streams its state change by change with no
+/// extra barriers, but admissions never stall behind the disk. Every
+/// `snapshot_every` sealed epochs the session also cuts a full base
+/// snapshot into the replication directory and compacts the delta log
+/// behind it, keeping the directory bounded by one base plus one
+/// compaction interval.
 ///
 /// Lifecycle:
 ///
@@ -62,10 +68,17 @@ class ReplicationSession : public StreamObserver {
   /// Detaches from the service. Idempotent.
   void Stop();
 
-  /// Seals the current epoch through the service (which ships its delta
-  /// via the OnEpochSealed hook) and, at the snapshot_every cadence,
-  /// cuts a base snapshot + compacts. Returns the sealed epoch.
+  /// Seals the current epoch through the service (the OnEpochSealed
+  /// hook queues its delta), writes every queued delta via
+  /// ShipPending(), and, at the snapshot_every cadence, cuts a base
+  /// snapshot + compacts. Returns the sealed epoch.
   uint64_t SealEpoch();
+
+  /// Writes every queued (sealed-but-unshipped) delta to the log, FIFO.
+  /// Called by SealEpoch()/Stop() already; exposed so an operator loop
+  /// that seals through the service directly can drain the queue
+  /// without an extra seal. Returns the number of deltas written.
+  size_t ShipPending();
 
   /// First hook-side error, sticky (Ok while healthy).
   Status status() const;
@@ -76,13 +89,17 @@ class ReplicationSession : public StreamObserver {
   /// Sum of DeltaInfo::pending_at_seal over shipped deltas: how much
   /// sealed-but-unapplied backlog the primary carried at its seals.
   uint64_t pending_at_seals() const;
-  /// Split of SealEpoch's CloseEpoch time: `seal_ms_total` is the
-  /// service-side bookkeeping (watermarks, epoch marks), `delta_ship_ms`
-  /// the delta serialization + write inside the OnEpochSealed hook.
-  /// Together they account for the epoch-seal wall time, so a slow seal
-  /// is attributable to the service or the replication sink at a glance.
+  /// Split of SealEpoch's wall time: `seal_ms_total` is CloseEpoch
+  /// itself — service bookkeeping (watermarks, epoch marks) plus the
+  /// swap-only hook — and `delta_ship_ms` the delta serialization +
+  /// write that ShipPending() runs afterwards, outside the ingest lock.
+  /// A slow seal is attributable to the service or the replication sink
+  /// at a glance, and only the former can stall admissions.
   double seal_ms_total() const;
   double delta_ship_ms_total() const;
+  /// Deltas sealed but not yet written (nonzero only between a direct
+  /// service CloseEpoch and the next ShipPending).
+  size_t pending_ship_count() const;
   /// Bytes of every delta file shipped since Start().
   uint64_t delta_bytes_total() const;
 
@@ -97,13 +114,25 @@ class ReplicationSession : public StreamObserver {
   DeltaLog log_;
   Options options_;
 
-  /// Guards everything below. OnEpochSealed writes the delta file while
-  /// holding it: seals are already serialized by the service's ingest
-  /// lock, and keeping the write inside the critical section pins the
-  /// buffer-to-file ordering without a second handshake.
+  /// One sealed epoch's worth of events, swapped out by OnEpochSealed
+  /// and written by ShipPending().
+  struct PendingDelta {
+    uint64_t epoch = 0;
+    uint64_t pending_tail_ops = 0;
+    std::vector<ReplicationEvent> events;
+  };
+
+  /// Guards everything below (buffer, queue, counters, status).
+  /// OnEpochSealed only swaps under it — the file write happens in
+  /// ShipPending() under ship_mutex_, which serializes writers FIFO
+  /// without ever being held inside the service's seal path. Order:
+  /// ship_mutex_ before mutex_ (ShipPending pops under both; hooks take
+  /// mutex_ alone).
   mutable std::mutex mutex_;
+  std::mutex ship_mutex_;
   bool attached_ = false;
   std::vector<ReplicationEvent> events_;
+  std::deque<PendingDelta> pending_;
   uint64_t last_base_epoch_ = 0;
   uint64_t deltas_shipped_ = 0;
   uint64_t pending_at_seals_ = 0;
@@ -118,6 +147,8 @@ class ReplicationSession : public StreamObserver {
   /// before the observer attaches, read-only afterwards.
   obs::Counter* delta_bytes_metric_ = nullptr;
   obs::Histogram* compact_ms_metric_ = nullptr;
+  obs::Histogram* delta_ship_ms_metric_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace dynamicc

@@ -1,0 +1,188 @@
+#include "service/query_api.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dynamicc {
+
+QueryClient::QueryClient(const ShardedDynamicCService* service,
+                         std::string name)
+    : service_(service), name_(std::move(name)) {
+  DYNAMICC_CHECK(service_ != nullptr);
+  DYNAMICC_CHECK(service_->serves_reads())
+      << "QueryClient over a service without Options::read.serve";
+}
+
+QueryClient::ClusterOfResult QueryClient::ClusterOfRecord(
+    ObjectId global_id) const {
+  ClusterOfResult result;
+  ReadPin pin = service_->AcquireReadView();
+  if (!pin) return result;
+  result.info.served = true;
+  result.info.epoch = pin->epoch();
+  const ReadClusterInfo* cluster = pin->ClusterOf(global_id);
+  if (cluster != nullptr) {
+    result.members = cluster->members;
+    result.avg_intra = cluster->avg_intra;
+  }
+  return result;
+}
+
+QueryClient::NearestResult QueryClient::KNearestClusters(const Record& probe,
+                                                         size_t k) const {
+  NearestResult result;
+  ReadPin pin = service_->AcquireReadView();
+  if (!pin) return result;
+  result.info.served = true;
+  result.info.epoch = pin->epoch();
+  for (const ReadView::Neighbor& n : pin->KNearestClusters(probe, k)) {
+    NearestResult::Hit hit;
+    hit.members = n.cluster->members;
+    hit.similarity = n.similarity;
+    hit.avg_intra = n.cluster->avg_intra;
+    result.hits.push_back(std::move(hit));
+  }
+  return result;
+}
+
+QueryClient::StatsResult QueryClient::Stats() const {
+  StatsResult result;
+  ReadPin pin = service_->AcquireReadView();
+  if (!pin) return result;
+  result.info.served = true;
+  result.info.epoch = pin->epoch();
+  result.stats = pin->stats();
+  return result;
+}
+
+ReadRouter::ReadRouter(const ShardedDynamicCService* primary, Options options)
+    : options_(options) {
+  DYNAMICC_CHECK(primary != nullptr);
+  Target target{QueryClient(primary, "primary"), /*is_primary=*/true};
+  targets_.push_back(std::move(target));
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    queries_metric_ = reg.GetCounter("read.queries");
+    admitted_metric_ = reg.GetCounter("read.admitted");
+    rejected_metric_ = reg.GetCounter("read.rejected_stale");
+    query_ms_metric_ = reg.GetHistogram("read.query_ms");
+    staleness_metric_ = reg.GetGauge("read.staleness_epochs");
+  }
+}
+
+void ReadRouter::AddFollower(const ShardedDynamicCService* follower_service,
+                             std::string name) {
+  Target target{QueryClient(follower_service, std::move(name)),
+                /*is_primary=*/false};
+  targets_.push_back(std::move(target));
+}
+
+uint64_t ReadRouter::Frontier() const {
+  // The primary's newest *published* epoch, not its open epoch: what a
+  // fresh read could actually see right now. Followers measure their
+  // staleness against this.
+  for (const Target& target : targets_) {
+    if (target.is_primary) return target.client.view_epoch();
+  }
+  return 0;
+}
+
+const ReadRouter::Target* ReadRouter::AdmitQuery(uint64_t max_staleness_epochs,
+                                                 uint64_t* staleness) const {
+  const uint64_t bound = max_staleness_epochs == kUnbounded
+                             ? options_.max_staleness_epochs
+                             : max_staleness_epochs;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (queries_metric_ != nullptr) queries_metric_->Add(1);
+  const uint64_t frontier = Frontier();
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  const size_t n = targets_.size();
+  // Round-robin start point; one fetch_add per query keeps admissible
+  // targets evenly loaded without any lock.
+  const size_t start =
+      cursor_.fetch_add(1, std::memory_order_relaxed) % std::max<size_t>(n, 1);
+  const Target* chosen = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    const Target& target = targets_[(start + i) % n];
+    const uint64_t view_epoch = target.client.view_epoch();
+    const uint64_t lag = frontier > view_epoch ? frontier - view_epoch : 0;
+    best = std::min(best, lag);
+    if (lag <= bound && chosen == nullptr) {
+      chosen = &target;
+      *staleness = lag;
+    }
+  }
+  if (chosen == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (rejected_metric_ != nullptr) rejected_metric_->Add(1);
+    *staleness = best;
+    return nullptr;
+  }
+  if (admitted_metric_ != nullptr) admitted_metric_->Add(1);
+  if (staleness_metric_ != nullptr) {
+    staleness_metric_->Set(static_cast<double>(*staleness));
+  }
+  return chosen;
+}
+
+QueryClient::ClusterOfResult ReadRouter::ClusterOfRecord(
+    ObjectId global_id, uint64_t max_staleness_epochs) const {
+  ScopedTimer timer;
+  timer.Record(query_ms_metric_);
+  uint64_t staleness = 0;
+  const Target* target = AdmitQuery(max_staleness_epochs, &staleness);
+  QueryClient::ClusterOfResult result;
+  if (target == nullptr) {
+    result.info.staleness = staleness;
+    return result;
+  }
+  result = target->client.ClusterOfRecord(global_id);
+  result.info.staleness = staleness;
+  return result;
+}
+
+QueryClient::NearestResult ReadRouter::KNearestClusters(
+    const Record& probe, size_t k, uint64_t max_staleness_epochs) const {
+  ScopedTimer timer;
+  timer.Record(query_ms_metric_);
+  uint64_t staleness = 0;
+  const Target* target = AdmitQuery(max_staleness_epochs, &staleness);
+  QueryClient::NearestResult result;
+  if (target == nullptr) {
+    result.info.staleness = staleness;
+    return result;
+  }
+  result = target->client.KNearestClusters(probe, k);
+  result.info.staleness = staleness;
+  return result;
+}
+
+QueryClient::StatsResult ReadRouter::Stats(
+    uint64_t max_staleness_epochs) const {
+  ScopedTimer timer;
+  timer.Record(query_ms_metric_);
+  uint64_t staleness = 0;
+  const Target* target = AdmitQuery(max_staleness_epochs, &staleness);
+  QueryClient::StatsResult result;
+  if (target == nullptr) {
+    result.info.staleness = staleness;
+    return result;
+  }
+  result = target->client.Stats();
+  result.info.staleness = staleness;
+  return result;
+}
+
+void ReadRouter::DrainFence(uint64_t promoted_last_read_epoch,
+                            const ShardedDynamicCService* new_primary) {
+  DYNAMICC_CHECK(new_primary != nullptr);
+  drain_fence_.store(promoted_last_read_epoch, std::memory_order_release);
+  targets_.clear();
+  Target target{QueryClient(new_primary, "primary"), /*is_primary=*/true};
+  targets_.push_back(std::move(target));
+}
+
+}  // namespace dynamicc

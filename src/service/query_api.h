@@ -1,0 +1,206 @@
+#ifndef DYNAMICC_SERVICE_QUERY_API_H_
+#define DYNAMICC_SERVICE_QUERY_API_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "data/types.h"
+#include "obs/metrics.h"
+#include "service/read_view.h"
+#include "service/sharded_service.h"
+
+namespace dynamicc {
+
+class Follower;
+
+/// The query surface over epoch-pinned read views: wraps one serving
+/// target (the primary or a follower) and answers point lookups,
+/// k-nearest-cluster probes and partition scans against a pinned view —
+/// one acquire-load to pin, zero locks while ingest keeps draining on
+/// the same service. Every answer carries the epoch it was served at
+/// and its staleness in epochs behind the fleet frontier, so callers
+/// can reason about freshness per query instead of per connection.
+///
+/// QueryClient is cheap (two pointers); make one per target and share
+/// it across reader threads freely — all methods are const and
+/// thread-safe.
+class QueryClient {
+ public:
+  /// `service` must serve reads (Options::read.serve) and outlive the
+  /// client. `name` labels the target in router stats.
+  explicit QueryClient(const ShardedDynamicCService* service,
+                       std::string name = "primary");
+
+  /// Result envelope: the epoch the answer is pinned to. `staleness`
+  /// is filled by the router (epochs behind the frontier); a direct
+  /// client leaves it 0.
+  struct ResultInfo {
+    uint64_t epoch = 0;
+    uint64_t staleness = 0;
+    /// False only when the target has not published any view yet.
+    bool served = false;
+  };
+
+  /// Cluster membership of one record: the global ids clustered with
+  /// `global_id` at the pinned epoch (including itself), empty when the
+  /// id is unknown/dead/unapplied at that epoch.
+  struct ClusterOfResult {
+    ResultInfo info;
+    std::vector<ObjectId> members;
+    double avg_intra = 0.0;
+  };
+  ClusterOfResult ClusterOfRecord(ObjectId global_id) const;
+
+  /// The k clusters most similar to `probe` (scored against cluster
+  /// representatives through the view's batched kernel), best first.
+  struct NearestResult {
+    ResultInfo info;
+    struct Hit {
+      std::vector<ObjectId> members;
+      double similarity = 0.0;
+      double avg_intra = 0.0;
+    };
+    std::vector<Hit> hits;
+  };
+  NearestResult KNearestClusters(const Record& probe, size_t k) const;
+
+  /// Partition-wide aggregates at the pinned epoch.
+  struct StatsResult {
+    ResultInfo info;
+    ReadViewStats stats;
+  };
+  StatsResult Stats() const;
+
+  /// Pins the current view directly (power users: iterate slices,
+  /// compare canonical forms). Null pin when nothing is published.
+  ReadPin Pin() const { return service_->AcquireReadView(); }
+
+  /// The target's newest published view epoch (0 before the first
+  /// publish) — what admission compares against the frontier.
+  uint64_t view_epoch() const {
+    ReadViewRegistry* reg = service_->read_views();
+    return reg != nullptr ? reg->current_epoch() : 0;
+  }
+
+  const std::string& name() const { return name_; }
+  const ShardedDynamicCService* service() const { return service_; }
+
+ private:
+  const ShardedDynamicCService* service_;
+  std::string name_;
+};
+
+/// Fans a mixed read load across the primary and N read-serving
+/// followers with per-query staleness admission. The primary's newest
+/// sealed epoch is the freshness frontier; each target's staleness is
+/// `frontier - target_view_epoch`. A query asking for at most S epochs
+/// of staleness is routed round-robin over the targets currently within
+/// S (the primary always is, at staleness 0), so reads scale with the
+/// follower count while every answer stays inside its caller's bound.
+/// Queries whose bound no target can meet are rejected (counted, never
+/// silently served stale).
+///
+/// Failover: DrainFence(promoted_last_read_epoch) tells the router a
+/// follower was promoted. In-flight reads pinned at epochs <= the fence
+/// finish against replica-era views (their pins keep those views
+/// alive); the router immediately stops routing new queries to spent
+/// targets and re-resolves the frontier from the promoted primary — a
+/// deterministic cut at an epoch, not a grace period.
+///
+/// Thread-safe: route state is one atomic cursor; target staleness is
+/// read from the owners' atomics. Metrics (read.queries, read.admitted,
+/// read.rejected_stale, read.query_ms, read.staleness_epochs) land in
+/// the registry passed at construction.
+class ReadRouter {
+ public:
+  struct Options {
+    /// Default per-query bound when Query::max_staleness_epochs is
+    /// kUnbounded: 0 = primary-fresh only.
+    uint64_t max_staleness_epochs = 0;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  static constexpr uint64_t kUnbounded =
+      std::numeric_limits<uint64_t>::max();
+
+  /// `primary` must serve reads; it defines the frontier.
+  ReadRouter(const ShardedDynamicCService* primary, Options options);
+
+  /// Adds a read-serving follower target. Not thread-safe against
+  /// in-flight queries (assemble the fleet, then serve).
+  void AddFollower(const ShardedDynamicCService* follower_service,
+                   std::string name);
+
+  /// Routed queries: same result shapes as QueryClient, with
+  /// ResultInfo::staleness filled from the frontier at admission.
+  /// `max_staleness_epochs` overrides the router default for this one
+  /// query; a query no target can satisfy returns served=false with
+  /// staleness = the best (smallest) staleness any target offered.
+  QueryClient::ClusterOfResult ClusterOfRecord(
+      ObjectId global_id, uint64_t max_staleness_epochs = kUnbounded) const;
+  QueryClient::NearestResult KNearestClusters(
+      const Record& probe, size_t k,
+      uint64_t max_staleness_epochs = kUnbounded) const;
+  QueryClient::StatsResult Stats(
+      uint64_t max_staleness_epochs = kUnbounded) const;
+
+  /// Failover cut (see class doc): records the promoted follower's
+  /// last-served read epoch (Follower::last_read_epoch()) as the drain
+  /// fence, drops every existing target — old primary and followers are
+  /// spent or re-homing — and installs `new_primary` as the sole
+  /// serving target. The caller re-adds surviving followers once they
+  /// tail the new primary's log. In-flight reads already pinned finish
+  /// untouched; a result at an epoch <= drain_fence() is replica-era.
+  void DrainFence(uint64_t promoted_last_read_epoch,
+                  const ShardedDynamicCService* new_primary);
+
+  /// The admission frontier: the primary's newest sealed epoch.
+  uint64_t Frontier() const;
+  /// The last failover fence installed (0 = never failed over).
+  uint64_t drain_fence() const {
+    return drain_fence_.load(std::memory_order_acquire);
+  }
+
+  size_t num_targets() const { return targets_.size(); }
+  uint64_t queries() const { return queries_.load(std::memory_order_relaxed); }
+  uint64_t rejected_stale() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Target {
+    QueryClient client;
+    bool is_primary = false;
+  };
+
+  /// One query's admission: resolves the per-query bound (kUnbounded →
+  /// router default), measures every target's staleness against the
+  /// frontier, picks round-robin among the admissible, and accounts the
+  /// queries/admitted/rejected counters + staleness gauge. Returns
+  /// nullptr when no target qualifies, with *staleness set to the best
+  /// (smallest) staleness any target offered.
+  const Target* AdmitQuery(uint64_t max_staleness_epochs,
+                           uint64_t* staleness) const;
+
+  std::vector<Target> targets_;
+  Options options_;
+  mutable std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> drain_fence_{0};
+
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> rejected_{0};
+  obs::Counter* queries_metric_ = nullptr;
+  obs::Counter* admitted_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+  obs::Histogram* query_ms_metric_ = nullptr;
+  obs::Gauge* staleness_metric_ = nullptr;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_SERVICE_QUERY_API_H_

@@ -81,8 +81,8 @@ ShardedDynamicCService::ShardedDynamicCService(
     metrics_->worker_round_ms = reg.GetHistogram("worker.round_ms");
     metrics_->barrier_ms = reg.GetHistogram("barrier.round_ms");
     metrics_->epoch_seal_ms = reg.GetHistogram("epoch.seal_ms");
-    metrics_->delta_ship_ms = reg.GetHistogram("epoch.delta_ship_ms");
     metrics_->migration_ms = reg.GetHistogram("migration.ms");
+    metrics_->read_publish_ms = reg.GetHistogram("read.publish_ms");
     metrics_->snapshot_save_ms = reg.GetHistogram("snapshot.save_ms");
     metrics_->snapshot_load_ms = reg.GetHistogram("snapshot.load_ms");
     metrics_->epochs_sealed = reg.GetCounter("epoch.sealed");
@@ -111,6 +111,10 @@ ShardedDynamicCService::ShardedDynamicCService(
       metrics_->queue_depth.push_back(
           reg.GetGauge(obs::ShardLabel("queue.depth", s)));
     }
+  }
+
+  if (options_.read.serve) {
+    read_views_ = std::make_unique<ReadViewRegistry>(options_.obs.metrics);
   }
 }
 
@@ -384,6 +388,7 @@ std::vector<ObjectId> ShardedDynamicCService::ApplyBatchToShard(
   DYNAMICC_CHECK(changed == expected)
       << "shard dataset assigned ids out of line with the service's "
          "admission-order pre-assignment";
+  shard.state_version += 1;
   return changed;
 }
 
@@ -476,6 +481,7 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
           round_report = shard.session->DynamicRound(changed);
         }
         shard.dirty = false;
+        shard.state_version += 1;
         rounded = true;
       } else {
         shard.pending_changed.insert(shard.pending_changed.end(),
@@ -596,6 +602,7 @@ ServiceReport ShardedDynamicCService::ObserveBatchRound(
         if (shard.dataset.alive_count() > 0) {
           stats.report = shard.session->ObserveBatchRound(hints[s]);
           stats.participated = true;
+          shard.state_version += 1;
         }
         shard.dirty = false;  // the batch result is a fresh fixpoint
       }
@@ -698,6 +705,7 @@ ServiceReport ShardedDynamicCService::ServeBarrier(
         }
         stats.participated = true;
         shard.dirty = false;
+        shard.state_version += 1;
       }
       stats.objects = shard.dataset.alive_count();
       stats.clusters = shard.session->engine().clustering().num_clusters();
@@ -729,6 +737,15 @@ ServiceReport ShardedDynamicCService::ServeBarrier(
           options_.rebalance.every_rounds) {
     rounds_since_rebalance_.store(0);
     RebalanceOnce();
+  }
+  if (read_views_ != nullptr) {
+    // The barrier's state covers everything admitted up to the newest
+    // sealed epoch (and, on a full drain, possibly later open-epoch
+    // operations) — stamp the view with the newest sealed epoch, the
+    // lower bound the staleness contract promises.
+    PublishReadViewAt(flush_epoch > 0
+                          ? flush_epoch
+                          : open_epoch_.load(std::memory_order_relaxed) - 1);
   }
   return report;
 }
@@ -771,7 +788,7 @@ uint64_t ShardedDynamicCService::CloseEpochLocked() {
       } else {
         shard.epoch_marks.push_back(Shard::EpochMark{closed, boundary});
       }
-      if (observer_ != nullptr) {
+      if (observer_ != nullptr || read_views_ != nullptr) {
         // Everything still queued below the seal boundary is
         // sealed-but-unapplied — the primary's replication lag at this
         // boundary, which the delta log records per epoch. Count-only
@@ -783,11 +800,18 @@ uint64_t ShardedDynamicCService::CloseEpochLocked() {
   }
   if (metrics_) metrics_->epochs_sealed->Add(1);
   if (observer_ != nullptr) {
-    obs::ScopedSpan span(tracer_, obs::kSpanDeltaShip, obs::kServiceShard,
-                         closed);
-    ScopedTimer ship_timer;
-    ship_timer.Record(metrics_ ? metrics_->delta_ship_ms : nullptr);
+    // Swap-only: the replication session queues the sealed events here
+    // and writes the delta file after CloseEpoch returns, off the
+    // admission path (ReplicationSession::ShipPending owns the
+    // `delta.ship` span and `epoch.delta_ship_ms` histogram).
     observer_->OnEpochSealed(closed, pending_tail);
+  }
+  if (read_views_ != nullptr && pending_tail == 0) {
+    // Every operation of the sealed epoch is already applied, so the
+    // state right now *is* epoch `closed` — publish it. With a tail
+    // still queued, the epoch's view appears at the barrier that
+    // applies it instead.
+    PublishReadViewAt(closed);
   }
   return closed;
 }
@@ -1324,6 +1348,8 @@ ShardedDynamicCService::MigrationReport ShardedDynamicCService::MigrateGroup(
       dst.dirty = true;
       report.moved = true;
       migrations_.fetch_add(1);
+      src.state_version += 1;
+      dst.state_version += 1;
     }
   }
 
@@ -1427,6 +1453,80 @@ const DynamicCSession& ShardedDynamicCService::session(uint32_t shard) const {
 
 const Dataset& ShardedDynamicCService::dataset(uint32_t shard) const {
   return shards_.at(shard)->dataset;
+}
+
+void ShardedDynamicCService::PublishReadView() {
+  PublishReadViewAt(open_epoch_.load(std::memory_order_relaxed) - 1);
+}
+
+std::shared_ptr<const ReadViewSlice> ShardedDynamicCService::BuildShardSlice(
+    size_t shard_index, uint64_t version) const {
+  const Shard& shard = *shards_[shard_index];
+  auto slice = std::make_shared<ReadViewSlice>();
+  slice->shard = static_cast<uint32_t>(shard_index);
+  slice->version = version;
+  const auto& clustering = shard.session->engine().clustering();
+  const auto& stats = shard.session->engine().stats();
+  slice->clusters.reserve(clustering.num_clusters());
+  for (ClusterId cluster : clustering.ClusterIds()) {
+    ReadClusterInfo info;
+    info.shard = static_cast<uint32_t>(shard_index);
+    const auto& members = clustering.Members(cluster);
+    info.members.reserve(members.size());
+    ObjectId rep_local = kInvalidObject;
+    ObjectId rep_global = kInvalidObject;
+    for (ObjectId local : members) {
+      ObjectId global = shard.global_of_local.at(local);
+      info.members.push_back(global);
+      if (global < rep_global) {
+        rep_global = global;
+        rep_local = local;
+      }
+    }
+    std::sort(info.members.begin(), info.members.end());
+    info.representative = shard.dataset.Get(rep_local);
+    info.intra_sum = stats.IntraSum(cluster);
+    info.avg_intra = stats.AverageIntraSimilarity(cluster);
+    slice->clusters.push_back(std::move(info));
+  }
+  std::sort(slice->clusters.begin(), slice->clusters.end(),
+            [](const ReadClusterInfo& a, const ReadClusterInfo& b) {
+              return a.members.front() < b.members.front();
+            });
+  return slice;
+}
+
+void ShardedDynamicCService::PublishReadViewAt(uint64_t epoch) {
+  if (read_views_ == nullptr) return;
+  // One publisher at a time; seal and barrier paths may race here, and
+  // the second through simply republishes whatever moved (or no-ops).
+  std::lock_guard<std::mutex> publish_lock(read_publish_mutex_);
+  obs::ScopedSpan span(tracer_, obs::kSpanReadPublish, obs::kServiceShard,
+                       epoch);
+  ScopedTimer publish_timer;
+  publish_timer.Record(metrics_ ? metrics_->read_publish_ms : nullptr);
+
+  // Pin the predecessor so the builder can graft its untouched slices.
+  ReadPin prev_pin = read_views_->Acquire();
+  const ReadView* prev = prev_pin.get();
+  ReadViewBuilder builder(prev, static_cast<uint32_t>(num_shards()), epoch,
+                          read_sequence_ + 1);
+  bool changed = false;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> round_lock(shards_[s]->round_mutex);
+    uint64_t version = shards_[s]->state_version;
+    if (builder.NeedsShard(static_cast<uint32_t>(s), version)) {
+      builder.SetSlice(BuildShardSlice(s, version));
+      changed = true;
+    }
+  }
+  if (prev != nullptr && prev->epoch() == epoch && !changed) {
+    // Nothing moved since the identical-epoch predecessor — keep it
+    // (and its readers' cache warmth) instead of churning a clone.
+    return;
+  }
+  read_sequence_ += 1;
+  read_views_->Publish(builder.Finish(shards_[0]->env.measure.get()));
 }
 
 }  // namespace dynamicc

@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/placement.h"
+#include "service/read_view.h"
 #include "service/rebalancer.h"
 #include "service/service_report.h"
 #include "service/shard_router.h"
@@ -240,6 +241,15 @@ class ShardedDynamicCService {
     obs::Tracer* tracer = nullptr;
   };
 
+  /// Epoch-pinned read serving (service/read_view.h). With `serve` on,
+  /// the service publishes an immutable ReadView behind an RCU-style
+  /// pointer on every sealed epoch whose operations are fully applied,
+  /// and at every dynamic barrier — readers pin it with one
+  /// acquire-load and query lock-free while ingest keeps draining.
+  struct ReadOptions {
+    bool serve = false;
+  };
+
   struct Options {
     uint32_t num_shards = 4;
     /// Worker threads. 0 = one per shard, capped at the hardware
@@ -250,6 +260,7 @@ class ShardedDynamicCService {
     AsyncOptions async;
     RebalanceOptions rebalance;
     ObsOptions obs;
+    ReadOptions read;
   };
 
   /// Outcome of one Ingest call. `accepted` is false only in async mode
@@ -515,6 +526,31 @@ class ShardedDynamicCService {
   }
   obs::Tracer* tracer() const { return tracer_; }
 
+  // --------------------------------------------------- epoch-pinned reads
+
+  /// True when Options::read.serve enabled the read surface.
+  bool serves_reads() const { return read_views_ != nullptr; }
+
+  /// Pins the currently published ReadView (null pin when read serving
+  /// is off or nothing is published yet — the service has sealed no
+  /// epoch and run no dynamic barrier). Lock-free for readers; hold the
+  /// pin for the duration of one query, not longer.
+  ReadPin AcquireReadView() const {
+    return read_views_ != nullptr ? read_views_->Acquire() : ReadPin();
+  }
+
+  /// The publication point itself (epoch introspection, reclamation
+  /// diagnostics). Null when read serving is off.
+  ReadViewRegistry* read_views() const { return read_views_.get(); }
+
+  /// Builds and publishes a view of the current state, stamped with the
+  /// newest sealed epoch. The automatic publication points (epoch seals
+  /// with no unapplied tail, dynamic barriers) call the same machinery;
+  /// this is for callers that changed state through a side door —
+  /// LoadSnapshot, a replica that finished replaying — and want the
+  /// read surface to reflect it now.
+  void PublishReadView();
+
   /// The shard owning a (live or tombstoned) global id.
   uint32_t ShardOfObject(ObjectId global_id) const;
   const DynamicCSession& session(uint32_t shard) const;
@@ -541,6 +577,11 @@ class ShardedDynamicCService {
     /// Local ids applied but not yet covered by any round (accumulates
     /// only while the shard is untrained; barrier rounds consume it).
     std::vector<ObjectId> pending_changed;
+    /// Bumped by every state mutation under round_mutex (batch applies,
+    /// rounds, migration surgery). The read-view publisher compares it
+    /// against the previous view's slice version to rebuild only the
+    /// shards that actually changed.
+    uint64_t state_version = 0;
 
     /// Guards the ingest queue and the counters below.
     mutable std::mutex queue_mutex;
@@ -681,8 +722,8 @@ class ShardedDynamicCService {
     obs::Histogram* worker_round_ms = nullptr;
     obs::Histogram* barrier_ms = nullptr;
     obs::Histogram* epoch_seal_ms = nullptr;
-    obs::Histogram* delta_ship_ms = nullptr;
     obs::Histogram* migration_ms = nullptr;
+    obs::Histogram* read_publish_ms = nullptr;
     obs::Histogram* snapshot_save_ms = nullptr;
     obs::Histogram* snapshot_load_ms = nullptr;
     obs::Counter* epochs_sealed = nullptr;
@@ -718,9 +759,31 @@ class ShardedDynamicCService {
   static void AppendShardClusters(const Shard& shard,
                                   std::vector<std::vector<ObjectId>>* out);
 
+  /// One shard's half of a ReadView, cut at `version` under the shard's
+  /// round_mutex (held by the caller).
+  std::shared_ptr<const ReadViewSlice> BuildShardSlice(size_t shard_index,
+                                                       uint64_t version) const;
+
+  /// Builds and publishes a ReadView stamped `epoch`, reusing every
+  /// slice whose shard version did not move since the previous view.
+  /// Takes each shard's round_mutex in turn (never all at once); caller
+  /// must hold none of them. Publishers serialize on
+  /// read_publish_mutex_. No-op when read serving is off, and when
+  /// nothing changed since a view at the same epoch.
+  void PublishReadViewAt(uint64_t epoch);
+
   Options options_;
   std::unique_ptr<ShardRouter> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Epoch-pinned read surface (null = read serving off). Declared
+  /// after shards_ so views die before the shard environments their
+  /// borrowed SimilarityMeasure lives in.
+  std::unique_ptr<ReadViewRegistry> read_views_;
+  /// Serializes view publication (the seal path and the barrier path
+  /// can both publish) and guards read_sequence_.
+  std::mutex read_publish_mutex_;
+  uint64_t read_sequence_ = 0;
 
   /// Null when metrics are idle — every instrumentation site guards on
   /// this one pointer.
