@@ -84,6 +84,7 @@
 
 #include "batch/agglomerative.h"
 #include "bench_util.h"
+#include "replication/backoff.h"
 #include "replication/follower.h"
 #include "replication/replication_session.h"
 #include "data/blocking.h"
@@ -886,14 +887,28 @@ ReadArmResult RunReadArm(const BenchArgs& args,
   }
 
   // Followers tail continuously — both arms carry this thread, so the
-  // ingest comparison isolates the readers.
+  // ingest comparison isolates the readers. Empty polls back off
+  // exponentially (capped low: follower staleness feeds the capacity
+  // probe) and any replay progress resets the delay, so an active
+  // stream is tailed tightly without spinning on an idle one.
   std::atomic<bool> stop{false};
   std::thread catcher([&followers, &stop] {
+    PollBackoff::Options backoff_options;
+    backoff_options.max_ms = 32;
+    PollBackoff backoff(backoff_options);
     while (!stop.load(std::memory_order_relaxed)) {
+      size_t progressed = 0;
       for (auto& f : followers) {
-        if (!f->CatchUp().ok()) return;
+        size_t replayed = 0;
+        if (!f->CatchUp(&replayed).ok()) return;
+        progressed += replayed;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      if (progressed > 0) {
+        backoff.Reset();
+        continue;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff.NextDelayMs()));
     }
   });
 

@@ -70,6 +70,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -82,6 +83,10 @@
 #include "batch/hill_climbing.h"
 #include "harness/experiment.h"
 #include "ml/logistic_regression.h"
+#include "net/client.h"
+#include "net/delta_stream.h"
+#include "net/front_end.h"
+#include "net/socket.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -95,6 +100,7 @@
 #include "service/snapshot.h"
 #include "util/csv.h"
 #include "util/timer.h"
+#include "util/wire.h"
 
 using namespace dynamicc;
 
@@ -163,6 +169,25 @@ struct CliArgs {
   bool serve_reads = false;
   int read_clients = 2;
   uint64_t max_staleness_epochs = 8;
+  /// Networked serving (src/net/): --listen PORT|HOST:PORT starts a
+  /// TCP front end on the primary (ingest + queries + the replication
+  /// stream when --replicate-to is set; port 0 picks an ephemeral
+  /// port, written to --port-file). --linger keeps the server up after
+  /// the stream ends until a Shutdown RPC arrives. A follower started
+  /// with --replicate-over tcp --connect HOST:PORT mirrors the
+  /// primary's replication stream over the wire into its --follow
+  /// directory (compressed deltas, byte-identical replay);
+  /// --shutdown-server sends the Shutdown RPC when it is done.
+  /// --replicate-resume makes a promoted follower resume the existing
+  /// delta log at its sealed epoch (chained replication) instead of
+  /// serving the tail unreplicated.
+  std::string listen;
+  std::string port_file;
+  bool linger = false;
+  std::string connect;
+  std::string replicate_over = "shared";
+  bool shutdown_server = false;
+  bool replicate_resume = false;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -295,6 +320,32 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->max_staleness_epochs = static_cast<uint64_t>(std::stoull(v));
+    } else if (flag == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->listen = v;
+    } else if (flag == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->port_file = v;
+    } else if (flag == "--linger") {
+      args->linger = true;
+    } else if (flag == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->connect = v;
+    } else if (flag == "--replicate-over") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->replicate_over = v;
+      if (args->replicate_over != "shared" && args->replicate_over != "tcp") {
+        std::fprintf(stderr, "--replicate-over must be shared or tcp\n");
+        return false;
+      }
+    } else if (flag == "--shutdown-server") {
+      args->shutdown_server = true;
+    } else if (flag == "--replicate-resume") {
+      args->replicate_resume = true;
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -363,7 +414,18 @@ void Usage() {
       "  epoch and serves --read-clients N concurrent reader threads\n"
       "  through a ReadRouter while the stream runs (lock-free; the\n"
       "  final: line is unchanged); --max-staleness-epochs K bounds how\n"
-      "  many epochs behind the frontier an answer may be.\n");
+      "  many epochs behind the frontier an answer may be.\n"
+      "  --listen PORT|HOST:PORT serves ingest, queries and the\n"
+      "  replication stream over TCP (port 0 = ephemeral; --port-file\n"
+      "  FILE writes the bound port for scripts); --linger keeps the\n"
+      "  server up after the stream ends until a Shutdown RPC arrives.\n"
+      "  A follower with --replicate-over tcp --connect HOST:PORT\n"
+      "  mirrors the primary's replication stream over the wire into\n"
+      "  its --follow dir (compressed deltas, byte-identical replay);\n"
+      "  --shutdown-server sends the Shutdown RPC when it is done.\n"
+      "  --replicate-resume makes a promoted follower resume the\n"
+      "  existing delta log at its sealed epoch (chained replication)\n"
+      "  instead of serving the tail unreplicated.\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -569,6 +631,44 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
     repl = std::make_unique<ReplicationSession>(&service, args.replicate_to,
                                                 repl_options);
   }
+  // Networked serving (--listen): ingest, queries and — when this run
+  // replicates — the replication stream, all served over TCP while the
+  // local stream runs. Started before the stream so followers and load
+  // generators can dial in early (the replication RPCs answer "nothing
+  // published yet" until the session starts at the serving transition).
+  std::unique_ptr<net::ServerFrontEnd> front_end;
+  if (!args.listen.empty()) {
+    net::ServerFrontEnd::Options fe_options;
+    Status status = net::ParseHostPort(args.listen, &fe_options.host,
+                                       &fe_options.port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--listen: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    fe_options.replication_dir = args.replicate_to;
+    fe_options.metrics = options.obs.metrics;
+    front_end = std::make_unique<net::ServerFrontEnd>(&service,
+                                                      /*router=*/nullptr,
+                                                      fe_options);
+    status = front_end->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "--listen failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "listening on %s:%u\n", fe_options.host.c_str(),
+                 front_end->port());
+    if (!args.port_file.empty()) {
+      status = WriteFileAtomic(args.port_file,
+                               std::to_string(front_end->port()) + "\n");
+      if (!status.ok()) {
+        std::fprintf(stderr, "--port-file failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
   bool repl_started = false;
   auto maybe_start_replication = [&args, &repl, &repl_started, &service] {
     if (repl == nullptr || repl_started) return;
@@ -664,6 +764,20 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
                  std::max(1, args.read_clients),
                  static_cast<unsigned long long>(args.max_staleness_epochs));
   };
+  // End of stream for the TCP front end: flip stream_done so tailing
+  // followers drain and stop; with --linger hold the server (and the
+  // fully-served state) up until a Shutdown RPC tears it down — the CI
+  // smoke queries the finished primary and shuts it down explicitly.
+  auto finish_front_end = [&args, &front_end] {
+    if (front_end == nullptr) return;
+    front_end->SetStreamDone(true);
+    if (args.linger) {
+      std::fprintf(stderr, "stream done; lingering until Shutdown RPC\n");
+      front_end->Join();
+    }
+    front_end->Stop();
+  };
+
   auto finish_readers = [&] {
     if (router == nullptr) return;
     readers_stop.store(true, std::memory_order_relaxed);
@@ -900,6 +1014,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
     print_placement();
     if (!report_replication()) return 1;
     finish_readers();
+    finish_front_end();
     ExportObservability(args, service, tracer.get());
     PrintFinalState(service);
     return 0;
@@ -948,6 +1063,7 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   print_placement();
   if (!report_replication()) return 1;
   finish_readers();
+  finish_front_end();
   ExportObservability(args, service, tracer.get());
   PrintFinalState(service);
   return 0;
@@ -985,6 +1101,101 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
     options.obs.metrics = &obs::MetricsRegistry::Default();
   }
   Follower follower(args.follow, options, MakeShardFactory(config));
+
+  // --replicate-over tcp: the --follow directory is a local mirror of
+  // the primary's replication stream, filled over the wire by a
+  // DeltaStreamClient instead of a shared filesystem. Replay pipelines
+  // with transfer through the tail's progress hook.
+  std::unique_ptr<net::DeltaStreamClient> stream_client;
+  if (args.replicate_over == "tcp") {
+    net::DeltaStreamClient::Options stream_options;
+    Status st = net::ParseHostPort(args.connect, &stream_options.host,
+                                   &stream_options.port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--connect: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    stream_options.mirror_dir = args.follow;
+    // Start-order tolerance: the primary may still be coming up.
+    stream_options.max_reconnect_attempts = 100;
+    if (!args.metrics_out.empty()) {
+      stream_options.metrics = &obs::MetricsRegistry::Default();
+    }
+    stream_client =
+        std::make_unique<net::DeltaStreamClient>(std::move(stream_options));
+  }
+
+  if (stream_client != nullptr && args.promote_at == 0) {
+    // Live tail over TCP: restore as soon as the first base lands in
+    // the mirror, replay after every pass that mirrored something new,
+    // and drain once the primary reports its stream done.
+    bool restored = false;
+    size_t replayed_total = 0;
+    Status replay_status;
+    auto replay = [&] {
+      if (!replay_status.ok()) return;  // sticky: report after the tail
+      if (!restored) {
+        DeltaLog::State have;
+        if (!DeltaLog(args.follow).List(&have).ok() || have.bases.empty()) {
+          return;  // no base mirrored yet
+        }
+        replay_status = follower.Restore();
+        if (!replay_status.ok()) return;
+        restored = true;
+        std::fprintf(stderr,
+                     "following %s over tcp: base at epoch %llu\n",
+                     args.connect.c_str(),
+                     static_cast<unsigned long long>(follower.base_epoch()));
+      }
+      size_t replayed = 0;
+      replay_status = follower.CatchUp(&replayed);
+      replayed_total += replayed;
+    };
+    Status status = stream_client->TailUntilDone(replay);
+    if (!status.ok()) {
+      std::fprintf(stderr, "tcp tail failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    replay();  // the last pass may have mirrored without replaying
+    if (!replay_status.ok()) {
+      std::fprintf(stderr, "catch-up failed: %s\n",
+                   replay_status.ToString().c_str());
+      return 1;
+    }
+    if (!restored) {
+      std::fprintf(stderr, "tcp stream ended without a base snapshot\n");
+      return 1;
+    }
+    follower.Flush();
+    std::fprintf(stderr,
+                 "caught up over tcp: %zu deltas replayed, %llu reconnects, "
+                 "at epoch %llu\n",
+                 replayed_total,
+                 static_cast<unsigned long long>(stream_client->reconnects()),
+                 static_cast<unsigned long long>(follower.epoch()));
+    if (args.shutdown_server) {
+      status = stream_client->client()->Shutdown();
+      if (!status.ok()) {
+        std::fprintf(stderr, "shutdown-server failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    ExportObservability(args, follower.service(), tracer.get());
+    PrintFinalState(follower.service());
+    return 0;
+  }
+  if (stream_client != nullptr) {
+    // Promotion over TCP: the hand-over point must be fully mirrored,
+    // so drain the whole stream first, then fail over locally.
+    Status st = stream_client->TailUntilDone(nullptr);
+    if (!st.ok()) {
+      std::fprintf(stderr, "tcp mirror failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (args.shutdown_server) stream_client->client()->Shutdown();
+  }
+
   Status status = follower.Restore();
   if (!status.ok()) {
     std::fprintf(stderr, "follow failed: %s\n", status.ToString().c_str());
@@ -1030,6 +1241,59 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
                "serving the remaining stream\n",
                static_cast<unsigned long long>(target), replayed);
 
+  // Chained replication (--replicate-resume): the promoted node takes
+  // over the old primary's delta log in place. Artifacts past the
+  // promotion point are the dead primary's unacknowledged suffix —
+  // truncate them (standard failover log truncation), then Resume()
+  // continues the numbering at the sealed frontier, so a standby
+  // tailing this directory replays straight across the cut with no
+  // re-bootstrap.
+  std::unique_ptr<ReplicationSession> resumed;
+  if (args.replicate_resume) {
+    DeltaLog log(args.follow);
+    DeltaLog::State state;
+    status = log.List(&state);
+    if (!status.ok()) {
+      std::fprintf(stderr, "replicate-resume: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::error_code ec;
+    for (uint64_t delta : state.deltas) {
+      if (delta <= target) continue;
+      std::filesystem::remove(log.DeltaPathFor(delta), ec);
+      if (ec) {
+        std::fprintf(stderr, "replicate-resume: cannot truncate %s: %s\n",
+                     log.DeltaPathFor(delta).c_str(), ec.message().c_str());
+        return 1;
+      }
+    }
+    for (uint64_t stale_base : state.bases) {
+      if (stale_base <= target) continue;
+      std::filesystem::remove_all(log.BaseDirFor(stale_base), ec);
+      if (ec) {
+        std::fprintf(stderr, "replicate-resume: cannot truncate %s: %s\n",
+                     log.BaseDirFor(stale_base).c_str(),
+                     ec.message().c_str());
+        return 1;
+      }
+    }
+    ReplicationSession::Options repl_options;
+    repl_options.snapshot_every = args.replicate_snapshot_every;
+    resumed = std::make_unique<ReplicationSession>(service.get(), args.follow,
+                                                   repl_options);
+    status = resumed->Resume();
+    if (!status.ok()) {
+      std::fprintf(stderr, "replicate-resume failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "resumed replication log at sealed epoch %llu; next delta "
+                 "continues the numbering\n",
+                 static_cast<unsigned long long>(target));
+  }
+
   // The new primary serves the rest of the deterministic stream the old
   // one would have received, mirroring its cadence: a replicated
   // primary barriers and seals one epoch per serving snapshot (sync and
@@ -1041,9 +1305,18 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
     std::vector<ObjectId> changed =
         service->ApplyOperations(stream.snapshots[snapshot]);
     service->DynamicRound(changed);
-    service->CloseEpoch();
+    if (resumed != nullptr) {
+      resumed->SealEpoch();
+    } else {
+      service->CloseEpoch();
+    }
   }
   service->Flush();
+  if (resumed != nullptr && !resumed->status().ok()) {
+    std::fprintf(stderr, "replication error: %s\n",
+                 resumed->status().ToString().c_str());
+    return 1;
+  }
   ExportObservability(args, *service, tracer.get());
   PrintFinalState(*service);
   return 0;
@@ -1084,20 +1357,38 @@ int main(int argc, char** argv) {
 
   if (args.shards > 1 || args.async || !args.load_snapshot.empty() ||
       !args.save_snapshot.empty() || !args.replicate_to.empty() ||
-      !args.follow.empty()) {
+      !args.follow.empty() || !args.listen.empty()) {
     if ((config.task != TaskKind::kCorrelation &&
          config.task != TaskKind::kDbIndex &&
          config.task != TaskKind::kDbscan) ||
         args.method != "dynamicc") {
       std::fprintf(stderr,
-                   "--shards/--async/--*-snapshot/--replicate-to/--follow "
-                   "require --task correlation|db-index|dbscan --method "
-                   "dynamicc\n");
+                   "--shards/--async/--*-snapshot/--replicate-to/--follow/"
+                   "--listen require --task correlation|db-index|dbscan "
+                   "--method dynamicc\n");
       return 2;
     }
     if (!args.follow.empty() && !args.replicate_to.empty()) {
       std::fprintf(stderr,
                    "--follow and --replicate-to are mutually exclusive\n");
+      return 2;
+    }
+    if (args.replicate_over == "tcp" &&
+        (args.follow.empty() || args.connect.empty())) {
+      std::fprintf(stderr,
+                   "--replicate-over tcp requires --follow DIR (the local "
+                   "mirror) and --connect HOST:PORT\n");
+      return 2;
+    }
+    if (!args.listen.empty() && !args.follow.empty()) {
+      std::fprintf(stderr, "--listen serves a primary, not a follower\n");
+      return 2;
+    }
+    if (args.replicate_resume &&
+        (args.follow.empty() || args.promote_at == 0)) {
+      std::fprintf(stderr,
+                   "--replicate-resume requires --follow DIR --promote-at "
+                   "K (chained replication continues a promoted log)\n");
       return 2;
     }
     if (!args.follow.empty()) return RunFollower(args, config);

@@ -1,0 +1,201 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace dynamicc {
+namespace net {
+
+Status NetClient::Connect() {
+  Status status =
+      socket_.Connect(options_.host, options_.port, options_.io_timeout_ms);
+  if (!status.ok()) return status;
+  HelloRequest hello;
+  hello.codec_mask = options_.codec_mask;
+  std::string request, response;
+  Encode(hello, &request);
+  status = Call(request, &response);
+  if (!status.ok()) {
+    socket_.Close();
+    return status;
+  }
+  HelloResponse ok;
+  if (!Decode(response, &ok)) {
+    socket_.Close();
+    return Status::IoError("malformed Hello response");
+  }
+  codec_ = ok.codec;
+  return Status::Ok();
+}
+
+Status NetClient::Call(const std::string& request, std::string* response) {
+  Status status = socket_.SendFrame(request);
+  if (!status.ok()) return status;
+  status = socket_.RecvFrame(options_.max_frame_bytes, response);
+  if (!status.ok()) return status;
+  MsgType type;
+  if (!PeekType(*response, &type)) {
+    return Status::IoError("empty response payload");
+  }
+  if (type == MsgType::kError) return DecodeError(*response);
+  return Status::Ok();
+}
+
+Status NetClient::Ingest(const OperationBatch& ops,
+                         IngestResponse* response) {
+  IngestRequest req;
+  req.ops = ops;
+  std::string request, payload;
+  Encode(req, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  if (!Decode(payload, response)) {
+    return Status::IoError("malformed Ingest response");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::QueueOp(const DataOperation& op, IngestResponse* response,
+                          bool* flushed) {
+  pending_.push_back(op);
+  if (pending_.size() < options_.coalesce_ops) {
+    *flushed = false;
+    return Status::Ok();
+  }
+  *flushed = true;
+  return FlushOps(response);
+}
+
+Status NetClient::FlushOps(IngestResponse* response) {
+  if (pending_.empty()) {
+    response->accepted = true;
+    response->ids.clear();
+    return Status::Ok();
+  }
+  OperationBatch batch;
+  batch.swap(pending_);
+  Status status = Ingest(batch, response);
+  if (!status.ok()) return status;
+  if (!response->accepted) {
+    // Rejected batches assign nothing; hand the ops back so the caller
+    // can retry the same batch after backoff.
+    pending_ = std::move(batch);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::ClusterOf(uint64_t global_id, uint64_t max_staleness,
+                            ClusterOfResponse* response) {
+  ClusterOfRequest req;
+  req.global_id = global_id;
+  req.max_staleness = max_staleness;
+  std::string request, payload;
+  Encode(req, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  if (!Decode(payload, response)) {
+    return Status::IoError("malformed ClusterOf response");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::KNearest(const Record& probe, uint64_t k,
+                           uint64_t max_staleness,
+                           KNearestResponse* response) {
+  KNearestRequest req;
+  req.probe = probe;
+  req.k = k;
+  req.max_staleness = max_staleness;
+  std::string request, payload;
+  Encode(req, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  if (!Decode(payload, response)) {
+    return Status::IoError("malformed KNearest response");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::Stats(uint64_t max_staleness, StatsResponse* response) {
+  StatsRequest req;
+  req.max_staleness = max_staleness;
+  std::string request, payload;
+  Encode(req, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  if (!Decode(payload, response)) {
+    return Status::IoError("malformed Stats response");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::ReplState(ReplStateResponse* response) {
+  std::string request, payload;
+  Encode(ReplStateRequest{}, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  if (!Decode(payload, response)) {
+    return Status::IoError("malformed ReplState response");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::FetchBlock(const std::string& request, std::string* raw) {
+  std::string payload;
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  BlockResponse block;
+  if (!Decode(payload, &block)) {
+    return Status::IoError("malformed block response");
+  }
+  if (!DecodeBlock(block.block, options_.max_frame_bytes, raw)) {
+    return Status::IoError("corrupt compressed block");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::FetchDelta(uint64_t epoch, std::string* raw) {
+  FetchDeltaRequest req;
+  req.epoch = epoch;
+  std::string request;
+  Encode(req, &request);
+  return FetchBlock(request, raw);
+}
+
+Status NetClient::FetchBaseManifest(uint64_t epoch,
+                                    FetchBaseManifestResponse* response) {
+  FetchBaseManifestRequest req;
+  req.epoch = epoch;
+  std::string request, payload;
+  Encode(req, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  if (!Decode(payload, response)) {
+    return Status::IoError("malformed FetchBaseManifest response");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::FetchBaseFile(uint64_t epoch, const std::string& name,
+                                std::string* raw) {
+  FetchBaseFileRequest req;
+  req.epoch = epoch;
+  req.name = name;
+  std::string request;
+  Encode(req, &request);
+  return FetchBlock(request, raw);
+}
+
+Status NetClient::Shutdown() {
+  std::string request, payload;
+  EncodeShutdown(&request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  MsgType type;
+  if (!PeekType(payload, &type) || type != MsgType::kShutdownOk) {
+    return Status::IoError("malformed Shutdown response");
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace dynamicc

@@ -1,0 +1,96 @@
+// Blocking typed client for the ServerFrontEnd RPC surface.
+//
+// One NetClient wraps one connection: Connect() dials, performs the
+// Hello handshake (protocol version check + codec negotiation) and
+// then issues synchronous request/response calls. Not thread-safe —
+// one client per thread, they are cheap.
+//
+// Ingest supports app-level coalescing: QueueOp() buffers operations
+// locally and FlushOps() ships them as one Ingest RPC once
+// `coalesce_ops` accumulate (Nagle is off; batching is explicit and
+// measurable instead of kernel-timed).
+#ifndef DYNAMICC_NET_CLIENT_H_
+#define DYNAMICC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/codec.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace dynamicc {
+namespace net {
+
+class NetClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    // 0 = block forever; anything else bounds each send/recv.
+    int io_timeout_ms = 30000;
+    uint64_t codec_mask = kSupportedCodecs;
+    uint64_t max_frame_bytes = kMaxFrameBytes;
+    // Ops buffered before FlushOps() auto-fires from QueueOp().
+    size_t coalesce_ops = 64;
+  };
+
+  explicit NetClient(Options options) : options_(std::move(options)) {}
+
+  // Dials and runs the Hello handshake.
+  Status Connect();
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.connected(); }
+  // The codec the server will use for FetchDelta/FetchBaseFile blocks.
+  Codec negotiated_codec() const { return codec_; }
+
+  // ---- Ingest ----
+  Status Ingest(const OperationBatch& ops, IngestResponse* response);
+  // Buffers |op|; ships automatically at `coalesce_ops`. |response| is
+  // filled only when a flush fired (check *flushed).
+  Status QueueOp(const DataOperation& op, IngestResponse* response,
+                 bool* flushed);
+  Status FlushOps(IngestResponse* response);
+  size_t queued_ops() const { return pending_.size(); }
+
+  // ---- Queries ----
+  Status ClusterOf(uint64_t global_id, uint64_t max_staleness,
+                   ClusterOfResponse* response);
+  Status KNearest(const Record& probe, uint64_t k, uint64_t max_staleness,
+                  KNearestResponse* response);
+  Status Stats(uint64_t max_staleness, StatsResponse* response);
+
+  // ---- Replication stream ----
+  Status ReplState(ReplStateResponse* response);
+  // Fetches + decodes one delta file; |raw| holds the exact on-disk
+  // bytes of the primary's delta file.
+  Status FetchDelta(uint64_t epoch, std::string* raw);
+  Status FetchBaseManifest(uint64_t epoch,
+                           FetchBaseManifestResponse* response);
+  Status FetchBaseFile(uint64_t epoch, const std::string& name,
+                       std::string* raw);
+
+  // ---- Admin ----
+  Status Shutdown();
+
+  uint64_t bytes_sent() const { return socket_.bytes_sent(); }
+  uint64_t bytes_received() const { return socket_.bytes_received(); }
+
+ private:
+  // Sends |request| and receives one response payload; converts kError
+  // payloads into a non-OK Status.
+  Status Call(const std::string& request, std::string* response);
+  // Fetch + DecodeBlock for the two block-response RPCs.
+  Status FetchBlock(const std::string& request, std::string* raw);
+
+  Options options_;
+  FramedSocket socket_;
+  Codec codec_ = Codec::kRaw;
+  OperationBatch pending_;
+};
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_CLIENT_H_

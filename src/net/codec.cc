@@ -1,0 +1,203 @@
+#include "net/codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "net/wire_format.h"
+#include "service/snapshot.h"
+
+namespace dynamicc {
+namespace net {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+inline uint32_t HashFour(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  // Fibonacci hashing spreads the low bytes that dominate ASCII text.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline void PutU64Le(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline bool GetU64Le(BinaryReader* r, uint64_t* v) {
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t b;
+    if (!r->GetU8(&b)) return false;
+    *v |= static_cast<uint64_t>(b) << (8 * i);
+  }
+  return true;
+}
+
+// Emits an LZ4-style length: the nibble already holds min(len, 15);
+// values >= 15 continue in 255-valued extension bytes.
+inline void PutLength(std::string* out, size_t len) {
+  if (len < 15) return;
+  len -= 15;
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+inline bool GetLength(const char* data, size_t size, size_t* pos,
+                      size_t nibble, size_t* len) {
+  *len = nibble;
+  if (nibble != 15) return true;
+  while (true) {
+    if (*pos >= size) return false;
+    uint8_t b = static_cast<uint8_t>(data[(*pos)++]);
+    *len += b;
+    if (*len > kMaxFrameBytes) return false;  // runaway extension
+    if (b != 255) return true;
+  }
+}
+
+}  // namespace
+
+Codec NegotiateCodec(uint64_t ours, uint64_t theirs) {
+  uint64_t common = ours & theirs & kSupportedCodecs;
+  if (common & (1u << static_cast<int>(Codec::kLzb))) return Codec::kLzb;
+  return Codec::kRaw;
+}
+
+void CompressLzb(const std::string& raw, std::string* out) {
+  out->clear();
+  const char* data = raw.data();
+  const size_t size = raw.size();
+  if (size < kMinMatch + 1) {
+    // Too short to ever find a match: a single literal-only sequence.
+    out->push_back(static_cast<char>(std::min<size_t>(size, 15) << 4));
+    PutLength(out, size);
+    out->append(data, size);
+    return;
+  }
+
+  std::vector<uint32_t> table(1u << kHashBits, 0);
+  std::vector<bool> filled(1u << kHashBits, false);
+  size_t pos = 0;
+  size_t literal_start = 0;
+  // Stop the match search early enough that the final sequence always
+  // ends in literals (decoder relies on that to terminate cleanly).
+  const size_t match_limit = size - kMinMatch;
+
+  while (pos <= match_limit) {
+    uint32_t h = HashFour(data + pos);
+    size_t candidate = table[h];
+    bool usable = filled[h] && pos - candidate <= kMaxOffset &&
+                  std::memcmp(data + candidate, data + pos, kMinMatch) == 0;
+    table[h] = static_cast<uint32_t>(pos);
+    filled[h] = true;
+    if (!usable) {
+      ++pos;
+      continue;
+    }
+    // Extend the match, but never through the final literal tail.
+    size_t max_len = size - 1 - pos;
+    size_t len = kMinMatch;
+    while (len < max_len && data[candidate + len] == data[pos + len]) ++len;
+
+    size_t literals = pos - literal_start;
+    size_t match_code = len - kMinMatch;
+    uint8_t token =
+        static_cast<uint8_t>(std::min<size_t>(literals, 15) << 4 |
+                             std::min<size_t>(match_code, 15));
+    out->push_back(static_cast<char>(token));
+    PutLength(out, literals);
+    out->append(data + literal_start, literals);
+    size_t offset = pos - candidate;
+    out->push_back(static_cast<char>(offset & 0xff));
+    out->push_back(static_cast<char>(offset >> 8));
+    PutLength(out, match_code);
+    pos += len;
+    literal_start = pos;
+  }
+
+  // Final literal-only sequence (may be empty if a match ran to the
+  // end; the decoder terminates on input exhaustion either way).
+  size_t literals = size - literal_start;
+  out->push_back(static_cast<char>(std::min<size_t>(literals, 15) << 4));
+  PutLength(out, literals);
+  out->append(data + literal_start, literals);
+}
+
+bool DecompressLzb(const char* data, size_t size, size_t raw_size,
+                   std::string* out) {
+  out->clear();
+  out->reserve(raw_size);
+  size_t pos = 0;
+  while (pos < size) {
+    uint8_t token = static_cast<uint8_t>(data[pos++]);
+    size_t literals;
+    if (!GetLength(data, size, &pos, token >> 4, &literals)) return false;
+    if (literals > size - pos) return false;
+    if (literals > raw_size - out->size()) return false;
+    out->append(data + pos, literals);
+    pos += literals;
+    if (pos == size) break;  // final sequence: literals only, no match
+    if (size - pos < 2) return false;
+    size_t offset = static_cast<uint8_t>(data[pos]) |
+                    static_cast<size_t>(static_cast<uint8_t>(data[pos + 1]))
+                        << 8;
+    pos += 2;
+    if (offset == 0 || offset > out->size()) return false;
+    size_t match_code;
+    if (!GetLength(data, size, &pos, token & 0x0f, &match_code)) return false;
+    size_t len = match_code + kMinMatch;
+    if (len > raw_size - out->size()) return false;
+    // Byte-at-a-time copy: matches may overlap their own output.
+    size_t from = out->size() - offset;
+    for (size_t i = 0; i < len; ++i) out->push_back((*out)[from + i]);
+  }
+  return out->size() == raw_size;
+}
+
+void EncodeBlock(Codec codec, const std::string& raw, std::string* out) {
+  std::string body;
+  if (codec == Codec::kLzb) {
+    CompressLzb(raw, &body);
+    if (body.size() >= raw.size()) codec = Codec::kRaw;
+  }
+  out->push_back(static_cast<char>(codec));
+  PutVarint(out, raw.size());
+  PutU64Le(out, SnapshotChecksum(raw));
+  if (codec == Codec::kRaw) {
+    out->append(raw);
+  } else {
+    out->append(body);
+  }
+}
+
+bool DecodeBlock(const std::string& block, uint64_t max_raw_bytes,
+                 std::string* raw) {
+  BinaryReader r(block);
+  uint8_t codec_byte;
+  uint64_t raw_size, checksum;
+  if (!r.GetU8(&codec_byte)) return false;
+  if (!r.GetVar(&raw_size)) return false;
+  if (raw_size > max_raw_bytes) return false;
+  if (!GetU64Le(&r, &checksum)) return false;
+  if (codec_byte == static_cast<uint8_t>(Codec::kRaw)) {
+    if (r.remaining() != raw_size) return false;
+    raw->assign(r.cursor(), r.remaining());
+  } else if (codec_byte == static_cast<uint8_t>(Codec::kLzb)) {
+    if (!DecompressLzb(r.cursor(), r.remaining(),
+                       static_cast<size_t>(raw_size), raw)) {
+      return false;
+    }
+  } else {
+    return false;
+  }
+  return SnapshotChecksum(*raw) == checksum;
+}
+
+}  // namespace net
+}  // namespace dynamicc

@@ -1,0 +1,70 @@
+// Block compression for bulk payloads (delta files, base snapshot
+// files) shipped over the replication stream.
+//
+// Encoded block layout:
+//
+//     u8 codec || varint raw_size || u64le checksum(raw) || body
+//
+// Codecs:
+//   kRaw — body is the raw bytes verbatim. Always supported; the
+//          fallback when negotiation yields nothing better.
+//   kLzb — "LZ block": a greedy LZ77 with a 4-byte hash-table match
+//          finder, LZ4-style token stream (literal/match length
+//          nibbles with extension bytes, 2-byte little-endian
+//          offsets). Records dominate delta bytes and repeat heavily
+//          (entity prefixes, token vocab), which is exactly what a
+//          short-offset LZ likes.
+//
+// The checksum is FNV-1a over the *raw* bytes (same function the
+// snapshot layer uses), so a decode that passes returns bit-exact
+// input — follower replay stays byte-identical by construction.
+// DecodeBlock is safe on adversarial input: every read is bounds-
+// checked and malformed blocks return false, never crash.
+//
+// Streams negotiate a codec at Hello time via a supported-codec
+// bitmask (bit i set == codec i supported); see rpc.h.
+#ifndef DYNAMICC_NET_CODEC_H_
+#define DYNAMICC_NET_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dynamicc {
+namespace net {
+
+enum class Codec : uint8_t {
+  kRaw = 0,
+  kLzb = 1,
+};
+
+// Bitmask of every codec this build supports.
+constexpr uint64_t kSupportedCodecs =
+    (1u << static_cast<int>(Codec::kRaw)) |
+    (1u << static_cast<int>(Codec::kLzb));
+
+// Picks the best codec both peers support (highest common bit among
+// known codecs; kRaw if the masks only share bit 0).
+Codec NegotiateCodec(uint64_t ours, uint64_t theirs);
+
+// Appends an encoded block to |out|. If |codec| is kLzb but the
+// compressed body would not be smaller than the raw bytes, the block
+// is stored as kRaw instead (the block header records which).
+void EncodeBlock(Codec codec, const std::string& raw, std::string* out);
+
+// Decodes one block (the entire |block| string). Returns false on any
+// malformed input: bad codec byte, truncated header or body, declared
+// size over |max_raw_bytes|, corrupt LZ token stream, or checksum
+// mismatch.
+bool DecodeBlock(const std::string& block, uint64_t max_raw_bytes,
+                 std::string* raw);
+
+// Raw LZ primitives, exposed for tests. CompressLzb output is only
+// meaningful to DecompressLzb (no header/checksum at this level).
+void CompressLzb(const std::string& raw, std::string* out);
+bool DecompressLzb(const char* data, size_t size, size_t raw_size,
+                   std::string* out);
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_CODEC_H_

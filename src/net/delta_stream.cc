@@ -1,0 +1,172 @@
+#include "net/delta_stream.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "replication/delta_log.h"
+#include "util/wire.h"
+
+namespace dynamicc {
+namespace net {
+
+DeltaStreamClient::DeltaStreamClient(Options options)
+    : options_(std::move(options)), backoff_(options_.backoff) {
+  NetClient::Options client_options = options_.client;
+  client_options.host = options_.host;
+  client_options.port = options_.port;
+  client_ = std::make_unique<NetClient>(std::move(client_options));
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    reconnects_metric_ = reg.GetCounter("net.reconnects");
+    deltas_mirrored_ = reg.GetCounter("replication.stream_deltas");
+    bases_mirrored_ = reg.GetCounter("replication.stream_bases");
+    poll_backoff_ms_ = reg.GetGauge("replication.poll_backoff_ms");
+  }
+}
+
+Status DeltaStreamClient::Connect() {
+  client_->Close();
+  if (connected_once_) {
+    ++reconnects_;
+    if (reconnects_metric_ != nullptr) reconnects_metric_->Add(1);
+  }
+  Status status = client_->Connect();
+  if (status.ok()) connected_once_ = true;
+  return status;
+}
+
+Status DeltaStreamClient::MirrorBase(uint64_t epoch) {
+  DeltaLog local(options_.mirror_dir);
+  FetchBaseManifestResponse manifest;
+  Status status = client_->FetchBaseManifest(epoch, &manifest);
+  if (!status.ok()) return status;
+
+  // Fetch into a ".saving" scratch dir and rename: DeltaLog::List and
+  // the follower never see a half-mirrored base.
+  std::string final_dir = local.BaseDirFor(epoch);
+  std::string scratch = final_dir + ".saving";
+  std::error_code ec;
+  std::filesystem::remove_all(scratch, ec);
+  std::filesystem::create_directories(scratch, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + scratch + ": " + ec.message());
+  }
+  for (const std::string& name : manifest.files) {
+    std::string bytes;
+    status = client_->FetchBaseFile(epoch, name, &bytes);
+    if (!status.ok()) return status;
+    status = WriteFileBytes(JoinPath(scratch, name), bytes);
+    if (!status.ok()) return status;
+  }
+  std::filesystem::remove_all(final_dir, ec);
+  ec.clear();
+  std::filesystem::rename(scratch, final_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot publish " + final_dir + ": " +
+                           ec.message());
+  }
+  if (bases_mirrored_ != nullptr) bases_mirrored_->Add(1);
+  return Status::Ok();
+}
+
+Status DeltaStreamClient::MirrorDelta(uint64_t epoch) {
+  DeltaLog local(options_.mirror_dir);
+  std::string bytes;
+  Status status = client_->FetchDelta(epoch, &bytes);
+  if (!status.ok()) return status;
+  status = WriteFileAtomic(local.DeltaPathFor(epoch), bytes);
+  if (!status.ok()) return status;
+  if (deltas_mirrored_ != nullptr) deltas_mirrored_->Add(1);
+  return Status::Ok();
+}
+
+Status DeltaStreamClient::SyncOnce(SyncResult* result) {
+  *result = SyncResult{};
+  if (!client_->connected()) {
+    return Status::IoError("not connected");
+  }
+  ReplStateResponse remote;
+  Status status = client_->ReplState(&remote);
+  if (!status.ok()) return status;
+  result->stream_done = remote.stream_done;
+
+  DeltaLog local(options_.mirror_dir);
+  status = local.Init();
+  if (!status.ok()) return status;
+  DeltaLog::State have;
+  status = local.List(&have);
+  if (!status.ok()) return status;
+
+  for (uint64_t epoch : remote.base_epochs) {
+    if (std::binary_search(have.bases.begin(), have.bases.end(), epoch)) {
+      continue;
+    }
+    status = MirrorBase(epoch);
+    if (!status.ok()) return status;
+    result->progressed = true;
+  }
+  for (uint64_t epoch : remote.delta_epochs) {
+    if (!std::binary_search(have.deltas.begin(), have.deltas.end(), epoch)) {
+      status = MirrorDelta(epoch);
+      if (!status.ok()) return status;
+      result->progressed = true;
+    }
+    result->newest_delta = std::max(result->newest_delta, epoch);
+  }
+  for (uint64_t epoch : have.deltas) {
+    result->newest_delta = std::max(result->newest_delta, epoch);
+  }
+  result->fully_mirrored = true;
+  return Status::Ok();
+}
+
+Status DeltaStreamClient::TailUntilDone(
+    const std::function<void()>& on_progress) {
+  uint64_t failed_dials = 0;
+  uint64_t failed_syncs = 0;
+  while (true) {
+    if (!client_->connected()) {
+      Status status = Connect();
+      if (!status.ok()) {
+        if (++failed_dials > options_.max_reconnect_attempts) return status;
+        uint64_t delay = backoff_.NextDelayMs();
+        if (poll_backoff_ms_ != nullptr) {
+          poll_backoff_ms_->Set(static_cast<double>(delay));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        continue;
+      }
+      failed_dials = 0;
+    }
+    SyncResult result;
+    Status status = SyncOnce(&result);
+    if (!status.ok()) {
+      // Transport hiccup: drop the connection and re-dial with backoff.
+      // Persistent failures (e.g. a local I/O error that reconnecting
+      // cannot fix) give up after the reconnect budget.
+      if (++failed_syncs > options_.max_reconnect_attempts) return status;
+      client_->Close();
+      continue;
+    }
+    failed_syncs = 0;
+    if (result.progressed) {
+      backoff_.Reset();
+      if (poll_backoff_ms_ != nullptr) poll_backoff_ms_->Set(0.0);
+      if (on_progress) on_progress();
+    }
+    if (result.stream_done && result.fully_mirrored) return Status::Ok();
+    if (!result.progressed) {
+      uint64_t delay = backoff_.NextDelayMs();
+      if (poll_backoff_ms_ != nullptr) {
+        poll_backoff_ms_->Set(static_cast<double>(delay));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace dynamicc

@@ -1,0 +1,104 @@
+// Streaming replication transport: mirrors a primary's replication
+// directory over TCP so a Follower can tail it without any shared
+// filesystem.
+//
+// The server side is just a ServerFrontEnd with a replication_dir (it
+// serves ReplState / FetchDelta / FetchBaseManifest / FetchBaseFile).
+// The client side — this file — keeps a persistent connection and
+// copies whatever the server lists into a local mirror directory:
+//
+//   base-<E>/       fetched file-by-file into "base-<E>.saving", then
+//                   renamed (DeltaLog::List ignores *.saving, so a
+//                   half-fetched base is invisible to the follower)
+//   delta-<E>.dat   fetched as one codec block, published with
+//                   WriteFileAtomic
+//
+// File bytes are copied verbatim (compressed only in transit, verified
+// by the block checksum), so the mirror is byte-identical to the
+// primary's directory and the existing Follower replays it unchanged —
+// byte-identical follower state by construction.
+//
+// Reconnects and idle polling use PollBackoff (bounded exponential);
+// the current delay is exported as replication.poll_backoff_ms and
+// re-dials count net.reconnects.
+#ifndef DYNAMICC_NET_DELTA_STREAM_H_
+#define DYNAMICC_NET_DELTA_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/client.h"
+#include "obs/metrics.h"
+#include "replication/backoff.h"
+#include "util/status.h"
+
+namespace dynamicc {
+namespace net {
+
+class DeltaStreamClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string mirror_dir;
+    NetClient::Options client;  // host/port are overwritten from above
+    PollBackoff::Options backoff;
+    // Consecutive failed dials before TailUntilDone gives up
+    // (SyncOnce itself never re-dials).
+    uint64_t max_reconnect_attempts = 8;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  // What one sync pass saw. `fully_mirrored` means every base and
+  // delta the server listed now exists locally.
+  struct SyncResult {
+    bool progressed = false;
+    bool fully_mirrored = false;
+    bool stream_done = false;
+    uint64_t newest_delta = 0;  // newest delta epoch mirrored locally
+  };
+
+  explicit DeltaStreamClient(Options options);
+
+  // Dials (or re-dials) the server. Counts net.reconnects on every
+  // dial after the first successful one.
+  Status Connect();
+  void Close() { client_->Close(); }
+  bool connected() const { return client_->connected(); }
+
+  // One pass: list the server's state, fetch everything missing
+  // locally. Fails fast on transport errors (caller reconnects).
+  Status SyncOnce(SyncResult* result);
+
+  // Tails until the server reports stream_done and the mirror holds
+  // everything listed. Sleeps with bounded exponential backoff between
+  // empty polls; reconnects on transport errors. `on_progress` (may be
+  // null) runs after every pass that mirrored something new — the CLI
+  // replays the follower there, pipelining replay with transfer.
+  Status TailUntilDone(const std::function<void()>& on_progress);
+
+  uint64_t reconnects() const { return reconnects_; }
+  NetClient* client() { return client_.get(); }
+
+ private:
+  Status MirrorBase(uint64_t epoch);
+  Status MirrorDelta(uint64_t epoch);
+
+  Options options_;
+  std::unique_ptr<NetClient> client_;
+  PollBackoff backoff_;
+  bool connected_once_ = false;
+  uint64_t reconnects_ = 0;
+
+  obs::Counter* reconnects_metric_ = nullptr;
+  obs::Counter* deltas_mirrored_ = nullptr;
+  obs::Counter* bases_mirrored_ = nullptr;
+  obs::Gauge* poll_backoff_ms_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_DELTA_STREAM_H_

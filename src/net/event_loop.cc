@@ -1,0 +1,301 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dynamicc {
+namespace net {
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr int kMaxEvents = 64;
+
+}  // namespace
+
+NetServer::NetServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    bytes_in_ = reg.GetCounter("net.bytes_in");
+    bytes_out_ = reg.GetCounter("net.bytes_out");
+    frames_in_ = reg.GetCounter("net.frames_in");
+    frames_out_ = reg.GetCounter("net.frames_out");
+    connections_ = reg.GetCounter("net.connections");
+    decode_errors_metric_ = reg.GetCounter("net.decode_errors");
+    active_connections_ = reg.GetGauge("net.active_connections");
+    request_ms_ = reg.GetHistogram("net.request_ms");
+  }
+}
+
+NetServer::~NetServer() {
+  Stop();
+}
+
+Status NetServer::Start() {
+  DYNAMICC_CHECK(!running_.load()) << "server already started";
+  Status st = ListenTcp(options_.host, options_.port, &listen_fd_, &port_);
+  if (!st.ok()) return st;
+  epoll_fd_ = epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("epoll_create1 failed");
+  }
+  if (pipe(wake_fds_) != 0) {
+    close(listen_fd_);
+    close(epoll_fd_);
+    listen_fd_ = epoll_fd_ = -1;
+    return Status::IoError("pipe failed");
+  }
+  SetNonBlocking(wake_fds_[0]);
+
+  epoll_event ev;
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fds_[0];
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+
+  running_.store(true, std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fds_[1] >= 0) {
+    char c = 0;
+    ssize_t ignored = write(wake_fds_[1], &c, 1);
+    (void)ignored;
+  }
+  Join();
+  // The wake pipe is closed here (never on the loop thread) so a
+  // concurrent Stop() can always safely poke wake_fds_[1].
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+void NetServer::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void NetServer::Loop() {
+  std::vector<epoll_event> events(kMaxEvents);
+  bool done = false;
+  while (!done) {
+    int n = epoll_wait(epoll_fd_, events.data(), kMaxEvents, 200);
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t mask = events[i].events;
+      if (fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      if (fd == wake_fds_[0]) {
+        char buf[64];
+        while (read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn* conn = &it->second;
+      bool alive = true;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        alive = false;
+      } else {
+        if (alive && (mask & EPOLLIN)) alive = ReadAndDispatch(fd, conn);
+        if (alive && (mask & EPOLLOUT)) alive = FlushConn(fd, conn);
+      }
+      if (alive && conn->close_after_flush &&
+          conn->out_offset == conn->out.size()) {
+        alive = false;
+      }
+      if (!alive) CloseConn(fd);
+    }
+    // A kStopAfterReply exits once its reply has drained (the
+    // connection closes when flushed, which removes it from conns_).
+    if (stop_after_flush_) {
+      bool pending = false;
+      for (const auto& kv : conns_) {
+        if (kv.second.close_after_flush &&
+            kv.second.out_offset < kv.second.out.size()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending) done = true;
+    }
+  }
+  CloseAll();
+  running_.store(false, std::memory_order_release);
+}
+
+void NetServer::AcceptAll() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error: back to the loop
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    epoll_event ev;
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    conns_[fd].id = next_conn_id_++;
+    if (connections_ != nullptr) connections_->Add(1);
+    if (active_connections_ != nullptr) {
+      active_connections_->Set(static_cast<double>(conns_.size()));
+    }
+  }
+}
+
+bool NetServer::ReadAndDispatch(int fd, Conn* conn) {
+  char chunk[kReadChunk];
+  while (true) {
+    ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    conn->in.append(chunk, static_cast<size_t>(n));
+    if (bytes_in_ != nullptr) bytes_in_->Add(static_cast<uint64_t>(n));
+    if (conn->in.size() > options_.max_frame_bytes + 16) break;
+  }
+
+  // Parse frames off the front without re-copying the buffer per frame.
+  std::string payload;
+  size_t erased = 0;
+  while (true) {
+    uint64_t size = 0;
+    int header = GetVarint(conn->in.data() + erased, conn->in.size() - erased,
+                           &size);
+    if (header < 0 || (header > 0 && size > options_.max_frame_bytes)) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (decode_errors_metric_ != nullptr) decode_errors_metric_->Add(1);
+      return false;
+    }
+    if (header == 0) break;
+    size_t total = static_cast<size_t>(header) + static_cast<size_t>(size);
+    if (conn->in.size() - erased < total) break;
+    payload.assign(conn->in.data() + erased + header,
+                   static_cast<size_t>(size));
+    erased += total;
+    if (frames_in_ != nullptr) frames_in_->Add(1);
+
+    std::string response;
+    HandleResult result;
+    {
+      ScopedTimer timer;
+      timer.Record(request_ms_);
+      result = handler_(conn->id, payload, &response);
+    }
+    std::string frame;
+    frame.reserve(response.size() + 10);
+    AppendFrame(&frame, response);
+    conn->out.append(frame);
+    if (frames_out_ != nullptr) frames_out_->Add(1);
+    if (result == HandleResult::kClose) {
+      conn->close_after_flush = true;
+      break;
+    }
+    if (result == HandleResult::kStopAfterReply) {
+      conn->close_after_flush = true;
+      stop_after_flush_ = true;
+      break;
+    }
+  }
+  if (erased > 0) conn->in.erase(0, erased);
+  if (conn->in.size() > options_.max_frame_bytes + 16) {
+    // A frame header promised more than we allow buffering.
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (decode_errors_metric_ != nullptr) decode_errors_metric_->Add(1);
+    return false;
+  }
+  return FlushConn(fd, conn);
+}
+
+bool NetServer::FlushConn(int fd, Conn* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    ssize_t n = write(fd, conn->out.data() + conn->out_offset,
+                      conn->out.size() - conn->out_offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+    if (bytes_out_ != nullptr) bytes_out_->Add(static_cast<uint64_t>(n));
+  }
+  if (conn->out_offset == conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+  } else if (conn->out_offset > kReadChunk) {
+    conn->out.erase(0, conn->out_offset);
+    conn->out_offset = 0;
+  }
+  UpdateWritable(fd, conn);
+  return true;
+}
+
+void NetServer::UpdateWritable(int fd, Conn* conn) {
+  bool want = conn->out_offset < conn->out.size();
+  if (want == conn->wants_writable) return;
+  conn->wants_writable = want;
+  epoll_event ev;
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void NetServer::CloseConn(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  auto it = conns_.find(fd);
+  if (it != conns_.end()) {
+    if (options_.on_close) options_.on_close(it->second.id);
+    conns_.erase(it);
+  }
+  if (active_connections_ != nullptr) {
+    active_connections_->Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void NetServer::CloseAll() {
+  for (auto& kv : conns_) {
+    close(kv.first);
+    if (options_.on_close) options_.on_close(kv.second.id);
+  }
+  conns_.clear();
+  if (active_connections_ != nullptr) active_connections_->Set(0.0);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  listen_fd_ = epoll_fd_ = -1;
+}
+
+}  // namespace net
+}  // namespace dynamicc

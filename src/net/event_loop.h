@@ -1,0 +1,124 @@
+// Single-threaded epoll server loop.
+//
+// One NetServer owns one listening socket, one epoll instance, and one
+// background thread. Connections are non-blocking with per-connection
+// read/write buffers: reads accumulate until a full varint-prefixed
+// frame is available, the handler runs synchronously on the loop
+// thread, and replies queue in the write buffer — EPOLLOUT is armed
+// only while a reply is partially written, so slow readers never block
+// the loop and fast paths never pay the extra epoll_ctl.
+//
+// The handler is invoked serialized on the loop thread; it must be
+// fast or hand work off (the front end leans on the service's own
+// thread pools — Ingest and the read path are internally concurrent).
+// A malformed frame (bad varint, over-limit length, handler rejection)
+// counts a net.decode_errors and closes that connection; the server
+// itself never dies on bad input.
+#ifndef DYNAMICC_NET_EVENT_LOOP_H_
+#define DYNAMICC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/wire_format.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace dynamicc {
+namespace net {
+
+class NetServer {
+ public:
+  // What the handler wants done after its reply is sent.
+  enum class HandleResult {
+    kReply,           // send |response|, keep the connection
+    kClose,           // send |response| (if any), then close this connection
+    kStopAfterReply,  // send |response|, then shut the whole server down
+  };
+  // |conn_id| identifies the connection across a session (stable until
+  // close) so handlers can keep per-stream state, e.g. the negotiated
+  // compression codec.
+  using Handler =
+      std::function<HandleResult(uint64_t conn_id, const std::string& request,
+                                 std::string* response)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral
+    uint64_t max_frame_bytes = kMaxFrameBytes;
+    obs::MetricsRegistry* metrics = nullptr;
+    // Invoked on the loop thread when a connection goes away (handlers
+    // drop per-stream state here).
+    std::function<void(uint64_t conn_id)> on_close;
+  };
+
+  NetServer(Options options, Handler handler);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, listens, and starts the loop thread.
+  Status Start();
+  // Signals the loop to exit and joins it. Idempotent.
+  void Stop();
+  // Blocks until the loop exits on its own (e.g. a kStopAfterReply).
+  void Join();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+  uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    std::string in;
+    std::string out;
+    size_t out_offset = 0;
+    bool close_after_flush = false;
+    bool wants_writable = false;
+  };
+
+  void Loop();
+  void AcceptAll();
+  // Returns false when the connection must be closed.
+  bool ReadAndDispatch(int fd, Conn* conn);
+  bool FlushConn(int fd, Conn* conn);
+  void UpdateWritable(int fd, Conn* conn);
+  void CloseConn(int fd);
+  void CloseAll();
+
+  Options options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stop_after_flush_ = false;  // loop-thread only
+  uint64_t next_conn_id_ = 1;      // loop-thread only
+  std::unordered_map<int, Conn> conns_;
+  std::atomic<uint64_t> decode_errors_{0};
+
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* connections_ = nullptr;
+  obs::Counter* decode_errors_metric_ = nullptr;
+  obs::Gauge* active_connections_ = nullptr;
+  obs::Histogram* request_ms_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_EVENT_LOOP_H_

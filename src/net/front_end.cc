@@ -1,0 +1,376 @@
+#include "net/front_end.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "net/rpc.h"
+#include "replication/delta_log.h"
+#include "util/wire.h"
+
+namespace dynamicc {
+namespace net {
+namespace {
+
+void ReplyError(const Status& status, std::string* response) {
+  response->clear();
+  EncodeError(status, response);
+}
+
+ResultInfoWire ToWire(const QueryClient::ResultInfo& info) {
+  ResultInfoWire wire;
+  wire.epoch = info.epoch;
+  wire.staleness = info.staleness;
+  wire.served = info.served;
+  return wire;
+}
+
+}  // namespace
+
+ServerFrontEnd::ServerFrontEnd(ShardedDynamicCService* service,
+                               const ReadRouter* router, Options options)
+    : service_(service), router_(router), options_(std::move(options)) {
+  NetServer::Options server_options;
+  server_options.host = options_.host;
+  server_options.port = options_.port;
+  server_options.max_frame_bytes = options_.max_frame_bytes;
+  server_options.metrics = options_.metrics;
+  server_options.on_close = [this](uint64_t conn_id) {
+    std::lock_guard<std::mutex> lock(codec_mu_);
+    conn_codec_.erase(conn_id);
+  };
+  server_ = std::make_unique<NetServer>(
+      std::move(server_options),
+      [this](uint64_t conn_id, const std::string& request,
+             std::string* response) {
+        return Handle(conn_id, request, response);
+      });
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options_.metrics;
+    ingest_batches_ = reg.GetCounter("net.ingest_batches");
+    ingest_ops_ = reg.GetCounter("net.ingest_ops");
+    ingest_rejected_ = reg.GetCounter("net.ingest_rejected");
+    rpc_queries_ = reg.GetCounter("net.rpc_queries");
+    delta_bytes_raw_ = reg.GetCounter("net.delta_bytes_raw");
+    delta_bytes_wire_ = reg.GetCounter("net.delta_bytes_wire");
+  }
+}
+
+Status ServerFrontEnd::Start() { return server_->Start(); }
+
+void ServerFrontEnd::Stop() { server_->Stop(); }
+
+void ServerFrontEnd::Join() { server_->Join(); }
+
+Codec ServerFrontEnd::CodecFor(uint64_t conn_id) const {
+  std::lock_guard<std::mutex> lock(codec_mu_);
+  auto it = conn_codec_.find(conn_id);
+  return it != conn_codec_.end() ? it->second : Codec::kRaw;
+}
+
+NetServer::HandleResult ServerFrontEnd::Handle(uint64_t conn_id,
+                                               const std::string& request,
+                                               std::string* response) {
+  MsgType type;
+  if (!PeekType(request, &type)) {
+    ReplyError(Status::InvalidArgument("empty request"), response);
+    return NetServer::HandleResult::kClose;
+  }
+  switch (type) {
+    case MsgType::kHello:
+      HandleHello(conn_id, request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kIngest:
+      HandleIngest(request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kClusterOf:
+      HandleClusterOf(request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kKNearest:
+      HandleKNearest(request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kStats:
+      HandleStats(request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kReplState:
+      HandleReplState(response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kFetchDelta:
+      HandleFetchDelta(conn_id, request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kFetchBaseManifest:
+      HandleFetchBaseManifest(request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kFetchBaseFile:
+      HandleFetchBaseFile(conn_id, request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kShutdown:
+      EncodeShutdownOk(response);
+      return NetServer::HandleResult::kStopAfterReply;
+    default:
+      ReplyError(
+          Status::InvalidArgument("unexpected message type " +
+                                  std::to_string(static_cast<int>(type))),
+          response);
+      return NetServer::HandleResult::kClose;
+  }
+}
+
+void ServerFrontEnd::HandleHello(uint64_t conn_id, const std::string& request,
+                                 std::string* response) {
+  HelloRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed Hello"), response);
+    return;
+  }
+  if (req.protocol_version != kProtocolVersion) {
+    ReplyError(Status::InvalidArgument(
+                   "protocol version mismatch: theirs " +
+                   std::to_string(req.protocol_version) + ", ours " +
+                   std::to_string(kProtocolVersion)),
+               response);
+    return;
+  }
+  HelloResponse resp;
+  resp.codec = NegotiateCodec(kSupportedCodecs, req.codec_mask);
+  {
+    std::lock_guard<std::mutex> lock(codec_mu_);
+    conn_codec_[conn_id] = resp.codec;
+  }
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleIngest(const std::string& request,
+                                  std::string* response) {
+  if (service_ == nullptr) {
+    ReplyError(Status::InvalidArgument("this server does not ingest"),
+               response);
+    return;
+  }
+  IngestRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed Ingest"), response);
+    return;
+  }
+  ShardedDynamicCService::IngestResult result = service_->Ingest(req.ops);
+  IngestResponse resp;
+  resp.accepted = result.accepted;
+  resp.ids.assign(result.changed.begin(), result.changed.end());
+  if (ingest_batches_ != nullptr) ingest_batches_->Add(1);
+  if (ingest_ops_ != nullptr) ingest_ops_->Add(req.ops.size());
+  if (!result.accepted && ingest_rejected_ != nullptr) {
+    ingest_rejected_->Add(1);
+  }
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleClusterOf(const std::string& request,
+                                     std::string* response) {
+  ClusterOfRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed ClusterOf"), response);
+    return;
+  }
+  if (rpc_queries_ != nullptr) rpc_queries_->Add(1);
+  QueryClient::ClusterOfResult result;
+  if (router_ != nullptr) {
+    result = router_->ClusterOfRecord(static_cast<ObjectId>(req.global_id),
+                                      req.max_staleness);
+  } else if (service_ != nullptr && service_->serves_reads()) {
+    result = QueryClient(service_).ClusterOfRecord(
+        static_cast<ObjectId>(req.global_id));
+  } else {
+    ReplyError(Status::InvalidArgument("this server does not serve reads"),
+               response);
+    return;
+  }
+  ClusterOfResponse resp;
+  resp.info = ToWire(result.info);
+  resp.members.assign(result.members.begin(), result.members.end());
+  resp.avg_intra = result.avg_intra;
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleKNearest(const std::string& request,
+                                    std::string* response) {
+  KNearestRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed KNearest"), response);
+    return;
+  }
+  if (rpc_queries_ != nullptr) rpc_queries_->Add(1);
+  QueryClient::NearestResult result;
+  if (router_ != nullptr) {
+    result = router_->KNearestClusters(req.probe, static_cast<size_t>(req.k),
+                                       req.max_staleness);
+  } else if (service_ != nullptr && service_->serves_reads()) {
+    result =
+        QueryClient(service_).KNearestClusters(req.probe,
+                                               static_cast<size_t>(req.k));
+  } else {
+    ReplyError(Status::InvalidArgument("this server does not serve reads"),
+               response);
+    return;
+  }
+  KNearestResponse resp;
+  resp.info = ToWire(result.info);
+  resp.hits.reserve(result.hits.size());
+  for (const QueryClient::NearestResult::Hit& hit : result.hits) {
+    KNearestResponse::Hit out;
+    out.members.assign(hit.members.begin(), hit.members.end());
+    out.similarity = hit.similarity;
+    out.avg_intra = hit.avg_intra;
+    resp.hits.push_back(std::move(out));
+  }
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleStats(const std::string& request,
+                                 std::string* response) {
+  StatsRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed Stats"), response);
+    return;
+  }
+  if (rpc_queries_ != nullptr) rpc_queries_->Add(1);
+  QueryClient::StatsResult result;
+  if (router_ != nullptr) {
+    result = router_->Stats(req.max_staleness);
+  } else if (service_ != nullptr && service_->serves_reads()) {
+    result = QueryClient(service_).Stats();
+  } else {
+    ReplyError(Status::InvalidArgument("this server does not serve reads"),
+               response);
+    return;
+  }
+  StatsResponse resp;
+  resp.info = ToWire(result.info);
+  resp.objects = result.stats.objects;
+  resp.clusters = result.stats.clusters;
+  resp.total_intra_sum = result.stats.total_intra_sum;
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleReplState(std::string* response) {
+  if (options_.replication_dir.empty()) {
+    ReplyError(Status::InvalidArgument("no replication stream here"),
+               response);
+    return;
+  }
+  DeltaLog log(options_.replication_dir);
+  DeltaLog::State state;
+  Status status = log.List(&state);
+  if (!status.ok()) {
+    // A follower may dial in before the primary has published anything
+    // (the replication session starts at the training -> serving
+    // transition). A missing directory is "stream not started yet", an
+    // empty state the client polls against — not an error that would
+    // burn its reconnect budget.
+    if (!status.IsNotFound()) {
+      ReplyError(status, response);
+      return;
+    }
+    state = DeltaLog::State{};
+  }
+  ReplStateResponse resp;
+  resp.stream_done = stream_done_.load(std::memory_order_acquire);
+  resp.base_epochs = std::move(state.bases);
+  resp.delta_epochs = std::move(state.deltas);
+  Encode(resp, response);
+}
+
+Status ServerFrontEnd::EncodeFileBlock(uint64_t conn_id,
+                                       const std::string& path,
+                                       MsgType ok_type,
+                                       std::string* response) {
+  std::string bytes;
+  Status status = ReadFileBytes(path, &bytes);
+  if (!status.ok()) return status;
+  BlockResponse resp;
+  EncodeBlock(CodecFor(conn_id), bytes, &resp.block);
+  if (delta_bytes_raw_ != nullptr) delta_bytes_raw_->Add(bytes.size());
+  if (delta_bytes_wire_ != nullptr) delta_bytes_wire_->Add(resp.block.size());
+  Encode(ok_type, resp, response);
+  return Status::Ok();
+}
+
+void ServerFrontEnd::HandleFetchDelta(uint64_t conn_id,
+                                      const std::string& request,
+                                      std::string* response) {
+  FetchDeltaRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed FetchDelta"), response);
+    return;
+  }
+  if (options_.replication_dir.empty()) {
+    ReplyError(Status::InvalidArgument("no replication stream here"),
+               response);
+    return;
+  }
+  DeltaLog log(options_.replication_dir);
+  Status status = EncodeFileBlock(conn_id, log.DeltaPathFor(req.epoch),
+                                  MsgType::kFetchDeltaOk, response);
+  if (!status.ok()) ReplyError(status, response);
+}
+
+void ServerFrontEnd::HandleFetchBaseManifest(const std::string& request,
+                                             std::string* response) {
+  FetchBaseManifestRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed FetchBaseManifest"),
+               response);
+    return;
+  }
+  if (options_.replication_dir.empty()) {
+    ReplyError(Status::InvalidArgument("no replication stream here"),
+               response);
+    return;
+  }
+  DeltaLog log(options_.replication_dir);
+  std::string dir = log.BaseDirFor(req.epoch);
+  std::error_code ec;
+  FetchBaseManifestResponse resp;
+  // Snapshot directories are flat: every entry is a regular file.
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      resp.files.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) {
+    ReplyError(Status::IoError("cannot list " + dir + ": " + ec.message()),
+               response);
+    return;
+  }
+  std::sort(resp.files.begin(), resp.files.end());
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleFetchBaseFile(uint64_t conn_id,
+                                         const std::string& request,
+                                         std::string* response) {
+  FetchBaseFileRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed FetchBaseFile"), response);
+    return;
+  }
+  if (options_.replication_dir.empty()) {
+    ReplyError(Status::InvalidArgument("no replication stream here"),
+               response);
+    return;
+  }
+  // Reject anything that could escape the base directory.
+  if (req.name.empty() || req.name.find('/') != std::string::npos ||
+      req.name.find("..") != std::string::npos) {
+    ReplyError(Status::InvalidArgument("bad base file name: " + req.name),
+               response);
+    return;
+  }
+  DeltaLog log(options_.replication_dir);
+  std::string path = JoinPath(log.BaseDirFor(req.epoch), req.name);
+  Status status =
+      EncodeFileBlock(conn_id, path, MsgType::kFetchBaseFileOk, response);
+  if (!status.ok()) ReplyError(status, response);
+}
+
+}  // namespace net
+}  // namespace dynamicc

@@ -1,0 +1,119 @@
+// The serving surface over one process: ingest, queries, replication
+// stream, and shutdown, multiplexed on a single NetServer.
+//
+//   Ingest        → ShardedDynamicCService::Ingest (the existing
+//                   block/reject backpressure surfaces as the wire
+//                   `accepted` flag; assigned global ids ride back)
+//   ClusterOf /   → ReadRouter when one is attached (staleness-bounded
+//   KNearest /      routing over the local fleet), else a direct
+//   Stats           QueryClient on the service's own read views
+//   ReplState /   → the replication directory this primary writes
+//   FetchDelta /    (DeltaStream servers are just front ends with a
+//   FetchBase*      replication_dir; file bytes ship as codec blocks
+//                   using the per-connection negotiated codec)
+//   Shutdown      → stops the server after the reply drains (the CI
+//                   smoke uses this to tear down a --listen primary
+//                   without signals)
+//
+// The handler runs on the NetServer loop thread; Ingest and the query
+// surface are internally concurrent, so the loop thread is only doing
+// encode/decode and admission.
+#ifndef DYNAMICC_NET_FRONT_END_H_
+#define DYNAMICC_NET_FRONT_END_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/codec.h"
+#include "net/event_loop.h"
+#include "net/rpc.h"
+#include "service/query_api.h"
+#include "service/sharded_service.h"
+#include "util/status.h"
+
+namespace dynamicc {
+namespace net {
+
+class ServerFrontEnd {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral
+    // When non-empty, the replication-stream RPCs serve this
+    // directory (the primary's --replicate-to dir).
+    std::string replication_dir;
+    uint64_t max_frame_bytes = kMaxFrameBytes;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  // |service| handles ingest and (when it serves reads) direct
+  // queries; may be null for a pure replication-relay server.
+  // |router| optionally routes queries across a local fleet; may be
+  // null. Both must outlive the front end.
+  ServerFrontEnd(ShardedDynamicCService* service, const ReadRouter* router,
+                 Options options);
+
+  Status Start();
+  void Stop();
+  // Blocks until the server stops on its own (a Shutdown RPC).
+  void Join();
+
+  uint16_t port() const { return server_->port(); }
+  NetServer* server() { return server_.get(); }
+
+  // Flips the stream_done bit in ReplState responses: the primary's
+  // input stream is exhausted and no further epochs will seal. Tailing
+  // followers drain what is listed, then stop.
+  void SetStreamDone(bool done) {
+    stream_done_.store(done, std::memory_order_release);
+  }
+
+ private:
+  NetServer::HandleResult Handle(uint64_t conn_id, const std::string& request,
+                                 std::string* response);
+  void HandleHello(uint64_t conn_id, const std::string& request,
+                   std::string* response);
+  void HandleIngest(const std::string& request, std::string* response);
+  void HandleClusterOf(const std::string& request, std::string* response);
+  void HandleKNearest(const std::string& request, std::string* response);
+  void HandleStats(const std::string& request, std::string* response);
+  void HandleReplState(std::string* response);
+  void HandleFetchDelta(uint64_t conn_id, const std::string& request,
+                        std::string* response);
+  void HandleFetchBaseManifest(const std::string& request,
+                               std::string* response);
+  void HandleFetchBaseFile(uint64_t conn_id, const std::string& request,
+                           std::string* response);
+  // Reads |path| and encodes it as one codec block using the
+  // connection's negotiated codec.
+  Status EncodeFileBlock(uint64_t conn_id, const std::string& path,
+                         MsgType ok_type, std::string* response);
+  Codec CodecFor(uint64_t conn_id) const;
+
+  ShardedDynamicCService* service_;
+  const ReadRouter* router_;
+  Options options_;
+  std::unique_ptr<NetServer> server_;
+  std::atomic<bool> stream_done_{false};
+
+  // Per-connection negotiated codec (Hello). Guarded by a mutex: the
+  // loop thread writes, tests read.
+  mutable std::mutex codec_mu_;
+  std::unordered_map<uint64_t, Codec> conn_codec_;
+
+  obs::Counter* ingest_batches_ = nullptr;
+  obs::Counter* ingest_ops_ = nullptr;
+  obs::Counter* ingest_rejected_ = nullptr;
+  obs::Counter* rpc_queries_ = nullptr;
+  obs::Counter* delta_bytes_raw_ = nullptr;
+  obs::Counter* delta_bytes_wire_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_FRONT_END_H_

@@ -1,0 +1,423 @@
+#include "net/rpc.h"
+
+#include <sstream>
+
+#include "data/record.h"
+
+namespace dynamicc {
+namespace net {
+namespace {
+
+// Staleness travels as `value + 1` with 0 meaning unbounded, so
+// UINT64_MAX (ReadRouter::kUnbounded) survives the varint trip.
+uint64_t PackStaleness(uint64_t s) { return s == UINT64_MAX ? 0 : s + 1; }
+uint64_t UnpackStaleness(uint64_t v) { return v == 0 ? UINT64_MAX : v - 1; }
+
+void Begin(MsgType type, std::string* out) {
+  out->push_back(static_cast<char>(type));
+}
+
+bool BeginDecode(const std::string& payload, MsgType expect,
+                 BinaryReader* r) {
+  uint8_t type;
+  if (!r->GetU8(&type)) return false;
+  (void)payload;
+  return type == static_cast<uint8_t>(expect);
+}
+
+void PutInfo(BinaryWriter* w, const ResultInfoWire& info) {
+  w->PutVar(info.epoch);
+  w->PutVar(info.staleness);
+  w->PutU8(info.served ? 1 : 0);
+}
+
+bool GetInfo(BinaryReader* r, ResultInfoWire* info) {
+  uint8_t served;
+  if (!r->GetVar(&info->epoch)) return false;
+  if (!r->GetVar(&info->staleness)) return false;
+  if (!r->GetU8(&served)) return false;
+  info->served = served != 0;
+  return true;
+}
+
+void PutIdList(BinaryWriter* w, const std::vector<uint64_t>& ids) {
+  w->PutVar(ids.size());
+  for (uint64_t id : ids) w->PutVar(id);
+}
+
+bool GetIdList(BinaryReader* r, std::vector<uint64_t>* ids) {
+  uint64_t n;
+  if (!r->GetVar(&n)) return false;
+  // Each id costs at least one byte on the wire; a count beyond the
+  // remaining bytes is corruption, not a big list.
+  if (n > r->remaining()) return false;
+  ids->clear();
+  ids->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id;
+    if (!r->GetVar(&id)) return false;
+    ids->push_back(id);
+  }
+  return true;
+}
+
+// The delta-log text dialect for operation batches: `ops N`, then per
+// op `<kind> <target>` + WriteRecordWire.
+void PutOps(BinaryWriter* w, const OperationBatch& ops) {
+  std::ostringstream os;
+  os << "ops " << ops.size() << "\n";
+  for (const DataOperation& op : ops) {
+    os << static_cast<int>(op.kind) << " " << op.target << "\n";
+    WriteRecordWire(os, op.record);
+  }
+  w->PutBytes(os.str());
+}
+
+bool GetOps(BinaryReader* r, OperationBatch* ops) {
+  std::string text;
+  if (!r->GetBytes(&text)) return false;
+  std::istringstream is(text);
+  std::string tag;
+  size_t n = 0;
+  if (!(is >> tag >> n) || tag != "ops") return false;
+  if (n > text.size()) return false;  // each op costs > 1 byte
+  ops->clear();
+  ops->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DataOperation op;
+    int kind = 0;
+    long long target = 0;
+    if (!(is >> kind >> target) || kind < 0 || kind > 2) return false;
+    op.kind = static_cast<DataOperation::Kind>(kind);
+    op.target = static_cast<ObjectId>(target);
+    if (!ReadRecordWire(is, text.size(), &op.record).ok()) return false;
+    ops->push_back(std::move(op));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PeekType(const std::string& payload, MsgType* type) {
+  if (payload.empty()) return false;
+  *type = static_cast<MsgType>(static_cast<uint8_t>(payload[0]));
+  return true;
+}
+
+void EncodeError(const Status& status, std::string* out) {
+  Begin(MsgType::kError, out);
+  BinaryWriter w(out);
+  w.PutBytes(status.ToString());
+}
+
+Status DecodeError(const std::string& payload) {
+  BinaryReader r(payload);
+  std::string message;
+  if (!BeginDecode(payload, MsgType::kError, &r) || !r.GetBytes(&message)) {
+    return Status::IoError("malformed error response");
+  }
+  return Status::IoError("remote: " + message);
+}
+
+void Encode(const HelloRequest& msg, std::string* out) {
+  Begin(MsgType::kHello, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.protocol_version);
+  w.PutVar(msg.codec_mask);
+}
+
+bool Decode(const std::string& payload, HelloRequest* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kHello, &r) &&
+         r.GetVar(&msg->protocol_version) && r.GetVar(&msg->codec_mask) &&
+         r.done();
+}
+
+void Encode(const HelloResponse& msg, std::string* out) {
+  Begin(MsgType::kHelloOk, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.protocol_version);
+  w.PutU8(static_cast<uint8_t>(msg.codec));
+}
+
+bool Decode(const std::string& payload, HelloResponse* msg) {
+  BinaryReader r(payload);
+  uint8_t codec;
+  if (!BeginDecode(payload, MsgType::kHelloOk, &r) ||
+      !r.GetVar(&msg->protocol_version) || !r.GetU8(&codec) || !r.done()) {
+    return false;
+  }
+  if (codec > static_cast<uint8_t>(Codec::kLzb)) return false;
+  msg->codec = static_cast<Codec>(codec);
+  return true;
+}
+
+void Encode(const IngestRequest& msg, std::string* out) {
+  Begin(MsgType::kIngest, out);
+  BinaryWriter w(out);
+  PutOps(&w, msg.ops);
+}
+
+bool Decode(const std::string& payload, IngestRequest* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kIngest, &r) && GetOps(&r, &msg->ops) &&
+         r.done();
+}
+
+void Encode(const IngestResponse& msg, std::string* out) {
+  Begin(MsgType::kIngestOk, out);
+  BinaryWriter w(out);
+  w.PutU8(msg.accepted ? 1 : 0);
+  PutIdList(&w, msg.ids);
+}
+
+bool Decode(const std::string& payload, IngestResponse* msg) {
+  BinaryReader r(payload);
+  uint8_t accepted;
+  if (!BeginDecode(payload, MsgType::kIngestOk, &r) || !r.GetU8(&accepted) ||
+      !GetIdList(&r, &msg->ids) || !r.done()) {
+    return false;
+  }
+  msg->accepted = accepted != 0;
+  return true;
+}
+
+void Encode(const ClusterOfRequest& msg, std::string* out) {
+  Begin(MsgType::kClusterOf, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.global_id);
+  w.PutVar(PackStaleness(msg.max_staleness));
+}
+
+bool Decode(const std::string& payload, ClusterOfRequest* msg) {
+  BinaryReader r(payload);
+  uint64_t staleness;
+  if (!BeginDecode(payload, MsgType::kClusterOf, &r) ||
+      !r.GetVar(&msg->global_id) || !r.GetVar(&staleness) || !r.done()) {
+    return false;
+  }
+  msg->max_staleness = UnpackStaleness(staleness);
+  return true;
+}
+
+void Encode(const ClusterOfResponse& msg, std::string* out) {
+  Begin(MsgType::kClusterOfOk, out);
+  BinaryWriter w(out);
+  PutInfo(&w, msg.info);
+  PutIdList(&w, msg.members);
+  w.PutDouble(msg.avg_intra);
+}
+
+bool Decode(const std::string& payload, ClusterOfResponse* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kClusterOfOk, &r) &&
+         GetInfo(&r, &msg->info) && GetIdList(&r, &msg->members) &&
+         r.GetDouble(&msg->avg_intra) && r.done();
+}
+
+void Encode(const KNearestRequest& msg, std::string* out) {
+  Begin(MsgType::kKNearest, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.k);
+  w.PutVar(PackStaleness(msg.max_staleness));
+  std::ostringstream os;
+  WriteRecordWire(os, msg.probe);
+  w.PutBytes(os.str());
+}
+
+bool Decode(const std::string& payload, KNearestRequest* msg) {
+  BinaryReader r(payload);
+  uint64_t staleness;
+  std::string record_bytes;
+  if (!BeginDecode(payload, MsgType::kKNearest, &r) || !r.GetVar(&msg->k) ||
+      !r.GetVar(&staleness) || !r.GetBytes(&record_bytes) || !r.done()) {
+    return false;
+  }
+  msg->max_staleness = UnpackStaleness(staleness);
+  std::istringstream is(record_bytes);
+  return ReadRecordWire(is, record_bytes.size(), &msg->probe).ok();
+}
+
+void Encode(const KNearestResponse& msg, std::string* out) {
+  Begin(MsgType::kKNearestOk, out);
+  BinaryWriter w(out);
+  PutInfo(&w, msg.info);
+  w.PutVar(msg.hits.size());
+  for (const KNearestResponse::Hit& hit : msg.hits) {
+    w.PutDouble(hit.similarity);
+    w.PutDouble(hit.avg_intra);
+    PutIdList(&w, hit.members);
+  }
+}
+
+bool Decode(const std::string& payload, KNearestResponse* msg) {
+  BinaryReader r(payload);
+  uint64_t n;
+  if (!BeginDecode(payload, MsgType::kKNearestOk, &r) ||
+      !GetInfo(&r, &msg->info) || !r.GetVar(&n)) {
+    return false;
+  }
+  if (n > r.remaining()) return false;
+  msg->hits.clear();
+  msg->hits.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    KNearestResponse::Hit hit;
+    if (!r.GetDouble(&hit.similarity) || !r.GetDouble(&hit.avg_intra) ||
+        !GetIdList(&r, &hit.members)) {
+      return false;
+    }
+    msg->hits.push_back(std::move(hit));
+  }
+  return r.done();
+}
+
+void Encode(const StatsRequest& msg, std::string* out) {
+  Begin(MsgType::kStats, out);
+  BinaryWriter w(out);
+  w.PutVar(PackStaleness(msg.max_staleness));
+}
+
+bool Decode(const std::string& payload, StatsRequest* msg) {
+  BinaryReader r(payload);
+  uint64_t staleness;
+  if (!BeginDecode(payload, MsgType::kStats, &r) || !r.GetVar(&staleness) ||
+      !r.done()) {
+    return false;
+  }
+  msg->max_staleness = UnpackStaleness(staleness);
+  return true;
+}
+
+void Encode(const StatsResponse& msg, std::string* out) {
+  Begin(MsgType::kStatsOk, out);
+  BinaryWriter w(out);
+  PutInfo(&w, msg.info);
+  w.PutVar(msg.objects);
+  w.PutVar(msg.clusters);
+  w.PutDouble(msg.total_intra_sum);
+}
+
+bool Decode(const std::string& payload, StatsResponse* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kStatsOk, &r) &&
+         GetInfo(&r, &msg->info) && r.GetVar(&msg->objects) &&
+         r.GetVar(&msg->clusters) && r.GetDouble(&msg->total_intra_sum) &&
+         r.done();
+}
+
+void Encode(const ReplStateRequest& msg, std::string* out) {
+  (void)msg;
+  Begin(MsgType::kReplState, out);
+}
+
+bool Decode(const std::string& payload, ReplStateRequest* msg) {
+  (void)msg;
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kReplState, &r) && r.done();
+}
+
+void Encode(const ReplStateResponse& msg, std::string* out) {
+  Begin(MsgType::kReplStateOk, out);
+  BinaryWriter w(out);
+  w.PutU8(msg.stream_done ? 1 : 0);
+  PutIdList(&w, msg.base_epochs);
+  PutIdList(&w, msg.delta_epochs);
+}
+
+bool Decode(const std::string& payload, ReplStateResponse* msg) {
+  BinaryReader r(payload);
+  uint8_t done;
+  if (!BeginDecode(payload, MsgType::kReplStateOk, &r) || !r.GetU8(&done) ||
+      !GetIdList(&r, &msg->base_epochs) ||
+      !GetIdList(&r, &msg->delta_epochs) || !r.done()) {
+    return false;
+  }
+  msg->stream_done = done != 0;
+  return true;
+}
+
+void Encode(const FetchDeltaRequest& msg, std::string* out) {
+  Begin(MsgType::kFetchDelta, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.epoch);
+}
+
+bool Decode(const std::string& payload, FetchDeltaRequest* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kFetchDelta, &r) &&
+         r.GetVar(&msg->epoch) && r.done();
+}
+
+void Encode(const FetchBaseManifestRequest& msg, std::string* out) {
+  Begin(MsgType::kFetchBaseManifest, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.epoch);
+}
+
+bool Decode(const std::string& payload, FetchBaseManifestRequest* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kFetchBaseManifest, &r) &&
+         r.GetVar(&msg->epoch) && r.done();
+}
+
+void Encode(const FetchBaseManifestResponse& msg, std::string* out) {
+  Begin(MsgType::kFetchBaseManifestOk, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.files.size());
+  for (const std::string& name : msg.files) w.PutBytes(name);
+}
+
+bool Decode(const std::string& payload, FetchBaseManifestResponse* msg) {
+  BinaryReader r(payload);
+  uint64_t n;
+  if (!BeginDecode(payload, MsgType::kFetchBaseManifestOk, &r) ||
+      !r.GetVar(&n)) {
+    return false;
+  }
+  if (n > r.remaining()) return false;
+  msg->files.clear();
+  msg->files.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    if (!r.GetBytes(&name)) return false;
+    msg->files.push_back(std::move(name));
+  }
+  return r.done();
+}
+
+void Encode(const FetchBaseFileRequest& msg, std::string* out) {
+  Begin(MsgType::kFetchBaseFile, out);
+  BinaryWriter w(out);
+  w.PutVar(msg.epoch);
+  w.PutBytes(msg.name);
+}
+
+bool Decode(const std::string& payload, FetchBaseFileRequest* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kFetchBaseFile, &r) &&
+         r.GetVar(&msg->epoch) && r.GetBytes(&msg->name) && r.done();
+}
+
+void Encode(MsgType type, const BlockResponse& msg, std::string* out) {
+  Begin(type, out);
+  BinaryWriter w(out);
+  w.PutBytes(msg.block);
+}
+
+bool Decode(const std::string& payload, BlockResponse* msg) {
+  BinaryReader r(payload);
+  uint8_t type;
+  if (!r.GetU8(&type)) return false;
+  if (type != static_cast<uint8_t>(MsgType::kFetchDeltaOk) &&
+      type != static_cast<uint8_t>(MsgType::kFetchBaseFileOk)) {
+    return false;
+  }
+  return r.GetBytes(&msg->block) && r.done();
+}
+
+void EncodeShutdown(std::string* out) { Begin(MsgType::kShutdown, out); }
+
+void EncodeShutdownOk(std::string* out) { Begin(MsgType::kShutdownOk, out); }
+
+}  // namespace net
+}  // namespace dynamicc

@@ -1,0 +1,211 @@
+// RPC catalogue for the networked serving layer.
+//
+// Every frame payload is `u8 type || body`. Requests and responses are
+// distinct types; any request may instead be answered with kError
+// (`u8 code || bytes message`). Integers are varints, doubles are raw
+// IEEE-754 little-endian bytes (bit-exact across the fleet), byte
+// strings are varint-length-prefixed.
+//
+// Operation batches ride in the same text dialect the delta log uses
+// (`ops N`, then `<kind> <target>` + WriteRecordWire per op) so the
+// ingest path and the replication stream share one record codec.
+//
+// Staleness bounds are encoded as `staleness + 1` with 0 meaning
+// unbounded (ReadRouter::kUnbounded is UINT64_MAX and must survive the
+// trip).
+//
+// See docs/networking.md for the full wire-format tables.
+#ifndef DYNAMICC_NET_RPC_H_
+#define DYNAMICC_NET_RPC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/operations.h"
+#include "net/codec.h"
+#include "net/wire_format.h"
+#include "service/query_api.h"
+#include "util/status.h"
+
+namespace dynamicc {
+namespace net {
+
+constexpr uint64_t kProtocolVersion = 1;
+
+enum class MsgType : uint8_t {
+  kError = 0,
+  kHello = 1,
+  kHelloOk = 2,
+  kIngest = 3,
+  kIngestOk = 4,
+  kClusterOf = 5,
+  kClusterOfOk = 6,
+  kKNearest = 7,
+  kKNearestOk = 8,
+  kStats = 9,
+  kStatsOk = 10,
+  kReplState = 11,
+  kReplStateOk = 12,
+  kFetchDelta = 13,
+  kFetchDeltaOk = 14,
+  kFetchBaseManifest = 15,
+  kFetchBaseManifestOk = 16,
+  kFetchBaseFile = 17,
+  kFetchBaseFileOk = 18,
+  kShutdown = 19,
+  kShutdownOk = 20,
+};
+
+// ---- Envelope helpers -------------------------------------------------
+
+// Reads the leading type byte (false on an empty payload).
+bool PeekType(const std::string& payload, MsgType* type);
+
+// Encodes `kError || code || message` from a non-OK Status.
+void EncodeError(const Status& status, std::string* out);
+// Decodes an error payload back into a Status (IoError on malformed).
+Status DecodeError(const std::string& payload);
+
+// ---- Hello / codec negotiation ---------------------------------------
+
+struct HelloRequest {
+  uint64_t protocol_version = kProtocolVersion;
+  uint64_t codec_mask = kSupportedCodecs;
+};
+struct HelloResponse {
+  uint64_t protocol_version = kProtocolVersion;
+  Codec codec = Codec::kRaw;  // the codec the server will use for blocks
+};
+void Encode(const HelloRequest& msg, std::string* out);
+void Encode(const HelloResponse& msg, std::string* out);
+bool Decode(const std::string& payload, HelloRequest* msg);
+bool Decode(const std::string& payload, HelloResponse* msg);
+
+// ---- Ingest ----------------------------------------------------------
+
+struct IngestRequest {
+  OperationBatch ops;
+};
+struct IngestResponse {
+  // False when admission rejected the batch (kReject backpressure with
+  // a full queue); the client may retry after backoff.
+  bool accepted = false;
+  // Global ids assigned/affected, in operation order (adds report the
+  // id the record materialized as).
+  std::vector<uint64_t> ids;
+};
+void Encode(const IngestRequest& msg, std::string* out);
+void Encode(const IngestResponse& msg, std::string* out);
+bool Decode(const std::string& payload, IngestRequest* msg);
+bool Decode(const std::string& payload, IngestResponse* msg);
+
+// ---- Queries ---------------------------------------------------------
+
+struct ResultInfoWire {
+  uint64_t epoch = 0;
+  uint64_t staleness = 0;
+  bool served = false;
+};
+
+struct ClusterOfRequest {
+  uint64_t global_id = 0;
+  uint64_t max_staleness = UINT64_MAX;  // ReadRouter::kUnbounded
+};
+struct ClusterOfResponse {
+  ResultInfoWire info;
+  std::vector<uint64_t> members;
+  double avg_intra = 0.0;
+};
+void Encode(const ClusterOfRequest& msg, std::string* out);
+void Encode(const ClusterOfResponse& msg, std::string* out);
+bool Decode(const std::string& payload, ClusterOfRequest* msg);
+bool Decode(const std::string& payload, ClusterOfResponse* msg);
+
+struct KNearestRequest {
+  Record probe;
+  uint64_t k = 1;
+  uint64_t max_staleness = UINT64_MAX;
+};
+struct KNearestResponse {
+  ResultInfoWire info;
+  struct Hit {
+    std::vector<uint64_t> members;
+    double similarity = 0.0;
+    double avg_intra = 0.0;
+  };
+  std::vector<Hit> hits;
+};
+void Encode(const KNearestRequest& msg, std::string* out);
+void Encode(const KNearestResponse& msg, std::string* out);
+bool Decode(const std::string& payload, KNearestRequest* msg);
+bool Decode(const std::string& payload, KNearestResponse* msg);
+
+struct StatsRequest {
+  uint64_t max_staleness = UINT64_MAX;
+};
+struct StatsResponse {
+  ResultInfoWire info;
+  uint64_t objects = 0;
+  uint64_t clusters = 0;
+  double total_intra_sum = 0.0;
+};
+void Encode(const StatsRequest& msg, std::string* out);
+void Encode(const StatsResponse& msg, std::string* out);
+bool Decode(const std::string& payload, StatsRequest* msg);
+bool Decode(const std::string& payload, StatsResponse* msg);
+
+// ---- Replication stream ----------------------------------------------
+
+struct ReplStateRequest {};
+struct ReplStateResponse {
+  // True once the primary has sealed its last epoch (CLI --linger runs
+  // set this when the input stream is exhausted); tailing followers
+  // stop once they have mirrored everything below.
+  bool stream_done = false;
+  std::vector<uint64_t> base_epochs;
+  std::vector<uint64_t> delta_epochs;
+};
+void Encode(const ReplStateRequest& msg, std::string* out);
+void Encode(const ReplStateResponse& msg, std::string* out);
+bool Decode(const std::string& payload, ReplStateRequest* msg);
+bool Decode(const std::string& payload, ReplStateResponse* msg);
+
+struct FetchDeltaRequest {
+  uint64_t epoch = 0;
+};
+struct FetchBaseManifestRequest {
+  uint64_t epoch = 0;
+};
+struct FetchBaseManifestResponse {
+  std::vector<std::string> files;  // names relative to the base dir
+};
+struct FetchBaseFileRequest {
+  uint64_t epoch = 0;
+  std::string name;
+};
+// FetchDelta / FetchBaseFile responses carry one codec block
+// (codec.h) holding the file bytes; decode with DecodeBlock.
+struct BlockResponse {
+  std::string block;
+};
+void Encode(const FetchDeltaRequest& msg, std::string* out);
+void Encode(const FetchBaseManifestRequest& msg, std::string* out);
+void Encode(const FetchBaseManifestResponse& msg, std::string* out);
+void Encode(const FetchBaseFileRequest& msg, std::string* out);
+void Encode(MsgType type, const BlockResponse& msg, std::string* out);
+bool Decode(const std::string& payload, FetchDeltaRequest* msg);
+bool Decode(const std::string& payload, FetchBaseManifestRequest* msg);
+bool Decode(const std::string& payload, FetchBaseManifestResponse* msg);
+bool Decode(const std::string& payload, FetchBaseFileRequest* msg);
+bool Decode(const std::string& payload, BlockResponse* msg);
+
+// ---- Shutdown --------------------------------------------------------
+
+void EncodeShutdown(std::string* out);
+void EncodeShutdownOk(std::string* out);
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_RPC_H_

@@ -1,0 +1,200 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "net/wire_format.h"
+
+namespace dynamicc {
+namespace net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + strerror(errno));
+}
+
+Status FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Status ListenTcp(const std::string& host, uint16_t port, int* fd,
+                 uint16_t* bound_port) {
+  sockaddr_in addr;
+  Status st = FillAddr(host, port, &addr);
+  if (!st.ok()) return st;
+  int s = socket(AF_INET, SOCK_STREAM, 0);
+  if (s < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(s, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(s);
+    return Errno("bind");
+  }
+  if (listen(s, 128) < 0) {
+    close(s);
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(s, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    close(s);
+    return Errno("getsockname");
+  }
+  st = SetNonBlocking(s);
+  if (!st.ok()) {
+    close(s);
+    return st;
+  }
+  *fd = s;
+  *bound_port = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd) {
+  sockaddr_in addr;
+  Status st = FillAddr(host, port, &addr);
+  if (!st.ok()) return st;
+  int s = socket(AF_INET, SOCK_STREAM, 0);
+  if (s < 0) return Errno("socket");
+  if (connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(s);
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  SetNoDelay(s);
+  *fd = s;
+  return Status::Ok();
+}
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  std::string port_str;
+  if (colon == std::string::npos) {
+    *host = "127.0.0.1";
+    port_str = spec;
+  } else {
+    *host = spec.substr(0, colon);
+    if (host->empty()) *host = "127.0.0.1";
+    port_str = spec.substr(colon + 1);
+  }
+  char* end = nullptr;
+  long p = strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || p < 0 || p > 65535) {
+    return Status::InvalidArgument("bad host:port spec: " + spec);
+  }
+  *port = static_cast<uint16_t>(p);
+  return Status::Ok();
+}
+
+Status FramedSocket::Connect(const std::string& host, uint16_t port,
+                             int timeout_ms) {
+  Close();
+  Status st = ConnectTcp(host, port, &fd_);
+  if (!st.ok()) return st;
+  SetIoTimeout(fd_, timeout_ms);
+  return Status::Ok();
+}
+
+void FramedSocket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status FramedSocket::SendFrame(const std::string& payload) {
+  if (fd_ < 0) return Status::IoError("send on closed socket");
+  std::string frame;
+  frame.reserve(payload.size() + 10);
+  AppendFrame(&frame, payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = write(fd_, frame.data() + sent, frame.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  bytes_sent_ += frame.size();
+  return Status::Ok();
+}
+
+Status FramedSocket::RecvFrame(uint64_t max_frame_bytes,
+                               std::string* payload) {
+  if (fd_ < 0) return Status::IoError("recv on closed socket");
+  // Read the varint header one byte at a time (at most 10 bytes), then
+  // the payload in bulk.
+  std::string header;
+  uint64_t size = 0;
+  while (true) {
+    char c;
+    ssize_t n = read(fd_, &c, 1);
+    if (n == 0) return Status::IoError("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    bytes_received_ += 1;
+    header.push_back(c);
+    int consumed = GetVarint(header.data(), header.size(), &size);
+    if (consumed < 0) return Status::IoError("malformed frame header");
+    if (consumed > 0) break;
+    if (header.size() >= 10) return Status::IoError("malformed frame header");
+  }
+  if (size > max_frame_bytes) {
+    return Status::IoError("frame exceeds limit: " + std::to_string(size));
+  }
+  payload->resize(static_cast<size_t>(size));
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = read(fd_, &(*payload)[got], static_cast<size_t>(size) - got);
+    if (n == 0) return Status::IoError("connection closed mid-frame");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    got += static_cast<size_t>(n);
+    bytes_received_ += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace dynamicc

@@ -1,0 +1,69 @@
+// Thin POSIX socket helpers shared by the server event loop and the
+// blocking client. IPv4 localhost-oriented (the deployment unit is a
+// rack, not the internet); all functions report failure via Status or
+// a negative fd, never exceptions.
+#ifndef DYNAMICC_NET_SOCKET_H_
+#define DYNAMICC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace dynamicc {
+namespace net {
+
+// Creates a listening TCP socket bound to |host|:|port| (port 0 picks
+// an ephemeral port). On success returns the fd and stores the bound
+// port in |bound_port|. SO_REUSEADDR is set; the socket is
+// non-blocking.
+Status ListenTcp(const std::string& host, uint16_t port, int* fd,
+                 uint16_t* bound_port);
+
+// Blocking connect to |host|:|port| with TCP_NODELAY set (latency
+// over Nagle; the wire layer does its own coalescing).
+Status ConnectTcp(const std::string& host, uint16_t port, int* fd);
+
+Status SetNonBlocking(int fd);
+void SetNoDelay(int fd);
+
+// Sets SO_RCVTIMEO/SO_SNDTIMEO so a wedged peer surfaces as an error
+// instead of hanging a client thread forever. 0 = no timeout.
+void SetIoTimeout(int fd, int timeout_ms);
+
+// Parses "host:port" (host defaults to 127.0.0.1 when absent).
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+// Blocking framed connection used by clients: frames are
+// varint-length-prefixed as in wire_format.h. Owns the fd.
+class FramedSocket {
+ public:
+  FramedSocket() = default;
+  ~FramedSocket() { Close(); }
+  FramedSocket(const FramedSocket&) = delete;
+  FramedSocket& operator=(const FramedSocket&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port, int timeout_ms);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes varint(payload.size()) || payload, handling partial writes.
+  Status SendFrame(const std::string& payload);
+  // Reads one full frame (blocking). Fails on EOF, timeout, or a
+  // frame larger than |max_frame_bytes|.
+  Status RecvFrame(uint64_t max_frame_bytes, std::string* payload);
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_SOCKET_H_

@@ -1,0 +1,94 @@
+#include "net/wire_format.h"
+
+#include <cstring>
+
+namespace dynamicc {
+namespace net {
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+int GetVarint(const char* data, size_t size, uint64_t* value) {
+  uint64_t result = 0;
+  for (size_t i = 0; i < size && i < 10; ++i) {
+    uint8_t byte = static_cast<uint8_t>(data[i]);
+    if (i == 9 && byte > 1) return -1;  // would overflow 64 bits
+    result |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return static_cast<int>(i + 1);
+    }
+  }
+  return size >= 10 ? -1 : 0;
+}
+
+void BinaryWriter::PutDouble(double v) {
+  char buf[sizeof(double)];
+  std::memcpy(buf, &v, sizeof(double));
+  out_->append(buf, sizeof(double));
+}
+
+void BinaryWriter::PutBytes(const std::string& bytes) {
+  PutBytes(bytes.data(), bytes.size());
+}
+
+void BinaryWriter::PutBytes(const char* data, size_t size) {
+  PutVarint(out_, size);
+  out_->append(data, size);
+}
+
+bool BinaryReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool BinaryReader::GetVar(uint64_t* v) {
+  int n = GetVarint(data_ + pos_, remaining(), v);
+  if (n <= 0) return false;
+  pos_ += static_cast<size_t>(n);
+  return true;
+}
+
+bool BinaryReader::GetDouble(double* v) {
+  if (remaining() < sizeof(double)) return false;
+  std::memcpy(v, data_ + pos_, sizeof(double));
+  pos_ += sizeof(double);
+  return true;
+}
+
+bool BinaryReader::GetBytes(std::string* out) {
+  uint64_t size = 0;
+  if (!GetVar(&size)) return false;
+  if (size > remaining()) return false;
+  out->assign(data_ + pos_, static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return true;
+}
+
+void AppendFrame(std::string* out, const std::string& payload) {
+  PutVarint(out, payload.size());
+  out->append(payload);
+}
+
+int TryParseFrame(const std::string& buffer, uint64_t max_frame_bytes,
+                  std::string* payload, size_t* consumed) {
+  uint64_t size = 0;
+  int header = GetVarint(buffer.data(), buffer.size(), &size);
+  if (header < 0) return -1;
+  if (header == 0) return 0;
+  if (size > max_frame_bytes) return -1;
+  size_t total = static_cast<size_t>(header) + static_cast<size_t>(size);
+  if (buffer.size() < total) return 0;
+  payload->assign(buffer.data() + header, static_cast<size_t>(size));
+  *consumed = total;
+  return 1;
+}
+
+}  // namespace net
+}  // namespace dynamicc

@@ -1,0 +1,99 @@
+// Binary wire primitives for the networked serving layer.
+//
+// Frames on a connection are varint-length-prefixed byte strings:
+//
+//     frame := varint(payload_size) || payload
+//
+// The payload's first byte is the message type (see rpc.h); everything
+// after it is message-specific. Varints are LEB128 (7 bits per byte,
+// high bit = continuation), at most 10 bytes for a uint64_t. A frame
+// whose declared size exceeds the negotiated bound is a protocol error:
+// decoders must fail cleanly, never trust the declared size.
+//
+// BinaryWriter / BinaryReader are the bounds-checked primitives every
+// message encoder/decoder is built from. Readers never read past the
+// end of the buffer; all failures are reported through the bool return
+// (no exceptions anywhere in this layer).
+#ifndef DYNAMICC_NET_WIRE_FORMAT_H_
+#define DYNAMICC_NET_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dynamicc {
+namespace net {
+
+// Hard ceiling for a single frame. Large enough for a full base
+// snapshot file in one response; small enough that a corrupt length
+// prefix cannot make a peer allocate gigabytes.
+constexpr uint64_t kMaxFrameBytes = 64ull << 20;  // 64 MiB
+
+// Appends the LEB128 encoding of |value| to |out|.
+void PutVarint(std::string* out, uint64_t value);
+
+// Decodes a varint from [data, data+size). Returns the number of bytes
+// consumed, 0 if the buffer ends mid-varint, or -1 if the encoding is
+// invalid (more than 10 bytes, or a 10th byte with excess bits).
+int GetVarint(const char* data, size_t size, uint64_t* value);
+
+// Serializes little-endian fixed-width integers (and doubles via their
+// IEEE-754 bit pattern, which keeps replayed state byte-identical).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutVar(uint64_t v) { PutVarint(out_, v); }
+  void PutDouble(double v);
+  // varint(size) || raw bytes.
+  void PutBytes(const std::string& bytes);
+  void PutBytes(const char* data, size_t size);
+
+  std::string* out() { return out_; }
+
+ private:
+  std::string* out_;
+};
+
+// Bounds-checked cursor over an immutable buffer. Every accessor
+// returns false (leaving outputs unspecified) instead of reading out
+// of range.
+class BinaryReader {
+ public:
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::string& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetVar(uint64_t* v);
+  bool GetDouble(double* v);
+  // Reads varint(size) || bytes; fails if size exceeds the remainder.
+  bool GetBytes(std::string* out);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+  const char* cursor() const { return data_ + pos_; }
+  void Skip(size_t n) { pos_ += n <= remaining() ? n : remaining(); }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Appends varint(payload.size()) || payload to |out|.
+void AppendFrame(std::string* out, const std::string& payload);
+
+// Attempts to slice one frame off the front of |buffer|.
+// Returns:  1 and fills |payload|/|consumed| when a full frame is
+//              available (caller erases |consumed| bytes);
+//           0 when more bytes are needed;
+//          -1 on a malformed or over-limit length prefix.
+int TryParseFrame(const std::string& buffer, uint64_t max_frame_bytes,
+                  std::string* payload, size_t* consumed);
+
+}  // namespace net
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_NET_WIRE_FORMAT_H_

@@ -1,0 +1,75 @@
+// Bounded exponential backoff for pollers and reconnecting clients.
+//
+// A pure policy object (no sleeping, no clock) so the schedule is
+// unit-testable and the caller chooses how to wait. Progress resets
+// the delay to the floor; consecutive misses double it up to the cap:
+//
+//     PollBackoff backoff;                     // 1, 2, 4, ... 256 ms
+//     while (tailing) {
+//       if (AdvancedAtLeastOneEpoch()) backoff.Reset();
+//       else SleepMs(backoff.NextDelayMs());   // caller sleeps
+//     }
+//
+// Used by the follower delta-directory tail loop and the DeltaStream
+// client's reconnect path (which also counts net.reconnects). The
+// current delay is exported through replication.poll_backoff_ms so a
+// stalled transport is visible in metrics: the gauge pinned at the cap
+// means "polling hard, nothing arriving".
+#ifndef DYNAMICC_REPLICATION_BACKOFF_H_
+#define DYNAMICC_REPLICATION_BACKOFF_H_
+
+#include <cstdint>
+
+namespace dynamicc {
+
+class PollBackoff {
+ public:
+  struct Options {
+    uint64_t initial_ms = 1;
+    uint64_t max_ms = 256;
+    uint64_t multiplier = 2;
+  };
+
+  PollBackoff() : PollBackoff(Options{}) {}
+  explicit PollBackoff(Options options) : options_(options) {
+    if (options_.initial_ms == 0) options_.initial_ms = 1;
+    if (options_.max_ms < options_.initial_ms) {
+      options_.max_ms = options_.initial_ms;
+    }
+    if (options_.multiplier < 2) options_.multiplier = 2;
+    next_ms_ = options_.initial_ms;
+  }
+
+  // The delay to wait before the next attempt. Each call escalates the
+  // following delay (call once per missed poll).
+  uint64_t NextDelayMs() {
+    uint64_t delay = next_ms_;
+    ++misses_;
+    if (next_ms_ >= options_.max_ms / options_.multiplier) {
+      next_ms_ = options_.max_ms;
+    } else {
+      next_ms_ *= options_.multiplier;
+    }
+    return delay;
+  }
+
+  // Progress observed: drop back to the floor.
+  void Reset() {
+    next_ms_ = options_.initial_ms;
+    misses_ = 0;
+  }
+
+  // The delay the next NextDelayMs() call would return.
+  uint64_t current_ms() const { return next_ms_; }
+  // Consecutive misses since the last Reset().
+  uint64_t misses() const { return misses_; }
+
+ private:
+  Options options_;
+  uint64_t next_ms_ = 1;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_REPLICATION_BACKOFF_H_

@@ -22,8 +22,8 @@ Status ReplicationSession::Start() {
   // A session bootstraps a *fresh* log: artifacts left by an earlier
   // primary in the same directory would shadow the new base for
   // followers (Restore picks the highest base epoch, and a dead run's
-  // epochs may be higher than this service's). Resuming an existing
-  // log instead of sweeping it is the chained-replication ROADMAP item.
+  // epochs may be higher than this service's). A promoted follower
+  // that wants to continue its old primary's log uses Resume() instead.
   {
     DeltaLog::State stale;
     status = log_.List(&stale);
@@ -93,6 +93,50 @@ Status ReplicationSession::Start() {
   ScopedTimer compact_timer;
   compact_timer.Record(compact_ms_metric_);
   return log_.Compact(base_epoch);
+}
+
+Status ReplicationSession::Resume() {
+  Status status = log_.Init();
+  if (!status.ok()) return status;
+  DeltaLog::State state;
+  status = log_.List(&state);
+  if (!status.ok()) return status;
+  if (state.bases.empty()) {
+    return Status::InvalidArgument(
+        "nothing to resume in " + log_.dir() + ": no base snapshot (a fresh "
+        "log starts with Start())");
+  }
+  const uint64_t newest_base = state.bases.back();
+  uint64_t newest = newest_base;
+  if (!state.deltas.empty()) {
+    newest = std::max(newest, state.deltas.back());
+  }
+  if (service_->open_epoch() == 0 || service_->open_epoch() - 1 != newest) {
+    return Status::InvalidArgument(
+        "service sealed frontier " +
+        std::to_string(service_->open_epoch() - 1) +
+        " does not match log tail " + std::to_string(newest) +
+        " — resume only from the service that replayed this log");
+  }
+  if (service_->metrics_registry() != nullptr) {
+    obs::MetricsRegistry& reg = *service_->metrics_registry();
+    delta_bytes_metric_ = reg.GetCounter("replication.delta_bytes");
+    compact_ms_metric_ = reg.GetHistogram("replication.compact_ms");
+    delta_ship_ms_metric_ = reg.GetHistogram("epoch.delta_ship_ms");
+  }
+  tracer_ = service_->tracer();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    status_ = Status::Ok();
+    attached_ = true;
+    last_base_epoch_ = newest_base;
+    // Keeps the snapshot_every cadence honest across the cut: the
+    // distance already travelled since the last base counts.
+    epochs_since_base_ = newest - newest_base;
+  }
+  service_->SetStreamObserver(this);
+  return Status::Ok();
 }
 
 void ReplicationSession::Stop() {

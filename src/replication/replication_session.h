@@ -65,6 +65,17 @@ class ReplicationSession : public StreamObserver {
   /// producers.
   Status Start();
 
+  /// Chained replication: attaches to a service that is *already* the
+  /// tail of this log — a promoted follower taking over its old
+  /// primary's directory — and continues the existing numbering
+  /// instead of sweeping the log and cutting a fresh base. The
+  /// service's sealed frontier (open_epoch() - 1) must equal the
+  /// newest artifact in the log; the next sealed epoch then ships as
+  /// delta-<E+1>.dat, so standbys tailing the directory replay
+  /// straight across the promotion cut with no re-bootstrap. No
+  /// snapshot is written and nothing is deleted.
+  Status Resume();
+
   /// Detaches from the service. Idempotent.
   void Stop();
 

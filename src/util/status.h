@@ -26,6 +26,7 @@ class Status {
   }
 
   bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
   const std::string& message() const { return message_; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: bad k".

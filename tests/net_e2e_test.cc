@@ -1,0 +1,441 @@
+// End-to-end networked serving (src/net/ over a real localhost TCP
+// socket): ingest through the front end matches direct ApplyOperations
+// byte for byte, queries serve epoch-pinned views over the wire,
+// reject backpressure surfaces as `accepted=false` responses, the
+// DeltaStream transport mirrors a replication directory byte-
+// identically and the Follower replays the mirror into a replica, a
+// follower doubles as a network read replica behind its own front
+// end, and chained replication (promote + Resume) keeps a standby
+// byte-identical across the failover cut.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/delta_stream.h"
+#include "net/front_end.h"
+#include "net/rpc.h"
+#include "replication/delta_log.h"
+#include "replication/follower.h"
+#include "replication/replication_session.h"
+#include "service/sharded_service.h"
+#include "service_test_util.h"
+#include "util/status.h"
+#include "util/wire.h"
+
+namespace dynamicc {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "dynamicc_net_e2e_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ShardedDynamicCService::Options ServiceOptions(uint32_t shards, bool async,
+                                               bool serve_reads = false) {
+  ShardedDynamicCService::Options options;
+  options.num_shards = shards;
+  options.async.enabled = async;
+  options.read.serve = serve_reads;
+  return options;
+}
+
+void TrainService(ShardedDynamicCService* service, int groups) {
+  auto changed = service->ApplyOperations(GroupAdds(groups, 3));
+  service->ObserveBatchRound(changed);
+  service->Flush();
+}
+
+/// The replica bar this suite cares about: identical clusterings and
+/// admission state (full model/placement identity is replication_test's
+/// job — here the transport must simply not perturb anything).
+void ExpectSameState(ShardedDynamicCService& a, ShardedDynamicCService& b) {
+  EXPECT_EQ(a.GlobalClusters(), b.GlobalClusters());
+  EXPECT_EQ(a.total_objects(), b.total_objects());
+  EXPECT_EQ(a.total_clusters(), b.total_clusters());
+  EXPECT_EQ(a.open_epoch(), b.open_epoch());
+  EXPECT_EQ(a.ingest_stats().accepted_ops, b.ingest_stats().accepted_ops);
+}
+
+bool TreesIdentical(const std::string& a, const std::string& b) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> rel_a, rel_b;
+  std::error_code ec;
+  for (const auto& entry : fs::recursive_directory_iterator(a, ec)) {
+    if (entry.is_regular_file()) {
+      rel_a.push_back(fs::relative(entry.path(), a, ec).string());
+    }
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(b, ec)) {
+    if (entry.is_regular_file()) {
+      rel_b.push_back(fs::relative(entry.path(), b, ec).string());
+    }
+  }
+  std::sort(rel_a.begin(), rel_a.end());
+  std::sort(rel_b.begin(), rel_b.end());
+  if (rel_a != rel_b) return false;
+  for (const std::string& rel : rel_a) {
+    std::string bytes_a, bytes_b;
+    if (!ReadFileBytes(a + "/" + rel, &bytes_a).ok()) return false;
+    if (!ReadFileBytes(b + "/" + rel, &bytes_b).ok()) return false;
+    if (bytes_a != bytes_b) return false;
+  }
+  return true;
+}
+
+net::NetClient MakeClient(uint16_t port) {
+  net::NetClient::Options options;
+  options.port = port;
+  return net::NetClient(options);
+}
+
+TEST(NetE2E, IngestOverTcpMatchesDirectApply) {
+  // Twin services consume the same batches — one directly, one through
+  // the socket front end. Assigned ids and resulting state must match.
+  ShardedDynamicCService direct(ServiceOptions(2, false), nullptr,
+                                MakeFactory());
+  ShardedDynamicCService served(ServiceOptions(2, false), nullptr,
+                                MakeFactory());
+  TrainService(&direct, 6);
+  TrainService(&served, 6);
+
+  net::ServerFrontEnd front_end(&served, nullptr, {});
+  ASSERT_TRUE(front_end.Start().ok());
+  net::NetClient client = MakeClient(front_end.port());
+  ASSERT_TRUE(client.Connect().ok());
+
+  for (int round = 0; round < 3; ++round) {
+    OperationBatch batch = GroupAdds(6, 1);
+    DataOperation update;
+    update.kind = DataOperation::Kind::kUpdate;
+    update.target = static_cast<ObjectId>(round);
+    int g = static_cast<int>(update.target % 6);
+    update.record.entity = static_cast<uint32_t>(g);
+    update.record.tokens = {"grp" + std::to_string(g),
+                            "tag" + std::to_string(g), "over-tcp"};
+    batch.push_back(update);
+
+    std::vector<ObjectId> direct_ids = direct.ApplyOperations(batch);
+    net::IngestResponse response;
+    ASSERT_TRUE(client.Ingest(batch, &response).ok());
+    EXPECT_TRUE(response.accepted);
+    ASSERT_EQ(response.ids.size(), direct_ids.size());
+    for (size_t i = 0; i < direct_ids.size(); ++i) {
+      EXPECT_EQ(response.ids[i], direct_ids[i]) << "op " << i;
+    }
+    direct.DynamicRound(direct_ids);
+    std::vector<ObjectId> served_ids(response.ids.begin(),
+                                     response.ids.end());
+    served.DynamicRound(served_ids);
+    ExpectSameState(direct, served);
+  }
+  front_end.Stop();
+}
+
+TEST(NetE2E, ClientCoalescingPreservesIdsAndState) {
+  // QueueOp/FlushOps batches ops client-side; the flushed batch must
+  // behave exactly like one Ingest of the same ops.
+  ShardedDynamicCService direct(ServiceOptions(2, false), nullptr,
+                                MakeFactory());
+  ShardedDynamicCService served(ServiceOptions(2, false), nullptr,
+                                MakeFactory());
+  TrainService(&direct, 5);
+  TrainService(&served, 5);
+
+  net::ServerFrontEnd front_end(&served, nullptr, {});
+  ASSERT_TRUE(front_end.Start().ok());
+  net::NetClient::Options client_options;
+  client_options.port = front_end.port();
+  client_options.coalesce_ops = 4;  // force several auto-flushes
+  net::NetClient client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+
+  OperationBatch batch = GroupAdds(5, 2);
+  std::vector<ObjectId> direct_ids = direct.ApplyOperations(batch);
+
+  std::vector<uint64_t> net_ids;
+  for (const DataOperation& op : batch) {
+    net::IngestResponse flushed;
+    bool did_flush = false;
+    ASSERT_TRUE(client.QueueOp(op, &flushed, &did_flush).ok());
+    if (did_flush) {
+      ASSERT_TRUE(flushed.accepted);
+      net_ids.insert(net_ids.end(), flushed.ids.begin(), flushed.ids.end());
+    }
+  }
+  net::IngestResponse tail;
+  ASSERT_TRUE(client.FlushOps(&tail).ok());
+  net_ids.insert(net_ids.end(), tail.ids.begin(), tail.ids.end());
+
+  ASSERT_EQ(net_ids.size(), direct_ids.size());
+  for (size_t i = 0; i < direct_ids.size(); ++i) {
+    EXPECT_EQ(net_ids[i], direct_ids[i]);
+  }
+  direct.DynamicRound(direct_ids);
+  std::vector<ObjectId> served_ids(net_ids.begin(), net_ids.end());
+  served.DynamicRound(served_ids);
+  ExpectSameState(direct, served);
+  front_end.Stop();
+}
+
+TEST(NetE2E, RejectBackpressureSurfacesOnTheWire) {
+  // A kReject service with a tiny queue and backlog must answer
+  // accepted=false (assigning no ids) instead of blocking the loop.
+  ShardedDynamicCService::Options options = ServiceOptions(1, true);
+  options.async.queue_depth = 1;
+  options.async.backpressure = BackpressurePolicy::kReject;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+  TrainService(&service, 4);
+
+  net::ServerFrontEnd front_end(&service, nullptr, {});
+  ASSERT_TRUE(front_end.Start().ok());
+  net::NetClient client = MakeClient(front_end.port());
+  ASSERT_TRUE(client.Connect().ok());
+
+  bool saw_reject = false;
+  for (int i = 0; i < 50 && !saw_reject; ++i) {
+    net::IngestResponse response;
+    ASSERT_TRUE(client.Ingest(GroupAdds(4, 8), &response).ok());
+    if (!response.accepted) {
+      EXPECT_TRUE(response.ids.empty());
+      saw_reject = true;
+    }
+  }
+  EXPECT_TRUE(saw_reject) << "queue_depth=1 never pushed back";
+  service.Flush();
+  front_end.Stop();
+}
+
+TEST(NetE2E, QueriesServeEpochPinnedViewsOverTcp) {
+  ShardedDynamicCService service(ServiceOptions(2, false, /*serve=*/true),
+                                 nullptr, MakeFactory());
+  TrainService(&service, 6);
+  service.CloseEpoch();  // publish a read view
+
+  net::ServerFrontEnd front_end(&service, nullptr, {});
+  ASSERT_TRUE(front_end.Start().ok());
+  net::NetClient client = MakeClient(front_end.port());
+  ASSERT_TRUE(client.Connect().ok());
+
+  net::StatsResponse stats;
+  ASSERT_TRUE(client.Stats(UINT64_MAX, &stats).ok());
+  EXPECT_TRUE(stats.info.served);
+  EXPECT_EQ(stats.objects, service.total_objects());
+  EXPECT_EQ(stats.clusters, service.total_clusters());
+
+  // Group 0's objects cluster together; ClusterOf(0) returns them all.
+  net::ClusterOfResponse cluster;
+  ASSERT_TRUE(client.ClusterOf(0, UINT64_MAX, &cluster).ok());
+  EXPECT_TRUE(cluster.info.served);
+  EXPECT_EQ(cluster.members.size(), 3u);
+
+  // A probe with group 2's tokens ranks that cluster first.
+  Record probe;
+  probe.entity = 2;
+  probe.tokens = {"grp2", "tag2"};
+  net::KNearestResponse knn;
+  ASSERT_TRUE(client.KNearest(probe, 2, UINT64_MAX, &knn).ok());
+  ASSERT_FALSE(knn.hits.empty());
+  EXPECT_EQ(knn.hits[0].similarity, 1.0);
+
+  // An impossible staleness bound must refuse service, not lie.
+  ShardedDynamicCService no_reads(ServiceOptions(1, false, /*serve=*/false),
+                                  nullptr, MakeFactory());
+  net::ServerFrontEnd dark(&no_reads, nullptr, {});
+  ASSERT_TRUE(dark.Start().ok());
+  net::NetClient dark_client = MakeClient(dark.port());
+  ASSERT_TRUE(dark_client.Connect().ok());
+  net::StatsResponse dark_stats;
+  Status status = dark_client.Stats(UINT64_MAX, &dark_stats);
+  EXPECT_TRUE(!status.ok() || !dark_stats.info.served);
+  dark.Stop();
+  front_end.Stop();
+}
+
+TEST(NetE2E, DeltaStreamMirrorsByteIdenticallyAndFollowerReplays) {
+  ShardedDynamicCService primary(ServiceOptions(2, false), nullptr,
+                                 MakeFactory());
+  TrainService(&primary, 8);
+
+  std::string dir = TempDir("stream_src");
+  std::string mirror = TempDir("stream_mirror");
+  ReplicationSession repl(&primary, dir, {});
+  ASSERT_TRUE(repl.Start().ok());
+  for (int round = 0; round < 4; ++round) {
+    auto ids = primary.ApplyOperations(GroupAdds(8, 1));
+    primary.DynamicRound(ids);
+    repl.SealEpoch();
+  }
+  ASSERT_TRUE(repl.status().ok());
+
+  net::ServerFrontEnd::Options fe_options;
+  fe_options.replication_dir = dir;
+  net::ServerFrontEnd front_end(&primary, nullptr, fe_options);
+  ASSERT_TRUE(front_end.Start().ok());
+  front_end.SetStreamDone(true);
+
+  net::DeltaStreamClient::Options stream_options;
+  stream_options.port = front_end.port();
+  stream_options.mirror_dir = mirror;
+  net::DeltaStreamClient stream(stream_options);
+  ASSERT_TRUE(stream.TailUntilDone(nullptr).ok());
+  EXPECT_TRUE(TreesIdentical(dir, mirror));
+
+  Follower follower(mirror, ServiceOptions(2, false), MakeFactory());
+  ASSERT_TRUE(follower.Restore().ok());
+  ASSERT_TRUE(follower.CatchUp().ok());
+  follower.Flush();
+  ExpectSameState(primary, follower.service());
+  front_end.Stop();
+}
+
+TEST(NetE2E, FollowerServesReadsBehindItsOwnFrontEnd) {
+  // Primary -> TCP mirror -> follower whose service serves reads
+  // behind a second front end: a network read replica. Its stats must
+  // equal the primary's at the sealed epoch.
+  ShardedDynamicCService primary(ServiceOptions(2, false), nullptr,
+                                 MakeFactory());
+  TrainService(&primary, 6);
+
+  std::string dir = TempDir("replica_src");
+  std::string mirror = TempDir("replica_mirror");
+  ReplicationSession repl(&primary, dir, {});
+  ASSERT_TRUE(repl.Start().ok());
+  auto ids = primary.ApplyOperations(GroupAdds(6, 1));
+  primary.DynamicRound(ids);
+  repl.SealEpoch();
+
+  net::ServerFrontEnd::Options fe_options;
+  fe_options.replication_dir = dir;
+  net::ServerFrontEnd front_end(&primary, nullptr, fe_options);
+  ASSERT_TRUE(front_end.Start().ok());
+  front_end.SetStreamDone(true);
+
+  net::DeltaStreamClient::Options stream_options;
+  stream_options.port = front_end.port();
+  stream_options.mirror_dir = mirror;
+  net::DeltaStreamClient stream(stream_options);
+  ASSERT_TRUE(stream.TailUntilDone(nullptr).ok());
+
+  Follower follower(mirror, ServiceOptions(2, false, /*serve=*/true),
+                    MakeFactory());
+  ASSERT_TRUE(follower.Restore().ok());
+  ASSERT_TRUE(follower.CatchUp().ok());
+  follower.Flush();
+  follower.service().CloseEpoch();
+
+  net::ServerFrontEnd replica_fe(&follower.service(), nullptr, {});
+  ASSERT_TRUE(replica_fe.Start().ok());
+  net::NetClient client = MakeClient(replica_fe.port());
+  ASSERT_TRUE(client.Connect().ok());
+  net::StatsResponse stats;
+  ASSERT_TRUE(client.Stats(UINT64_MAX, &stats).ok());
+  EXPECT_TRUE(stats.info.served);
+  EXPECT_EQ(stats.objects, primary.total_objects());
+  EXPECT_EQ(stats.clusters, primary.total_clusters());
+  replica_fe.Stop();
+  front_end.Stop();
+}
+
+TEST(NetE2E, ChainedReplicationKeepsStandbyIdenticalAcrossTheCut) {
+  // Old primary seals epochs 0..N; a follower promotes at N-1 (the
+  // failover cut), truncates the dead primary's unacknowledged suffix,
+  // and Resume()s the same log. A standby replaying the whole log —
+  // old primary's epochs below the cut, promoted service's above —
+  // must land byte-identical to the promoted service.
+  ShardedDynamicCService old_primary(ServiceOptions(2, false), nullptr,
+                                     MakeFactory());
+  TrainService(&old_primary, 8);
+
+  std::string dir = TempDir("chained");
+  ReplicationSession repl(&old_primary, dir, {});
+  ASSERT_TRUE(repl.Start().ok());
+  const uint64_t first_sealed = old_primary.open_epoch() - 1;
+  for (int round = 0; round < 4; ++round) {
+    auto ids = old_primary.ApplyOperations(GroupAdds(8, 1));
+    old_primary.DynamicRound(ids);
+    repl.SealEpoch();
+  }
+  ASSERT_TRUE(repl.status().ok());
+  const uint64_t cut = first_sealed + 3;  // promote one epoch early
+
+  Follower follower(dir, ServiceOptions(2, false), MakeFactory());
+  ASSERT_TRUE(follower.Restore().ok());
+  ASSERT_TRUE(follower.CatchUpTo(cut).ok());
+  follower.Flush();
+  std::unique_ptr<ShardedDynamicCService> promoted = follower.Promote();
+
+  // Failover log truncation: drop artifacts past the cut (the dead
+  // primary's unacknowledged epoch), then resume the log in place.
+  DeltaLog log(dir);
+  DeltaLog::State state;
+  ASSERT_TRUE(log.List(&state).ok());
+  for (uint64_t delta : state.deltas) {
+    if (delta > cut) {
+      ASSERT_TRUE(std::filesystem::remove(log.DeltaPathFor(delta)));
+    }
+  }
+  for (uint64_t base : state.bases) {
+    if (base > cut) std::filesystem::remove_all(log.BaseDirFor(base));
+  }
+
+  ReplicationSession resumed(promoted.get(), dir, {});
+  ASSERT_TRUE(resumed.Resume().ok());
+
+  // The new primary serves fresh rounds; deltas continue the numbering.
+  for (int round = 0; round < 3; ++round) {
+    auto ids = promoted->ApplyOperations(GroupAdds(8, 1));
+    promoted->DynamicRound(ids);
+    resumed.SealEpoch();
+  }
+  ASSERT_TRUE(resumed.status().ok());
+
+  DeltaLog::State after;
+  ASSERT_TRUE(log.List(&after).ok());
+  ASSERT_FALSE(after.deltas.empty());
+  EXPECT_EQ(after.deltas.back(), cut + 3);  // contiguous across the cut
+  for (size_t i = 1; i < after.deltas.size(); ++i) {
+    EXPECT_EQ(after.deltas[i], after.deltas[i - 1] + 1);
+  }
+
+  // The standby replays one log spanning both primaries' writes.
+  Follower standby(dir, ServiceOptions(2, false), MakeFactory());
+  ASSERT_TRUE(standby.Restore().ok());
+  ASSERT_TRUE(standby.CatchUp().ok());
+  standby.Flush();
+  ExpectSameState(*promoted, standby.service());
+}
+
+TEST(NetE2E, ResumeRefusesAServiceThatDidNotReplayTheLog) {
+  ShardedDynamicCService primary(ServiceOptions(2, false), nullptr,
+                                 MakeFactory());
+  TrainService(&primary, 4);
+  std::string dir = TempDir("resume_guard");
+  {
+    ReplicationSession repl(&primary, dir, {});
+    ASSERT_TRUE(repl.Start().ok());
+    auto ids = primary.ApplyOperations(GroupAdds(4, 1));
+    primary.DynamicRound(ids);
+    repl.SealEpoch();
+  }
+  // A fresh, unrelated service is not at the log's frontier.
+  ShardedDynamicCService stranger(ServiceOptions(2, false), nullptr,
+                                  MakeFactory());
+  ReplicationSession bogus(&stranger, dir, {});
+  EXPECT_FALSE(bogus.Resume().ok());
+
+  // An empty directory cannot be resumed either (nothing to continue).
+  ShardedDynamicCService fresh(ServiceOptions(2, false), nullptr,
+                               MakeFactory());
+  ReplicationSession no_log(&fresh, TempDir("resume_empty"), {});
+  EXPECT_FALSE(no_log.Resume().ok());
+}
+
+}  // namespace
+}  // namespace dynamicc

@@ -1,0 +1,762 @@
+// Wire layer (src/net/): varint and frame codec edge cases, codec
+// block round-trips plus mutilation/truncation fuzz (malformed input
+// must return an error, never crash — this suite runs under
+// ASan/UBSan in CI), RPC message round-trips and payload fuzz,
+// PollBackoff schedule units, and byte-at-a-time partial-write /
+// slow-reader behaviour against a live NetServer.
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/codec.h"
+#include "net/event_loop.h"
+#include "net/rpc.h"
+#include "net/socket.h"
+#include "net/wire_format.h"
+#include "replication/backoff.h"
+#include "util/status.h"
+
+namespace dynamicc {
+namespace net {
+namespace {
+
+// ---- Varints ----------------------------------------------------------
+
+TEST(VarintTest, RoundTripEdgeValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             129,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             UINT64_MAX - 1,
+                             UINT64_MAX};
+  for (uint64_t value : values) {
+    std::string buf;
+    PutVarint(&buf, value);
+    ASSERT_LE(buf.size(), 10u);
+    uint64_t decoded = 0;
+    int consumed = GetVarint(buf.data(), buf.size(), &decoded);
+    EXPECT_EQ(consumed, static_cast<int>(buf.size())) << value;
+    EXPECT_EQ(decoded, value);
+  }
+}
+
+TEST(VarintTest, EncodedLengthBoundaries) {
+  std::string buf;
+  PutVarint(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint(&buf, UINT64_MAX);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedNeedsMoreBytes) {
+  std::string buf;
+  PutVarint(&buf, 300);  // two bytes
+  uint64_t value = 0;
+  EXPECT_EQ(GetVarint(buf.data(), 1, &value), 0);
+  EXPECT_EQ(GetVarint(buf.data(), 0, &value), 0);
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // Eleven continuation bytes can never be a valid uint64_t varint.
+  std::string buf(11, '\x80');
+  uint64_t value = 0;
+  EXPECT_EQ(GetVarint(buf.data(), buf.size(), &value), -1);
+}
+
+TEST(VarintTest, TenthByteExcessBitsRejected) {
+  // Nine continuation bytes + a 10th byte with more than the single
+  // bit a uint64_t has left encodes > 64 bits of payload.
+  std::string buf(9, '\x80');
+  buf.push_back('\x02');
+  uint64_t value = 0;
+  EXPECT_EQ(GetVarint(buf.data(), buf.size(), &value), -1);
+}
+
+// ---- Frames -----------------------------------------------------------
+
+TEST(FrameTest, RoundTrip) {
+  std::string wire;
+  AppendFrame(&wire, "hello");
+  AppendFrame(&wire, "world!");
+  std::string payload;
+  size_t consumed = 0;
+  ASSERT_EQ(TryParseFrame(wire, kMaxFrameBytes, &payload, &consumed), 1);
+  EXPECT_EQ(payload, "hello");
+  wire.erase(0, consumed);
+  ASSERT_EQ(TryParseFrame(wire, kMaxFrameBytes, &payload, &consumed), 1);
+  EXPECT_EQ(payload, "world!");
+  wire.erase(0, consumed);
+  EXPECT_EQ(TryParseFrame(wire, kMaxFrameBytes, &payload, &consumed), 0);
+}
+
+TEST(FrameTest, ZeroLengthPayload) {
+  std::string wire;
+  AppendFrame(&wire, "");
+  ASSERT_EQ(wire.size(), 1u);  // just varint(0)
+  std::string payload = "sentinel";
+  size_t consumed = 0;
+  ASSERT_EQ(TryParseFrame(wire, kMaxFrameBytes, &payload, &consumed), 1);
+  EXPECT_TRUE(payload.empty());
+  EXPECT_EQ(consumed, 1u);
+}
+
+TEST(FrameTest, PartialFrameNeedsMore) {
+  std::string wire;
+  AppendFrame(&wire, std::string(1000, 'x'));
+  for (size_t cut = 0; cut + 1 < wire.size(); cut += 97) {
+    std::string prefix = wire.substr(0, cut);
+    std::string payload;
+    size_t consumed = 0;
+    EXPECT_EQ(TryParseFrame(prefix, kMaxFrameBytes, &payload, &consumed), 0)
+        << "cut=" << cut;
+  }
+}
+
+TEST(FrameTest, MaxSizeFrameBoundary) {
+  const uint64_t limit = 4096;
+  std::string at_limit;
+  AppendFrame(&at_limit, std::string(limit, 'a'));
+  std::string payload;
+  size_t consumed = 0;
+  EXPECT_EQ(TryParseFrame(at_limit, limit, &payload, &consumed), 1);
+  EXPECT_EQ(payload.size(), limit);
+
+  std::string over_limit;
+  AppendFrame(&over_limit, std::string(limit + 1, 'a'));
+  EXPECT_EQ(TryParseFrame(over_limit, limit, &payload, &consumed), -1);
+}
+
+TEST(FrameTest, MalformedLengthPrefixRejected) {
+  std::string wire(11, '\x80');  // invalid varint
+  std::string payload;
+  size_t consumed = 0;
+  EXPECT_EQ(TryParseFrame(wire, kMaxFrameBytes, &payload, &consumed), -1);
+}
+
+// ---- BinaryReader bounds ----------------------------------------------
+
+TEST(BinaryIoTest, RoundTrip) {
+  std::string buf;
+  BinaryWriter writer(&buf);
+  writer.PutU8(7);
+  writer.PutVar(1234567);
+  writer.PutDouble(3.14159);
+  writer.PutBytes("payload");
+
+  BinaryReader reader(buf);
+  uint8_t u8 = 0;
+  uint64_t var = 0;
+  double d = 0;
+  std::string bytes;
+  ASSERT_TRUE(reader.GetU8(&u8));
+  ASSERT_TRUE(reader.GetVar(&var));
+  ASSERT_TRUE(reader.GetDouble(&d));
+  ASSERT_TRUE(reader.GetBytes(&bytes));
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(var, 1234567u);
+  EXPECT_EQ(d, 3.14159);
+  EXPECT_EQ(bytes, "payload");
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(BinaryIoTest, ReadsPastEndFail) {
+  std::string buf;
+  BinaryWriter writer(&buf);
+  writer.PutVar(100000);  // bytes length far beyond the buffer
+  BinaryReader reader(buf);
+  std::string bytes;
+  EXPECT_FALSE(reader.GetBytes(&bytes));
+
+  BinaryReader short_reader("abc", 3);
+  double d = 0;
+  EXPECT_FALSE(short_reader.GetDouble(&d));
+  uint8_t u8 = 0;
+  BinaryReader empty_reader("", 0);
+  EXPECT_FALSE(empty_reader.GetU8(&u8));
+}
+
+// ---- Codec blocks -----------------------------------------------------
+
+std::string CompressibleBytes(size_t size) {
+  std::string raw;
+  raw.reserve(size);
+  int i = 0;
+  while (raw.size() < size) {
+    raw += "add 4200 entity=17 tokens=grp" + std::to_string(i % 13) + ",tag" +
+           std::to_string(i % 13) + "\n";
+    ++i;
+  }
+  raw.resize(size);
+  return raw;
+}
+
+std::string RandomBytes(size_t size, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::string raw(size, '\0');
+  for (char& c : raw) c = static_cast<char>(rng() & 0xff);
+  return raw;
+}
+
+TEST(CodecTest, NegotiatePicksBestCommon) {
+  EXPECT_EQ(NegotiateCodec(kSupportedCodecs, kSupportedCodecs), Codec::kLzb);
+  EXPECT_EQ(NegotiateCodec(kSupportedCodecs, 1u), Codec::kRaw);
+  EXPECT_EQ(NegotiateCodec(1u, kSupportedCodecs), Codec::kRaw);
+  // Unknown high bits from a future peer are ignored.
+  EXPECT_EQ(NegotiateCodec(kSupportedCodecs, kSupportedCodecs | (1u << 17)),
+            Codec::kLzb);
+}
+
+TEST(CodecTest, RawBlockRoundTrip) {
+  const std::string raw = CompressibleBytes(4096);
+  std::string block;
+  EncodeBlock(Codec::kRaw, raw, &block);
+  std::string decoded;
+  ASSERT_TRUE(DecodeBlock(block, kMaxFrameBytes, &decoded));
+  EXPECT_EQ(decoded, raw);
+}
+
+TEST(CodecTest, LzbBlockCompressesRepetitiveInput) {
+  const std::string raw = CompressibleBytes(64 * 1024);
+  std::string block;
+  EncodeBlock(Codec::kLzb, raw, &block);
+  EXPECT_LT(block.size(), raw.size() / 2);
+  std::string decoded;
+  ASSERT_TRUE(DecodeBlock(block, kMaxFrameBytes, &decoded));
+  EXPECT_EQ(decoded, raw);
+}
+
+TEST(CodecTest, LzbFallsBackToRawOnIncompressible) {
+  const std::string raw = RandomBytes(16 * 1024, 42);
+  std::string block;
+  EncodeBlock(Codec::kLzb, raw, &block);
+  // Header adds a few bytes, but the body must not have blown up.
+  EXPECT_LE(block.size(), raw.size() + 32);
+  std::string decoded;
+  ASSERT_TRUE(DecodeBlock(block, kMaxFrameBytes, &decoded));
+  EXPECT_EQ(decoded, raw);
+}
+
+TEST(CodecTest, EmptyInputRoundTrip) {
+  for (Codec codec : {Codec::kRaw, Codec::kLzb}) {
+    std::string block;
+    EncodeBlock(codec, "", &block);
+    std::string decoded = "sentinel";
+    ASSERT_TRUE(DecodeBlock(block, kMaxFrameBytes, &decoded));
+    EXPECT_TRUE(decoded.empty());
+  }
+}
+
+TEST(CodecTest, DeclaredSizeOverLimitRejected) {
+  const std::string raw = CompressibleBytes(4096);
+  std::string block;
+  EncodeBlock(Codec::kLzb, raw, &block);
+  std::string decoded;
+  EXPECT_FALSE(DecodeBlock(block, /*max_raw_bytes=*/1024, &decoded));
+}
+
+TEST(CodecTest, CorruptChecksumRejected) {
+  const std::string raw = CompressibleBytes(4096);
+  for (Codec codec : {Codec::kRaw, Codec::kLzb}) {
+    std::string block;
+    EncodeBlock(codec, raw, &block);
+    // Flip one body byte (past the ~11-byte header): the FNV checksum
+    // over the raw bytes must catch it.
+    std::string bad = block;
+    bad[bad.size() - 1] ^= 0x01;
+    std::string decoded;
+    EXPECT_FALSE(DecodeBlock(bad, kMaxFrameBytes, &decoded));
+  }
+}
+
+TEST(CodecTest, MutilationFuzzNeverCrashes) {
+  const std::string raw = CompressibleBytes(8 * 1024);
+  std::string block;
+  EncodeBlock(Codec::kLzb, raw, &block);
+  std::mt19937_64 rng(0xC0DEC);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bad = block;
+    int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      bad[rng() % bad.size()] ^= static_cast<char>(1 + (rng() % 255));
+    }
+    std::string decoded;
+    if (DecodeBlock(bad, kMaxFrameBytes, &decoded)) {
+      // Passing the checksum while corrupt is effectively impossible;
+      // if decode "succeeds" the flips must have cancelled out.
+      EXPECT_EQ(decoded, raw);
+    }
+  }
+}
+
+TEST(CodecTest, TruncationFuzzNeverCrashes) {
+  const std::string raw = CompressibleBytes(8 * 1024);
+  for (Codec codec : {Codec::kRaw, Codec::kLzb}) {
+    std::string block;
+    EncodeBlock(codec, raw, &block);
+    for (size_t cut = 0; cut < block.size(); cut += 7) {
+      std::string truncated = block.substr(0, cut);
+      std::string decoded;
+      EXPECT_FALSE(DecodeBlock(truncated, kMaxFrameBytes, &decoded))
+          << "cut=" << cut;
+    }
+  }
+}
+
+TEST(CodecTest, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(0xBADB10C);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string garbage = RandomBytes(1 + (rng() % 512), rng());
+    std::string decoded;
+    DecodeBlock(garbage, kMaxFrameBytes, &decoded);  // must not crash
+  }
+}
+
+// ---- RPC messages -----------------------------------------------------
+
+OperationBatch SampleOps() {
+  OperationBatch ops;
+  DataOperation add;
+  add.kind = DataOperation::Kind::kAdd;
+  add.record.entity = 7;
+  add.record.tokens = {"alpha", "beta", "gamma"};
+  ops.push_back(add);
+  DataOperation remove;
+  remove.kind = DataOperation::Kind::kRemove;
+  remove.target = 3;
+  ops.push_back(remove);
+  return ops;
+}
+
+TEST(RpcTest, HelloRoundTrip) {
+  HelloRequest request;
+  request.codec_mask = kSupportedCodecs;
+  std::string wire;
+  Encode(request, &wire);
+  MsgType type;
+  ASSERT_TRUE(PeekType(wire, &type));
+  EXPECT_EQ(type, MsgType::kHello);
+  HelloRequest decoded;
+  ASSERT_TRUE(Decode(wire, &decoded));
+  EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
+  EXPECT_EQ(decoded.codec_mask, kSupportedCodecs);
+
+  HelloResponse response;
+  response.codec = Codec::kLzb;
+  wire.clear();
+  Encode(response, &wire);
+  HelloResponse response_decoded;
+  ASSERT_TRUE(Decode(wire, &response_decoded));
+  EXPECT_EQ(response_decoded.codec, Codec::kLzb);
+}
+
+TEST(RpcTest, IngestRoundTrip) {
+  IngestRequest request;
+  request.ops = SampleOps();
+  std::string wire;
+  Encode(request, &wire);
+  IngestRequest decoded;
+  ASSERT_TRUE(Decode(wire, &decoded));
+  ASSERT_EQ(decoded.ops.size(), 2u);
+  EXPECT_EQ(decoded.ops[0].record.tokens, request.ops[0].record.tokens);
+  EXPECT_EQ(decoded.ops[1].target, 3u);
+
+  IngestResponse response;
+  response.accepted = true;
+  response.ids = {10, 11, 12};
+  wire.clear();
+  Encode(response, &wire);
+  IngestResponse response_decoded;
+  ASSERT_TRUE(Decode(wire, &response_decoded));
+  EXPECT_TRUE(response_decoded.accepted);
+  EXPECT_EQ(response_decoded.ids, response.ids);
+}
+
+TEST(RpcTest, EmptyIngestBatchRoundTrip) {
+  IngestRequest request;  // zero ops
+  std::string wire;
+  Encode(request, &wire);
+  IngestRequest decoded;
+  decoded.ops = SampleOps();
+  ASSERT_TRUE(Decode(wire, &decoded));
+  EXPECT_TRUE(decoded.ops.empty());
+}
+
+TEST(RpcTest, StalenessUnboundedSurvivesTrip) {
+  // UINT64_MAX (ReadRouter::kUnbounded) is packed as staleness+1 = 0.
+  StatsRequest request;
+  request.max_staleness = UINT64_MAX;
+  std::string wire;
+  Encode(request, &wire);
+  StatsRequest decoded;
+  decoded.max_staleness = 0;
+  ASSERT_TRUE(Decode(wire, &decoded));
+  EXPECT_EQ(decoded.max_staleness, UINT64_MAX);
+
+  request.max_staleness = 0;
+  wire.clear();
+  Encode(request, &wire);
+  decoded.max_staleness = 99;
+  ASSERT_TRUE(Decode(wire, &decoded));
+  EXPECT_EQ(decoded.max_staleness, 0u);
+}
+
+TEST(RpcTest, QueryResponsesRoundTrip) {
+  ClusterOfResponse cluster;
+  cluster.info = {12, 2, true};
+  cluster.members = {4, 8, 15};
+  cluster.avg_intra = 0.75;
+  std::string wire;
+  Encode(cluster, &wire);
+  ClusterOfResponse cluster_decoded;
+  ASSERT_TRUE(Decode(wire, &cluster_decoded));
+  EXPECT_EQ(cluster_decoded.members, cluster.members);
+  EXPECT_EQ(cluster_decoded.info.epoch, 12u);
+  EXPECT_EQ(cluster_decoded.avg_intra, 0.75);
+
+  KNearestResponse knn;
+  knn.info = {3, 0, true};
+  knn.hits.push_back({{1, 2}, 0.9, 0.8});
+  knn.hits.push_back({{5}, 0.5, 1.0});
+  wire.clear();
+  Encode(knn, &wire);
+  KNearestResponse knn_decoded;
+  ASSERT_TRUE(Decode(wire, &knn_decoded));
+  ASSERT_EQ(knn_decoded.hits.size(), 2u);
+  EXPECT_EQ(knn_decoded.hits[0].members, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(knn_decoded.hits[1].similarity, 0.5);
+}
+
+TEST(RpcTest, ReplStateRoundTrip) {
+  ReplStateResponse response;
+  response.stream_done = true;
+  response.base_epochs = {2, 6};
+  response.delta_epochs = {3, 4, 5, 6, 7};
+  std::string wire;
+  Encode(response, &wire);
+  ReplStateResponse decoded;
+  ASSERT_TRUE(Decode(wire, &decoded));
+  EXPECT_TRUE(decoded.stream_done);
+  EXPECT_EQ(decoded.base_epochs, response.base_epochs);
+  EXPECT_EQ(decoded.delta_epochs, response.delta_epochs);
+}
+
+TEST(RpcTest, ErrorRoundTrip) {
+  std::string wire;
+  EncodeError(Status::NotFound("no such epoch"), &wire);
+  MsgType type;
+  ASSERT_TRUE(PeekType(wire, &type));
+  EXPECT_EQ(type, MsgType::kError);
+  // The code collapses to IoError on the client side (a remote failure
+  // is an I/O failure to the caller); the rendered code survives in the
+  // message text.
+  Status status = DecodeError(wire);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("NotFound"), std::string::npos);
+  EXPECT_NE(status.message().find("no such epoch"), std::string::npos);
+}
+
+TEST(RpcTest, PayloadFuzzNeverCrashes) {
+  // Mutate/truncate every message kind's valid encoding plus pure
+  // garbage; decoders must return false or decode something, never
+  // crash or overread (ASan job enforces the latter).
+  std::vector<std::string> seeds;
+  {
+    std::string wire;
+    HelloRequest hello;
+    Encode(hello, &wire);
+    seeds.push_back(wire);
+    wire.clear();
+    IngestRequest ingest;
+    ingest.ops = SampleOps();
+    Encode(ingest, &wire);
+    seeds.push_back(wire);
+    wire.clear();
+    IngestResponse ingest_ok;
+    ingest_ok.ids = {1, 2, 3};
+    Encode(ingest_ok, &wire);
+    seeds.push_back(wire);
+    wire.clear();
+    KNearestRequest knn;
+    knn.probe.entity = 4;
+    knn.probe.tokens = {"x", "y"};
+    Encode(knn, &wire);
+    seeds.push_back(wire);
+    wire.clear();
+    KNearestResponse knn_ok;
+    knn_ok.hits.push_back({{9}, 0.1, 0.2});
+    Encode(knn_ok, &wire);
+    seeds.push_back(wire);
+    wire.clear();
+    ReplStateResponse repl;
+    repl.delta_epochs = {1, 2, 3};
+    Encode(repl, &wire);
+    seeds.push_back(wire);
+    wire.clear();
+    FetchBaseManifestResponse manifest;
+    manifest.files = {"clusters.dat", "models.dat"};
+    Encode(manifest, &wire);
+    seeds.push_back(wire);
+    wire.clear();
+    BlockResponse block_response;
+    EncodeBlock(Codec::kLzb, CompressibleBytes(512), &block_response.block);
+    Encode(MsgType::kFetchDeltaOk, block_response, &wire);
+    seeds.push_back(wire);
+  }
+  std::mt19937_64 rng(0xF422);
+  auto decode_all = [](const std::string& payload) {
+    HelloRequest hello;
+    Decode(payload, &hello);
+    HelloResponse hello_ok;
+    Decode(payload, &hello_ok);
+    IngestRequest ingest;
+    Decode(payload, &ingest);
+    IngestResponse ingest_ok;
+    Decode(payload, &ingest_ok);
+    ClusterOfRequest cluster_of;
+    Decode(payload, &cluster_of);
+    ClusterOfResponse cluster_ok;
+    Decode(payload, &cluster_ok);
+    KNearestRequest knn;
+    Decode(payload, &knn);
+    KNearestResponse knn_ok;
+    Decode(payload, &knn_ok);
+    StatsRequest stats;
+    Decode(payload, &stats);
+    StatsResponse stats_ok;
+    Decode(payload, &stats_ok);
+    ReplStateResponse repl_ok;
+    Decode(payload, &repl_ok);
+    FetchDeltaRequest fetch_delta;
+    Decode(payload, &fetch_delta);
+    FetchBaseManifestResponse manifest;
+    Decode(payload, &manifest);
+    BlockResponse block_response;
+    Decode(payload, &block_response);
+    DecodeError(payload);
+  };
+  for (const std::string& seed : seeds) {
+    for (int iter = 0; iter < 300; ++iter) {
+      std::string bad = seed;
+      int flips = 1 + static_cast<int>(rng() % 6);
+      for (int f = 0; f < flips && !bad.empty(); ++f) {
+        bad[rng() % bad.size()] ^= static_cast<char>(1 + (rng() % 255));
+      }
+      if (rng() % 3 == 0) bad.resize(rng() % (bad.size() + 1));
+      decode_all(bad);
+    }
+    for (size_t cut = 0; cut < seed.size(); ++cut) {
+      decode_all(seed.substr(0, cut));
+    }
+  }
+  for (int iter = 0; iter < 500; ++iter) {
+    decode_all(RandomBytes(rng() % 256, rng()));
+  }
+}
+
+// ---- PollBackoff ------------------------------------------------------
+
+TEST(PollBackoffTest, EscalatesGeometricallyToCap) {
+  PollBackoff backoff;  // 1 -> 256 ms, x2
+  std::vector<uint64_t> delays;
+  for (int i = 0; i < 11; ++i) delays.push_back(backoff.NextDelayMs());
+  EXPECT_EQ(delays, (std::vector<uint64_t>{1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           256, 256}));
+  EXPECT_EQ(backoff.misses(), 11u);
+}
+
+TEST(PollBackoffTest, ResetDropsToFloor) {
+  PollBackoff backoff;
+  for (int i = 0; i < 6; ++i) backoff.NextDelayMs();
+  EXPECT_GT(backoff.current_ms(), 1u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.current_ms(), 1u);
+  EXPECT_EQ(backoff.misses(), 0u);
+  EXPECT_EQ(backoff.NextDelayMs(), 1u);
+}
+
+TEST(PollBackoffTest, OptionsClampedToSane) {
+  PollBackoff::Options options;
+  options.initial_ms = 0;   // clamped to 1
+  options.max_ms = 0;       // clamped to initial
+  options.multiplier = 0;   // clamped to 2
+  PollBackoff backoff(options);
+  EXPECT_EQ(backoff.NextDelayMs(), 1u);
+  EXPECT_EQ(backoff.NextDelayMs(), 1u);  // capped at max_ms == initial
+
+  PollBackoff::Options wide;
+  wide.initial_ms = 10;
+  wide.max_ms = 50;  // not a power-of-multiplier multiple of initial
+  PollBackoff capped(wide);
+  EXPECT_EQ(capped.NextDelayMs(), 10u);
+  EXPECT_EQ(capped.NextDelayMs(), 20u);
+  EXPECT_EQ(capped.NextDelayMs(), 40u);
+  EXPECT_EQ(capped.NextDelayMs(), 50u);  // clamps to cap, never over
+  EXPECT_EQ(capped.NextDelayMs(), 50u);
+}
+
+// ---- NetServer: partial writes, slow readers, malformed frames --------
+
+class EchoServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NetServer::Options options;
+    options.port = 0;
+    server_ = std::make_unique<NetServer>(
+        options,
+        [](uint64_t, const std::string& request, std::string* response) {
+          *response = request;
+          return NetServer::HandleResult::kReply;
+        });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<NetServer> server_;
+};
+
+TEST_F(EchoServerTest, ByteAtATimePartialWrites) {
+  // Dribble a frame one byte per send: the server must buffer partial
+  // frames across epoll wakeups and reply only once it is complete.
+  int fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server_->port(), &fd).ok());
+  const std::string payload = "partial-write-probe";
+  std::string wire;
+  AppendFrame(&wire, payload);
+  for (char c : wire) {
+    ASSERT_EQ(send(fd, &c, 1, 0), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Read the echoed frame back with a plain blocking recv loop.
+  SetIoTimeout(fd, 5000);
+  std::string in;
+  std::string echoed;
+  size_t consumed = 0;
+  int parsed = 0;
+  char buf[256];
+  while ((parsed = TryParseFrame(in, kMaxFrameBytes, &echoed, &consumed)) ==
+         0) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server never completed the reply";
+    in.append(buf, static_cast<size_t>(n));
+  }
+  ASSERT_EQ(parsed, 1);
+  EXPECT_EQ(echoed, payload);
+  close(fd);
+}
+
+TEST_F(EchoServerTest, SlowReaderDoesNotBlockOthers) {
+  // A client that requests a large echo but reads nothing for a while
+  // forces the server's reply into its write buffer (EPOLLOUT path).
+  // A second, prompt client must still get served meanwhile, and the
+  // slow reader must eventually receive every byte.
+  int slow_fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server_->port(), &slow_fd).ok());
+  const std::string big(2 * 1024 * 1024, 'z');
+  std::string wire;
+  AppendFrame(&wire, big);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n =
+        send(slow_fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  // While the 2 MiB reply sits (partially) in the slow connection's
+  // buffer, a second client round-trips fine.
+  {
+    FramedSocket prompt;
+    ASSERT_TRUE(prompt.Connect("127.0.0.1", server_->port(), 5000).ok());
+    ASSERT_TRUE(prompt.SendFrame("quick").ok());
+    std::string reply;
+    ASSERT_TRUE(prompt.RecvFrame(kMaxFrameBytes, &reply).ok());
+    EXPECT_EQ(reply, "quick");
+  }
+
+  // Now drain the big echo in small sips.
+  SetIoTimeout(slow_fd, 5000);
+  std::string in;
+  std::string echoed;
+  size_t consumed = 0;
+  char buf[4096];
+  int parsed = 0;
+  while ((parsed = TryParseFrame(in, kMaxFrameBytes, &echoed, &consumed)) ==
+         0) {
+    ssize_t n = recv(slow_fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "slow reader starved";
+    in.append(buf, static_cast<size_t>(n));
+    if (in.size() % (64 * 1024) < sizeof(buf)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(parsed, 1);
+  EXPECT_EQ(echoed, big);
+  close(slow_fd);
+}
+
+TEST_F(EchoServerTest, MalformedFrameClosesConnectionNotServer) {
+  int fd = -1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server_->port(), &fd).ok());
+  const std::string poison(11, '\x80');  // invalid varint length prefix
+  ASSERT_EQ(send(fd, poison.data(), poison.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(poison.size()));
+  // The server drops this connection...
+  SetIoTimeout(fd, 5000);
+  char buf[16];
+  ssize_t n = recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+  close(fd);
+  EXPECT_GE(server_->decode_errors(), 1u);
+
+  // ...but keeps serving everyone else.
+  FramedSocket ok_client;
+  ASSERT_TRUE(ok_client.Connect("127.0.0.1", server_->port(), 5000).ok());
+  ASSERT_TRUE(ok_client.SendFrame("still-alive").ok());
+  std::string reply;
+  ASSERT_TRUE(ok_client.RecvFrame(kMaxFrameBytes, &reply).ok());
+  EXPECT_EQ(reply, "still-alive");
+}
+
+TEST_F(EchoServerTest, OversizeFrameRejected) {
+  NetServer::Options options;
+  options.port = 0;
+  options.max_frame_bytes = 1024;
+  NetServer small(options,
+                  [](uint64_t, const std::string& request,
+                     std::string* response) {
+                    *response = request;
+                    return NetServer::HandleResult::kReply;
+                  });
+  ASSERT_TRUE(small.Start().ok());
+  FramedSocket client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", small.port(), 5000).ok());
+  ASSERT_TRUE(client.SendFrame(std::string(4096, 'x')).ok());
+  std::string reply;
+  EXPECT_FALSE(client.RecvFrame(kMaxFrameBytes, &reply).ok());
+  EXPECT_GE(small.decode_errors(), 1u);
+  small.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dynamicc

@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/delta_stream.h"
+#include "net/front_end.h"
 #include "replication/follower.h"
 #include "replication/replication_session.h"
 #include "service/query_api.h"
@@ -306,6 +309,59 @@ TEST(ReadPath, FollowerServesEpochPinnedViewsWithStalenessBound) {
       ASSERT_TRUE(result.info.served);
       EXPECT_EQ(result.info.epoch, frontier);
     }
+  }
+}
+
+TEST(ReadPath, FollowerReadsIdenticalOverEitherTransport) {
+  // Transport-parameterized leg: the read replica either tails the
+  // primary's replication directory directly or a TCP mirror kept by
+  // DeltaStreamClient. The pinned view it serves must be byte-equal to
+  // the primary's clustering either way — the transport is invisible
+  // to the read path.
+  for (const char* transport : {"shared", "tcp"}) {
+    SCOPED_TRACE(transport);
+    const bool over_tcp = std::string(transport) == "tcp";
+    const std::string dir =
+        TempDir(std::string("transport_reads_") + transport);
+    ShardedDynamicCService primary(ReadServiceOptions(2), nullptr,
+                                   MakeFactory());
+    ReplicationSession repl(&primary, dir, {});
+    ASSERT_TRUE(repl.Start().ok());
+    for (int e = 0; e < 4; ++e) {
+      std::vector<ObjectId> changed =
+          primary.ApplyOperations(AddsForGroups({e}, kGroupSize));
+      primary.ObserveBatchRound(changed);
+      repl.SealEpoch();
+    }
+
+    std::string follow_dir = dir;
+    std::unique_ptr<net::ServerFrontEnd> front_end;
+    if (over_tcp) {
+      follow_dir = TempDir("transport_reads_mirror");
+      net::ServerFrontEnd::Options fe_options;
+      fe_options.replication_dir = dir;
+      front_end = std::make_unique<net::ServerFrontEnd>(&primary, nullptr,
+                                                        fe_options);
+      ASSERT_TRUE(front_end->Start().ok());
+      front_end->SetStreamDone(true);
+      net::DeltaStreamClient::Options stream_options;
+      stream_options.port = front_end->port();
+      stream_options.mirror_dir = follow_dir;
+      net::DeltaStreamClient stream(std::move(stream_options));
+      ASSERT_TRUE(stream.TailUntilDone(nullptr).ok());
+    }
+
+    Follower follower(follow_dir, ReadServiceOptions(2), MakeFactory());
+    ASSERT_TRUE(follower.Restore().ok());
+    ASSERT_TRUE(follower.CatchUp().ok());
+    ASSERT_TRUE(follower.service().serves_reads());
+
+    QueryClient follower_client(&follower.service(), "replica");
+    ReadPin pin = follower_client.Pin();
+    ASSERT_TRUE(pin);
+    EXPECT_EQ(pin->CanonicalClusters(), primary.GlobalClusters());
+    EXPECT_EQ(follower.epoch(), primary.open_epoch() - 1);
+    if (front_end != nullptr) front_end->Stop();
   }
 }
 

@@ -7,6 +7,7 @@
 // that stays in lockstep on the subsequent stream with zero retraining.
 
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "ml/serialization.h"
+#include "net/delta_stream.h"
+#include "net/front_end.h"
 #include "replication/delta_log.h"
 #include "replication/follower.h"
 #include "replication/replication_session.h"
@@ -375,6 +378,68 @@ TEST(Replication, SealWithoutBarrierShipsTheBacklog) {
   follower.Flush();
   primary.Flush(sealed);
   EXPECT_EQ(primary.GlobalClusters(), follower.service().GlobalClusters());
+}
+
+TEST(Replication, FollowerByteIdenticalOverEitherTransport) {
+  // Transport-parameterized leg of the byte-identity claim: the
+  // follower consumes either the primary's directory directly (shared
+  // filesystem) or a TCP mirror of it kept by DeltaStreamClient. The
+  // mirror copies file bytes verbatim (compressed only in transit), so
+  // both legs must converge to the same replica at every epoch.
+  for (const char* transport : {"shared", "tcp"}) {
+    SCOPED_TRACE(transport);
+    const bool over_tcp = std::string(transport) == "tcp";
+    ShardedDynamicCService primary(ServiceOptions(2, false), nullptr,
+                                   MakeFactory());
+    auto changed = primary.ApplyOperations(GroupAdds(10, 3));
+    primary.ObserveBatchRound(changed);
+    primary.Flush();
+
+    std::string dir = TempDir(std::string("transport_src_") + transport);
+    ReplicationSession repl(&primary, dir, {});
+    ASSERT_TRUE(repl.Start().ok());
+
+    std::unique_ptr<net::ServerFrontEnd> front_end;
+    std::unique_ptr<net::DeltaStreamClient> stream;
+    std::string follow_dir = dir;
+    if (over_tcp) {
+      follow_dir = TempDir("transport_mirror");
+      net::ServerFrontEnd::Options fe_options;
+      fe_options.replication_dir = dir;
+      front_end = std::make_unique<net::ServerFrontEnd>(&primary, nullptr,
+                                                        fe_options);
+      ASSERT_TRUE(front_end->Start().ok());
+      net::DeltaStreamClient::Options stream_options;
+      stream_options.port = front_end->port();
+      stream_options.mirror_dir = follow_dir;
+      stream =
+          std::make_unique<net::DeltaStreamClient>(std::move(stream_options));
+      net::DeltaStreamClient::SyncResult sync;
+      ASSERT_TRUE(stream->Connect().ok());
+      ASSERT_TRUE(stream->SyncOnce(&sync).ok());
+      ASSERT_TRUE(sync.fully_mirrored);
+    }
+
+    Follower follower(follow_dir, ServiceOptions(2, false), MakeFactory());
+    ASSERT_TRUE(follower.Restore().ok());
+    ExpectReplica(primary, follower.service());
+
+    for (int round = 0; round < 3; ++round) {
+      SCOPED_TRACE(round);
+      ServeRound(primary, repl, round);
+      if (over_tcp) {
+        net::DeltaStreamClient::SyncResult sync;
+        ASSERT_TRUE(stream->SyncOnce(&sync).ok());
+        ASSERT_TRUE(sync.fully_mirrored);
+      }
+      size_t replayed = 0;
+      ASSERT_TRUE(follower.CatchUp(&replayed).ok());
+      EXPECT_EQ(replayed, 1u);
+      follower.Flush();
+      ExpectReplica(primary, follower.service());
+    }
+    if (front_end != nullptr) front_end->Stop();
+  }
 }
 
 TEST(Replication, CatchUpToFailsUntilTheEpochShips) {
