@@ -57,6 +57,7 @@
 #include "net/front_end.h"
 #include "objective/correlation.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replication/follower.h"
 #include "replication/replication_session.h"
 #include "service/sharded_service.h"
@@ -389,6 +390,68 @@ int main(int argc, char** argv) {
   front_end.Stop();
   repl.Stop();
 
+  // ---- Tracing overhead: the same closed loop on fresh twin services,
+  // once untraced and once with wire-propagated tracing on (server +
+  // client spans, kTraced envelopes). Max of 3 repeats each, so
+  // scheduler noise does not masquerade as tracing overhead; the CI
+  // gate holds the ratio within 2%. ----
+  auto closed_loop_ops_per_sec = [&](bool traced) {
+    obs::MetricsRegistry book;
+    obs::Tracer tracer(args.shards);
+    ShardedDynamicCService::Options twin_options =
+        ServiceOptions(args, &book, false);
+    if (traced) twin_options.obs.tracer = &tracer;
+    ShardedDynamicCService twin(twin_options, nullptr, MakeFactory());
+    Train(&twin, args);
+    net::ServerFrontEnd::Options twin_fe_options;
+    twin_fe_options.metrics = &book;
+    if (traced) twin_fe_options.tracer = &tracer;
+    net::ServerFrontEnd twin_fe(&twin, nullptr, twin_fe_options);
+    if (!twin_fe.Start().ok()) return 0.0;
+    const uint16_t twin_port = twin_fe.port();
+    std::vector<std::thread> threads;
+    Timer timer;
+    for (int c = 0; c < args.clients; ++c) {
+      threads.emplace_back([&, c] {
+        obs::Tracer client_tracer(1);
+        net::NetClient::Options client_options;
+        client_options.port = twin_port;
+        if (traced) client_options.tracer = &client_tracer;
+        net::NetClient client(client_options);
+        if (!client.Connect().ok()) {
+          rpc_errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (size_t i = static_cast<size_t>(c); i < serving.size();
+             i += static_cast<size_t>(args.clients)) {
+          net::IngestResponse response;
+          if (!client.Ingest(serving[i], &response).ok() ||
+              !response.accepted) {
+            rpc_errors.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    twin.Flush();
+    const double ms = timer.ElapsedMillis();
+    twin_fe.Stop();
+    return ms > 0.0 ? 1000.0 * serving_ops / ms : 0.0;
+  };
+  // Best paired ratio across interleaved repeats: outside load must hit
+  // the traced leg of every pair the same way to fake an overhead.
+  double untraced_best = 0.0, traced_best = 0.0, traced_vs_untraced = 0.0;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    const double untraced = closed_loop_ops_per_sec(false);
+    const double traced = closed_loop_ops_per_sec(true);
+    untraced_best = std::max(untraced_best, untraced);
+    traced_best = std::max(traced_best, traced);
+    if (untraced > 0.0) {
+      traced_vs_untraced = std::max(traced_vs_untraced, traced / untraced);
+    }
+  }
+
   obs::MetricsSnapshot metrics = registry.Snapshot();
   uint64_t raw_bytes = 0, wire_bytes = 0;
   for (const auto& counter : metrics.counters) {
@@ -416,6 +479,33 @@ int main(int argc, char** argv) {
                  : 0.0)
       .Key("rpc_errors").Value(rpc_errors.load())
       .Key("decode_errors").Value(static_cast<size_t>(decode_errors))
+      .EndObject();
+  // Server-side view of the same traffic: the front end's per-type
+  // net.rpc_ms histograms, so queueing inside the server is separable
+  // from what the client-measured open-loop latencies include.
+  json.Key("server_rpc").BeginObject();
+  {
+    const std::string prefix = "net.rpc_ms{type=";
+    for (const auto& h : metrics.histograms) {
+      if (h.count == 0 || h.name.rfind(prefix, 0) != 0) continue;
+      std::string type = h.name.substr(prefix.size());
+      if (!type.empty() && type.back() == '}') type.pop_back();
+      json.Key(type)
+          .BeginObject()
+          .Key("count").Value(static_cast<size_t>(h.count))
+          .Key("p50_ms").Value(h.p50)
+          .Key("p95_ms").Value(h.p95)
+          .Key("p99_ms").Value(h.p99)
+          .EndObject();
+    }
+  }
+  json.EndObject();
+  json.Key("tracing")
+      .BeginObject()
+      .Key("untraced_ops_per_sec").Value(untraced_best)
+      .Key("traced_ops_per_sec").Value(traced_best)
+      .Key("traced_vs_untraced").Value(traced_vs_untraced)
+      .Key("within_2pct").Value(traced_vs_untraced >= 0.98 ? 1 : 0)
       .EndObject();
   json.Key("open_loop")
       .BeginObject()

@@ -71,6 +71,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -90,6 +91,7 @@
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "objective/correlation.h"
 #include "objective/db_index.h"
 #include "replication/follower.h"
@@ -188,6 +190,19 @@ struct CliArgs {
   std::string replicate_over = "shared";
   bool shutdown_server = false;
   bool replicate_resume = false;
+  /// Remote introspection (client modes — dial, print, exit; no local
+  /// serving): --scrape HOST:PORT prints the server's Prometheus
+  /// metrics text to stdout, --health HOST:PORT its health and active
+  /// alerts (exit 3 when degraded), --trace-dump-from HOST:PORT its
+  /// Chrome-trace JSON, and --rpc-shutdown HOST:PORT sends the
+  /// Shutdown RPC. --watchdog attaches an SLO watchdog (replica
+  /// staleness, read-path rejections, queue depth, event-loop lag) to
+  /// a serving run; the Health RPC reports its active alerts.
+  std::string scrape;
+  std::string health;
+  std::string trace_dump_from;
+  std::string rpc_shutdown;
+  bool watchdog = false;
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -346,6 +361,24 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->shutdown_server = true;
     } else if (flag == "--replicate-resume") {
       args->replicate_resume = true;
+    } else if (flag == "--scrape") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->scrape = v;
+    } else if (flag == "--health") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->health = v;
+    } else if (flag == "--trace-dump-from") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_dump_from = v;
+    } else if (flag == "--rpc-shutdown") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->rpc_shutdown = v;
+    } else if (flag == "--watchdog") {
+      args->watchdog = true;
     } else if (flag == "--queue-depth") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -425,7 +458,17 @@ void Usage() {
       "  --shutdown-server sends the Shutdown RPC when it is done.\n"
       "  --replicate-resume makes a promoted follower resume the\n"
       "  existing delta log at its sealed epoch (chained replication)\n"
-      "  instead of serving the tail unreplicated.\n");
+      "  instead of serving the tail unreplicated.\n"
+      "  Remote introspection (client modes, run and exit): --scrape\n"
+      "  HOST:PORT prints the server's Prometheus metrics text to\n"
+      "  stdout, --health HOST:PORT its health + active alerts (exit 3\n"
+      "  when degraded), --trace-dump-from HOST:PORT its Chrome-trace\n"
+      "  JSON, --rpc-shutdown HOST:PORT sends the Shutdown RPC.\n"
+      "  --watchdog attaches an SLO watchdog (staleness, read\n"
+      "  rejections, queue depth, event-loop lag) to a serving run;\n"
+      "  Health reports its alerts. A caught-up follower may --listen\n"
+      "  too: it serves its replica state, scrape and health over TCP\n"
+      "  (with --linger, until a Shutdown RPC).\n");
 }
 
 bool ToWorkload(const std::string& name, WorkloadKind* out) {
@@ -572,6 +615,134 @@ void ExportObservability(const CliArgs& args,
   }
 }
 
+/// Dials |target| and runs |body| on the connected client. Returns 2 on
+/// a bad address, 1 on a failed dial, otherwise whatever |body| does.
+int WithClient(const std::string& target,
+               const std::function<int(net::NetClient&)>& body) {
+  net::NetClient::Options copts;
+  Status status = net::ParseHostPort(target, &copts.host, &copts.port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", target.c_str(),
+                 status.ToString().c_str());
+    return 2;
+  }
+  net::NetClient client(copts);
+  status = client.Connect();
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect %s failed: %s\n", target.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  const int rc = body(client);
+  client.Close();
+  return rc;
+}
+
+/// Remote introspection client modes (--scrape / --health /
+/// --trace-dump-from / --rpc-shutdown): independent of the workload
+/// flags, so scripts can probe any serving process without re-stating
+/// its stream configuration. Runs every requested probe in order and
+/// stops at the first failure.
+int RunIntrospection(const CliArgs& args) {
+  if (!args.scrape.empty()) {
+    const int rc = WithClient(args.scrape, [](net::NetClient& client) {
+      std::string text;
+      Status status = client.MetricsScrape(&text);
+      if (!status.ok()) {
+        std::fprintf(stderr, "scrape failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::fwrite(text.data(), 1, text.size(), stdout);
+      return 0;
+    });
+    if (rc != 0) return rc;
+  }
+  if (!args.health.empty()) {
+    const int rc = WithClient(args.health, [](net::NetClient& client) {
+      net::HealthResponse health;
+      Status status = client.Health(&health);
+      if (!status.ok()) {
+        std::fprintf(stderr, "health failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("health: %s alerts_active=%llu\n",
+                  health.ok ? "ok" : "degraded",
+                  static_cast<unsigned long long>(health.alerts_active));
+      for (const std::string& alert : health.alerts) {
+        std::printf("alert: %s\n", alert.c_str());
+      }
+      return health.ok ? 0 : 3;
+    });
+    if (rc != 0) return rc;
+  }
+  if (!args.trace_dump_from.empty()) {
+    const int rc =
+        WithClient(args.trace_dump_from, [](net::NetClient& client) {
+          std::string json;
+          Status status = client.TraceDump(&json);
+          if (!status.ok()) {
+            std::fprintf(stderr, "trace dump failed: %s\n",
+                         status.ToString().c_str());
+            return 1;
+          }
+          std::fwrite(json.data(), 1, json.size(), stdout);
+          return 0;
+        });
+    if (rc != 0) return rc;
+  }
+  if (!args.rpc_shutdown.empty()) {
+    return WithClient(args.rpc_shutdown, [](net::NetClient& client) {
+      Status status = client.Shutdown();
+      if (!status.ok()) {
+        std::fprintf(stderr, "rpc-shutdown failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "server shut down\n");
+      return 0;
+    });
+  }
+  return 0;
+}
+
+/// Default SLO rules for --watchdog: replica staleness, read-path
+/// staleness rejections, ingest queue depth, and event-loop lag. The
+/// thresholds are generous on purpose — the watchdog flags sustained
+/// breaches, and each rule clears well below where it fires so a value
+/// oscillating around the threshold produces one alert, not a storm.
+void AddDefaultSloRules(obs::Watchdog* watchdog, const CliArgs& args) {
+  obs::Watchdog::Rule rule;
+  rule.name = "follower-staleness";
+  rule.metric = "follower.epochs_behind";
+  rule.fire_above = 8.0;
+  rule.clear_below = 2.0;
+  watchdog->AddRule(rule);
+
+  rule = obs::Watchdog::Rule();
+  rule.name = "read-stale-rejections";
+  rule.metric = "read.rejected_stale";
+  rule.kind = obs::Watchdog::Rule::Kind::kCounterDelta;
+  rule.fire_above = 100.0;
+  rule.clear_below = 1.0;
+  watchdog->AddRule(rule);
+
+  rule = obs::Watchdog::Rule();
+  rule.name = "ingest-queue-depth";
+  rule.metric = "ingest.pending_ops";
+  rule.fire_above = 0.9 * static_cast<double>(args.queue_depth);
+  rule.clear_below = 0.5 * static_cast<double>(args.queue_depth);
+  watchdog->AddRule(rule);
+
+  rule = obs::Watchdog::Rule();
+  rule.name = "event-loop-lag";
+  rule.metric = "net.loop_lag_ms";
+  rule.fire_above = 250.0;
+  rule.clear_below = 50.0;
+  watchdog->AddRule(rule);
+}
+
 /// Serves the workload stream with the sharded service instead of the
 /// single-engine harness: one environment per shard, the first
 /// `training_rounds` snapshots observed, the rest served dynamically
@@ -618,6 +789,24 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
   if (!args.metrics_out.empty()) {
     options.obs.metrics = &obs::MetricsRegistry::Default();
   }
+  // --watchdog needs a registry to watch (and forces one on when no
+  // export was requested — alerts are still scrapeable over TCP).
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (args.watchdog) {
+    if (options.obs.metrics == nullptr) {
+      options.obs.metrics = &obs::MetricsRegistry::Default();
+    }
+    watchdog =
+        std::make_unique<obs::Watchdog>(options.obs.metrics,
+                                        options.obs.tracer);
+    AddDefaultSloRules(watchdog.get(), args);
+    watchdog->Start(/*interval_ms=*/100);
+  }
+  // A --listen server is always scrapeable: MetricsScrape needs a
+  // registry even when no local export was asked for.
+  if (!args.listen.empty() && options.obs.metrics == nullptr) {
+    options.obs.metrics = &obs::MetricsRegistry::Default();
+  }
   ShardedDynamicCService service(options, /*router=*/nullptr,
                                  MakeShardFactory(config));
 
@@ -647,6 +836,10 @@ int RunSharded(const CliArgs& args, const ExperimentConfig& config) {
     }
     fe_options.replication_dir = args.replicate_to;
     fe_options.metrics = options.obs.metrics;
+    // Share the service's tracer so one trace spans the RPC handler and
+    // the shard-side work it triggered; Health reports the watchdog.
+    fe_options.tracer = options.obs.tracer;
+    fe_options.watchdog = watchdog.get();
     front_end = std::make_unique<net::ServerFrontEnd>(&service,
                                                       /*router=*/nullptr,
                                                       fe_options);
@@ -1100,7 +1293,72 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
   if (!args.metrics_out.empty()) {
     options.obs.metrics = &obs::MetricsRegistry::Default();
   }
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (args.watchdog) {
+    if (options.obs.metrics == nullptr) {
+      options.obs.metrics = &obs::MetricsRegistry::Default();
+    }
+    watchdog =
+        std::make_unique<obs::Watchdog>(options.obs.metrics,
+                                        options.obs.tracer);
+    AddDefaultSloRules(watchdog.get(), args);
+  }
+  if (!args.listen.empty() && options.obs.metrics == nullptr) {
+    options.obs.metrics = &obs::MetricsRegistry::Default();
+  }
   Follower follower(args.follow, options, MakeShardFactory(config));
+  // The follower ticks the watchdog itself after every catch-up pass —
+  // exactly when the staleness gauges move.
+  if (watchdog != nullptr) follower.set_watchdog(watchdog.get());
+
+  // --listen on a follower: once the replica has caught up, serve its
+  // state over TCP — queries, metrics scrape, trace dump and health —
+  // until (with --linger) a Shutdown RPC tears it down. Started after
+  // the tail so a compaction-forced rebuild can never swap the service
+  // out from under a live front end.
+  auto serve_front_end = [&args, &follower, &options, &watchdog]() -> bool {
+    if (args.listen.empty()) return true;
+    net::ServerFrontEnd::Options fe_options;
+    Status status = net::ParseHostPort(args.listen, &fe_options.host,
+                                       &fe_options.port);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--listen: %s\n", status.ToString().c_str());
+      return false;
+    }
+    fe_options.metrics = options.obs.metrics;
+    fe_options.tracer = options.obs.tracer;
+    fe_options.watchdog = watchdog.get();
+    net::ServerFrontEnd front_end(&follower.service(), /*router=*/nullptr,
+                                  fe_options);
+    status = front_end.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "--listen failed: %s\n",
+                   status.ToString().c_str());
+      return false;
+    }
+    front_end.SetStreamDone(true);  // the replica serves a finished tail
+    std::fprintf(stderr, "follower listening on %s:%u\n",
+                 fe_options.host.c_str(), front_end.port());
+    if (!args.port_file.empty()) {
+      status = WriteFileAtomic(args.port_file,
+                               std::to_string(front_end.port()) + "\n");
+      if (!status.ok()) {
+        std::fprintf(stderr, "--port-file failed: %s\n",
+                     status.ToString().c_str());
+        return false;
+      }
+    }
+    if (args.linger) {
+      // Keep evaluating SLO rules on wall-clock cadence while lingering
+      // (no catch-up passes tick the watchdog any more).
+      if (watchdog != nullptr) watchdog->Start(/*interval_ms=*/100);
+      std::fprintf(stderr, "caught up; lingering until Shutdown RPC\n");
+      front_end.Join();
+      if (watchdog != nullptr) watchdog->Stop();
+    }
+    front_end.Stop();
+    return true;
+  };
 
   // --replicate-over tcp: the --follow directory is a local mirror of
   // the primary's replication stream, filled over the wire by a
@@ -1181,6 +1439,7 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
                      status.ToString().c_str());
       }
     }
+    if (!serve_front_end()) return 1;
     ExportObservability(args, follower.service(), tracer.get());
     PrintFinalState(follower.service());
     return 0;
@@ -1217,6 +1476,7 @@ int RunFollower(const CliArgs& args, const ExperimentConfig& config) {
     std::fprintf(stderr, "caught up: %zu deltas replayed, at epoch %llu\n",
                  replayed,
                  static_cast<unsigned long long>(follower.epoch()));
+    if (!serve_front_end()) return 1;
     ExportObservability(args, follower.service(), tracer.get());
     PrintFinalState(follower.service());
     return 0;
@@ -1331,6 +1591,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Introspection client modes dial a running server and exit; they do
+  // not touch the workload configuration at all.
+  if (!args.scrape.empty() || !args.health.empty() ||
+      !args.trace_dump_from.empty() || !args.rpc_shutdown.empty()) {
+    return RunIntrospection(args);
+  }
+
   ExperimentConfig config;
   if (!ToWorkload(args.workload, &config.workload) ||
       !ToTask(args.task, &config.task)) {
@@ -1380,8 +1647,11 @@ int main(int argc, char** argv) {
                    "mirror) and --connect HOST:PORT\n");
       return 2;
     }
-    if (!args.listen.empty() && !args.follow.empty()) {
-      std::fprintf(stderr, "--listen serves a primary, not a follower\n");
+    if (!args.listen.empty() && !args.follow.empty() &&
+        args.promote_at != 0) {
+      std::fprintf(stderr,
+                   "--listen on a follower serves the caught-up replica; "
+                   "it cannot be combined with --promote-at\n");
       return 2;
     }
     if (args.replicate_resume &&

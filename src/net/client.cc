@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/timer.h"
+
 namespace dynamicc {
 namespace net {
 
@@ -11,6 +13,10 @@ Status NetClient::Connect() {
   if (!status.ok()) return status;
   HelloRequest hello;
   hello.codec_mask = options_.codec_mask;
+  // Only a tracing client sends the optional feature field: a bare
+  // Hello stays byte-identical to the pre-feature wire format, so old
+  // servers keep accepting non-tracing clients.
+  if (options_.tracer != nullptr) hello.feature_mask = kFeatureTraceContext;
   std::string request, response;
   Encode(hello, &request);
   status = Call(request, &response);
@@ -24,10 +30,54 @@ Status NetClient::Connect() {
     return Status::IoError("malformed Hello response");
   }
   codec_ = ok.codec;
+  server_features_ = ok.feature_mask;
   return Status::Ok();
 }
 
+obs::Histogram* NetClient::RpcHistogram(MsgType type) {
+  if (options_.metrics == nullptr) return nullptr;
+  const size_t i = static_cast<uint8_t>(type);
+  if (rpc_ms_[i] == nullptr) {
+    rpc_ms_[i] = options_.metrics->GetHistogram(
+        std::string("net.client.rpc_ms{type=") + MsgTypeName(type) + "}");
+  }
+  return rpc_ms_[i];
+}
+
 Status NetClient::Call(const std::string& request, std::string* response) {
+  MsgType type = MsgType::kError;
+  PeekType(request, &type);
+  ScopedTimer timer;
+  timer.Record(RpcHistogram(type));  // null sinks are ignored
+  if (!tracing_enabled() || type == MsgType::kHello) {
+    return CallRaw(request, response);
+  }
+  // Originate a fresh trace per call, or join the thread's ambient
+  // context if the caller is already inside one.
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (!ctx.active()) {
+    ctx.trace_id = obs::NextTraceId();
+    ctx.parent_span_id = 0;
+    ctx.sampled = true;
+  }
+  obs::ScopedTraceContext ambient(ctx);
+  obs::ScopedSpan span(options_.tracer, obs::kSpanRpcClient,
+                       obs::kServiceShard);
+  // The span advanced the ambient parent to itself; the server's
+  // handler span becomes its child.
+  const obs::TraceContext current = obs::CurrentTraceContext();
+  TraceContextWire wire_ctx;
+  wire_ctx.trace_id = current.trace_id;
+  wire_ctx.parent_span_id = current.parent_span_id;
+  wire_ctx.sampled = current.sampled;
+  last_trace_id_ = current.trace_id;
+  std::string traced;
+  traced.reserve(request.size() + 24);
+  EncodeTraced(wire_ctx, request, &traced);
+  return CallRaw(traced, response);
+}
+
+Status NetClient::CallRaw(const std::string& request, std::string* response) {
   Status status = socket_.SendFrame(request);
   if (!status.ok()) return status;
   status = socket_.RecvFrame(options_.max_frame_bytes, response);
@@ -183,6 +233,43 @@ Status NetClient::FetchBaseFile(uint64_t epoch, const std::string& name,
   std::string request;
   Encode(req, &request);
   return FetchBlock(request, raw);
+}
+
+Status NetClient::MetricsScrape(std::string* text) {
+  std::string request, payload;
+  Encode(MetricsScrapeRequest{}, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  MetricsScrapeResponse resp;
+  if (!Decode(payload, &resp)) {
+    return Status::IoError("malformed MetricsScrape response");
+  }
+  *text = std::move(resp.text);
+  return Status::Ok();
+}
+
+Status NetClient::TraceDump(std::string* json) {
+  std::string request, payload;
+  Encode(TraceDumpRequest{}, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  TraceDumpResponse resp;
+  if (!Decode(payload, &resp)) {
+    return Status::IoError("malformed TraceDump response");
+  }
+  *json = std::move(resp.json);
+  return Status::Ok();
+}
+
+Status NetClient::Health(HealthResponse* response) {
+  std::string request, payload;
+  Encode(HealthRequest{}, &request);
+  Status status = Call(request, &payload);
+  if (!status.ok()) return status;
+  if (!Decode(payload, response)) {
+    return Status::IoError("malformed Health response");
+  }
+  return Status::Ok();
 }
 
 Status NetClient::Shutdown() {

@@ -12,12 +12,15 @@
 #ifndef DYNAMICC_NET_CLIENT_H_
 #define DYNAMICC_NET_CLIENT_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "net/codec.h"
 #include "net/rpc.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace dynamicc {
@@ -34,6 +37,15 @@ class NetClient {
     uint64_t max_frame_bytes = kMaxFrameBytes;
     // Ops buffered before FlushOps() auto-fires from QueueOp().
     size_t coalesce_ops = 64;
+    // When set, every RPC records its round-trip latency into
+    // `net.client.rpc_ms{type=<Type>}`.
+    obs::MetricsRegistry* metrics = nullptr;
+    // When set, Connect() requests kFeatureTraceContext and — once the
+    // server echoes it — every non-Hello RPC opens an "rpc.client" span
+    // and ships its trace context in a kTraced envelope: originated
+    // fresh per call, or propagated from the thread's ambient context
+    // if one is active.
+    obs::Tracer* tracer = nullptr;
   };
 
   explicit NetClient(Options options) : options_(std::move(options)) {}
@@ -74,20 +86,43 @@ class NetClient {
   // ---- Admin ----
   Status Shutdown();
 
+  // ---- Introspection ----
+  // Prometheus text scraped from the server's registry.
+  Status MetricsScrape(std::string* text);
+  // Chrome-trace JSON of the server's trace rings.
+  Status TraceDump(std::string* json);
+  Status Health(HealthResponse* response);
+
   uint64_t bytes_sent() const { return socket_.bytes_sent(); }
   uint64_t bytes_received() const { return socket_.bytes_received(); }
+  // Feature bits the server acknowledged in HelloOk.
+  uint64_t server_features() const { return server_features_; }
+  // Trace id of the most recent traced RPC (0 before any).
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
  private:
   // Sends |request| and receives one response payload; converts kError
-  // payloads into a non-OK Status.
+  // payloads into a non-OK Status. Times the round trip per type and
+  // wraps the request in a kTraced envelope when tracing is on.
   Status Call(const std::string& request, std::string* response);
+  Status CallRaw(const std::string& request, std::string* response);
   // Fetch + DecodeBlock for the two block-response RPCs.
   Status FetchBlock(const std::string& request, std::string* raw);
+  bool tracing_enabled() const {
+    return options_.tracer != nullptr &&
+           (server_features_ & kFeatureTraceContext) != 0;
+  }
+  obs::Histogram* RpcHistogram(MsgType type);
 
   Options options_;
   FramedSocket socket_;
   Codec codec_ = Codec::kRaw;
+  uint64_t server_features_ = 0;
+  uint64_t last_trace_id_ = 0;
   OperationBatch pending_;
+  // Lazy per-type cache for net.client.rpc_ms{type=...} (the client is
+  // single-threaded, so a plain array is enough).
+  std::array<obs::Histogram*, 256> rpc_ms_{};
 };
 
 }  // namespace net

@@ -29,10 +29,17 @@ NetServer::NetServer(Options options, Handler handler)
     bytes_out_ = reg.GetCounter("net.bytes_out");
     frames_in_ = reg.GetCounter("net.frames_in");
     frames_out_ = reg.GetCounter("net.frames_out");
+    frame_bytes_in_ = reg.GetCounter("net.frame_bytes_in");
+    frame_bytes_out_ = reg.GetCounter("net.frame_bytes_out");
+    bytes_dropped_ = reg.GetCounter("net.bytes_dropped");
     connections_ = reg.GetCounter("net.connections");
     decode_errors_metric_ = reg.GetCounter("net.decode_errors");
     active_connections_ = reg.GetGauge("net.active_connections");
+    loop_lag_ms_ = reg.GetGauge("net.loop_lag_ms");
+    out_buffer_high_water_ = reg.GetGauge("net.out_buffer_high_water");
     request_ms_ = reg.GetHistogram("net.request_ms");
+    conn_lifetime_ms_ = reg.GetHistogram("net.conn_lifetime_ms");
+    conn_frames_ = reg.GetHistogram("net.conn_frames");
   }
 }
 
@@ -101,6 +108,9 @@ void NetServer::Loop() {
       if (errno == EINTR) continue;
       break;
     }
+    // Iteration lag: wall time the loop spends servicing this batch of
+    // events — while it runs, every other connection waits.
+    const auto iteration_start = std::chrono::steady_clock::now();
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
       uint32_t mask = events[i].events;
@@ -129,6 +139,12 @@ void NetServer::Loop() {
         alive = false;
       }
       if (!alive) CloseConn(fd);
+    }
+    if (n > 0 && loop_lag_ms_ != nullptr) {
+      loop_lag_ms_->Set(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - iteration_start)
+              .count());
     }
     // A kStopAfterReply exits once its reply has drained (the
     // connection closes when flushed, which removes it from conns_).
@@ -164,7 +180,9 @@ void NetServer::AcceptAll() {
       close(fd);
       continue;
     }
-    conns_[fd].id = next_conn_id_++;
+    Conn& conn = conns_[fd];
+    conn.id = next_conn_id_++;
+    conn.opened = std::chrono::steady_clock::now();
     if (connections_ != nullptr) connections_->Add(1);
     if (active_connections_ != nullptr) {
       active_connections_->Set(static_cast<double>(conns_.size()));
@@ -205,7 +223,9 @@ bool NetServer::ReadAndDispatch(int fd, Conn* conn) {
     payload.assign(conn->in.data() + erased + header,
                    static_cast<size_t>(size));
     erased += total;
+    conn->frames += 1;
     if (frames_in_ != nullptr) frames_in_->Add(1);
+    if (frame_bytes_in_ != nullptr) frame_bytes_in_->Add(size);
 
     std::string response;
     HandleResult result;
@@ -219,6 +239,15 @@ bool NetServer::ReadAndDispatch(int fd, Conn* conn) {
     AppendFrame(&frame, response);
     conn->out.append(frame);
     if (frames_out_ != nullptr) frames_out_->Add(1);
+    if (frame_bytes_out_ != nullptr) frame_bytes_out_->Add(response.size());
+    const uint64_t pending =
+        static_cast<uint64_t>(conn->out.size() - conn->out_offset);
+    if (pending > out_high_water_) {
+      out_high_water_ = pending;
+      if (out_buffer_high_water_ != nullptr) {
+        out_buffer_high_water_->Set(static_cast<double>(out_high_water_));
+      }
+    }
     if (result == HandleResult::kClose) {
       conn->close_after_flush = true;
       break;
@@ -272,11 +301,31 @@ void NetServer::UpdateWritable(int fd, Conn* conn) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
 }
 
+void NetServer::AccountConnClose(const Conn& conn) {
+  // Bytes queued but never written — e.g. a reply pending behind a
+  // decode error — would otherwise vanish from the books: bytes_out
+  // only counts completed write()s.
+  const size_t unflushed = conn.out.size() - conn.out_offset;
+  if (unflushed > 0 && bytes_dropped_ != nullptr) {
+    bytes_dropped_->Add(static_cast<uint64_t>(unflushed));
+  }
+  if (conn_lifetime_ms_ != nullptr) {
+    conn_lifetime_ms_->Record(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  conn.opened)
+                                  .count());
+  }
+  if (conn_frames_ != nullptr) {
+    conn_frames_->Record(static_cast<double>(conn.frames));
+  }
+}
+
 void NetServer::CloseConn(int fd) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   close(fd);
   auto it = conns_.find(fd);
   if (it != conns_.end()) {
+    AccountConnClose(it->second);
     if (options_.on_close) options_.on_close(it->second.id);
     conns_.erase(it);
   }
@@ -288,6 +337,7 @@ void NetServer::CloseConn(int fd) {
 void NetServer::CloseAll() {
   for (auto& kv : conns_) {
     close(kv.first);
+    AccountConnClose(kv.second);
     if (options_.on_close) options_.on_close(kv.second.id);
   }
   conns_.clear();

@@ -18,6 +18,7 @@
 #define DYNAMICC_NET_EVENT_LOOP_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -83,6 +84,10 @@ class NetServer {
     size_t out_offset = 0;
     bool close_after_flush = false;
     bool wants_writable = false;
+    // Lifetime accounting, reported as histograms when the connection
+    // closes (any path: peer close, decode error, server teardown).
+    uint64_t frames = 0;
+    std::chrono::steady_clock::time_point opened;
   };
 
   void Loop();
@@ -91,6 +96,9 @@ class NetServer {
   bool ReadAndDispatch(int fd, Conn* conn);
   bool FlushConn(int fd, Conn* conn);
   void UpdateWritable(int fd, Conn* conn);
+  // Lifetime histograms + unflushed-out-buffer accounting for every
+  // close path (CloseConn and CloseAll both go through it).
+  void AccountConnClose(const Conn& conn);
   void CloseConn(int fd);
   void CloseAll();
 
@@ -108,14 +116,23 @@ class NetServer {
   std::unordered_map<int, Conn> conns_;
   std::atomic<uint64_t> decode_errors_{0};
 
+  uint64_t out_high_water_ = 0;  // loop-thread only
+
   obs::Counter* bytes_in_ = nullptr;
   obs::Counter* bytes_out_ = nullptr;
   obs::Counter* frames_in_ = nullptr;
   obs::Counter* frames_out_ = nullptr;
+  obs::Counter* frame_bytes_in_ = nullptr;
+  obs::Counter* frame_bytes_out_ = nullptr;
+  obs::Counter* bytes_dropped_ = nullptr;
   obs::Counter* connections_ = nullptr;
   obs::Counter* decode_errors_metric_ = nullptr;
   obs::Gauge* active_connections_ = nullptr;
+  obs::Gauge* loop_lag_ms_ = nullptr;
+  obs::Gauge* out_buffer_high_water_ = nullptr;
   obs::Histogram* request_ms_ = nullptr;
+  obs::Histogram* conn_lifetime_ms_ = nullptr;
+  obs::Histogram* conn_frames_ = nullptr;
 };
 
 }  // namespace net

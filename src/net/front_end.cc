@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "net/rpc.h"
+#include "obs/exporter.h"
+#include "obs/trace.h"
 #include "replication/delta_log.h"
+#include "util/timer.h"
 #include "util/wire.h"
 
 namespace dynamicc {
@@ -53,6 +56,19 @@ ServerFrontEnd::ServerFrontEnd(ShardedDynamicCService* service,
     rpc_queries_ = reg.GetCounter("net.rpc_queries");
     delta_bytes_raw_ = reg.GetCounter("net.delta_bytes_raw");
     delta_bytes_wire_ = reg.GetCounter("net.delta_bytes_wire");
+    for (MsgType type :
+         {MsgType::kHello, MsgType::kIngest, MsgType::kClusterOf,
+          MsgType::kKNearest, MsgType::kStats, MsgType::kReplState,
+          MsgType::kFetchDelta, MsgType::kFetchBaseManifest,
+          MsgType::kFetchBaseFile, MsgType::kShutdown,
+          MsgType::kMetricsScrape, MsgType::kTraceDump, MsgType::kHealth}) {
+      const std::string label = std::string("{type=") + MsgTypeName(type) + "}";
+      const size_t i = static_cast<uint8_t>(type);
+      rpc_ms_[i] = reg.GetHistogram("net.rpc_ms" + label);
+      rpc_request_bytes_[i] = reg.GetHistogram("net.rpc_request_bytes" + label);
+      rpc_response_bytes_[i] =
+          reg.GetHistogram("net.rpc_response_bytes" + label);
+    }
   }
 }
 
@@ -76,6 +92,53 @@ NetServer::HandleResult ServerFrontEnd::Handle(uint64_t conn_id,
     ReplyError(Status::InvalidArgument("empty request"), response);
     return NetServer::HandleResult::kClose;
   }
+  // Peel the trace-context envelope: the wrapped bytes are a complete
+  // request, dispatched as if it had arrived bare. Responses are never
+  // wrapped.
+  TraceContextWire wire_ctx;
+  std::string inner;
+  const std::string* body = &request;
+  if (type == MsgType::kTraced) {
+    if (!DecodeTraced(request, &wire_ctx, &inner) ||
+        !PeekType(inner, &type) || type == MsgType::kTraced) {
+      ReplyError(Status::InvalidArgument("malformed Traced envelope"),
+                 response);
+      return NetServer::HandleResult::kClose;
+    }
+    body = &inner;
+  }
+  // Install the inbound context as this thread's ambient context, then
+  // open the handler span: the span joins the client's trace, and any
+  // span the handler opens downstream (ingest.admit, and via the
+  // queue-stamped context even the async drain.apply) parents on it.
+  obs::TraceContext ctx;
+  ctx.trace_id = wire_ctx.trace_id;
+  ctx.parent_span_id = wire_ctx.parent_span_id;
+  ctx.sampled = wire_ctx.sampled;
+  obs::ScopedTraceContext ambient(ctx);
+  obs::ScopedSpan rpc_span(options_.tracer, RpcSpanName(type),
+                           obs::kServiceShard);
+
+  const size_t t = static_cast<uint8_t>(type);
+  NetServer::HandleResult result;
+  {
+    ScopedTimer timer;
+    timer.Record(rpc_ms_[t]);  // null sinks are ignored
+    result = Dispatch(conn_id, type, *body, response);
+  }
+  if (rpc_request_bytes_[t] != nullptr) {
+    rpc_request_bytes_[t]->Record(static_cast<double>(body->size()));
+  }
+  if (rpc_response_bytes_[t] != nullptr) {
+    rpc_response_bytes_[t]->Record(static_cast<double>(response->size()));
+  }
+  return result;
+}
+
+NetServer::HandleResult ServerFrontEnd::Dispatch(uint64_t conn_id,
+                                                 MsgType type,
+                                                 const std::string& request,
+                                                 std::string* response) {
   switch (type) {
     case MsgType::kHello:
       HandleHello(conn_id, request, response);
@@ -103,6 +166,15 @@ NetServer::HandleResult ServerFrontEnd::Handle(uint64_t conn_id,
       return NetServer::HandleResult::kReply;
     case MsgType::kFetchBaseFile:
       HandleFetchBaseFile(conn_id, request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kMetricsScrape:
+      HandleMetricsScrape(request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kTraceDump:
+      HandleTraceDump(request, response);
+      return NetServer::HandleResult::kReply;
+    case MsgType::kHealth:
+      HandleHealth(request, response);
       return NetServer::HandleResult::kReply;
     case MsgType::kShutdown:
       EncodeShutdownOk(response);
@@ -133,9 +205,64 @@ void ServerFrontEnd::HandleHello(uint64_t conn_id, const std::string& request,
   }
   HelloResponse resp;
   resp.codec = NegotiateCodec(kSupportedCodecs, req.codec_mask);
+  resp.feature_mask = req.feature_mask & kSupportedFeatures;
   {
     std::lock_guard<std::mutex> lock(codec_mu_);
     conn_codec_[conn_id] = resp.codec;
+  }
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleMetricsScrape(const std::string& request,
+                                         std::string* response) {
+  MetricsScrapeRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed MetricsScrape"), response);
+    return;
+  }
+  obs::MetricsRegistry* registry = options_.scrape_registry != nullptr
+                                       ? options_.scrape_registry
+                                       : options_.metrics;
+  if (registry == nullptr) {
+    ReplyError(Status::InvalidArgument("no metrics registry attached"),
+               response);
+    return;
+  }
+  MetricsScrapeResponse resp;
+  resp.text = obs::RenderMetricsPrometheus(registry->Snapshot());
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleTraceDump(const std::string& request,
+                                     std::string* response) {
+  TraceDumpRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed TraceDump"), response);
+    return;
+  }
+  if (options_.tracer == nullptr) {
+    ReplyError(Status::InvalidArgument("no tracer attached"), response);
+    return;
+  }
+  TraceDumpResponse resp;
+  resp.json = obs::RenderChromeTrace(*options_.tracer);
+  Encode(resp, response);
+}
+
+void ServerFrontEnd::HandleHealth(const std::string& request,
+                                  std::string* response) {
+  HealthRequest req;
+  if (!Decode(request, &req)) {
+    ReplyError(Status::InvalidArgument("malformed Health"), response);
+    return;
+  }
+  HealthResponse resp;
+  // Without a watchdog nothing is watching, so nothing is breached;
+  // fleets that want meaningful health attach one (CLI --watchdog).
+  if (options_.watchdog != nullptr) {
+    resp.alerts = options_.watchdog->ActiveAlerts();
+    resp.alerts_active = resp.alerts.size();
+    resp.ok = resp.alerts.empty();
   }
   Encode(resp, response);
 }

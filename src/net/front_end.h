@@ -21,6 +21,7 @@
 #ifndef DYNAMICC_NET_FRONT_END_H_
 #define DYNAMICC_NET_FRONT_END_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -31,6 +32,7 @@
 #include "net/codec.h"
 #include "net/event_loop.h"
 #include "net/rpc.h"
+#include "obs/watchdog.h"
 #include "service/query_api.h"
 #include "service/sharded_service.h"
 #include "util/status.h"
@@ -48,6 +50,18 @@ class ServerFrontEnd {
     std::string replication_dir;
     uint64_t max_frame_bytes = kMaxFrameBytes;
     obs::MetricsRegistry* metrics = nullptr;
+    // When set, every handler runs under an "rpc.<Type>" ScopedSpan that
+    // joins the inbound kTraced context, and TraceDump serves this
+    // tracer's rings. Pass the service's tracer so one export holds the
+    // RPC spans and the shard-side spans they triggered.
+    obs::Tracer* tracer = nullptr;
+    // When set, Health reports its active alerts; without one Health is
+    // trivially ok (nothing is watching).
+    obs::Watchdog* watchdog = nullptr;
+    // Registry MetricsScrape renders. Defaults to `metrics`; point it
+    // elsewhere to scrape a registry the serving path does not mutate
+    // (the e2e test pins remote-vs-local byte equality this way).
+    obs::MetricsRegistry* scrape_registry = nullptr;
   };
 
   // |service| handles ingest and (when it serves reads) direct
@@ -75,6 +89,11 @@ class ServerFrontEnd {
  private:
   NetServer::HandleResult Handle(uint64_t conn_id, const std::string& request,
                                  std::string* response);
+  // The per-type dispatch switch; Handle() wraps it with trace-context
+  // unwrapping, the server-side span, and per-RPC telemetry.
+  NetServer::HandleResult Dispatch(uint64_t conn_id, MsgType type,
+                                   const std::string& request,
+                                   std::string* response);
   void HandleHello(uint64_t conn_id, const std::string& request,
                    std::string* response);
   void HandleIngest(const std::string& request, std::string* response);
@@ -88,6 +107,9 @@ class ServerFrontEnd {
                                std::string* response);
   void HandleFetchBaseFile(uint64_t conn_id, const std::string& request,
                            std::string* response);
+  void HandleMetricsScrape(const std::string& request, std::string* response);
+  void HandleTraceDump(const std::string& request, std::string* response);
+  void HandleHealth(const std::string& request, std::string* response);
   // Reads |path| and encodes it as one codec block using the
   // connection's negotiated codec.
   Status EncodeFileBlock(uint64_t conn_id, const std::string& path,
@@ -111,6 +133,13 @@ class ServerFrontEnd {
   obs::Counter* rpc_queries_ = nullptr;
   obs::Counter* delta_bytes_raw_ = nullptr;
   obs::Counter* delta_bytes_wire_ = nullptr;
+
+  // Per-message-type telemetry, indexed by the request's type byte
+  // (registered eagerly for every request type the switch serves, so
+  // scrapes expose the full key set before traffic arrives).
+  std::array<obs::Histogram*, 256> rpc_ms_{};
+  std::array<obs::Histogram*, 256> rpc_request_bytes_{};
+  std::array<obs::Histogram*, 256> rpc_response_bytes_{};
 };
 
 }  // namespace net

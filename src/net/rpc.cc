@@ -104,6 +104,51 @@ bool PeekType(const std::string& payload, MsgType* type) {
   return true;
 }
 
+namespace {
+
+// Indexed by type byte; keep in sync with MsgType.
+constexpr const char* kMsgTypeNames[] = {
+    "Error",          "Hello",         "HelloOk",
+    "Ingest",         "IngestOk",      "ClusterOf",
+    "ClusterOfOk",    "KNearest",      "KNearestOk",
+    "Stats",          "StatsOk",       "ReplState",
+    "ReplStateOk",    "FetchDelta",    "FetchDeltaOk",
+    "FetchBaseManifest", "FetchBaseManifestOk", "FetchBaseFile",
+    "FetchBaseFileOk", "Shutdown",     "ShutdownOk",
+    "Traced",         "MetricsScrape", "MetricsScrapeOk",
+    "TraceDump",      "TraceDumpOk",   "Health",
+    "HealthOk",
+};
+constexpr const char* kRpcSpanNames[] = {
+    "rpc.Error",          "rpc.Hello",         "rpc.HelloOk",
+    "rpc.Ingest",         "rpc.IngestOk",      "rpc.ClusterOf",
+    "rpc.ClusterOfOk",    "rpc.KNearest",      "rpc.KNearestOk",
+    "rpc.Stats",          "rpc.StatsOk",       "rpc.ReplState",
+    "rpc.ReplStateOk",    "rpc.FetchDelta",    "rpc.FetchDeltaOk",
+    "rpc.FetchBaseManifest", "rpc.FetchBaseManifestOk", "rpc.FetchBaseFile",
+    "rpc.FetchBaseFileOk", "rpc.Shutdown",     "rpc.ShutdownOk",
+    "rpc.Traced",         "rpc.MetricsScrape", "rpc.MetricsScrapeOk",
+    "rpc.TraceDump",      "rpc.TraceDumpOk",   "rpc.Health",
+    "rpc.HealthOk",
+};
+constexpr size_t kNumMsgTypes =
+    sizeof(kMsgTypeNames) / sizeof(kMsgTypeNames[0]);
+static_assert(kNumMsgTypes ==
+                  static_cast<size_t>(MsgType::kHealthOk) + 1,
+              "name table out of sync with MsgType");
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  const size_t i = static_cast<uint8_t>(type);
+  return i < kNumMsgTypes ? kMsgTypeNames[i] : "Unknown";
+}
+
+const char* RpcSpanName(MsgType type) {
+  const size_t i = static_cast<uint8_t>(type);
+  return i < kNumMsgTypes ? kRpcSpanNames[i] : "rpc.Unknown";
+}
+
 void EncodeError(const Status& status, std::string* out) {
   Begin(MsgType::kError, out);
   BinaryWriter w(out);
@@ -124,13 +169,20 @@ void Encode(const HelloRequest& msg, std::string* out) {
   BinaryWriter w(out);
   w.PutVar(msg.protocol_version);
   w.PutVar(msg.codec_mask);
+  // Optional trailing field: omitted when zero so a pre-feature server
+  // (which requires done() after codec_mask) still accepts the Hello.
+  if (msg.feature_mask != 0) w.PutVar(msg.feature_mask);
 }
 
 bool Decode(const std::string& payload, HelloRequest* msg) {
   BinaryReader r(payload);
-  return BeginDecode(payload, MsgType::kHello, &r) &&
-         r.GetVar(&msg->protocol_version) && r.GetVar(&msg->codec_mask) &&
-         r.done();
+  if (!BeginDecode(payload, MsgType::kHello, &r) ||
+      !r.GetVar(&msg->protocol_version) || !r.GetVar(&msg->codec_mask)) {
+    return false;
+  }
+  msg->feature_mask = 0;
+  if (!r.done() && !r.GetVar(&msg->feature_mask)) return false;
+  return r.done();
 }
 
 void Encode(const HelloResponse& msg, std::string* out) {
@@ -138,15 +190,19 @@ void Encode(const HelloResponse& msg, std::string* out) {
   BinaryWriter w(out);
   w.PutVar(msg.protocol_version);
   w.PutU8(static_cast<uint8_t>(msg.codec));
+  if (msg.feature_mask != 0) w.PutVar(msg.feature_mask);
 }
 
 bool Decode(const std::string& payload, HelloResponse* msg) {
   BinaryReader r(payload);
   uint8_t codec;
   if (!BeginDecode(payload, MsgType::kHelloOk, &r) ||
-      !r.GetVar(&msg->protocol_version) || !r.GetU8(&codec) || !r.done()) {
+      !r.GetVar(&msg->protocol_version) || !r.GetU8(&codec)) {
     return false;
   }
+  msg->feature_mask = 0;
+  if (!r.done() && !r.GetVar(&msg->feature_mask)) return false;
+  if (!r.done()) return false;
   if (codec > static_cast<uint8_t>(Codec::kLzb)) return false;
   msg->codec = static_cast<Codec>(codec);
   return true;
@@ -413,6 +469,119 @@ bool Decode(const std::string& payload, BlockResponse* msg) {
     return false;
   }
   return r.GetBytes(&msg->block) && r.done();
+}
+
+void EncodeTraced(const TraceContextWire& ctx, const std::string& inner,
+                  std::string* out) {
+  Begin(MsgType::kTraced, out);
+  BinaryWriter w(out);
+  w.PutVar(ctx.trace_id);
+  w.PutVar(ctx.parent_span_id);
+  w.PutU8(ctx.sampled ? 1 : 0);
+  out->append(inner);
+}
+
+bool DecodeTraced(const std::string& payload, TraceContextWire* ctx,
+                  std::string* inner) {
+  BinaryReader r(payload);
+  uint8_t flags;
+  if (!BeginDecode(payload, MsgType::kTraced, &r) ||
+      !r.GetVar(&ctx->trace_id) || !r.GetVar(&ctx->parent_span_id) ||
+      !r.GetU8(&flags)) {
+    return false;
+  }
+  ctx->sampled = (flags & 1) != 0;
+  // The rest of the payload is a complete inner request; an empty one
+  // is malformed (there is nothing to dispatch).
+  if (r.remaining() == 0) return false;
+  inner->assign(r.cursor(), r.remaining());
+  return true;
+}
+
+void Encode(const MetricsScrapeRequest& msg, std::string* out) {
+  (void)msg;
+  Begin(MsgType::kMetricsScrape, out);
+}
+
+bool Decode(const std::string& payload, MetricsScrapeRequest* msg) {
+  (void)msg;
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kMetricsScrape, &r) && r.done();
+}
+
+void Encode(const MetricsScrapeResponse& msg, std::string* out) {
+  Begin(MsgType::kMetricsScrapeOk, out);
+  BinaryWriter w(out);
+  w.PutBytes(msg.text);
+}
+
+bool Decode(const std::string& payload, MetricsScrapeResponse* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kMetricsScrapeOk, &r) &&
+         r.GetBytes(&msg->text) && r.done();
+}
+
+void Encode(const TraceDumpRequest& msg, std::string* out) {
+  (void)msg;
+  Begin(MsgType::kTraceDump, out);
+}
+
+bool Decode(const std::string& payload, TraceDumpRequest* msg) {
+  (void)msg;
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kTraceDump, &r) && r.done();
+}
+
+void Encode(const TraceDumpResponse& msg, std::string* out) {
+  Begin(MsgType::kTraceDumpOk, out);
+  BinaryWriter w(out);
+  w.PutBytes(msg.json);
+}
+
+bool Decode(const std::string& payload, TraceDumpResponse* msg) {
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kTraceDumpOk, &r) &&
+         r.GetBytes(&msg->json) && r.done();
+}
+
+void Encode(const HealthRequest& msg, std::string* out) {
+  (void)msg;
+  Begin(MsgType::kHealth, out);
+}
+
+bool Decode(const std::string& payload, HealthRequest* msg) {
+  (void)msg;
+  BinaryReader r(payload);
+  return BeginDecode(payload, MsgType::kHealth, &r) && r.done();
+}
+
+void Encode(const HealthResponse& msg, std::string* out) {
+  Begin(MsgType::kHealthOk, out);
+  BinaryWriter w(out);
+  w.PutU8(msg.ok ? 1 : 0);
+  w.PutVar(msg.alerts_active);
+  w.PutVar(msg.alerts.size());
+  for (const std::string& name : msg.alerts) w.PutBytes(name);
+}
+
+bool Decode(const std::string& payload, HealthResponse* msg) {
+  BinaryReader r(payload);
+  uint8_t ok;
+  uint64_t n;
+  if (!BeginDecode(payload, MsgType::kHealthOk, &r) || !r.GetU8(&ok) ||
+      !r.GetVar(&msg->alerts_active) || !r.GetVar(&n)) {
+    return false;
+  }
+  if (n > r.remaining()) return false;
+  msg->ok = ok != 0;
+  msg->alerts.clear();
+  msg->alerts.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    if (!r.GetBytes(&name)) return false;
+    msg->alerts.push_back(std::move(name));
+  }
+  return r.done();
 }
 
 void EncodeShutdown(std::string* out) { Begin(MsgType::kShutdown, out); }

@@ -55,7 +55,37 @@ enum class MsgType : uint8_t {
   kFetchBaseFileOk = 18,
   kShutdown = 19,
   kShutdownOk = 20,
+  // Trace-context envelope: wraps any request payload with distributed
+  // trace identity (trace id, parent span id, sampling flag). Sent only
+  // after the server advertised kFeatureTraceContext in HelloOk.
+  kTraced = 21,
+  // Fleet introspection: scrape metrics (Prometheus text), dump the
+  // trace rings (Chrome-trace JSON), and an SLO health probe.
+  kMetricsScrape = 22,
+  kMetricsScrapeOk = 23,
+  kTraceDump = 24,
+  kTraceDumpOk = 25,
+  kHealth = 26,
+  kHealthOk = 27,
 };
+
+// Static display name for a message type ("Ingest", "KNearest", ...);
+// "Unknown" for anything outside the catalogue. Used to label per-RPC
+// metrics (`net.rpc_ms{type=Ingest}`).
+const char* MsgTypeName(MsgType type);
+// Static server-side span name ("rpc.Ingest"); "rpc.Unknown" outside
+// the catalogue.
+const char* RpcSpanName(MsgType type);
+
+// ---- Feature negotiation ---------------------------------------------
+
+// Optional Hello feature bits. A peer that understands none sends no
+// feature field at all (the field is encoded only when non-zero), so
+// old binaries interoperate: an old server answers a featureless Hello
+// exactly as before, and a new client only sends kTraced envelopes
+// after the server echoed the bit back.
+constexpr uint64_t kFeatureTraceContext = 1ull << 0;
+constexpr uint64_t kSupportedFeatures = kFeatureTraceContext;
 
 // ---- Envelope helpers -------------------------------------------------
 
@@ -72,10 +102,16 @@ Status DecodeError(const std::string& payload);
 struct HelloRequest {
   uint64_t protocol_version = kProtocolVersion;
   uint64_t codec_mask = kSupportedCodecs;
+  // Feature bits the client wants (kFeature*); encoded as an optional
+  // trailing varint, omitted when zero so old servers still decode.
+  uint64_t feature_mask = 0;
 };
 struct HelloResponse {
   uint64_t protocol_version = kProtocolVersion;
   Codec codec = Codec::kRaw;  // the codec the server will use for blocks
+  // Intersection of the client's request with kSupportedFeatures; same
+  // omitted-when-zero trailing encoding.
+  uint64_t feature_mask = 0;
 };
 void Encode(const HelloRequest& msg, std::string* out);
 void Encode(const HelloResponse& msg, std::string* out);
@@ -199,6 +235,54 @@ bool Decode(const std::string& payload, FetchBaseManifestRequest* msg);
 bool Decode(const std::string& payload, FetchBaseManifestResponse* msg);
 bool Decode(const std::string& payload, FetchBaseFileRequest* msg);
 bool Decode(const std::string& payload, BlockResponse* msg);
+
+// ---- Trace-context envelope ------------------------------------------
+
+// Wire form of obs::TraceContext: `kTraced || trace_id || parent_span_id
+// || u8 flags (bit 0 = sampled) || inner payload`. The inner payload is
+// a complete request (`u8 type || body`); responses are never wrapped.
+struct TraceContextWire {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = true;
+};
+void EncodeTraced(const TraceContextWire& ctx, const std::string& inner,
+                  std::string* out);
+// On success `*inner` holds the unwrapped request payload.
+bool DecodeTraced(const std::string& payload, TraceContextWire* ctx,
+                  std::string* inner);
+
+// ---- Introspection ---------------------------------------------------
+
+struct MetricsScrapeRequest {};
+struct MetricsScrapeResponse {
+  std::string text;  // Prometheus text exposition
+};
+void Encode(const MetricsScrapeRequest& msg, std::string* out);
+void Encode(const MetricsScrapeResponse& msg, std::string* out);
+bool Decode(const std::string& payload, MetricsScrapeRequest* msg);
+bool Decode(const std::string& payload, MetricsScrapeResponse* msg);
+
+struct TraceDumpRequest {};
+struct TraceDumpResponse {
+  std::string json;  // Chrome-trace JSON
+};
+void Encode(const TraceDumpRequest& msg, std::string* out);
+void Encode(const TraceDumpResponse& msg, std::string* out);
+bool Decode(const std::string& payload, TraceDumpRequest* msg);
+bool Decode(const std::string& payload, TraceDumpResponse* msg);
+
+struct HealthRequest {};
+struct HealthResponse {
+  // True iff no watchdog alert is active on the server.
+  bool ok = true;
+  uint64_t alerts_active = 0;
+  std::vector<std::string> alerts;  // active alert names, sorted
+};
+void Encode(const HealthRequest& msg, std::string* out);
+void Encode(const HealthResponse& msg, std::string* out);
+bool Decode(const std::string& payload, HealthRequest* msg);
+bool Decode(const std::string& payload, HealthResponse* msg);
 
 // ---- Shutdown --------------------------------------------------------
 

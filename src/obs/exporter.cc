@@ -1,5 +1,6 @@
 #include "obs/exporter.h"
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -35,7 +36,108 @@ std::string Num(double value) {
   return out;
 }
 
+// ---- Prometheus text format ------------------------------------------
+
+// Prometheus numbers allow NaN/±Inf spellings, unlike JSON.
+std::string PromNum(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+// Label values escape backslash, double quote and newline.
+std::string PromLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Splits a registry name like "queue.depth{shard=3}" into a sanitized
+// Prometheus metric name ("queue_depth") and a rendered label pair
+// ("shard=\"3\"", empty when the name carries no label).
+void PromName(const std::string& raw, std::string* name, std::string* label) {
+  std::string base = raw;
+  label->clear();
+  const size_t brace = raw.find('{');
+  if (brace != std::string::npos && !raw.empty() && raw.back() == '}') {
+    base = raw.substr(0, brace);
+    const std::string inside = raw.substr(brace + 1, raw.size() - brace - 2);
+    const size_t eq = inside.find('=');
+    if (eq != std::string::npos) {
+      *label = inside.substr(0, eq) + "=\"" +
+               PromLabelValue(inside.substr(eq + 1)) + "\"";
+    }
+  }
+  name->clear();
+  name->reserve(base.size());
+  for (char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    name->push_back(ok ? c : '_');
+  }
+  if (name->empty() || (name->front() >= '0' && name->front() <= '9')) {
+    name->insert(name->begin(), '_');
+  }
+}
+
+// One "# TYPE" header per metric family: labeled instances of the same
+// base name are adjacent in the sorted snapshot and share one header.
+void PromTypeLine(const std::string& name, const char* kind,
+                  std::string* last_typed, std::ostringstream* os) {
+  if (name == *last_typed) return;
+  *os << "# TYPE " << name << " " << kind << "\n";
+  *last_typed = name;
+}
+
 }  // namespace
+
+std::string RenderMetricsPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::string name, label, last_typed;
+  for (const auto& [raw, value] : snapshot.counters) {
+    PromName(raw, &name, &label);
+    name += "_total";
+    PromTypeLine(name, "counter", &last_typed, &os);
+    os << name << (label.empty() ? "" : "{" + label + "}") << " " << value
+       << "\n";
+  }
+  for (const auto& [raw, value] : snapshot.gauges) {
+    PromName(raw, &name, &label);
+    PromTypeLine(name, "gauge", &last_typed, &os);
+    os << name << (label.empty() ? "" : "{" + label + "}") << " "
+       << PromNum(value) << "\n";
+  }
+  for (const MetricsSnapshot::HistogramView& h : snapshot.histograms) {
+    PromName(h.name, &name, &label);
+    PromTypeLine(name, "histogram", &last_typed, &os);
+    const std::string prefix = label.empty() ? "" : label + ",";
+    uint64_t cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      cumulative += count;
+      os << name << "_bucket{" << prefix << "le=\"" << PromNum(bound)
+         << "\"} " << cumulative << "\n";
+    }
+    os << name << "_bucket{" << prefix << "le=\"+Inf\"} " << h.count << "\n";
+    os << name << "_sum" << (label.empty() ? "" : "{" + label + "}") << " "
+       << PromNum(h.sum) << "\n";
+    os << name << "_count" << (label.empty() ? "" : "{" + label + "}") << " "
+       << h.count << "\n";
+  }
+  return os.str();
+}
 
 std::string RenderMetricsJson(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
@@ -106,7 +208,21 @@ std::string RenderChromeTrace(const Tracer& tracer) {
        << ", \"dur\": " << Num(static_cast<double>(span.duration_ns) / 1000.0)
        << ", \"args\": {\"epoch\": " << span.epoch
        << ", \"seq_begin\": " << span.seq_begin
-       << ", \"seq_end\": " << span.seq_end << "}}";
+       << ", \"seq_end\": " << span.seq_end;
+    if (span.trace_id != 0) {
+      // Hex ids stitch cross-process spans: exports from every process
+      // in a trace share the trace_id, parent_span_id links the tree.
+      char ids[3][20];
+      std::snprintf(ids[0], sizeof(ids[0]), "%016llx",
+                    static_cast<unsigned long long>(span.trace_id));
+      std::snprintf(ids[1], sizeof(ids[1]), "%016llx",
+                    static_cast<unsigned long long>(span.span_id));
+      std::snprintf(ids[2], sizeof(ids[2]), "%016llx",
+                    static_cast<unsigned long long>(span.parent_span_id));
+      os << ", \"trace_id\": \"" << ids[0] << "\", \"span_id\": \"" << ids[1]
+         << "\", \"parent_span_id\": \"" << ids[2] << "\"";
+    }
+    os << "}}";
   }
   os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
   return os.str();

@@ -28,6 +28,16 @@ std::string RenderMetricsJson(const MetricsSnapshot& snapshot);
 /// gauges use field "value"; histograms emit count/sum/p50/p95/p99 rows.
 std::string RenderMetricsCsv(const MetricsSnapshot& snapshot);
 
+/// Prometheus text exposition format (version 0.0.4) over the same
+/// snapshot the JSON renderer sees. Dots in metric names become
+/// underscores, a `{key=value}` suffix (obs::ShardLabel) becomes a real
+/// label with the value escaped, counters gain the `_total` suffix, and
+/// histograms render cumulative `_bucket{le=...}` series (closing with
+/// `le="+Inf"`) plus `_sum`/`_count`. No timestamps, names sorted as in
+/// the snapshot — identical state renders identical bytes, so a remote
+/// MetricsScrape is byte-comparable to a local render.
+std::string RenderMetricsPrometheus(const MetricsSnapshot& snapshot);
+
 /// Renders a tracer's retained spans in Chrome-trace format (the
 /// "traceEvents" JSON chrome://tracing and Perfetto load): one complete
 /// ("ph":"X") event per span, ts/dur in microseconds, tid = shard

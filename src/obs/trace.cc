@@ -1,9 +1,47 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace dynamicc {
 namespace obs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Seeded from the clock at first use so two processes in a fleet mint
+// disjoint id streams; splitmix64 decorrelates consecutive counts.
+std::atomic<uint64_t>& IdCounter() {
+  static std::atomic<uint64_t> counter{static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count())};
+  return counter;
+}
+
+uint64_t NextId() {
+  uint64_t id =
+      SplitMix64(IdCounter().fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;  // 0 means "no trace"
+}
+
+thread_local TraceContext g_thread_trace_context;
+
+}  // namespace
+
+uint64_t NextTraceId() { return NextId(); }
+
+uint64_t NextSpanId() { return NextId(); }
+
+TraceContext CurrentTraceContext() { return g_thread_trace_context; }
+
+void SetCurrentTraceContext(const TraceContext& context) {
+  g_thread_trace_context = context;
+}
 
 Tracer::Tracer(uint32_t num_shards, size_t capacity)
     : num_shards_(num_shards),

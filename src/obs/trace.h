@@ -40,10 +40,53 @@ inline constexpr const char* kSpanMigrationSurgery = "migration.surgery";
 inline constexpr const char* kSpanSnapshotSave = "snapshot.save";
 inline constexpr const char* kSpanSnapshotLoad = "snapshot.load";
 inline constexpr const char* kSpanReadPublish = "read.publish";
+inline constexpr const char* kSpanRpcClient = "rpc.client";
+inline constexpr const char* kSpanAlertFire = "alert.fire";
+inline constexpr const char* kSpanAlertClear = "alert.clear";
 
 /// Shard value for spans that belong to the service as a whole
 /// (admission, barriers, seals); they land in the tracer's extra ring.
 inline constexpr uint32_t kServiceShard = 0xffffffffu;
+
+/// Distributed-trace identity. A context originates at the edge (the
+/// NetClient mints a fresh trace id per RPC) and rides the wire in the
+/// kTraced envelope; every span opened while a context is ambient on
+/// the thread inherits the trace id and parents itself on the nearest
+/// enclosing span, so one trace id stitches client → server handler →
+/// shard drain across processes in the Chrome-trace export.
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 = no context
+  uint64_t parent_span_id = 0;
+  bool sampled = true;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// Process-unique non-zero ids (splitmix64 over an atomic counter
+/// seeded from the clock, so two processes in a fleet do not collide).
+uint64_t NextTraceId();
+uint64_t NextSpanId();
+
+/// The calling thread's ambient trace context (inactive by default).
+TraceContext CurrentTraceContext();
+void SetCurrentTraceContext(const TraceContext& context);
+
+/// RAII ambient-context scope: installs `context` for the thread,
+/// restores the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context)
+      : prev_(CurrentTraceContext()) {
+    SetCurrentTraceContext(context);
+  }
+  ~ScopedTraceContext() { SetCurrentTraceContext(prev_); }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
 
 struct TraceSpan {
   /// Static-lifetime name (one of the kSpan* constants, typically).
@@ -57,6 +100,11 @@ struct TraceSpan {
   /// steady_clock nanoseconds since the tracer was constructed.
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
+  /// Distributed-trace identity; all zero for spans opened outside a
+  /// trace context (the exporter omits the ids from args then).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 /// One ring per shard plus one for service-wide spans. Record() takes
@@ -118,11 +166,25 @@ class ScopedSpan {
     internal_logging::SetThreadLogTags(
         {shard == kServiceShard ? -1 : static_cast<int64_t>(shard), epoch});
     tagged_ = true;
+    // Inherit the thread's ambient trace context: the span joins the
+    // trace, and nested spans opened while this one is alive parent on
+    // it (the ambient parent is advanced to this span's id).
+    TraceContext ambient = CurrentTraceContext();
+    if (ambient.active() && ambient.sampled) {
+      span_.trace_id = ambient.trace_id;
+      span_.parent_span_id = ambient.parent_span_id;
+      span_.span_id = NextSpanId();
+      prev_context_ = ambient;
+      ambient.parent_span_id = span_.span_id;
+      SetCurrentTraceContext(ambient);
+      context_scoped_ = true;
+    }
   }
 
   ~ScopedSpan() {
     if (tracer_ == nullptr) return;
     if (tagged_) internal_logging::SetThreadLogTags(prev_tags_);
+    if (context_scoped_) SetCurrentTraceContext(prev_context_);
     span_.duration_ns = tracer_->NowNs() - span_.start_ns;
     tracer_->Record(span_);
   }
@@ -142,11 +204,34 @@ class ScopedSpan {
     span_.seq_end = end;
   }
 
+  /// Joins `context` explicitly — for spans opened on a thread other
+  /// than the one the context was ambient on (a drain worker adopting
+  /// the context stamped at enqueue). No-op for an inactive context or
+  /// when the span already joined one via the ambient path.
+  void AdoptContext(const TraceContext& context) {
+    if (tracer_ == nullptr || !context.active() || !context.sampled) return;
+    if (span_.trace_id != 0) return;
+    span_.trace_id = context.trace_id;
+    span_.parent_span_id = context.parent_span_id;
+    span_.span_id = NextSpanId();
+  }
+
+  /// The context a child of this span would propagate (inactive when
+  /// the span is outside any trace).
+  TraceContext context() const {
+    TraceContext ctx;
+    ctx.trace_id = span_.trace_id;
+    ctx.parent_span_id = span_.span_id;
+    return ctx;
+  }
+
  private:
   Tracer* tracer_;
   TraceSpan span_;
   bool tagged_ = false;
+  bool context_scoped_ = false;
   internal_logging::LogTags prev_tags_;
+  TraceContext prev_context_;
 };
 
 }  // namespace obs

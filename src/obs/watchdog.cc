@@ -1,0 +1,141 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dynamicc {
+namespace obs {
+
+Watchdog::Watchdog(MetricsRegistry* registry, Tracer* tracer)
+    : registry_(registry), tracer_(tracer) {
+  alerts_active_gauge_ = registry_->GetGauge("obs.alerts_active");
+  alerts_fired_counter_ = registry_->GetCounter("obs.alerts_fired");
+  ticks_counter_ = registry_->GetCounter("obs.watchdog_ticks");
+  alerts_active_gauge_->Set(0.0);
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::AddRule(Rule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RuleState state;
+  state.rule = std::move(rule);
+  rules_.push_back(std::move(state));
+}
+
+void Watchdog::Emit(const char* span_name, const RuleState& state,
+                    double value) {
+  DYNAMICC_LOG(Warning) << "watchdog " << span_name << " alert="
+                        << state.rule.name << " metric=" << state.rule.metric
+                        << " value=" << value
+                        << " fire_above=" << state.rule.fire_above
+                        << " clear_below=" << state.rule.clear_below;
+  if (tracer_ != nullptr) {
+    TraceSpan span;
+    span.name = span_name;
+    span.shard = kServiceShard;
+    span.start_ns = tracer_->NowNs();
+    span.duration_ns = 0;
+    tracer_->Record(span);
+  }
+}
+
+void Watchdog::Tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++tick_;
+  ticks_counter_->Add(1);
+  uint64_t active = 0;
+  for (RuleState& state : rules_) {
+    double value = 0.0;
+    if (state.rule.kind == Rule::Kind::kGauge) {
+      value = registry_->GetGauge(state.rule.metric)->value();
+    } else {
+      const uint64_t now = registry_->GetCounter(state.rule.metric)->value();
+      // The first tick only baselines: a counter that accumulated
+      // before the watchdog attached is history, not a breach.
+      value = state.has_last ? static_cast<double>(now - state.last_counter)
+                             : 0.0;
+      state.last_counter = now;
+      state.has_last = true;
+    }
+    if (!state.active) {
+      const bool cooled =
+          !state.has_cleared ||
+          tick_ - state.cleared_tick >= state.rule.cooldown_ticks;
+      if (value > state.rule.fire_above && cooled) {
+        state.active = true;
+        ++fired_total_;
+        alerts_fired_counter_->Add(1);
+        Emit(kSpanAlertFire, state, value);
+      }
+    } else if (value < state.rule.clear_below) {
+      state.active = false;
+      state.has_cleared = true;
+      state.cleared_tick = tick_;
+      Emit(kSpanAlertClear, state, value);
+    }
+    if (state.active) ++active;
+  }
+  alerts_active_gauge_->Set(static_cast<double>(active));
+}
+
+void Watchdog::Start(int interval_ms) {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (started_) return;
+    started_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    while (!stop_requested_) {
+      lock.unlock();
+      Tick();
+      lock.lock();
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                        [this] { return stop_requested_; });
+    }
+  });
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!started_) return;
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  started_ = false;
+}
+
+std::vector<std::string> Watchdog::ActiveAlerts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const RuleState& state : rules_) {
+    if (state.active) names.push_back(state.rule.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+uint64_t Watchdog::alerts_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t active = 0;
+  for (const RuleState& state : rules_) {
+    if (state.active) ++active;
+  }
+  return active;
+}
+
+uint64_t Watchdog::alerts_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_total_;
+}
+
+}  // namespace obs
+}  // namespace dynamicc

@@ -1,0 +1,112 @@
+// SLO watchdog: a small rule engine over the metrics registry.
+//
+// Each rule watches one gauge (or the per-tick increase of one
+// counter) against a breach threshold with hysteresis and a re-fire
+// cooldown: an alert fires when the value exceeds `fire_above`, stays
+// active until the value drops below `clear_below`, and after clearing
+// will not re-fire for `cooldown_ticks` evaluations — so a value
+// oscillating around the threshold produces one alert, not a storm.
+//
+// Firing and clearing emit a structured DYNAMICC_LOG line and a
+// zero-duration trace event (kSpanAlertFire / kSpanAlertClear) on the
+// service ring, and the active-alert count is published as the
+// `obs.alerts_active` gauge — which is what the Health RPC reports, so
+// a fleet's SLO state is scrapeable over the same socket as its
+// metrics.
+//
+// Tick() is the engine; call it from any cadence you like (the
+// follower ticks after every catch-up pass so staleness breaches are
+// evaluated exactly when the lag gauge moves), or Start() a background
+// thread for wall-clock cadence. Thread-safe.
+#ifndef DYNAMICC_OBS_WATCHDOG_H_
+#define DYNAMICC_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dynamicc {
+namespace obs {
+
+class Watchdog {
+ public:
+  struct Rule {
+    // Alert name — what ActiveAlerts(), the log line and Health report.
+    std::string name;
+    // Registry metric to watch.
+    std::string metric;
+    // kGauge compares the gauge's current value; kCounterDelta compares
+    // the counter's increase since the previous Tick().
+    enum class Kind { kGauge, kCounterDelta };
+    Kind kind = Kind::kGauge;
+    // Fires when value > fire_above; clears when value < clear_below.
+    // clear_below <= fire_above is the hysteresis band.
+    double fire_above = 0.0;
+    double clear_below = 0.0;
+    // Ticks after a clear before the rule may fire again.
+    uint32_t cooldown_ticks = 0;
+  };
+
+  // `registry` must outlive the watchdog; `tracer` is optional.
+  explicit Watchdog(MetricsRegistry* registry, Tracer* tracer = nullptr);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void AddRule(Rule rule);
+
+  // Evaluates every rule once against the registry's current values.
+  void Tick();
+
+  // Background evaluation every `interval_ms`. Stop() (or destruction)
+  // joins the thread. Idempotent per Start/Stop pair.
+  void Start(int interval_ms);
+  void Stop();
+
+  // Names of currently-active alerts, sorted.
+  std::vector<std::string> ActiveAlerts() const;
+  uint64_t alerts_active() const;
+  uint64_t alerts_fired() const;
+
+ private:
+  struct RuleState {
+    Rule rule;
+    bool active = false;
+    bool has_last = false;     // kCounterDelta: first tick only baselines
+    uint64_t last_counter = 0;
+    uint64_t cleared_tick = 0;
+    bool has_cleared = false;
+  };
+
+  void Emit(const char* span_name, const RuleState& state, double value);
+
+  MetricsRegistry* registry_;
+  Tracer* tracer_;
+  Gauge* alerts_active_gauge_;
+  Counter* alerts_fired_counter_;
+  Counter* ticks_counter_;
+
+  mutable std::mutex mutex_;
+  std::vector<RuleState> rules_;
+  uint64_t tick_ = 0;
+  uint64_t fired_total_ = 0;
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+};
+
+}  // namespace obs
+}  // namespace dynamicc
+
+#endif  // DYNAMICC_OBS_WATCHDOG_H_

@@ -137,6 +137,8 @@ Status Follower::CatchUpTo(uint64_t target, size_t* replayed) {
   // replica still is (0 when fully caught up).
   if (replay_lag_ms_ != nullptr) replay_lag_ms_->Set(wall.ElapsedMillis());
   UpdateLagGauge();
+  // Evaluate SLO rules right after the staleness gauges moved.
+  if (watchdog_ != nullptr) watchdog_->Tick();
   if (bounded && epoch() < target) {
     return Status::NotFound("epoch " + std::to_string(target) +
                             " has not shipped yet (replica at " +

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/watchdog.h"
 #include "replication/delta_log.h"
 #include "service/sharded_service.h"
 #include "util/status.h"
@@ -94,6 +95,12 @@ class Follower {
   const ShardedDynamicCService& service() const { return *service_; }
   const DeltaLog& log() const { return log_; }
 
+  /// Optional SLO watchdog ticked at the end of every catch-up pass —
+  /// exactly when follower.epochs_behind / replay_lag_ms move, so
+  /// staleness breaches are evaluated against fresh gauge values
+  /// instead of a wall-clock poll racing the replay loop. Not owned.
+  void set_watchdog(obs::Watchdog* watchdog) { watchdog_ = watchdog; }
+
  private:
   std::unique_ptr<ShardedDynamicCService> MakeService() const;
   Status LoadBase(uint64_t base);
@@ -120,6 +127,7 @@ class Follower {
   obs::Gauge* epochs_behind_ = nullptr;
   obs::Gauge* replay_lag_ms_ = nullptr;
   obs::Histogram* replay_ms_ = nullptr;
+  obs::Watchdog* watchdog_ = nullptr;
 };
 
 }  // namespace dynamicc

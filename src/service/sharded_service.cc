@@ -334,6 +334,12 @@ ShardedDynamicCService::IngestResult ShardedDynamicCService::IngestInternal(
         metrics_->queue_depth[s]->Set(
             static_cast<double>(shard.log.pending()));
       }
+      // Stamp the ambient trace context (set by a traced RPC handler)
+      // on the queue so the drain worker can join the trace.
+      if (tracer_ != nullptr) {
+        const obs::TraceContext ctx = obs::CurrentTraceContext();
+        if (ctx.active()) shard.queue_trace = ctx;
+      }
       if (!shard.log.empty() && !shard.worker_busy) {
         shard.worker_busy = true;
         schedule = true;
@@ -402,6 +408,7 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
   for (int iteration = 0; iteration < kBatchesBeforeYield; ++iteration) {
     OperationLog::Drained drained;
     uint64_t span_seq_begin = 0;
+    obs::TraceContext drain_trace;
     {
       std::lock_guard<std::mutex> lock(shard.queue_mutex);
       if (shard.paused) {
@@ -429,6 +436,10 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
       }
       if (tracer_ != nullptr) {
         span_seq_begin = shard.log.first_pending_sequence();
+        // Take-and-clear with the batch: the drain span joins the trace
+        // of the enqueue that fed this batch.
+        drain_trace = shard.queue_trace;
+        shard.queue_trace = obs::TraceContext{};
       }
       drained = shard.log.Take(bite);
       shard.queue_not_full.notify_all();
@@ -454,6 +465,7 @@ void ShardedDynamicCService::WorkerDrain(size_t shard_index) {
         obs::ScopedSpan span(tracer_, obs::kSpanDrainApply,
                              static_cast<uint32_t>(shard_index), drain_epoch);
         span.set_range(span_seq_begin, drained.end_sequence);
+        span.AdoptContext(drain_trace);
         ScopedTimer timer;
         timer.Set(&apply_ms)
             .Record(metrics_ ? metrics_->drain_apply_ms : nullptr);

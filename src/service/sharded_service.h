@@ -598,6 +598,13 @@ class ShardedDynamicCService {
       uint64_t boundary = 0;
     };
     std::deque<EpochMark> epoch_marks;
+    /// Trace context of the most recent traced enqueue (guarded by
+    /// queue_mutex). The drain worker takes-and-clears it with the
+    /// batch, so the async drain.apply span joins the trace of the
+    /// ingest that fed it — stitching client → handler → drain across
+    /// the thread handoff. Best-effort under coalescing: concurrent
+    /// traced producers overwrite, the batch adopts the newest.
+    obs::TraceContext queue_trace;
     /// Highest closed epoch fully applied on this shard (monotone).
     uint64_t applied_epoch = 0;
     /// Log-sequence watermark: every appended operation with sequence <

@@ -8,7 +8,11 @@
 // end, and chained replication (promote + Resume) keeps a standby
 // byte-identical across the failover cut.
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -20,6 +24,10 @@
 #include "net/delta_stream.h"
 #include "net/front_end.h"
 #include "net/rpc.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "replication/delta_log.h"
 #include "replication/follower.h"
 #include "replication/replication_session.h"
@@ -410,6 +418,197 @@ TEST(NetE2E, ChainedReplicationKeepsStandbyIdenticalAcrossTheCut) {
   ASSERT_TRUE(standby.CatchUp().ok());
   standby.Flush();
   ExpectSameState(*promoted, standby.service());
+}
+
+TEST(NetE2E, RemoteScrapeIsByteIdenticalToLocalRender) {
+  // The service books into its own registry; the front end's serving
+  // telemetry goes to a *different* one, and MetricsScrape renders the
+  // service registry (scrape_registry) — which no RPC mutates. The
+  // remote Prometheus text must equal the local render byte for byte.
+  obs::MetricsRegistry service_book, serving_book;
+  ShardedDynamicCService::Options options = ServiceOptions(2, false);
+  options.obs.metrics = &service_book;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+  TrainService(&service, 6);
+  service.ingest_stats();  // settle the mirror gauges
+
+  net::ServerFrontEnd::Options fe_options;
+  fe_options.metrics = &serving_book;
+  fe_options.scrape_registry = &service_book;
+  net::ServerFrontEnd front_end(&service, nullptr, fe_options);
+  ASSERT_TRUE(front_end.Start().ok());
+  net::NetClient client = MakeClient(front_end.port());
+  ASSERT_TRUE(client.Connect().ok());
+
+  const std::string local =
+      obs::RenderMetricsPrometheus(service_book.Snapshot());
+  std::string remote;
+  ASSERT_TRUE(client.MetricsScrape(&remote).ok());
+  EXPECT_EQ(remote, local);
+  ASSERT_TRUE(client.MetricsScrape(&remote).ok());
+  EXPECT_EQ(remote, local) << "scraping must not perturb the registry";
+
+  // The serving book carries the per-RPC telemetry: the full key set is
+  // registered eagerly, and the scrapes we just did were timed.
+  obs::MetricsSnapshot serving = serving_book.Snapshot();
+  const auto scrape_ms =
+      std::find_if(serving.histograms.begin(), serving.histograms.end(),
+                   [](const obs::MetricsSnapshot::HistogramView& h) {
+                     return h.name == "net.rpc_ms{type=MetricsScrape}";
+                   });
+  ASSERT_NE(scrape_ms, serving.histograms.end());
+  EXPECT_GE(scrape_ms->count, 1u);  // the second scrape saw the first
+  bool ingest_registered = false;
+  for (const auto& h : serving.histograms) {
+    if (h.name == "net.rpc_ms{type=Ingest}") ingest_registered = true;
+  }
+  EXPECT_TRUE(ingest_registered) << "key set must exist before traffic";
+  front_end.Stop();
+}
+
+TEST(NetE2E, TraceContextPropagatesClientToServerToShardDrain) {
+  // One trace id, three hops: the client's rpc.client span, the
+  // server's rpc.Ingest handler span, and the drain worker's
+  // drain.apply span on the shard that applied the batch — all
+  // stitched through the wire envelope and the queued batch.
+  obs::MetricsRegistry server_book, client_book;
+  obs::Tracer server_tracer(2);
+  obs::Tracer client_tracer(1);
+  ShardedDynamicCService::Options options = ServiceOptions(2, true);
+  options.obs.metrics = &server_book;
+  options.obs.tracer = &server_tracer;
+  ShardedDynamicCService service(options, nullptr, MakeFactory());
+  TrainService(&service, 6);
+
+  net::ServerFrontEnd::Options fe_options;
+  fe_options.metrics = &server_book;
+  fe_options.tracer = &server_tracer;
+  net::ServerFrontEnd front_end(&service, nullptr, fe_options);
+  ASSERT_TRUE(front_end.Start().ok());
+
+  net::NetClient::Options client_options;
+  client_options.port = front_end.port();
+  client_options.metrics = &client_book;
+  client_options.tracer = &client_tracer;
+  net::NetClient client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_EQ(client.server_features() & net::kFeatureTraceContext,
+            net::kFeatureTraceContext);
+
+  net::IngestResponse response;
+  ASSERT_TRUE(client.Ingest(GroupAdds(6, 1), &response).ok());
+  ASSERT_TRUE(response.accepted);
+  const uint64_t trace_id = client.last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+  service.Flush();  // the drain worker has applied the traced batch
+
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "\"%016" PRIx64 "\"", trace_id);
+
+  // Client side: the rpc.client span originated the trace.
+  bool client_span = false;
+  for (const obs::TraceSpan& span : client_tracer.Spans()) {
+    if (span.trace_id == trace_id &&
+        std::strcmp(span.name, obs::kSpanRpcClient) == 0) {
+      client_span = true;
+    }
+  }
+  EXPECT_TRUE(client_span);
+
+  // Server side, fetched over the wire: the handler span and the
+  // cross-thread drain span carry the same trace id.
+  std::string dump;
+  ASSERT_TRUE(client.TraceDump(&dump).ok());
+  bool rpc_span = false, drain_span = false;
+  for (const obs::TraceSpan& span : server_tracer.Spans()) {
+    if (span.trace_id != trace_id) continue;
+    if (std::strcmp(span.name, "rpc.Ingest") == 0) rpc_span = true;
+    if (std::strcmp(span.name, obs::kSpanDrainApply) == 0) {
+      drain_span = true;
+      EXPECT_NE(span.parent_span_id, 0u);
+    }
+  }
+  EXPECT_TRUE(rpc_span);
+  EXPECT_TRUE(drain_span);
+  EXPECT_NE(dump.find(hex), std::string::npos)
+      << "remote Chrome-trace dump must carry the client's trace id";
+
+  // The client booked its round trips per type.
+  obs::MetricsSnapshot snap = client_book.Snapshot();
+  bool ingest_ms = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "net.client.rpc_ms{type=Ingest}" && h.count == 1) {
+      ingest_ms = true;
+    }
+  }
+  EXPECT_TRUE(ingest_ms);
+  front_end.Stop();
+}
+
+TEST(NetE2E, NonTracingClientStaysOnTheOldWireFormat) {
+  // No tracer: Hello carries no feature field, the server echoes no
+  // features, and requests go out unwrapped — old-peer compatible.
+  ShardedDynamicCService service(ServiceOptions(1, false), nullptr,
+                                 MakeFactory());
+  TrainService(&service, 4);
+  obs::Tracer tracer(1);
+  net::ServerFrontEnd::Options fe_options;
+  fe_options.tracer = &tracer;
+  net::ServerFrontEnd front_end(&service, nullptr, fe_options);
+  ASSERT_TRUE(front_end.Start().ok());
+  net::NetClient client = MakeClient(front_end.port());
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.server_features(), 0u);
+  net::IngestResponse response;
+  ASSERT_TRUE(client.Ingest(GroupAdds(4, 1), &response).ok());
+  EXPECT_TRUE(response.accepted);
+  EXPECT_EQ(client.last_trace_id(), 0u);
+  for (const obs::TraceSpan& span : tracer.Spans()) {
+    EXPECT_EQ(span.trace_id, 0u);
+  }
+  front_end.Stop();
+}
+
+TEST(NetE2E, HealthRpcReportsWatchdogAlertsOverTcp) {
+  obs::MetricsRegistry reg;
+  obs::Gauge* behind = reg.GetGauge("follower.epochs_behind");
+  obs::Watchdog watchdog(&reg);
+  obs::Watchdog::Rule rule;
+  rule.name = "follower-staleness";
+  rule.metric = "follower.epochs_behind";
+  rule.fire_above = 5.0;
+  rule.clear_below = 2.0;
+  watchdog.AddRule(rule);
+
+  ShardedDynamicCService service(ServiceOptions(1, false), nullptr,
+                                 MakeFactory());
+  net::ServerFrontEnd::Options fe_options;
+  fe_options.metrics = &reg;
+  fe_options.watchdog = &watchdog;
+  net::ServerFrontEnd front_end(&service, nullptr, fe_options);
+  ASSERT_TRUE(front_end.Start().ok());
+  net::NetClient client = MakeClient(front_end.port());
+  ASSERT_TRUE(client.Connect().ok());
+
+  net::HealthResponse health;
+  ASSERT_TRUE(client.Health(&health).ok());
+  EXPECT_TRUE(health.ok);
+  EXPECT_EQ(health.alerts_active, 0u);
+
+  behind->Set(10.0);  // inject the staleness breach
+  watchdog.Tick();
+  ASSERT_TRUE(client.Health(&health).ok());
+  EXPECT_FALSE(health.ok);
+  EXPECT_EQ(health.alerts_active, 1u);
+  ASSERT_EQ(health.alerts.size(), 1u);
+  EXPECT_EQ(health.alerts[0], "follower-staleness");
+
+  behind->Set(0.0);  // recover
+  watchdog.Tick();
+  ASSERT_TRUE(client.Health(&health).ok());
+  EXPECT_TRUE(health.ok);
+  EXPECT_TRUE(health.alerts.empty());
+  front_end.Stop();
 }
 
 TEST(NetE2E, ResumeRefusesAServiceThatDidNotReplayTheLog) {

@@ -24,6 +24,7 @@
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "replication/follower.h"
 #include "replication/replication_session.h"
 #include "service/sharded_service.h"
@@ -649,6 +650,298 @@ TEST(ObsService, PrimaryFollowerLockstepBooks) {
   EXPECT_GE(GaugeValue(b, "follower.replay_lag_ms"), 0.0);
 
   EXPECT_EQ(primary.GlobalClusters(), follower.service().GlobalClusters());
+}
+
+// ---- Prometheus renderer ----
+
+TEST(Prometheus, RendersCountersGaugesAndCumulativeHistograms) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("net.frames_in")->Add(7);
+  reg.GetGauge("epoch.open")->Set(4.5);
+  obs::Histogram* h = reg.GetHistogram("net.rpc_ms{type=Ingest}");
+  h->Record(0.5);
+  h->Record(3.0);
+  h->Record(3.1);
+
+  const std::string text = obs::RenderMetricsPrometheus(reg.Snapshot());
+
+  // Counters get the _total suffix; dots become underscores.
+  EXPECT_NE(text.find("# TYPE net_frames_in_total counter\n"
+                      "net_frames_in_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE epoch_open gauge\nepoch_open 4.5\n"),
+            std::string::npos);
+
+  // The {key=value} suffix becomes a real Prometheus label, buckets are
+  // cumulative, and the series closes with le="+Inf" == count.
+  EXPECT_NE(text.find("# TYPE net_rpc_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("net_rpc_ms_bucket{type=\"Ingest\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("net_rpc_ms_count{type=\"Ingest\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("net_rpc_ms_sum{type=\"Ingest\"} 6.6\n"),
+            std::string::npos);
+
+  // Cumulative monotonicity: parse every bucket line in order.
+  uint64_t prev = 0;
+  size_t pos = 0, bucket_lines = 0;
+  while ((pos = text.find("net_rpc_ms_bucket{", pos)) != std::string::npos) {
+    const size_t space = text.find(' ', pos);
+    ASSERT_NE(space, std::string::npos);
+    const uint64_t cum = std::stoull(text.substr(space + 1));
+    EXPECT_GE(cum, prev);
+    prev = cum;
+    ++bucket_lines;
+    pos = space;
+  }
+  EXPECT_GE(bucket_lines, 3u);  // at least two live buckets + +Inf
+  EXPECT_EQ(prev, 3u);
+}
+
+TEST(Prometheus, EscapesLabelValuesAndSanitizesNames) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("weird-name.x{tag=a\"b\\c\nd}")->Add(1);
+  const std::string text = obs::RenderMetricsPrometheus(reg.Snapshot());
+  // '-' is not a legal name char; the label value escapes the quote,
+  // the backslash and the newline.
+  EXPECT_NE(text.find("weird_name_x_total{tag=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, IdenticalStateRendersIdenticalBytes) {
+  // No timestamps, registration-order independent: two registries with
+  // the same state render byte-identical text — what the remote-scrape
+  // e2e equality rests on.
+  obs::MetricsRegistry a, b;
+  b.GetGauge("z.last")->Set(2.0);  // reversed registration order
+  b.GetCounter("a.first")->Add(5);
+  b.GetHistogram("m.mid")->Record(1.0);
+  a.GetCounter("a.first")->Add(5);
+  a.GetHistogram("m.mid")->Record(1.0);
+  a.GetGauge("z.last")->Set(2.0);
+  EXPECT_EQ(obs::RenderMetricsPrometheus(a.Snapshot()),
+            obs::RenderMetricsPrometheus(b.Snapshot()));
+  EXPECT_EQ(obs::RenderMetricsPrometheus(a.Snapshot()),
+            obs::RenderMetricsPrometheus(a.Snapshot()));
+}
+
+// ---- Wire-propagated trace context ----
+
+TEST(TraceContext, ScopedSpanJoinsAmbientContextAndAdvancesParent) {
+  obs::Tracer tracer(2);
+  obs::TraceContext ctx;
+  ctx.trace_id = 42;
+  ctx.parent_span_id = 7;
+  {
+    obs::ScopedTraceContext ambient(ctx);
+    obs::ScopedSpan outer(&tracer, obs::kSpanIngestAdmit, 0);
+    // The span joined the trace and advanced the ambient parent to
+    // itself, so a nested span becomes its child.
+    const obs::TraceContext inner_ctx = obs::CurrentTraceContext();
+    EXPECT_EQ(inner_ctx.trace_id, 42u);
+    EXPECT_NE(inner_ctx.parent_span_id, 7u);
+    { obs::ScopedSpan inner(&tracer, obs::kSpanDrainApply, 1); }
+  }
+  EXPECT_FALSE(obs::CurrentTraceContext().active());
+
+  std::vector<obs::TraceSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const obs::TraceSpan* outer_span = nullptr;
+  const obs::TraceSpan* inner_span = nullptr;
+  for (const obs::TraceSpan& span : spans) {
+    if (std::strcmp(span.name, obs::kSpanIngestAdmit) == 0) {
+      outer_span = &span;
+    } else {
+      inner_span = &span;
+    }
+  }
+  ASSERT_NE(outer_span, nullptr);
+  ASSERT_NE(inner_span, nullptr);
+  EXPECT_EQ(outer_span->trace_id, 42u);
+  EXPECT_EQ(outer_span->parent_span_id, 7u);
+  EXPECT_NE(outer_span->span_id, 0u);
+  EXPECT_EQ(inner_span->trace_id, 42u);
+  EXPECT_EQ(inner_span->parent_span_id, outer_span->span_id);
+
+  // The Chrome-trace export carries the ids as hex strings.
+  const std::string json = obs::RenderChromeTrace(tracer);
+  EXPECT_NE(json.find("\"trace_id\": \"000000000000002a\""),
+            std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+}
+
+TEST(TraceContext, UnsampledAmbientContextIsIgnored) {
+  obs::Tracer tracer(1);
+  obs::TraceContext ctx;
+  ctx.trace_id = 99;
+  ctx.sampled = false;
+  {
+    obs::ScopedTraceContext ambient(ctx);
+    obs::ScopedSpan span(&tracer, obs::kSpanIngestAdmit, 0);
+  }
+  ASSERT_EQ(tracer.Spans().size(), 1u);
+  EXPECT_EQ(tracer.Spans()[0].trace_id, 0u);
+}
+
+TEST(TraceContext, AdoptContextStitchesCrossThreadSpans) {
+  // The drain-worker path: the context travels with the queued batch,
+  // not the thread, and the worker's span adopts it explicitly.
+  obs::Tracer tracer(1);
+  obs::TraceContext ctx;
+  ctx.trace_id = 1234;
+  ctx.parent_span_id = 55;
+  {
+    obs::ScopedSpan span(&tracer, obs::kSpanDrainApply, 0);
+    span.AdoptContext(ctx);
+  }
+  ASSERT_EQ(tracer.Spans().size(), 1u);
+  EXPECT_EQ(tracer.Spans()[0].trace_id, 1234u);
+  EXPECT_EQ(tracer.Spans()[0].parent_span_id, 55u);
+  EXPECT_NE(tracer.Spans()[0].span_id, 0u);
+}
+
+// ---- SLO watchdog ----
+
+TEST(Watchdog, FiresAndClearsWithHysteresis) {
+  // The acceptance scenario: an injected follower-staleness breach
+  // fires the alert, and only dropping below clear_below clears it —
+  // the band between the thresholds holds the alert active.
+  obs::MetricsRegistry reg;
+  obs::Gauge* behind = reg.GetGauge("follower.epochs_behind");
+  obs::Watchdog watchdog(&reg);
+  obs::Watchdog::Rule rule;
+  rule.name = "follower-staleness";
+  rule.metric = "follower.epochs_behind";
+  rule.fire_above = 5.0;
+  rule.clear_below = 2.0;
+  watchdog.AddRule(rule);
+
+  watchdog.Tick();  // healthy
+  EXPECT_EQ(watchdog.alerts_active(), 0u);
+
+  behind->Set(10.0);  // inject the breach
+  watchdog.Tick();
+  EXPECT_EQ(watchdog.alerts_active(), 1u);
+  EXPECT_EQ(watchdog.ActiveAlerts(),
+            std::vector<std::string>{"follower-staleness"});
+  EXPECT_EQ(watchdog.alerts_fired(), 1u);
+
+  behind->Set(3.0);  // inside the hysteresis band: stays active
+  watchdog.Tick();
+  EXPECT_EQ(watchdog.alerts_active(), 1u);
+  EXPECT_EQ(watchdog.alerts_fired(), 1u);  // no re-fire, no storm
+
+  behind->Set(1.0);  // below clear_below: clears
+  watchdog.Tick();
+  EXPECT_EQ(watchdog.alerts_active(), 0u);
+  EXPECT_TRUE(watchdog.ActiveAlerts().empty());
+
+  // The registry mirrors the state Health reports.
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(GaugeValue(snap, "obs.alerts_active"), 0.0);
+  EXPECT_EQ(CounterValue(snap, "obs.alerts_fired"), 1u);
+  EXPECT_EQ(CounterValue(snap, "obs.watchdog_ticks"), 4u);
+}
+
+TEST(Watchdog, CooldownSuppressesImmediateRefire) {
+  obs::MetricsRegistry reg;
+  obs::Gauge* gauge = reg.GetGauge("net.loop_lag_ms");
+  obs::Watchdog watchdog(&reg);
+  obs::Watchdog::Rule rule;
+  rule.name = "loop-lag";
+  rule.metric = "net.loop_lag_ms";
+  rule.fire_above = 100.0;
+  rule.clear_below = 10.0;
+  rule.cooldown_ticks = 3;
+  watchdog.AddRule(rule);
+
+  gauge->Set(200.0);
+  watchdog.Tick();  // fires
+  gauge->Set(5.0);
+  watchdog.Tick();  // clears
+  gauge->Set(200.0);
+  watchdog.Tick();  // breach again, but cooling down
+  EXPECT_EQ(watchdog.alerts_active(), 0u);
+  watchdog.Tick();  // still cooling (2 ticks since clear)
+  EXPECT_EQ(watchdog.alerts_active(), 0u);
+  watchdog.Tick();  // 3 ticks since clear: may fire again
+  EXPECT_EQ(watchdog.alerts_active(), 1u);
+  EXPECT_EQ(watchdog.alerts_fired(), 2u);
+}
+
+TEST(Watchdog, CounterDeltaWatchesPerTickIncrease) {
+  obs::MetricsRegistry reg;
+  obs::Counter* rejected = reg.GetCounter("read.rejected_stale");
+  obs::Watchdog watchdog(&reg);
+  obs::Watchdog::Rule rule;
+  rule.name = "stale-rejections";
+  rule.metric = "read.rejected_stale";
+  rule.kind = obs::Watchdog::Rule::Kind::kCounterDelta;
+  rule.fire_above = 100.0;
+  rule.clear_below = 10.0;
+  watchdog.AddRule(rule);
+
+  rejected->Add(100000);  // pre-existing total: first tick only baselines
+  watchdog.Tick();
+  EXPECT_EQ(watchdog.alerts_active(), 0u);
+
+  rejected->Add(50);  // 50/tick: under the threshold
+  watchdog.Tick();
+  EXPECT_EQ(watchdog.alerts_active(), 0u);
+
+  rejected->Add(500);  // burst
+  watchdog.Tick();
+  EXPECT_EQ(watchdog.alerts_active(), 1u);
+
+  watchdog.Tick();  // no new rejections: delta 0 clears
+  EXPECT_EQ(watchdog.alerts_active(), 0u);
+}
+
+TEST(Watchdog, BackgroundThreadTicksAndStops) {
+  obs::MetricsRegistry reg;
+  reg.GetGauge("follower.epochs_behind")->Set(50.0);
+  obs::Watchdog watchdog(&reg);
+  obs::Watchdog::Rule rule;
+  rule.name = "behind";
+  rule.metric = "follower.epochs_behind";
+  rule.fire_above = 5.0;
+  rule.clear_below = 2.0;
+  watchdog.AddRule(rule);
+  watchdog.Start(/*interval_ms=*/1);
+  for (int i = 0; i < 200 && watchdog.alerts_active() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  watchdog.Stop();
+  EXPECT_EQ(watchdog.alerts_active(), 1u);
+  const uint64_t ticks = CounterValue(reg.Snapshot(), "obs.watchdog_ticks");
+  EXPECT_GT(ticks, 0u);
+  // Stopped: no further ticks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(CounterValue(reg.Snapshot(), "obs.watchdog_ticks"), ticks);
+}
+
+TEST(Watchdog, AlertsEmitSpansOnTheServiceRing) {
+  obs::MetricsRegistry reg;
+  obs::Tracer tracer(1);
+  obs::Gauge* gauge = reg.GetGauge("follower.epochs_behind");
+  obs::Watchdog watchdog(&reg, &tracer);
+  obs::Watchdog::Rule rule;
+  rule.name = "behind";
+  rule.metric = "follower.epochs_behind";
+  rule.fire_above = 5.0;
+  rule.clear_below = 2.0;
+  watchdog.AddRule(rule);
+  gauge->Set(10.0);
+  watchdog.Tick();
+  gauge->Set(0.0);
+  watchdog.Tick();
+  bool saw_fire = false, saw_clear = false;
+  for (const obs::TraceSpan& span : tracer.Spans()) {
+    if (std::strcmp(span.name, obs::kSpanAlertFire) == 0) saw_fire = true;
+    if (std::strcmp(span.name, obs::kSpanAlertClear) == 0) saw_clear = true;
+  }
+  EXPECT_TRUE(saw_fire);
+  EXPECT_TRUE(saw_clear);
 }
 
 }  // namespace
